@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses.
+ */
+
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "chip/chip.h"
+#include "core/characterizer.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::bench {
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &id, const std::string &caption)
+{
+    std::cout << "\n=== " << id << " ===\n" << caption << "\n\n";
+}
+
+/** Build one reference chip wrapped in a Chip instance. */
+inline std::unique_ptr<chip::Chip>
+makeReferenceChip(int index)
+{
+    return std::make_unique<chip::Chip>(
+        variation::makeReferenceChip(index));
+}
+
+/** Characterize a chip with the default (analytic, 8-rep) settings. */
+inline core::LimitTable
+characterize(chip::Chip &chip)
+{
+    core::Characterizer characterizer(&chip);
+    return characterizer.characterizeChip();
+}
+
+/**
+ * Parse an optional "--csv <path>" argument; returns the path or an
+ * empty string. Harnesses that support it dump their main series as
+ * machine-readable CSV next to the printed tables.
+ */
+inline std::string
+csvPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--csv")
+            return argv[i + 1];
+    }
+    return {};
+}
+
+} // namespace atmsim::bench

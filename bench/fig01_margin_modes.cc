@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fig. 1: core frequency under the four margin modes -- chip-wide
+ * static margin, per-core static <v, f> setpoints, default ATM, and
+ * fine-tuned per-core ATM -- at idle and under a heavy daxpy load.
+ *
+ * Expected shape: per-core static exposes the fast cores (~4.5 GHz);
+ * default ATM beats static's fastest core when idle (~4.6 GHz) but
+ * sags under load; fine-tuned ATM reaches ~5 GHz idle on the fastest
+ * core and still beats everything else loaded, at the cost of a wide
+ * fast-to-slow spread.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "circuit/constants.h"
+#include "core/governor.h"
+#include "util/table.h"
+#include "workload/catalog.h"
+
+using namespace atmsim;
+
+namespace {
+
+struct ModeRow
+{
+    std::string name;
+    double idleFast, idleSlow, loadFast, loadSlow;
+};
+
+/** Idle and loaded steady frequencies for the current chip setup. */
+std::pair<chip::ChipSteadyState, chip::ChipSteadyState>
+measure(chip::Chip &chip)
+{
+    chip.clearAssignments();
+    const chip::ChipSteadyState idle = chip.solveSteadyState();
+    const auto &daxpy = workload::findWorkload("daxpy");
+    for (int c = 0; c < chip.coreCount(); ++c)
+        chip.assignWorkload(c, &daxpy, 4);
+    const chip::ChipSteadyState loaded = chip.solveSteadyState();
+    chip.clearAssignments();
+    return {idle, loaded};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 1",
+                  "Core frequency (MHz) per margin mode, idle vs. "
+                  "all-core daxpy load, reference chip P0.");
+
+    auto chip = bench::makeReferenceChip(0);
+    const core::LimitTable limits = bench::characterize(*chip);
+    core::Governor governor(chip.get(), limits);
+
+    std::vector<ModeRow> rows;
+
+    // Chip-wide static margin: one fixed frequency for every core.
+    rows.push_back({"chip-wide static", circuit::kStaticMarginMhz,
+                    circuit::kStaticMarginMhz, circuit::kStaticMarginMhz,
+                    circuit::kStaticMarginMhz});
+
+    // Per-core static <v, f>: each core's silicon limit de-rated by
+    // the full static guard a fixed operating point must carry --
+    // worst-case di/dt + DC voltage drop (~6% Vdd), temperature and
+    // aging -- about 15.5% in frequency per [17]'s characterization,
+    // floored at the chip-wide p-state.
+    {
+        double fast = 0.0, slow = 1e9;
+        for (int c = 0; c < chip->coreCount(); ++c) {
+            const double silicon_max =
+                chip->core(c).silicon().atmFrequencyMhz(
+                    limits.byIndex(c).idle, 1.0);
+            const double derated = std::max(silicon_max / 1.155,
+                                            circuit::kStaticMarginMhz);
+            fast = std::max(fast, derated);
+            slow = std::min(slow, derated);
+        }
+        rows.push_back({"per-core static <v,f>", fast, slow, fast, slow});
+    }
+
+    // Default ATM (factory presets).
+    {
+        governor.apply(core::GovernorPolicy::DefaultAtm);
+        const auto [idle, loaded] = measure(*chip);
+        rows.push_back({"default ATM", idle.maxFreqMhz(),
+                        idle.minActiveFreqMhz(), loaded.maxFreqMhz(),
+                        loaded.minActiveFreqMhz()});
+    }
+
+    // Fine-tuned per-core ATM (stress-test thread-worst configs).
+    {
+        governor.apply(core::GovernorPolicy::FineTuned);
+        const auto [idle, loaded] = measure(*chip);
+        rows.push_back({"fine-tuned ATM", idle.maxFreqMhz(),
+                        idle.minActiveFreqMhz(), loaded.maxFreqMhz(),
+                        loaded.minActiveFreqMhz()});
+    }
+
+    util::TextTable table;
+    table.setHeader({"margin mode", "idle fast", "idle slow",
+                     "daxpy fast", "daxpy slow", "spread"});
+    for (const auto &row : rows) {
+        table.addRow({row.name, util::fmtInt(row.idleFast),
+                      util::fmtInt(row.idleSlow),
+                      util::fmtInt(row.loadFast),
+                      util::fmtInt(row.loadSlow),
+                      util::fmtInt(row.idleFast - row.loadSlow)});
+    }
+    table.print(std::cout);
+
+    const double ft_gain = rows[3].idleFast - rows[2].idleFast;
+    std::cout << "\nfine-tuned idle gain over default ATM: "
+              << util::fmtInt(ft_gain) << " MHz ("
+              << util::fmtPercent(ft_gain / rows[2].idleFast)
+              << "); gain over chip-wide static: "
+              << util::fmtPercent((rows[3].idleFast - 4200.0) / 4200.0)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 4b: factory pre-set CPM inserted delays of the core-domain CPM
+ * sites (IFU, ISU, FXU, FPU; the LLC CPM sits in a different clock
+ * domain and is excluded, as in the paper) for both reference chips.
+ * The ~7..20 range indicates significant process variation.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "circuit/constants.h"
+#include "cpm/cpm.h"
+#include "util/table.h"
+
+using namespace atmsim;
+
+int
+main()
+{
+    bench::banner("Figure 4b",
+                  "Pre-set CPM inserted delay (segments) per core and "
+                  "CPM site, both reference chips.");
+
+    util::TextTable table;
+    table.setHeader({"core", "IFU", "ISU", "FXU", "FPU", "min", "max"});
+    int global_min = 1000, global_max = 0;
+    for (int p = 0; p < circuit::kChipsPerSystem; ++p) {
+        const variation::ChipSilicon chip = variation::makeReferenceChip(p);
+        for (const auto &core : chip.cores) {
+            std::vector<std::string> row = {core.name};
+            int lo = 1000, hi = 0;
+            for (int site = 0; site < 4; ++site) {
+                const int preset = core.presetSteps
+                                 + core.siteOffsets[site];
+                row.push_back(std::to_string(preset));
+                lo = std::min(lo, preset);
+                hi = std::max(hi, preset);
+            }
+            row.push_back(std::to_string(lo));
+            row.push_back(std::to_string(hi));
+            table.addRow(row);
+            global_min = std::min(global_min, lo);
+            global_max = std::max(global_max, hi);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\npreset range across the server: " << global_min
+              << " .. " << global_max << " segments ("
+              << util::fmtFixed(static_cast<double>(global_max)
+                                / global_min, 1)
+              << "x) -- wide variation as in the paper's ~3x range.\n";
+    return 0;
+}

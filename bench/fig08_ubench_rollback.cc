@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 8: the cores whose idle limit is too aggressive for uBench --
+ * their CPM setting must be rolled back one or more steps for
+ * coremark/daxpy/stream to run correctly. Exactly six cores across
+ * the server require rollback, and all three programs behave alike
+ * on them (the limiting structures are the common ones).
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "util/table.h"
+#include "workload/catalog.h"
+
+using namespace atmsim;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "uBench rollback (steps from the idle limit) for the "
+                  "cores whose idle limit fails under uBench.");
+
+    util::TextTable table;
+    table.setHeader({"core", "idle limit", "uBench limit",
+                     "rollback dist (steps:count)", "per-program limit"});
+    int rollback_cores = 0;
+    for (int p = 0; p < 2; ++p) {
+        auto chip = bench::makeReferenceChip(p);
+        core::Characterizer characterizer(chip.get());
+        for (int c = 0; c < chip->coreCount(); ++c) {
+            const int idle = characterizer.idleLimit(c).limit();
+            const core::LimitDistribution dist =
+                characterizer.ubenchLimit(c, idle);
+            if (dist.limit() >= idle)
+                continue;
+            ++rollback_cores;
+            std::ostringstream spread;
+            for (const auto &[value, count] : dist.maxSafe.items())
+                spread << (idle - value) << ":" << count << " ";
+            std::ostringstream per_prog;
+            for (const auto *prog : workload::ubenchPrograms()) {
+                const int prog_limit =
+                    characterizer.appLimit(c, idle, *prog).limit();
+                per_prog << prog->name << "=" << prog_limit << " ";
+            }
+            table.addRow({chip->core(c).name(), std::to_string(idle),
+                          std::to_string(dist.limit()), spread.str(),
+                          per_prog.str()});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\ncores requiring uBench rollback: " << rollback_cores
+              << " (paper: six). All three programs show similar "
+                 "limits per core.\n";
+    return 0;
+}

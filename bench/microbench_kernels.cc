@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot kernels:
+ * PDN integration step, CPM evaluation, DPLL update, full engine
+ * step, analytic steady-state solve, and a complete per-core
+ * characterization. These bound the cost of engine-mode studies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chip/chip.h"
+#include "core/characterizer.h"
+#include "core/manager.h"
+#include "sim/sim_engine.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+using namespace atmsim;
+
+namespace {
+
+chip::Chip &
+referenceChip()
+{
+    static chip::Chip chip(variation::makeReferenceChip(0));
+    return chip;
+}
+
+void
+BM_PdnStep(benchmark::State &state)
+{
+    pdn::PdnNetwork net(pdn::PdnParams{}, pdn::Vrm(1.273, 0.3e-3), 8);
+    std::vector<double> loads(8, 6.0);
+    net.settle(loads, 10.0);
+    for (auto _ : state) {
+        net.step(0.2e-9, loads, 10.0);
+        benchmark::DoNotOptimize(net.gridV());
+    }
+}
+BENCHMARK(BM_PdnStep);
+
+void
+BM_CpmBankWorstCount(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    const auto &bank = chip.core(0).cpmBank();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bank.worstCount(217.4, 1.24, 48.0));
+    }
+}
+BENCHMARK(BM_CpmBankWorstCount);
+
+void
+BM_DpllObserve(benchmark::State &state)
+{
+    dpll::Dpll loop;
+    loop.reset(217.4);
+    double now = 0.0;
+    for (auto _ : state) {
+        loop.observe(now, 4);
+        now += 0.2;
+        benchmark::DoNotOptimize(loop.periodPs());
+    }
+}
+BENCHMARK(BM_DpllObserve);
+
+void
+BM_EngineStep(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    const auto &gcc = workload::findWorkload("gcc");
+    chip.assignWorkload(0, &gcc);
+    // Amortize engine setup over a fixed-length run per iteration.
+    for (auto _ : state) {
+        sim::SimEngine engine(&chip);
+        benchmark::DoNotOptimize(engine.run(0.1).durationNs);
+    }
+    state.SetItemsProcessed(state.iterations() * 500); // steps per run
+    chip.clearAssignments();
+}
+BENCHMARK(BM_EngineStep)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SteadyStateSolve(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    const auto &lu = workload::findWorkload("lu_cb");
+    for (int c = 0; c < chip.coreCount(); ++c)
+        chip.assignWorkload(c, &lu);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chip.solveSteadyState().chipPowerW);
+    }
+    chip.clearAssignments();
+}
+BENCHMARK(BM_SteadyStateSolve);
+
+void
+BM_CharacterizeCoreAnalytic(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    core::Characterizer characterizer(&chip);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(characterizer.characterizeCore(0).worst);
+    }
+}
+BENCHMARK(BM_CharacterizeCoreAnalytic)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CharacterizeChipAnalytic(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    core::Characterizer characterizer(&chip);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            characterizer.characterizeChip().cores.size());
+    }
+}
+BENCHMARK(BM_CharacterizeChipAnalytic)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ManagerScenarioEvaluate(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    core::Characterizer characterizer(&chip);
+    static core::AtmManager manager(&chip,
+                                    characterizer.characterizeChip());
+    core::ScheduleRequest req;
+    req.critical = &workload::findWorkload("squeezenet");
+    req.background = &workload::findWorkload("swaptions");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            manager.evaluate(core::Scenario::ManagedBalanced, req)
+                .criticalPerf);
+    }
+    chip.clearAssignments();
+}
+BENCHMARK(BM_ManagerScenarioEvaluate)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deployment-at-scale study (extends the paper): run the complete
+ * fine-tuning pipeline over a population of randomly manufactured
+ * chips and report how much inter-core variation the method exposes
+ * across the process distribution -- the paper's two measured parts
+ * are individual draws from this population.
+ */
+
+#include <iostream>
+
+#include "core/population.h"
+#include "util/table.h"
+
+using namespace atmsim;
+
+int
+main()
+{
+    std::cout << "\n=== Population study ===\n"
+              << "Fine-tuning pipeline over 24 randomly manufactured "
+                 "chips (192 cores).\n\n";
+
+    const core::PopulationStats stats = core::studyPopulation();
+
+    util::TextTable table;
+    table.setHeader({"quantity", "mean", "min", "max"});
+    table.addRow({"idle limit (steps)",
+                  util::fmtFixed(stats.idleLimitSteps.mean(), 1),
+                  std::to_string(stats.idleLimitSteps.minValue()),
+                  std::to_string(stats.idleLimitSteps.maxValue())});
+    table.addRow({"idle-limit frequency (MHz)",
+                  util::fmtInt(stats.idleLimitMhz.mean()),
+                  util::fmtInt(stats.idleLimitMhz.min()),
+                  util::fmtInt(stats.idleLimitMhz.max())});
+    table.addRow({"deployable (thread-worst) frequency (MHz)",
+                  util::fmtInt(stats.worstLimitMhz.mean()),
+                  util::fmtInt(stats.worstLimitMhz.min()),
+                  util::fmtInt(stats.worstLimitMhz.max())});
+    table.addRow({"per-chip speed differential (MHz)",
+                  util::fmtInt(stats.differentialMhz.mean()),
+                  util::fmtInt(stats.differentialMhz.min()),
+                  util::fmtInt(stats.differentialMhz.max())});
+    table.addRow({"robust cores per chip",
+                  util::fmtFixed(stats.robustCores.mean(), 1),
+                  util::fmtInt(stats.robustCores.min()),
+                  util::fmtInt(stats.robustCores.max())});
+    table.print(std::cout);
+
+    std::cout << "\nchips with a >=200 MHz deployed differential: "
+              << util::fmtPercent(stats.fracAbove200Mhz())
+              << " -- the paper's headline differential is typical of "
+                 "the process, not a property of its two parts.\n"
+              << "median differential: "
+              << util::fmtInt(util::percentile(stats.differentials, 50))
+              << " MHz; p90: "
+              << util::fmtInt(util::percentile(stats.differentials, 90))
+              << " MHz\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Voltage-noise explorer: run the detailed engine with a di/dt-heavy
+ * workload, record the core's supply voltage and clock frequency over
+ * time, and draw both waveforms -- the first droop and the DPLL's
+ * response are visible directly.
+ *
+ *   ./noise_explorer [workload] [reduction]
+ *   e.g. ./noise_explorer x264 5
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "chip/chip.h"
+#include "sim/sim_engine.h"
+#include "sim/telemetry.h"
+#include "util/ascii_plot.h"
+#include "util/table.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+using namespace atmsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload_name = argc > 1 ? argv[1] : "x264";
+    const int reduction = argc > 2 ? std::atoi(argv[2]) : 0;
+    if (!workload::hasWorkload(workload_name)) {
+        std::cerr << "unknown workload '" << workload_name << "'\n";
+        return 1;
+    }
+
+    chip::Chip chip(variation::makeReferenceChip(0));
+    const auto &traits = workload::findWorkload(workload_name);
+    chip.assignWorkload(0, &traits);
+    chip.core(0).setCpmReduction(reduction);
+
+    std::cout << "Running " << workload_name << " on "
+              << chip.core(0).name() << " at CPM reduction " << reduction
+              << " for 4 us of detailed simulation...\n";
+
+    sim::TelemetryRecorder telemetry(chip.coreCount());
+    sim::SimConfig config;
+    config.stopOnViolation = false;
+    config.statsCadence = 5;
+    sim::SimEngine engine(&chip, config);
+    engine.setProbe([&](double now_ns, int core, double f_mhz,
+                        double v) {
+        telemetry.record(now_ns, core, f_mhz, v);
+    });
+    const sim::RunResult result = engine.run(4.0);
+
+    std::vector<double> t_us, volts, freqs;
+    for (const auto &sample : telemetry.series(0)) {
+        t_us.push_back(sample.timeNs / 1000.0);
+        volts.push_back(sample.voltageV * 1000.0); // mV
+        freqs.push_back(sample.freqMhz);
+    }
+
+    util::AsciiPlot vplot(72, 14);
+    vplot.addSeries("core voltage", t_us, volts, '*');
+    vplot.setLabels("time (us)", "mV");
+    vplot.print(std::cout);
+    std::cout << "\n";
+
+    util::AsciiPlot fplot(72, 14);
+    fplot.addSeries("core frequency", t_us, freqs, '+');
+    fplot.setLabels("time (us)", "MHz");
+    fplot.print(std::cout);
+
+    std::cout << "\nsliding-window average frequency (the off-chip "
+                 "controller's input): "
+              << util::fmtInt(telemetry.windowAvgFreqMhz(0, 2000.0))
+              << " MHz over the last 2 us\n";
+    std::cout << "run summary: mean frequency "
+              << util::fmtInt(result.meanFreqMhz(0)) << " MHz, min core "
+              << "voltage "
+              << util::fmtInt(result.coreStats[0].minVoltageV * 1000.0)
+              << " mV, DPLL emergencies "
+              << result.coreStats[0].emergencies << ", violations "
+              << result.violations.size() << "\n";
+    if (!result.violations.empty()) {
+        std::cout << "first violation at "
+                  << util::fmtFixed(result.violations.front().timeNs
+                                    / 1000.0, 2)
+                  << " us ("
+                  << sim::failureKindName(result.violations.front().kind)
+                  << ") -- this CPM setting is past the core's limit "
+                     "for this workload.\n";
+    }
+    return 0;
+}

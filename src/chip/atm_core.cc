@@ -1,0 +1,145 @@
+#include "chip/atm_core.h"
+
+#include <algorithm>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace atmsim::chip {
+
+const char *
+coreModeName(CoreMode mode)
+{
+    switch (mode) {
+      case CoreMode::AtmOverclock: return "atm";
+      case CoreMode::FixedFrequency: return "fixed";
+      case CoreMode::Gated: return "gated";
+    }
+    return "?";
+}
+
+AtmCore::AtmCore(const variation::CoreSiliconParams *silicon,
+                 const circuit::DelayModel *model,
+                 const dpll::DpllParams &dpll_params)
+    : silicon_(silicon), model_(model), bank_(silicon, model),
+      dpll_(dpll_params), fixedMhz_(circuit::kStaticMarginMhz)
+{
+    if (!silicon || !model)
+        util::panic("AtmCore constructed with null silicon or model");
+    bank_.setReduction(0);
+    dpll_.reset(util::mhzToPs(circuit::kDefaultAtmIdleMhz));
+}
+
+void
+AtmCore::setMode(CoreMode mode)
+{
+    mode_ = mode;
+}
+
+void
+AtmCore::setFixedFrequencyMhz(double f_mhz)
+{
+    if (f_mhz <= 0.0)
+        util::fatal("fixed frequency must be positive, got ", f_mhz);
+    fixedMhz_ = f_mhz;
+}
+
+void
+AtmCore::setCpmReduction(int steps)
+{
+    bank_.setReduction(steps);
+}
+
+void
+AtmCore::resetClock(double v, double t_c)
+{
+    dpll_.reset(util::mhzToPs(steadyFrequencyMhz(v, t_c)));
+    vSlow_ = v;
+    vSlowValid_ = true;
+}
+
+void
+AtmCore::stepControl(double now_ns, double v, double t_c)
+{
+    // Track the slow (post-transient) local voltage; the gap between
+    // it and the instantaneous voltage is the droop excursion.
+    if (!vSlowValid_) {
+        vSlow_ = v;
+        vSlowValid_ = true;
+    } else {
+        constexpr double alpha = 0.0015; // ~150 ns at 0.2 ns steps
+        vSlow_ += alpha * (v - vSlow_);
+    }
+
+    if (mode_ != CoreMode::AtmOverclock)
+        return;
+    const int margin = bank_.worstCount(dpll_.periodPs(), v, t_c);
+    dpll_.observe(now_ns, margin);
+}
+
+bool
+AtmCore::timingMet(double v, double t_c, double extra_path_ps,
+                   double noise_ps) const
+{
+    if (mode_ == CoreMode::Gated)
+        return true;
+    return timingDeficitPs(v, t_c, extra_path_ps, noise_ps) <= 0.0;
+}
+
+double
+AtmCore::timingDeficitPs(double v, double t_c, double extra_path_ps,
+                         double noise_ps) const
+{
+    // The real paths see the droop excursion amplified by the core's
+    // local vulnerability (local grid and response effects the shared
+    // node does not capture).
+    double v_eff = v;
+    if (vSlowValid_) {
+        v_eff = vSlow_
+              - silicon_->didtVulnerability * (vSlow_ - v);
+        v_eff = std::max(v_eff, 0.6);
+    }
+    const double real = silicon_->speedFactor
+                      * model_->factor(v_eff, t_c)
+                      * (silicon_->realPathIdlePs + extra_path_ps)
+                      + noise_ps;
+    return real - periodPs();
+}
+
+double
+AtmCore::periodPs() const
+{
+    switch (mode_) {
+      case CoreMode::AtmOverclock:
+        return dpll_.periodPs();
+      case CoreMode::FixedFrequency:
+        return util::mhzToPs(fixedMhz_);
+      case CoreMode::Gated:
+        return util::mhzToPs(circuit::kPStateMinMhz);
+    }
+    util::panic("unreachable core mode");
+}
+
+double
+AtmCore::frequencyMhz() const
+{
+    return util::psToMhz(periodPs());
+}
+
+double
+AtmCore::steadyFrequencyMhz(double v, double t_c) const
+{
+    switch (mode_) {
+      case CoreMode::AtmOverclock:
+        return silicon_->atmFrequencyMhz(bank_.reduction(),
+                                         model_->factor(v, t_c));
+      case CoreMode::FixedFrequency:
+        return fixedMhz_;
+      case CoreMode::Gated:
+        return 0.0;
+    }
+    util::panic("unreachable core mode");
+}
+
+} // namespace atmsim::chip

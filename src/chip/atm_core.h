@@ -1,0 +1,142 @@
+/**
+ * @file
+ * One out-of-order core with its ATM machinery: the five-site CPM
+ * bank, the per-core DPLL, and the real timing paths the canaries
+ * protect. This is the unit the paper fine-tunes.
+ */
+
+#pragma once
+
+#include "circuit/delay_model.h"
+#include "cpm/cpm_bank.h"
+#include "dpll/dpll.h"
+#include "variation/core_silicon.h"
+
+namespace atmsim::chip {
+
+/** Operating mode of a core. */
+enum class CoreMode {
+    AtmOverclock,   ///< ATM converts reclaimed margin into frequency.
+    FixedFrequency, ///< Static timing margin at a fixed p-state.
+    Gated,          ///< Power gated (off).
+};
+
+/** Printable mode name. */
+const char *coreModeName(CoreMode mode);
+
+/** A core instance: silicon + CPM bank + DPLL. */
+class AtmCore
+{
+  public:
+    /**
+     * @param silicon Core silicon parameters (not owned; must outlive
+     *        this core).
+     * @param model Shared delay model (not owned).
+     * @param dpll_params Control-loop parameters.
+     */
+    AtmCore(const variation::CoreSiliconParams *silicon,
+            const circuit::DelayModel *model,
+            const dpll::DpllParams &dpll_params = {});
+
+    /** Core name, e.g. "P0C3". */
+    const std::string &name() const { return silicon_->name; }
+
+    // --- Configuration -------------------------------------------------
+
+    /** Set the operating mode. */
+    void setMode(CoreMode mode);
+    CoreMode mode() const { return mode_; }
+
+    /** Set the fixed frequency used in FixedFrequency mode (MHz). */
+    void setFixedFrequencyMhz(double f_mhz);
+    double fixedFrequencyMhz() const { return fixedMhz_; }
+
+    /**
+     * Program the CPM inserted-delay reduction (the fine-tuning knob).
+     * 0 restores the factory default ATM behaviour.
+     */
+    void setCpmReduction(int steps);
+    int cpmReduction() const { return bank_.reduction(); }
+
+    // --- Engine interface ----------------------------------------------
+
+    /**
+     * Reset the clock to the steady state for the given environment
+     * (used at the start of an engine run).
+     */
+    void resetClock(double v, double t_c);
+
+    /**
+     * Advance the control loop: sample the CPM bank against the
+     * current period and let the DPLL adjust.
+     *
+     * @param now_ns Simulation time.
+     * @param v Local supply voltage (V).
+     * @param t_c Local temperature (degC).
+     */
+    void stepControl(double now_ns, double v, double t_c);
+
+    /**
+     * Check whether the real critical path meets timing this instant.
+     *
+     * The transient part of the voltage excursion (relative to the
+     * slow-tracked local voltage) is amplified by the core's di/dt
+     * vulnerability: vulnerable cores' real paths see deeper local
+     * droops than the shared grid reports, which is what their larger
+     * characterization rollbacks reflect.
+     *
+     * @param v Local supply voltage (V).
+     * @param t_c Local temperature (degC).
+     * @param extra_path_ps Scenario path exposure (nominal ps).
+     * @param noise_ps This run's timing noise (ps).
+     * @return true when timing is met (no violation).
+     */
+    bool timingMet(double v, double t_c, double extra_path_ps,
+                   double noise_ps) const;
+
+    /**
+     * Signed timing deficit (ps): how far the real path misses the
+     * current period under the same model timingMet() uses. Positive
+     * means a violation.
+     */
+    double timingDeficitPs(double v, double t_c, double extra_path_ps,
+                           double noise_ps) const;
+
+    /** Current clock period (ps). */
+    double periodPs() const;
+
+    /** Current clock frequency (MHz). */
+    double frequencyMhz() const;
+
+    /** Emergency engagements since the last resetClock(). */
+    long emergencyCount() const { return dpll_.emergencyCount(); }
+
+    // --- Analytic interface --------------------------------------------
+
+    /**
+     * Steady-state frequency under the given environment, from the
+     * closed-form ATM model (or the fixed frequency / 0 when gated).
+     */
+    double steadyFrequencyMhz(double v, double t_c) const;
+
+    const variation::CoreSiliconParams &silicon() const
+    {
+        return *silicon_;
+    }
+    cpm::CpmBank &cpmBank() { return bank_; }
+    const cpm::CpmBank &cpmBank() const { return bank_; }
+
+  private:
+    const variation::CoreSiliconParams *silicon_;
+    const circuit::DelayModel *model_;
+    cpm::CpmBank bank_;
+    dpll::Dpll dpll_;
+    CoreMode mode_ = CoreMode::AtmOverclock;
+    double fixedMhz_;
+
+    /** Slow-tracked local voltage (reference for droop excursions). */
+    double vSlow_ = 0.0;
+    bool vSlowValid_ = false;
+};
+
+} // namespace atmsim::chip

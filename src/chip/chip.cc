@@ -1,0 +1,204 @@
+#include "chip/chip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::chip {
+
+double
+ChipSteadyState::minActiveFreqMhz() const
+{
+    double min_f = 0.0;
+    bool any = false;
+    for (double f : coreFreqMhz) {
+        if (f <= 0.0)
+            continue; // gated
+        min_f = any ? std::min(min_f, f) : f;
+        any = true;
+    }
+    return any ? min_f : 0.0;
+}
+
+double
+ChipSteadyState::maxFreqMhz() const
+{
+    double max_f = 0.0;
+    for (double f : coreFreqMhz)
+        max_f = std::max(max_f, f);
+    return max_f;
+}
+
+Chip::Chip(variation::ChipSilicon silicon, const ChipConfig &config)
+    : silicon_(std::move(silicon)), config_(config),
+      model_(std::make_unique<circuit::DelayModel>(
+          circuit::DelayModel::makeDefault())),
+      pdn_(config.pdnParams,
+           pdn::Vrm(config.vrmSetpointV, config.vrmLoadLineOhm),
+           static_cast<int>(silicon_.cores.size())),
+      thermal_(config.thermalParams,
+               static_cast<int>(silicon_.cores.size())),
+      power_(config.powerParams)
+{
+    silicon_.validate();
+    cores_.reserve(silicon_.cores.size());
+    for (const auto &core_silicon : silicon_.cores)
+        cores_.emplace_back(&core_silicon, model_.get(), config.dpllParams);
+    assignments_.resize(silicon_.cores.size());
+}
+
+AtmCore &
+Chip::core(int index)
+{
+    if (index < 0 || index >= coreCount())
+        util::fatal("chip ", name(), ": core index ", index,
+                    " out of range");
+    return cores_[static_cast<std::size_t>(index)];
+}
+
+const AtmCore &
+Chip::core(int index) const
+{
+    if (index < 0 || index >= coreCount())
+        util::fatal("chip ", name(), ": core index ", index,
+                    " out of range");
+    return cores_[static_cast<std::size_t>(index)];
+}
+
+void
+Chip::assignWorkload(int core_index, const workload::WorkloadTraits *traits,
+                     int threads)
+{
+    if (core_index < 0 || core_index >= coreCount())
+        util::fatal("assignWorkload: core ", core_index, " out of range");
+    CoreAssignment &slot =
+        assignments_[static_cast<std::size_t>(core_index)];
+    if (!traits) {
+        slot = CoreAssignment{};
+        return;
+    }
+    slot.traits = traits;
+    slot.threads = threads > 0 ? threads : traits->defaultThreads;
+    if (slot.threads > circuit::kSmtWays)
+        util::fatal("assignWorkload: ", slot.threads, " threads exceed SMT",
+                    circuit::kSmtWays);
+}
+
+void
+Chip::clearAssignments()
+{
+    for (auto &slot : assignments_)
+        slot = CoreAssignment{};
+}
+
+const CoreAssignment &
+Chip::assignment(int core_index) const
+{
+    if (core_index < 0 || core_index >= coreCount())
+        util::fatal("assignment: core ", core_index, " out of range");
+    return assignments_[static_cast<std::size_t>(core_index)];
+}
+
+double
+Chip::pathExposurePs(const variation::CoreSiliconParams &core,
+                     const workload::WorkloadTraits &traits)
+{
+    switch (traits.suite) {
+      case workload::Suite::Idle:
+        return 0.0;
+      case workload::Suite::UBench:
+        return core.ubenchExtraPs;
+      default:
+        return core.loadExposurePs;
+    }
+}
+
+ChipSteadyState
+Chip::solveSteadyState() const
+{
+    const int n = coreCount();
+    ChipSteadyState st;
+    st.coreFreqMhz.assign(static_cast<std::size_t>(n), 0.0);
+    st.coreVoltageV.assign(static_cast<std::size_t>(n),
+                           circuit::kVddNominal);
+    st.corePowerW.assign(static_cast<std::size_t>(n), 0.0);
+    st.coreTempC.assign(static_cast<std::size_t>(n),
+                        circuit::kTempNominalC);
+
+    // Initial guess: nominal environment.
+    for (int c = 0; c < n; ++c) {
+        st.coreFreqMhz[static_cast<std::size_t>(c)] =
+            core(c).steadyFrequencyMhz(circuit::kVddNominal,
+                                       circuit::kTempNominalC);
+    }
+
+    for (int iter = 0; iter < 60; ++iter) {
+        // Power from the current frequency/voltage/temperature guess.
+        double total_power = 0.0;
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const CoreAssignment &slot = assignments_[ci];
+            double p;
+            if (core(c).mode() == CoreMode::Gated) {
+                p = 0.25; // gated residual
+            } else {
+                const double activity = slot.idle()
+                    ? 0.0
+                    : slot.traits->coreActivityW(slot.threads)
+                          * slot.traits->avgActivityScale();
+                p = power_.coreTotalW(activity, st.coreFreqMhz[ci],
+                                      st.coreVoltageV[ci],
+                                      st.coreTempC[ci]);
+            }
+            st.corePowerW[ci] = p;
+            total_power += p;
+        }
+        const double grid_guess = st.gridVoltageV > 0.0
+                                ? st.gridVoltageV
+                                : config_.vrmSetpointV;
+        const double uncore = power_.uncoreW(grid_guess);
+        total_power += uncore;
+        st.chipPowerW = total_power;
+
+        // Voltages from the DC PDN solution.
+        const double total_current =
+            power::PowerModel::currentA(total_power, grid_guess);
+        st.gridVoltageV = pdn_.dcGridV(total_current);
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const double core_current = power::PowerModel::currentA(
+                st.corePowerW[ci], st.gridVoltageV);
+            st.coreVoltageV[ci] = st.gridVoltageV
+                                - config_.pdnParams.coreLocalResOhm
+                                * core_current;
+        }
+
+        // Temperatures from the thermal steady state.
+        st.packageTempC = config_.thermalParams.ambientC
+                        + config_.thermalParams.packageResKpW * total_power;
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            st.coreTempC[ci] = st.packageTempC
+                             + config_.thermalParams.coreResKpW
+                             * st.corePowerW[ci];
+        }
+
+        // Frequencies from the ATM steady state; check convergence.
+        double max_delta = 0.0;
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const double f = core(c).steadyFrequencyMhz(
+                st.coreVoltageV[ci], st.coreTempC[ci]);
+            max_delta = std::max(max_delta,
+                                 std::abs(f - st.coreFreqMhz[ci]));
+            st.coreFreqMhz[ci] = f;
+        }
+        if (max_delta < 0.01)
+            break;
+    }
+    return st;
+}
+
+} // namespace atmsim::chip

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * One processor chip: eight AtmCores over a shared power delivery
+ * network, thermal stack and power model, plus workload assignments.
+ * Provides the analytic steady-state solver (the closed-form
+ * counterpart of a long engine run) used by the predictors and the
+ * scheduler.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chip/atm_core.h"
+#include "circuit/delay_model.h"
+#include "pdn/pdn_network.h"
+#include "power/power_model.h"
+#include "thermal/thermal_model.h"
+#include "variation/core_silicon.h"
+#include "workload/workload.h"
+
+namespace atmsim::chip {
+
+/** Electrical, thermal and control configuration of a chip. */
+struct ChipConfig
+{
+    pdn::PdnParams pdnParams;
+    thermal::ThermalParams thermalParams;
+    power::PowerParams powerParams;
+    dpll::DpllParams dpllParams;
+
+    /**
+     * VRM setpoint (V). Slightly above the nominal 1.25 V so that the
+     * idle IR drop lands the cores at the nominal voltage, matching
+     * the paper's 4.2 GHz p-state operating point.
+     */
+    double vrmSetpointV = 1.267;
+
+    /** VRM load-line resistance (ohm). */
+    double vrmLoadLineOhm = 0.22e-3;
+};
+
+/** Workload assignment of one core. */
+struct CoreAssignment
+{
+    const workload::WorkloadTraits *traits = nullptr; ///< null = idle
+    int threads = 0;
+
+    bool idle() const { return traits == nullptr || threads == 0; }
+};
+
+/** Steady-state operating point of a chip. */
+struct ChipSteadyState
+{
+    std::vector<double> coreFreqMhz;
+    std::vector<double> coreVoltageV;
+    std::vector<double> corePowerW;
+    std::vector<double> coreTempC;
+    double gridVoltageV = 0.0;
+    double chipPowerW = 0.0;
+    double packageTempC = 0.0;
+
+    /** Frequency of the slowest non-gated core (MHz). */
+    double minActiveFreqMhz() const;
+
+    /** Frequency of the fastest core (MHz). */
+    double maxFreqMhz() const;
+};
+
+/** A processor chip. */
+class Chip
+{
+  public:
+    /**
+     * @param silicon Per-core silicon parameters (copied in).
+     * @param config Chip configuration.
+     */
+    explicit Chip(variation::ChipSilicon silicon,
+                  const ChipConfig &config = {});
+
+    Chip(const Chip &) = delete;
+    Chip &operator=(const Chip &) = delete;
+
+    /** Chip name ("P0", "P1", ...). */
+    const std::string &name() const { return silicon_.name; }
+
+    int coreCount() const { return static_cast<int>(cores_.size()); }
+    AtmCore &core(int index);
+    const AtmCore &core(int index) const;
+
+    /** Per-core silicon. */
+    const variation::ChipSilicon &silicon() const { return silicon_; }
+
+    // --- Workload placement --------------------------------------------
+
+    /**
+     * Assign a workload to a core.
+     *
+     * @param core_index Core to run on.
+     * @param traits Workload (nullptr to idle the core).
+     * @param threads SMT threads (0 uses the workload's default).
+     */
+    void assignWorkload(int core_index,
+                        const workload::WorkloadTraits *traits,
+                        int threads = 0);
+
+    /** Idle all cores. */
+    void clearAssignments();
+
+    const CoreAssignment &assignment(int core_index) const;
+
+    // --- Analytics ------------------------------------------------------
+
+    /**
+     * Solve the coupled frequency/voltage/power/temperature fixed
+     * point for the current assignments and core configurations.
+     * This is the closed-form steady state an engine run converges
+     * to between di/dt events.
+     */
+    ChipSteadyState solveSteadyState() const;
+
+    // --- Shared infrastructure -------------------------------------------
+
+    pdn::PdnNetwork &pdn() { return pdn_; }
+    const pdn::PdnNetwork &pdn() const { return pdn_; }
+    thermal::ThermalModel &thermal() { return thermal_; }
+    const power::PowerModel &powerModel() const { return power_; }
+    const circuit::DelayModel &delayModel() const { return *model_; }
+    const ChipConfig &config() const { return config_; }
+
+    /**
+     * Scenario path exposure of a workload on a core: which of the
+     * core's manufactured exposures the workload's instruction stream
+     * activates (none when idle, the uBench exposure for uBench, the
+     * full load exposure for realistic workloads and stressmarks).
+     */
+    static double pathExposurePs(const variation::CoreSiliconParams &core,
+                                 const workload::WorkloadTraits &traits);
+
+  private:
+    variation::ChipSilicon silicon_;
+    ChipConfig config_;
+    std::unique_ptr<circuit::DelayModel> model_;
+    std::vector<AtmCore> cores_;
+    std::vector<CoreAssignment> assignments_;
+    pdn::PdnNetwork pdn_;
+    thermal::ThermalModel thermal_;
+    power::PowerModel power_;
+};
+
+} // namespace atmsim::chip

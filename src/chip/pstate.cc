@@ -1,0 +1,44 @@
+#include "chip/pstate.h"
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::chip {
+
+const std::vector<double> &
+pstateTableMhz()
+{
+    static const std::vector<double> table = [] {
+        std::vector<double> t;
+        for (double f = circuit::kStaticMarginMhz;
+             f >= circuit::kPStateMinMhz - 1.0; f -= 300.0) {
+            t.push_back(f);
+        }
+        return t;
+    }();
+    return table;
+}
+
+double
+highestPStateMhz()
+{
+    return pstateTableMhz().front();
+}
+
+double
+lowestPStateMhz()
+{
+    return pstateTableMhz().back();
+}
+
+double
+pstateAtOrBelowMhz(double f_mhz)
+{
+    for (double f : pstateTableMhz()) {
+        if (f <= f_mhz + 1e-9)
+            return f;
+    }
+    return lowestPStateMhz();
+}
+
+} // namespace atmsim::chip

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * DVFS p-state table. The POWER7+ exposes coarse-grained p-states
+ * from 2.1 to 4.2 GHz; ATM fine-tunes around the top p-state. In our
+ * overclocking-only configuration V_dd is shared and fixed at the top
+ * p-state voltage, so a p-state is a per-core frequency cap (this is
+ * the throttling knob of Sec. VII-C).
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace atmsim::chip {
+
+/** @return P-state frequencies in MHz, highest first. */
+const std::vector<double> &pstateTableMhz();
+
+/** Highest (nominal) p-state frequency (MHz). */
+double highestPStateMhz();
+
+/** Lowest p-state frequency (MHz). */
+double lowestPStateMhz();
+
+/** Closest p-state at or below the requested frequency (MHz). */
+double pstateAtOrBelowMhz(double f_mhz);
+
+} // namespace atmsim::chip

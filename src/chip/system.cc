@@ -1,0 +1,61 @@
+#include "chip/system.h"
+
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::chip {
+
+System::System(std::vector<variation::ChipSilicon> chips,
+               const ChipConfig &config)
+{
+    if (chips.empty())
+        util::fatal("system needs at least one chip");
+    for (auto &silicon : chips)
+        chips_.push_back(std::make_unique<Chip>(std::move(silicon), config));
+}
+
+System
+System::makeReference(const ChipConfig &config)
+{
+    return System(variation::makeReferenceServer(), config);
+}
+
+Chip &
+System::chip(int index)
+{
+    if (index < 0 || index >= chipCount())
+        util::fatal("chip index ", index, " out of range");
+    return *chips_[static_cast<std::size_t>(index)];
+}
+
+const Chip &
+System::chip(int index) const
+{
+    if (index < 0 || index >= chipCount())
+        util::fatal("chip index ", index, " out of range");
+    return *chips_[static_cast<std::size_t>(index)];
+}
+
+int
+System::totalCores() const
+{
+    int total = 0;
+    for (const auto &c : chips_)
+        total += c->coreCount();
+    return total;
+}
+
+std::pair<int, int>
+System::findCore(const std::string &name) const
+{
+    for (int p = 0; p < chipCount(); ++p) {
+        const Chip &c = chip(p);
+        for (int i = 0; i < c.coreCount(); ++i) {
+            if (c.core(i).name() == name)
+                return {p, i};
+        }
+    }
+    util::fatal("unknown core '", name, "'");
+}
+
+} // namespace atmsim::chip

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The two-socket server: a pair of chips with independent power
+ * delivery (each socket has its own VRM), mirroring the experimental
+ * platform of Sec. II.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chip/chip.h"
+
+namespace atmsim::chip {
+
+/** The two-socket POWER7+ class server. */
+class System
+{
+  public:
+    /**
+     * @param chips Per-chip silicon (one entry per socket).
+     * @param config Shared chip configuration.
+     */
+    explicit System(std::vector<variation::ChipSilicon> chips,
+                    const ChipConfig &config = {});
+
+    /** Build the paper-calibrated reference server. */
+    static System makeReference(const ChipConfig &config = {});
+
+    int chipCount() const { return static_cast<int>(chips_.size()); }
+    Chip &chip(int index);
+    const Chip &chip(int index) const;
+
+    /** Total logical core count across sockets. */
+    int totalCores() const;
+
+    /**
+     * Locate a core by its global name ("P1C3"); fatal() if unknown.
+     *
+     * @return (chip index, core index).
+     */
+    std::pair<int, int> findCore(const std::string &name) const;
+
+  private:
+    std::vector<std::unique_ptr<Chip>> chips_;
+};
+
+} // namespace atmsim::chip

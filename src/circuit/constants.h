@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared physical and platform constants for the simulated POWER7+
+ * class server. Magnitudes are chosen to match the numbers reported in
+ * the paper (Sec. II and Sec. VII): 1.25 V top p-state at 4.2 GHz,
+ * default ATM idle near 4.6 GHz, fine-tuned idle limits up to about
+ * 5.2 GHz, roughly 2 MHz of frequency lost per watt of chip power.
+ */
+
+#pragma once
+
+namespace atmsim::circuit {
+
+/** Nominal supply voltage of the 4.2 GHz p-state (V). */
+constexpr double kVddNominal = 1.25;
+
+/** Nominal die temperature for delay normalization (degC). */
+constexpr double kTempNominalC = 45.0;
+
+/** Chip-wide static-margin frequency: the 4.2 GHz p-state (MHz). */
+constexpr double kStaticMarginMhz = 4200.0;
+
+/** Lowest DVFS p-state frequency (MHz). */
+constexpr double kPStateMinMhz = 2100.0;
+
+/** Default (factory preset) ATM idle frequency target (MHz). */
+constexpr double kDefaultAtmIdleMhz = 4600.0;
+
+/**
+ * Residual timing slack the DPLL control loop maintains above the
+ * violation threshold (ps). The loop servoes the clock period to
+ * CPM-observed delay plus this slack.
+ */
+constexpr double kDpllTargetSlackPs = 6.0;
+
+/** Time quantum of one CPM output inverter (ps). */
+constexpr double kInverterStepPs = 1.5;
+
+/** Alpha-power-law threshold voltage (V). */
+constexpr double kVth = 0.35;
+
+/** Alpha-power-law velocity-saturation exponent. */
+constexpr double kAlpha = 1.3;
+
+/** Fractional delay increase per degC above nominal. */
+constexpr double kTempDelayCoeffPerC = 3.0e-4;
+
+/** Memory nest (fabric + LLC + DRAM path) clock, fixed (MHz). */
+constexpr double kNestFrequencyMhz = 2000.0;
+
+/** Number of cores per processor chip. */
+constexpr int kCoresPerChip = 8;
+
+/** Number of processor chips in the server. */
+constexpr int kChipsPerSystem = 2;
+
+/** SMT ways per core. */
+constexpr int kSmtWays = 4;
+
+/** Number of CPM sites per core (IFU, ISU, FXU, FPU, LLC). */
+constexpr int kCpmSitesPerCore = 5;
+
+} // namespace atmsim::circuit

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Voltage- and temperature-dependent gate-delay model.
+ *
+ * Uses the alpha-power law d(V) proportional to V / (V - Vth)^alpha,
+ * normalized to 1.0 at the nominal operating point, with a weak linear
+ * temperature term. Both the CPM's synthetic paths and the core's real
+ * critical paths scale their delay with this model, which is exactly
+ * why ATM tracks environmental variation: the canary and the payload
+ * age, heat and droop together.
+ */
+
+#pragma once
+
+namespace atmsim::circuit {
+
+/** Parameterized alpha-power-law delay model. */
+class DelayModel
+{
+  public:
+    /**
+     * @param vth Threshold voltage (V).
+     * @param alpha Velocity saturation exponent.
+     * @param v_nominal Normalization voltage (factor == 1 there).
+     * @param t_nominal_c Normalization temperature (degC).
+     * @param temp_coeff Fractional delay increase per degC.
+     */
+    DelayModel(double vth, double alpha, double v_nominal,
+               double t_nominal_c, double temp_coeff);
+
+    /** Construct with the platform constants from constants.h. */
+    static DelayModel makeDefault();
+
+    /**
+     * Relative delay at (v, t) versus the nominal point.
+     *
+     * @param v Supply voltage (V); must exceed Vth.
+     * @param t_c Temperature (degC).
+     * @return Multiplicative delay factor (1.0 at nominal).
+     */
+    double factor(double v, double t_c) const;
+
+    /** Partial derivative of factor() with respect to voltage (1/V). */
+    double dFactorDv(double v, double t_c) const;
+
+    /**
+     * Local voltage sensitivity of delay: -d(ln d)/dV at (v, t), in
+     * fractional delay change per volt. Positive number (delay grows
+     * as voltage drops). About 0.64/V at the nominal point.
+     */
+    double sensitivityPerVolt(double v, double t_c) const;
+
+    /**
+     * Invert factor(): find the voltage at which the delay factor
+     * equals the target (Newton iteration).
+     *
+     * @param target Desired delay factor (> 0).
+     * @param t_c Temperature (degC).
+     */
+    double voltageForFactor(double target, double t_c) const;
+
+    double vth() const { return vth_; }
+    double vNominal() const { return vNominal_; }
+    double tNominalC() const { return tNominalC_; }
+
+  private:
+    /** Raw (unnormalized) alpha-power delay. */
+    double raw(double v) const;
+
+    double vth_;
+    double alpha_;
+    double vNominal_;
+    double tNominalC_;
+    double tempCoeff_;
+    double rawNominal_;
+};
+
+} // namespace atmsim::circuit

@@ -1,0 +1,35 @@
+#include "circuit/inverter_chain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atmsim::circuit {
+
+InverterChain::InverterChain(double step_ps, int length)
+    : stepPs_(step_ps), length_(length)
+{
+    if (step_ps <= 0.0)
+        util::fatal("inverter step must be positive, got ", step_ps);
+    if (length <= 0)
+        util::fatal("inverter chain length must be positive, got ", length);
+}
+
+int
+InverterChain::quantize(double slack_ps, double delay_factor) const
+{
+    if (slack_ps <= 0.0)
+        return 0;
+    const double effective_step = stepPs_ * delay_factor;
+    const int count = static_cast<int>(slack_ps / effective_step);
+    return std::min(count, length_);
+}
+
+double
+InverterChain::toPs(int count) const
+{
+    return static_cast<double>(std::clamp(count, 0, length_)) * stepPs_;
+}
+
+} // namespace atmsim::circuit

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The CPM's final stage: an inverter chain that quantizes the timing
+ * slack remaining after the signal clears the inserted delay and the
+ * synthetic path. The count of inverters traversed before the cycle
+ * edge is the CPM's integer output.
+ */
+
+#pragma once
+
+namespace atmsim::circuit {
+
+/** Quantizing inverter chain at the tail of a CPM. */
+class InverterChain
+{
+  public:
+    /**
+     * @param step_ps Delay of one inverter stage at nominal conditions.
+     * @param length Number of inverters in the chain (output saturates).
+     */
+    InverterChain(double step_ps, int length);
+
+    /**
+     * Quantize a slack measurement.
+     *
+     * @param slack_ps Remaining slack in the cycle (may be negative).
+     * @param delay_factor Environmental delay factor scaling the
+     *        inverter delays themselves.
+     * @return Inverter count in [0, length].
+     */
+    int quantize(double slack_ps, double delay_factor) const;
+
+    /** Convert an inverter count back to picoseconds (nominal). */
+    double toPs(int count) const;
+
+    double stepPs() const { return stepPs_; }
+    int length() const { return length_; }
+
+  private:
+    double stepPs_;
+    int length_;
+};
+
+} // namespace atmsim::circuit

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Descriptor for a timing path: a nominal delay plus the environmental
+ * scaling shared with the CPM synthetic paths.
+ */
+
+#pragma once
+
+#include "circuit/delay_model.h"
+
+namespace atmsim::circuit {
+
+/**
+ * A timing path whose delay scales with voltage/temperature via the
+ * shared DelayModel and with a per-core process speed factor.
+ */
+class PathDelay
+{
+  public:
+    PathDelay() = default;
+
+    /**
+     * @param nominal_ps Path delay at nominal V/T for a speed-1.0 core.
+     */
+    explicit PathDelay(double nominal_ps) : nominalPs_(nominal_ps) {}
+
+    /**
+     * Evaluate the path delay under given conditions.
+     *
+     * @param model Shared delay model.
+     * @param v Local supply voltage (V).
+     * @param t_c Local temperature (degC).
+     * @param speed_factor Per-core process speed multiplier
+     *        (< 1.0 means a faster-than-typical core).
+     */
+    double
+    evaluate(const DelayModel &model, double v, double t_c,
+             double speed_factor) const
+    {
+        return nominalPs_ * model.factor(v, t_c) * speed_factor;
+    }
+
+    double nominalPs() const { return nominalPs_; }
+    void setNominalPs(double ps) { nominalPs_ = ps; }
+
+  private:
+    double nominalPs_ = 0.0;
+};
+
+} // namespace atmsim::circuit

@@ -1,0 +1,220 @@
+#include "core/characterizer.h"
+
+#include <algorithm>
+
+#include "sim/sim_engine.h"
+#include "util/logging.h"
+#include "variation/calibration.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+
+int
+LimitDistribution::limit() const
+{
+    if (maxSafe.empty())
+        util::fatal("limit() on an empty distribution");
+    return static_cast<int>(maxSafe.minValue());
+}
+
+Characterizer::Characterizer(chip::Chip *target,
+                             const CharacterizerConfig &config)
+    : chip_(target), config_(config)
+{
+    if (!target)
+        util::panic("Characterizer constructed with null chip");
+    if (config_.reps < 1)
+        util::fatal("characterizer needs at least 1 repetition");
+    if (config_.reps < 8)
+        util::warn("fewer than 8 repetitions does not cover the full "
+                   "run-noise range; limits may be optimistic");
+}
+
+bool
+Characterizer::trialSafe(int core, int reduction,
+                         const workload::WorkloadTraits &traits, int rep)
+{
+    const variation::CoreSiliconParams &silicon =
+        chip_->core(core).silicon();
+    const double noise = variation::runNoisePs(silicon, rep);
+
+    if (config_.mode == CharacterizerConfig::Mode::Analytic) {
+        const double extra = variation::scenarioExtraPs(
+            silicon, chip::Chip::pathExposurePs(silicon, traits),
+            traits.droopMv);
+        return variation::analyticSafe(silicon, reduction, extra, noise);
+    }
+
+    // Engine mode: place the workload on the core under test (the
+    // virus loads every core, per the test-time procedure), program
+    // the reduction, and race the control loop for a window.
+    chip_->clearAssignments();
+    const bool chip_wide =
+        traits.stress == workload::StressClass::Virus;
+    for (int c = 0; c < chip_->coreCount(); ++c) {
+        chip_->core(c).setMode(chip::CoreMode::AtmOverclock);
+        chip_->core(c).setCpmReduction(0);
+        if (chip_wide || c == core)
+            chip_->assignWorkload(c, &traits);
+    }
+    chip_->core(core).setCpmReduction(reduction);
+
+    sim::SimConfig sim_config;
+    sim_config.runNoisePs = noise;
+    sim_config.seed = config_.seed
+                    ^ (static_cast<std::uint64_t>(core) << 32)
+                    ^ (static_cast<std::uint64_t>(reduction) << 16)
+                    ^ static_cast<std::uint64_t>(rep);
+    sim::SimEngine engine(chip_, sim_config);
+    const sim::RunResult result = engine.run(config_.engineWindowUs);
+
+    // Restore a neutral state.
+    chip_->clearAssignments();
+    chip_->core(core).setCpmReduction(0);
+
+    for (const auto &ev : result.violations) {
+        if (ev.core == core)
+            return false;
+    }
+    return true;
+}
+
+int
+Characterizer::maxSafeScan(int core, const workload::WorkloadTraits &traits,
+                           int rep, int start, int ceiling)
+{
+    // Find the largest safe reduction for this repeat. The search
+    // either starts at 0 (idle characterization) or at the previous
+    // scenario's limit and rolls back on failure (Sec. V-B).
+    if (!trialSafe(core, start, traits, rep)) {
+        int k = start;
+        while (k > 0 && !trialSafe(core, k, traits, rep))
+            --k;
+        return k;
+    }
+    int k = start;
+    while (k < ceiling && trialSafe(core, k + 1, traits, rep))
+        ++k;
+    return k;
+}
+
+LimitDistribution
+Characterizer::idleLimit(int core)
+{
+    const workload::WorkloadTraits &idle = workload::idleWorkload();
+    const int ceiling = chip_->core(core).silicon().presetSteps;
+    LimitDistribution dist;
+    for (int rep = 0; rep < config_.reps; ++rep)
+        dist.maxSafe.add(maxSafeScan(core, idle, rep, 0, ceiling));
+    return dist;
+}
+
+LimitDistribution
+Characterizer::ubenchLimit(int core, int idle_limit)
+{
+    LimitDistribution dist;
+    for (const workload::WorkloadTraits *prog :
+         workload::ubenchPrograms()) {
+        for (int rep = 0; rep < config_.reps; ++rep) {
+            // Roll back from the idle limit; uBench never explores
+            // above it (the procedure only retreats under stress).
+            dist.maxSafe.add(maxSafeScan(core, *prog, rep, idle_limit,
+                                         idle_limit));
+        }
+    }
+    return dist;
+}
+
+LimitDistribution
+Characterizer::appLimit(int core, int ubench_limit,
+                        const workload::WorkloadTraits &app)
+{
+    LimitDistribution dist;
+    for (int rep = 0; rep < config_.reps; ++rep) {
+        dist.maxSafe.add(maxSafeScan(core, app, rep, ubench_limit,
+                                     ubench_limit));
+    }
+    return dist;
+}
+
+double
+Characterizer::meanRollback(int core, int ubench_limit,
+                            const workload::WorkloadTraits &app)
+{
+    double total = 0.0;
+    for (int rep = 0; rep < config_.reps; ++rep) {
+        const int safe = maxSafeScan(core, app, rep, ubench_limit,
+                                     ubench_limit);
+        total += static_cast<double>(ubench_limit - safe);
+    }
+    return total / static_cast<double>(config_.reps);
+}
+
+CoreLimits
+Characterizer::characterizeCore(int core)
+{
+    CoreLimits limits;
+    const variation::CoreSiliconParams &silicon =
+        chip_->core(core).silicon();
+    limits.coreName = silicon.name;
+
+    LimitDistribution idle = idleLimit(core);
+    limits.idle = idle.limit();
+    limits.idleDist = idle.maxSafe;
+
+    LimitDistribution ubench = ubenchLimit(core, limits.idle);
+    limits.ubench = ubench.limit();
+    limits.ubenchDist = ubench.maxSafe;
+
+    int normal = limits.ubench;
+    int worst = limits.ubench;
+    for (const workload::WorkloadTraits *app : workload::profiledApps()) {
+        const int app_limit =
+            appLimit(core, limits.ubench, *app).limit();
+        worst = std::min(worst, app_limit);
+        if (app->stress == workload::StressClass::Light
+            || app->stress == workload::StressClass::Medium) {
+            normal = std::min(normal, app_limit);
+        }
+    }
+    limits.normal = normal;
+    limits.worst = worst;
+
+    limits.idleLimitFreqMhz = silicon.atmFrequencyMhz(limits.idle, 1.0);
+    limits.worstLimitFreqMhz = silicon.atmFrequencyMhz(limits.worst, 1.0);
+    return limits;
+}
+
+LimitTable
+Characterizer::characterizeChip()
+{
+    LimitTable table;
+    table.chipName = chip_->name();
+    for (int c = 0; c < chip_->coreCount(); ++c)
+        table.cores.push_back(characterizeCore(c));
+    return table;
+}
+
+RollbackMatrix
+Characterizer::rollbackMatrix(const LimitTable &table)
+{
+    RollbackMatrix matrix;
+    const auto apps = workload::profiledApps();
+    for (const auto *app : apps)
+        matrix.appNames.push_back(app->name);
+    for (const auto &core : table.cores)
+        matrix.coreNames.push_back(core.coreName);
+
+    matrix.meanRollback.resize(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        auto &row = matrix.meanRollback[a];
+        row.resize(table.cores.size(), 0.0);
+        for (std::size_t c = 0; c < table.cores.size(); ++c) {
+            row[c] = meanRollback(static_cast<int>(c),
+                                  table.cores[c].ubench, *apps[a]);
+        }
+    }
+    return matrix;
+}
+
+} // namespace atmsim::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The systematic ATM characterization procedure of Sec. III-B /
+ * Fig. 6: per core, from the simplest scenario to the most complex --
+ * system idle, then uBench (coremark, daxpy, stream), then realistic
+ * single-threaded workloads -- with repeated runs per configuration to
+ * build distributions of the most aggressive safe CPM setting.
+ *
+ * Two execution modes:
+ *  - Analytic: closed-form safety decision (fast; used by the
+ *    benchmark harnesses and the management layer), and
+ *  - Engine: full time-stepped simulation with di/dt events racing
+ *    the DPLL (slow; validates the analytic mode).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "chip/chip.h"
+#include "core/limit_table.h"
+#include "workload/workload.h"
+
+namespace atmsim::core {
+
+/** Characterization settings. */
+struct CharacterizerConfig
+{
+    /** Execution mode. */
+    enum class Mode { Analytic, Engine };
+    Mode mode = Mode::Analytic;
+
+    /**
+     * Repeated runs per configuration. Eight stratified repeats cover
+     * the whole run-noise range (see variation::runNoisePs).
+     */
+    int reps = 8;
+
+    /** Engine-mode run window per trial (us). */
+    double engineWindowUs = 6.0;
+
+    /** Engine-mode random seed base. */
+    std::uint64_t seed = 2024;
+};
+
+/** Distribution of per-run max-safe configurations for one scenario. */
+struct LimitDistribution
+{
+    util::IntHistogram maxSafe;
+
+    /** The scenario limit: the most conservative run's outcome. */
+    int limit() const;
+};
+
+/** Runs the Fig. 6 characterization methodology on one chip. */
+class Characterizer
+{
+  public:
+    /**
+     * @param target Chip to characterize (not owned). Engine mode
+     *        mutates its assignments and CPM settings during trials
+     *        and restores reduction 0 / idle assignments afterwards.
+     * @param config Settings.
+     */
+    Characterizer(chip::Chip *target, const CharacterizerConfig &config = {});
+
+    /**
+     * Single trial: is this CPM delay reduction safe for this
+     * workload on this core in repetition rep?
+     */
+    bool trialSafe(int core, int reduction,
+                   const workload::WorkloadTraits &traits, int rep);
+
+    /** Step 1: idle-limit distribution (Fig. 7). */
+    LimitDistribution idleLimit(int core);
+
+    /**
+     * Step 2: uBench limit, starting from the idle limit and rolling
+     * back on failure (Fig. 8). The limit is the most conservative
+     * outcome across the three uBench programs and all repeats.
+     */
+    LimitDistribution ubenchLimit(int core, int idle_limit);
+
+    /**
+     * Step 3: per-application limit, starting from the uBench limit
+     * (Fig. 9).
+     */
+    LimitDistribution appLimit(int core, int ubench_limit,
+                               const workload::WorkloadTraits &app);
+
+    /**
+     * Mean CPM rollback from the uBench limit for an app on a core
+     * (one cell of Fig. 10).
+     */
+    double meanRollback(int core, int ubench_limit,
+                        const workload::WorkloadTraits &app);
+
+    /** Full characterization of one core (one Table I column). */
+    CoreLimits characterizeCore(int core);
+
+    /** Full characterization of the chip (Table I). */
+    LimitTable characterizeChip();
+
+    /** Fig. 10: rollback matrix over the profiled apps. */
+    RollbackMatrix rollbackMatrix(const LimitTable &table);
+
+    const CharacterizerConfig &config() const { return config_; }
+
+  private:
+    /** Largest safe reduction for one repeat, scanning upward. */
+    int maxSafeScan(int core, const workload::WorkloadTraits &traits,
+                    int rep, int start, int ceiling);
+
+    chip::Chip *chip_;
+    CharacterizerConfig config_;
+};
+
+} // namespace atmsim::core

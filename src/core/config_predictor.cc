@@ -1,0 +1,192 @@
+#include "core/config_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/characterizer.h"
+#include "util/logging.h"
+
+namespace atmsim::core {
+
+double
+PredictionAccuracy::exactFrac() const
+{
+    return evaluated > 0
+         ? static_cast<double>(exact) / static_cast<double>(evaluated)
+         : 0.0;
+}
+
+double
+FittedCoreModel::requiredPeriodPs(double droop_mv) const
+{
+    // Maximize a + b * droop over the feasible (a, b >= 0) set:
+    //   lo_i < a + b * D_i <= hi_i  for every probe i.
+    // The maximum of a linear objective over this 2D polygon sits at
+    // a vertex: enumerate intersections of constraint boundaries
+    // (including b = 0) and keep the best feasible point.
+    struct Line
+    {
+        // a + b * d = p
+        double d, p;
+    };
+    std::vector<Line> lines;
+    for (const auto &probe : probes) {
+        lines.push_back({probe.droopMv, probe.periodLoPs});
+        lines.push_back({probe.droopMv, probe.periodHiPs});
+    }
+
+    constexpr double eps = 1e-9;
+    auto feasible = [&](double a, double b) {
+        if (b < -eps)
+            return false;
+        for (const auto &probe : probes) {
+            const double t = a + b * probe.droopMv;
+            if (t < probe.periodLoPs - eps || t > probe.periodHiPs + eps)
+                return false;
+        }
+        return true;
+    };
+
+    double best = -1.0;
+    auto consider = [&](double a, double b) {
+        if (feasible(a, b))
+            best = std::max(best, a + std::max(b, 0.0) * droop_mv);
+    };
+
+    // Pairwise boundary intersections.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        // Intersections with b = 0: a = p_i.
+        consider(lines[i].p, 0.0);
+        for (std::size_t j = i + 1; j < lines.size(); ++j) {
+            const double dd = lines[j].d - lines[i].d;
+            if (std::abs(dd) < 1e-12)
+                continue;
+            const double b = (lines[j].p - lines[i].p) / dd;
+            const double a = lines[i].p - b * lines[i].d;
+            consider(a, b);
+        }
+    }
+    if (best < 0.0) {
+        util::fatal("config predictor: no feasible model for core ",
+                    coreName, " (inconsistent probe intervals)");
+    }
+    return best;
+}
+
+ConfigPredictor
+ConfigPredictor::fit(
+    chip::Chip *target,
+    const std::vector<const workload::WorkloadTraits *> &probes)
+{
+    if (!target)
+        util::panic("ConfigPredictor::fit with null chip");
+    if (probes.size() < 2)
+        util::fatal("config predictor needs at least two probes");
+    {
+        std::vector<double> droops;
+        for (const auto *p : probes)
+            droops.push_back(p->droopMv);
+        std::sort(droops.begin(), droops.end());
+        if (droops.front() == droops.back())
+            util::fatal("probes must span distinct droop levels");
+    }
+
+    Characterizer characterizer(target);
+    ConfigPredictor predictor;
+    predictor.chip_ = target;
+    for (int c = 0; c < target->coreCount(); ++c) {
+        const variation::CoreSiliconParams &silicon =
+            target->core(c).silicon();
+        const int idle = characterizer.idleLimit(c).limit();
+        const int ubench = characterizer.ubenchLimit(c, idle).limit();
+
+        FittedCoreModel model;
+        model.coreName = silicon.name;
+        model.ubenchLimit = ubench;
+        for (const workload::WorkloadTraits *probe : probes) {
+            const int limit =
+                characterizer.appLimit(c, ubench, *probe).limit();
+            ProbeObservation obs;
+            obs.droopMv = probe->droopMv;
+            obs.periodHiPs = silicon.atmPeriodPs(limit, 1.0);
+            // When the probe's limit equals the ceiling, the crossing
+            // may lie anywhere below; bound it loosely by one
+            // further step if available.
+            obs.periodLoPs =
+                limit + 1 <= silicon.presetSteps
+                    ? silicon.atmPeriodPs(limit + 1, 1.0)
+                    : 0.0;
+            if (limit == ubench) {
+                // The procedure never explores above the uBench
+                // ceiling: the crossing could be lower still.
+                obs.periodLoPs = 0.0;
+            }
+            model.probes.push_back(obs);
+        }
+        predictor.models_.push_back(std::move(model));
+    }
+    return predictor;
+}
+
+int
+ConfigPredictor::predictLimit(int core,
+                              const workload::WorkloadTraits &app) const
+{
+    const FittedCoreModel &model = modelFor(core);
+    const variation::CoreSiliconParams &silicon =
+        chip_->core(core).silicon();
+    const double required = model.requiredPeriodPs(app.droopMv);
+
+    int best = 0;
+    for (int k = 1; k <= model.ubenchLimit; ++k) {
+        if (silicon.atmPeriodPs(k, 1.0) < required)
+            break;
+        best = k;
+    }
+    return best;
+}
+
+const FittedCoreModel &
+ConfigPredictor::modelFor(int core) const
+{
+    if (core < 0 || core >= coreCount())
+        util::fatal("config predictor: core ", core, " out of range");
+    return models_[static_cast<std::size_t>(core)];
+}
+
+PredictionAccuracy
+evaluatePredictor(const ConfigPredictor &predictor, chip::Chip *target,
+                  const std::vector<const workload::WorkloadTraits *>
+                      &apps)
+{
+    if (!target)
+        util::panic("evaluatePredictor with null chip");
+    Characterizer characterizer(target);
+    PredictionAccuracy accuracy;
+    long gap_steps = 0;
+    for (int c = 0; c < target->coreCount(); ++c) {
+        const int ubench = predictor.modelFor(c).ubenchLimit;
+        for (const workload::WorkloadTraits *app : apps) {
+            const int predicted = predictor.predictLimit(c, *app);
+            const int actual =
+                characterizer.appLimit(c, ubench, *app).limit();
+            ++accuracy.evaluated;
+            if (predicted == actual) {
+                ++accuracy.exact;
+            } else if (predicted < actual) {
+                ++accuracy.conservative;
+                gap_steps += actual - predicted;
+            } else {
+                ++accuracy.optimistic;
+            }
+        }
+    }
+    if (accuracy.conservative > 0) {
+        accuracy.meanConservativeGap =
+            static_cast<double>(gap_steps)
+            / static_cast<double>(accuracy.conservative);
+    }
+    return accuracy;
+}
+
+} // namespace atmsim::core

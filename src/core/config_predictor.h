@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-application CPM configuration prediction -- the future work the
+ * paper defers in Sec. VII-A ("one can try to predict each
+ * application's best CPM setting on each core... such a prediction
+ * scheme demands perfect prediction accuracy because any
+ * misprediction can lead to system failure").
+ *
+ * Model: on a given core, the clock period below which an application
+ * violates is linear in the application's characteristic droop,
+ * T(D) = a + b*D (static exposure plus droop sensitivity). A probe
+ * application whose characterized limit is L does not reveal T(D_p)
+ * exactly -- only the interval (period(L+1), period(L)] it must lie
+ * in. Fitting therefore keeps the *full feasible set* of (a, b) pairs
+ * consistent with every probe's interval, and predicts with the most
+ * pessimistic feasible model for the target application's droop. The
+ * true model is feasible by construction, so the prediction can never
+ * exceed the real limit: it is conservative by construction, which is
+ * the property the paper says a deployable predictor must have.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "chip/chip.h"
+#include "workload/workload.h"
+
+namespace atmsim::core {
+
+/** One probe observation on a core: a droop level and the crossing
+ *  interval its characterized limit implies. */
+struct ProbeObservation
+{
+    double droopMv = 0.0;
+    double periodLoPs = 0.0; ///< exclusive lower crossing bound
+    double periodHiPs = 0.0; ///< inclusive upper crossing bound
+};
+
+/** Fitted per-core model: the probe constraint set. */
+struct FittedCoreModel
+{
+    std::string coreName;
+    std::vector<ProbeObservation> probes;
+    int ubenchLimit = 0; ///< prediction ceiling
+
+    /**
+     * Most pessimistic feasible required period for an application
+     * droop: max of a + b*droop over all (a, b >= 0) satisfying every
+     * probe interval.
+     */
+    double requiredPeriodPs(double droop_mv) const;
+};
+
+/** Predicts per-<app, core> CPM limits from probe characterizations. */
+class ConfigPredictor
+{
+  public:
+    /**
+     * Fit the predictor by characterizing probe applications on every
+     * core (analytic mode). At least two probes with distinct droop
+     * levels are required; more probes tighten the feasible set.
+     *
+     * @param target Chip (not owned).
+     * @param probes Probe applications, any droop order.
+     */
+    static ConfigPredictor fit(
+        chip::Chip *target,
+        const std::vector<const workload::WorkloadTraits *> &probes);
+
+    /**
+     * Predict a safe CPM reduction for an application on a core.
+     * Guaranteed not to exceed the characterized limit (conservative
+     * by construction).
+     */
+    int predictLimit(int core, const workload::WorkloadTraits &app) const;
+
+    /** The fitted per-core model. */
+    const FittedCoreModel &modelFor(int core) const;
+
+    int coreCount() const { return static_cast<int>(models_.size()); }
+
+  private:
+    chip::Chip *chip_ = nullptr;
+    std::vector<FittedCoreModel> models_;
+};
+
+/** Accuracy summary of a predictor against full characterization. */
+struct PredictionAccuracy
+{
+    int evaluated = 0;
+    int exact = 0;        ///< predicted == characterized
+    int conservative = 0; ///< predicted < characterized (safe)
+    int optimistic = 0;   ///< predicted > characterized (UNSAFE)
+
+    double exactFrac() const;
+
+    /** Mean steps of performance left on the table by conservatism. */
+    double meanConservativeGap = 0.0;
+};
+
+/**
+ * Evaluate a predictor against the characterizer over a set of apps.
+ */
+PredictionAccuracy evaluatePredictor(
+    const ConfigPredictor &predictor, chip::Chip *target,
+    const std::vector<const workload::WorkloadTraits *> &apps);
+
+} // namespace atmsim::core

@@ -1,0 +1,74 @@
+#include "core/freq_predictor.h"
+
+#include "util/logging.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+
+FreqPredictor
+FreqPredictor::fit(chip::Chip *target, int sweep_points)
+{
+    if (!target)
+        util::panic("FreqPredictor::fit with null chip");
+    if (sweep_points < 2)
+        util::fatal("frequency fit needs at least 2 sweep points");
+
+    const int n = target->coreCount();
+    std::vector<std::vector<double>> power_samples(
+        static_cast<std::size_t>(n));
+    std::vector<std::vector<double>> freq_samples(
+        static_cast<std::size_t>(n));
+
+    // Sweep the chip load from idle to all-cores-busy by adding one
+    // daxpy-loaded core per point and increasing SMT occupancy.
+    const workload::WorkloadTraits &load = workload::findWorkload("daxpy");
+    for (int point = 0; point < sweep_points; ++point) {
+        target->clearAssignments();
+        const int busy_cores = point * n / std::max(sweep_points - 1, 1);
+        const int threads = 1 + (point * 3) / std::max(sweep_points - 1, 1);
+        for (int c = 0; c < busy_cores; ++c)
+            target->assignWorkload(c, &load, threads);
+
+        const chip::ChipSteadyState st = target->solveSteadyState();
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            power_samples[ci].push_back(st.chipPowerW);
+            freq_samples[ci].push_back(st.coreFreqMhz[ci]);
+        }
+    }
+    target->clearAssignments();
+
+    FreqPredictor predictor;
+    predictor.fits_.reserve(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        predictor.fits_.push_back(
+            util::fitLine(power_samples[ci], freq_samples[ci]));
+    }
+    return predictor;
+}
+
+double
+FreqPredictor::predictMhz(int core, double chip_power_w) const
+{
+    return fitFor(core)(chip_power_w);
+}
+
+double
+FreqPredictor::powerBudgetW(int core, double required_mhz) const
+{
+    const util::LineFit &fit = fitFor(core);
+    if (fit.slope >= 0.0)
+        util::fatal("frequency model must have negative slope");
+    return (required_mhz - fit.intercept) / fit.slope;
+}
+
+const util::LineFit &
+FreqPredictor::fitFor(int core) const
+{
+    if (core < 0 || core >= coreCount())
+        util::fatal("freq predictor: core ", core, " out of range");
+    return fits_[static_cast<std::size_t>(core)];
+}
+
+} // namespace atmsim::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-core frequency predictor (Sec. VII-B, Eq. 1): under ATM, a
+ * core's steady frequency is linear in total chip power, because the
+ * dominant long-term effect is the IR voltage drop across the shared
+ * power delivery path:
+ *
+ *   f = k * (V_vrm - R * P / V_vrm) = -k' * P + b
+ *
+ * The intercept b captures the core's CPM configuration (its static
+ * fine-tuning), the slope k' the shared PDN resistance (~2 MHz/W).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "chip/chip.h"
+#include "util/linear_fit.h"
+
+namespace atmsim::core {
+
+/** Linear frequency-vs-chip-power models for every core of a chip. */
+class FreqPredictor
+{
+  public:
+    /**
+     * Fit the predictor by sweeping chip power: background load is
+     * varied across the other cores, the steady state is solved, and
+     * (chip power, core frequency) samples are regressed per core.
+     *
+     * @param target Chip with its CPM reductions already deployed
+     *        (the fit is specific to a fine-tuned configuration).
+     *        Assignments are mutated during the sweep and cleared
+     *        afterwards.
+     * @param sweep_points Number of load levels in the sweep.
+     */
+    static FreqPredictor fit(chip::Chip *target, int sweep_points = 8);
+
+    /** Predicted steady frequency of a core at a chip power (MHz). */
+    double predictMhz(int core, double chip_power_w) const;
+
+    /**
+     * Invert the model: the chip power at which a core still reaches
+     * a required frequency (W). This is the power budget the manager
+     * enforces for a QoS target (Sec. VII-C).
+     */
+    double powerBudgetW(int core, double required_mhz) const;
+
+    /** Per-core fitted line (slope MHz/W, intercept MHz, R^2). */
+    const util::LineFit &fitFor(int core) const;
+
+    int coreCount() const { return static_cast<int>(fits_.size()); }
+
+  private:
+    std::vector<util::LineFit> fits_;
+};
+
+} // namespace atmsim::core

@@ -1,0 +1,105 @@
+#include "core/governor.h"
+
+#include <algorithm>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "variation/calibration.h"
+
+namespace atmsim::core {
+
+const char *
+governorPolicyName(GovernorPolicy policy)
+{
+    switch (policy) {
+      case GovernorPolicy::StaticMargin: return "static-margin";
+      case GovernorPolicy::DefaultAtm: return "default-atm";
+      case GovernorPolicy::FineTuned: return "fine-tuned";
+      case GovernorPolicy::Aggressive: return "aggressive";
+      case GovernorPolicy::Conservative: return "conservative";
+    }
+    return "?";
+}
+
+Governor::Governor(chip::Chip *target, LimitTable limits, int rollback)
+    : chip_(target), limits_(std::move(limits)), rollback_(rollback)
+{
+    if (!target)
+        util::panic("Governor constructed with null chip");
+    if (static_cast<int>(limits_.cores.size()) != target->coreCount())
+        util::fatal("limit table size does not match the chip");
+    if (rollback < 0)
+        util::fatal("governor rollback must be non-negative");
+}
+
+std::vector<int>
+Governor::reductions(GovernorPolicy policy,
+                     const workload::WorkloadTraits *app) const
+{
+    const int n = chip_->coreCount();
+    std::vector<int> out(static_cast<std::size_t>(n), 0);
+    switch (policy) {
+      case GovernorPolicy::StaticMargin:
+      case GovernorPolicy::DefaultAtm:
+        return out;
+      case GovernorPolicy::FineTuned:
+      case GovernorPolicy::Conservative:
+        for (int c = 0; c < n; ++c) {
+            out[static_cast<std::size_t>(c)] =
+                std::max(limits_.byIndex(c).worst - rollback_, 0);
+        }
+        return out;
+      case GovernorPolicy::Aggressive: {
+        if (!app)
+            util::fatal("aggressive governor needs the application");
+        for (int c = 0; c < n; ++c) {
+            // The app's own limit: most aggressive reduction safe
+            // across the whole run-noise range, capped at the
+            // scenario ceiling established by characterization.
+            const auto &silicon = chip_->core(c).silicon();
+            const double extra = variation::scenarioExtraPs(
+                silicon, chip::Chip::pathExposurePs(silicon, *app),
+                app->droopMv);
+            const double worst_noise = silicon.idleNoiseFloorPs
+                                     + silicon.idleNoiseRangePs;
+            const int app_limit = variation::analyticMaxSafeReduction(
+                silicon, extra, worst_noise);
+            out[static_cast<std::size_t>(c)] = std::max(
+                std::min(app_limit, limits_.byIndex(c).ubench)
+                - rollback_, 0);
+        }
+        return out;
+      }
+    }
+    util::panic("unreachable governor policy");
+}
+
+void
+Governor::apply(GovernorPolicy policy, const workload::WorkloadTraits *app)
+{
+    const std::vector<int> red = reductions(policy, app);
+    for (int c = 0; c < chip_->coreCount(); ++c) {
+        chip::AtmCore &core = chip_->core(c);
+        if (policy == GovernorPolicy::StaticMargin) {
+            core.setMode(chip::CoreMode::FixedFrequency);
+            core.setFixedFrequencyMhz(circuit::kStaticMarginMhz);
+            core.setCpmReduction(0);
+        } else {
+            core.setMode(chip::CoreMode::AtmOverclock);
+            core.setCpmReduction(red[static_cast<std::size_t>(c)]);
+        }
+    }
+}
+
+std::vector<int>
+Governor::robustCores(int max_spread) const
+{
+    std::vector<int> out;
+    for (int c = 0; c < chip_->coreCount(); ++c) {
+        if (limits_.byIndex(c).rollbackSpread() <= max_spread)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace atmsim::core

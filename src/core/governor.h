@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CPM-setting governors (Sec. VII-C / Fig. 13): the user-selectable
+ * policy that decides each core's deployed ATM configuration.
+ *
+ *  - StaticMargin: ATM off; all cores at the fixed 4.2 GHz p-state.
+ *  - DefaultAtm: factory CPM presets (uniform ~4.6 GHz idle).
+ *  - FineTuned: the per-core stress-test (thread-worst) limits; the
+ *    paper's default deployment policy.
+ *  - Aggressive: the running application's own most aggressive safe
+ *    configuration per core (higher performance, application-
+ *    specific).
+ *  - Conservative: thread-worst limits, but scheduling is restricted
+ *    to the robust cores identified during characterization.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "chip/chip.h"
+#include "core/limit_table.h"
+#include "workload/workload.h"
+
+namespace atmsim::core {
+
+/** Deployment policies. */
+enum class GovernorPolicy {
+    StaticMargin,
+    DefaultAtm,
+    FineTuned,
+    Aggressive,
+    Conservative,
+};
+
+/** Printable policy name. */
+const char *governorPolicyName(GovernorPolicy policy);
+
+/** Applies deployment policies to a chip. */
+class Governor
+{
+  public:
+    /**
+     * @param target Chip to govern (not owned).
+     * @param limits Characterization results for the chip.
+     * @param rollback Extra safety rollback applied on top of the
+     *        fine-tuned limits (Sec. VII-A).
+     */
+    Governor(chip::Chip *target, LimitTable limits, int rollback = 0);
+
+    /**
+     * Compute the per-core CPM reductions a policy implies.
+     *
+     * @param policy Deployment policy.
+     * @param app Running application (required for Aggressive).
+     */
+    std::vector<int> reductions(GovernorPolicy policy,
+                                const workload::WorkloadTraits *app
+                                = nullptr) const;
+
+    /**
+     * Apply a policy: set core modes, fixed frequencies and CPM
+     * reductions on the chip.
+     */
+    void apply(GovernorPolicy policy,
+               const workload::WorkloadTraits *app = nullptr);
+
+    /**
+     * Robust cores (Sec. VI): those whose uBench-to-worst rollback
+     * spread is at most the threshold, i.e. whose control loops
+     * tolerate any application's system effects.
+     */
+    std::vector<int> robustCores(int max_spread = 1) const;
+
+    const LimitTable &limits() const { return limits_; }
+    int rollback() const { return rollback_; }
+
+  private:
+    chip::Chip *chip_;
+    LimitTable limits_;
+    int rollback_;
+};
+
+} // namespace atmsim::core

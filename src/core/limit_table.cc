@@ -1,0 +1,147 @@
+#include "core/limit_table.h"
+
+#include <exception>
+#include <string>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace atmsim::core {
+
+const CoreLimits &
+LimitTable::byIndex(int core) const
+{
+    if (core < 0 || core >= static_cast<int>(cores.size()))
+        util::fatal("limit table: core index ", core, " out of range");
+    return cores[static_cast<std::size_t>(core)];
+}
+
+const CoreLimits &
+LimitTable::byName(const std::string &name) const
+{
+    for (const auto &c : cores) {
+        if (c.coreName == name)
+            return c;
+    }
+    util::fatal("limit table: unknown core '", name, "'");
+}
+
+void
+LimitTable::print(std::ostream &os) const
+{
+    util::TextTable table;
+    std::vector<std::string> header = {"limit"};
+    for (const auto &c : cores)
+        header.push_back(c.coreName);
+    table.setHeader(header);
+
+    auto add_row = [&](const std::string &label, auto getter) {
+        std::vector<std::string> row = {label};
+        for (const auto &c : cores)
+            row.push_back(std::to_string(getter(c)));
+        table.addRow(row);
+    };
+    add_row("idle limit", [](const CoreLimits &c) { return c.idle; });
+    add_row("uBench limit", [](const CoreLimits &c) { return c.ubench; });
+    add_row("thread normal", [](const CoreLimits &c) { return c.normal; });
+    add_row("thread worst", [](const CoreLimits &c) { return c.worst; });
+    table.print(os);
+}
+
+void
+LimitTable::toCsv(std::ostream &os) const
+{
+    os << "chip,core,idle,ubench,normal,worst,idle_mhz,worst_mhz\n";
+    for (const auto &c : cores) {
+        os << chipName << ',' << c.coreName << ',' << c.idle << ','
+           << c.ubench << ',' << c.normal << ',' << c.worst << ','
+           << c.idleLimitFreqMhz << ',' << c.worstLimitFreqMhz << '\n';
+    }
+}
+
+LimitTable
+LimitTable::fromCsv(std::istream &is)
+{
+    LimitTable table;
+    std::string line;
+    if (!std::getline(is, line) || line.rfind("chip,core,", 0) != 0)
+        util::fatal("limit-table CSV: missing or bad header");
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells;
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t comma = line.find(',', start);
+            cells.push_back(line.substr(start, comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        if (cells.size() != 8)
+            util::fatal("limit-table CSV: expected 8 cells, got ",
+                        cells.size());
+        try {
+            CoreLimits c;
+            table.chipName = cells[0];
+            c.coreName = cells[1];
+            c.idle = std::stoi(cells[2]);
+            c.ubench = std::stoi(cells[3]);
+            c.normal = std::stoi(cells[4]);
+            c.worst = std::stoi(cells[5]);
+            c.idleLimitFreqMhz = std::stod(cells[6]);
+            c.worstLimitFreqMhz = std::stod(cells[7]);
+            table.cores.push_back(std::move(c));
+        } catch (const std::exception &) {
+            util::fatal("limit-table CSV: malformed row '", line, "'");
+        }
+    }
+    return table;
+}
+
+double
+RollbackMatrix::appMean(std::size_t app) const
+{
+    if (app >= meanRollback.size())
+        util::fatal("rollback matrix: app index out of range");
+    double sum = 0.0;
+    for (double v : meanRollback[app])
+        sum += v;
+    return meanRollback[app].empty()
+         ? 0.0
+         : sum / static_cast<double>(meanRollback[app].size());
+}
+
+double
+RollbackMatrix::coreMean(std::size_t core) const
+{
+    if (core >= coreNames.size())
+        util::fatal("rollback matrix: core index out of range");
+    double sum = 0.0;
+    for (const auto &row : meanRollback)
+        sum += row[core];
+    return meanRollback.empty()
+         ? 0.0
+         : sum / static_cast<double>(meanRollback.size());
+}
+
+void
+RollbackMatrix::print(std::ostream &os) const
+{
+    util::TextTable table;
+    std::vector<std::string> header = {"app \\ core"};
+    for (const auto &name : coreNames)
+        header.push_back(name);
+    header.push_back("avg");
+    table.setHeader(header);
+    for (std::size_t a = 0; a < appNames.size(); ++a) {
+        std::vector<std::string> row = {appNames[a]};
+        for (std::size_t c = 0; c < coreNames.size(); ++c)
+            row.push_back(util::fmtFixed(meanRollback[a][c], 2));
+        row.push_back(util::fmtFixed(appMean(a), 2));
+        table.addRow(row);
+    }
+    table.print(os);
+}
+
+} // namespace atmsim::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Characterization results: per-core ATM fine-tuning limits under the
+ * paper's four scenarios (Table I) plus the run-to-run distributions
+ * of Figs. 7-9.
+ */
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace atmsim::core {
+
+/** Limits of one core, in CPM delay-reduction steps from the preset. */
+struct CoreLimits
+{
+    std::string coreName;
+
+    int idle = 0;   ///< System-idle limit (Sec. IV).
+    int ubench = 0; ///< uBench limit (Sec. V).
+    int normal = 0; ///< Thread-normal: supports light/medium apps.
+    int worst = 0;  ///< Thread-worst: most conservative app limit.
+
+    /** Distribution of per-run max-safe configs under idle. */
+    util::IntHistogram idleDist;
+
+    /** Distribution of per-run max-safe configs under uBench. */
+    util::IntHistogram ubenchDist;
+
+    /** ATM frequency at the idle limit, idle conditions (MHz). */
+    double idleLimitFreqMhz = 0.0;
+
+    /** ATM frequency at the thread-worst limit, idle conditions. */
+    double worstLimitFreqMhz = 0.0;
+
+    /**
+     * Robustness (Sec. VI): immunity to CPM rollback from the uBench
+     * limit; smaller spread means the core tolerates any application.
+     */
+    int rollbackSpread() const { return ubench - worst; }
+};
+
+/** Characterization results for a whole chip. */
+struct LimitTable
+{
+    std::string chipName;
+    std::vector<CoreLimits> cores;
+
+    const CoreLimits &byIndex(int core) const;
+    const CoreLimits &byName(const std::string &name) const;
+
+    /** Render in the layout of the paper's Table I. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Serialize to CSV (one row per core: name, the four limits, the
+     * two limit frequencies). Distributions are not serialized.
+     */
+    void toCsv(std::ostream &os) const;
+
+    /**
+     * Parse a table previously written by toCsv(); fatal() on
+     * malformed input.
+     */
+    static LimitTable fromCsv(std::istream &is);
+};
+
+/**
+ * Mean CPM rollback (from the uBench limit) for every <app, core>
+ * pair: the data behind the Fig. 10 heatmap.
+ */
+struct RollbackMatrix
+{
+    std::vector<std::string> appNames;   ///< rows
+    std::vector<std::string> coreNames;  ///< columns
+    std::vector<std::vector<double>> meanRollback; ///< [app][core]
+
+    /** Mean rollback of an app across all cores (row average). */
+    double appMean(std::size_t app) const;
+
+    /** Mean rollback on a core across all apps (column average). */
+    double coreMean(std::size_t core) const;
+
+    /** Render as a text heatmap table. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace atmsim::core

@@ -1,0 +1,275 @@
+#include "core/manager.h"
+
+#include <algorithm>
+
+#include "chip/pstate.h"
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::core {
+
+const char *
+scenarioName(Scenario scenario)
+{
+    switch (scenario) {
+      case Scenario::StaticMargin: return "static-margin";
+      case Scenario::DefaultAtmUnmanaged: return "default-atm";
+      case Scenario::FineTunedUnmanaged: return "fine-tuned-unmanaged";
+      case Scenario::ManagedMax: return "managed-max";
+      case Scenario::ManagedBalanced: return "managed-balanced";
+    }
+    return "?";
+}
+
+AtmManager::AtmManager(chip::Chip *target, LimitTable limits, int rollback)
+    : chip_(target), governor_(target, std::move(limits), rollback),
+      freqPredictor_([&] {
+          // Fit the frequency model on the deployed (fine-tuned)
+          // configuration: the intercept b encodes each core's CPM
+          // setting (Eq. 1).
+          governor_.apply(GovernorPolicy::FineTuned);
+          return FreqPredictor::fit(target);
+      }())
+{
+}
+
+const PerfPredictor &
+AtmManager::perfPredictor(const workload::WorkloadTraits &traits)
+{
+    for (const auto &cached : perfCache_) {
+        if (&cached.traits() == &traits)
+            return cached;
+    }
+    perfCache_.push_back(PerfPredictor::fit(traits));
+    return perfCache_.back();
+}
+
+bool
+AtmManager::colocationAllowed(const workload::WorkloadTraits &critical,
+                              const workload::WorkloadTraits &background)
+{
+    return !(critical.memIntensive && background.memIntensive);
+}
+
+int
+AtmManager::pickCriticalCore(const ScheduleRequest &request) const
+{
+    std::vector<int> candidates;
+    if (request.policy == GovernorPolicy::Conservative) {
+        candidates = governor_.robustCores();
+        if (candidates.empty()) {
+            util::warn("no robust cores; falling back to all cores");
+        }
+    }
+    if (candidates.empty()) {
+        for (int c = 0; c < chip_->coreCount(); ++c)
+            candidates.push_back(c);
+    }
+    const std::vector<int> red =
+        governor_.reductions(request.policy, request.critical);
+    int best = candidates.front();
+    double best_f = -1.0;
+    for (int c : candidates) {
+        const double f = chip_->core(c).silicon().atmFrequencyMhz(
+            red[static_cast<std::size_t>(c)], 1.0);
+        if (f > best_f) {
+            best_f = f;
+            best = c;
+        }
+    }
+    return best;
+}
+
+void
+AtmManager::placeBackground(const ScheduleRequest &request,
+                            int critical_core)
+{
+    if (!request.background)
+        return;
+    if (!colocationAllowed(*request.critical, *request.background)) {
+        util::warn("co-locating two memory-intensive workloads (",
+                   request.critical->name, ", ",
+                   request.background->name,
+                   "); memory interference is outside this model");
+    }
+    for (int c = 0; c < chip_->coreCount(); ++c) {
+        if (c != critical_core)
+            chip_->assignWorkload(c, request.background);
+    }
+}
+
+ScenarioResult
+AtmManager::finish(Scenario scenario, const ScheduleRequest &request,
+                   int critical_core, double budget_w)
+{
+    const chip::ChipSteadyState st = chip_->solveSteadyState();
+    ScenarioResult result;
+    result.scenario = scenario;
+    result.criticalCore = critical_core;
+    result.criticalFreqMhz =
+        st.coreFreqMhz[static_cast<std::size_t>(critical_core)];
+    result.criticalPerf =
+        request.critical->perfRelative(result.criticalFreqMhz);
+    result.chipPowerW = st.chipPowerW;
+    result.powerBudgetW = budget_w;
+    result.qosMet = result.criticalPerf >= request.qosTarget - 1e-9;
+    result.backgroundCapMhz.assign(
+        static_cast<std::size_t>(chip_->coreCount()), 0.0);
+    for (int c = 0; c < chip_->coreCount(); ++c) {
+        if (c == critical_core)
+            continue;
+        const chip::AtmCore &core = chip_->core(c);
+        if (core.mode() == chip::CoreMode::FixedFrequency) {
+            result.backgroundCapMhz[static_cast<std::size_t>(c)] =
+                core.fixedFrequencyMhz();
+        } else if (core.mode() == chip::CoreMode::Gated) {
+            result.backgroundCapMhz[static_cast<std::size_t>(c)] = -1.0;
+        }
+    }
+    return result;
+}
+
+ScenarioResult
+AtmManager::evaluate(Scenario scenario, const ScheduleRequest &request)
+{
+    if (!request.critical)
+        util::fatal("schedule request has no critical workload");
+    chip_->clearAssignments();
+
+    switch (scenario) {
+      case Scenario::StaticMargin: {
+        governor_.apply(GovernorPolicy::StaticMargin);
+        const int core = 0;
+        chip_->assignWorkload(core, request.critical);
+        placeBackground(request, core);
+        return finish(scenario, request, core, 0.0);
+      }
+      case Scenario::DefaultAtmUnmanaged: {
+        governor_.apply(GovernorPolicy::DefaultAtm);
+        // Cores are uniform under the factory presets; placement does
+        // not matter, but nothing manages background power either.
+        const int core = 0;
+        chip_->assignWorkload(core, request.critical);
+        placeBackground(request, core);
+        return finish(scenario, request, core, 0.0);
+      }
+      case Scenario::FineTunedUnmanaged: {
+        governor_.apply(GovernorPolicy::FineTuned);
+        // Careless placement: the scheduler is oblivious to the
+        // exposed speed variation; model it as landing on the core of
+        // median deployed speed.
+        const std::vector<int> red =
+            governor_.reductions(GovernorPolicy::FineTuned);
+        std::vector<std::pair<double, int>> speed;
+        for (int c = 0; c < chip_->coreCount(); ++c) {
+            speed.emplace_back(chip_->core(c).silicon().atmFrequencyMhz(
+                                   red[static_cast<std::size_t>(c)], 1.0),
+                               c);
+        }
+        std::sort(speed.begin(), speed.end());
+        const int core = speed[speed.size() / 2].second;
+        chip_->assignWorkload(core, request.critical);
+        placeBackground(request, core);
+        return finish(scenario, request, core, 0.0);
+      }
+      case Scenario::ManagedMax: {
+        governor_.apply(request.policy, request.critical);
+        const int core = pickCriticalCore(request);
+        chip_->assignWorkload(core, request.critical);
+        placeBackground(request, core);
+        // Background power is minimized: lowest p-state.
+        for (int c = 0; c < chip_->coreCount(); ++c) {
+            if (c == core || chip_->assignment(c).idle())
+                continue;
+            chip_->core(c).setMode(chip::CoreMode::FixedFrequency);
+            chip_->core(c).setFixedFrequencyMhz(chip::lowestPStateMhz());
+        }
+        return finish(scenario, request, core, 0.0);
+      }
+      case Scenario::ManagedBalanced: {
+        governor_.apply(request.policy, request.critical);
+        const int core = pickCriticalCore(request);
+        chip_->assignWorkload(core, request.critical);
+        placeBackground(request, core);
+
+        // Infer the power budget that lets the critical core reach
+        // the QoS frequency (Fig. 13's predictor chain).
+        const double f_req = perfPredictor(*request.critical)
+                                 .requiredFreqMhz(request.qosTarget);
+        const double budget_w = freqPredictor_.powerBudgetW(core, f_req);
+
+        // Throttle background cores (highest power first) by one
+        // p-state at a time until the critical app meets its target;
+        // gate as the last resort. The budget tells the manager how
+        // deep the throttling will have to go; the loop verifies the
+        // outcome against the QoS goal itself.
+        for (int iter = 0; iter < 256; ++iter) {
+            const chip::ChipSteadyState st = chip_->solveSteadyState();
+            const double perf = request.critical->perfRelative(
+                st.coreFreqMhz[static_cast<std::size_t>(core)]);
+            if (perf >= request.qosTarget - 1e-9)
+                break;
+            // Find the hungriest throttleable background core.
+            int victim = -1;
+            double victim_power = 0.0;
+            bool all_floor = true;
+            for (int c = 0; c < chip_->coreCount(); ++c) {
+                if (c == core || chip_->assignment(c).idle())
+                    continue;
+                const chip::AtmCore &bg = chip_->core(c);
+                if (bg.mode() == chip::CoreMode::Gated)
+                    continue;
+                const bool at_floor =
+                    bg.mode() == chip::CoreMode::FixedFrequency
+                    && bg.fixedFrequencyMhz()
+                           <= chip::lowestPStateMhz() + 1e-9;
+                if (!at_floor)
+                    all_floor = false;
+                const double p =
+                    st.corePowerW[static_cast<std::size_t>(c)];
+                if (!at_floor && p > victim_power) {
+                    victim_power = p;
+                    victim = c;
+                }
+            }
+            if (victim < 0) {
+                if (all_floor) {
+                    // Last resort: gate the hungriest core.
+                    int gate = -1;
+                    double gate_power = 0.0;
+                    for (int c = 0; c < chip_->coreCount(); ++c) {
+                        if (c == core || chip_->assignment(c).idle())
+                            continue;
+                        if (chip_->core(c).mode()
+                            == chip::CoreMode::Gated)
+                            continue;
+                        const double p =
+                            st.corePowerW[static_cast<std::size_t>(c)];
+                        if (p > gate_power) {
+                            gate_power = p;
+                            gate = c;
+                        }
+                    }
+                    if (gate < 0)
+                        break;
+                    chip_->core(gate).setMode(chip::CoreMode::Gated);
+                    continue;
+                }
+                break;
+            }
+            chip::AtmCore &bg = chip_->core(victim);
+            if (bg.mode() == chip::CoreMode::AtmOverclock) {
+                bg.setMode(chip::CoreMode::FixedFrequency);
+                bg.setFixedFrequencyMhz(chip::highestPStateMhz());
+            } else {
+                bg.setFixedFrequencyMhz(chip::pstateAtOrBelowMhz(
+                    bg.fixedFrequencyMhz() - 1.0));
+            }
+        }
+        return finish(scenario, request, core, budget_w);
+      }
+    }
+    util::panic("unreachable scenario");
+}
+
+} // namespace atmsim::core

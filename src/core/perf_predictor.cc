@@ -1,0 +1,44 @@
+#include "core/perf_predictor.h"
+
+#include "util/logging.h"
+
+namespace atmsim::core {
+
+PerfPredictor
+PerfPredictor::fit(const workload::WorkloadTraits &traits, double f_lo_mhz,
+                   double f_hi_mhz, int points)
+{
+    if (points < 2)
+        util::fatal("performance fit needs at least 2 points");
+    if (f_lo_mhz >= f_hi_mhz)
+        util::fatal("performance fit range inverted");
+
+    std::vector<double> f, perf;
+    for (int i = 0; i < points; ++i) {
+        const double x = f_lo_mhz + (f_hi_mhz - f_lo_mhz) * i
+                       / (points - 1);
+        f.push_back(x);
+        perf.push_back(traits.perfRelative(x));
+    }
+
+    PerfPredictor predictor;
+    predictor.traits_ = &traits;
+    predictor.fit_ = util::fitLine(f, perf);
+    return predictor;
+}
+
+double
+PerfPredictor::predictPerf(double f_mhz) const
+{
+    return fit_(f_mhz);
+}
+
+double
+PerfPredictor::requiredFreqMhz(double perf_target) const
+{
+    if (fit_.slope <= 0.0)
+        util::fatal("performance model must have positive slope");
+    return (perf_target - fit_.intercept) / fit_.slope;
+}
+
+} // namespace atmsim::core

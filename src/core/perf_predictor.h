@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-application performance predictor (Sec. VII-B, Fig. 12b):
+ * application performance scales linearly with core frequency, with a
+ * slope set by the workload's memory behaviour -- compute-bound apps
+ * (x264) gain nearly 1:1, memory-bound apps (mcf) flatten because
+ * cache misses bound throughput at the fixed nest clock.
+ */
+
+#pragma once
+
+#include "util/linear_fit.h"
+#include "workload/workload.h"
+
+namespace atmsim::core {
+
+/** Linear performance-vs-frequency model of one application. */
+class PerfPredictor
+{
+  public:
+    /**
+     * Fit the model by sampling the workload's performance over the
+     * ATM frequency range.
+     *
+     * @param traits Application to model.
+     * @param f_lo_mhz Low end of the sampled range.
+     * @param f_hi_mhz High end of the sampled range.
+     * @param points Number of samples.
+     */
+    static PerfPredictor fit(const workload::WorkloadTraits &traits,
+                             double f_lo_mhz = 4200.0,
+                             double f_hi_mhz = 5200.0, int points = 11);
+
+    /** Predicted performance at a frequency, relative to the 4.2 GHz
+     *  static margin. */
+    double predictPerf(double f_mhz) const;
+
+    /**
+     * Invert the model: the frequency needed for a performance target
+     * (relative to the static margin).
+     */
+    double requiredFreqMhz(double perf_target) const;
+
+    /** The fitted line. */
+    const util::LineFit &fit() const { return fit_; }
+
+    /** The modelled application. */
+    const workload::WorkloadTraits &traits() const { return *traits_; }
+
+  private:
+    const workload::WorkloadTraits *traits_ = nullptr;
+    util::LineFit fit_;
+};
+
+} // namespace atmsim::core

@@ -1,0 +1,57 @@
+#include "core/population.h"
+
+#include <algorithm>
+
+#include "chip/chip.h"
+#include "core/characterizer.h"
+#include "util/logging.h"
+
+namespace atmsim::core {
+
+double
+PopulationStats::fracAbove200Mhz() const
+{
+    if (differentials.empty())
+        return 0.0;
+    const auto count = std::count_if(differentials.begin(),
+                                     differentials.end(),
+                                     [](double d) { return d >= 200.0; });
+    return static_cast<double>(count)
+         / static_cast<double>(differentials.size());
+}
+
+PopulationStats
+studyPopulation(const PopulationConfig &config)
+{
+    if (config.chipCount <= 0)
+        util::fatal("population needs at least one chip");
+
+    PopulationStats stats;
+    stats.chipCount = config.chipCount;
+    for (int i = 0; i < config.chipCount; ++i) {
+        const std::string name = "POP" + std::to_string(i);
+        chip::Chip chip(variation::generateChip(
+            name, config.seedBase + static_cast<std::uint64_t>(i),
+            config.generator));
+        Characterizer characterizer(&chip);
+        const LimitTable table = characterizer.characterizeChip();
+
+        double fast = 0.0, slow = 1e18;
+        int robust = 0;
+        for (const auto &core : table.cores) {
+            stats.idleLimitSteps.add(core.idle);
+            stats.idleLimitMhz.add(core.idleLimitFreqMhz);
+            stats.worstLimitMhz.add(core.worstLimitFreqMhz);
+            fast = std::max(fast, core.worstLimitFreqMhz);
+            slow = std::min(slow, core.worstLimitFreqMhz);
+            if (core.rollbackSpread() <= config.robustSpread)
+                ++robust;
+        }
+        stats.differentialMhz.add(fast - slow);
+        stats.differentials.push_back(fast - slow);
+        stats.robustCores.add(static_cast<double>(robust));
+    }
+    return stats;
+}
+
+} // namespace atmsim::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Population study: run the full fine-tuning pipeline
+ * (characterize -> stress-test -> deploy) over a population of
+ * randomly manufactured chips and aggregate the exposed variation.
+ * This supports the paper's deployment-at-scale argument: the
+ * inter-core speed differential and the supply of robust cores are
+ * properties of the process, not of the two measured parts.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+#include "variation/chip_generator.h"
+
+namespace atmsim::core {
+
+/** Configuration of a population study. */
+struct PopulationConfig
+{
+    int chipCount = 24;
+    std::uint64_t seedBase = 1000;
+    variation::ChipGeneratorConfig generator;
+
+    /** Robustness threshold (uBench-to-worst spread). */
+    int robustSpread = 1;
+};
+
+/** Aggregated population results. */
+struct PopulationStats
+{
+    int chipCount = 0;
+
+    /** Per-core idle limits (steps). */
+    util::IntHistogram idleLimitSteps;
+
+    /** Per-core idle-limit frequencies (MHz). */
+    util::RunningStats idleLimitMhz;
+
+    /** Per-core thread-worst (deployable) frequencies (MHz). */
+    util::RunningStats worstLimitMhz;
+
+    /** Per-chip deployed fastest-slowest differential (MHz). */
+    util::RunningStats differentialMhz;
+    std::vector<double> differentials;
+
+    /** Per-chip robust-core count. */
+    util::RunningStats robustCores;
+
+    /** Fraction of chips with a differential of at least 200 MHz. */
+    double fracAbove200Mhz() const;
+};
+
+/**
+ * Run the study.
+ *
+ * @param config Study parameters.
+ * @return Aggregated statistics over the population.
+ */
+PopulationStats studyPopulation(const PopulationConfig &config = {});
+
+} // namespace atmsim::core

@@ -1,0 +1,98 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "core/characterizer.h"
+#include "core/freq_predictor.h"
+#include "core/governor.h"
+#include "core/stress_test.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace atmsim::core {
+
+void
+ChipReport::print(std::ostream &os) const
+{
+    util::TextTable table;
+    table.setHeader({"core", "preset", "idle", "uBench", "normal",
+                     "worst", "deployed MHz", "k' MHz/W", "b MHz",
+                     "robust"});
+    for (const auto &core : cores) {
+        table.addRow({core.coreName, std::to_string(core.presetSteps),
+                      std::to_string(core.limits.idle),
+                      std::to_string(core.limits.ubench),
+                      std::to_string(core.limits.normal),
+                      std::to_string(core.limits.worst),
+                      util::fmtInt(core.deployedIdleMhz),
+                      util::fmtFixed(core.freqSlopeMhzPerW, 2),
+                      util::fmtInt(core.freqInterceptMhz),
+                      core.robust ? "yes" : "no"});
+    }
+    table.print(os);
+    os << "chip " << chipName << ": deployed speed differential "
+       << util::fmtInt(speedDifferentialMhz)
+       << " MHz; stress environment " << util::fmtInt(stressPowerW)
+       << " W / " << util::fmtInt(stressMaxTempC) << " degC\n";
+}
+
+void
+ChipReport::toCsv(std::ostream &os) const
+{
+    os << "chip,core,preset,idle,ubench,normal,worst,deployed_red,"
+          "deployed_mhz,slope_mhz_per_w,intercept_mhz,robust\n";
+    for (const auto &core : cores) {
+        os << chipName << ',' << core.coreName << ','
+           << core.presetSteps << ',' << core.limits.idle << ','
+           << core.limits.ubench << ',' << core.limits.normal << ','
+           << core.limits.worst << ',' << core.deployedReduction << ','
+           << core.deployedIdleMhz << ',' << core.freqSlopeMhzPerW
+           << ',' << core.freqInterceptMhz << ','
+           << (core.robust ? 1 : 0) << '\n';
+    }
+}
+
+ChipReport
+buildChipReport(chip::Chip *target, int robust_spread)
+{
+    if (!target)
+        util::panic("buildChipReport with null chip");
+
+    ChipReport report;
+    report.chipName = target->name();
+
+    Characterizer characterizer(target);
+    const LimitTable limits = characterizer.characterizeChip();
+
+    StressTester tester(target);
+    const DeployedConfig deployed = tester.deriveDeployedConfig();
+    report.speedDifferentialMhz = deployed.speedDifferentialMhz();
+    const chip::ChipSteadyState env =
+        tester.stressEnvironment(deployed.reductionPerCore);
+    report.stressPowerW = env.chipPowerW;
+    report.stressMaxTempC =
+        *std::max_element(env.coreTempC.begin(), env.coreTempC.end());
+
+    // Fit Eq. 1 on the deployed configuration.
+    Governor governor(target, limits);
+    governor.apply(GovernorPolicy::FineTuned);
+    const FreqPredictor predictor = FreqPredictor::fit(target);
+
+    for (int c = 0; c < target->coreCount(); ++c) {
+        CoreReport core;
+        core.coreName = target->core(c).name();
+        core.presetSteps = target->core(c).silicon().presetSteps;
+        core.limits = limits.byIndex(c);
+        core.deployedReduction =
+            deployed.reductionPerCore[static_cast<std::size_t>(c)];
+        core.deployedIdleMhz =
+            deployed.idleFreqMhz[static_cast<std::size_t>(c)];
+        core.freqSlopeMhzPerW = predictor.fitFor(c).slope;
+        core.freqInterceptMhz = predictor.fitFor(c).intercept;
+        core.robust = core.limits.rollbackSpread() <= robust_spread;
+        report.cores.push_back(std::move(core));
+    }
+    return report;
+}
+
+} // namespace atmsim::core

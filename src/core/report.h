@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Characterization report: a single structured summary of everything
+ * the fine-tuning pipeline learned about a chip -- limits, deployed
+ * frequencies, robustness, predictor coefficients -- renderable as
+ * text or CSV. This is what a vendor's test floor would archive per
+ * part.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "chip/chip.h"
+#include "core/limit_table.h"
+
+namespace atmsim::core {
+
+/** Per-core entry of a characterization report. */
+struct CoreReport
+{
+    std::string coreName;
+    int presetSteps = 0;
+    CoreLimits limits;
+    int deployedReduction = 0;     ///< thread-worst (stress-tested)
+    double deployedIdleMhz = 0.0;
+    double freqSlopeMhzPerW = 0.0; ///< Eq. 1 k'
+    double freqInterceptMhz = 0.0; ///< Eq. 1 b
+    bool robust = false;
+};
+
+/** Whole-chip characterization report. */
+struct ChipReport
+{
+    std::string chipName;
+    std::vector<CoreReport> cores;
+    double speedDifferentialMhz = 0.0;
+    double stressPowerW = 0.0;
+    double stressMaxTempC = 0.0;
+
+    /** Render as a text table plus summary lines. */
+    void print(std::ostream &os) const;
+
+    /** Serialize per-core rows as CSV. */
+    void toCsv(std::ostream &os) const;
+};
+
+/**
+ * Produce the full report for a chip: runs characterization, the
+ * stress-test deployment, and the frequency-predictor fit.
+ *
+ * @param target Chip to report on (assignments/settings are mutated
+ *        during the runs and left in the deployed state).
+ * @param robust_spread Robustness threshold (uBench-to-worst spread).
+ */
+ChipReport buildChipReport(chip::Chip *target, int robust_spread = 1);
+
+} // namespace atmsim::core

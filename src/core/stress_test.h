@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The test-time stress-test procedure of Sec. VII-A: iterate over the
+ * cores running worst-case stressmarks (a voltage virus that
+ * synchronously throttles issue across the chip while 32 daxpy-class
+ * threads hold power near 160 W and the die near 70 degC) to find each
+ * core's deployable ATM limit, with an optional extra rollback for an
+ * additional safety guarantee (Fig. 11).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "chip/chip.h"
+#include "core/characterizer.h"
+#include "core/limit_table.h"
+
+namespace atmsim::core {
+
+/** Deployable per-core ATM configuration found at test time. */
+struct DeployedConfig
+{
+    std::string chipName;
+    std::vector<int> reductionPerCore;
+
+    /** Idle-conditions ATM frequency of each core when deployed. */
+    std::vector<double> idleFreqMhz;
+
+    /** Fastest minus slowest deployed idle frequency (MHz). */
+    double speedDifferentialMhz() const;
+
+    /** Index of the fastest core. */
+    int fastestCore() const;
+
+    /** Index of the slowest core. */
+    int slowestCore() const;
+};
+
+/** Runs the test-time stress procedure on a chip. */
+class StressTester
+{
+  public:
+    /**
+     * @param target Chip under test (not owned).
+     * @param config Trial settings (mode, repeats).
+     */
+    StressTester(chip::Chip *target,
+                 const CharacterizerConfig &config = {});
+
+    /**
+     * Find one core's stress-test limit: the most aggressive CPM
+     * reduction that survives the combined stressmarks across all
+     * repeats.
+     */
+    int stressLimit(int core);
+
+    /**
+     * Confirm a configuration survives the stressmarks in every
+     * repeat (used to validate thread-worst deployments).
+     */
+    bool confirmSafe(int core, int reduction);
+
+    /**
+     * Full test-time procedure: find every core's limit and derive
+     * the deployable configuration.
+     *
+     * @param rollback_steps Optional extra safety rollback (Fig. 11
+     *        shows 0, 1 and 2).
+     */
+    DeployedConfig deriveDeployedConfig(int rollback_steps = 0);
+
+    /**
+     * Stress-test environment summary (chip power, die temperature)
+     * with every core running the virus at the given reductions;
+     * matches the paper's 160 W / 70 degC setup.
+     */
+    chip::ChipSteadyState stressEnvironment(
+        const std::vector<int> &reductions);
+
+  private:
+    chip::Chip *chip_;
+    Characterizer characterizer_;
+};
+
+} // namespace atmsim::core

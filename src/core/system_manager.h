@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Two-socket management: the paper evaluates on one chip (P0), but a
+ * deployed server schedules across sockets, each with its own power
+ * delivery, its own characterization and its own exposed variation.
+ * The SystemManager owns one AtmManager per chip, places a batch of
+ * critical applications on the best cores server-wide, and spreads
+ * background work across the remaining capacity.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chip/system.h"
+#include "core/manager.h"
+
+namespace atmsim::core {
+
+/** One critical job in a batch request. */
+struct CriticalJob
+{
+    const workload::WorkloadTraits *app = nullptr;
+    double qosTarget = 1.10;
+};
+
+/** Placement decision for one critical job. */
+struct JobPlacement
+{
+    int chip = -1;
+    int core = -1;
+    double predictedFreqMhz = 0.0;
+    double achievedPerf = 0.0;
+    bool qosMet = false;
+};
+
+/** Outcome of a batch schedule. */
+struct SystemScheduleResult
+{
+    std::vector<JobPlacement> placements; ///< one per critical job
+
+    /** Per-chip steady states after placement. */
+    std::vector<chip::ChipSteadyState> chipStates;
+
+    /** True when every job met its QoS target. */
+    bool allQosMet() const;
+};
+
+/** Manages a multi-chip server of fine-tuned ATM processors. */
+class SystemManager
+{
+  public:
+    /**
+     * @param server Server to manage (not owned). Every chip is
+     *        characterized and deployed at construction (fine-tuned
+     *        thread-worst configs).
+     */
+    explicit SystemManager(chip::System *server);
+
+    /**
+     * Place a batch of critical jobs on the best cores server-wide
+     * (greedy: fastest remaining deployed core first, jobs in
+     * descending QoS-difficulty order), fill the remaining cores with
+     * background work, then throttle background per chip until every
+     * resident job meets its target.
+     *
+     * @param jobs Critical jobs (at most one per core server-wide).
+     * @param background Background workload replicated on free cores
+     *        (nullptr leaves them idle).
+     */
+    SystemScheduleResult scheduleBatch(
+        const std::vector<CriticalJob> &jobs,
+        const workload::WorkloadTraits *background);
+
+    /** Per-chip manager access. */
+    AtmManager &managerFor(int chip);
+
+    /** Deployed idle frequency of a core (MHz). */
+    double deployedFreqMhz(int chip, int core) const;
+
+    int chipCount() const { return static_cast<int>(managers_.size()); }
+
+  private:
+    chip::System *server_;
+    std::vector<std::unique_ptr<AtmManager>> managers_;
+    std::vector<LimitTable> tables_;
+};
+
+} // namespace atmsim::core

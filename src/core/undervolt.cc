@@ -1,0 +1,86 @@
+#include "core/undervolt.h"
+
+#include "util/logging.h"
+
+namespace atmsim::core {
+
+double
+UndervoltResult::savingFrac() const
+{
+    if (overclockPowerW <= 0.0)
+        return 0.0;
+    return (overclockPowerW - undervoltPowerW) / overclockPowerW;
+}
+
+UndervoltController::UndervoltController(chip::Chip *target,
+                                         double target_mhz,
+                                         double vdd_floor_v)
+    : chip_(target), targetMhz_(target_mhz), vddFloorV_(vdd_floor_v)
+{
+    if (!target)
+        util::panic("UndervoltController constructed with null chip");
+    if (target_mhz <= 0.0)
+        util::fatal("frequency target must be positive, got ", target_mhz);
+    originalSetpointV_ = chip_->pdn().vrm().setpointV();
+    if (vdd_floor_v >= originalSetpointV_)
+        util::fatal("V_dd floor ", vdd_floor_v,
+                    " V at or above the current setpoint");
+}
+
+double
+UndervoltController::slowestAt(double setpoint_v) const
+{
+    chip_->pdn().vrm().setSetpointV(setpoint_v);
+    return chip_->solveSteadyState().minActiveFreqMhz();
+}
+
+UndervoltResult
+UndervoltController::solve()
+{
+    UndervoltResult result;
+    chip_->pdn().vrm().setSetpointV(originalSetpointV_);
+    const chip::ChipSteadyState overclock = chip_->solveSteadyState();
+    result.overclockPowerW = overclock.chipPowerW;
+
+    if (overclock.minActiveFreqMhz() < targetMhz_) {
+        // The chip cannot meet the target even at full voltage: the
+        // worst core limits undervolting to nothing (Sec. II).
+        util::warn("undervolt target ", targetMhz_,
+                   " MHz unreachable; keeping full V_dd");
+        result.vrmSetpointV = originalSetpointV_;
+        result.undervoltPowerW = overclock.chipPowerW;
+        result.slowestCoreMhz = overclock.minActiveFreqMhz();
+        result.steady = overclock;
+        return result;
+    }
+
+    // Bisect the setpoint: slowest-core frequency is monotone in V.
+    double lo = vddFloorV_;
+    double hi = originalSetpointV_;
+    if (slowestAt(lo) >= targetMhz_) {
+        hi = lo; // even the floor meets the target
+    } else {
+        for (int iter = 0; iter < 40 && hi - lo > 1e-5; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            if (slowestAt(mid) >= targetMhz_)
+                hi = mid;
+            else
+                lo = mid;
+        }
+    }
+
+    chip_->pdn().vrm().setSetpointV(hi);
+    result.steady = chip_->solveSteadyState();
+    result.vrmSetpointV = hi;
+    result.undervoltPowerW = result.steady.chipPowerW;
+    result.slowestCoreMhz = result.steady.minActiveFreqMhz();
+    return result;
+}
+
+void
+UndervoltController::restore()
+{
+    chip_->pdn().vrm().setSetpointV(originalSetpointV_);
+}
+
+} // namespace atmsim::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Off-chip voltage control: the third component of the ATM system
+ * (Fig. 3 of the paper). Instead of converting reclaimed margin into
+ * frequency (overclocking, the configuration the paper studies), the
+ * off-chip controller can convert it into power savings: it reads the
+ * slowest core's average frequency and lowers the chip-wide V_dd
+ * until the chip just sustains a user-specified frequency target.
+ *
+ * The paper disables this path ("we convert all of ATM's reclaimed
+ * timing margin into frequency"); we implement it as well, both for
+ * completeness and because it quantifies the frequency-vs-power
+ * trade-off that motivates fine-tuning in the first place. The
+ * undervolting depth is limited by the chip's worst core -- exactly
+ * the restriction the paper's Sec. II calls out.
+ */
+
+#pragma once
+
+#include "chip/chip.h"
+
+namespace atmsim::core {
+
+/** Outcome of an undervolting solve. */
+struct UndervoltResult
+{
+    /** Final VRM setpoint (V). */
+    double vrmSetpointV = 0.0;
+
+    /** Chip power in overclocking mode (W), same assignments. */
+    double overclockPowerW = 0.0;
+
+    /** Chip power after undervolting (W). */
+    double undervoltPowerW = 0.0;
+
+    /** Slowest active core's frequency after undervolting (MHz). */
+    double slowestCoreMhz = 0.0;
+
+    /** Steady state at the undervolted operating point. */
+    chip::ChipSteadyState steady;
+
+    /** Fractional power saving. */
+    double savingFrac() const;
+};
+
+/**
+ * The off-chip voltage controller, analytic form: finds the lowest
+ * V_dd at which the slowest active core's ATM steady-state frequency
+ * still meets the target. (On hardware this is a 32 ms sliding-window
+ * loop; between di/dt events the window average equals the steady
+ * state, so the analytic solve is its fixed point.)
+ */
+class UndervoltController
+{
+  public:
+    /**
+     * @param target Chip to control (not owned). The chip's CPM
+     *        reductions and workload assignments define the operating
+     *        scenario.
+     * @param target_mhz Frequency target the slowest core must keep.
+     * @param vdd_floor_v Lowest electrically-safe setpoint.
+     */
+    UndervoltController(chip::Chip *target, double target_mhz,
+                        double vdd_floor_v = 1.05);
+
+    /**
+     * Solve for the undervolted operating point. Leaves the chip's
+     * VRM at the solved setpoint (call restore() to undo).
+     */
+    UndervoltResult solve();
+
+    /** Restore the original VRM setpoint. */
+    void restore();
+
+    double targetMhz() const { return targetMhz_; }
+
+  private:
+    /** Slowest active core frequency at a given setpoint. */
+    double slowestAt(double setpoint_v) const;
+
+    chip::Chip *chip_;
+    double targetMhz_;
+    double vddFloorV_;
+    double originalSetpointV_;
+};
+
+} // namespace atmsim::core

@@ -1,0 +1,89 @@
+#include "cpm/cpm.h"
+
+#include <algorithm>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::cpm {
+
+const char *
+cpmSiteName(CpmSite site)
+{
+    switch (site) {
+      case CpmSite::Ifu: return "IFU";
+      case CpmSite::Isu: return "ISU";
+      case CpmSite::Fxu: return "FXU";
+      case CpmSite::Fpu: return "FPU";
+      case CpmSite::Llc: return "LLC";
+    }
+    return "?";
+}
+
+Cpm::Cpm(const variation::CoreSiliconParams *core,
+         const circuit::DelayModel *model, int site_index)
+    : core_(core), model_(model),
+      chain_(circuit::kInverterStepPs, 24), siteIndex_(site_index)
+{
+    if (!core || !model)
+        util::panic("Cpm constructed with null core or model");
+    if (site_index < 0 || site_index >= circuit::kCpmSitesPerCore)
+        util::fatal("CPM site index ", site_index, " out of range");
+    configSteps_ = std::min(core_->presetSteps
+                            + core_->siteOffsets[site_index],
+                            core_->maxConfig());
+    if (site_index == 0) {
+        synthScale_ = 1.0;
+    } else {
+        // Non-controlling sites sit at faster corners. Their local
+        // paths are enough faster that, at any uniform reduction, the
+        // extra preset offset never makes them report less slack than
+        // the controlling site 0.
+        const int offset = core_->siteOffsets[site_index];
+        double max_gap = 0.0;
+        for (int k = 0; k <= core_->presetSteps; ++k) {
+            const int site_cfg = std::clamp(core_->presetSteps + offset - k,
+                                            0, core_->maxConfig());
+            const int base_cfg = std::clamp(core_->presetSteps - k, 0,
+                                            core_->maxConfig());
+            max_gap = std::max(max_gap,
+                               core_->insertedDelayPs(site_cfg)
+                               - core_->insertedDelayPs(base_cfg));
+        }
+        synthScale_ = 1.0 - (max_gap + 2.0 + 0.4 * site_index)
+                    / core_->synthPathPs;
+    }
+}
+
+void
+Cpm::setConfigSteps(int steps)
+{
+    if (steps < 0 || steps > core_->maxConfig()) {
+        util::fatal("CPM config ", steps, " outside [0, ",
+                    core_->maxConfig(), "] on core ", core_->name);
+    }
+    configSteps_ = steps;
+}
+
+double
+Cpm::monitoredDelayPs(double v, double t_c) const
+{
+    const double nominal = core_->synthPathPs * synthScale_
+                         + core_->insertedDelayPs(configSteps_);
+    return nominal * core_->speedFactor * model_->factor(v, t_c);
+}
+
+double
+Cpm::slackPs(double period_ps, double v, double t_c) const
+{
+    return period_ps - monitoredDelayPs(v, t_c);
+}
+
+int
+Cpm::outputCount(double period_ps, double v, double t_c) const
+{
+    const double factor = model_->factor(v, t_c) * core_->speedFactor;
+    return chain_.quantize(slackPs(period_ps, v, t_c), factor);
+}
+
+} // namespace atmsim::cpm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Critical Path Monitor: the programmable canary circuit at the heart
+ * of the ATM control loop (Fig. 4a of the paper). Three cascaded
+ * stages: a programmable inserted delay (an inverter chain whose
+ * enabled length is the fine-tuning knob), a synthetic path mimicking
+ * real pipeline circuits, and a quantizing inverter chain that counts
+ * the leftover slack each cycle.
+ */
+
+#pragma once
+
+#include "circuit/delay_model.h"
+#include "circuit/inverter_chain.h"
+#include "variation/core_silicon.h"
+
+namespace atmsim::cpm {
+
+/** CPM site locations within a core. */
+enum class CpmSite {
+    Ifu,  ///< Instruction fetch unit.
+    Isu,  ///< Instruction scheduling unit.
+    Fxu,  ///< Fixed point unit.
+    Fpu,  ///< Floating point unit.
+    Llc,  ///< Last level cache (separate clock domain on POWER7+).
+};
+
+/** Printable name of a CPM site. */
+const char *cpmSiteName(CpmSite site);
+
+/** One critical path monitor instance. */
+class Cpm
+{
+  public:
+    /**
+     * @param core Owning core's silicon parameters (not owned).
+     * @param model Shared delay model (not owned).
+     * @param site_index Site position (0..kCpmSitesPerCore-1).
+     */
+    Cpm(const variation::CoreSiliconParams *core,
+        const circuit::DelayModel *model, int site_index);
+
+    /**
+     * Program the inserted-delay configuration (enabled segments).
+     * This is the service-processor command interface the paper uses
+     * for fine-tuning.
+     */
+    void setConfigSteps(int steps);
+
+    /** Current inserted-delay configuration. */
+    int configSteps() const { return configSteps_; }
+
+    /** Site position. */
+    int siteIndex() const { return siteIndex_; }
+
+    /**
+     * Delay of the monitored structure (inserted delay + synthetic
+     * path) under current conditions (ps).
+     */
+    double monitoredDelayPs(double v, double t_c) const;
+
+    /** Leftover slack within a clock period (ps, may be negative). */
+    double slackPs(double period_ps, double v, double t_c) const;
+
+    /**
+     * The CPM's per-cycle integer output: the inverter count that
+     * quantizes the slack.
+     */
+    int outputCount(double period_ps, double v, double t_c) const;
+
+    /** The quantizing chain (for unit conversion). */
+    const circuit::InverterChain &chain() const { return chain_; }
+
+  private:
+    const variation::CoreSiliconParams *core_;
+    const circuit::DelayModel *model_;
+    circuit::InverterChain chain_;
+    int siteIndex_;
+    int configSteps_;
+
+    /**
+     * Local synthetic-path scale. Site 0 is the controlling site
+     * (scale 1.0); the other sites sit at faster corners, which is
+     * why the factory gave them larger preset offsets -- they monitor
+     * slightly less delay and do not control the loop.
+     */
+    double synthScale_;
+};
+
+} // namespace atmsim::cpm

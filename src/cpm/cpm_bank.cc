@@ -1,0 +1,65 @@
+#include "cpm/cpm_bank.h"
+
+#include <algorithm>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::cpm {
+
+CpmBank::CpmBank(const variation::CoreSiliconParams *core,
+                 const circuit::DelayModel *model)
+    : core_(core)
+{
+    if (!core)
+        util::panic("CpmBank constructed with null core");
+    sites_.reserve(circuit::kCpmSitesPerCore);
+    for (int s = 0; s < circuit::kCpmSitesPerCore; ++s)
+        sites_.emplace_back(core, model, s);
+}
+
+void
+CpmBank::setReduction(int steps)
+{
+    if (steps < 0)
+        util::fatal("CPM reduction must be non-negative, got ", steps);
+    if (steps > core_->presetSteps) {
+        util::fatal("CPM reduction ", steps, " exceeds preset ",
+                    core_->presetSteps, " on core ", core_->name);
+    }
+    for (auto &site : sites_) {
+        const int preset = core_->presetSteps
+                         + core_->siteOffsets[site.siteIndex()];
+        const int cfg = std::clamp(preset - steps, 0, core_->maxConfig());
+        site.setConfigSteps(cfg);
+    }
+    reduction_ = steps;
+}
+
+int
+CpmBank::worstCount(double period_ps, double v, double t_c) const
+{
+    int worst = sites_.front().outputCount(period_ps, v, t_c);
+    for (std::size_t s = 1; s < sites_.size(); ++s)
+        worst = std::min(worst, sites_[s].outputCount(period_ps, v, t_c));
+    return worst;
+}
+
+double
+CpmBank::worstMonitoredDelayPs(double v, double t_c) const
+{
+    double worst = sites_.front().monitoredDelayPs(v, t_c);
+    for (std::size_t s = 1; s < sites_.size(); ++s)
+        worst = std::max(worst, sites_[s].monitoredDelayPs(v, t_c));
+    return worst;
+}
+
+const Cpm &
+CpmBank::site(int index) const
+{
+    if (index < 0 || index >= static_cast<int>(sites_.size()))
+        util::fatal("CPM site ", index, " out of range");
+    return sites_[static_cast<std::size_t>(index)];
+}
+
+} // namespace atmsim::cpm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The five-CPM bank of one core. The worst (smallest) of the five
+ * site measurements is reported every cycle to the DPLL (Sec. II of
+ * the paper). Fine-tuning programs all sites of a core by the same
+ * reduction from their presets (Sec. III-A).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cpm/cpm.h"
+
+namespace atmsim::cpm {
+
+/** Bank of CPM sites within one core. */
+class CpmBank
+{
+  public:
+    /**
+     * @param core Core silicon parameters (not owned).
+     * @param model Shared delay model (not owned).
+     */
+    CpmBank(const variation::CoreSiliconParams *core,
+            const circuit::DelayModel *model);
+
+    /**
+     * Program a uniform delay reduction across all sites relative to
+     * their presets. This is exactly the paper's fine-tuning knob.
+     *
+     * @param steps Reduction steps (>= 0); clamped per site at 0.
+     */
+    void setReduction(int steps);
+
+    /** Current reduction from the preset. */
+    int reduction() const { return reduction_; }
+
+    /** Worst (minimum) output count across the bank this cycle. */
+    int worstCount(double period_ps, double v, double t_c) const;
+
+    /** Largest monitored delay across the bank (controlling site). */
+    double worstMonitoredDelayPs(double v, double t_c) const;
+
+    /** Access a site. */
+    const Cpm &site(int index) const;
+    std::size_t siteCount() const { return sites_.size(); }
+
+    const variation::CoreSiliconParams &core() const { return *core_; }
+
+  private:
+    const variation::CoreSiliconParams *core_;
+    std::vector<Cpm> sites_;
+    int reduction_ = 0;
+};
+
+} // namespace atmsim::cpm

@@ -1,0 +1,78 @@
+#include "dpll/dpll.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace atmsim::dpll {
+
+Dpll::Dpll(const DpllParams &params) : params_(params)
+{
+    if (params_.targetCounts <= params_.emergencyCounts)
+        util::fatal("DPLL target must exceed the emergency threshold");
+    if (params_.minPeriodPs >= params_.maxPeriodPs)
+        util::fatal("DPLL period bounds inverted");
+}
+
+void
+Dpll::reset(double period_ps)
+{
+    periodPs_ = period_ps;
+    clampPeriod();
+    lastUpdateNs_ = -1e18;
+    lastEmergencyNs_ = -1e18;
+    emergencies_ = 0;
+}
+
+void
+Dpll::observe(double now_ns, int margin_counts)
+{
+    // Emergency fast path: immediate stretch, rate limited.
+    if (margin_counts <= params_.emergencyCounts) {
+        if (now_ns - lastEmergencyNs_ >= params_.emergencyHoldoffNs) {
+            periodPs_ *= 1.0 + params_.emergencyStretchFrac;
+            lastEmergencyNs_ = now_ns;
+            ++emergencies_;
+            clampPeriod();
+        }
+        // An emergency restarts the proportional interval so the slow
+        // path does not immediately undo the stretch.
+        lastUpdateNs_ = now_ns;
+        return;
+    }
+
+    if (now_ns - lastUpdateNs_ < params_.updateIntervalNs)
+        return;
+    lastUpdateNs_ = now_ns;
+
+    const int error = margin_counts - params_.targetCounts;
+    if (error < 0) {
+        periodPs_ *= 1.0 + params_.slewDownPerCount * (-error);
+    } else if (error > 0) {
+        const int step = std::min(error, params_.slewUpCapCounts);
+        periodPs_ *= 1.0 - params_.slewUpPerCount * step;
+    }
+    clampPeriod();
+}
+
+double
+Dpll::frequencyMhz() const
+{
+    return util::psToMhz(periodPs_);
+}
+
+bool
+Dpll::inEmergency(double now_ns) const
+{
+    return now_ns - lastEmergencyNs_ < params_.emergencyHoldoffNs;
+}
+
+void
+Dpll::clampPeriod()
+{
+    periodPs_ = std::clamp(periodPs_, params_.minPeriodPs,
+                           params_.maxPeriodPs);
+}
+
+} // namespace atmsim::dpll

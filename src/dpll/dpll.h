@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-core digital phase-locked loop: the agile clock generator of the
+ * ATM control loop (Sec. II of the paper). Every update interval it
+ * compares the CPM bank's worst count against a threshold and slews
+ * the clock period; on an emergency (margin near zero, e.g. a fast
+ * di/dt droop) it stretches the clock immediately, which is the
+ * lower-penalty alternative to gating the clock for a cycle.
+ */
+
+#pragma once
+
+namespace atmsim::dpll {
+
+/** Control-loop parameters. */
+struct DpllParams
+{
+    /** Proportional-control update interval (ns); also the loop
+     *  round-trip latency for non-emergency adjustments. */
+    double updateIntervalNs = 2.0;
+
+    /** Margin setpoint in CPM inverter counts (~6 ps at 1.5 ps/inv). */
+    int targetCounts = 4;
+
+    /** Margin at or below which the emergency path engages. */
+    int emergencyCounts = 1;
+
+    /** Fractional period increase per count of deficit. */
+    double slewDownPerCount = 0.004;
+
+    /** Fractional period decrease per count of surplus. */
+    double slewUpPerCount = 0.0008;
+
+    /** Largest surplus used for a single upward slew. */
+    int slewUpCapCounts = 4;
+
+    /** Immediate fractional period stretch on an emergency. */
+    double emergencyStretchFrac = 0.01;
+
+    /** Minimum time between emergency stretches (ns). */
+    double emergencyHoldoffNs = 1.0;
+
+    /** Clock period bounds (ps). */
+    double minPeriodPs = 166.0;  ///< ~6.0 GHz
+    double maxPeriodPs = 500.0;  ///< ~2.0 GHz
+};
+
+/** Slew-limited adaptive clock generator. */
+class Dpll
+{
+  public:
+    explicit Dpll(const DpllParams &params = {});
+
+    /** Reset to a starting period and clear loop state. */
+    void reset(double period_ps);
+
+    /**
+     * Feed one margin observation. The proportional path acts only at
+     * update-interval boundaries; the emergency path acts immediately
+     * (subject to a holdoff).
+     *
+     * @param now_ns Current simulation time.
+     * @param margin_counts Worst CPM count this cycle.
+     */
+    void observe(double now_ns, int margin_counts);
+
+    /** Current clock period (ps). */
+    double periodPs() const { return periodPs_; }
+
+    /** Current clock frequency (MHz). */
+    double frequencyMhz() const;
+
+    /** True if the emergency path fired within the last holdoff. */
+    bool inEmergency(double now_ns) const;
+
+    /** Number of emergency engagements since reset. */
+    long emergencyCount() const { return emergencies_; }
+
+    const DpllParams &params() const { return params_; }
+
+  private:
+    void clampPeriod();
+
+    DpllParams params_;
+    double periodPs_ = 250.0;
+    double lastUpdateNs_ = -1e18;
+    double lastEmergencyNs_ = -1e18;
+    long emergencies_ = 0;
+};
+
+} // namespace atmsim::dpll

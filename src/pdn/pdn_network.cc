@@ -1,0 +1,116 @@
+#include "pdn/pdn_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atmsim::pdn {
+
+double
+PdnParams::characteristicOhm() const
+{
+    return std::sqrt(boardIndH / dieCapF);
+}
+
+double
+PdnParams::resonanceHz() const
+{
+    return 1.0 / (2.0 * M_PI * std::sqrt(boardIndH * dieCapF));
+}
+
+double
+PdnParams::dampingRatio() const
+{
+    return boardResOhm / 2.0 * std::sqrt(dieCapF / boardIndH);
+}
+
+PdnNetwork::PdnNetwork(const PdnParams &params, const Vrm &vrm,
+                       int core_count)
+    : params_(params), vrm_(vrm), coreCount_(core_count)
+{
+    if (core_count <= 0)
+        util::fatal("PDN needs at least one core branch");
+    lastCoreCurrents_.assign(static_cast<std::size_t>(core_count), 0.0);
+    vDie_ = vrm_.setpointV();
+    iInd_ = 0.0;
+    minVDie_ = vDie_;
+}
+
+void
+PdnNetwork::step(double dt_s, const std::vector<double> &core_currents_a,
+                 double uncore_current_a)
+{
+    if (core_currents_a.size() != lastCoreCurrents_.size()) {
+        util::fatal("PDN step: expected ", lastCoreCurrents_.size(),
+                    " core currents, got ", core_currents_a.size());
+    }
+    double load = uncore_current_a;
+    for (double i : core_currents_a)
+        load += i;
+
+    // Semi-implicit Euler: update the inductor current first, then the
+    // capacitor voltage with the fresh current.
+    const double v_in = vrm_.outputV(iInd_);
+    const double di = (v_in - params_.boardResOhm * iInd_ - vDie_)
+                    / params_.boardIndH;
+    iInd_ += di * dt_s;
+    vDie_ += (iInd_ - load) / params_.dieCapF * dt_s;
+
+    lastCoreCurrents_ = core_currents_a;
+    minVDie_ = std::min(minVDie_, vDie_);
+}
+
+void
+PdnNetwork::settle(const std::vector<double> &core_currents_a,
+                   double uncore_current_a)
+{
+    if (core_currents_a.size() != lastCoreCurrents_.size()) {
+        util::fatal("PDN settle: expected ", lastCoreCurrents_.size(),
+                    " core currents, got ", core_currents_a.size());
+    }
+    double load = uncore_current_a;
+    for (double i : core_currents_a)
+        load += i;
+    iInd_ = load;
+    vDie_ = dcGridV(load);
+    lastCoreCurrents_ = core_currents_a;
+    minVDie_ = vDie_;
+}
+
+double
+PdnNetwork::coreV(int core) const
+{
+    if (core < 0 || core >= coreCount_)
+        util::fatal("PDN coreV: core ", core, " out of range");
+    return vDie_ - params_.coreLocalResOhm
+                 * lastCoreCurrents_[static_cast<std::size_t>(core)];
+}
+
+void
+PdnNetwork::resetStats()
+{
+    minVDie_ = vDie_;
+}
+
+double
+PdnNetwork::dcGridV(double total_current_a) const
+{
+    return vrm_.outputV(total_current_a)
+         - params_.boardResOhm * total_current_a;
+}
+
+double
+PdnNetwork::stepDroopV(double current_step_a) const
+{
+    // Peak of the underdamped series-RLC step response:
+    // dV_peak = dI * Z0 * exp(-zeta * phi / sqrt(1 - zeta^2)),
+    // phi = atan(sqrt(1-zeta^2)/zeta) evaluated at the first minimum.
+    const double z0 = params_.characteristicOhm();
+    const double zeta = std::min(params_.dampingRatio(), 0.999);
+    const double root = std::sqrt(1.0 - zeta * zeta);
+    const double phi = std::atan2(root, zeta);
+    return current_step_a * z0 * std::exp(-zeta * phi / root);
+}
+
+} // namespace atmsim::pdn

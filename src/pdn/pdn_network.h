@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Power delivery network of one processor chip.
+ *
+ * Two-node lumped model: the VRM feeds the on-die grid through the
+ * board/package impedance (R + L); on-die decoupling capacitance holds
+ * the grid node; each core hangs off the grid through a local
+ * resistance. This produces the two long-term and transient effects
+ * the paper's analysis hinges on:
+ *
+ *  - IR (DC) voltage drop proportional to chip current, the source of
+ *    Eq. 1's linear frequency-vs-power relation, and
+ *  - underdamped first-droop di/dt response (~70 MHz resonance) that
+ *    races the ATM control loop.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "pdn/vrm.h"
+
+namespace atmsim::pdn {
+
+/** Electrical parameters of the chip PDN. */
+struct PdnParams
+{
+    double boardResOhm = 0.26e-3;  ///< Board + package series R.
+    double boardIndH = 2.53e-12;   ///< Package inductance.
+    double dieCapF = 2.0e-6;       ///< On-die decap.
+    double coreLocalResOhm = 1.15e-3; ///< Per-core grid branch R.
+
+    /** Characteristic impedance sqrt(L/C) of the first droop (ohm). */
+    double characteristicOhm() const;
+
+    /** First-droop resonant frequency (Hz). */
+    double resonanceHz() const;
+
+    /** Damping ratio of the first droop. */
+    double dampingRatio() const;
+};
+
+/**
+ * Time-stepped PDN state for one chip. step() advances the grid node
+ * with semi-implicit Euler integration, which is stable for the time
+ * steps the simulation engine uses (<= 1 ns).
+ */
+class PdnNetwork
+{
+  public:
+    /**
+     * @param params Electrical parameters.
+     * @param vrm Supply regulator.
+     * @param core_count Number of core branches.
+     */
+    PdnNetwork(const PdnParams &params, const Vrm &vrm, int core_count);
+
+    /**
+     * Advance the network by one time step.
+     *
+     * @param dt_s Time step (seconds).
+     * @param core_currents_a Instantaneous per-core load currents (A).
+     * @param uncore_current_a Non-core (nest) load current (A).
+     */
+    void step(double dt_s, const std::vector<double> &core_currents_a,
+              double uncore_current_a);
+
+    /** Jump directly to the DC steady state for the given loads. */
+    void settle(const std::vector<double> &core_currents_a,
+                double uncore_current_a);
+
+    /** On-die grid voltage (V). */
+    double gridV() const { return vDie_; }
+
+    /** Local supply voltage at a core (V). */
+    double coreV(int core) const;
+
+    /** Lowest grid voltage observed since the last resetStats(). */
+    double minGridV() const { return minVDie_; }
+
+    /** Reset droop statistics. */
+    void resetStats();
+
+    const PdnParams &params() const { return params_; }
+    Vrm &vrm() { return vrm_; }
+    const Vrm &vrm() const { return vrm_; }
+
+    /**
+     * Analytic DC grid voltage for a total chip current (A), ignoring
+     * transients: what the grid settles to under steady load.
+     */
+    double dcGridV(double total_current_a) const;
+
+    /**
+     * Analytic peak droop amplitude (V) for an abrupt load-current
+     * step of the given size, from the underdamped second-order step
+     * response.
+     */
+    double stepDroopV(double current_step_a) const;
+
+  private:
+    PdnParams params_;
+    Vrm vrm_;
+    int coreCount_;
+    double vDie_;
+    double iInd_;
+    std::vector<double> lastCoreCurrents_;
+    double minVDie_;
+};
+
+} // namespace atmsim::pdn

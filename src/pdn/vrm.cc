@@ -1,0 +1,30 @@
+#include "pdn/vrm.h"
+
+#include "util/logging.h"
+
+namespace atmsim::pdn {
+
+Vrm::Vrm(double setpoint_v, double load_line_ohm)
+    : setpointV_(setpoint_v), loadLineOhm_(load_line_ohm)
+{
+    if (setpoint_v <= 0.0)
+        util::fatal("VRM setpoint must be positive, got ", setpoint_v);
+    if (load_line_ohm < 0.0)
+        util::fatal("VRM load line must be non-negative");
+}
+
+double
+Vrm::outputV(double current_a) const
+{
+    return setpointV_ - loadLineOhm_ * current_a;
+}
+
+void
+Vrm::setSetpointV(double v)
+{
+    if (v <= 0.0)
+        util::fatal("VRM setpoint must be positive, got ", v);
+    setpointV_ = v;
+}
+
+} // namespace atmsim::pdn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Voltage regulator module: programmable setpoint with a resistive
+ * load line. The POWER7+ off-chip controller programs this setpoint;
+ * in our overclocking-only configuration it stays at the 1.25 V
+ * p-state voltage (Sec. II of the paper).
+ */
+
+#pragma once
+
+namespace atmsim::pdn {
+
+/** Idealized VRM with a load line. */
+class Vrm
+{
+  public:
+    /**
+     * @param setpoint_v Regulation target at zero load (V).
+     * @param load_line_ohm Output resistance (ohm).
+     */
+    Vrm(double setpoint_v, double load_line_ohm);
+
+    /** Output voltage at a given load current (A). */
+    double outputV(double current_a) const;
+
+    double setpointV() const { return setpointV_; }
+    void setSetpointV(double v);
+
+    double loadLineOhm() const { return loadLineOhm_; }
+
+  private:
+    double setpointV_;
+    double loadLineOhm_;
+};
+
+} // namespace atmsim::pdn

@@ -1,0 +1,58 @@
+#include "power/power_model.h"
+
+#include <cmath>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::power {
+
+PowerModel::PowerModel(const PowerParams &params) : params_(params)
+{
+    if (params_.refFrequencyMhz <= 0.0 || params_.refVoltage <= 0.0)
+        util::fatal("power model reference point must be positive");
+}
+
+double
+PowerModel::coreDynamicW(double activity_w, double f_mhz, double v) const
+{
+    if (activity_w < 0.0)
+        util::fatal("negative workload activity ", activity_w);
+    const double vr = v / params_.refVoltage;
+    const double fr = f_mhz / params_.refFrequencyMhz;
+    return (activity_w + params_.idleDynamicW) * vr * vr * fr;
+}
+
+double
+PowerModel::coreLeakageW(double v, double t_c) const
+{
+    const double vr = v / params_.refVoltage;
+    const double temp = 1.0 + params_.leakTempCoeffPerC
+                      * (t_c - circuit::kTempNominalC);
+    return params_.leakageNominalW * std::pow(vr, params_.leakVoltageExp)
+         * std::max(temp, 0.1);
+}
+
+double
+PowerModel::coreTotalW(double activity_w, double f_mhz, double v,
+                       double t_c) const
+{
+    return coreDynamicW(activity_w, f_mhz, v) + coreLeakageW(v, t_c);
+}
+
+double
+PowerModel::uncoreW(double v) const
+{
+    const double vr = v / params_.refVoltage;
+    return params_.uncoreNominalW * vr * vr;
+}
+
+double
+PowerModel::currentA(double power_w, double v)
+{
+    if (v <= 0.0)
+        util::fatal("currentA: non-positive voltage ", v);
+    return power_w / v;
+}
+
+} // namespace atmsim::power

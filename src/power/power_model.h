@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chip power model: per-core dynamic power (C V^2 f scaling of a
+ * workload's activity level), voltage/temperature-dependent leakage,
+ * and a fixed-function uncore (memory nest). Chip power feeds the PDN
+ * (IR drop) and the thermal model; through the IR drop it closes the
+ * loop that Eq. 1 of the paper linearizes.
+ */
+
+#pragma once
+
+namespace atmsim::power {
+
+/** Power-model parameters for one core and the chip uncore. */
+struct PowerParams
+{
+    /** Dynamic power of background OS activity at nominal (W). */
+    double idleDynamicW = 1.6;
+
+    /** Core leakage at nominal voltage and temperature (W). */
+    double leakageNominalW = 1.5;
+
+    /** Leakage voltage exponent. */
+    double leakVoltageExp = 3.0;
+
+    /** Fractional leakage increase per degC above nominal. */
+    double leakTempCoeffPerC = 0.02;
+
+    /** Uncore (nest, fabric, IO) power at nominal voltage (W). */
+    double uncoreNominalW = 12.0;
+
+    /** Reference frequency for activity normalization (MHz). */
+    double refFrequencyMhz = 4200.0;
+
+    /** Reference voltage for scaling (V). */
+    double refVoltage = 1.25;
+};
+
+/** Evaluates core and chip power under given operating conditions. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params = {});
+
+    /**
+     * Dynamic power of a core.
+     *
+     * @param activity_w Workload activity level: dynamic watts the
+     *        workload burns at the reference frequency and voltage
+     *        (0 for an idle core; the model adds OS background).
+     * @param f_mhz Operating frequency (MHz).
+     * @param v Supply voltage (V).
+     */
+    double coreDynamicW(double activity_w, double f_mhz, double v) const;
+
+    /** Leakage power of a core at (v, t). */
+    double coreLeakageW(double v, double t_c) const;
+
+    /** Total core power: dynamic + leakage. */
+    double coreTotalW(double activity_w, double f_mhz, double v,
+                      double t_c) const;
+
+    /** Uncore power at voltage v. */
+    double uncoreW(double v) const;
+
+    /** Convert power at a node voltage to current (A). */
+    static double currentA(double power_w, double v);
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace atmsim::power

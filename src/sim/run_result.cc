@@ -1,0 +1,26 @@
+#include "sim/run_result.h"
+
+#include "util/logging.h"
+
+namespace atmsim::sim {
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::AbnormalExit: return "abnormal-exit";
+      case FailureKind::SilentDataCorruption: return "sdc";
+      case FailureKind::SystemCrash: return "system-crash";
+    }
+    return "?";
+}
+
+double
+RunResult::meanFreqMhz(int core) const
+{
+    if (core < 0 || core >= static_cast<int>(coreStats.size()))
+        util::fatal("meanFreqMhz: core ", core, " out of range");
+    return coreStats[static_cast<std::size_t>(core)].freqMhz.mean();
+}
+
+} // namespace atmsim::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Results of a time-stepped engine run: per-core frequency traces,
+ * power/thermal envelopes, and the timing-violation events that
+ * manifest as the failures the paper observes (abnormal application
+ * exit, silent data corruption, system crash).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace atmsim::sim {
+
+/** How a timing violation manifested (Sec. III-B). */
+enum class FailureKind {
+    AbnormalExit,          ///< e.g. segmentation fault
+    SilentDataCorruption,  ///< caught by result checking
+    SystemCrash,           ///< checkstop / hang
+};
+
+/** Printable failure-kind name. */
+const char *failureKindName(FailureKind kind);
+
+/** One observed timing violation. */
+struct ViolationEvent
+{
+    double timeNs = 0.0;
+    int core = -1;
+    double deficitPs = 0.0; ///< How far the path missed the cycle.
+    FailureKind kind = FailureKind::AbnormalExit;
+};
+
+/** Per-core statistics of one run. */
+struct CoreRunStats
+{
+    util::RunningStats freqMhz;
+    util::RunningStats voltageV;
+    double minVoltageV = 0.0;
+    long emergencies = 0;
+    long violations = 0;
+};
+
+/** Aggregate result of one engine run. */
+struct RunResult
+{
+    double durationNs = 0.0;
+    std::vector<CoreRunStats> coreStats;
+    util::RunningStats chipPowerW;
+    double maxCoreTempC = 0.0;
+    double minGridV = 0.0;
+    std::vector<ViolationEvent> violations;
+    bool stoppedEarly = false;
+
+    /** True when any violation occurred. */
+    bool failed() const { return !violations.empty(); }
+
+    /** Mean frequency of one core over the run (MHz). */
+    double meanFreqMhz(int core) const;
+};
+
+} // namespace atmsim::sim

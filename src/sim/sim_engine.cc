@@ -1,0 +1,234 @@
+#include "sim/sim_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "workload/catalog.h"
+
+namespace atmsim::sim {
+
+SimEngine::SimEngine(chip::Chip *target, const SimConfig &config)
+    : chip_(target), config_(config)
+{
+    if (!target)
+        util::panic("SimEngine constructed with null chip");
+    if (config_.dtNs <= 0.0 || config_.dtNs > 1.0)
+        util::fatal("engine time step ", config_.dtNs,
+                    " ns outside (0, 1]");
+}
+
+double
+SimEngine::eventCurrentFor(const variation::CoreSiliconParams &core,
+                           const workload::WorkloadTraits &traits,
+                           int synchronized_cores) const
+{
+    // Size the current pulse so the core-local excursion equals the
+    // workload's characteristic droop: shared-grid droop (superposed
+    // across any synchronized co-pulsing cores) plus local-branch IR.
+    // Per-core vulnerability is applied on the receiving side, in
+    // AtmCore::timingMet().
+    (void)core;
+    const double droop_v = traits.droopMv * 1e-3;
+    const double gain_v_per_a =
+        chip_->pdn().stepDroopV(1.0) * std::max(synchronized_cores, 1)
+        + chip_->config().pdnParams.coreLocalResOhm;
+    // A periodic synchronized wave partially rides the PDN resonance;
+    // derate its swing so the built-up excursion matches the
+    // characteristic droop (the 1-in-128 issue throttle also never
+    // fully idles the pipeline).
+    const double swing = synchronized_cores > 1 ? 0.9 : 1.0;
+    return droop_v * swing / gain_v_per_a;
+}
+
+RunResult
+SimEngine::run(double duration_us)
+{
+    chip::Chip &chip = *chip_;
+    const int n = chip.coreCount();
+    util::Rng rng(config_.seed);
+
+    // --- Per-core setup from the current assignments.
+    std::vector<workload::ActivityGenerator> activity;
+    std::vector<double> exposure_ps(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> activity_w(static_cast<std::size_t>(n), 0.0);
+    activity.reserve(static_cast<std::size_t>(n));
+    int synchronized_cores = 0;
+    for (int c = 0; c < n; ++c) {
+        const chip::CoreAssignment &slot = chip.assignment(c);
+        if (!slot.idle()
+            && slot.traits->stress == workload::StressClass::Virus) {
+            ++synchronized_cores;
+        }
+    }
+    for (int c = 0; c < n; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const chip::CoreAssignment &slot = chip.assignment(c);
+        const workload::WorkloadTraits &traits =
+            slot.idle() ? workload::idleWorkload() : *slot.traits;
+        const variation::CoreSiliconParams &silicon =
+            chip.core(c).silicon();
+        exposure_ps[ci] = chip::Chip::pathExposurePs(silicon, traits);
+        activity_w[ci] = slot.idle()
+                       ? 0.0
+                       : traits.coreActivityW(slot.threads);
+        const int sync =
+            traits.stress == workload::StressClass::Virus
+                ? synchronized_cores
+                : 1;
+        activity.emplace_back(&traits,
+                              eventCurrentFor(silicon, traits, sync),
+                              rng.fork(static_cast<std::uint64_t>(c) + 7));
+    }
+
+    // --- Settle the DC operating point and start the clocks there.
+    const chip::ChipSteadyState steady = chip.solveSteadyState();
+    std::vector<double> core_power = steady.corePowerW;
+    std::vector<double> core_current(static_cast<std::size_t>(n), 0.0);
+    double uncore_current = 0.0;
+    {
+        std::vector<double> dc(static_cast<std::size_t>(n), 0.0);
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            dc[ci] = power::PowerModel::currentA(core_power[ci],
+                                                 steady.gridVoltageV);
+        }
+        uncore_current = power::PowerModel::currentA(
+            chip.powerModel().uncoreW(steady.gridVoltageV),
+            steady.gridVoltageV);
+        chip.pdn().settle(dc, uncore_current);
+        chip.thermal().settle(core_power,
+                              chip.powerModel().uncoreW(
+                                  steady.gridVoltageV));
+        core_current = dc;
+    }
+    for (int c = 0; c < n; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        chip.core(c).resetClock(steady.coreVoltageV[ci],
+                                steady.coreTempC[ci]);
+    }
+
+    // --- Main loop.
+    RunResult result;
+    result.coreStats.resize(static_cast<std::size_t>(n));
+    const double duration_ns = duration_us * 1e3;
+    const long total_steps =
+        static_cast<long>(std::ceil(duration_ns / config_.dtNs));
+    const double dt_s = config_.dtNs * 1e-9;
+    std::vector<double> instant_current(static_cast<std::size_t>(n), 0.0);
+    util::Rng fail_rng = rng.fork(0xfa11);
+
+    long step = 0;
+    for (; step < total_steps; ++step) {
+        const double now_ns = static_cast<double>(step) * config_.dtNs;
+
+        // Slow cadence: refresh DC power draw and temperatures.
+        if (step % config_.slowCadence == 0) {
+            const double grid_v = chip.pdn().gridV();
+            double uncore_w = chip.powerModel().uncoreW(grid_v);
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                double p;
+                if (chip.core(c).mode() == chip::CoreMode::Gated) {
+                    p = 0.25;
+                } else {
+                    const chip::CoreAssignment &slot =
+                        chip.assignment(c);
+                    const double phase_scale =
+                        slot.idle() ? 1.0
+                                    : slot.traits->phaseActivityScale(
+                                          now_ns * 1e-3);
+                    p = chip.powerModel().coreTotalW(
+                        activity_w[ci] * phase_scale,
+                        chip.core(c).frequencyMhz(),
+                        std::max(chip.pdn().coreV(c), 0.6),
+                        chip.thermal().coreTempC(c));
+                }
+                core_power[ci] = p;
+                core_current[ci] =
+                    power::PowerModel::currentA(p, std::max(grid_v, 0.6));
+            }
+            uncore_current = power::PowerModel::currentA(
+                uncore_w, std::max(grid_v, 0.6));
+            chip.thermal().step(dt_s * config_.slowCadence, core_power,
+                                uncore_w);
+        }
+
+        // Electrical step: DC draw plus transient di/dt events
+        // (power-gated cores inject nothing).
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const double transient =
+                chip.core(c).mode() == chip::CoreMode::Gated
+                    ? 0.0
+                    : activity[ci].transientCurrentA(now_ns);
+            instant_current[ci] = core_current[ci] + transient;
+        }
+        chip.pdn().step(dt_s, instant_current, uncore_current);
+
+        // Control loops and the timing race.
+        bool violated = false;
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const double v = chip.pdn().coreV(c);
+            const double t_c = chip.thermal().coreTempC(c);
+            chip.core(c).stepControl(now_ns, v, t_c);
+            if (!chip.core(c).timingMet(v, t_c, exposure_ps[ci],
+                                        config_.runNoisePs)) {
+                ViolationEvent ev;
+                ev.timeNs = now_ns;
+                ev.core = c;
+                ev.deficitPs = chip.core(c).timingDeficitPs(
+                    v, t_c, exposure_ps[ci], config_.runNoisePs);
+                const double u = fail_rng.uniform();
+                ev.kind = u < 0.3 ? FailureKind::SystemCrash
+                        : u < 0.8 ? FailureKind::AbnormalExit
+                                  : FailureKind::SilentDataCorruption;
+                result.violations.push_back(ev);
+                ++result.coreStats[ci].violations;
+                violated = true;
+            }
+        }
+        if (violated && config_.stopOnViolation) {
+            result.stoppedEarly = true;
+            ++step;
+            break;
+        }
+
+        // Statistics cadence.
+        if (step % config_.statsCadence == 0) {
+            double chip_power = chip.powerModel().uncoreW(
+                chip.pdn().gridV());
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                const double v = chip.pdn().coreV(c);
+                const double f = chip.core(c).frequencyMhz();
+                auto &cs = result.coreStats[ci];
+                if (chip.core(c).mode() != chip::CoreMode::Gated) {
+                    cs.freqMhz.add(f);
+                    cs.voltageV.add(v);
+                    cs.minVoltageV = cs.voltageV.count() == 1
+                                   ? v
+                                   : std::min(cs.minVoltageV, v);
+                }
+                chip_power += core_power[ci];
+                if (probe_)
+                    probe_(now_ns, c, f, v);
+            }
+            result.chipPowerW.add(chip_power);
+            result.maxCoreTempC = std::max(result.maxCoreTempC,
+                                           chip.thermal().maxCoreTempC());
+        }
+    }
+
+    for (int c = 0; c < n; ++c) {
+        result.coreStats[static_cast<std::size_t>(c)].emergencies =
+            chip.core(c).emergencyCount();
+    }
+    result.minGridV = chip.pdn().minGridV();
+    result.durationNs = static_cast<double>(step) * config_.dtNs;
+    return result;
+}
+
+} // namespace atmsim::sim

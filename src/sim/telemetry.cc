@@ -1,0 +1,88 @@
+#include "sim/telemetry.h"
+
+#include "util/logging.h"
+
+namespace atmsim::sim {
+
+TelemetryRecorder::TelemetryRecorder(int core_count,
+                                     double min_interval_ns)
+    : minIntervalNs_(min_interval_ns)
+{
+    if (core_count <= 0)
+        util::fatal("telemetry needs at least one core");
+    if (min_interval_ns < 0.0)
+        util::fatal("negative telemetry interval");
+    series_.resize(static_cast<std::size_t>(core_count));
+    lastKeptNs_.assign(static_cast<std::size_t>(core_count), -1e18);
+}
+
+void
+TelemetryRecorder::record(double now_ns, int core, double freq_mhz,
+                          double v)
+{
+    if (core < 0 || core >= coreCount())
+        util::fatal("telemetry record: core ", core, " out of range");
+    const auto ci = static_cast<std::size_t>(core);
+    if (now_ns - lastKeptNs_[ci] < minIntervalNs_)
+        return;
+    lastKeptNs_[ci] = now_ns;
+    series_[ci].push_back({now_ns, freq_mhz, v});
+}
+
+const std::vector<TelemetrySample> &
+TelemetryRecorder::series(int core) const
+{
+    if (core < 0 || core >= coreCount())
+        util::fatal("telemetry series: core ", core, " out of range");
+    return series_[static_cast<std::size_t>(core)];
+}
+
+std::size_t
+TelemetryRecorder::totalSamples() const
+{
+    std::size_t total = 0;
+    for (const auto &s : series_)
+        total += s.size();
+    return total;
+}
+
+double
+TelemetryRecorder::windowAvgFreqMhz(int core, double window_ns) const
+{
+    const auto &s = series(core);
+    if (s.empty())
+        util::fatal("telemetry window: no samples for core ", core);
+    const double cutoff = s.back().timeNs - window_ns;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (auto it = s.rbegin(); it != s.rend(); ++it) {
+        if (it->timeNs < cutoff)
+            break;
+        sum += it->freqMhz;
+        ++count;
+    }
+    return sum / static_cast<double>(count);
+}
+
+void
+TelemetryRecorder::writeCsv(std::ostream &os) const
+{
+    os << "time_ns,core,freq_mhz,voltage_v\n";
+    for (int c = 0; c < coreCount(); ++c) {
+        for (const auto &sample : series(c)) {
+            os << sample.timeNs << ',' << c << ',' << sample.freqMhz
+               << ',' << sample.voltageV << '\n';
+        }
+    }
+}
+
+void
+TelemetryRecorder::clear()
+{
+    for (auto &s : series_)
+        s.clear();
+    for (auto &t : lastKeptNs_)
+        t = -1e18;
+}
+
+} // namespace atmsim::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Telemetry recording for engine runs: per-core frequency/voltage
+ * time series with optional downsampling and CSV export. This is the
+ * simulation counterpart of the on-chip sensors the paper reads
+ * (per-core DPLL frequency, power proxies) and feeds the waveform
+ * views in the examples.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+namespace atmsim::sim {
+
+/** One telemetry sample. */
+struct TelemetrySample
+{
+    double timeNs = 0.0;
+    double freqMhz = 0.0;
+    double voltageV = 0.0;
+};
+
+/** Recorder collecting per-core series from a SimEngine probe. */
+class TelemetryRecorder
+{
+  public:
+    /**
+     * @param core_count Number of cores to track.
+     * @param min_interval_ns Minimum spacing between kept samples per
+     *        core (0 keeps everything).
+     */
+    explicit TelemetryRecorder(int core_count,
+                               double min_interval_ns = 0.0);
+
+    /** Probe-compatible record call. */
+    void record(double now_ns, int core, double freq_mhz, double v);
+
+    /** Recorded series of one core. */
+    const std::vector<TelemetrySample> &series(int core) const;
+
+    /** Total samples kept across cores. */
+    std::size_t totalSamples() const;
+
+    /** Sliding-window average frequency of a core over the last
+     *  window_ns of its series (the off-chip controller's input). */
+    double windowAvgFreqMhz(int core, double window_ns) const;
+
+    /** Export all series as CSV (time_ns, core, freq_mhz, voltage_v). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Drop all samples. */
+    void clear();
+
+    int coreCount() const { return static_cast<int>(series_.size()); }
+
+  private:
+    std::vector<std::vector<TelemetrySample>> series_;
+    std::vector<double> lastKeptNs_;
+    double minIntervalNs_;
+};
+
+} // namespace atmsim::sim

@@ -1,0 +1,71 @@
+#include "thermal/thermal_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace atmsim::thermal {
+
+ThermalModel::ThermalModel(const ThermalParams &params, int core_count)
+    : params_(params)
+{
+    if (core_count <= 0)
+        util::fatal("thermal model needs at least one core");
+    packageC_ = params_.ambientC;
+    coreC_.assign(static_cast<std::size_t>(core_count), params_.ambientC);
+}
+
+void
+ThermalModel::step(double dt_s, const std::vector<double> &core_powers_w,
+                   double uncore_power_w)
+{
+    if (core_powers_w.size() != coreC_.size()) {
+        util::fatal("thermal step: expected ", coreC_.size(),
+                    " core powers, got ", core_powers_w.size());
+    }
+    double total = uncore_power_w;
+    for (double p : core_powers_w)
+        total += p;
+
+    const double pkg_target = params_.ambientC
+                            + params_.packageResKpW * total;
+    packageC_ += (pkg_target - packageC_) / params_.packageTauS * dt_s;
+
+    for (std::size_t c = 0; c < coreC_.size(); ++c) {
+        const double target = packageC_
+                            + params_.coreResKpW * core_powers_w[c];
+        coreC_[c] += (target - coreC_[c]) / params_.coreTauS * dt_s;
+    }
+}
+
+void
+ThermalModel::settle(const std::vector<double> &core_powers_w,
+                     double uncore_power_w)
+{
+    if (core_powers_w.size() != coreC_.size()) {
+        util::fatal("thermal settle: expected ", coreC_.size(),
+                    " core powers, got ", core_powers_w.size());
+    }
+    double total = uncore_power_w;
+    for (double p : core_powers_w)
+        total += p;
+    packageC_ = params_.ambientC + params_.packageResKpW * total;
+    for (std::size_t c = 0; c < coreC_.size(); ++c)
+        coreC_[c] = packageC_ + params_.coreResKpW * core_powers_w[c];
+}
+
+double
+ThermalModel::coreTempC(int core) const
+{
+    if (core < 0 || core >= static_cast<int>(coreC_.size()))
+        util::fatal("thermal coreTempC: core ", core, " out of range");
+    return coreC_[static_cast<std::size_t>(core)];
+}
+
+double
+ThermalModel::maxCoreTempC() const
+{
+    return *std::max_element(coreC_.begin(), coreC_.end());
+}
+
+} // namespace atmsim::thermal

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lumped RC thermal model: per-core junction temperatures over a
+ * shared package node. Temperature plays a secondary role for ATM
+ * (Sec. VII-A: long-term effects are well within the control loop's
+ * response time) but the stress-test procedure drives the die to
+ * 70 degC, so the thermal path is modelled for completeness.
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace atmsim::thermal {
+
+/** Thermal parameters of the package and cores. */
+struct ThermalParams
+{
+    double ambientC = 25.0;      ///< Inlet air temperature.
+    double packageResKpW = 0.25; ///< Package+heatsink resistance (K/W).
+    double coreResKpW = 0.55;    ///< Core-to-package resistance (K/W).
+    double packageTauS = 20e-3;  ///< Package thermal time constant.
+    double coreTauS = 2e-3;      ///< Core thermal time constant.
+};
+
+/** Time-stepped thermal state for one chip. */
+class ThermalModel
+{
+  public:
+    /**
+     * @param params Thermal parameters.
+     * @param core_count Number of cores on the chip.
+     */
+    ThermalModel(const ThermalParams &params, int core_count);
+
+    /**
+     * Advance temperatures by one time step.
+     *
+     * @param dt_s Time step (seconds).
+     * @param core_powers_w Per-core power (W).
+     * @param uncore_power_w Non-core chip power (W).
+     */
+    void step(double dt_s, const std::vector<double> &core_powers_w,
+              double uncore_power_w);
+
+    /** Jump to steady state for the given power distribution. */
+    void settle(const std::vector<double> &core_powers_w,
+                double uncore_power_w);
+
+    /** Junction temperature of a core (degC). */
+    double coreTempC(int core) const;
+
+    /** Package (shared) temperature (degC). */
+    double packageTempC() const { return packageC_; }
+
+    /** Hottest core temperature (degC). */
+    double maxCoreTempC() const;
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    double packageC_;
+    std::vector<double> coreC_;
+};
+
+} // namespace atmsim::thermal

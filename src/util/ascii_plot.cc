@@ -1,0 +1,104 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+
+AsciiPlot::AsciiPlot(int width, int height) : width_(width), height_(height)
+{
+    if (width_ < 10 || height_ < 4)
+        fatal("AsciiPlot dimensions too small: ", width_, "x", height_);
+}
+
+void
+AsciiPlot::addSeries(const std::string &name, const std::vector<double> &x,
+                     const std::vector<double> &y, char glyph)
+{
+    if (x.size() != y.size())
+        fatal("AsciiPlot series '", name, "': x/y size mismatch");
+    series_.push_back({name, x, y, glyph});
+}
+
+void
+AsciiPlot::setLabels(const std::string &x_label, const std::string &y_label)
+{
+    xLabel_ = x_label;
+    yLabel_ = y_label;
+}
+
+void
+AsciiPlot::print(std::ostream &os) const
+{
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin, ymin = xmin, ymax = -xmin;
+    bool any = false;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymin = std::min(ymin, s.y[i]);
+            ymax = std::max(ymax, s.y[i]);
+            any = true;
+        }
+    }
+    if (!any) {
+        os << "(empty plot)\n";
+        return;
+    }
+    if (xmax == xmin)
+        xmax = xmin + 1.0;
+    if (ymax == ymin)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            const int col = static_cast<int>(
+                std::lround((s.x[i] - xmin) / (xmax - xmin) * (width_ - 1)));
+            const int row = static_cast<int>(
+                std::lround((s.y[i] - ymin) / (ymax - ymin) * (height_ - 1)));
+            grid[height_ - 1 - row][col] = s.glyph;
+        }
+    }
+
+    std::ostringstream top, bottom;
+    top << std::setprecision(4) << ymax;
+    bottom << std::setprecision(4) << ymin;
+    const std::size_t margin = std::max(top.str().size(),
+                                        bottom.str().size()) + 1;
+
+    if (!yLabel_.empty())
+        os << std::string(margin, ' ') << yLabel_ << "\n";
+    for (int r = 0; r < height_; ++r) {
+        std::string label;
+        if (r == 0)
+            label = top.str();
+        else if (r == height_ - 1)
+            label = bottom.str();
+        os << std::setw(static_cast<int>(margin)) << label << '|'
+           << grid[r] << "\n";
+    }
+    os << std::string(margin, ' ') << '+' << std::string(width_, '-') << "\n";
+    std::ostringstream xlo, xhi;
+    xlo << std::setprecision(4) << xmin;
+    xhi << std::setprecision(4) << xmax;
+    std::string axis = xlo.str();
+    const std::string right = xhi.str() + (xLabel_.empty()
+                                           ? std::string()
+                                           : "  " + xLabel_);
+    const int pad = width_ - static_cast<int>(axis.size())
+                    - static_cast<int>(right.size());
+    axis += std::string(std::max(pad, 1), ' ') + right;
+    os << std::string(margin, ' ') << ' ' << axis << "\n";
+    for (const auto &s : series_)
+        os << std::string(margin, ' ') << ' ' << s.glyph << " = "
+           << s.name << "\n";
+}
+
+} // namespace atmsim::util

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Text-mode scatter/line plots used by the example programs to
+ * visualize droop waveforms and frequency series without a GUI.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace atmsim::util {
+
+/**
+ * Fixed-size character-grid plot. Series are rendered with distinct
+ * glyphs, axes are labelled with min/max values.
+ */
+class AsciiPlot
+{
+  public:
+    /**
+     * @param width Plot area width in characters.
+     * @param height Plot area height in characters.
+     */
+    AsciiPlot(int width = 72, int height = 20);
+
+    /**
+     * Add a named series.
+     *
+     * @param name Legend label.
+     * @param x Abscissae.
+     * @param y Ordinates (same length as x).
+     * @param glyph Character used for this series' points.
+     */
+    void addSeries(const std::string &name, const std::vector<double> &x,
+                   const std::vector<double> &y, char glyph);
+
+    /** Set axis captions. */
+    void setLabels(const std::string &x_label, const std::string &y_label);
+
+    /** Render the plot to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::vector<double> x;
+        std::vector<double> y;
+        char glyph;
+    };
+
+    int width_;
+    int height_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::vector<Series> series_;
+};
+
+} // namespace atmsim::util

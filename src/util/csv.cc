@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '", path, "'");
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << quote(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream os;
+        os << v;
+        text.push_back(os.str());
+    }
+    writeRow(text);
+}
+
+void
+CsvWriter::close()
+{
+    out_.close();
+}
+
+} // namespace atmsim::util

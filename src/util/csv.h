@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark harnesses can dump machine-readable
+ * series next to the human-readable tables.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace atmsim::util {
+
+/**
+ * Streaming CSV writer with RFC-4180-style quoting of cells that
+ * contain separators, quotes or newlines.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open a CSV file for writing; fatal() on failure.
+     *
+     * @param path Output file path.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells. */
+    void writeNumericRow(const std::vector<double> &cells);
+
+    /** Flush and close the underlying file. */
+    void close();
+
+  private:
+    static std::string quote(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace atmsim::util

@@ -1,0 +1,54 @@
+#include "util/linear_fit.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+
+LineFit
+fitLine(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        fatal("fitLine: size mismatch (", x.size(), " vs ", y.size(), ")");
+    if (x.size() < 2)
+        fatal("fitLine: need at least 2 samples, got ", x.size());
+
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0)
+        fatal("fitLine: degenerate x values (all equal)");
+
+    LineFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    // R^2 = 1 - SS_res / SS_tot; a constant y is a perfect fit.
+    if (syy == 0.0) {
+        fit.r2 = 1.0;
+    } else {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double resid = y[i] - fit(x[i]);
+            ss_res += resid * resid;
+        }
+        fit.r2 = 1.0 - ss_res / syy;
+    }
+    return fit;
+}
+
+} // namespace atmsim::util

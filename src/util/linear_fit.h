@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ordinary least-squares line fitting, used by the frequency and
+ * performance predictors (Eq. 1 and Fig. 12 of the paper).
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace atmsim::util {
+
+/** Result of a univariate linear regression y = slope * x + intercept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0; ///< Coefficient of determination.
+
+    /** Evaluate the fitted line at x. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Fit a straight line through (x, y) samples by ordinary least squares.
+ *
+ * @param x Abscissae; must have the same size as y and size >= 2.
+ * @param y Ordinates.
+ * @return Fitted slope, intercept and R^2.
+ */
+LineFit fitLine(const std::vector<double> &x, const std::vector<double> &y);
+
+} // namespace atmsim::util

@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace atmsim::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+std::mutex g_mutex;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < g_level)
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::cerr << "[" << levelTag(level) << "] " << msg << "\n";
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "fatal: " + msg);
+    throw FatalError(msg);
+}
+
+void
+panicImpl(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "panic: " + msg);
+    throw PanicError(msg);
+}
+
+} // namespace atmsim::util

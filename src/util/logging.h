@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Logging and error-reporting facilities.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs), fatal() is for user errors that prevent
+ * the simulation from continuing, warn() flags questionable conditions,
+ * and inform() reports normal status.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace atmsim::util {
+
+/** Severity levels for log messages, in increasing order of urgency. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Set the minimum severity that is emitted to stderr.
+ *
+ * @param level Messages below this level are suppressed.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return The current minimum emitted severity. */
+LogLevel logLevel();
+
+/**
+ * Emit a log record. Normally called through the convenience wrappers
+ * below rather than directly.
+ *
+ * @param level Severity of the record.
+ * @param msg Preformatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report a normal-operation status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Info, detail::concat(args...));
+}
+
+/** Report a low-level diagnostic message. */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    logMessage(LogLevel::Debug, detail::concat(args...));
+}
+
+/**
+ * Report a condition that is not necessarily wrong but deserves the
+ * user's attention.
+ */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(args...));
+}
+
+/** Terminate: implementation helpers (throw so tests can observe). */
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+
+/**
+ * Abort the simulation due to a user error (bad configuration, invalid
+ * arguments). Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    fatalImpl(detail::concat(args...));
+}
+
+/**
+ * Abort the simulation due to an internal inconsistency that should
+ * never happen regardless of user input. Throws PanicError.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    panicImpl(detail::concat(args...));
+}
+
+/** Exception thrown by fatal(). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+} // namespace atmsim::util

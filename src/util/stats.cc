@@ -1,0 +1,156 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+IntHistogram::add(long value)
+{
+    ++counts_[value];
+    ++total_;
+}
+
+std::size_t
+IntHistogram::countOf(long value) const
+{
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+long
+IntHistogram::minValue() const
+{
+    if (counts_.empty())
+        panic("IntHistogram::minValue on empty histogram");
+    return counts_.begin()->first;
+}
+
+long
+IntHistogram::maxValue() const
+{
+    if (counts_.empty())
+        panic("IntHistogram::maxValue on empty histogram");
+    return counts_.rbegin()->first;
+}
+
+double
+IntHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[value, count] : counts_)
+        sum += static_cast<double>(value) * static_cast<double>(count);
+    return sum / static_cast<double>(total_);
+}
+
+std::vector<std::pair<long, std::size_t>>
+IntHistogram::items() const
+{
+    return {counts_.begin(), counts_.end()};
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        fatal("percentile of empty sample set");
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile p must be in [0, 100], got ", p);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean requires positive values, got ", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace atmsim::util

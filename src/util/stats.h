@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Streaming and batch statistics helpers used throughout the
+ * characterization and benchmark harnesses.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atmsim::util {
+
+/**
+ * Numerically-stable streaming accumulator (Welford) for count, mean,
+ * variance, min and max.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** @return Number of samples added. */
+    std::size_t count() const { return n_; }
+
+    /** @return Arithmetic mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return Population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** @return Population standard deviation. */
+    double stddev() const;
+
+    /** @return Smallest sample (+inf if empty). */
+    double min() const { return min_; }
+
+    /** @return Largest sample (-inf if empty). */
+    double max() const { return max_; }
+
+    /** @return Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/**
+ * Fixed-width histogram over integer-valued observations, used for the
+ * limit-configuration distributions of Figs. 7-9.
+ */
+class IntHistogram
+{
+  public:
+    /** Add one observation. */
+    void add(long value);
+
+    /** @return Count of a specific value. */
+    std::size_t countOf(long value) const;
+
+    /** @return Total number of observations. */
+    std::size_t total() const { return total_; }
+
+    /** @return Smallest observed value; undefined when empty. */
+    long minValue() const;
+
+    /** @return Largest observed value; undefined when empty. */
+    long maxValue() const;
+
+    /** @return Number of distinct observed values. */
+    std::size_t distinct() const { return counts_.size(); }
+
+    /** @return Mean of the observations (0 when empty). */
+    double mean() const;
+
+    /** @return Sorted (value, count) pairs. */
+    std::vector<std::pair<long, std::size_t>> items() const;
+
+    /** @return true if no observations were added. */
+    bool empty() const { return total_ == 0; }
+
+  private:
+    std::map<long, std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Percentile of a sample set using linear interpolation between order
+ * statistics.
+ *
+ * @param values Sample set (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean of a vector (0 if empty). */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace atmsim::util

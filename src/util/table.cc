@@ -1,0 +1,121 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+    if (aligns_.size() != header_.size()) {
+        aligns_.assign(header_.size(), Align::Right);
+        if (!aligns_.empty())
+            aligns_[0] = Align::Left;
+    }
+}
+
+void
+TextTable::setAlignments(std::vector<Align> aligns)
+{
+    aligns_ = std::move(aligns);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size()) {
+        fatal("TextTable row width ", row.size(), " != header width ",
+              header_.size());
+    }
+    if (row.empty())
+        fatal("TextTable rows must be non-empty; use addRule for rules");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back(); // sentinel: empty row renders as a rule
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    const std::size_t cols = header_.size();
+    std::vector<std::size_t> widths(cols, 0);
+    for (std::size_t c = 0; c < cols; ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_rule = [&]() {
+        for (std::size_t c = 0; c < cols; ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : std::string();
+            const std::size_t pad = widths[c] - cell.size();
+            os << "| ";
+            if (aligns_.size() > c && aligns_[c] == Align::Right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_row(row);
+    }
+    print_rule();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+fmtFixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+fmtInt(double value)
+{
+    std::ostringstream os;
+    os << static_cast<long long>(std::llround(value));
+    return os.str();
+}
+
+std::string
+fmtPercent(double fraction)
+{
+    return fmtFixed(fraction * 100.0, 1) + "%";
+}
+
+} // namespace atmsim::util

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses, which print
+ * the same rows/series as the paper's tables and figures.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace atmsim::util {
+
+/** Column alignment within a TextTable. */
+enum class Align {
+    Left,
+    Right,
+};
+
+/**
+ * A simple monospace table with a header row, per-column alignment and
+ * automatic column widths.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Set per-column alignments (default: first left, rest right). */
+    void setAlignments(std::vector<Align> aligns);
+
+    /** Append one data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal rule before the next added row. */
+    void addRule();
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** @return Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_; ///< empty row == rule
+};
+
+/** Format a double with fixed precision. */
+std::string fmtFixed(double value, int precision);
+
+/** Format a double as an integer-rounded string. */
+std::string fmtInt(double value);
+
+/** Format a percentage with one decimal, e.g. "12.3%". */
+std::string fmtPercent(double fraction);
+
+} // namespace atmsim::util

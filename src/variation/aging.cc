@@ -1,0 +1,40 @@
+#include "variation/aging.h"
+
+#include <cmath>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::variation {
+
+double
+agingDelayFactor(const AgingParams &params, double years, double avg_v,
+                 double avg_t_c)
+{
+    if (years < 0.0)
+        util::fatal("aging: negative service time ", years);
+    if (years == 0.0)
+        return 1.0;
+    const double stress =
+        (1.0 + params.voltageAccel
+               * (avg_v - circuit::kVddNominal) / 0.1)
+        * (1.0 + params.tempAccel
+                 * (avg_t_c - circuit::kTempNominalC) / 25.0);
+    const double slowdown = params.delayFracPerYearN
+                          * std::pow(years, params.timeExponent)
+                          * std::max(stress, 0.1);
+    return 1.0 + slowdown;
+}
+
+void
+applyAging(ChipSilicon &chip, const AgingParams &params, double years,
+           double avg_v, double avg_t_c)
+{
+    const double factor =
+        agingDelayFactor(params, years, avg_v, avg_t_c);
+    for (auto &core : chip.cores)
+        core.speedFactor *= factor;
+    chip.validate();
+}
+
+} // namespace atmsim::variation

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Transistor aging (BTI/HCI-style wearout): circuits slow down over
+ * service life, faster at high voltage and temperature. A static
+ * timing margin must budget end-of-life slowdown on day one -- one of
+ * the guardband components the paper's Sec. II calls waste -- whereas
+ * the ATM control loop tracks aging automatically, because the CPM
+ * synthetic paths age alongside the functional paths they mimic.
+ */
+
+#pragma once
+
+#include "variation/core_silicon.h"
+
+namespace atmsim::variation {
+
+/** Wearout model parameters. */
+struct AgingParams
+{
+    /** Fractional delay increase after one year at nominal V/T. */
+    double delayFracPerYearN = 0.010;
+
+    /** Time-power-law exponent (BTI-typical ~0.2-0.25). */
+    double timeExponent = 0.25;
+
+    /** Additional fractional slowdown per 100 mV above nominal. */
+    double voltageAccel = 0.35;
+
+    /** Additional fractional slowdown per 25 degC above nominal. */
+    double tempAccel = 0.30;
+};
+
+/**
+ * Multiplicative delay factor after a service interval.
+ *
+ * @param params Wearout model.
+ * @param years Service time in years (>= 0).
+ * @param avg_v Average operating voltage (V).
+ * @param avg_t_c Average junction temperature (degC).
+ * @return Factor >= 1 that scales all path delays.
+ */
+double agingDelayFactor(const AgingParams &params, double years,
+                        double avg_v, double avg_t_c);
+
+/**
+ * Age a chip in place: scales every core's silicon speed by the aging
+ * factor for its assumed operating history. Both the CPM synthetic
+ * paths and the real paths age together (the canary property).
+ *
+ * @param chip Chip silicon to age.
+ * @param params Wearout model.
+ * @param years Service time in years.
+ * @param avg_v Average operating voltage (V).
+ * @param avg_t_c Average junction temperature (degC).
+ */
+void applyAging(ChipSilicon &chip, const AgingParams &params,
+                double years, double avg_v, double avg_t_c);
+
+} // namespace atmsim::variation

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Calibration constants and the inversion that constructs per-core
+ * silicon parameters from target characterization limits.
+ *
+ * The paper measured two physical POWER7+ chips; we cannot. Instead we
+ * invert our model against the paper's published per-core numbers
+ * (Table I limits, Fig. 7 idle-limit frequencies, Fig. 4b preset
+ * ranges): given the target limits, solve for the step tables, real
+ * path delay, load exposure and di/dt vulnerability that make the full
+ * characterization procedure reproduce those targets. The same
+ * inversion, fed with sampled targets, generates random chips.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+#include "variation/core_silicon.h"
+
+namespace atmsim::variation {
+
+/**
+ * Conversion from one millivolt of fast (uncovered) droop to effective
+ * real-path delay increase in nominal ps, for a vulnerability-1.0
+ * core. Derived from the delay model's voltage sensitivity (~0.52/V at
+ * nominal), a ~211 ps total monitored delay, and the DPLL emergency
+ * response covering ~30% of a fast droop:
+ * 0.52/V * 211 ps * 0.7 * 1e-3 V/mV ~= 0.076 ps/mV.
+ */
+constexpr double kUncoveredPsPerMv = 0.076;
+
+/** Chip-level droop created by uBench programs (mV). */
+constexpr double kUbenchDroopMv = 3.0;
+
+/**
+ * Largest droop among "light and medium" applications (mV); the
+ * thread-normal limit is taken against this bounding stress level.
+ */
+constexpr double kNormalClassMaxDroopMv = 12.0;
+
+/** Droop of the most stressful profiled application, x264 (mV). */
+constexpr double kWorstClassDroopMv = 55.0;
+
+/** Droop of the test-time voltage-virus stressmark (mV). */
+constexpr double kVirusDroopMv = 57.0;
+
+/** Run-to-run idle timing-noise floor (ps). */
+constexpr double kIdleNoiseFloorPs = 0.5;
+
+/** Run-to-run idle timing-noise range above the floor (ps). */
+constexpr double kIdleNoiseRangePs = 0.7;
+
+/** Minimum delay of the first-unsafe guard segment (ps). */
+constexpr double kMinGuardStepPs = 1.1;
+
+/** Mean CPM segment delay used when sampling unconstrained steps. */
+constexpr double kMeanStepPs = 2.0;
+
+/**
+ * Target characterization outcome for one core, i.e. one column of the
+ * paper's Table I plus the idle-limit frequency from Fig. 7.
+ */
+struct CoreLimitTargets
+{
+    int idle = 0;    ///< Idle-limit delay reduction (steps).
+    int ubench = 0;  ///< uBench limit (steps), <= idle.
+    int normal = 0;  ///< Thread-normal limit (steps), <= ubench.
+    int worst = 0;   ///< Thread-worst limit (steps), <= normal.
+
+    /** ATM frequency at the idle limit, nominal conditions (MHz). */
+    double idleLimitMhz = 5000.0;
+
+    /** Validate ordering and ranges; fatal() on violation. */
+    void validate() const;
+};
+
+/**
+ * Optional hints pinning individual CPM segment delays, used to honor
+ * the paper's per-core non-linearity anecdotes (Sec. IV-C). Index i
+ * holds the delay (effective ps) of the segment removed by reduction
+ * step i+1; entries <= 0 are sampled freely.
+ */
+using StepHints = std::vector<double>;
+
+/**
+ * Construct a core whose characterization limits equal the targets.
+ *
+ * @param name Core name (e.g. "P0C0").
+ * @param targets Desired Table-I-style limits.
+ * @param preset_steps Factory preset configuration (chain length).
+ * @param speed_factor Process speed multiplier for this core.
+ * @param rng Random stream for the unconstrained step jitter.
+ * @param hints Optional per-step delay pins.
+ * @return Fully-populated core parameters (validated).
+ */
+CoreSiliconParams buildCoreFromTargets(const std::string &name,
+                                       const CoreLimitTargets &targets,
+                                       int preset_steps,
+                                       double speed_factor,
+                                       util::Rng &rng,
+                                       const StepHints *hints = nullptr);
+
+/**
+ * Scenario extra-delay model shared by the analytic characterizer and
+ * the calibration verification: path exposure plus the uncovered part
+ * of the scenario droop.
+ *
+ * @param core Core parameters.
+ * @param exposure_ps Scenario path exposure (0 for idle, ubenchExtraPs
+ *        for uBench, loadExposurePs for realistic workloads).
+ * @param droop_mv Chip-level droop created by the scenario.
+ * @return Effective extra delay in nominal ps.
+ */
+double scenarioExtraPs(const CoreSiliconParams &core, double exposure_ps,
+                       double droop_mv);
+
+/**
+ * Verify that a core's analytic characterization reproduces the
+ * targets exactly under stratified run noise; fatal() on mismatch.
+ *
+ * @param core Core to verify.
+ * @param targets Expected limits.
+ * @param reps Number of stratified noise draws (>= 4 recommended).
+ */
+void verifyCoreTargets(const CoreSiliconParams &core,
+                       const CoreLimitTargets &targets, int reps = 8);
+
+/**
+ * Stratified run-noise draw for repetition rep of a characterization:
+ * covers [floor, floor + range) with a low-discrepancy pattern so a
+ * handful of repeats explores the whole noise range.
+ */
+double runNoisePs(const CoreSiliconParams &core, int rep);
+
+} // namespace atmsim::variation

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Random chip generation: samples per-core characterization targets
+ * from distributions fitted to the reference pair, then runs the same
+ * inversion used for the reference chips. This demonstrates that the
+ * fine-tuning methodology generalizes beyond the two measured parts.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "variation/core_silicon.h"
+
+namespace atmsim::variation {
+
+/** Tunable distribution knobs for random chip generation. */
+struct ChipGeneratorConfig
+{
+    /** Spatially-correlated sigma of the idle-limit frequency (MHz). */
+    double idleLimitSigmaMhz = 120.0;
+
+    /** Mean idle-limit frequency (MHz). */
+    double idleLimitMeanMhz = 4975.0;
+
+    /** Lowest / highest idle-limit frequency allowed (MHz). */
+    double idleLimitMinMhz = 4700.0;
+    double idleLimitMaxMhz = 5250.0;
+
+    /** Process-grid resolution and smoothing passes. */
+    int gridResolution = 16;
+    int gridSmoothing = 3;
+};
+
+/**
+ * Generate a random chip.
+ *
+ * @param name Chip name (used in core names, e.g. "R0C3").
+ * @param seed Generation seed; the same seed always yields the same
+ *        chip.
+ * @param config Distribution knobs.
+ * @return A validated chip whose characterization limits are
+ *         internally consistent (idle >= uBench >= normal >= worst).
+ */
+ChipSilicon generateChip(const std::string &name, std::uint64_t seed,
+                         const ChipGeneratorConfig &config = {});
+
+} // namespace atmsim::variation

@@ -1,0 +1,107 @@
+#include "variation/core_silicon.h"
+
+#include <numeric>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace atmsim::variation {
+
+double
+CoreSiliconParams::insertedDelayPs(int cfg_steps) const
+{
+    if (cfg_steps < 0 || cfg_steps > maxConfig()) {
+        util::fatal("core ", name, ": inserted-delay config ", cfg_steps,
+                    " out of range [0, ", maxConfig(), "]");
+    }
+    return std::accumulate(cpmStepPs.begin(), cpmStepPs.begin() + cfg_steps,
+                           0.0);
+}
+
+double
+CoreSiliconParams::safetySlackPs(int reduction) const
+{
+    const double inserted = insertedDelayPs(presetSteps - reduction);
+    return speedFactor * (synthPathPs + inserted - realPathIdlePs)
+         + circuit::kDpllTargetSlackPs;
+}
+
+double
+CoreSiliconParams::atmPeriodPs(int reduction, double delay_factor) const
+{
+    const double inserted = insertedDelayPs(presetSteps - reduction);
+    return speedFactor * delay_factor * (synthPathPs + inserted)
+         + circuit::kDpllTargetSlackPs;
+}
+
+double
+CoreSiliconParams::atmFrequencyMhz(int reduction, double delay_factor) const
+{
+    return util::psToMhz(atmPeriodPs(reduction, delay_factor));
+}
+
+void
+CoreSiliconParams::validate() const
+{
+    if (name.empty())
+        util::fatal("core has no name");
+    if (speedFactor <= 0.5 || speedFactor >= 2.0)
+        util::fatal("core ", name, ": implausible speed factor ",
+                    speedFactor);
+    if (synthPathPs <= 0.0)
+        util::fatal("core ", name, ": synthetic path delay must be positive");
+    if (presetSteps <= 0 || presetSteps > maxConfig())
+        util::fatal("core ", name, ": preset ", presetSteps,
+                    " outside chain length ", maxConfig());
+    for (double step : cpmStepPs) {
+        if (step <= 0.0)
+            util::fatal("core ", name, ": non-positive CPM step ", step);
+    }
+    if (realPathIdlePs <= 0.0)
+        util::fatal("core ", name, ": real path delay must be positive");
+    if (ubenchExtraPs < 0.0 || loadExposurePs < 0.0)
+        util::fatal("core ", name, ": negative path exposure");
+    if (didtVulnerability < 0.0)
+        util::fatal("core ", name, ": negative di/dt vulnerability");
+    if (idleNoiseRangePs <= 0.0 || idleNoiseFloorPs < 0.0)
+        util::fatal("core ", name, ": invalid noise parameters");
+    // The preset configuration must be safe with room to spare, or the
+    // factory would never have shipped the part.
+    if (safetySlackPs(0) <= idleNoiseFloorPs + idleNoiseRangePs)
+        util::fatal("core ", name, ": preset configuration is not safe");
+}
+
+void
+ChipSilicon::validate() const
+{
+    if (cores.size() != static_cast<std::size_t>(circuit::kCoresPerChip))
+        util::fatal("chip ", name, ": expected ", circuit::kCoresPerChip,
+                    " cores, got ", cores.size());
+    for (const auto &core : cores)
+        core.validate();
+}
+
+bool
+analyticSafe(const CoreSiliconParams &core, int reduction, double extra_ps,
+             double noise_ps)
+{
+    return core.safetySlackPs(reduction) >= extra_ps + noise_ps;
+}
+
+int
+analyticMaxSafeReduction(const CoreSiliconParams &core, double extra_ps,
+                         double noise_ps)
+{
+    // Safety is monotone in the reduction (every disabled segment has
+    // positive delay), so scan upward until the first violation.
+    int best = 0;
+    for (int k = 1; k <= core.presetSteps; ++k) {
+        if (!analyticSafe(core, k, extra_ps, noise_ps))
+            break;
+        best = k;
+    }
+    return best;
+}
+
+} // namespace atmsim::variation

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Per-core silicon parameters: the manufactured state of one core's
+ * timing paths and its CPM inserted-delay chain.
+ *
+ * These parameters encode process variation (Sec. IV-B of the paper):
+ * each core has its own speed, its own non-linear CPM step graduation
+ * (Sec. IV-C), its own extra path exposure under load (Sec. V-B), and
+ * its own vulnerability to di/dt noise (Sec. VI).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atmsim::variation {
+
+/**
+ * Manufactured parameters of one core. All delays are "nominal ps":
+ * the value at nominal voltage/temperature for this core's silicon
+ * before the shared environmental delay factor is applied.
+ */
+struct CoreSiliconParams
+{
+    /** Core name, e.g. "P0C0". */
+    std::string name;
+
+    /** Process speed multiplier for all paths in this core. */
+    double speedFactor = 1.0;
+
+    /** CPM synthetic-path delay (speed-1.0 silicon, nominal V/T), ps. */
+    double synthPathPs = 0.0;
+
+    /**
+     * Inserted-delay chain segments, ps per inverter segment at
+     * nominal conditions for speed-1.0 silicon. Segment delays vary
+     * because of manufacturing: this is the non-linearity of
+     * Sec. IV-C. insertedDelayPs(cfg) enables the first cfg segments.
+     */
+    std::vector<double> cpmStepPs;
+
+    /** Factory-preset inserted-delay configuration (segment count). */
+    int presetSteps = 0;
+
+    /** Per-CPM-site preset offsets relative to presetSteps (>= 0). */
+    std::vector<int> siteOffsets;
+
+    /** Real worst-case path delay under idle activity, nominal ps. */
+    double realPathIdlePs = 0.0;
+
+    /** Extra path exposure activated by uBench beyond idle, ps. */
+    double ubenchExtraPs = 0.0;
+
+    /** Extra path exposure activated by realistic workloads, ps. */
+    double loadExposurePs = 0.0;
+
+    /** Local amplification of chip-level di/dt droops at this core. */
+    double didtVulnerability = 1.0;
+
+    /** Floor of run-to-run timing noise under system idle, ps. */
+    double idleNoiseFloorPs = 0.5;
+
+    /** Range of run-to-run timing noise above the floor, ps. */
+    double idleNoiseRangePs = 0.7;
+
+    /** @return Total inserted delay for a configuration (ps, nominal). */
+    double insertedDelayPs(int cfg_steps) const;
+
+    /** @return Largest valid configuration (= chain length). */
+    int maxConfig() const { return static_cast<int>(cpmStepPs.size()); }
+
+    /**
+     * Static safety slack at a given delay reduction (nominal ps):
+     * the margin between the ATM steady-state period and the real
+     * worst path, before transient effects and run noise.
+     *
+     * S(k) = s * (synth + inserted(preset - k) - realPathIdle)
+     *        + dpllSlack
+     *
+     * @param reduction Steps of inserted-delay reduction from preset.
+     */
+    double safetySlackPs(int reduction) const;
+
+    /**
+     * ATM steady-state clock period at a given reduction and
+     * environmental delay factor.
+     *
+     * @param reduction Steps reduced from the preset configuration.
+     * @param delay_factor Shared environmental delay factor.
+     * @return Clock period in ps.
+     */
+    double atmPeriodPs(int reduction, double delay_factor) const;
+
+    /** Convenience: ATM steady-state frequency in MHz. */
+    double atmFrequencyMhz(int reduction, double delay_factor) const;
+
+    /** Validate internal consistency; fatal() on violation. */
+    void validate() const;
+};
+
+/** One processor chip: a name plus eight cores. */
+struct ChipSilicon
+{
+    std::string name;
+    std::vector<CoreSiliconParams> cores;
+
+    /** Validate all cores. */
+    void validate() const;
+};
+
+/**
+ * Analytic safety decision used by both the calibration inversion and
+ * the fast characterization mode: a configuration is safe when the
+ * static slack covers the scenario's extra path exposure, the
+ * uncovered transient droop, and this run's timing noise.
+ *
+ * @param core Core parameters.
+ * @param reduction Steps of inserted-delay reduction from preset.
+ * @param extra_ps Scenario path exposure + uncovered droop (nominal ps).
+ * @param noise_ps This run's timing noise draw (nominal ps).
+ * @return true when no timing violation occurs.
+ */
+bool analyticSafe(const CoreSiliconParams &core, int reduction,
+                  double extra_ps, double noise_ps);
+
+/**
+ * Largest safe reduction for a scenario under a given noise draw.
+ *
+ * @return Reduction steps in [0, preset]; 0 means the preset itself is
+ *         the only safe point (the search never goes below preset).
+ */
+int analyticMaxSafeReduction(const CoreSiliconParams &core, double extra_ps,
+                             double noise_ps);
+
+} // namespace atmsim::variation

@@ -1,0 +1,85 @@
+#include "variation/process_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atmsim::variation {
+
+ProcessGrid::ProcessGrid(int resolution, int smoothing_passes,
+                         util::Rng &rng)
+    : res_(resolution)
+{
+    if (resolution < 2)
+        util::fatal("process grid resolution must be >= 2");
+    field_.resize(static_cast<std::size_t>(res_) * res_);
+    for (auto &v : field_)
+        v = rng.gaussian();
+
+    // Box smoothing with clamped borders.
+    std::vector<double> next(field_.size());
+    for (int pass = 0; pass < smoothing_passes; ++pass) {
+        for (int y = 0; y < res_; ++y) {
+            for (int x = 0; x < res_; ++x) {
+                double sum = 0.0;
+                int count = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const int nx = x + dx;
+                        const int ny = y + dy;
+                        if (nx < 0 || nx >= res_ || ny < 0 || ny >= res_)
+                            continue;
+                        sum += field_[static_cast<std::size_t>(ny) * res_
+                                      + nx];
+                        ++count;
+                    }
+                }
+                next[static_cast<std::size_t>(y) * res_ + x] =
+                    sum / count;
+            }
+        }
+        field_.swap(next);
+    }
+
+    // Renormalize to unit variance.
+    double mean = 0.0;
+    for (double v : field_)
+        mean += v;
+    mean /= static_cast<double>(field_.size());
+    double var = 0.0;
+    for (double v : field_)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(field_.size());
+    const double scale = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+    for (auto &v : field_)
+        v = (v - mean) * scale;
+}
+
+double
+ProcessGrid::cell(int ix, int iy) const
+{
+    ix = std::clamp(ix, 0, res_ - 1);
+    iy = std::clamp(iy, 0, res_ - 1);
+    return field_[static_cast<std::size_t>(iy) * res_ + ix];
+}
+
+double
+ProcessGrid::sample(double x, double y) const
+{
+    if (x < 0.0 || x > 1.0 || y < 0.0 || y > 1.0)
+        util::fatal("process grid sample point (", x, ", ", y,
+                    ") outside the unit square");
+    const double fx = x * (res_ - 1);
+    const double fy = y * (res_ - 1);
+    const int ix = static_cast<int>(fx);
+    const int iy = static_cast<int>(fy);
+    const double tx = fx - ix;
+    const double ty = fy - iy;
+    const double a = cell(ix, iy) * (1 - tx) + cell(ix + 1, iy) * tx;
+    const double b = cell(ix, iy + 1) * (1 - tx)
+                   + cell(ix + 1, iy + 1) * tx;
+    return a * (1 - ty) + b * ty;
+}
+
+} // namespace atmsim::variation

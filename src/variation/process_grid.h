@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Spatially-correlated process variation field (VARIUS-style): white
+ * Gaussian noise on a grid, smoothed to introduce spatial correlation,
+ * then renormalized. Used to place random chips' cores on a die and
+ * sample correlated speed parameters.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace atmsim::variation {
+
+/** Correlated 2D Gaussian field over the unit square. */
+class ProcessGrid
+{
+  public:
+    /**
+     * @param resolution Grid cells per axis.
+     * @param smoothing_passes Box-smoothing passes; more passes mean
+     *        longer correlation distance.
+     * @param rng Random source.
+     */
+    ProcessGrid(int resolution, int smoothing_passes, util::Rng &rng);
+
+    /**
+     * Sample the field at a point via bilinear interpolation.
+     *
+     * @param x Coordinate in [0, 1].
+     * @param y Coordinate in [0, 1].
+     * @return Field value, approximately N(0, 1) marginally.
+     */
+    double sample(double x, double y) const;
+
+    int resolution() const { return res_; }
+
+  private:
+    double cell(int ix, int iy) const;
+
+    int res_;
+    std::vector<double> field_;
+};
+
+} // namespace atmsim::variation

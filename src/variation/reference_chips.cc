@@ -1,0 +1,129 @@
+#include "variation/reference_chips.h"
+
+#include <array>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::variation {
+
+namespace {
+
+/** Table I of the paper: per-core limits in delay-reduction steps. */
+constexpr std::array<std::array<int, 8>, 2> kIdleRow = {{
+    {9, 8, 4, 11, 10, 7, 8, 2},
+    {4, 8, 5, 8, 7, 5, 10, 3},
+}};
+constexpr std::array<std::array<int, 8>, 2> kUbenchRow = {{
+    {9, 8, 4, 10, 9, 7, 8, 2},
+    {4, 8, 5, 5, 6, 4, 10, 2},
+}};
+constexpr std::array<std::array<int, 8>, 2> kNormalRow = {{
+    {8, 7, 4, 9, 8, 6, 7, 2},
+    {3, 7, 5, 4, 5, 3, 8, 2},
+}};
+constexpr std::array<std::array<int, 8>, 2> kWorstRow = {{
+    {6, 6, 3, 6, 6, 5, 5, 2},
+    {3, 3, 5, 3, 3, 2, 6, 2},
+}};
+
+/**
+ * Idle-limit frequencies consistent with Fig. 7 and the Sec. IV-C
+ * anecdotes: P0C3 tops out around 5.2 GHz, P0C4 and P1C7 both reach
+ * 5.1 GHz with very different step counts, P1C2 stops at 4.85 GHz
+ * because of its oversized sixth segment, and P0C7 is the slow core
+ * that creates the >200 MHz differential of Fig. 11 against P0C1.
+ */
+constexpr std::array<std::array<double, 8>, 2> kIdleLimitMhz = {{
+    {5000, 5050, 4900, 5200, 5100, 5000, 5050, 4670},
+    {4900, 5000, 4850, 5000, 4950, 4900, 5050, 5100},
+}};
+
+/** Mid-band silicon speed used to normalize per-core speed factors. */
+constexpr double kMedianIdleLimitMhz = 4950.0;
+
+/** Per-core step-delay hints encoding the Sec. IV-C anecdotes. */
+const StepHints *
+stepHints(int chip, int core)
+{
+    // Index i pins the segment removed by reduction step i+1
+    // (effective ps); non-positive entries are sampled freely.
+    static const StepHints p1c1 = {0, 0, 0, 0, 0, 0, 0, 0, 3.92};
+    static const StepHints p1c2 = {0, 0, 0, 0, 0, 12.0};
+    static const StepHints p1c3 = {0, 0, 0, 0, 0, 0.62, 4.4};
+    static const StepHints p1c6 = {9.1, 0.58};
+    if (chip == 1 && core == 1)
+        return &p1c1;
+    if (chip == 1 && core == 2)
+        return &p1c2;
+    if (chip == 1 && core == 3)
+        return &p1c3;
+    if (chip == 1 && core == 6)
+        return &p1c6;
+    return nullptr;
+}
+
+/** Factory preset inserted-delay configuration per core. */
+int
+presetFor(int chip, int core)
+{
+    const int idle = kIdleRow[chip][core];
+    return std::max(idle + 4, 7) + (3 * chip + core) % 3;
+}
+
+} // namespace
+
+const CoreLimitTargets &
+referenceTargets(int chip, int core)
+{
+    if (chip < 0 || chip >= 2 || core < 0 || core >= 8)
+        util::fatal("reference core P", chip, "C", core, " out of range");
+    static std::array<std::array<CoreLimitTargets, 8>, 2> cache;
+    static bool built = false;
+    if (!built) {
+        for (int p = 0; p < 2; ++p) {
+            for (int c = 0; c < 8; ++c) {
+                cache[p][c] = CoreLimitTargets{
+                    kIdleRow[p][c], kUbenchRow[p][c], kNormalRow[p][c],
+                    kWorstRow[p][c], kIdleLimitMhz[p][c]};
+            }
+        }
+        built = true;
+    }
+    return cache[chip][core];
+}
+
+ChipSilicon
+makeReferenceChip(int chip_index)
+{
+    if (chip_index < 0 || chip_index >= circuit::kChipsPerSystem)
+        util::fatal("reference chip index ", chip_index, " out of range");
+
+    ChipSilicon chip;
+    chip.name = "P" + std::to_string(chip_index);
+    // Fixed seed: the reference silicon is a specific pair of chips.
+    util::Rng rng(0x7a1e5u + static_cast<std::uint64_t>(chip_index));
+    for (int c = 0; c < circuit::kCoresPerChip; ++c) {
+        const CoreLimitTargets &targets = referenceTargets(chip_index, c);
+        const double speed = kMedianIdleLimitMhz / targets.idleLimitMhz;
+        const std::string name =
+            chip.name + "C" + std::to_string(c);
+        util::Rng core_rng = rng.fork(static_cast<std::uint64_t>(c));
+        chip.cores.push_back(buildCoreFromTargets(
+            name, targets, presetFor(chip_index, c), speed, core_rng,
+            stepHints(chip_index, c)));
+    }
+    chip.validate();
+    return chip;
+}
+
+std::vector<ChipSilicon>
+makeReferenceServer()
+{
+    std::vector<ChipSilicon> chips;
+    for (int p = 0; p < circuit::kChipsPerSystem; ++p)
+        chips.push_back(makeReferenceChip(p));
+    return chips;
+}
+
+} // namespace atmsim::variation

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper-calibrated reference chip pair.
+ *
+ * The HPCA'19 study measured two eight-core POWER7+ processors (P0 and
+ * P1). We reconstruct their per-core silicon parameters by inverting
+ * our model against the published data: Table I's four limit rows,
+ * Fig. 7's idle-limit frequencies, and the per-core non-linearity
+ * anecdotes of Sec. IV-C (P1C1, P1C2, P1C3, P1C6, P0C4/P1C7).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "variation/calibration.h"
+#include "variation/core_silicon.h"
+
+namespace atmsim::variation {
+
+/** Number of measured reference cores (2 chips x 8 cores). */
+constexpr int kReferenceCoreCount = 16;
+
+/**
+ * Published characterization targets for a reference core.
+ *
+ * @param chip Chip index (0 or 1).
+ * @param core Core index (0..7).
+ * @return The Table I column plus the Fig. 7 idle-limit frequency.
+ */
+const CoreLimitTargets &referenceTargets(int chip, int core);
+
+/**
+ * Build one calibrated reference chip.
+ *
+ * @param chip_index 0 for P0, 1 for P1.
+ * @return Chip whose characterization reproduces Table I exactly.
+ */
+ChipSilicon makeReferenceChip(int chip_index);
+
+/** Build the full two-socket reference server (P0 and P1). */
+std::vector<ChipSilicon> makeReferenceServer();
+
+} // namespace atmsim::variation

@@ -1,0 +1,56 @@
+#include "workload/activity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace atmsim::workload {
+
+ActivityGenerator::ActivityGenerator(const WorkloadTraits *traits,
+                                     double event_current_a, util::Rng rng)
+    : traits_(traits), eventCurrentA_(event_current_a), rng_(std::move(rng))
+{
+    if (!traits)
+        util::panic("ActivityGenerator constructed with null traits");
+    if (event_current_a < 0.0)
+        util::fatal("negative event current ", event_current_a);
+    synchronized_ = traits_->stress == StressClass::Virus;
+    if (synchronized_) {
+        // The virus throttles issue 1 cycle in 128: a ~27 ns square
+        // wave at ATM frequencies, phase-aligned across cores.
+        pulseWidthNs_ = 13.5;
+        nextEventNs_ = 0.0;
+    } else if (traits_->eventsPerUs > 0.0) {
+        scheduleNext(0.0);
+    } else {
+        nextEventNs_ = 1e30;
+    }
+}
+
+void
+ActivityGenerator::scheduleNext(double after_ns)
+{
+    const double gap_ns =
+        rng_.exponential(traits_->eventsPerUs / 1000.0);
+    nextEventNs_ = after_ns + gap_ns;
+}
+
+double
+ActivityGenerator::transientCurrentA(double now_ns)
+{
+    const double ramp = std::min(now_ns / kRampNs, 1.0)
+                      * traits_->phaseDroopScale(now_ns * 1e-3);
+    if (synchronized_) {
+        // Fixed-phase square wave: high half, low half.
+        const double period = 2.0 * pulseWidthNs_;
+        const double phase = std::fmod(now_ns, period);
+        return phase < pulseWidthNs_ ? eventCurrentA_ * ramp : 0.0;
+    }
+    if (now_ns >= nextEventNs_ && pulseEndNs_ < now_ns) {
+        pulseEndNs_ = now_ns + pulseWidthNs_;
+        scheduleNext(pulseEndNs_);
+    }
+    return now_ns < pulseEndNs_ ? eventCurrentA_ * ramp : 0.0;
+}
+
+} // namespace atmsim::workload

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Stochastic activity generation: converts a workload's electrical
+ * signature into a time series of transient load-current events for
+ * the simulation engine. Pipeline flushes and similar
+ * microarchitectural bursts become rectangular current pulses; the
+ * voltage virus emits a synchronized square wave (its 1-in-128-cycle
+ * issue throttle pattern).
+ */
+
+#pragma once
+
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace atmsim::workload {
+
+/** Per-core transient current event source. */
+class ActivityGenerator
+{
+  public:
+    /**
+     * @param traits Workload traits (not owned).
+     * @param event_current_a Pulse amplitude (A) that the PDN maps to
+     *        this workload's characteristic droop at this core.
+     * @param rng Random stream for event timing.
+     */
+    ActivityGenerator(const WorkloadTraits *traits, double event_current_a,
+                      util::Rng rng);
+
+    /**
+     * Transient (above-baseline) current draw at a point in time.
+     * Must be called with non-decreasing timestamps.
+     *
+     * @param now_ns Simulation time.
+     * @return Additional current (A) on top of the DC baseline.
+     */
+    double transientCurrentA(double now_ns);
+
+    /** Pulse amplitude (A). */
+    double eventCurrentA() const { return eventCurrentA_; }
+
+    /**
+     * Amplitude ramp-in time (ns): events reach full depth only after
+     * the workload has been running this long, letting the control
+     * loop adapt to the workload's average current first (real
+     * workloads ramp over far longer scales).
+     */
+    static constexpr double kRampNs = 120.0;
+
+    const WorkloadTraits &traits() const { return *traits_; }
+
+  private:
+    void scheduleNext(double after_ns);
+
+    const WorkloadTraits *traits_;
+    double eventCurrentA_;
+    util::Rng rng_;
+    bool synchronized_;
+    double nextEventNs_ = 0.0;
+    double pulseEndNs_ = -1.0;
+    double pulseWidthNs_ = 8.0;
+};
+
+} // namespace atmsim::workload

@@ -1,0 +1,281 @@
+#include "workload/catalog.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "variation/calibration.h"
+
+namespace atmsim::workload {
+
+namespace {
+
+/** Shorthand builder. */
+WorkloadTraits
+make(const std::string &name, Suite suite, Role role, StressClass stress,
+     bool mem_intensive, double mem_frac, double activity_w,
+     double droop_mv, double events_per_us, double latency_ms = 0.0,
+     int threads = 1)
+{
+    WorkloadTraits w;
+    w.name = name;
+    w.suite = suite;
+    w.role = role;
+    w.stress = stress;
+    w.memIntensive = mem_intensive;
+    w.memBoundFrac = mem_frac;
+    w.activityWPerThread = activity_w;
+    w.droopMv = droop_mv;
+    w.eventsPerUs = events_per_us;
+    w.baselineLatencyMs = latency_ms;
+    w.defaultThreads = threads;
+    w.validate();
+    return w;
+}
+
+std::vector<WorkloadTraits>
+buildCatalog()
+{
+    using S = Suite;
+    using R = Role;
+    using C = StressClass;
+    std::vector<WorkloadTraits> v;
+
+    // Pseudo-workload: system idle (background OS tasks only).
+    v.push_back(make("idle", S::Idle, R::None, C::Calm, false, 0.0, 0.0,
+                     0.0, 0.05));
+
+    // --- uBench (Sec. V-A): smooth, module-focused programs with
+    // little di/dt activity.
+    v.push_back(make("coremark", S::UBench, R::None, C::Calm, false, 0.02,
+                     8.0, 3.0, 0.2));
+    v.push_back(make("daxpy", S::UBench, R::None, C::Calm, false, 0.10,
+                     3.8, 3.0, 0.2, 0.0, 4));
+    v.push_back(make("stream", S::UBench, R::None, C::Calm, true, 0.70,
+                     9.0, 3.0, 0.2));
+
+    // --- SPEC CPU2017 (single-threaded rate runs).
+    v.push_back(make("gcc", S::SpecCpu2017, R::Background, C::Light, true,
+                     0.30, 7.5, 8.0, 0.8));
+    v.push_back(make("mcf", S::SpecCpu2017, R::None, C::Light, true,
+                     0.55, 6.5, 10.0, 0.6));
+    {
+        // x264 alternates heavy frame-encode regions (the worst-droop
+        // phase) with lighter bitstream packing.
+        WorkloadTraits x264 = make("x264", S::SpecCpu2017,
+                                   R::Background, C::Heavy, false, 0.05,
+                                   11.0, 55.0, 1.8);
+        x264.phases = {{0.5, 1.12, 1.0}, {0.7, 0.91, 0.55}};
+        x264.validate();
+        v.push_back(std::move(x264));
+    }
+    v.push_back(make("leela", S::SpecCpu2017, R::None, C::Light, false,
+                     0.10, 7.0, 7.0, 0.5));
+    v.push_back(make("exchange2", S::SpecCpu2017, R::None, C::Light, false,
+                     0.02, 8.0, 6.0, 0.4));
+    v.push_back(make("deepsjeng", S::SpecCpu2017, R::None, C::Light, false,
+                     0.15, 7.5, 8.0, 0.6));
+    v.push_back(make("xz", S::SpecCpu2017, R::None, C::Light, true,
+                     0.35, 7.0, 9.0, 0.7));
+    v.push_back(make("nab", S::SpecCpu2017, R::None, C::Light, false,
+                     0.12, 8.5, 9.0, 0.6));
+    v.push_back(make("namd", S::SpecCpu2017, R::None, C::Medium, false,
+                     0.08, 9.5, 11.0, 0.8));
+
+    // --- PARSEC 3.0.
+    {
+        // ferret's pipeline stages (extract / index / rank) create a
+        // three-phase activity pattern.
+        WorkloadTraits ferret = make("ferret", S::Parsec, R::Critical,
+                                     C::Heavy, true, 0.35, 10.5, 48.0,
+                                     1.6, 55.0);
+        ferret.phases = {{0.4, 1.10, 1.0}, {0.3, 1.00, 0.7},
+                         {0.5, 0.92, 0.5}};
+        ferret.validate();
+        v.push_back(std::move(ferret));
+    }
+    v.push_back(make("fluidanimate", S::Parsec, R::Critical, C::Heavy, true,
+                     0.32, 10.0, 40.0, 1.4, 40.0));
+    v.push_back(make("facesim", S::Parsec, R::Background, C::Heavy, true,
+                     0.35, 9.5, 28.0, 1.2));
+    v.push_back(make("blackscholes", S::Parsec, R::Background, C::Light,
+                     false, 0.05, 8.0, 9.0, 0.5));
+    v.push_back(make("swaptions", S::Parsec, R::Background, C::Medium,
+                     false, 0.05, 8.5, 10.0, 0.6));
+    v.push_back(make("bodytrack", S::Parsec, R::Critical, C::Medium, false,
+                     0.15, 9.0, 12.0, 0.9, 33.0));
+    v.push_back(make("streamcluster", S::Parsec, R::Background, C::Light,
+                     true, 0.45, 4.5, 8.0, 0.5));
+    v.push_back(make("raytrace", S::Parsec, R::Background, C::Light, false,
+                     0.15, 7.5, 9.0, 0.5));
+    v.push_back(make("vips", S::Parsec, R::Critical, C::Medium, false,
+                     0.15, 9.0, 11.0, 0.8, 28.0));
+    v.push_back(make("canneal", S::Parsec, R::None, C::Light, true,
+                     0.50, 6.0, 10.0, 0.6));
+    v.push_back(make("freqmine", S::Parsec, R::None, C::Light, false,
+                     0.25, 8.0, 9.0, 0.6));
+    v.push_back(make("lu_cb", S::Parsec, R::Background, C::Medium, true,
+                     0.30, 10.5, 11.0, 0.8));
+
+    // --- DNN inference / ML (Table II critical and background rows).
+    v.push_back(make("squeezenet", S::DnnInference, R::Critical, C::Medium,
+                     false, 0.10, 9.0, 11.0, 0.8, 80.0));
+    v.push_back(make("resnet", S::DnnInference, R::Critical, C::Medium,
+                     true, 0.32, 10.0, 12.0, 0.9, 120.0));
+    v.push_back(make("vgg19", S::DnnInference, R::Critical, C::Medium,
+                     true, 0.32, 10.5, 12.0, 0.9, 180.0));
+    v.push_back(make("seq2seq", S::DnnInference, R::Critical, C::Light,
+                     false, 0.15, 8.0, 9.0, 0.6, 45.0));
+    v.push_back(make("babi", S::DnnInference, R::Critical, C::Light, false,
+                     0.10, 7.0, 8.0, 0.5, 30.0));
+    v.push_back(make("mlp", S::DnnInference, R::Background, C::Medium, true,
+                     0.30, 10.0, 11.0, 0.8));
+
+    // --- Test-time stressmarks (Sec. VII-A): a voltage virus that
+    // synchronously throttles issue across cores while 32 daxpy
+    // threads keep power high, and a plain power virus.
+    v.push_back(make("voltage_virus", S::Stressmark, R::None, C::Virus,
+                     false, 0.05, 4.6, 57.0, 36.0, 0.0, 4));
+    v.push_back(make("power_virus", S::Stressmark, R::None, C::Heavy,
+                     false, 0.02, 5.2, 30.0, 2.0, 0.0, 4));
+    // Vendor ISA verification suite analogue: wide circuit-path
+    // coverage (it exercises the full load exposure) with only
+    // moderate di/dt activity.
+    v.push_back(make("isa_suite", S::Stressmark, R::None, C::Heavy,
+                     false, 0.10, 6.5, 20.0, 1.0, 0.0, 2));
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadTraits> &
+allWorkloads()
+{
+    static const std::vector<WorkloadTraits> catalog = buildCatalog();
+    return catalog;
+}
+
+const WorkloadTraits &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    util::fatal("unknown workload '", name, "'");
+}
+
+bool
+hasWorkload(const std::string &name)
+{
+    return std::any_of(allWorkloads().begin(), allWorkloads().end(),
+                       [&](const WorkloadTraits &w) {
+                           return w.name == name;
+                       });
+}
+
+const WorkloadTraits &
+idleWorkload()
+{
+    return findWorkload("idle");
+}
+
+std::vector<const WorkloadTraits *>
+ubenchPrograms()
+{
+    std::vector<const WorkloadTraits *> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.suite == Suite::UBench)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+std::vector<const WorkloadTraits *>
+profiledApps()
+{
+    // The Fig. 10 heatmap profiles the realistic single-threaded apps.
+    std::vector<const WorkloadTraits *> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.suite == Suite::SpecCpu2017 || w.suite == Suite::Parsec)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+std::vector<const WorkloadTraits *>
+criticalApps()
+{
+    std::vector<const WorkloadTraits *> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.role == Role::Critical)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+std::vector<const WorkloadTraits *>
+backgroundApps()
+{
+    std::vector<const WorkloadTraits *> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.role == Role::Background)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const WorkloadTraits &
+voltageVirus()
+{
+    return findWorkload("voltage_virus");
+}
+
+void
+validateCatalog()
+{
+    for (const auto &w : allWorkloads()) {
+        w.validate();
+        // Calibration invariants: light/medium apps stay within the
+        // thread-normal droop bound, every app within the worst bound,
+        // the virus dominates every app.
+        if (w.suite == Suite::SpecCpu2017 || w.suite == Suite::Parsec
+            || w.suite == Suite::DnnInference) {
+            if ((w.stress == StressClass::Light
+                 || w.stress == StressClass::Medium)
+                && w.droopMv > variation::kNormalClassMaxDroopMv) {
+                util::fatal("workload ", w.name, " is light/medium but "
+                            "droops above the thread-normal bound");
+            }
+            if (w.droopMv > variation::kWorstClassDroopMv)
+                util::fatal("workload ", w.name,
+                            " droops above the thread-worst bound");
+        }
+        if (w.suite == Suite::UBench
+            && w.droopMv > variation::kUbenchDroopMv) {
+            util::fatal("uBench workload ", w.name,
+                        " droops above the uBench bound");
+        }
+    }
+    const auto &virus = voltageVirus();
+    for (const auto &w : allWorkloads()) {
+        if (w.suite != Suite::Stressmark && w.droopMv >= virus.droopMv)
+            util::fatal("workload ", w.name, " out-stresses the virus");
+    }
+    // Exactly one app must sit at the thread-worst bound (x264).
+    if (findWorkload("x264").droopMv != variation::kWorstClassDroopMv)
+        util::fatal("x264 must define the thread-worst droop bound");
+    // And at least one light/medium app at the thread-normal bound.
+    bool have_normal_bound = false;
+    for (const auto &w : allWorkloads()) {
+        if ((w.stress == StressClass::Light
+             || w.stress == StressClass::Medium)
+            && w.droopMv == variation::kNormalClassMaxDroopMv) {
+            have_normal_bound = true;
+        }
+    }
+    if (!have_normal_bound)
+        util::fatal("no workload sits at the thread-normal droop bound");
+}
+
+} // namespace atmsim::workload

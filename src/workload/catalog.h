@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The workload catalog: calibrated activity models for the benchmarks
+ * the paper profiles -- SPEC CPU2017, PARSEC 3.0, the DNN inference
+ * workloads of Table II, the three uBench programs (coremark, daxpy,
+ * stream), and the test-time stressmarks of Sec. VII-A.
+ *
+ * Droop levels are calibrated against the characterization data:
+ * light/medium workloads stay at or below kNormalClassMaxDroopMv (so
+ * the thread-normal limit supports them), heavy workloads reach up to
+ * kWorstClassDroopMv (x264, the thread-worst bound).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace atmsim::workload {
+
+/** @return The full catalog (stable order, stable across calls). */
+const std::vector<WorkloadTraits> &allWorkloads();
+
+/**
+ * Find a workload by name; fatal() if unknown.
+ *
+ * @param name Catalog name, e.g. "x264", "squeezenet", "daxpy".
+ */
+const WorkloadTraits &findWorkload(const std::string &name);
+
+/** @return true when the catalog contains the name. */
+bool hasWorkload(const std::string &name);
+
+/** The system-idle pseudo-workload. */
+const WorkloadTraits &idleWorkload();
+
+/** The three uBench programs: coremark, daxpy, stream. */
+std::vector<const WorkloadTraits *> ubenchPrograms();
+
+/**
+ * The realistic applications profiled in the Fig. 10 heatmap
+ * (SPEC CPU2017 + PARSEC single-threaded workloads).
+ */
+std::vector<const WorkloadTraits *> profiledApps();
+
+/** Table II critical applications. */
+std::vector<const WorkloadTraits *> criticalApps();
+
+/** Table II background applications. */
+std::vector<const WorkloadTraits *> backgroundApps();
+
+/** The test-time voltage-virus stressmark. */
+const WorkloadTraits &voltageVirus();
+
+/** Catalog-wide self-check: validates every entry and the droop-class
+ *  invariants the calibration relies on; fatal() on violation. */
+void validateCatalog();
+
+} // namespace atmsim::workload

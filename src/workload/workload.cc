@@ -1,0 +1,168 @@
+#include "workload/workload.h"
+
+#include <array>
+#include <cmath>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::workload {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Idle: return "idle";
+      case Suite::UBench: return "uBench";
+      case Suite::SpecCpu2017: return "SPEC CPU2017";
+      case Suite::Parsec: return "PARSEC";
+      case Suite::DnnInference: return "DNN inference";
+      case Suite::Stressmark: return "stressmark";
+    }
+    return "?";
+}
+
+const char *
+roleName(Role role)
+{
+    switch (role) {
+      case Role::Critical: return "critical";
+      case Role::Background: return "background";
+      case Role::None: return "unclassified";
+    }
+    return "?";
+}
+
+const char *
+stressClassName(StressClass cls)
+{
+    switch (cls) {
+      case StressClass::Calm: return "calm";
+      case StressClass::Light: return "light";
+      case StressClass::Medium: return "medium";
+      case StressClass::Heavy: return "heavy";
+      case StressClass::Virus: return "virus";
+    }
+    return "?";
+}
+
+double
+WorkloadTraits::coreActivityW(int threads) const
+{
+    if (threads < 0 || threads > circuit::kSmtWays)
+        util::fatal("thread count ", threads, " outside SMT capability");
+    // Cumulative SMT throughput scaling: diminishing returns.
+    static constexpr std::array<double, 5> smt_scale =
+        {0.0, 1.0, 1.8, 2.5, 3.1};
+    return activityWPerThread * smt_scale[static_cast<std::size_t>(threads)];
+}
+
+double
+WorkloadTraits::perfRelative(double f_mhz) const
+{
+    if (f_mhz <= 0.0)
+        util::fatal("perfRelative: non-positive frequency ", f_mhz);
+    const double fr = circuit::kStaticMarginMhz / f_mhz;
+    return 1.0 / ((1.0 - memBoundFrac) * fr + memBoundFrac);
+}
+
+double
+WorkloadTraits::latencyMs(double f_mhz) const
+{
+    if (baselineLatencyMs <= 0.0)
+        util::fatal("workload '", name, "' has no latency metric");
+    return baselineLatencyMs / perfRelative(f_mhz);
+}
+
+const WorkloadPhase *
+WorkloadTraits::phaseAt(double now_us) const
+{
+    if (phases.empty())
+        return nullptr;
+    double cycle = 0.0;
+    for (const auto &phase : phases)
+        cycle += phase.durationUs;
+    double t = std::fmod(now_us, cycle);
+    for (const auto &phase : phases) {
+        if (t < phase.durationUs)
+            return &phase;
+        t -= phase.durationUs;
+    }
+    return &phases.back();
+}
+
+double
+WorkloadTraits::phaseActivityScale(double now_us) const
+{
+    const WorkloadPhase *phase = phaseAt(now_us);
+    return phase ? phase->activityScale : 1.0;
+}
+
+double
+WorkloadTraits::phaseDroopScale(double now_us) const
+{
+    const WorkloadPhase *phase = phaseAt(now_us);
+    return phase ? phase->droopScale : 1.0;
+}
+
+double
+WorkloadTraits::avgActivityScale() const
+{
+    if (phases.empty())
+        return 1.0;
+    double total = 0.0, weighted = 0.0;
+    for (const auto &phase : phases) {
+        total += phase.durationUs;
+        weighted += phase.durationUs * phase.activityScale;
+    }
+    return weighted / total;
+}
+
+void
+WorkloadTraits::validate() const
+{
+    if (name.empty())
+        util::fatal("workload has no name");
+    if (memBoundFrac < 0.0 || memBoundFrac > 0.95)
+        util::fatal("workload ", name, ": memBoundFrac ", memBoundFrac,
+                    " outside [0, 0.95]");
+    if (activityWPerThread < 0.0 || activityWPerThread > 25.0)
+        util::fatal("workload ", name, ": implausible activity ",
+                    activityWPerThread, " W");
+    if (droopMv < 0.0 || droopMv > 80.0)
+        util::fatal("workload ", name, ": implausible droop ", droopMv);
+    if (eventsPerUs < 0.0)
+        util::fatal("workload ", name, ": negative event rate");
+    if (defaultThreads < 1 || defaultThreads > circuit::kSmtWays)
+        util::fatal("workload ", name, ": bad thread count ",
+                    defaultThreads);
+    for (const auto &phase : phases) {
+        if (phase.durationUs <= 0.0)
+            util::fatal("workload ", name, ": non-positive phase");
+        if (phase.activityScale < 0.0 || phase.activityScale > 2.0)
+            util::fatal("workload ", name, ": implausible phase "
+                        "activity scale ", phase.activityScale);
+        // The quoted droop is the worst phase: scales stay <= 1.
+        if (phase.droopScale < 0.0 || phase.droopScale > 1.0)
+            util::fatal("workload ", name, ": phase droop scale ",
+                        phase.droopScale, " outside [0, 1]");
+    }
+    if (!phases.empty()) {
+        // Time-averaged activity must match the quoted level so the
+        // analytic power model stays calibrated.
+        const double avg = avgActivityScale();
+        if (avg < 0.9 || avg > 1.1)
+            util::fatal("workload ", name, ": phase activity scales "
+                        "average to ", avg, ", outside [0.9, 1.1]");
+        bool has_worst = false;
+        for (const auto &phase : phases) {
+            if (phase.droopScale >= 0.999)
+                has_worst = true;
+        }
+        if (!has_worst)
+            util::fatal("workload ", name, ": no phase carries the "
+                        "quoted (worst) droop");
+    }
+}
+
+} // namespace atmsim::workload

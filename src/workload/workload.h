@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Workload activity models.
+ *
+ * ATM cares about a workload's *electrical signature* -- its power
+ * level, the depth and rate of the di/dt events its microarchitectural
+ * activity creates -- and about its *performance model* -- how its
+ * throughput scales with core frequency. WorkloadTraits captures
+ * exactly these, replacing the binaries the paper ran on real
+ * hardware (SPEC CPU2017, PARSEC 3.0, DNN inference, uBench,
+ * stressmarks) with calibrated synthetic equivalents.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atmsim::workload {
+
+/** Benchmark suite a workload belongs to. */
+enum class Suite {
+    Idle,
+    UBench,
+    SpecCpu2017,
+    Parsec,
+    DnnInference,
+    Stressmark,
+};
+
+/** Printable suite name. */
+const char *suiteName(Suite suite);
+
+/** Scheduling role per the paper's Table II. */
+enum class Role {
+    Critical,   ///< User-facing, latency sensitive.
+    Background, ///< Throughput work, tolerates throttling.
+    None,       ///< Not classified in Table II.
+};
+
+/** Printable role name. */
+const char *roleName(Role role);
+
+/** Stress class used for the thread-normal / thread-worst split. */
+enum class StressClass {
+    Calm,   ///< Idle or uBench-level system noise.
+    Light,  ///< Small droops (e.g. gcc, leela).
+    Medium, ///< Moderate droops (e.g. bodytrack, swaptions).
+    Heavy,  ///< Large droops (e.g. x264, ferret).
+    Virus,  ///< Test-time stressmark.
+};
+
+/** Printable stress-class name. */
+const char *stressClassName(StressClass cls);
+
+/**
+ * One execution phase of a workload: real applications alternate
+ * between heavy and light program regions (x264's frame encode vs.
+ * bitstream packing, ferret's rank vs. extract stages). Scales are
+ * relative to the workload's quoted activity/droop: the quoted droop
+ * is the worst phase (droopScale <= 1) and the activity scales
+ * average to ~1 so time-averaged power matches the quoted level.
+ */
+struct WorkloadPhase
+{
+    double durationUs = 1.0;
+    double activityScale = 1.0;
+    double droopScale = 1.0;
+};
+
+/** Static description of one workload. */
+struct WorkloadTraits
+{
+    std::string name;
+    Suite suite = Suite::Idle;
+    Role role = Role::None;
+    StressClass stress = StressClass::Calm;
+
+    /** True if the workload pressures the memory subsystem. */
+    bool memIntensive = false;
+
+    /** Fraction of execution time bound to the fixed-clock nest. */
+    double memBoundFrac = 0.0;
+
+    /** Dynamic power per thread at 4.2 GHz / 1.25 V (W). */
+    double activityWPerThread = 0.0;
+
+    /** Characteristic chip-level di/dt droop the workload creates (mV). */
+    double droopMv = 0.0;
+
+    /** di/dt event rate (events per microsecond). */
+    double eventsPerUs = 0.0;
+
+    /** Latency of one work unit at the 4.2 GHz static margin (ms);
+     *  0 when latency is not the metric. */
+    double baselineLatencyMs = 0.0;
+
+    /** Natural SMT thread count when scheduled alone on a core. */
+    int defaultThreads = 1;
+
+    /** Phase structure (empty = a single uniform phase). */
+    std::vector<WorkloadPhase> phases;
+
+    /**
+     * Core-level dynamic activity for a thread count, including SMT
+     * scaling (diminishing returns beyond one thread).
+     */
+    double coreActivityW(int threads) const;
+
+    /**
+     * Relative performance at a core frequency versus the 4.2 GHz
+     * static margin: 1 / ((1 - m) * 4200/f + m). Compute-bound
+     * workloads (m ~ 0) scale almost linearly with frequency;
+     * memory-bound workloads flatten (Fig. 12b).
+     *
+     * @param f_mhz Core frequency (MHz).
+     */
+    double perfRelative(double f_mhz) const;
+
+    /** Work-unit latency at a core frequency (ms); requires
+     *  baselineLatencyMs > 0. */
+    double latencyMs(double f_mhz) const;
+
+    /** Activity scale of the phase active at a point in time. */
+    double phaseActivityScale(double now_us) const;
+
+    /** Droop scale of the phase active at a point in time. */
+    double phaseDroopScale(double now_us) const;
+
+    /** Time-averaged activity scale across the phase cycle. */
+    double avgActivityScale() const;
+
+    /** Validate ranges; fatal() on violation. */
+    void validate() const;
+
+  private:
+    /** Phase active at a point in time (nullptr when unphased). */
+    const WorkloadPhase *phaseAt(double now_us) const;
+};
+
+} // namespace atmsim::workload

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chip/atm_core.h"
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "util/units.h"
+#include "variation/calibration.h"
+
+namespace atmsim::chip {
+namespace {
+
+class AtmCoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        util::Rng rng(31);
+        variation::CoreLimitTargets targets;
+        targets.idle = 8;
+        targets.ubench = 7;
+        targets.normal = 6;
+        targets.worst = 5;
+        targets.idleLimitMhz = 5000.0;
+        silicon_ = variation::buildCoreFromTargets("T0C0", targets, 12,
+                                                   1.0, rng);
+        model_ = std::make_unique<circuit::DelayModel>(
+            circuit::DelayModel::makeDefault());
+        core_ = std::make_unique<AtmCore>(&silicon_, model_.get());
+    }
+
+    variation::CoreSiliconParams silicon_;
+    std::unique_ptr<circuit::DelayModel> model_;
+    std::unique_ptr<AtmCore> core_;
+};
+
+TEST_F(AtmCoreTest, DefaultSteadyFrequencyIsFactoryAtm)
+{
+    EXPECT_NEAR(core_->steadyFrequencyMhz(1.25, 45.0),
+                circuit::kDefaultAtmIdleMhz, 1.0);
+}
+
+TEST_F(AtmCoreTest, ReductionRaisesSteadyFrequency)
+{
+    const double base = core_->steadyFrequencyMhz(1.25, 45.0);
+    core_->setCpmReduction(8);
+    EXPECT_NEAR(core_->steadyFrequencyMhz(1.25, 45.0), 5000.0, 1.0);
+    EXPECT_GT(core_->steadyFrequencyMhz(1.25, 45.0), base);
+}
+
+TEST_F(AtmCoreTest, SteadyFrequencyDropsWithVoltage)
+{
+    EXPECT_LT(core_->steadyFrequencyMhz(1.18, 45.0),
+              core_->steadyFrequencyMhz(1.25, 45.0));
+}
+
+TEST_F(AtmCoreTest, FixedModeIgnoresEnvironment)
+{
+    core_->setMode(CoreMode::FixedFrequency);
+    core_->setFixedFrequencyMhz(4200.0);
+    EXPECT_DOUBLE_EQ(core_->steadyFrequencyMhz(1.18, 70.0), 4200.0);
+    EXPECT_DOUBLE_EQ(core_->frequencyMhz(),
+                     util::psToMhz(core_->periodPs()));
+}
+
+TEST_F(AtmCoreTest, GatedModeReportsZeroSteady)
+{
+    core_->setMode(CoreMode::Gated);
+    EXPECT_DOUBLE_EQ(core_->steadyFrequencyMhz(1.25, 45.0), 0.0);
+    EXPECT_TRUE(core_->timingMet(1.0, 45.0, 100.0, 100.0));
+}
+
+TEST_F(AtmCoreTest, ControlLoopTracksSteadyState)
+{
+    core_->setCpmReduction(5);
+    core_->resetClock(1.25, 45.0);
+    double now = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        core_->stepControl(now, 1.25, 45.0);
+        now += 0.2;
+    }
+    // The engine loop holds slack in [target, target+1) inverters, so
+    // it sits slightly below the analytic steady state.
+    const double analytic = core_->steadyFrequencyMhz(1.25, 45.0);
+    EXPECT_NEAR(core_->frequencyMhz(), analytic, 40.0);
+    EXPECT_LE(core_->frequencyMhz(), analytic + 1.0);
+}
+
+TEST_F(AtmCoreTest, ControlLoopAdaptsToVoltageDrop)
+{
+    core_->setCpmReduction(5);
+    core_->resetClock(1.25, 45.0);
+    double now = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        core_->stepControl(now, 1.25, 45.0);
+        now += 0.2;
+    }
+    const double before = core_->frequencyMhz();
+    for (int i = 0; i < 10000; ++i) {
+        core_->stepControl(now, 1.20, 45.0);
+        now += 0.2;
+    }
+    const double after = core_->frequencyMhz();
+    EXPECT_LT(after, before - 50.0);
+}
+
+TEST_F(AtmCoreTest, TimingMetAtSafeConfig)
+{
+    core_->setCpmReduction(8); // the idle limit
+    core_->resetClock(1.25, 45.0);
+    EXPECT_TRUE(core_->timingMet(1.25, 45.0, 0.0, 0.5));
+}
+
+TEST_F(AtmCoreTest, TimingViolatedBeyondLimit)
+{
+    core_->setCpmReduction(10); // two past the idle limit
+    core_->resetClock(1.25, 45.0);
+    EXPECT_FALSE(core_->timingMet(1.25, 45.0, 0.0, 1.2));
+}
+
+TEST_F(AtmCoreTest, Validation)
+{
+    EXPECT_THROW(core_->setFixedFrequencyMhz(0.0), util::FatalError);
+    EXPECT_THROW(AtmCore(nullptr, model_.get()), util::PanicError);
+}
+
+TEST(CoreModeNames, Printable)
+{
+    EXPECT_STREQ(coreModeName(CoreMode::AtmOverclock), "atm");
+    EXPECT_STREQ(coreModeName(CoreMode::Gated), "gated");
+}
+
+} // namespace
+} // namespace atmsim::chip

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "chip/chip.h"
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::chip {
+namespace {
+
+class ChipTest : public ::testing::Test
+{
+  protected:
+    ChipTest() : chip_(variation::makeReferenceChip(0)) {}
+    Chip chip_;
+};
+
+TEST_F(ChipTest, BasicShape)
+{
+    EXPECT_EQ(chip_.coreCount(), circuit::kCoresPerChip);
+    EXPECT_EQ(chip_.name(), "P0");
+    EXPECT_EQ(chip_.core(3).name(), "P0C3");
+    EXPECT_THROW(chip_.core(8), util::FatalError);
+}
+
+TEST_F(ChipTest, IdleSteadyStateNearNominal)
+{
+    const ChipSteadyState st = chip_.solveSteadyState();
+    // The VRM setpoint is chosen so idle cores sit near 1.25 V.
+    for (double v : st.coreVoltageV)
+        EXPECT_NEAR(v, circuit::kVddNominal, 0.01);
+    // Idle chip power around 40 W.
+    EXPECT_GT(st.chipPowerW, 30.0);
+    EXPECT_LT(st.chipPowerW, 50.0);
+    // Default ATM idles near 4.6 GHz on every core.
+    for (double f : st.coreFreqMhz)
+        EXPECT_NEAR(f, circuit::kDefaultAtmIdleMhz, 30.0);
+}
+
+TEST_F(ChipTest, LoadDropsVoltageAndFrequency)
+{
+    const ChipSteadyState idle = chip_.solveSteadyState();
+    const auto &daxpy = workload::findWorkload("daxpy");
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        chip_.assignWorkload(c, &daxpy, 4);
+    const ChipSteadyState loaded = chip_.solveSteadyState();
+    EXPECT_GT(loaded.chipPowerW, idle.chipPowerW + 50.0);
+    EXPECT_LT(loaded.gridVoltageV, idle.gridVoltageV - 0.03);
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_LT(loaded.coreFreqMhz[c], idle.coreFreqMhz[c] - 80.0)
+            << "core " << c;
+    }
+}
+
+TEST_F(ChipTest, FrequencyPowerSlopeNearTwoMhzPerWatt)
+{
+    // Eq. 1 calibration: about 2 MHz lost per watt of chip power.
+    const ChipSteadyState idle = chip_.solveSteadyState();
+    const auto &daxpy = workload::findWorkload("daxpy");
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        chip_.assignWorkload(c, &daxpy, 4);
+    const ChipSteadyState loaded = chip_.solveSteadyState();
+    const double slope = (idle.coreFreqMhz[0] - loaded.coreFreqMhz[0])
+                       / (loaded.chipPowerW - idle.chipPowerW);
+    EXPECT_GT(slope, 1.0);
+    EXPECT_LT(slope, 3.5);
+}
+
+TEST_F(ChipTest, GatedCoreDrawsAlmostNothing)
+{
+    const ChipSteadyState before = chip_.solveSteadyState();
+    chip_.core(0).setMode(CoreMode::Gated);
+    const ChipSteadyState after = chip_.solveSteadyState();
+    EXPECT_LT(after.chipPowerW, before.chipPowerW - 2.0);
+    EXPECT_DOUBLE_EQ(after.coreFreqMhz[0], 0.0);
+    EXPECT_GT(after.minActiveFreqMhz(), 0.0);
+    chip_.core(0).setMode(CoreMode::AtmOverclock);
+}
+
+TEST_F(ChipTest, FixedCoresHoldFrequencyUnderLoad)
+{
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        chip_.core(c).setMode(CoreMode::FixedFrequency);
+        chip_.core(c).setFixedFrequencyMhz(circuit::kStaticMarginMhz);
+    }
+    const auto &x264 = workload::findWorkload("x264");
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        chip_.assignWorkload(c, &x264);
+    const ChipSteadyState st = chip_.solveSteadyState();
+    for (double f : st.coreFreqMhz)
+        EXPECT_DOUBLE_EQ(f, circuit::kStaticMarginMhz);
+}
+
+TEST_F(ChipTest, AssignmentBookkeeping)
+{
+    const auto &gcc = workload::findWorkload("gcc");
+    chip_.assignWorkload(2, &gcc);
+    EXPECT_EQ(chip_.assignment(2).traits, &gcc);
+    EXPECT_EQ(chip_.assignment(2).threads, gcc.defaultThreads);
+    chip_.assignWorkload(2, nullptr);
+    EXPECT_TRUE(chip_.assignment(2).idle());
+    chip_.assignWorkload(4, &gcc, 2);
+    EXPECT_EQ(chip_.assignment(4).threads, 2);
+    chip_.clearAssignments();
+    EXPECT_TRUE(chip_.assignment(4).idle());
+    EXPECT_THROW(chip_.assignWorkload(99, &gcc), util::FatalError);
+}
+
+TEST_F(ChipTest, PathExposureBySuite)
+{
+    const auto &silicon = chip_.core(0).silicon();
+    EXPECT_DOUBLE_EQ(
+        Chip::pathExposurePs(silicon, workload::idleWorkload()), 0.0);
+    EXPECT_DOUBLE_EQ(
+        Chip::pathExposurePs(silicon, workload::findWorkload("daxpy")),
+        silicon.ubenchExtraPs);
+    EXPECT_DOUBLE_EQ(
+        Chip::pathExposurePs(silicon, workload::findWorkload("x264")),
+        silicon.loadExposurePs);
+    EXPECT_DOUBLE_EQ(
+        Chip::pathExposurePs(silicon, workload::voltageVirus()),
+        silicon.loadExposurePs);
+}
+
+TEST_F(ChipTest, SteadyStateHelpers)
+{
+    ChipSteadyState st;
+    st.coreFreqMhz = {4800.0, 0.0, 4900.0};
+    EXPECT_DOUBLE_EQ(st.minActiveFreqMhz(), 4800.0);
+    EXPECT_DOUBLE_EQ(st.maxFreqMhz(), 4900.0);
+}
+
+} // namespace
+} // namespace atmsim::chip

@@ -1,0 +1,32 @@
+#include <gtest/gtest.h>
+
+#include "chip/pstate.h"
+#include "circuit/constants.h"
+
+namespace atmsim::chip {
+namespace {
+
+TEST(PState, TableSpansPaperRange)
+{
+    EXPECT_DOUBLE_EQ(highestPStateMhz(), circuit::kStaticMarginMhz);
+    EXPECT_DOUBLE_EQ(lowestPStateMhz(), circuit::kPStateMinMhz);
+}
+
+TEST(PState, TableDescending)
+{
+    const auto &table = pstateTableMhz();
+    ASSERT_GE(table.size(), 2u);
+    for (std::size_t i = 1; i < table.size(); ++i)
+        EXPECT_LT(table[i], table[i - 1]);
+}
+
+TEST(PState, AtOrBelowSnapsDown)
+{
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(4200.0), 4200.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(4100.0), 3900.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(3899.0), 3600.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(1000.0), 2100.0);
+}
+
+} // namespace
+} // namespace atmsim::chip

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "chip/system.h"
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::chip {
+namespace {
+
+TEST(System, ReferenceServerShape)
+{
+    System server = System::makeReference();
+    EXPECT_EQ(server.chipCount(), circuit::kChipsPerSystem);
+    EXPECT_EQ(server.totalCores(),
+              circuit::kChipsPerSystem * circuit::kCoresPerChip);
+    EXPECT_EQ(server.chip(0).name(), "P0");
+    EXPECT_EQ(server.chip(1).name(), "P1");
+}
+
+TEST(System, FindCoreByName)
+{
+    System server = System::makeReference();
+    const auto [chip, core] = server.findCore("P1C6");
+    EXPECT_EQ(chip, 1);
+    EXPECT_EQ(core, 6);
+    EXPECT_THROW(server.findCore("P9C9"), util::FatalError);
+}
+
+TEST(System, ChipIndexChecked)
+{
+    System server = System::makeReference();
+    EXPECT_THROW(server.chip(2), util::FatalError);
+    EXPECT_THROW(server.chip(-1), util::FatalError);
+}
+
+TEST(System, RejectsEmpty)
+{
+    EXPECT_THROW(System({}), util::FatalError);
+}
+
+TEST(System, SocketsAreElectricallyIndependent)
+{
+    System server = System::makeReference();
+    const ChipSteadyState idle1 = server.chip(1).solveSteadyState();
+    // Loading chip 0 must not move chip 1's operating point.
+    const auto &virus = server.chip(0).assignment(0); // touch API
+    (void)virus;
+    for (int c = 0; c < server.chip(0).coreCount(); ++c)
+        server.chip(0).core(c).setCpmReduction(2);
+    const ChipSteadyState idle1_after = server.chip(1).solveSteadyState();
+    EXPECT_DOUBLE_EQ(idle1.gridVoltageV, idle1_after.gridVoltageV);
+}
+
+} // namespace
+} // namespace atmsim::chip

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+namespace {
+
+class CharacterizerTest : public ::testing::Test
+{
+  protected:
+    CharacterizerTest()
+        : chip_(variation::makeReferenceChip(0)),
+          characterizer_(&chip_)
+    {
+    }
+
+    chip::Chip chip_;
+    Characterizer characterizer_;
+};
+
+TEST_F(CharacterizerTest, IdleLimitMatchesReference)
+{
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_EQ(characterizer_.idleLimit(c).limit(),
+                  variation::referenceTargets(0, c).idle)
+            << chip_.core(c).name();
+    }
+}
+
+TEST_F(CharacterizerTest, IdleDistributionCoversAtMostTwoConfigs)
+{
+    // Fig. 7: run-to-run distributions are tight.
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        const LimitDistribution dist = characterizer_.idleLimit(c);
+        EXPECT_LE(dist.maxSafe.maxValue() - dist.maxSafe.minValue(), 1)
+            << chip_.core(c).name();
+    }
+}
+
+TEST_F(CharacterizerTest, UbenchLimitMatchesReference)
+{
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        const int idle = variation::referenceTargets(0, c).idle;
+        EXPECT_EQ(characterizer_.ubenchLimit(c, idle).limit(),
+                  variation::referenceTargets(0, c).ubench)
+            << chip_.core(c).name();
+    }
+}
+
+TEST_F(CharacterizerTest, AppLimitsOrderedByStress)
+{
+    const auto &gcc = workload::findWorkload("gcc");
+    const auto &x264 = workload::findWorkload("x264");
+    for (int c : {0, 3, 5}) {
+        const int ub = variation::referenceTargets(0, c).ubench;
+        const int gcc_limit = characterizer_.appLimit(c, ub, gcc).limit();
+        const int x264_limit =
+            characterizer_.appLimit(c, ub, x264).limit();
+        EXPECT_LE(x264_limit, gcc_limit) << "core " << c;
+    }
+}
+
+TEST_F(CharacterizerTest, MeanRollbackNonNegativeAndOrdered)
+{
+    const auto &gcc = workload::findWorkload("gcc");
+    const auto &x264 = workload::findWorkload("x264");
+    for (int c : {0, 1, 4}) {
+        const int ub = variation::referenceTargets(0, c).ubench;
+        const double r_gcc = characterizer_.meanRollback(c, ub, gcc);
+        const double r_x264 = characterizer_.meanRollback(c, ub, x264);
+        EXPECT_GE(r_gcc, 0.0);
+        EXPECT_GE(r_x264, r_gcc) << "core " << c;
+    }
+}
+
+TEST_F(CharacterizerTest, FullCoreMatchesTableOneColumn)
+{
+    const CoreLimits limits = characterizer_.characterizeCore(3);
+    const auto &t = variation::referenceTargets(0, 3);
+    EXPECT_EQ(limits.idle, t.idle);
+    EXPECT_EQ(limits.ubench, t.ubench);
+    EXPECT_EQ(limits.normal, t.normal);
+    EXPECT_EQ(limits.worst, t.worst);
+    EXPECT_NEAR(limits.idleLimitFreqMhz, t.idleLimitMhz, 2.0);
+}
+
+TEST_F(CharacterizerTest, TrialSafeMonotoneInReduction)
+{
+    const auto &ferret = workload::findWorkload("ferret");
+    for (int rep : {0, 3}) {
+        bool was_safe = true;
+        for (int k = 0; k <= chip_.core(2).silicon().presetSteps; ++k) {
+            const bool safe = characterizer_.trialSafe(2, k, ferret, rep);
+            if (!was_safe) {
+                EXPECT_FALSE(safe) << "non-monotonic at " << k;
+            }
+            was_safe = safe;
+        }
+    }
+}
+
+TEST(CharacterizerConfigTest, RejectsBadReps)
+{
+    chip::Chip chip(variation::makeReferenceChip(1));
+    CharacterizerConfig config;
+    config.reps = 0;
+    EXPECT_THROW(Characterizer(&chip, config), util::FatalError);
+    EXPECT_THROW(Characterizer(nullptr), util::PanicError);
+}
+
+TEST(LimitDistributionTest, EmptyIsFatal)
+{
+    LimitDistribution dist;
+    EXPECT_THROW(dist.limit(), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::core

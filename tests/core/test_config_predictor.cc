@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/config_predictor.h"
+#include "util/logging.h"
+#include "variation/chip_generator.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+namespace {
+
+std::vector<const workload::WorkloadTraits *>
+probeSet()
+{
+    // Four probes spanning the droop range: light to heavy.
+    return {&workload::findWorkload("leela"),
+            &workload::findWorkload("bodytrack"),
+            &workload::findWorkload("facesim"),
+            &workload::findWorkload("fluidanimate")};
+}
+
+std::vector<const workload::WorkloadTraits *>
+unseenApps()
+{
+    std::vector<const workload::WorkloadTraits *> out;
+    for (const auto *app : workload::profiledApps()) {
+        bool is_probe = false;
+        for (const auto *probe : probeSet()) {
+            if (probe == app)
+                is_probe = true;
+        }
+        if (!is_probe)
+            out.push_back(app);
+    }
+    return out;
+}
+
+class ConfigPredictorTest : public ::testing::Test
+{
+  protected:
+    ConfigPredictorTest()
+        : chip_(variation::makeReferenceChip(0)),
+          predictor_(ConfigPredictor::fit(&chip_, probeSet()))
+    {
+    }
+
+    chip::Chip chip_;
+    ConfigPredictor predictor_;
+};
+
+TEST_F(ConfigPredictorTest, FitsEveryCore)
+{
+    EXPECT_EQ(predictor_.coreCount(), 8);
+    for (int c = 0; c < 8; ++c) {
+        const FittedCoreModel &model = predictor_.modelFor(c);
+        EXPECT_EQ(model.coreName, chip_.core(c).name());
+        EXPECT_EQ(model.probes.size(), 4u);
+        EXPECT_EQ(model.ubenchLimit,
+                  variation::referenceTargets(0, c).ubench);
+    }
+}
+
+TEST_F(ConfigPredictorTest, NeverOptimisticOnUnseenApps)
+{
+    // The paper: "any misprediction can lead to system failure". The
+    // interval-constrained fit keeps the true model feasible, so the
+    // prediction can never exceed the characterized limit.
+    const PredictionAccuracy accuracy =
+        evaluatePredictor(predictor_, &chip_, unseenApps());
+    EXPECT_EQ(accuracy.optimistic, 0);
+    EXPECT_GT(accuracy.evaluated, 100);
+}
+
+TEST_F(ConfigPredictorTest, UsefullyAccurateOnUnseenApps)
+{
+    const PredictionAccuracy accuracy =
+        evaluatePredictor(predictor_, &chip_, unseenApps());
+    EXPECT_GT(accuracy.exactFrac(), 0.45);
+    // Conservatism costs little when it misses.
+    EXPECT_LT(accuracy.meanConservativeGap, 2.5);
+}
+
+TEST_F(ConfigPredictorTest, RequiredPeriodMonotoneInDroop)
+{
+    const FittedCoreModel &model = predictor_.modelFor(0);
+    double prev = model.requiredPeriodPs(0.0);
+    for (double d = 5.0; d <= 60.0; d += 5.0) {
+        const double t = model.requiredPeriodPs(d);
+        EXPECT_GE(t, prev - 1e-9) << "droop " << d;
+        prev = t;
+    }
+}
+
+TEST_F(ConfigPredictorTest, HeavierAppsPredictLowerLimits)
+{
+    const auto &exchange2 = workload::findWorkload("exchange2"); // 6 mV
+    const auto &x264 = workload::findWorkload("x264");           // 55 mV
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_LE(predictor_.predictLimit(c, x264),
+                  predictor_.predictLimit(c, exchange2))
+            << "core " << c;
+    }
+}
+
+TEST_F(ConfigPredictorTest, PredictionsCappedAtUbenchLimit)
+{
+    const auto &exchange2 = workload::findWorkload("exchange2");
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_LE(predictor_.predictLimit(c, exchange2),
+                  predictor_.modelFor(c).ubenchLimit) << "core " << c;
+    }
+}
+
+TEST_F(ConfigPredictorTest, Validation)
+{
+    EXPECT_THROW(ConfigPredictor::fit(nullptr, probeSet()),
+                 util::PanicError);
+    EXPECT_THROW(ConfigPredictor::fit(
+                     &chip_, {&workload::findWorkload("gcc")}),
+                 util::FatalError);
+    // Probes at a single droop level are degenerate.
+    EXPECT_THROW(ConfigPredictor::fit(
+                     &chip_, {&workload::findWorkload("gcc"),
+                              &workload::findWorkload("deepsjeng")}),
+                 util::FatalError);
+    EXPECT_THROW(predictor_.modelFor(9), util::FatalError);
+}
+
+TEST(ConfigPredictorRandomChips, SafeAcrossPopulation)
+{
+    // The predictor must stay safe (never optimistic) on chips it has
+    // never seen the like of.
+    for (std::uint64_t seed : {3u, 14u, 59u}) {
+        chip::Chip chip(variation::generateChip("CP", seed));
+        const ConfigPredictor predictor =
+            ConfigPredictor::fit(&chip, probeSet());
+        const PredictionAccuracy accuracy =
+            evaluatePredictor(predictor, &chip, unseenApps());
+        EXPECT_EQ(accuracy.optimistic, 0) << "seed " << seed;
+        EXPECT_GT(accuracy.exactFrac(), 0.4) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace atmsim::core

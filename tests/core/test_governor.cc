@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/constants.h"
+#include "core/characterizer.h"
+#include "core/governor.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+namespace {
+
+class GovernorTest : public ::testing::Test
+{
+  protected:
+    GovernorTest() : chip_(variation::makeReferenceChip(0))
+    {
+        Characterizer characterizer(&chip_);
+        table_ = characterizer.characterizeChip();
+    }
+
+    chip::Chip chip_;
+    LimitTable table_;
+};
+
+TEST_F(GovernorTest, StaticMarginFixesAllCores)
+{
+    Governor governor(&chip_, table_);
+    governor.apply(GovernorPolicy::StaticMargin);
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_EQ(chip_.core(c).mode(), chip::CoreMode::FixedFrequency);
+        EXPECT_DOUBLE_EQ(chip_.core(c).fixedFrequencyMhz(),
+                         circuit::kStaticMarginMhz);
+    }
+}
+
+TEST_F(GovernorTest, DefaultAtmZeroReduction)
+{
+    Governor governor(&chip_, table_);
+    governor.apply(GovernorPolicy::DefaultAtm);
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_EQ(chip_.core(c).mode(), chip::CoreMode::AtmOverclock);
+        EXPECT_EQ(chip_.core(c).cpmReduction(), 0);
+    }
+}
+
+TEST_F(GovernorTest, FineTunedUsesThreadWorst)
+{
+    Governor governor(&chip_, table_);
+    governor.apply(GovernorPolicy::FineTuned);
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_EQ(chip_.core(c).cpmReduction(), table_.byIndex(c).worst);
+    }
+}
+
+TEST_F(GovernorTest, RollbackSubtracts)
+{
+    Governor governor(&chip_, table_, 2);
+    const auto red = governor.reductions(GovernorPolicy::FineTuned);
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        EXPECT_EQ(red[c], std::max(table_.byIndex(c).worst - 2, 0));
+}
+
+TEST_F(GovernorTest, AggressiveBeatsFineTunedForLightApps)
+{
+    Governor governor(&chip_, table_);
+    const auto &gcc = workload::findWorkload("gcc");
+    const auto fine = governor.reductions(GovernorPolicy::FineTuned);
+    const auto aggressive =
+        governor.reductions(GovernorPolicy::Aggressive, &gcc);
+    int strictly_better = 0;
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_GE(aggressive[c], fine[c]) << "core " << c;
+        EXPECT_LE(aggressive[c], table_.byIndex(c).ubench);
+        if (aggressive[c] > fine[c])
+            ++strictly_better;
+    }
+    EXPECT_GT(strictly_better, 2);
+}
+
+TEST_F(GovernorTest, AggressiveForX264EqualsThreadWorst)
+{
+    Governor governor(&chip_, table_);
+    const auto &x264 = workload::findWorkload("x264");
+    const auto aggressive =
+        governor.reductions(GovernorPolicy::Aggressive, &x264);
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        EXPECT_EQ(aggressive[c], table_.byIndex(c).worst) << "core " << c;
+}
+
+TEST_F(GovernorTest, AggressiveRequiresApp)
+{
+    Governor governor(&chip_, table_);
+    EXPECT_THROW(governor.reductions(GovernorPolicy::Aggressive),
+                 util::FatalError);
+}
+
+TEST_F(GovernorTest, RobustCoresHaveSmallSpread)
+{
+    Governor governor(&chip_, table_);
+    const auto robust = governor.robustCores(1);
+    EXPECT_FALSE(robust.empty());
+    for (int c : robust)
+        EXPECT_LE(table_.byIndex(c).rollbackSpread(), 1);
+    // P0C7 (all limits equal 2) is a robust core.
+    EXPECT_NE(std::find(robust.begin(), robust.end(), 7), robust.end());
+    // P0C3 (10 -> 6) is not.
+    EXPECT_EQ(std::find(robust.begin(), robust.end(), 3), robust.end());
+}
+
+TEST_F(GovernorTest, Validation)
+{
+    EXPECT_THROW(Governor(nullptr, table_), util::PanicError);
+    EXPECT_THROW(Governor(&chip_, table_, -1), util::FatalError);
+    LimitTable wrong;
+    wrong.cores.resize(3);
+    EXPECT_THROW(Governor(&chip_, wrong), util::FatalError);
+}
+
+TEST(GovernorPolicyNames, Printable)
+{
+    EXPECT_STREQ(governorPolicyName(GovernorPolicy::FineTuned),
+                 "fine-tuned");
+    EXPECT_STREQ(governorPolicyName(GovernorPolicy::Conservative),
+                 "conservative");
+}
+
+} // namespace
+} // namespace atmsim::core

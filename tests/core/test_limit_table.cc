@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/limit_table.h"
+#include "util/logging.h"
+
+namespace atmsim::core {
+namespace {
+
+LimitTable
+makeTable()
+{
+    LimitTable table;
+    table.chipName = "T";
+    for (int c = 0; c < 2; ++c) {
+        CoreLimits limits;
+        limits.coreName = "TC" + std::to_string(c);
+        limits.idle = 8 - c;
+        limits.ubench = 7 - c;
+        limits.normal = 6 - c;
+        limits.worst = 4 - c;
+        table.cores.push_back(limits);
+    }
+    return table;
+}
+
+TEST(LimitTable, LookupByIndexAndName)
+{
+    const LimitTable table = makeTable();
+    EXPECT_EQ(table.byIndex(1).coreName, "TC1");
+    EXPECT_EQ(table.byName("TC0").idle, 8);
+    EXPECT_THROW(table.byIndex(5), util::FatalError);
+    EXPECT_THROW(table.byName("nope"), util::FatalError);
+}
+
+TEST(LimitTable, RollbackSpread)
+{
+    const LimitTable table = makeTable();
+    EXPECT_EQ(table.byIndex(0).rollbackSpread(), 3);
+}
+
+TEST(LimitTable, PrintContainsAllRowsAndCores)
+{
+    const LimitTable table = makeTable();
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    for (const char *needle : {"idle limit", "uBench limit",
+                               "thread normal", "thread worst", "TC0",
+                               "TC1"}) {
+        EXPECT_NE(out.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(LimitTable, CsvRoundTrip)
+{
+    LimitTable table = makeTable();
+    table.cores[0].idleLimitFreqMhz = 5012.5;
+    table.cores[0].worstLimitFreqMhz = 4870.25;
+    std::ostringstream os;
+    table.toCsv(os);
+    std::istringstream is(os.str());
+    const LimitTable parsed = LimitTable::fromCsv(is);
+    ASSERT_EQ(parsed.cores.size(), table.cores.size());
+    EXPECT_EQ(parsed.chipName, table.chipName);
+    for (std::size_t c = 0; c < table.cores.size(); ++c) {
+        EXPECT_EQ(parsed.cores[c].coreName, table.cores[c].coreName);
+        EXPECT_EQ(parsed.cores[c].idle, table.cores[c].idle);
+        EXPECT_EQ(parsed.cores[c].ubench, table.cores[c].ubench);
+        EXPECT_EQ(parsed.cores[c].normal, table.cores[c].normal);
+        EXPECT_EQ(parsed.cores[c].worst, table.cores[c].worst);
+        EXPECT_DOUBLE_EQ(parsed.cores[c].idleLimitFreqMhz,
+                         table.cores[c].idleLimitFreqMhz);
+        EXPECT_DOUBLE_EQ(parsed.cores[c].worstLimitFreqMhz,
+                         table.cores[c].worstLimitFreqMhz);
+    }
+}
+
+TEST(LimitTable, FromCsvRejectsBadInput)
+{
+    {
+        std::istringstream is("not,a,header\n");
+        EXPECT_THROW(LimitTable::fromCsv(is), util::FatalError);
+    }
+    {
+        std::istringstream is(
+            "chip,core,idle,ubench,normal,worst,idle_mhz,worst_mhz\n"
+            "P0,P0C0,9,8\n");
+        EXPECT_THROW(LimitTable::fromCsv(is), util::FatalError);
+    }
+    {
+        std::istringstream is(
+            "chip,core,idle,ubench,normal,worst,idle_mhz,worst_mhz\n"
+            "P0,P0C0,nine,8,7,6,5000,4800\n");
+        EXPECT_THROW(LimitTable::fromCsv(is), util::FatalError);
+    }
+}
+
+TEST(RollbackMatrix, MeansAndPrint)
+{
+    RollbackMatrix matrix;
+    matrix.appNames = {"x264", "gcc"};
+    matrix.coreNames = {"TC0", "TC1"};
+    matrix.meanRollback = {{2.0, 3.0}, {0.0, 1.0}};
+    EXPECT_DOUBLE_EQ(matrix.appMean(0), 2.5);
+    EXPECT_DOUBLE_EQ(matrix.appMean(1), 0.5);
+    EXPECT_DOUBLE_EQ(matrix.coreMean(0), 1.0);
+    EXPECT_DOUBLE_EQ(matrix.coreMean(1), 2.0);
+    EXPECT_THROW(matrix.appMean(2), util::FatalError);
+    EXPECT_THROW(matrix.coreMean(2), util::FatalError);
+
+    std::ostringstream os;
+    matrix.print(os);
+    EXPECT_NE(os.str().find("x264"), std::string::npos);
+    EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace atmsim::core

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/population.h"
+#include "util/logging.h"
+
+namespace atmsim::core {
+namespace {
+
+PopulationConfig
+smallConfig()
+{
+    PopulationConfig config;
+    config.chipCount = 6;
+    config.seedBase = 500;
+    return config;
+}
+
+TEST(Population, AggregatesAllCores)
+{
+    const PopulationStats stats = studyPopulation(smallConfig());
+    EXPECT_EQ(stats.chipCount, 6);
+    EXPECT_EQ(stats.idleLimitSteps.total(), 48u); // 6 chips x 8 cores
+    EXPECT_EQ(stats.idleLimitMhz.count(), 48u);
+    EXPECT_EQ(stats.differentials.size(), 6u);
+}
+
+TEST(Population, FrequenciesInPlausibleBands)
+{
+    const PopulationStats stats = studyPopulation(smallConfig());
+    EXPECT_GT(stats.idleLimitMhz.min(), 4600.0);
+    EXPECT_LT(stats.idleLimitMhz.max(), 5350.0);
+    // Deployable frequency never exceeds the idle-limit frequency.
+    EXPECT_LE(stats.worstLimitMhz.max(), stats.idleLimitMhz.max());
+    EXPECT_GE(stats.worstLimitMhz.min(), 4600.0);
+}
+
+TEST(Population, DifferentialsAreSubstantial)
+{
+    // The paper's >200 MHz differential must be typical.
+    const PopulationStats stats = studyPopulation(smallConfig());
+    EXPECT_GT(stats.differentialMhz.mean(), 120.0);
+    EXPECT_GT(stats.fracAbove200Mhz(), 0.3);
+}
+
+TEST(Population, RobustCoresExist)
+{
+    const PopulationStats stats = studyPopulation(smallConfig());
+    EXPECT_GT(stats.robustCores.mean(), 0.5);
+    EXPECT_LE(stats.robustCores.max(), 8.0);
+}
+
+TEST(Population, DeterministicFromSeedBase)
+{
+    const PopulationStats a = studyPopulation(smallConfig());
+    const PopulationStats b = studyPopulation(smallConfig());
+    EXPECT_DOUBLE_EQ(a.differentialMhz.mean(), b.differentialMhz.mean());
+    EXPECT_DOUBLE_EQ(a.idleLimitMhz.mean(), b.idleLimitMhz.mean());
+}
+
+TEST(Population, EmptyFractionIsZero)
+{
+    PopulationStats stats;
+    EXPECT_DOUBLE_EQ(stats.fracAbove200Mhz(), 0.0);
+}
+
+TEST(Population, RejectsBadConfig)
+{
+    PopulationConfig config;
+    config.chipCount = 0;
+    EXPECT_THROW(studyPopulation(config), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::core

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/freq_predictor.h"
+#include "core/governor.h"
+#include "core/perf_predictor.h"
+#include "core/characterizer.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+namespace {
+
+class FreqPredictorTest : public ::testing::Test
+{
+  protected:
+    FreqPredictorTest() : chip_(variation::makeReferenceChip(0))
+    {
+        // Deploy the fine-tuned configuration before fitting.
+        Characterizer characterizer(&chip_);
+        Governor governor(&chip_, characterizer.characterizeChip());
+        governor.apply(GovernorPolicy::FineTuned);
+        predictor_ = FreqPredictor::fit(&chip_);
+    }
+
+    chip::Chip chip_;
+    FreqPredictor predictor_;
+};
+
+TEST_F(FreqPredictorTest, LinearModelFitsWell)
+{
+    // Fig. 12a: the linear model explains the data (small residuals
+    // remain from the per-core local IR drop, which Eq. 1 folds into
+    // the shared path).
+    for (int c = 0; c < predictor_.coreCount(); ++c)
+        EXPECT_GT(predictor_.fitFor(c).r2, 0.95) << "core " << c;
+}
+
+TEST_F(FreqPredictorTest, SlopeNearTwoMhzPerWatt)
+{
+    for (int c = 0; c < predictor_.coreCount(); ++c) {
+        const double slope = predictor_.fitFor(c).slope;
+        EXPECT_LT(slope, -1.0) << "core " << c;
+        EXPECT_GT(slope, -3.5) << "core " << c;
+    }
+}
+
+TEST_F(FreqPredictorTest, PredictionMatchesSteadyState)
+{
+    const auto &lu = workload::findWorkload("lu_cb");
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        chip_.assignWorkload(c, &lu);
+    const chip::ChipSteadyState st = chip_.solveSteadyState();
+    chip_.clearAssignments();
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_NEAR(predictor_.predictMhz(c, st.chipPowerW),
+                    st.coreFreqMhz[c], 25.0) << "core " << c;
+    }
+}
+
+TEST_F(FreqPredictorTest, PowerBudgetInvertsPrediction)
+{
+    const double budget = predictor_.powerBudgetW(0, 4800.0);
+    EXPECT_NEAR(predictor_.predictMhz(0, budget), 4800.0, 1e-6);
+}
+
+TEST_F(FreqPredictorTest, RangeChecked)
+{
+    EXPECT_THROW(predictor_.fitFor(99), util::FatalError);
+}
+
+TEST(PerfPredictorTest, LinearAndAccurate)
+{
+    const auto &x264 = workload::findWorkload("x264");
+    const PerfPredictor pred = PerfPredictor::fit(x264);
+    EXPECT_GT(pred.fit().r2, 0.99);
+    EXPECT_NEAR(pred.predictPerf(4200.0), 1.0, 0.01);
+    EXPECT_NEAR(pred.predictPerf(4900.0), x264.perfRelative(4900.0),
+                0.01);
+}
+
+TEST(PerfPredictorTest, SlopeReflectsMemoryBehaviour)
+{
+    // Fig. 12b: mcf's slope is much flatter than x264's.
+    const PerfPredictor x264 =
+        PerfPredictor::fit(workload::findWorkload("x264"));
+    const PerfPredictor mcf =
+        PerfPredictor::fit(workload::findWorkload("mcf"));
+    EXPECT_GT(x264.fit().slope, 2.0 * mcf.fit().slope);
+}
+
+TEST(PerfPredictorTest, RequiredFreqInverts)
+{
+    const PerfPredictor pred =
+        PerfPredictor::fit(workload::findWorkload("squeezenet"));
+    const double f = pred.requiredFreqMhz(1.10);
+    EXPECT_NEAR(pred.predictPerf(f), 1.10, 1e-9);
+    EXPECT_GT(f, 4200.0);
+    EXPECT_LT(f, 5200.0);
+}
+
+TEST(PerfPredictorTest, Validation)
+{
+    const auto &gcc = workload::findWorkload("gcc");
+    EXPECT_THROW(PerfPredictor::fit(gcc, 5000.0, 4200.0),
+                 util::FatalError);
+    EXPECT_THROW(PerfPredictor::fit(gcc, 4200.0, 5000.0, 1),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/report.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::core {
+namespace {
+
+class ReportTest : public ::testing::Test
+{
+  protected:
+    static const ChipReport &
+    report()
+    {
+        // Building the report runs the whole pipeline; share it.
+        static chip::Chip chip(variation::makeReferenceChip(0));
+        static const ChipReport rep = buildChipReport(&chip);
+        return rep;
+    }
+};
+
+TEST_F(ReportTest, CoversAllCores)
+{
+    EXPECT_EQ(report().chipName, "P0");
+    EXPECT_EQ(report().cores.size(), 8u);
+}
+
+TEST_F(ReportTest, LimitsMatchReference)
+{
+    for (int c = 0; c < 8; ++c) {
+        const auto &t = variation::referenceTargets(0, c);
+        const CoreReport &core = report().cores[c];
+        EXPECT_EQ(core.limits.idle, t.idle) << core.coreName;
+        EXPECT_EQ(core.limits.worst, t.worst) << core.coreName;
+        EXPECT_EQ(core.deployedReduction, t.worst) << core.coreName;
+    }
+}
+
+TEST_F(ReportTest, PredictorCoefficientsPlausible)
+{
+    for (const auto &core : report().cores) {
+        EXPECT_LT(core.freqSlopeMhzPerW, -1.0) << core.coreName;
+        EXPECT_GT(core.freqSlopeMhzPerW, -3.5) << core.coreName;
+        EXPECT_GT(core.freqInterceptMhz, 4700.0) << core.coreName;
+        EXPECT_LT(core.freqInterceptMhz, 5200.0) << core.coreName;
+    }
+}
+
+TEST_F(ReportTest, SummaryFieldsPopulated)
+{
+    EXPECT_GT(report().speedDifferentialMhz, 200.0);
+    EXPECT_GT(report().stressPowerW, 120.0);
+    EXPECT_GT(report().stressMaxTempC, 60.0);
+}
+
+TEST_F(ReportTest, RobustFlagsMatchSpread)
+{
+    for (const auto &core : report().cores) {
+        EXPECT_EQ(core.robust, core.limits.rollbackSpread() <= 1)
+            << core.coreName;
+    }
+}
+
+TEST_F(ReportTest, PrintAndCsvRender)
+{
+    std::ostringstream text, csv;
+    report().print(text);
+    report().toCsv(csv);
+    const std::string text_out = text.str();
+    const std::string csv_out = csv.str();
+    EXPECT_NE(text_out.find("P0C3"), std::string::npos);
+    EXPECT_NE(text_out.find("speed differential"), std::string::npos);
+    EXPECT_NE(csv_out.find("chip,core,preset"), std::string::npos);
+    // One header + 8 rows.
+    EXPECT_EQ(std::count(csv_out.begin(), csv_out.end(), '\n'), 9);
+}
+
+TEST(ReportValidation, NullChipPanics)
+{
+    EXPECT_THROW(buildChipReport(nullptr), util::PanicError);
+}
+
+} // namespace
+} // namespace atmsim::core

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/stress_test.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::core {
+namespace {
+
+class StressTestTest : public ::testing::Test
+{
+  protected:
+    StressTestTest()
+        : chip_(variation::makeReferenceChip(0)), tester_(&chip_)
+    {
+    }
+
+    chip::Chip chip_;
+    StressTester tester_;
+};
+
+TEST_F(StressTestTest, StressLimitEqualsThreadWorst)
+{
+    // Sec. VII-A: the thread-worst configurations sustain all
+    // stressmarks, and the stress test finds exactly those limits.
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_EQ(tester_.stressLimit(c),
+                  variation::referenceTargets(0, c).worst)
+            << chip_.core(c).name();
+    }
+}
+
+TEST_F(StressTestTest, ThreadWorstConfirmedSafe)
+{
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_TRUE(tester_.confirmSafe(
+            c, variation::referenceTargets(0, c).worst));
+    }
+}
+
+TEST_F(StressTestTest, BeyondLimitNotConfirmed)
+{
+    for (int c : {0, 1, 3}) {
+        EXPECT_FALSE(tester_.confirmSafe(
+            c, variation::referenceTargets(0, c).worst + 1));
+    }
+}
+
+TEST_F(StressTestTest, DeployedConfigExposesVariation)
+{
+    const DeployedConfig config = tester_.deriveDeployedConfig();
+    ASSERT_EQ(config.reductionPerCore.size(), 8u);
+    // Fig. 11: >200 MHz inter-core differential at the limit.
+    EXPECT_GT(config.speedDifferentialMhz(), 200.0);
+    EXPECT_EQ(config.slowestCore(), 7); // P0C7 is the slow core
+}
+
+TEST_F(StressTestTest, RollbackKeepsVariationTrend)
+{
+    const DeployedConfig limit = tester_.deriveDeployedConfig(0);
+    const DeployedConfig rolled = tester_.deriveDeployedConfig(1);
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_LE(rolled.reductionPerCore[c],
+                  limit.reductionPerCore[c]);
+        EXPECT_LE(rolled.idleFreqMhz[c], limit.idleFreqMhz[c] + 1e-9);
+    }
+    // The fastest/slowest ordering is essentially preserved.
+    EXPECT_EQ(limit.slowestCore(), rolled.slowestCore());
+    EXPECT_THROW(tester_.deriveDeployedConfig(-1), util::FatalError);
+}
+
+TEST_F(StressTestTest, StressEnvironmentMatchesPaper)
+{
+    // ~160 W chip power and ~70 degC die during the stress test.
+    const DeployedConfig config = tester_.deriveDeployedConfig();
+    const chip::ChipSteadyState st =
+        tester_.stressEnvironment(config.reductionPerCore);
+    EXPECT_GT(st.chipPowerW, 130.0);
+    EXPECT_LT(st.chipPowerW, 185.0);
+    double max_temp = 0.0;
+    for (double t : st.coreTempC)
+        max_temp = std::max(max_temp, t);
+    EXPECT_GT(max_temp, 60.0);
+    EXPECT_LT(max_temp, 80.0);
+}
+
+TEST_F(StressTestTest, StressEnvironmentValidatesInput)
+{
+    EXPECT_THROW(tester_.stressEnvironment({1, 2}), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/governor.h"
+#include "core/undervolt.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+namespace {
+
+class UndervoltTest : public ::testing::Test
+{
+  protected:
+    UndervoltTest() : chip_(variation::makeReferenceChip(0))
+    {
+        const auto &gcc = workload::findWorkload("gcc");
+        for (int c = 0; c < chip_.coreCount(); ++c)
+            chip_.assignWorkload(c, &gcc);
+    }
+
+    chip::Chip chip_;
+};
+
+TEST_F(UndervoltTest, SavesPowerAtReachableTarget)
+{
+    UndervoltController controller(&chip_, 4200.0);
+    const UndervoltResult result = controller.solve();
+    EXPECT_LT(result.vrmSetpointV, chip_.config().vrmSetpointV);
+    EXPECT_LT(result.undervoltPowerW, result.overclockPowerW);
+    EXPECT_GT(result.savingFrac(), 0.05);
+    // The target is held (within the bisection tolerance).
+    EXPECT_GE(result.slowestCoreMhz, 4199.0);
+    controller.restore();
+}
+
+TEST_F(UndervoltTest, TargetIsTight)
+{
+    // The controller converts *all* excess margin: the slowest core
+    // lands close to the target, not far above it.
+    UndervoltController controller(&chip_, 4300.0);
+    const UndervoltResult result = controller.solve();
+    EXPECT_NEAR(result.slowestCoreMhz, 4300.0, 25.0);
+    controller.restore();
+}
+
+TEST_F(UndervoltTest, WorstCoreLimitsUndervolting)
+{
+    // Fine-tuned configs raise the slowest core, allowing a lower
+    // V_dd at the same target: the Sec. II restriction, quantified.
+    Characterizer characterizer(&chip_);
+    Governor governor(&chip_, characterizer.characterizeChip());
+
+    governor.apply(GovernorPolicy::DefaultAtm);
+    UndervoltController default_controller(&chip_, 4200.0);
+    const UndervoltResult default_result = default_controller.solve();
+    default_controller.restore();
+
+    governor.apply(GovernorPolicy::FineTuned);
+    UndervoltController tuned_controller(&chip_, 4200.0);
+    const UndervoltResult tuned_result = tuned_controller.solve();
+    tuned_controller.restore();
+
+    EXPECT_LT(tuned_result.vrmSetpointV, default_result.vrmSetpointV);
+    EXPECT_LT(tuned_result.undervoltPowerW,
+              default_result.undervoltPowerW);
+}
+
+TEST_F(UndervoltTest, UnreachableTargetKeepsFullVoltage)
+{
+    UndervoltController controller(&chip_, 5600.0);
+    const UndervoltResult result = controller.solve();
+    EXPECT_DOUBLE_EQ(result.vrmSetpointV, chip_.config().vrmSetpointV);
+    EXPECT_DOUBLE_EQ(result.undervoltPowerW, result.overclockPowerW);
+    EXPECT_DOUBLE_EQ(result.savingFrac(), 0.0);
+}
+
+TEST_F(UndervoltTest, RestorePutsSetpointBack)
+{
+    const double before = chip_.pdn().vrm().setpointV();
+    UndervoltController controller(&chip_, 4200.0);
+    controller.solve();
+    EXPECT_NE(chip_.pdn().vrm().setpointV(), before);
+    controller.restore();
+    EXPECT_DOUBLE_EQ(chip_.pdn().vrm().setpointV(), before);
+}
+
+TEST_F(UndervoltTest, DeeperTargetSavesMore)
+{
+    UndervoltController shallow(&chip_, 4400.0);
+    const double saving_shallow = shallow.solve().savingFrac();
+    shallow.restore();
+    UndervoltController deep(&chip_, 4200.0);
+    const double saving_deep = deep.solve().savingFrac();
+    deep.restore();
+    EXPECT_GT(saving_deep, saving_shallow);
+}
+
+TEST_F(UndervoltTest, Validation)
+{
+    EXPECT_THROW(UndervoltController(nullptr, 4200.0),
+                 util::PanicError);
+    EXPECT_THROW(UndervoltController(&chip_, -1.0), util::FatalError);
+    EXPECT_THROW(UndervoltController(&chip_, 4200.0, 1.3),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::core

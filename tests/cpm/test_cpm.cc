@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/constants.h"
+#include "cpm/cpm.h"
+#include "util/logging.h"
+#include "util/units.h"
+#include "variation/calibration.h"
+
+namespace atmsim::cpm {
+namespace {
+
+class CpmTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        util::Rng rng(11);
+        variation::CoreLimitTargets targets;
+        targets.idle = 7;
+        targets.ubench = 6;
+        targets.normal = 5;
+        targets.worst = 4;
+        targets.idleLimitMhz = 5000.0;
+        core_ = variation::buildCoreFromTargets("T0C0", targets, 11, 1.0,
+                                                rng);
+        model_ = std::make_unique<circuit::DelayModel>(
+            circuit::DelayModel::makeDefault());
+    }
+
+    variation::CoreSiliconParams core_;
+    std::unique_ptr<circuit::DelayModel> model_;
+};
+
+TEST_F(CpmTest, DefaultConfigIsPresetPlusOffset)
+{
+    const Cpm site0(&core_, model_.get(), 0);
+    EXPECT_EQ(site0.configSteps(), core_.presetSteps);
+    const Cpm site1(&core_, model_.get(), 1);
+    EXPECT_EQ(site1.configSteps(),
+              core_.presetSteps + core_.siteOffsets[1]);
+}
+
+TEST_F(CpmTest, MonitoredDelayGrowsWithConfig)
+{
+    Cpm cpm(&core_, model_.get(), 0);
+    const double at_preset = cpm.monitoredDelayPs(1.25, 45.0);
+    cpm.setConfigSteps(core_.presetSteps - 3);
+    EXPECT_LT(cpm.monitoredDelayPs(1.25, 45.0), at_preset);
+}
+
+TEST_F(CpmTest, MonitoredDelayGrowsAsVoltageDrops)
+{
+    const Cpm cpm(&core_, model_.get(), 0);
+    EXPECT_GT(cpm.monitoredDelayPs(1.18, 45.0),
+              cpm.monitoredDelayPs(1.25, 45.0));
+}
+
+TEST_F(CpmTest, SlackAndOutputConsistent)
+{
+    const Cpm cpm(&core_, model_.get(), 0);
+    const double period = util::mhzToPs(4600.0);
+    const double slack = cpm.slackPs(period, 1.25, 45.0);
+    // At the preset and the default ATM frequency, slack is near the
+    // DPLL target (6 ps).
+    EXPECT_NEAR(slack, circuit::kDpllTargetSlackPs, 1.0);
+    EXPECT_EQ(cpm.outputCount(period, 1.25, 45.0),
+              static_cast<int>(slack / circuit::kInverterStepPs));
+}
+
+TEST_F(CpmTest, NegativeSlackReportsZero)
+{
+    const Cpm cpm(&core_, model_.get(), 0);
+    EXPECT_EQ(cpm.outputCount(150.0, 1.25, 45.0), 0);
+}
+
+TEST_F(CpmTest, ConfigRangeChecked)
+{
+    Cpm cpm(&core_, model_.get(), 0);
+    EXPECT_THROW(cpm.setConfigSteps(-1), util::FatalError);
+    EXPECT_THROW(cpm.setConfigSteps(core_.maxConfig() + 1),
+                 util::FatalError);
+}
+
+TEST_F(CpmTest, SiteIndexChecked)
+{
+    EXPECT_THROW(Cpm(&core_, model_.get(), 5), util::FatalError);
+}
+
+TEST(CpmSiteNames, AllNamed)
+{
+    EXPECT_STREQ(cpmSiteName(CpmSite::Ifu), "IFU");
+    EXPECT_STREQ(cpmSiteName(CpmSite::Llc), "LLC");
+}
+
+} // namespace
+} // namespace atmsim::cpm

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/constants.h"
+#include "cpm/cpm_bank.h"
+#include "util/logging.h"
+#include "util/units.h"
+#include "variation/calibration.h"
+
+namespace atmsim::cpm {
+namespace {
+
+class CpmBankTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        util::Rng rng(23);
+        variation::CoreLimitTargets targets;
+        targets.idle = 8;
+        targets.ubench = 7;
+        targets.normal = 6;
+        targets.worst = 4;
+        targets.idleLimitMhz = 5050.0;
+        core_ = variation::buildCoreFromTargets("T0C1", targets, 12, 0.98,
+                                                rng);
+        model_ = std::make_unique<circuit::DelayModel>(
+            circuit::DelayModel::makeDefault());
+    }
+
+    variation::CoreSiliconParams core_;
+    std::unique_ptr<circuit::DelayModel> model_;
+};
+
+TEST_F(CpmBankTest, HasFiveSites)
+{
+    const CpmBank bank(&core_, model_.get());
+    EXPECT_EQ(bank.siteCount(),
+              static_cast<std::size_t>(circuit::kCpmSitesPerCore));
+}
+
+TEST_F(CpmBankTest, SiteZeroControls)
+{
+    // The worst (largest) monitored delay must always come from the
+    // controlling site 0, at every legal reduction.
+    CpmBank bank(&core_, model_.get());
+    for (int k = 0; k <= core_.presetSteps; ++k) {
+        bank.setReduction(k);
+        const double worst = bank.worstMonitoredDelayPs(1.25, 45.0);
+        EXPECT_NEAR(worst, bank.site(0).monitoredDelayPs(1.25, 45.0),
+                    1e-9) << "reduction " << k;
+    }
+}
+
+TEST_F(CpmBankTest, ReductionRaisesWorstCount)
+{
+    CpmBank bank(&core_, model_.get());
+    const double period = util::mhzToPs(4600.0);
+    const int at_preset = bank.worstCount(period, 1.25, 45.0);
+    bank.setReduction(4);
+    EXPECT_GT(bank.worstCount(period, 1.25, 45.0), at_preset);
+}
+
+TEST_F(CpmBankTest, WorstCountDropsUnderDroop)
+{
+    CpmBank bank(&core_, model_.get());
+    bank.setReduction(4);
+    // Pick the period where the loop would sit, then droop.
+    const double period = core_.atmPeriodPs(4, 1.0);
+    const int healthy = bank.worstCount(period, 1.25, 45.0);
+    const int drooped = bank.worstCount(period, 1.19, 45.0);
+    EXPECT_LT(drooped, healthy);
+}
+
+TEST_F(CpmBankTest, ReductionValidation)
+{
+    CpmBank bank(&core_, model_.get());
+    EXPECT_THROW(bank.setReduction(-1), util::FatalError);
+    EXPECT_THROW(bank.setReduction(core_.presetSteps + 1),
+                 util::FatalError);
+    EXPECT_NO_THROW(bank.setReduction(core_.presetSteps));
+}
+
+TEST_F(CpmBankTest, SiteAccessChecked)
+{
+    const CpmBank bank(&core_, model_.get());
+    EXPECT_THROW(bank.site(-1), util::FatalError);
+    EXPECT_THROW(bank.site(5), util::FatalError);
+    EXPECT_NO_THROW(bank.site(4));
+}
+
+} // namespace
+} // namespace atmsim::cpm

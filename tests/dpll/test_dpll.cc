@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "dpll/dpll.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace atmsim::dpll {
+namespace {
+
+TEST(Dpll, ResetSetsPeriod)
+{
+    Dpll dpll;
+    dpll.reset(217.4);
+    EXPECT_DOUBLE_EQ(dpll.periodPs(), 217.4);
+    EXPECT_NEAR(dpll.frequencyMhz(), 4599.8, 0.5);
+}
+
+TEST(Dpll, SpeedsUpOnSurplusMargin)
+{
+    Dpll dpll;
+    dpll.reset(220.0);
+    double now = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        dpll.observe(now, 10); // plenty of margin
+        now += dpll.params().updateIntervalNs;
+    }
+    EXPECT_LT(dpll.periodPs(), 220.0);
+}
+
+TEST(Dpll, SlowsDownOnDeficitMargin)
+{
+    Dpll dpll;
+    dpll.reset(220.0);
+    double now = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        dpll.observe(now, 2); // below target, above emergency
+        now += dpll.params().updateIntervalNs;
+    }
+    EXPECT_GT(dpll.periodPs(), 220.0);
+    EXPECT_EQ(dpll.emergencyCount(), 0);
+}
+
+TEST(Dpll, HoldsAtTarget)
+{
+    Dpll dpll;
+    dpll.reset(220.0);
+    dpll.observe(0.0, dpll.params().targetCounts);
+    EXPECT_DOUBLE_EQ(dpll.periodPs(), 220.0);
+}
+
+TEST(Dpll, EmergencyStretchesImmediately)
+{
+    Dpll dpll;
+    dpll.reset(200.0);
+    dpll.observe(0.05, 0); // far from an update boundary
+    EXPECT_NEAR(dpll.periodPs(),
+                200.0 * (1.0 + dpll.params().emergencyStretchFrac),
+                1e-9);
+    EXPECT_EQ(dpll.emergencyCount(), 1);
+    EXPECT_TRUE(dpll.inEmergency(0.1));
+}
+
+TEST(Dpll, EmergencyRateLimited)
+{
+    Dpll dpll;
+    dpll.reset(200.0);
+    dpll.observe(0.0, 0);
+    const double after_first = dpll.periodPs();
+    dpll.observe(0.2, 0); // within the holdoff
+    EXPECT_DOUBLE_EQ(dpll.periodPs(), after_first);
+    dpll.observe(1.5, 0); // past the holdoff
+    EXPECT_GT(dpll.periodPs(), after_first);
+    EXPECT_EQ(dpll.emergencyCount(), 2);
+}
+
+TEST(Dpll, ProportionalPathRespectsUpdateInterval)
+{
+    Dpll dpll;
+    dpll.reset(220.0);
+    dpll.observe(0.0, 10);
+    const double after_first = dpll.periodPs();
+    dpll.observe(0.5, 10); // too soon
+    EXPECT_DOUBLE_EQ(dpll.periodPs(), after_first);
+}
+
+TEST(Dpll, UpSlewSlowerThanDownSlew)
+{
+    // Safety asymmetry: the loop must shed frequency faster than it
+    // gains it.
+    const DpllParams params;
+    EXPECT_GT(params.slewDownPerCount, params.slewUpPerCount);
+}
+
+TEST(Dpll, PeriodClampedToBounds)
+{
+    Dpll dpll;
+    dpll.reset(170.0);
+    double now = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        dpll.observe(now, 20);
+        now += dpll.params().updateIntervalNs;
+    }
+    EXPECT_GE(dpll.periodPs(), dpll.params().minPeriodPs - 1e-9);
+}
+
+TEST(Dpll, ConvergesToTargetMarginBand)
+{
+    // Closed-loop sanity: emulate a monitored delay of 210 ps and a
+    // 1.5 ps inverter; the loop should settle with period in
+    // [210 + 6, 210 + 7.5).
+    Dpll dpll;
+    dpll.reset(230.0);
+    double now = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+        const int margin = std::max(
+            0, static_cast<int>((dpll.periodPs() - 210.0) / 1.5));
+        dpll.observe(now, margin);
+        now += dpll.params().updateIntervalNs;
+    }
+    EXPECT_GE(dpll.periodPs(), 215.9);
+    EXPECT_LT(dpll.periodPs(), 218.0);
+}
+
+TEST(Dpll, RejectsBadParams)
+{
+    DpllParams params;
+    params.targetCounts = 1;
+    params.emergencyCounts = 1;
+    EXPECT_THROW(Dpll{params}, util::FatalError);
+    DpllParams bounds;
+    bounds.minPeriodPs = 500.0;
+    bounds.maxPeriodPs = 400.0;
+    EXPECT_THROW(Dpll{bounds}, util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::dpll

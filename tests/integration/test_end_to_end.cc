@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/manager.h"
+#include "core/stress_test.h"
+#include "util/stats.h"
+#include "variation/chip_generator.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim {
+namespace {
+
+// Headline end-to-end numbers on the reference server (Fig. 14 /
+// abstract): default ATM ~6%, fine-tuned unmanaged ~10%, managed-max
+// ~15% average critical-app speedup over the static margin.
+TEST(EndToEnd, HeadlinePerformanceGains)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    core::Characterizer characterizer(&chip);
+    core::AtmManager manager(&chip, characterizer.characterizeChip());
+
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"squeezenet", "lu_cb"},   {"ferret", "raytrace"},
+        {"vgg19", "swaptions"},    {"fluidanimate", "x264"},
+        {"seq2seq", "streamcluster"}, {"bodytrack", "blackscholes"},
+        {"resnet", "x264"},        {"babi", "swaptions"},
+    };
+
+    util::RunningStats def, fine, managed;
+    for (const auto &[crit, bg] : pairs) {
+        core::ScheduleRequest req;
+        req.critical = &workload::findWorkload(crit);
+        req.background = &workload::findWorkload(bg);
+        def.add(manager.evaluate(core::Scenario::DefaultAtmUnmanaged,
+                                 req).criticalPerf);
+        fine.add(manager.evaluate(core::Scenario::FineTunedUnmanaged,
+                                  req).criticalPerf);
+        managed.add(manager.evaluate(core::Scenario::ManagedMax, req)
+                        .criticalPerf);
+    }
+
+    EXPECT_NEAR(def.mean(), 1.061, 0.025);
+    EXPECT_NEAR(fine.mean(), 1.102, 0.035);
+    EXPECT_NEAR(managed.mean(), 1.152, 0.035);
+    // Ordering must hold strictly.
+    EXPECT_GT(fine.mean(), def.mean());
+    EXPECT_GT(managed.mean(), fine.mean());
+}
+
+// The full pipeline generalizes to randomly generated chips:
+// characterize, stress-test, manage -- and the managed system must
+// still beat the unmanaged one.
+TEST(EndToEnd, PipelineWorksOnRandomChips)
+{
+    for (std::uint64_t seed : {11u, 23u}) {
+        chip::Chip chip(variation::generateChip("R", seed));
+        core::Characterizer characterizer(&chip);
+        const core::LimitTable table = characterizer.characterizeChip();
+
+        // Stress test agrees with the characterized thread-worst.
+        core::StressTester tester(&chip);
+        for (int c = 0; c < chip.coreCount(); ++c)
+            EXPECT_EQ(tester.stressLimit(c), table.byIndex(c).worst);
+
+        core::AtmManager manager(&chip, table);
+        core::ScheduleRequest req;
+        req.critical = &workload::findWorkload("squeezenet");
+        req.background = &workload::findWorkload("swaptions");
+        const auto fine = manager.evaluate(
+            core::Scenario::FineTunedUnmanaged, req);
+        const auto managed =
+            manager.evaluate(core::Scenario::ManagedMax, req);
+        EXPECT_GT(fine.criticalPerf, 1.02) << "seed " << seed;
+        EXPECT_GE(managed.criticalPerf, fine.criticalPerf)
+            << "seed " << seed;
+    }
+}
+
+// The abstract's headline: fine-tuning doubles the ATM frequency gain
+// over the static timing margin. Default ATM gains ~400 MHz over the
+// 4.2 GHz baseline; the fine-tuned idle limits average ~800 MHz over
+// it.
+TEST(EndToEnd, FineTuningDoublesTheFrequencyGain)
+{
+    util::RunningStats default_gain, tuned_gain;
+    for (int p = 0; p < 2; ++p) {
+        chip::Chip chip(variation::makeReferenceChip(p));
+        core::Characterizer characterizer(&chip);
+        for (int c = 0; c < chip.coreCount(); ++c) {
+            const auto &silicon = chip.core(c).silicon();
+            default_gain.add(silicon.atmFrequencyMhz(0, 1.0) - 4200.0);
+            const int idle = characterizer.idleLimit(c).limit();
+            tuned_gain.add(silicon.atmFrequencyMhz(idle, 1.0) - 4200.0);
+        }
+    }
+    EXPECT_NEAR(default_gain.mean(), 400.0, 20.0);
+    EXPECT_GT(tuned_gain.mean(), 1.85 * default_gain.mean());
+    EXPECT_LT(tuned_gain.mean(), 2.2 * default_gain.mean());
+}
+
+// SqueezeNet's Fig. 2 latency story end-to-end: static margin 80 ms;
+// fine-tuned best schedule ~68 ms; worst schedule in between.
+TEST(EndToEnd, SqueezenetLatencyWindow)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    core::Characterizer characterizer(&chip);
+    core::AtmManager manager(&chip, characterizer.characterizeChip());
+    const auto &squeezenet = workload::findWorkload("squeezenet");
+
+    core::ScheduleRequest req;
+    req.critical = &squeezenet;
+    req.background = &workload::findWorkload("daxpy");
+
+    const auto static_result = manager.evaluate(core::Scenario::StaticMargin, req);
+    const double static_ms = squeezenet.latencyMs(static_result.criticalFreqMhz);
+    EXPECT_NEAR(static_ms, 80.0, 0.5);
+
+    core::ScheduleRequest solo = req;
+    solo.background = nullptr;
+    const auto best = manager.evaluate(core::Scenario::ManagedMax, solo);
+    const double best_ms = squeezenet.latencyMs(best.criticalFreqMhz);
+    EXPECT_LT(best_ms, 70.5);
+    EXPECT_GT(best_ms, 65.0);
+}
+
+} // namespace
+} // namespace atmsim

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim {
+namespace {
+
+// The time-stepped engine and the closed-form analytic model are two
+// implementations of the same physics; their characterization limits
+// must agree to within one CPM step. Engine trials are expensive, so
+// the sweep covers a representative subset of cores.
+class EngineVsAnalytic : public ::testing::TestWithParam<int>
+{
+  protected:
+    EngineVsAnalytic() : chip_(variation::makeReferenceChip(0)) {}
+
+    chip::Chip chip_;
+};
+
+TEST_P(EngineVsAnalytic, IdleLimitWithinOneStep)
+{
+    const int core = GetParam();
+    core::CharacterizerConfig engine_cfg;
+    engine_cfg.mode = core::CharacterizerConfig::Mode::Engine;
+    engine_cfg.reps = 8;
+    engine_cfg.engineWindowUs = 4.0;
+    core::Characterizer engine(&chip_, engine_cfg);
+    const int engine_limit = engine.idleLimit(core).limit();
+    const int analytic_limit =
+        variation::referenceTargets(0, core).idle;
+    EXPECT_NEAR(engine_limit, analytic_limit, 1)
+        << chip_.core(core).name();
+}
+
+TEST_P(EngineVsAnalytic, AppTrialAgreesAtBandEdges)
+{
+    const int core = GetParam();
+    const auto &x264 = workload::findWorkload("x264");
+    const int worst = variation::referenceTargets(0, core).worst;
+
+    core::CharacterizerConfig engine_cfg;
+    engine_cfg.mode = core::CharacterizerConfig::Mode::Engine;
+    engine_cfg.engineWindowUs = 4.0;
+    core::Characterizer engine(&chip_, engine_cfg);
+
+    // Well inside the safe region: every repeat must pass.
+    if (worst >= 2) {
+        EXPECT_TRUE(engine.trialSafe(core, worst - 1, x264, 0))
+            << chip_.core(core).name();
+    }
+    // Two steps past the limit: the hostile-noise repeat must fail.
+    const int preset = chip_.core(core).silicon().presetSteps;
+    if (worst + 2 <= preset) {
+        bool any_fail = false;
+        for (int rep = 0; rep < 8; ++rep) {
+            if (!engine.trialSafe(core, worst + 2, x264, rep))
+                any_fail = true;
+        }
+        EXPECT_TRUE(any_fail) << chip_.core(core).name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, EngineVsAnalytic,
+                         ::testing::Values(0, 2, 7));
+
+// The uBench step of the procedure in full engine mode for one of the
+// Fig. 8 rollback cores: the dynamic limit must agree with the
+// analytic one to a step.
+TEST(EngineVsAnalyticUbench, RollbackCoreAgrees)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    core::CharacterizerConfig engine_cfg;
+    engine_cfg.mode = core::CharacterizerConfig::Mode::Engine;
+    engine_cfg.engineWindowUs = 4.0;
+    core::Characterizer engine(&chip, engine_cfg);
+
+    const int core_index = 4; // P0C4: idle 10 -> uBench 9
+    const int idle = variation::referenceTargets(0, core_index).idle;
+    const int engine_ubench =
+        engine.ubenchLimit(core_index, idle).limit();
+    EXPECT_NEAR(engine_ubench,
+                variation::referenceTargets(0, core_index).ubench, 1);
+}
+
+} // namespace
+} // namespace atmsim

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim {
+namespace {
+
+// The headline reproduction check: running the full Fig. 6
+// characterization procedure on the calibrated reference server must
+// reproduce the paper's Table I exactly, for all 16 cores and all
+// four scenario rows.
+TEST(TableOneReproduction, BothChipsAllRows)
+{
+    for (int p = 0; p < 2; ++p) {
+        chip::Chip chip(variation::makeReferenceChip(p));
+        core::Characterizer characterizer(&chip);
+        const core::LimitTable table = characterizer.characterizeChip();
+        ASSERT_EQ(table.cores.size(), 8u);
+        for (int c = 0; c < 8; ++c) {
+            const auto &t = variation::referenceTargets(p, c);
+            const auto &measured = table.byIndex(c);
+            EXPECT_EQ(measured.idle, t.idle) << measured.coreName;
+            EXPECT_EQ(measured.ubench, t.ubench) << measured.coreName;
+            EXPECT_EQ(measured.normal, t.normal) << measured.coreName;
+            EXPECT_EQ(measured.worst, t.worst) << measured.coreName;
+        }
+    }
+}
+
+// Limit rows must be ordered: idle >= uBench >= normal >= worst, the
+// monotone-stress invariant of the methodology.
+TEST(TableOneReproduction, RowsMonotoneInStress)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    core::Characterizer characterizer(&chip);
+    const core::LimitTable table = characterizer.characterizeChip();
+    for (const auto &core : table.cores) {
+        EXPECT_GE(core.idle, core.ubench) << core.coreName;
+        EXPECT_GE(core.ubench, core.normal) << core.coreName;
+        EXPECT_GE(core.normal, core.worst) << core.coreName;
+    }
+}
+
+// Fig. 8: exactly six cores across the server require uBench rollback
+// from their idle limit.
+TEST(TableOneReproduction, SixCoresRollBackUnderUbench)
+{
+    int rollback_cores = 0;
+    for (int p = 0; p < 2; ++p) {
+        chip::Chip chip(variation::makeReferenceChip(p));
+        core::Characterizer characterizer(&chip);
+        for (int c = 0; c < 8; ++c) {
+            const auto idle = characterizer.idleLimit(c);
+            const auto ubench =
+                characterizer.ubenchLimit(c, idle.limit());
+            if (ubench.limit() < idle.limit())
+                ++rollback_cores;
+        }
+    }
+    EXPECT_EQ(rollback_cores, 6);
+}
+
+} // namespace
+} // namespace atmsim

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/governor.h"
+#include "core/undervolt.h"
+#include "sim/sim_engine.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim {
+namespace {
+
+// Cross-module integration: the undervolted operating point found by
+// the off-chip controller (analytic) must hold up in the detailed
+// engine -- the ATM loops settle near the target frequency and no
+// timing violations occur, because the canaries track the lowered
+// voltage exactly like the real paths.
+TEST(UndervoltEngine, UndervoltedPointIsDynamicallySafe)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    core::Characterizer characterizer(&chip);
+    core::Governor governor(&chip, characterizer.characterizeChip());
+    governor.apply(core::GovernorPolicy::FineTuned);
+
+    const auto &gcc = workload::findWorkload("gcc");
+    for (int c = 0; c < chip.coreCount(); ++c)
+        chip.assignWorkload(c, &gcc);
+
+    core::UndervoltController controller(&chip, 4200.0);
+    const core::UndervoltResult solved = controller.solve();
+    ASSERT_LT(solved.vrmSetpointV, 1.2);
+
+    sim::SimConfig config;
+    config.runNoisePs = 1.0;
+    sim::SimEngine engine(&chip, config);
+    const sim::RunResult result = engine.run(4.0);
+
+    EXPECT_FALSE(result.failed());
+    // Every core's mean frequency stays at or above the target (the
+    // slowest sits near it; the quantized loop may dip a hair below).
+    for (int c = 0; c < chip.coreCount(); ++c)
+        EXPECT_GT(result.meanFreqMhz(c), 4200.0 - 45.0) << "core " << c;
+    // Power at the undervolted point is far below the overclocked run.
+    EXPECT_LT(result.chipPowerW.mean(), solved.overclockPowerW - 10.0);
+
+    controller.restore();
+    chip.clearAssignments();
+}
+
+// Undervolting below the electrically-viable point is prevented by
+// the frequency-target contract: at full load the solve must keep the
+// slowest core at the target even though the IR drop is much deeper.
+TEST(UndervoltEngine, LoadAwareSetpoint)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    const auto &daxpy = workload::findWorkload("daxpy");
+    const auto &idle_solve = [&](bool loaded) {
+        chip.clearAssignments();
+        if (loaded) {
+            for (int c = 0; c < chip.coreCount(); ++c)
+                chip.assignWorkload(c, &daxpy, 4);
+        }
+        core::UndervoltController controller(&chip, 4200.0);
+        const core::UndervoltResult result = controller.solve();
+        controller.restore();
+        return result.vrmSetpointV;
+    };
+    const double v_idle = idle_solve(false);
+    const double v_loaded = idle_solve(true);
+    // Heavier load needs a higher setpoint for the same target.
+    EXPECT_GT(v_loaded, v_idle + 0.02);
+}
+
+} // namespace
+} // namespace atmsim

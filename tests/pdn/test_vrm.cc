@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "pdn/vrm.h"
+#include "util/logging.h"
+
+namespace atmsim::pdn {
+namespace {
+
+TEST(Vrm, LoadLineDropsWithCurrent)
+{
+    const Vrm vrm(1.273, 0.3e-3);
+    EXPECT_DOUBLE_EQ(vrm.outputV(0.0), 1.273);
+    EXPECT_NEAR(vrm.outputV(100.0), 1.273 - 0.03, 1e-12);
+}
+
+TEST(Vrm, ZeroLoadLineIsIdeal)
+{
+    const Vrm vrm(1.25, 0.0);
+    EXPECT_DOUBLE_EQ(vrm.outputV(500.0), 1.25);
+}
+
+TEST(Vrm, SetpointAdjustable)
+{
+    Vrm vrm(1.25, 0.3e-3);
+    vrm.setSetpointV(1.30);
+    EXPECT_DOUBLE_EQ(vrm.setpointV(), 1.30);
+    EXPECT_THROW(vrm.setSetpointV(0.0), util::FatalError);
+}
+
+TEST(Vrm, RejectsBadConstruction)
+{
+    EXPECT_THROW(Vrm(0.0, 0.1e-3), util::FatalError);
+    EXPECT_THROW(Vrm(1.25, -1.0), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::pdn

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chip/chip.h"
+#include "sim/sim_engine.h"
+#include "sim/telemetry.h"
+#include "util/logging.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::sim {
+namespace {
+
+TEST(Telemetry, RecordsAndRetrieves)
+{
+    TelemetryRecorder rec(2);
+    rec.record(0.0, 0, 4600.0, 1.25);
+    rec.record(1.0, 0, 4610.0, 1.24);
+    rec.record(0.5, 1, 4700.0, 1.23);
+    EXPECT_EQ(rec.series(0).size(), 2u);
+    EXPECT_EQ(rec.series(1).size(), 1u);
+    EXPECT_EQ(rec.totalSamples(), 3u);
+    EXPECT_DOUBLE_EQ(rec.series(0)[1].freqMhz, 4610.0);
+    EXPECT_DOUBLE_EQ(rec.series(1)[0].voltageV, 1.23);
+}
+
+TEST(Telemetry, DownsamplingKeepsSpacing)
+{
+    TelemetryRecorder rec(1, 10.0);
+    for (double t = 0.0; t < 100.0; t += 1.0)
+        rec.record(t, 0, 4600.0, 1.25);
+    EXPECT_EQ(rec.series(0).size(), 10u);
+    for (std::size_t i = 1; i < rec.series(0).size(); ++i) {
+        EXPECT_GE(rec.series(0)[i].timeNs
+                  - rec.series(0)[i - 1].timeNs, 10.0 - 1e-9);
+    }
+}
+
+TEST(Telemetry, WindowAverage)
+{
+    TelemetryRecorder rec(1);
+    rec.record(0.0, 0, 4000.0, 1.25);
+    rec.record(10.0, 0, 5000.0, 1.25);
+    rec.record(20.0, 0, 5000.0, 1.25);
+    // Window covering the last two samples only.
+    EXPECT_DOUBLE_EQ(rec.windowAvgFreqMhz(0, 10.0), 5000.0);
+    // Window covering everything.
+    EXPECT_NEAR(rec.windowAvgFreqMhz(0, 100.0), 4666.67, 0.01);
+}
+
+TEST(Telemetry, CsvExportShape)
+{
+    TelemetryRecorder rec(2);
+    rec.record(0.0, 0, 4600.0, 1.25);
+    rec.record(0.0, 1, 4700.0, 1.24);
+    std::ostringstream os;
+    rec.writeCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("time_ns,core,freq_mhz,voltage_v"),
+              std::string::npos);
+    EXPECT_NE(out.find("0,1,4700,1.24"), std::string::npos);
+}
+
+TEST(Telemetry, ClearResets)
+{
+    TelemetryRecorder rec(1, 5.0);
+    rec.record(0.0, 0, 4600.0, 1.25);
+    rec.clear();
+    EXPECT_EQ(rec.totalSamples(), 0u);
+    // After clear, a sample at t=0 is kept again.
+    rec.record(0.0, 0, 4600.0, 1.25);
+    EXPECT_EQ(rec.totalSamples(), 1u);
+}
+
+TEST(Telemetry, Validation)
+{
+    EXPECT_THROW(TelemetryRecorder(0), util::FatalError);
+    EXPECT_THROW(TelemetryRecorder(1, -1.0), util::FatalError);
+    TelemetryRecorder rec(1);
+    EXPECT_THROW(rec.record(0.0, 5, 1.0, 1.0), util::FatalError);
+    EXPECT_THROW(rec.series(5), util::FatalError);
+    EXPECT_THROW(rec.windowAvgFreqMhz(0, 1.0), util::FatalError);
+}
+
+TEST(Telemetry, IntegratesWithEngineProbe)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    TelemetryRecorder rec(chip.coreCount(), 2.0);
+    SimEngine engine(&chip);
+    engine.setProbe([&](double t, int c, double f, double v) {
+        rec.record(t, c, f, v);
+    });
+    engine.run(1.0);
+    EXPECT_GT(rec.totalSamples(), 100u);
+    // The recorded frequency matches the run's scale.
+    EXPECT_NEAR(rec.windowAvgFreqMhz(0, 500.0), 4600.0, 60.0);
+}
+
+} // namespace
+} // namespace atmsim::sim

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.h"
+#include "util/logging.h"
+
+namespace atmsim::util {
+namespace {
+
+TEST(AsciiPlot, EmptyPlotReportsEmpty)
+{
+    AsciiPlot plot;
+    std::ostringstream os;
+    plot.print(os);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersSeriesGlyphAndLegend)
+{
+    AsciiPlot plot(40, 10);
+    plot.addSeries("freq", {0, 1, 2, 3}, {1, 2, 3, 4}, '*');
+    plot.setLabels("time", "MHz");
+    std::ostringstream os;
+    plot.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("freq"), std::string::npos);
+    EXPECT_NE(out.find("MHz"), std::string::npos);
+    EXPECT_NE(out.find("time"), std::string::npos);
+}
+
+TEST(AsciiPlot, MismatchedSeriesIsFatal)
+{
+    AsciiPlot plot;
+    EXPECT_THROW(plot.addSeries("bad", {1, 2}, {1}, 'x'), FatalError);
+}
+
+TEST(AsciiPlot, TinyDimensionsRejected)
+{
+    EXPECT_THROW(AsciiPlot(5, 2), FatalError);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotCrash)
+{
+    AsciiPlot plot(40, 10);
+    plot.addSeries("flat", {0, 1, 2}, {5, 5, 5}, 'o');
+    std::ostringstream os;
+    EXPECT_NO_THROW(plot.print(os));
+}
+
+} // namespace
+} // namespace atmsim::util

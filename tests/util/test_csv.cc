@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace atmsim::util {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "atmsim_csv_test.csv";
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(CsvTest, WritesSimpleRows)
+{
+    {
+        CsvWriter csv(path_);
+        csv.writeRow({"a", "b"});
+        csv.writeNumericRow({1.5, 2.0});
+        csv.close();
+    }
+    EXPECT_EQ(slurp(path_), "a,b\n1.5,2\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters)
+{
+    {
+        CsvWriter csv(path_);
+        csv.writeRow({"plain", "with,comma", "with\"quote"});
+        csv.close();
+    }
+    EXPECT_EQ(slurp(path_),
+              "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, BadPathIsFatal)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), FatalError);
+}
+
+} // namespace
+} // namespace atmsim::util

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "util/linear_fit.h"
+#include "util/logging.h"
+
+namespace atmsim::util {
+namespace {
+
+TEST(LinearFit, ExactLine)
+{
+    const LineFit fit = fitLine({0, 1, 2, 3}, {1, 3, 5, 7});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NegativeSlope)
+{
+    // Eq. 1 shape: ~-2 MHz per watt.
+    const LineFit fit = fitLine({40, 80, 120, 160},
+                                {4920, 4840, 4760, 4680});
+    EXPECT_NEAR(fit.slope, -2.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 5000.0, 1e-6);
+}
+
+TEST(LinearFit, NoisyDataReasonableR2)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(3.0 * i + ((i % 2) ? 0.5 : -0.5));
+    }
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 3.0, 0.02);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFit, ConstantYIsPerfectFit)
+{
+    const LineFit fit = fitLine({1, 2, 3}, {4, 4, 4});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(LinearFit, RejectsDegenerateInput)
+{
+    EXPECT_THROW(fitLine({1}, {2}), FatalError);
+    EXPECT_THROW(fitLine({1, 2}, {1}), FatalError);
+    EXPECT_THROW(fitLine({2, 2, 2}, {1, 2, 3}), FatalError);
+}
+
+} // namespace
+} // namespace atmsim::util

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("impossible state"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsConcatenated)
+{
+    try {
+        fatal("value ", 7, " out of range [", 0, ", ", 5, "]");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "value 7 out of range [0, 5]");
+    }
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error); // silence output in test logs
+    EXPECT_NO_THROW(inform("status ", 1));
+    EXPECT_NO_THROW(warn("suspicious ", 2));
+    EXPECT_NO_THROW(debug("detail ", 3));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace atmsim::util

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace atmsim::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined)
+{
+    RunningStats a, b, combined;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i * 0.7) * 10.0;
+        if (i % 2 == 0)
+            a.add(x);
+        else
+            b.add(x);
+        combined.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStats, Reset)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(IntHistogram, CountsAndBounds)
+{
+    IntHistogram h;
+    h.add(3);
+    h.add(3);
+    h.add(5);
+    h.add(-1);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.countOf(3), 2u);
+    EXPECT_EQ(h.countOf(5), 1u);
+    EXPECT_EQ(h.countOf(99), 0u);
+    EXPECT_EQ(h.minValue(), -1);
+    EXPECT_EQ(h.maxValue(), 5);
+    EXPECT_EQ(h.distinct(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(IntHistogram, EmptyBehaviour)
+{
+    IntHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_THROW(h.minValue(), PanicError);
+    EXPECT_THROW(h.maxValue(), PanicError);
+}
+
+TEST(IntHistogram, ItemsSorted)
+{
+    IntHistogram h;
+    h.add(9);
+    h.add(1);
+    h.add(9);
+    const auto items = h.items();
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0].first, 1);
+    EXPECT_EQ(items[0].second, 1u);
+    EXPECT_EQ(items[1].first, 9);
+    EXPECT_EQ(items[1].second, 2u);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {0, 10};
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 10), 1.0);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_THROW(percentile({}, 50), FatalError);
+    EXPECT_THROW(percentile({1.0}, -1), FatalError);
+    EXPECT_THROW(percentile({1.0}, 101), FatalError);
+}
+
+TEST(Means, ArithmeticAndGeometric)
+{
+    EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1, 4, 16}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_THROW(geomean({1.0, -2.0}), FatalError);
+}
+
+} // namespace
+} // namespace atmsim::util

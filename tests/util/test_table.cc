@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace atmsim::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t;
+    t.setHeader({"core", "freq"});
+    t.addRow({"P0C0", "5000"});
+    t.addRow({"P0C1", "5050"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("core"), std::string::npos);
+    EXPECT_NE(out.find("P0C1"), std::string::npos);
+    EXPECT_NE(out.find("5050"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, ColumnWidthFitsLongestCell)
+{
+    TextTable t;
+    t.setHeader({"x"});
+    t.addRow({"a-very-long-cell-value"});
+    const std::string out = t.toString();
+    // Header line must be at least as wide as the cell.
+    const auto first_newline = out.find('\n');
+    EXPECT_GE(first_newline, std::string{"a-very-long-cell-value"}.size());
+}
+
+TEST(TextTable, RuleRendersAsSeparator)
+{
+    TextTable t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string out = t.toString();
+    // 5 rules total: top, under header, mid, bottom... count '+' lines.
+    int rules = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos += 2;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(Formatting, FixedIntPercent)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtInt(4999.6), "5000");
+    EXPECT_EQ(fmtPercent(0.123), "12.3%");
+}
+
+} // namespace
+} // namespace atmsim::util

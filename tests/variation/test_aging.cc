@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "chip/chip.h"
+#include "util/logging.h"
+#include "variation/aging.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::variation {
+namespace {
+
+TEST(Aging, FreshPartIsUnityFactor)
+{
+    EXPECT_DOUBLE_EQ(agingDelayFactor({}, 0.0, 1.25, 45.0), 1.0);
+}
+
+TEST(Aging, FactorGrowsSublinearlyWithTime)
+{
+    const AgingParams params;
+    const double one = agingDelayFactor(params, 1.0, 1.25, 45.0);
+    const double four = agingDelayFactor(params, 4.0, 1.25, 45.0);
+    EXPECT_GT(one, 1.0);
+    EXPECT_GT(four, one);
+    // Power law with exponent 0.25: 4 years ~ sqrt(2) of 1 year.
+    EXPECT_NEAR((four - 1.0) / (one - 1.0), std::sqrt(2.0), 0.01);
+}
+
+TEST(Aging, VoltageAndTemperatureAccelerate)
+{
+    const AgingParams params;
+    const double nominal = agingDelayFactor(params, 5.0, 1.25, 45.0);
+    EXPECT_GT(agingDelayFactor(params, 5.0, 1.35, 45.0), nominal);
+    EXPECT_GT(agingDelayFactor(params, 5.0, 1.25, 70.0), nominal);
+    EXPECT_LT(agingDelayFactor(params, 5.0, 1.15, 25.0), nominal);
+}
+
+TEST(Aging, NegativeTimeRejected)
+{
+    EXPECT_THROW(agingDelayFactor({}, -1.0, 1.25, 45.0),
+                 util::FatalError);
+}
+
+TEST(Aging, AtmTracksAgingAutomatically)
+{
+    // The ATM selling point: an aged part still works, just slower --
+    // no reconfiguration needed, because the canaries aged too.
+    variation::ChipSilicon fresh = makeReferenceChip(0);
+    chip::Chip fresh_chip(std::move(fresh));
+    const double f0 = fresh_chip.solveSteadyState().coreFreqMhz[0];
+
+    variation::ChipSilicon aged = makeReferenceChip(0);
+    applyAging(aged, {}, 5.0, 1.25, 55.0);
+    chip::Chip aged_chip(std::move(aged));
+    const double f5 = aged_chip.solveSteadyState().coreFreqMhz[0];
+
+    EXPECT_LT(f5, f0);
+    // Graceful: a few tens of MHz over five years, not hundreds.
+    EXPECT_GT(f5, f0 - 120.0);
+}
+
+TEST(Aging, SafetyStructureSurvivesAging)
+{
+    // Aging scales the canary and the real paths together, so the
+    // characterized safety structure barely moves: the thread-worst
+    // reduction remains safe after five years of service.
+    variation::ChipSilicon aged = makeReferenceChip(0);
+    applyAging(aged, {}, 5.0, 1.25, 55.0);
+    for (int c = 0; c < 8; ++c) {
+        const auto &core = aged.cores[static_cast<std::size_t>(c)];
+        const int worst = referenceTargets(0, c).worst;
+        const double noise_max =
+            core.idleNoiseFloorPs + core.idleNoiseRangePs;
+        const double extra = scenarioExtraPs(
+            core, core.loadExposurePs, kWorstClassDroopMv);
+        EXPECT_TRUE(analyticSafe(core, worst, extra, noise_max))
+            << core.name;
+    }
+}
+
+} // namespace
+} // namespace atmsim::variation

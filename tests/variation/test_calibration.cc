@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "util/units.h"
+#include "variation/calibration.h"
+
+namespace atmsim::variation {
+namespace {
+
+CoreLimitTargets
+targets(int idle, int ubench, int normal, int worst, double mhz)
+{
+    CoreLimitTargets t;
+    t.idle = idle;
+    t.ubench = ubench;
+    t.normal = normal;
+    t.worst = worst;
+    t.idleLimitMhz = mhz;
+    return t;
+}
+
+TEST(CoreLimitTargets, ValidatesOrdering)
+{
+    EXPECT_NO_THROW(targets(9, 8, 7, 6, 5000).validate());
+    EXPECT_THROW(targets(5, 6, 4, 3, 5000).validate(), util::FatalError);
+    EXPECT_THROW(targets(5, 5, 5, 0, 5000).validate(), util::FatalError);
+    EXPECT_THROW(targets(20, 5, 4, 3, 5000).validate(), util::FatalError);
+    EXPECT_THROW(targets(5, 5, 4, 3, 6000).validate(), util::FatalError);
+}
+
+TEST(Calibration, BuildRecoversTargetsAllDistinct)
+{
+    util::Rng rng(101);
+    const auto t = targets(9, 8, 7, 6, 5000);
+    const CoreSiliconParams core =
+        buildCoreFromTargets("T0C0", t, 13, 1.0, rng);
+    // buildCoreFromTargets runs verifyCoreTargets internally; reaching
+    // here means the inversion reproduced the limits. Check basics.
+    EXPECT_EQ(core.presetSteps, 13);
+    EXPECT_NO_THROW(core.validate());
+    EXPECT_NO_THROW(verifyCoreTargets(core, t));
+}
+
+TEST(Calibration, BuildRecoversDegenerateTargets)
+{
+    util::Rng rng(202);
+    // All four limits equal: the "robust core" shape (P1C2, P0C7).
+    const auto t = targets(5, 5, 5, 5, 4900);
+    const CoreSiliconParams core =
+        buildCoreFromTargets("T0C1", t, 9, 1.01, rng);
+    EXPECT_NO_THROW(verifyCoreTargets(core, t));
+    // Robust cores have low vulnerability and exposure.
+    EXPECT_LT(core.didtVulnerability, 1.0);
+}
+
+TEST(Calibration, BuildRecoversWideSpreadTargets)
+{
+    util::Rng rng(303);
+    // A large ubench-to-worst spread (like P1C1: 8/8/7/3).
+    const auto t = targets(8, 8, 7, 3, 5000);
+    const CoreSiliconParams core =
+        buildCoreFromTargets("T0C2", t, 12, 0.99, rng);
+    EXPECT_NO_THROW(verifyCoreTargets(core, t));
+    // The spread must come from di/dt vulnerability.
+    EXPECT_GT(core.didtVulnerability, 0.5);
+}
+
+TEST(Calibration, PresetLandsOnDefaultAtmIdleFrequency)
+{
+    util::Rng rng(404);
+    const CoreSiliconParams core = buildCoreFromTargets(
+        "T0C3", targets(7, 6, 5, 4, 4950), 11, 1.0, rng);
+    EXPECT_NEAR(core.atmFrequencyMhz(0, 1.0),
+                circuit::kDefaultAtmIdleMhz, 0.5);
+}
+
+TEST(Calibration, IdleLimitFrequencyMatchesTarget)
+{
+    util::Rng rng(505);
+    const CoreSiliconParams core = buildCoreFromTargets(
+        "T0C4", targets(8, 7, 6, 5, 5100), 12, 0.97, rng);
+    EXPECT_NEAR(core.atmFrequencyMhz(8, 1.0), 5100.0, 1.0);
+}
+
+TEST(Calibration, StepHintsAreHonored)
+{
+    util::Rng rng(606);
+    StepHints hints = {0, 0, 4.0}; // pin the 3rd reduction segment
+    const CoreSiliconParams core = buildCoreFromTargets(
+        "T0C5", targets(7, 6, 5, 4, 5000), 11, 1.0, rng, &hints);
+    // Segment removed by reduction step 3 is cpmStepPs[preset-3].
+    EXPECT_NEAR(core.cpmStepPs[11 - 3], 4.0, 1e-9);
+}
+
+TEST(Calibration, RejectsSubResolutionShapes)
+{
+    // An idle limit of 10 steps for only ~100 MHz of gain needs
+    // segments finer than the run-noise resolution: rejected with a
+    // clear error instead of a silent mis-calibration.
+    util::Rng rng(808);
+    EXPECT_THROW(buildCoreFromTargets("T9C0",
+                                      targets(10, 8, 6, 4, 4700), 14,
+                                      1.0, rng),
+                 util::FatalError);
+}
+
+TEST(Calibration, RejectsTooSmallPreset)
+{
+    util::Rng rng(707);
+    EXPECT_THROW(buildCoreFromTargets("T0C6", targets(9, 8, 7, 6, 5000),
+                                      9, 1.0, rng),
+                 util::FatalError);
+}
+
+TEST(Calibration, ScenarioExtraComposition)
+{
+    CoreSiliconParams core;
+    core.didtVulnerability = 2.0;
+    EXPECT_DOUBLE_EQ(scenarioExtraPs(core, 1.5, 10.0),
+                     1.5 + 2.0 * kUncoveredPsPerMv * 10.0);
+    EXPECT_DOUBLE_EQ(scenarioExtraPs(core, 0.0, 0.0), 0.0);
+}
+
+TEST(Calibration, RunNoiseCoversRangeOverEightReps)
+{
+    CoreSiliconParams core;
+    core.name = "T1C0";
+    core.idleNoiseFloorPs = 0.5;
+    core.idleNoiseRangePs = 0.7;
+    double lo = 1e9, hi = -1e9;
+    for (int rep = 0; rep < 8; ++rep) {
+        const double n = runNoisePs(core, rep);
+        EXPECT_GE(n, 0.5);
+        EXPECT_LT(n, 1.2);
+        lo = std::min(lo, n);
+        hi = std::max(hi, n);
+    }
+    // Stratified draws must reach both ends of the range.
+    EXPECT_LT(lo, 0.5 + 0.125 * 0.7);
+    EXPECT_GT(hi, 0.5 + 0.875 * 0.7);
+}
+
+TEST(Calibration, RunNoiseDiffersBetweenCores)
+{
+    CoreSiliconParams a, b;
+    a.name = "P0C0";
+    b.name = "P0C1";
+    bool any_diff = false;
+    for (int rep = 0; rep < 4; ++rep) {
+        if (runNoisePs(a, rep) != runNoisePs(b, rep))
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+class CalibrationSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CalibrationSweep, RandomTargetShapesInvertible)
+{
+    // Property: the inversion handles a broad family of limit shapes.
+    // The idle-limit frequency is tied to the limit count (mean
+    // segment 1.4-3.2 ps) as on real silicon; untied combinations are
+    // physically inconsistent and rejected (see the dedicated test).
+    util::Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+    const int idle = 2 + static_cast<int>(rng.below(9));       // 2..10
+    const int ub = std::max(1, idle - static_cast<int>(rng.below(3)));
+    const int no = std::max(1, ub - static_cast<int>(rng.below(3)));
+    const int wo = std::max(1, no - static_cast<int>(rng.below(4)));
+    const double removal = idle * rng.uniform(1.4, 3.2);
+    const double mhz = util::psToMhz(
+        util::mhzToPs(circuit::kDefaultAtmIdleMhz) - removal);
+    const auto t = targets(idle, ub, no, wo, mhz);
+    const int preset = std::max(idle + 4, 7);
+    const double speed = 4950.0 / mhz;
+    const CoreSiliconParams core = buildCoreFromTargets(
+        "S" + std::to_string(GetParam()), t, preset, speed, rng);
+    EXPECT_NO_THROW(verifyCoreTargets(core, t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CalibrationSweep,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace atmsim::variation

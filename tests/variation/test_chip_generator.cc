@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/constants.h"
+#include "variation/calibration.h"
+#include "variation/chip_generator.h"
+
+namespace atmsim::variation {
+namespace {
+
+TEST(ChipGenerator, ProducesValidChip)
+{
+    const ChipSilicon chip = generateChip("R0", 42);
+    EXPECT_EQ(chip.cores.size(),
+              static_cast<std::size_t>(circuit::kCoresPerChip));
+    EXPECT_NO_THROW(chip.validate());
+}
+
+TEST(ChipGenerator, DeterministicFromSeed)
+{
+    const ChipSilicon a = generateChip("R", 7);
+    const ChipSilicon b = generateChip("R", 7);
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_DOUBLE_EQ(a.cores[c].realPathIdlePs,
+                         b.cores[c].realPathIdlePs);
+        EXPECT_EQ(a.cores[c].presetSteps, b.cores[c].presetSteps);
+    }
+}
+
+TEST(ChipGenerator, DifferentSeedsGiveDifferentChips)
+{
+    const ChipSilicon a = generateChip("R", 1);
+    const ChipSilicon b = generateChip("R", 2);
+    bool any_diff = false;
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        if (a.cores[c].realPathIdlePs != b.cores[c].realPathIdlePs)
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ChipGenerator, CoreNamesFollowChipName)
+{
+    const ChipSilicon chip = generateChip("RX", 3);
+    EXPECT_EQ(chip.cores[0].name, "RXC0");
+    EXPECT_EQ(chip.cores[7].name, "RXC7");
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GeneratorSweep, GeneratedCoresHaveConsistentShape)
+{
+    const ChipSilicon chip = generateChip(
+        "G", static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+    for (const auto &core : chip.cores) {
+        // Default config must land on the factory ATM idle frequency.
+        EXPECT_NEAR(core.atmFrequencyMhz(0, 1.0),
+                    circuit::kDefaultAtmIdleMhz, 1.0) << core.name;
+        // Idle-limit frequencies stay in the plausible band.
+        const int idle = analyticMaxSafeReduction(
+            core, 0.0, core.idleNoiseFloorPs + core.idleNoiseRangePs);
+        const double f = core.atmFrequencyMhz(idle, 1.0);
+        EXPECT_GE(f, 4600.0) << core.name;
+        EXPECT_LE(f, 5300.0) << core.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep, ::testing::Range(0, 12));
+
+TEST(ChipGenerator, PopulationShowsVariation)
+{
+    // Across a population of chips, idle limits must span a range
+    // (the inter-core variation the paper exploits).
+    std::set<int> seen_limits;
+    for (int seed = 0; seed < 10; ++seed) {
+        const ChipSilicon chip = generateChip("V", seed + 1);
+        for (const auto &core : chip.cores) {
+            seen_limits.insert(analyticMaxSafeReduction(
+                core, 0.0,
+                core.idleNoiseFloorPs + core.idleNoiseRangePs));
+        }
+    }
+    EXPECT_GE(seen_limits.size(), 4u);
+}
+
+} // namespace
+} // namespace atmsim::variation

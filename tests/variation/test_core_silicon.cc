@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "variation/core_silicon.h"
+
+namespace atmsim::variation {
+namespace {
+
+CoreSiliconParams
+makeSimpleCore()
+{
+    CoreSiliconParams core;
+    core.name = "T0C0";
+    core.speedFactor = 1.0;
+    core.synthPathPs = 185.0;
+    core.cpmStepPs.assign(12, 2.0);
+    core.presetSteps = 12;
+    core.realPathIdlePs = 199.0;
+    core.idleNoiseFloorPs = 0.5;
+    core.idleNoiseRangePs = 0.7;
+    return core;
+}
+
+TEST(CoreSilicon, InsertedDelayIsPrefixSum)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    EXPECT_DOUBLE_EQ(core.insertedDelayPs(0), 0.0);
+    EXPECT_DOUBLE_EQ(core.insertedDelayPs(3), 6.0);
+    EXPECT_DOUBLE_EQ(core.insertedDelayPs(12), 24.0);
+}
+
+TEST(CoreSilicon, InsertedDelayRangeChecked)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    EXPECT_THROW(core.insertedDelayPs(-1), util::FatalError);
+    EXPECT_THROW(core.insertedDelayPs(13), util::FatalError);
+}
+
+TEST(CoreSilicon, AtmFrequencyIncreasesWithReduction)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    double prev = core.atmFrequencyMhz(0, 1.0);
+    for (int k = 1; k <= 6; ++k) {
+        const double f = core.atmFrequencyMhz(k, 1.0);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(CoreSilicon, AtmFrequencyDropsWithDelayFactor)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    EXPECT_LT(core.atmFrequencyMhz(0, 1.05), core.atmFrequencyMhz(0, 1.0));
+}
+
+TEST(CoreSilicon, SafetySlackShrinksWithReduction)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    double prev = core.safetySlackPs(0);
+    for (int k = 1; k <= 6; ++k) {
+        const double s = core.safetySlackPs(k);
+        EXPECT_LT(s, prev);
+        // Step delta matches the removed segment.
+        EXPECT_NEAR(prev - s, 2.0, 1e-9);
+        prev = s;
+    }
+}
+
+TEST(CoreSilicon, AnalyticSafetyMatchesSlack)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    const double s3 = core.safetySlackPs(3);
+    EXPECT_TRUE(analyticSafe(core, 3, s3 - 0.1, 0.0));
+    EXPECT_FALSE(analyticSafe(core, 3, s3 + 0.1, 0.0));
+    // Noise and extra are interchangeable.
+    EXPECT_TRUE(analyticSafe(core, 3, s3 / 2, s3 / 2 - 0.1));
+    EXPECT_FALSE(analyticSafe(core, 3, s3 / 2, s3 / 2 + 0.1));
+}
+
+TEST(CoreSilicon, MaxSafeReductionMonotoneInStress)
+{
+    const CoreSiliconParams core = makeSimpleCore();
+    int prev = analyticMaxSafeReduction(core, 0.0, 0.5);
+    for (double extra = 1.0; extra < 15.0; extra += 1.0) {
+        const int k = analyticMaxSafeReduction(core, extra, 0.5);
+        EXPECT_LE(k, prev);
+        prev = k;
+    }
+}
+
+TEST(CoreSilicon, ValidateAcceptsGoodCore)
+{
+    EXPECT_NO_THROW(makeSimpleCore().validate());
+}
+
+TEST(CoreSilicon, ValidateRejectsBadCores)
+{
+    {
+        CoreSiliconParams c = makeSimpleCore();
+        c.name.clear();
+        EXPECT_THROW(c.validate(), util::FatalError);
+    }
+    {
+        CoreSiliconParams c = makeSimpleCore();
+        c.speedFactor = 3.0;
+        EXPECT_THROW(c.validate(), util::FatalError);
+    }
+    {
+        CoreSiliconParams c = makeSimpleCore();
+        c.cpmStepPs[4] = -1.0;
+        EXPECT_THROW(c.validate(), util::FatalError);
+    }
+    {
+        CoreSiliconParams c = makeSimpleCore();
+        c.presetSteps = 20;
+        EXPECT_THROW(c.validate(), util::FatalError);
+    }
+    {
+        CoreSiliconParams c = makeSimpleCore();
+        // Preset must itself be safe: push the real path past it.
+        c.realPathIdlePs = c.synthPathPs + c.insertedDelayPs(12) + 10.0;
+        EXPECT_THROW(c.validate(), util::FatalError);
+    }
+}
+
+TEST(ChipSilicon, ValidateChecksCoreCount)
+{
+    ChipSilicon chip;
+    chip.name = "T";
+    chip.cores.push_back(makeSimpleCore());
+    EXPECT_THROW(chip.validate(), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::variation

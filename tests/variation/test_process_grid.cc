@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "variation/process_grid.h"
+
+namespace atmsim::variation {
+namespace {
+
+TEST(ProcessGrid, ReproducibleFromSeed)
+{
+    util::Rng rng_a(5), rng_b(5);
+    ProcessGrid a(16, 3, rng_a);
+    ProcessGrid b(16, 3, rng_b);
+    for (double x : {0.0, 0.3, 0.7, 1.0}) {
+        for (double y : {0.0, 0.5, 1.0})
+            EXPECT_DOUBLE_EQ(a.sample(x, y), b.sample(x, y));
+    }
+}
+
+TEST(ProcessGrid, NormalizedMoments)
+{
+    util::Rng rng(7);
+    ProcessGrid grid(32, 3, rng);
+    double sum = 0.0, sum2 = 0.0;
+    int n = 0;
+    for (int i = 0; i <= 31; ++i) {
+        for (int j = 0; j <= 31; ++j) {
+            const double v = grid.sample(i / 31.0, j / 31.0);
+            sum += v;
+            sum2 += v * v;
+            ++n;
+        }
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(ProcessGrid, SpatialCorrelation)
+{
+    // Smoothing must make nearby points more alike than distant ones.
+    util::Rng rng(11);
+    ProcessGrid grid(32, 4, rng);
+    double near_diff = 0.0, far_diff = 0.0;
+    int n = 0;
+    for (int i = 0; i < 28; ++i) {
+        const double x = i / 31.0;
+        near_diff += std::abs(grid.sample(x, 0.5)
+                              - grid.sample(x + 1.0 / 31.0, 0.5));
+        far_diff += std::abs(grid.sample(x, 0.1)
+                             - grid.sample(1.0 - x, 0.9));
+        ++n;
+    }
+    EXPECT_LT(near_diff / n, far_diff / n);
+}
+
+TEST(ProcessGrid, InterpolatesBetweenCells)
+{
+    util::Rng rng(13);
+    ProcessGrid grid(8, 1, rng);
+    const double a = grid.sample(0.0, 0.0);
+    const double b = grid.sample(1.0 / 7.0, 0.0);
+    const double mid = grid.sample(0.5 / 7.0, 0.0);
+    EXPECT_NEAR(mid, (a + b) / 2.0, 1e-9);
+}
+
+TEST(ProcessGrid, RejectsBadInput)
+{
+    util::Rng rng(17);
+    EXPECT_THROW(ProcessGrid(1, 1, rng), util::FatalError);
+    ProcessGrid grid(8, 1, rng);
+    EXPECT_THROW(grid.sample(-0.1, 0.5), util::FatalError);
+    EXPECT_THROW(grid.sample(0.5, 1.1), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::variation

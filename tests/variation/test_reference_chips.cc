@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "variation/calibration.h"
+#include "variation/reference_chips.h"
+
+namespace atmsim::variation {
+namespace {
+
+// Table I of the paper, the ground truth the reference chips must
+// reproduce.
+constexpr int kIdle[2][8] = {{9, 8, 4, 11, 10, 7, 8, 2},
+                             {4, 8, 5, 8, 7, 5, 10, 3}};
+constexpr int kUbench[2][8] = {{9, 8, 4, 10, 9, 7, 8, 2},
+                               {4, 8, 5, 5, 6, 4, 10, 2}};
+constexpr int kNormal[2][8] = {{8, 7, 4, 9, 8, 6, 7, 2},
+                               {3, 7, 5, 4, 5, 3, 8, 2}};
+constexpr int kWorst[2][8] = {{6, 6, 3, 6, 6, 5, 5, 2},
+                              {3, 3, 5, 3, 3, 2, 6, 2}};
+
+TEST(ReferenceChips, TargetsMatchTableOne)
+{
+    for (int p = 0; p < 2; ++p) {
+        for (int c = 0; c < 8; ++c) {
+            const CoreLimitTargets &t = referenceTargets(p, c);
+            EXPECT_EQ(t.idle, kIdle[p][c]) << "P" << p << "C" << c;
+            EXPECT_EQ(t.ubench, kUbench[p][c]) << "P" << p << "C" << c;
+            EXPECT_EQ(t.normal, kNormal[p][c]) << "P" << p << "C" << c;
+            EXPECT_EQ(t.worst, kWorst[p][c]) << "P" << p << "C" << c;
+        }
+    }
+}
+
+TEST(ReferenceChips, TargetsOutOfRangeFatal)
+{
+    EXPECT_THROW(referenceTargets(2, 0), util::FatalError);
+    EXPECT_THROW(referenceTargets(0, 8), util::FatalError);
+    EXPECT_THROW(referenceTargets(-1, 0), util::FatalError);
+}
+
+TEST(ReferenceChips, BuildsBothChips)
+{
+    const auto server = makeReferenceServer();
+    ASSERT_EQ(server.size(), 2u);
+    EXPECT_EQ(server[0].name, "P0");
+    EXPECT_EQ(server[1].name, "P1");
+    for (const auto &chip : server)
+        EXPECT_EQ(chip.cores.size(), 8u);
+}
+
+TEST(ReferenceChips, DeterministicAcrossCalls)
+{
+    const ChipSilicon a = makeReferenceChip(0);
+    const ChipSilicon b = makeReferenceChip(0);
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_EQ(a.cores[c].presetSteps, b.cores[c].presetSteps);
+        EXPECT_DOUBLE_EQ(a.cores[c].synthPathPs, b.cores[c].synthPathPs);
+        EXPECT_DOUBLE_EQ(a.cores[c].realPathIdlePs,
+                         b.cores[c].realPathIdlePs);
+        ASSERT_EQ(a.cores[c].cpmStepPs.size(), b.cores[c].cpmStepPs.size());
+        for (std::size_t i = 0; i < a.cores[c].cpmStepPs.size(); ++i)
+            EXPECT_DOUBLE_EQ(a.cores[c].cpmStepPs[i],
+                             b.cores[c].cpmStepPs[i]);
+    }
+}
+
+TEST(ReferenceChips, EveryCoreReproducesItsTargets)
+{
+    for (int p = 0; p < 2; ++p) {
+        const ChipSilicon chip = makeReferenceChip(p);
+        for (int c = 0; c < 8; ++c) {
+            EXPECT_NO_THROW(
+                verifyCoreTargets(chip.cores[c], referenceTargets(p, c)))
+                << chip.cores[c].name;
+        }
+    }
+}
+
+TEST(ReferenceChips, PresetsWithinFigFourRange)
+{
+    // Fig. 4b: presets (per site) range roughly 7..20.
+    for (int p = 0; p < 2; ++p) {
+        const ChipSilicon chip = makeReferenceChip(p);
+        for (const auto &core : chip.cores) {
+            EXPECT_GE(core.presetSteps, 7) << core.name;
+            for (int off : core.siteOffsets)
+                EXPECT_LE(core.presetSteps + off, 20) << core.name;
+        }
+    }
+}
+
+TEST(ReferenceChips, IdleLimitFrequenciesMatchFigSeven)
+{
+    // Idle-limit frequencies sit in the 4.7-5.2 GHz band with P0C3 the
+    // fastest core on chip 0.
+    const ChipSilicon p0 = makeReferenceChip(0);
+    double best_f = 0.0;
+    int best_core = -1;
+    for (int c = 0; c < 8; ++c) {
+        const double f = p0.cores[c].atmFrequencyMhz(kIdle[0][c], 1.0);
+        EXPECT_GE(f, 4650.0) << p0.cores[c].name;
+        EXPECT_LE(f, 5250.0) << p0.cores[c].name;
+        if (f > best_f) {
+            best_f = f;
+            best_core = c;
+        }
+    }
+    EXPECT_EQ(best_core, 3);
+    EXPECT_NEAR(best_f, 5200.0, 2.0);
+}
+
+TEST(ReferenceChips, NonLinearityAnecdotes)
+{
+    const ChipSilicon p1 = makeReferenceChip(1);
+
+    // P1C6: the first reduction step jumps >200 MHz, the second is
+    // nearly free (Sec. IV-C / Fig. 5).
+    const auto &c6 = p1.cores[6];
+    const double f0 = c6.atmFrequencyMhz(0, 1.0);
+    const double f1 = c6.atmFrequencyMhz(1, 1.0);
+    const double f2 = c6.atmFrequencyMhz(2, 1.0);
+    EXPECT_GT(f1 - f0, 180.0);
+    EXPECT_LT(f2 - f1, 30.0);
+
+    // P1C3: step 5->6 nearly unchanged, 6->7 gains >100 MHz.
+    const auto &c3 = p1.cores[3];
+    EXPECT_LT(c3.atmFrequencyMhz(6, 1.0) - c3.atmFrequencyMhz(5, 1.0),
+              30.0);
+    EXPECT_GT(c3.atmFrequencyMhz(7, 1.0) - c3.atmFrequencyMhz(6, 1.0),
+              95.0);
+
+    // P1C2: the unsafe sixth step would jump ~300 MHz (the rollback
+    // cost the paper describes).
+    const auto &c2 = p1.cores[2];
+    EXPECT_GT(c2.atmFrequencyMhz(6, 1.0) - c2.atmFrequencyMhz(5, 1.0),
+              250.0);
+
+    // P1C1: rolling back from 9 to 8 costs about 100 MHz.
+    const auto &c1 = p1.cores[1];
+    EXPECT_NEAR(c1.atmFrequencyMhz(9, 1.0) - c1.atmFrequencyMhz(8, 1.0),
+                100.0, 25.0);
+}
+
+TEST(ReferenceChips, SimilarFrequencyDifferentStepCounts)
+{
+    // P0C4 needs ten steps for ~5.1 GHz; P1C7 needs three: the CPM
+    // non-linearity across cores (Sec. IV-C).
+    const ChipSilicon p0 = makeReferenceChip(0);
+    const ChipSilicon p1 = makeReferenceChip(1);
+    const double f_p0c4 = p0.cores[4].atmFrequencyMhz(10, 1.0);
+    const double f_p1c7 = p1.cores[7].atmFrequencyMhz(3, 1.0);
+    EXPECT_NEAR(f_p0c4, f_p1c7, 20.0);
+}
+
+TEST(ReferenceChips, SpeedDifferentialAtThreadWorst)
+{
+    // Fig. 11: >200 MHz differential between P0C1 and P0C7 at their
+    // stress-test limits.
+    const ChipSilicon p0 = makeReferenceChip(0);
+    const double f_c1 = p0.cores[1].atmFrequencyMhz(kWorst[0][1], 1.0);
+    const double f_c7 = p0.cores[7].atmFrequencyMhz(kWorst[0][7], 1.0);
+    EXPECT_GT(f_c1 - f_c7, 200.0);
+}
+
+} // namespace
+} // namespace atmsim::variation

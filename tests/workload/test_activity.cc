@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workload/activity.h"
+#include "workload/catalog.h"
+
+namespace atmsim::workload {
+namespace {
+
+TEST(ActivityGenerator, EmitsPulsesAtRoughlyTheConfiguredRate)
+{
+    const WorkloadTraits &gcc = findWorkload("gcc"); // 0.8 events/us
+    ActivityGenerator gen(&gcc, 10.0, util::Rng(3));
+    int rising_edges = 0;
+    bool was_high = false;
+    for (double t = 0.0; t < 100000.0; t += 0.5) { // 100 us
+        const bool high = gen.transientCurrentA(t) > 0.0;
+        if (high && !was_high)
+            ++rising_edges;
+        was_high = high;
+    }
+    EXPECT_GT(rising_edges, 40);
+    EXPECT_LT(rising_edges, 160);
+}
+
+TEST(ActivityGenerator, PulseAmplitudeIsConfigured)
+{
+    const WorkloadTraits &x264 = findWorkload("x264");
+    ActivityGenerator gen(&x264, 25.0, util::Rng(5));
+    double max_seen = 0.0;
+    for (double t = 0.0; t < 20000.0; t += 0.5)
+        max_seen = std::max(max_seen, gen.transientCurrentA(t));
+    EXPECT_DOUBLE_EQ(max_seen, 25.0);
+}
+
+TEST(ActivityGenerator, IdleIsQuietForLongStretches)
+{
+    const WorkloadTraits &idle = idleWorkload(); // 0.05 events/us
+    ActivityGenerator gen(&idle, 5.0, util::Rng(7));
+    int active_samples = 0;
+    int total = 0;
+    for (double t = 0.0; t < 50000.0; t += 1.0) {
+        if (gen.transientCurrentA(t) > 0.0)
+            ++active_samples;
+        ++total;
+    }
+    EXPECT_LT(static_cast<double>(active_samples) / total, 0.01);
+}
+
+TEST(ActivityGenerator, VirusIsSynchronizedSquareWave)
+{
+    const WorkloadTraits &virus = voltageVirus();
+    ActivityGenerator a(&virus, 30.0, util::Rng(11));
+    ActivityGenerator b(&virus, 30.0, util::Rng(99));
+    // Phase-aligned regardless of seed.
+    for (double t = 0.0; t < 200.0; t += 0.7)
+        EXPECT_DOUBLE_EQ(a.transientCurrentA(t), b.transientCurrentA(t));
+    // 50% duty cycle.
+    int high = 0, total = 0;
+    for (double t = 0.0; t < 2700.0; t += 0.1) {
+        if (a.transientCurrentA(t) > 0.0)
+            ++high;
+        ++total;
+    }
+    EXPECT_NEAR(static_cast<double>(high) / total, 0.5, 0.05);
+}
+
+TEST(ActivityGenerator, ZeroRateNeverFires)
+{
+    WorkloadTraits quiet;
+    quiet.name = "quiet";
+    quiet.eventsPerUs = 0.0;
+    ActivityGenerator gen(&quiet, 10.0, util::Rng(13));
+    for (double t = 0.0; t < 10000.0; t += 1.0)
+        EXPECT_DOUBLE_EQ(gen.transientCurrentA(t), 0.0);
+}
+
+TEST(ActivityGenerator, RejectsBadInput)
+{
+    const WorkloadTraits &gcc = findWorkload("gcc");
+    EXPECT_THROW(ActivityGenerator(nullptr, 1.0, util::Rng(1)),
+                 util::PanicError);
+    EXPECT_THROW(ActivityGenerator(&gcc, -1.0, util::Rng(1)),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::workload

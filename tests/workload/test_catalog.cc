@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/logging.h"
+#include "variation/calibration.h"
+#include "workload/catalog.h"
+
+namespace atmsim::workload {
+namespace {
+
+TEST(Catalog, SelfCheckPasses)
+{
+    EXPECT_NO_THROW(validateCatalog());
+}
+
+TEST(Catalog, FindAndHas)
+{
+    EXPECT_TRUE(hasWorkload("x264"));
+    EXPECT_FALSE(hasWorkload("does-not-exist"));
+    EXPECT_EQ(findWorkload("gcc").name, "gcc");
+    EXPECT_THROW(findWorkload("does-not-exist"), util::FatalError);
+}
+
+TEST(Catalog, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &w : allWorkloads())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+TEST(Catalog, UbenchProgramsArePaperSet)
+{
+    const auto programs = ubenchPrograms();
+    std::set<std::string> names;
+    for (const auto *p : programs)
+        names.insert(p->name);
+    EXPECT_EQ(names, (std::set<std::string>{"coremark", "daxpy",
+                                            "stream"}));
+}
+
+TEST(Catalog, X264IsTheWorstApp)
+{
+    // Sec. VI: x264 stresses ATM the most among profiled apps.
+    const auto &x264 = findWorkload("x264");
+    for (const auto *app : profiledApps()) {
+        if (app->name != "x264") {
+            EXPECT_LE(app->droopMv, x264.droopMv) << app->name;
+        }
+    }
+}
+
+TEST(Catalog, GccStressesLessThanX264)
+{
+    // Fig. 9's contrast.
+    EXPECT_LT(findWorkload("gcc").droopMv,
+              findWorkload("x264").droopMv / 3.0);
+}
+
+TEST(Catalog, TableTwoClassification)
+{
+    // Spot-check Table II rows.
+    EXPECT_EQ(findWorkload("resnet").role, Role::Critical);
+    EXPECT_TRUE(findWorkload("resnet").memIntensive);
+    EXPECT_EQ(findWorkload("squeezenet").role, Role::Critical);
+    EXPECT_FALSE(findWorkload("squeezenet").memIntensive);
+    EXPECT_EQ(findWorkload("gcc").role, Role::Background);
+    EXPECT_TRUE(findWorkload("gcc").memIntensive);
+    EXPECT_EQ(findWorkload("x264").role, Role::Background);
+    EXPECT_FALSE(findWorkload("x264").memIntensive);
+    EXPECT_EQ(findWorkload("ferret").role, Role::Critical);
+    EXPECT_EQ(findWorkload("swaptions").role, Role::Background);
+}
+
+TEST(Catalog, CriticalAppsHaveLatencyMetric)
+{
+    for (const auto *app : criticalApps())
+        EXPECT_GT(app->baselineLatencyMs, 0.0) << app->name;
+}
+
+TEST(Catalog, SqueezenetMatchesFigTwo)
+{
+    // 80 ms at the 4.2 GHz static margin; ~68 ms at 4.9 GHz.
+    const auto &squeezenet = findWorkload("squeezenet");
+    EXPECT_DOUBLE_EQ(squeezenet.latencyMs(4200.0), 80.0);
+    EXPECT_NEAR(squeezenet.latencyMs(4900.0), 68.0, 2.0);
+}
+
+TEST(Catalog, StreamclusterIsLowPower)
+{
+    // Sec. VII-D: streamcluster consumes little power even at high
+    // frequency, which is why seq2seq outperforms its QoS with it.
+    const auto &sc = findWorkload("streamcluster");
+    for (const auto *app : backgroundApps()) {
+        if (app->name != "streamcluster") {
+            EXPECT_LT(sc.activityWPerThread, app->activityWPerThread)
+                << app->name;
+        }
+    }
+}
+
+TEST(Catalog, VirusDominatesEverything)
+{
+    const auto &virus = voltageVirus();
+    EXPECT_EQ(virus.stress, StressClass::Virus);
+    EXPECT_DOUBLE_EQ(virus.droopMv, variation::kVirusDroopMv);
+}
+
+TEST(Catalog, IdleWorkloadIsCalm)
+{
+    const auto &idle = idleWorkload();
+    EXPECT_DOUBLE_EQ(idle.activityWPerThread, 0.0);
+    EXPECT_DOUBLE_EQ(idle.droopMv, 0.0);
+}
+
+TEST(Catalog, ProfiledAppsAreRealistic)
+{
+    for (const auto *app : profiledApps()) {
+        EXPECT_TRUE(app->suite == Suite::SpecCpu2017
+                    || app->suite == Suite::Parsec) << app->name;
+    }
+    EXPECT_GE(profiledApps().size(), 12u);
+}
+
+} // namespace
+} // namespace atmsim::workload

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "circuit/constants.h"
+#include "util/logging.h"
+#include "workload/catalog.h"
+#include "workload/workload.h"
+
+namespace atmsim::workload {
+namespace {
+
+WorkloadTraits
+makeTraits(double mem_frac)
+{
+    WorkloadTraits w;
+    w.name = "test";
+    w.memBoundFrac = mem_frac;
+    w.activityWPerThread = 8.0;
+    w.droopMv = 10.0;
+    w.eventsPerUs = 1.0;
+    w.baselineLatencyMs = 100.0;
+    return w;
+}
+
+TEST(WorkloadTraits, PerfIsOneAtStaticMargin)
+{
+    EXPECT_NEAR(makeTraits(0.3).perfRelative(4200.0), 1.0, 1e-12);
+}
+
+TEST(WorkloadTraits, ComputeBoundScalesNearlyLinearly)
+{
+    const WorkloadTraits w = makeTraits(0.0);
+    EXPECT_NEAR(w.perfRelative(5040.0), 1.2, 1e-9);
+}
+
+TEST(WorkloadTraits, MemoryBoundFlattens)
+{
+    const WorkloadTraits compute = makeTraits(0.05);
+    const WorkloadTraits memory = makeTraits(0.55);
+    const double f = 4900.0;
+    EXPECT_GT(compute.perfRelative(f), memory.perfRelative(f));
+    // mcf-style: far less than proportional gain.
+    EXPECT_LT(memory.perfRelative(f), 1.08);
+}
+
+TEST(WorkloadTraits, PerfMonotoneInFrequency)
+{
+    const WorkloadTraits w = makeTraits(0.3);
+    double prev = 0.0;
+    for (double f = 2100.0; f <= 5200.0; f += 100.0) {
+        const double p = w.perfRelative(f);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(WorkloadTraits, LatencyInverseOfPerf)
+{
+    const WorkloadTraits w = makeTraits(0.1);
+    EXPECT_NEAR(w.latencyMs(4200.0), 100.0, 1e-9);
+    EXPECT_LT(w.latencyMs(4900.0), 100.0);
+    EXPECT_NEAR(w.latencyMs(4900.0) * w.perfRelative(4900.0), 100.0,
+                1e-9);
+}
+
+TEST(WorkloadTraits, LatencyRequiresMetric)
+{
+    WorkloadTraits w = makeTraits(0.1);
+    w.baselineLatencyMs = 0.0;
+    EXPECT_THROW(w.latencyMs(4200.0), util::FatalError);
+}
+
+TEST(WorkloadTraits, SmtScalingDiminishes)
+{
+    const WorkloadTraits w = makeTraits(0.1);
+    EXPECT_DOUBLE_EQ(w.coreActivityW(0), 0.0);
+    EXPECT_DOUBLE_EQ(w.coreActivityW(1), 8.0);
+    const double two = w.coreActivityW(2);
+    const double four = w.coreActivityW(4);
+    EXPECT_GT(two, 8.0);
+    EXPECT_LT(two, 16.0);
+    EXPECT_GT(four, two);
+    EXPECT_LT(four, 4.0 * 8.0);
+    EXPECT_THROW(w.coreActivityW(5), util::FatalError);
+}
+
+TEST(WorkloadTraits, ValidationCatchesBadValues)
+{
+    {
+        WorkloadTraits w = makeTraits(0.1);
+        w.name.clear();
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+    {
+        WorkloadTraits w = makeTraits(0.99);
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+    {
+        WorkloadTraits w = makeTraits(0.1);
+        w.droopMv = 90.0;
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+    {
+        WorkloadTraits w = makeTraits(0.1);
+        w.activityWPerThread = 30.0;
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+}
+
+TEST(WorkloadPhases, UnphasedIsUniform)
+{
+    const WorkloadTraits w = makeTraits(0.1);
+    EXPECT_DOUBLE_EQ(w.phaseActivityScale(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(w.phaseDroopScale(123.4), 1.0);
+    EXPECT_DOUBLE_EQ(w.avgActivityScale(), 1.0);
+}
+
+TEST(WorkloadPhases, CyclesThroughPhases)
+{
+    WorkloadTraits w = makeTraits(0.1);
+    w.phases = {{1.0, 1.1, 1.0}, {1.0, 0.9, 0.4}};
+    EXPECT_DOUBLE_EQ(w.phaseActivityScale(0.5), 1.1);
+    EXPECT_DOUBLE_EQ(w.phaseDroopScale(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.phaseActivityScale(1.5), 0.9);
+    EXPECT_DOUBLE_EQ(w.phaseDroopScale(1.5), 0.4);
+    // Wraps around the 2 us cycle.
+    EXPECT_DOUBLE_EQ(w.phaseActivityScale(2.5), 1.1);
+    EXPECT_DOUBLE_EQ(w.phaseDroopScale(3.5), 0.4);
+    EXPECT_DOUBLE_EQ(w.avgActivityScale(), 1.0);
+    EXPECT_NO_THROW(w.validate());
+}
+
+TEST(WorkloadPhases, ValidationGuardsCalibration)
+{
+    {
+        WorkloadTraits w = makeTraits(0.1);
+        w.phases = {{0.0, 1.0, 1.0}};
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+    {
+        // Droop scale above 1 would break the worst-phase contract.
+        WorkloadTraits w = makeTraits(0.1);
+        w.phases = {{1.0, 1.0, 1.2}};
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+    {
+        // Average activity far from 1 would de-calibrate power.
+        WorkloadTraits w = makeTraits(0.1);
+        w.phases = {{1.0, 0.5, 1.0}};
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+    {
+        // Some phase must carry the quoted (worst) droop.
+        WorkloadTraits w = makeTraits(0.1);
+        w.phases = {{1.0, 1.0, 0.5}, {1.0, 1.0, 0.6}};
+        EXPECT_THROW(w.validate(), util::FatalError);
+    }
+}
+
+TEST(WorkloadPhases, CatalogPhasedAppsStayCalibrated)
+{
+    const WorkloadTraits &x264 = findWorkload("x264");
+    EXPECT_FALSE(x264.phases.empty());
+    EXPECT_NEAR(x264.avgActivityScale(), 1.0, 0.1);
+    const WorkloadTraits &ferret = findWorkload("ferret");
+    EXPECT_FALSE(ferret.phases.empty());
+    EXPECT_NEAR(ferret.avgActivityScale(), 1.0, 0.1);
+}
+
+TEST(WorkloadEnums, Printable)
+{
+    EXPECT_STREQ(suiteName(Suite::Parsec), "PARSEC");
+    EXPECT_STREQ(roleName(Role::Critical), "critical");
+    EXPECT_STREQ(stressClassName(StressClass::Heavy), "heavy");
+}
+
+} // namespace
+} // namespace atmsim::workload
