@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_loop.dir/ablation_control_loop.cc.o"
+  "CMakeFiles/ablation_control_loop.dir/ablation_control_loop.cc.o.d"
+  "ablation_control_loop"
+  "ablation_control_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

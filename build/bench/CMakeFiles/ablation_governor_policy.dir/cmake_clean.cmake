@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_governor_policy.dir/ablation_governor_policy.cc.o"
+  "CMakeFiles/ablation_governor_policy.dir/ablation_governor_policy.cc.o.d"
+  "ablation_governor_policy"
+  "ablation_governor_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_governor_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_undervolt.dir/ablation_undervolt.cc.o"
+  "CMakeFiles/ablation_undervolt.dir/ablation_undervolt.cc.o.d"
+  "ablation_undervolt"
+  "ablation_undervolt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_undervolt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

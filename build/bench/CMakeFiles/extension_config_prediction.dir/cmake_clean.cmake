@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_config_prediction.dir/extension_config_prediction.cc.o"
+  "CMakeFiles/extension_config_prediction.dir/extension_config_prediction.cc.o.d"
+  "extension_config_prediction"
+  "extension_config_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_config_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

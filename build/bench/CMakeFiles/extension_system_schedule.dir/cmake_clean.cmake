@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_system_schedule.dir/extension_system_schedule.cc.o"
+  "CMakeFiles/extension_system_schedule.dir/extension_system_schedule.cc.o.d"
+  "extension_system_schedule"
+  "extension_system_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_system_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

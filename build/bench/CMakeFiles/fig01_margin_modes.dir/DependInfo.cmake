@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig01_margin_modes.cc" "bench/CMakeFiles/fig01_margin_modes.dir/fig01_margin_modes.cc.o" "gcc" "bench/CMakeFiles/fig01_margin_modes.dir/fig01_margin_modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/atm_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpll/CMakeFiles/atm_dpll.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpm/CMakeFiles/atm_cpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/atm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/atm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/atm_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/atm_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/atm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_squeezenet.dir/fig02_squeezenet.cc.o"
+  "CMakeFiles/fig02_squeezenet.dir/fig02_squeezenet.cc.o.d"
+  "fig02_squeezenet"
+  "fig02_squeezenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_squeezenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04b_preset_delays.dir/fig04b_preset_delays.cc.o"
+  "CMakeFiles/fig04b_preset_delays.dir/fig04b_preset_delays.cc.o.d"
+  "fig04b_preset_delays"
+  "fig04b_preset_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04b_preset_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

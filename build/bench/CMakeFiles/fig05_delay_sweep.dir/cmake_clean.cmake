@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_delay_sweep.dir/fig05_delay_sweep.cc.o"
+  "CMakeFiles/fig05_delay_sweep.dir/fig05_delay_sweep.cc.o.d"
+  "fig05_delay_sweep"
+  "fig05_delay_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_delay_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_idle_limits.dir/fig07_idle_limits.cc.o"
+  "CMakeFiles/fig07_idle_limits.dir/fig07_idle_limits.cc.o.d"
+  "fig07_idle_limits"
+  "fig07_idle_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_idle_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ubench_rollback.dir/fig08_ubench_rollback.cc.o"
+  "CMakeFiles/fig08_ubench_rollback.dir/fig08_ubench_rollback.cc.o.d"
+  "fig08_ubench_rollback"
+  "fig08_ubench_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ubench_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_app_rollback.dir/fig09_app_rollback.cc.o"
+  "CMakeFiles/fig09_app_rollback.dir/fig09_app_rollback.cc.o.d"
+  "fig09_app_rollback"
+  "fig09_app_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_app_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rollback_heatmap.dir/fig10_rollback_heatmap.cc.o"
+  "CMakeFiles/fig10_rollback_heatmap.dir/fig10_rollback_heatmap.cc.o.d"
+  "fig10_rollback_heatmap"
+  "fig10_rollback_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rollback_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_predictors.dir/fig12_predictors.cc.o"
+  "CMakeFiles/fig12_predictors.dir/fig12_predictors.cc.o.d"
+  "fig12_predictors"
+  "fig12_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

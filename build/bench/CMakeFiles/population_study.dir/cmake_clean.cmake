@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_study.dir/population_study.cc.o"
+  "CMakeFiles/population_study.dir/population_study.cc.o.d"
+  "population_study"
+  "population_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_limits.dir/table1_limits.cc.o"
+  "CMakeFiles/table1_limits.dir/table1_limits.cc.o.d"
+  "table1_limits"
+  "table1_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_chip.dir/characterize_chip.cpp.o"
+  "CMakeFiles/characterize_chip.dir/characterize_chip.cpp.o.d"
+  "characterize_chip"
+  "characterize_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

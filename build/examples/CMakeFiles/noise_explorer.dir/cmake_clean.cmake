@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_explorer.dir/noise_explorer.cpp.o"
+  "CMakeFiles/noise_explorer.dir/noise_explorer.cpp.o.d"
+  "noise_explorer"
+  "noise_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_saver.dir/power_saver.cpp.o"
+  "CMakeFiles/power_saver.dir/power_saver.cpp.o.d"
+  "power_saver"
+  "power_saver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_saver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

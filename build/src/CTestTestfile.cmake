@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("circuit")
+subdirs("variation")
+subdirs("pdn")
+subdirs("thermal")
+subdirs("power")
+subdirs("cpm")
+subdirs("dpll")
+subdirs("workload")
+subdirs("chip")
+subdirs("sim")
+subdirs("core")

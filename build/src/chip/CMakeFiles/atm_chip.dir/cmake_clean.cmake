@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_chip.dir/atm_core.cc.o"
+  "CMakeFiles/atm_chip.dir/atm_core.cc.o.d"
+  "CMakeFiles/atm_chip.dir/chip.cc.o"
+  "CMakeFiles/atm_chip.dir/chip.cc.o.d"
+  "CMakeFiles/atm_chip.dir/pstate.cc.o"
+  "CMakeFiles/atm_chip.dir/pstate.cc.o.d"
+  "CMakeFiles/atm_chip.dir/system.cc.o"
+  "CMakeFiles/atm_chip.dir/system.cc.o.d"
+  "libatm_chip.a"
+  "libatm_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_circuit.dir/delay_model.cc.o"
+  "CMakeFiles/atm_circuit.dir/delay_model.cc.o.d"
+  "CMakeFiles/atm_circuit.dir/inverter_chain.cc.o"
+  "CMakeFiles/atm_circuit.dir/inverter_chain.cc.o.d"
+  "libatm_circuit.a"
+  "libatm_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

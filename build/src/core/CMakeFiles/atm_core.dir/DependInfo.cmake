@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterizer.cc" "src/core/CMakeFiles/atm_core.dir/characterizer.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/characterizer.cc.o.d"
+  "/root/repo/src/core/config_predictor.cc" "src/core/CMakeFiles/atm_core.dir/config_predictor.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/config_predictor.cc.o.d"
+  "/root/repo/src/core/freq_predictor.cc" "src/core/CMakeFiles/atm_core.dir/freq_predictor.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/freq_predictor.cc.o.d"
+  "/root/repo/src/core/governor.cc" "src/core/CMakeFiles/atm_core.dir/governor.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/governor.cc.o.d"
+  "/root/repo/src/core/limit_table.cc" "src/core/CMakeFiles/atm_core.dir/limit_table.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/limit_table.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/core/CMakeFiles/atm_core.dir/manager.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/manager.cc.o.d"
+  "/root/repo/src/core/perf_predictor.cc" "src/core/CMakeFiles/atm_core.dir/perf_predictor.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/perf_predictor.cc.o.d"
+  "/root/repo/src/core/population.cc" "src/core/CMakeFiles/atm_core.dir/population.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/population.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/atm_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/report.cc.o.d"
+  "/root/repo/src/core/stress_test.cc" "src/core/CMakeFiles/atm_core.dir/stress_test.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/stress_test.cc.o.d"
+  "/root/repo/src/core/system_manager.cc" "src/core/CMakeFiles/atm_core.dir/system_manager.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/system_manager.cc.o.d"
+  "/root/repo/src/core/undervolt.cc" "src/core/CMakeFiles/atm_core.dir/undervolt.cc.o" "gcc" "src/core/CMakeFiles/atm_core.dir/undervolt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/atm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/atm_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/atm_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/atm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpm/CMakeFiles/atm_cpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpll/CMakeFiles/atm_dpll.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/atm_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/atm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/atm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

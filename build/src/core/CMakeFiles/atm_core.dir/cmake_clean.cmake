@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_core.dir/characterizer.cc.o"
+  "CMakeFiles/atm_core.dir/characterizer.cc.o.d"
+  "CMakeFiles/atm_core.dir/config_predictor.cc.o"
+  "CMakeFiles/atm_core.dir/config_predictor.cc.o.d"
+  "CMakeFiles/atm_core.dir/freq_predictor.cc.o"
+  "CMakeFiles/atm_core.dir/freq_predictor.cc.o.d"
+  "CMakeFiles/atm_core.dir/governor.cc.o"
+  "CMakeFiles/atm_core.dir/governor.cc.o.d"
+  "CMakeFiles/atm_core.dir/limit_table.cc.o"
+  "CMakeFiles/atm_core.dir/limit_table.cc.o.d"
+  "CMakeFiles/atm_core.dir/manager.cc.o"
+  "CMakeFiles/atm_core.dir/manager.cc.o.d"
+  "CMakeFiles/atm_core.dir/perf_predictor.cc.o"
+  "CMakeFiles/atm_core.dir/perf_predictor.cc.o.d"
+  "CMakeFiles/atm_core.dir/population.cc.o"
+  "CMakeFiles/atm_core.dir/population.cc.o.d"
+  "CMakeFiles/atm_core.dir/report.cc.o"
+  "CMakeFiles/atm_core.dir/report.cc.o.d"
+  "CMakeFiles/atm_core.dir/stress_test.cc.o"
+  "CMakeFiles/atm_core.dir/stress_test.cc.o.d"
+  "CMakeFiles/atm_core.dir/system_manager.cc.o"
+  "CMakeFiles/atm_core.dir/system_manager.cc.o.d"
+  "CMakeFiles/atm_core.dir/undervolt.cc.o"
+  "CMakeFiles/atm_core.dir/undervolt.cc.o.d"
+  "libatm_core.a"
+  "libatm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

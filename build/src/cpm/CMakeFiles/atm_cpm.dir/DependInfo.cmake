@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpm/cpm.cc" "src/cpm/CMakeFiles/atm_cpm.dir/cpm.cc.o" "gcc" "src/cpm/CMakeFiles/atm_cpm.dir/cpm.cc.o.d"
+  "/root/repo/src/cpm/cpm_bank.cc" "src/cpm/CMakeFiles/atm_cpm.dir/cpm_bank.cc.o" "gcc" "src/cpm/CMakeFiles/atm_cpm.dir/cpm_bank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variation/CMakeFiles/atm_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/atm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_cpm.dir/cpm.cc.o"
+  "CMakeFiles/atm_cpm.dir/cpm.cc.o.d"
+  "CMakeFiles/atm_cpm.dir/cpm_bank.cc.o"
+  "CMakeFiles/atm_cpm.dir/cpm_bank.cc.o.d"
+  "libatm_cpm.a"
+  "libatm_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

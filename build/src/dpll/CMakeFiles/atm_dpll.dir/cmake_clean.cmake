@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_dpll.dir/dpll.cc.o"
+  "CMakeFiles/atm_dpll.dir/dpll.cc.o.d"
+  "libatm_dpll.a"
+  "libatm_dpll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_dpll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

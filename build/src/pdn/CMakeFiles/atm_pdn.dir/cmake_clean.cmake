@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_pdn.dir/pdn_network.cc.o"
+  "CMakeFiles/atm_pdn.dir/pdn_network.cc.o.d"
+  "CMakeFiles/atm_pdn.dir/vrm.cc.o"
+  "CMakeFiles/atm_pdn.dir/vrm.cc.o.d"
+  "libatm_pdn.a"
+  "libatm_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatm_pdn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_power.dir/power_model.cc.o"
+  "CMakeFiles/atm_power.dir/power_model.cc.o.d"
+  "libatm_power.a"
+  "libatm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

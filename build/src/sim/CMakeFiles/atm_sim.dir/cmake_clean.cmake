@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_sim.dir/run_result.cc.o"
+  "CMakeFiles/atm_sim.dir/run_result.cc.o.d"
+  "CMakeFiles/atm_sim.dir/sim_engine.cc.o"
+  "CMakeFiles/atm_sim.dir/sim_engine.cc.o.d"
+  "CMakeFiles/atm_sim.dir/telemetry.cc.o"
+  "CMakeFiles/atm_sim.dir/telemetry.cc.o.d"
+  "libatm_sim.a"
+  "libatm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

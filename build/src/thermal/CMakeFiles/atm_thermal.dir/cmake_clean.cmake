@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_thermal.dir/thermal_model.cc.o"
+  "CMakeFiles/atm_thermal.dir/thermal_model.cc.o.d"
+  "libatm_thermal.a"
+  "libatm_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

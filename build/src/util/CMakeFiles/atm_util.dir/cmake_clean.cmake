@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/atm_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/atm_util.dir/csv.cc.o"
+  "CMakeFiles/atm_util.dir/csv.cc.o.d"
+  "CMakeFiles/atm_util.dir/linear_fit.cc.o"
+  "CMakeFiles/atm_util.dir/linear_fit.cc.o.d"
+  "CMakeFiles/atm_util.dir/logging.cc.o"
+  "CMakeFiles/atm_util.dir/logging.cc.o.d"
+  "CMakeFiles/atm_util.dir/rng.cc.o"
+  "CMakeFiles/atm_util.dir/rng.cc.o.d"
+  "CMakeFiles/atm_util.dir/stats.cc.o"
+  "CMakeFiles/atm_util.dir/stats.cc.o.d"
+  "CMakeFiles/atm_util.dir/table.cc.o"
+  "CMakeFiles/atm_util.dir/table.cc.o.d"
+  "libatm_util.a"
+  "libatm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

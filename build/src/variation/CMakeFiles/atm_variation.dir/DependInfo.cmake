@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/aging.cc" "src/variation/CMakeFiles/atm_variation.dir/aging.cc.o" "gcc" "src/variation/CMakeFiles/atm_variation.dir/aging.cc.o.d"
+  "/root/repo/src/variation/calibration.cc" "src/variation/CMakeFiles/atm_variation.dir/calibration.cc.o" "gcc" "src/variation/CMakeFiles/atm_variation.dir/calibration.cc.o.d"
+  "/root/repo/src/variation/chip_generator.cc" "src/variation/CMakeFiles/atm_variation.dir/chip_generator.cc.o" "gcc" "src/variation/CMakeFiles/atm_variation.dir/chip_generator.cc.o.d"
+  "/root/repo/src/variation/core_silicon.cc" "src/variation/CMakeFiles/atm_variation.dir/core_silicon.cc.o" "gcc" "src/variation/CMakeFiles/atm_variation.dir/core_silicon.cc.o.d"
+  "/root/repo/src/variation/process_grid.cc" "src/variation/CMakeFiles/atm_variation.dir/process_grid.cc.o" "gcc" "src/variation/CMakeFiles/atm_variation.dir/process_grid.cc.o.d"
+  "/root/repo/src/variation/reference_chips.cc" "src/variation/CMakeFiles/atm_variation.dir/reference_chips.cc.o" "gcc" "src/variation/CMakeFiles/atm_variation.dir/reference_chips.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/atm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_variation.dir/aging.cc.o"
+  "CMakeFiles/atm_variation.dir/aging.cc.o.d"
+  "CMakeFiles/atm_variation.dir/calibration.cc.o"
+  "CMakeFiles/atm_variation.dir/calibration.cc.o.d"
+  "CMakeFiles/atm_variation.dir/chip_generator.cc.o"
+  "CMakeFiles/atm_variation.dir/chip_generator.cc.o.d"
+  "CMakeFiles/atm_variation.dir/core_silicon.cc.o"
+  "CMakeFiles/atm_variation.dir/core_silicon.cc.o.d"
+  "CMakeFiles/atm_variation.dir/process_grid.cc.o"
+  "CMakeFiles/atm_variation.dir/process_grid.cc.o.d"
+  "CMakeFiles/atm_variation.dir/reference_chips.cc.o"
+  "CMakeFiles/atm_variation.dir/reference_chips.cc.o.d"
+  "libatm_variation.a"
+  "libatm_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

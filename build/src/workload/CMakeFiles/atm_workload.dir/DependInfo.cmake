@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/activity.cc" "src/workload/CMakeFiles/atm_workload.dir/activity.cc.o" "gcc" "src/workload/CMakeFiles/atm_workload.dir/activity.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/atm_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/atm_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/atm_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/atm_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variation/CMakeFiles/atm_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/atm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_workload.dir/activity.cc.o"
+  "CMakeFiles/atm_workload.dir/activity.cc.o.d"
+  "CMakeFiles/atm_workload.dir/catalog.cc.o"
+  "CMakeFiles/atm_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/atm_workload.dir/workload.cc.o"
+  "CMakeFiles/atm_workload.dir/workload.cc.o.d"
+  "libatm_workload.a"
+  "libatm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/circuit/test_delay_model.cc.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_delay_model.cc.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_inverter_chain.cc.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_inverter_chain.cc.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_characterizer.cc" "tests/CMakeFiles/test_core.dir/core/test_characterizer.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_characterizer.cc.o.d"
+  "/root/repo/tests/core/test_config_predictor.cc" "tests/CMakeFiles/test_core.dir/core/test_config_predictor.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config_predictor.cc.o.d"
+  "/root/repo/tests/core/test_governor.cc" "tests/CMakeFiles/test_core.dir/core/test_governor.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_governor.cc.o.d"
+  "/root/repo/tests/core/test_limit_table.cc" "tests/CMakeFiles/test_core.dir/core/test_limit_table.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_limit_table.cc.o.d"
+  "/root/repo/tests/core/test_manager.cc" "tests/CMakeFiles/test_core.dir/core/test_manager.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_manager.cc.o.d"
+  "/root/repo/tests/core/test_population.cc" "tests/CMakeFiles/test_core.dir/core/test_population.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_population.cc.o.d"
+  "/root/repo/tests/core/test_predictors.cc" "tests/CMakeFiles/test_core.dir/core/test_predictors.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_predictors.cc.o.d"
+  "/root/repo/tests/core/test_report.cc" "tests/CMakeFiles/test_core.dir/core/test_report.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "/root/repo/tests/core/test_stress_test.cc" "tests/CMakeFiles/test_core.dir/core/test_stress_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stress_test.cc.o.d"
+  "/root/repo/tests/core/test_system_manager.cc" "tests/CMakeFiles/test_core.dir/core/test_system_manager.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_system_manager.cc.o.d"
+  "/root/repo/tests/core/test_undervolt.cc" "tests/CMakeFiles/test_core.dir/core/test_undervolt.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_undervolt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/atm_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpll/CMakeFiles/atm_dpll.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpm/CMakeFiles/atm_cpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/atm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/atm_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/atm_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/atm_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/atm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

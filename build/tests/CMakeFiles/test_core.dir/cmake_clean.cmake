@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_characterizer.cc.o"
+  "CMakeFiles/test_core.dir/core/test_characterizer.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_config_predictor.cc.o"
+  "CMakeFiles/test_core.dir/core/test_config_predictor.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_governor.cc.o"
+  "CMakeFiles/test_core.dir/core/test_governor.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_limit_table.cc.o"
+  "CMakeFiles/test_core.dir/core/test_limit_table.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_manager.cc.o"
+  "CMakeFiles/test_core.dir/core/test_manager.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_population.cc.o"
+  "CMakeFiles/test_core.dir/core/test_population.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_predictors.cc.o"
+  "CMakeFiles/test_core.dir/core/test_predictors.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_stress_test.cc.o"
+  "CMakeFiles/test_core.dir/core/test_stress_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_system_manager.cc.o"
+  "CMakeFiles/test_core.dir/core/test_system_manager.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_undervolt.cc.o"
+  "CMakeFiles/test_core.dir/core/test_undervolt.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

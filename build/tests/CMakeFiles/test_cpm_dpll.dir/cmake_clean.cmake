@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpm_dpll.dir/cpm/test_cpm.cc.o"
+  "CMakeFiles/test_cpm_dpll.dir/cpm/test_cpm.cc.o.d"
+  "CMakeFiles/test_cpm_dpll.dir/cpm/test_cpm_bank.cc.o"
+  "CMakeFiles/test_cpm_dpll.dir/cpm/test_cpm_bank.cc.o.d"
+  "CMakeFiles/test_cpm_dpll.dir/dpll/test_dpll.cc.o"
+  "CMakeFiles/test_cpm_dpll.dir/dpll/test_dpll.cc.o.d"
+  "test_cpm_dpll"
+  "test_cpm_dpll.pdb"
+  "test_cpm_dpll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpm_dpll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

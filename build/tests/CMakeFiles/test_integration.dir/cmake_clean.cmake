@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_engine_vs_analytic.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_engine_vs_analytic.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_table1_reproduction.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_table1_reproduction.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_undervolt_engine.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_undervolt_engine.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

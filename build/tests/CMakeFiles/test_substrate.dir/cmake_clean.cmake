@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substrate.dir/pdn/test_pdn_network.cc.o"
+  "CMakeFiles/test_substrate.dir/pdn/test_pdn_network.cc.o.d"
+  "CMakeFiles/test_substrate.dir/pdn/test_vrm.cc.o"
+  "CMakeFiles/test_substrate.dir/pdn/test_vrm.cc.o.d"
+  "CMakeFiles/test_substrate.dir/power/test_power_model.cc.o"
+  "CMakeFiles/test_substrate.dir/power/test_power_model.cc.o.d"
+  "CMakeFiles/test_substrate.dir/thermal/test_thermal_model.cc.o"
+  "CMakeFiles/test_substrate.dir/thermal/test_thermal_model.cc.o.d"
+  "test_substrate"
+  "test_substrate.pdb"
+  "test_substrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

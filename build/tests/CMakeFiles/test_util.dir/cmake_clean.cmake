@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_ascii_plot.cc.o"
+  "CMakeFiles/test_util.dir/util/test_ascii_plot.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_csv.cc.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_linear_fit.cc.o"
+  "CMakeFiles/test_util.dir/util/test_linear_fit.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cc.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cc.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

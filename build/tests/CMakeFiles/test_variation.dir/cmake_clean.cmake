@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variation.dir/variation/test_aging.cc.o"
+  "CMakeFiles/test_variation.dir/variation/test_aging.cc.o.d"
+  "CMakeFiles/test_variation.dir/variation/test_calibration.cc.o"
+  "CMakeFiles/test_variation.dir/variation/test_calibration.cc.o.d"
+  "CMakeFiles/test_variation.dir/variation/test_chip_generator.cc.o"
+  "CMakeFiles/test_variation.dir/variation/test_chip_generator.cc.o.d"
+  "CMakeFiles/test_variation.dir/variation/test_core_silicon.cc.o"
+  "CMakeFiles/test_variation.dir/variation/test_core_silicon.cc.o.d"
+  "CMakeFiles/test_variation.dir/variation/test_process_grid.cc.o"
+  "CMakeFiles/test_variation.dir/variation/test_process_grid.cc.o.d"
+  "CMakeFiles/test_variation.dir/variation/test_reference_chips.cc.o"
+  "CMakeFiles/test_variation.dir/variation/test_reference_chips.cc.o.d"
+  "test_variation"
+  "test_variation.pdb"
+  "test_variation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
