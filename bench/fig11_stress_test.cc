@@ -5,19 +5,92 @@
  * optional one- and two-step rollbacks keep the exposed inter-core
  * variation trend while adding safety. P0C1 and P0C7 show a >200 MHz
  * differential at their limits.
+ *
+ * Usage: fig11_stress_test [--seed <n>] [--faults <campaign>]
+ *
+ * With --faults, the deployed (limit) configuration of chip 0 is
+ * replayed through the detailed engine under the given fault campaign
+ * (';'-separated FaultSpec strings, e.g.
+ * "cpm-stuck:core=2,site=0,start=1,dur=4,mag=24") with the safety
+ * monitor attached; --seed makes the replay deterministic, so a
+ * campaign observed elsewhere can be reproduced exactly.
  */
 
+#include <cstdint>
 #include <iostream>
+#include <string>
 
 #include "bench_util.h"
+#include "core/safety_monitor.h"
 #include "core/stress_test.h"
+#include "fault/fault_campaign.h"
+#include "sim/sim_engine.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 using namespace atmsim;
 
-int
-main()
+namespace {
+
+/** Replay a fault campaign against the deployed limit configuration. */
+void
+replayCampaign(const std::string &campaign_text, std::uint64_t seed)
 {
+    std::cout << "--- fault-campaign replay (seed " << seed << ") ---\n"
+              << "campaign: " << campaign_text << "\n";
+    auto chip = bench::makeReferenceChip(0);
+    core::StressTester tester(chip.get());
+    const core::DeployedConfig limit = tester.deriveDeployedConfig(0);
+    for (int c = 0; c < chip->coreCount(); ++c) {
+        chip->core(c).setMode(chip::CoreMode::AtmOverclock);
+        chip->core(c).setCpmReduction(limit.reductionPerCore[c]);
+    }
+
+    fault::FaultCampaign campaign =
+        fault::FaultCampaign::parse(campaign_text);
+    campaign.validate(chip->coreCount());
+    core::SafetyMonitor monitor(chip.get(), limit.reductionPerCore);
+
+    sim::SimConfig config;
+    config.stopOnViolation = false;
+    config.runNoisePs = 1.1;
+    config.seed = seed;
+    sim::SimEngine engine(chip.get(), config);
+    engine.setCampaign(&campaign);
+    engine.setObserver(&monitor);
+    const sim::RunResult result = engine.run(12.0);
+
+    result.safety.print(std::cout);
+    util::TextTable table;
+    table.setHeader({"core", "violations", "mean MHz", "state"});
+    for (int c = 0; c < chip->coreCount(); ++c) {
+        table.addRow({chip->core(c).name(),
+                      std::to_string(result.coreStats[c].violations),
+                      util::fmtInt(result.meanFreqMhz(c)),
+                      core::coreSafetyStateName(monitor.state(c))});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    std::string faults;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            seed = std::stoull(argv[++i]);
+        } else if (arg == "--faults" && i + 1 < argc) {
+            faults = argv[++i];
+        } else {
+            util::fatal("unknown argument '", arg, "'; usage: ",
+                        argv[0], " [--seed <n>] [--faults <campaign>]");
+        }
+    }
+
     bench::banner("Figure 11",
                   "Post-stress-test core frequencies (MHz, idle "
                   "conditions): limit config and 1-2 step rollbacks.");
@@ -59,5 +132,10 @@ main()
     }
     std::cout << "thread-worst configurations sustain the stressmarks; "
                  "rollback preserves the variation trend (Fig. 11).\n";
+
+    if (!faults.empty()) {
+        std::cout << "\n";
+        replayCampaign(faults, seed);
+    }
     return 0;
 }

@@ -125,6 +125,8 @@ class AtmCore
     }
     cpm::CpmBank &cpmBank() { return bank_; }
     const cpm::CpmBank &cpmBank() const { return bank_; }
+    dpll::Dpll &dpll() { return dpll_; }
+    const dpll::Dpll &dpll() const { return dpll_; }
 
   private:
     const variation::CoreSiliconParams *silicon_;

@@ -68,6 +68,20 @@ Chip::core(int index) const
 }
 
 void
+Chip::scaleCoreSpeed(int core_index, double factor)
+{
+    if (core_index < 0 || core_index >= coreCount())
+        util::fatal("scaleCoreSpeed: core ", core_index, " out of range");
+    if (factor <= 0.0)
+        util::fatal("scaleCoreSpeed: factor must be positive, got ",
+                    factor);
+    // The AtmCore and its CPMs hold pointers into silicon_, so the
+    // change propagates to every delay computation immediately.
+    silicon_.cores[static_cast<std::size_t>(core_index)].speedFactor
+        *= factor;
+}
+
+void
 Chip::assignWorkload(int core_index, const workload::WorkloadTraits *traits,
                      int threads)
 {

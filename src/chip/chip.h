@@ -92,6 +92,15 @@ class Chip
     /** Per-core silicon. */
     const variation::ChipSilicon &silicon() const { return silicon_; }
 
+    /**
+     * Fault injection: scale one core's silicon speed in place (an
+     * abrupt aging jump, e.g. BTI shift after a thermal event). Both
+     * the real paths and the CPM canaries slow together, which is
+     * exactly the tracking property ATM relies on. Revert by applying
+     * the reciprocal factor.
+     */
+    void scaleCoreSpeed(int core_index, double factor);
+
     // --- Workload placement --------------------------------------------
 
     /**

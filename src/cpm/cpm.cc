@@ -68,8 +68,9 @@ Cpm::setConfigSteps(int steps)
 double
 Cpm::monitoredDelayPs(double v, double t_c) const
 {
+    const int effective = std::max(configSteps_ - skippedSegments_, 0);
     const double nominal = core_->synthPathPs * synthScale_
-                         + core_->insertedDelayPs(configSteps_);
+                         + core_->insertedDelayPs(effective);
     return nominal * core_->speedFactor * model_->factor(v, t_c);
 }
 
@@ -82,8 +83,36 @@ Cpm::slackPs(double period_ps, double v, double t_c) const
 int
 Cpm::outputCount(double period_ps, double v, double t_c) const
 {
+    if (stuckActive_)
+        return stuckCount_;
     const double factor = model_->factor(v, t_c) * core_->speedFactor;
     return chain_.quantize(slackPs(period_ps, v, t_c), factor);
+}
+
+void
+Cpm::injectStuckOutput(int count)
+{
+    if (count < 0)
+        util::fatal("stuck CPM output must be non-negative, got ", count);
+    stuckActive_ = true;
+    stuckCount_ = count;
+}
+
+void
+Cpm::injectSkippedSegments(int segments)
+{
+    if (segments < 0)
+        util::fatal("skipped CPM segments must be non-negative, got ",
+                    segments);
+    skippedSegments_ = segments;
+}
+
+void
+Cpm::clearFaults()
+{
+    stuckActive_ = false;
+    stuckCount_ = 0;
+    skippedSegments_ = 0;
 }
 
 } // namespace atmsim::cpm

@@ -71,12 +71,40 @@ class Cpm
     /** The quantizing chain (for unit conversion). */
     const circuit::InverterChain &chain() const { return chain_; }
 
+    // --- Fault injection -----------------------------------------------
+
+    /**
+     * Pin the per-cycle output to a fixed count regardless of the real
+     * slack (a stuck latch in the quantizing chain). A high stuck
+     * count makes the site report phantom margin; a stuck zero holds
+     * the loop in permanent emergency.
+     */
+    void injectStuckOutput(int count);
+
+    /**
+     * Skip enabled inserted-delay segments: the programmed
+     * configuration reads back unchanged but the monitored delay is
+     * short by the skipped segments, so the site over-reports slack.
+     */
+    void injectSkippedSegments(int segments);
+
+    /** Clear all injected faults. */
+    void clearFaults();
+
+    /** True while any fault is injected. */
+    bool faulted() const { return stuckActive_ || skippedSegments_ > 0; }
+
   private:
     const variation::CoreSiliconParams *core_;
     const circuit::DelayModel *model_;
     circuit::InverterChain chain_;
     int siteIndex_;
     int configSteps_;
+
+    // Fault state (see injectStuckOutput / injectSkippedSegments).
+    bool stuckActive_ = false;
+    int stuckCount_ = 0;
+    int skippedSegments_ = 0;
 
     /**
      * Local synthetic-path scale. Site 0 is the controlling site

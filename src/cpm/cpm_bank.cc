@@ -62,4 +62,37 @@ CpmBank::site(int index) const
     return sites_[static_cast<std::size_t>(index)];
 }
 
+void
+CpmBank::injectStuckOutput(int site, int count)
+{
+    if (site < 0 || site >= static_cast<int>(sites_.size()))
+        util::fatal("CPM fault site ", site, " out of range");
+    sites_[static_cast<std::size_t>(site)].injectStuckOutput(count);
+}
+
+void
+CpmBank::injectSkippedSegments(int site, int segments)
+{
+    if (site < 0 || site >= static_cast<int>(sites_.size()))
+        util::fatal("CPM fault site ", site, " out of range");
+    sites_[static_cast<std::size_t>(site)].injectSkippedSegments(segments);
+}
+
+void
+CpmBank::clearFaults()
+{
+    for (auto &s : sites_)
+        s.clearFaults();
+}
+
+bool
+CpmBank::anyFaulted() const
+{
+    for (const auto &s : sites_) {
+        if (s.faulted())
+            return true;
+    }
+    return false;
+}
+
 } // namespace atmsim::cpm

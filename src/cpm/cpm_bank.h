@@ -46,6 +46,20 @@ class CpmBank
     const Cpm &site(int index) const;
     std::size_t siteCount() const { return sites_.size(); }
 
+    // --- Fault injection -----------------------------------------------
+
+    /** Pin one site's output count (stuck quantizer latch). */
+    void injectStuckOutput(int site, int count);
+
+    /** Make one site skip enabled inserted-delay segments. */
+    void injectSkippedSegments(int site, int segments);
+
+    /** Clear injected faults on every site. */
+    void clearFaults();
+
+    /** True while any site carries an injected fault. */
+    bool anyFaulted() const;
+
     const variation::CoreSiliconParams &core() const { return *core_; }
 
   private:

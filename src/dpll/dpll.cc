@@ -23,11 +23,29 @@ Dpll::reset(double period_ps)
     lastUpdateNs_ = -1e18;
     lastEmergencyNs_ = -1e18;
     emergencies_ = 0;
+    heldMargin_ = 0;
+    heldValid_ = false;
+}
+
+void
+Dpll::setSensorDropout(bool active)
+{
+    dropout_ = active;
 }
 
 void
 Dpll::observe(double now_ns, int margin_counts)
 {
+    if (dropout_) {
+        // The sensor input is gone; the loop keeps acting on the last
+        // healthy reading and is blind to anything happening now.
+        if (!heldValid_)
+            return;
+        margin_counts = heldMargin_;
+    } else {
+        heldMargin_ = margin_counts;
+        heldValid_ = true;
+    }
     // Emergency fast path: immediate stretch, rate limited.
     if (margin_counts <= params_.emergencyCounts) {
         if (now_ns - lastEmergencyNs_ >= params_.emergencyHoldoffNs) {

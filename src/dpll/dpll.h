@@ -76,6 +76,16 @@ class Dpll
     /** Number of emergency engagements since reset. */
     long emergencyCount() const { return emergencies_; }
 
+    /**
+     * Fault injection: drop the CPM sensor input. While active the
+     * loop holds the last margin it observed before the dropout
+     * (hold-last semantics), so it neither slews nor engages the
+     * emergency path in response to fresh droops -- the hazard the
+     * fault campaigns probe.
+     */
+    void setSensorDropout(bool active);
+    bool sensorDropout() const { return dropout_; }
+
     const DpllParams &params() const { return params_; }
 
   private:
@@ -86,6 +96,9 @@ class Dpll
     double lastUpdateNs_ = -1e18;
     double lastEmergencyNs_ = -1e18;
     long emergencies_ = 0;
+    bool dropout_ = false;
+    int heldMargin_ = 0;
+    bool heldValid_ = false;
 };
 
 } // namespace atmsim::dpll

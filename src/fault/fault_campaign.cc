@@ -1,0 +1,108 @@
+#include "fault/fault_campaign.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace atmsim::fault {
+
+void
+FaultCampaign::add(const FaultSpec &spec)
+{
+    faults_.push_back(spec);
+    phases_.push_back(Phase::Pending);
+}
+
+const FaultSpec &
+FaultCampaign::spec(std::size_t index) const
+{
+    if (index >= faults_.size())
+        util::fatal("fault campaign: index ", index, " out of range");
+    return faults_[index];
+}
+
+void
+FaultCampaign::validate(int core_count) const
+{
+    for (const FaultSpec &spec : faults_)
+        spec.validate(core_count);
+}
+
+std::string
+FaultCampaign::format() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+        if (i > 0)
+            os << ';';
+        os << faults_[i].format();
+    }
+    return os.str();
+}
+
+FaultCampaign
+FaultCampaign::parse(const std::string &text)
+{
+    FaultCampaign campaign;
+    std::istringstream specs(text);
+    std::string one;
+    while (std::getline(specs, one, ';')) {
+        if (!one.empty())
+            campaign.add(FaultSpec::parse(one));
+    }
+    return campaign;
+}
+
+void
+FaultCampaign::reset()
+{
+    for (Phase &phase : phases_)
+        phase = Phase::Pending;
+}
+
+void
+FaultCampaign::collectActivations(double now_ns,
+                                  std::vector<std::size_t> &out)
+{
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+        if (phases_[i] == Phase::Pending
+            && now_ns >= faults_[i].startNs()) {
+            phases_[i] = Phase::Active;
+            out.push_back(i);
+        }
+    }
+}
+
+void
+FaultCampaign::collectExpirations(double now_ns,
+                                  std::vector<std::size_t> &out)
+{
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+        if (phases_[i] == Phase::Active && now_ns >= faults_[i].endNs()) {
+            phases_[i] = Phase::Done;
+            out.push_back(i);
+        }
+    }
+}
+
+bool
+FaultCampaign::anyActive() const
+{
+    for (Phase phase : phases_) {
+        if (phase == Phase::Active)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultCampaign::allDone() const
+{
+    for (Phase phase : phases_) {
+        if (phase != Phase::Done)
+            return false;
+    }
+    return true;
+}
+
+} // namespace atmsim::fault

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Applies armed faults to a chip's components and reverts them when
+ * their window closes. The injector owns the mapping from the typed
+ * FaultSpec taxonomy onto the per-component fault hooks (CPM stuck /
+ * skip, DPLL dropout, PDN parasitic load, silicon speed, thermal
+ * offset) so the engine only has to drive activation times.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "chip/chip.h"
+#include "fault/fault_spec.h"
+
+namespace atmsim::fault {
+
+/** Applies and reverts faults on one chip. */
+class FaultInjector
+{
+  public:
+    /** @param target Chip to inject into (not owned). */
+    explicit FaultInjector(chip::Chip *target);
+
+    /** Apply a fault to the chip. Validates the spec first. */
+    void apply(const FaultSpec &spec);
+
+    /** Undo a previously applied fault. */
+    void revert(const FaultSpec &spec);
+
+    /**
+     * Instantaneous droop-storm current at a core (A): every active
+     * DroopStorm on that core contributes a square-wave burst at the
+     * PDN's first-droop resonance, the worst-case excitation.
+     */
+    double stormCurrentA(int core, double now_ns) const;
+
+    /** True while any droop storm is active (engine fast-path gate). */
+    bool stormActive() const { return !storms_.empty(); }
+
+    /** Number of currently applied faults. */
+    int activeCount() const { return activeCount_; }
+
+  private:
+    chip::Chip *chip_;
+    std::vector<FaultSpec> storms_;
+    int activeCount_ = 0;
+};
+
+} // namespace atmsim::fault

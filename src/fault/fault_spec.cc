@@ -1,0 +1,150 @@
+#include "fault/fault_spec.h"
+
+#include <array>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace atmsim::fault {
+
+namespace {
+
+constexpr std::array<const char *, kFaultKindCount> kKindNames = {
+    "cpm-stuck", "cpm-skip", "dropout", "vrm-step",
+    "droop-storm", "aging-jump", "thermal",
+};
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= kKindNames.size())
+        util::panic("unknown fault kind ", static_cast<int>(kind));
+    return kKindNames[index];
+}
+
+FaultKind
+faultKindFromName(const std::string &name)
+{
+    for (std::size_t k = 0; k < kKindNames.size(); ++k) {
+        if (name == kKindNames[k])
+            return static_cast<FaultKind>(k);
+    }
+    util::fatal("unknown fault kind '", name, "'");
+}
+
+double
+FaultSpec::endNs() const
+{
+    if (durationUs <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return (startUs + durationUs) * 1e3;
+}
+
+void
+FaultSpec::validate(int core_count) const
+{
+    if (startUs < 0.0)
+        util::fatal("fault start must be non-negative, got ", startUs);
+    if (durationUs < 0.0)
+        util::fatal("fault duration must be non-negative, got ",
+                    durationUs);
+    const bool chip_wide = kind == FaultKind::VrmLoadStep;
+    if (chip_wide) {
+        if (core != -1)
+            util::fatal(faultKindName(kind), " is chip-wide; core must "
+                        "be -1, got ", core);
+    } else if (core < 0 || core >= core_count) {
+        util::fatal(faultKindName(kind), " fault core ", core,
+                    " out of range [0, ", core_count, ")");
+    }
+    switch (kind) {
+      case FaultKind::CpmStuckAt:
+      case FaultKind::CpmSkippedStep:
+        if (site < 0)
+            util::fatal("CPM fault site must be non-negative");
+        if (magnitude < 0.0)
+            util::fatal("CPM fault magnitude must be non-negative");
+        break;
+      case FaultKind::SensorDropout:
+        break;
+      case FaultKind::VrmLoadStep:
+      case FaultKind::DroopStorm:
+        if (magnitude <= 0.0)
+            util::fatal(faultKindName(kind),
+                        " needs a positive current magnitude (A)");
+        break;
+      case FaultKind::AgingJump:
+        if (magnitude <= -1.0)
+            util::fatal("aging jump would make the core infinitely "
+                        "fast; magnitude must exceed -1");
+        break;
+      case FaultKind::ThermalExcursion:
+        break;
+    }
+}
+
+std::string
+FaultSpec::format() const
+{
+    std::ostringstream os;
+    os << faultKindName(kind) << ":core=" << core;
+    if (site != 0)
+        os << ",site=" << site;
+    os << ",start=" << startUs;
+    if (durationUs > 0.0)
+        os << ",dur=" << durationUs;
+    if (magnitude != 0.0)
+        os << ",mag=" << magnitude;
+    return os.str();
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    const std::size_t colon = text.find(':');
+    FaultSpec spec;
+    spec.kind = faultKindFromName(text.substr(0, colon));
+    if (colon == std::string::npos)
+        return spec;
+
+    std::istringstream fields(text.substr(colon + 1));
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+        if (field.empty())
+            continue;
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            util::fatal("malformed fault field '", field, "' in '",
+                        text, "'");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        try {
+            if (key == "core")
+                spec.core = std::stoi(value);
+            else if (key == "site")
+                spec.site = std::stoi(value);
+            else if (key == "start")
+                spec.startUs = std::stod(value);
+            else if (key == "dur")
+                spec.durationUs = std::stod(value);
+            else if (key == "mag")
+                spec.magnitude = std::stod(value);
+            else
+                util::fatal("unknown fault field '", key, "' in '",
+                            text, "'");
+        } catch (const std::invalid_argument &) {
+            util::fatal("non-numeric value '", value, "' for fault "
+                        "field '", key, "'");
+        } catch (const std::out_of_range &) {
+            util::fatal("out-of-range value '", value, "' for fault "
+                        "field '", key, "'");
+        }
+    }
+    return spec;
+}
+
+} // namespace atmsim::fault

@@ -45,7 +45,7 @@ PdnNetwork::step(double dt_s, const std::vector<double> &core_currents_a,
         util::fatal("PDN step: expected ", lastCoreCurrents_.size(),
                     " core currents, got ", core_currents_a.size());
     }
-    double load = uncore_current_a;
+    double load = uncore_current_a + faultCurrentA_;
     for (double i : core_currents_a)
         load += i;
 

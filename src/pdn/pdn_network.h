@@ -81,6 +81,15 @@ class PdnNetwork
     /** Reset droop statistics. */
     void resetStats();
 
+    /**
+     * Fault injection: a parasitic load on the grid node (a VRM
+     * load-step transient, e.g. a failing phase shedding current onto
+     * the die). Applied on top of the per-core and uncore draws every
+     * step() until cleared with 0.
+     */
+    void setFaultCurrentA(double current_a) { faultCurrentA_ = current_a; }
+    double faultCurrentA() const { return faultCurrentA_; }
+
     const PdnParams &params() const { return params_; }
     Vrm &vrm() { return vrm_; }
     const Vrm &vrm() const { return vrm_; }
@@ -106,6 +115,7 @@ class PdnNetwork
     double iInd_;
     std::vector<double> lastCoreCurrents_;
     double minVDie_;
+    double faultCurrentA_ = 0.0;
 };
 
 } // namespace atmsim::pdn

@@ -15,6 +15,15 @@ failureKindName(FailureKind kind)
     return "?";
 }
 
+long
+RunResult::totalViolations() const
+{
+    long total = 0;
+    for (const CoreRunStats &cs : coreStats)
+        total += cs.violations;
+    return total;
+}
+
 double
 RunResult::meanFreqMhz(int core) const
 {

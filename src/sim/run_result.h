@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/telemetry.h"
 #include "util/stats.h"
 
 namespace atmsim::sim {
@@ -25,13 +26,20 @@ enum class FailureKind {
 /** Printable failure-kind name. */
 const char *failureKindName(FailureKind kind);
 
-/** One observed timing violation. */
+/**
+ * One observed timing-violation episode. An episode starts when a
+ * core's real path first misses its cycle and ends when the core
+ * meets timing again (e.g. after the control loop stretches the clock
+ * or a safety monitor reconfigures the core); contiguous violating
+ * steps belong to one episode.
+ */
 struct ViolationEvent
 {
     double timeNs = 0.0;
     int core = -1;
     double deficitPs = 0.0; ///< How far the path missed the cycle.
     FailureKind kind = FailureKind::AbnormalExit;
+    bool detected = false;  ///< A safety monitor caught this episode.
 };
 
 /** Per-core statistics of one run. */
@@ -41,7 +49,7 @@ struct CoreRunStats
     util::RunningStats voltageV;
     double minVoltageV = 0.0;
     long emergencies = 0;
-    long violations = 0;
+    long violations = 0; ///< Violation episodes (not violating steps).
 };
 
 /** Aggregate result of one engine run. */
@@ -52,14 +60,30 @@ struct RunResult
     util::RunningStats chipPowerW;
     double maxCoreTempC = 0.0;
     double minGridV = 0.0;
+
+    /**
+     * Stored violation episodes, capped at kMaxStoredViolations; the
+     * per-core episode counts in coreStats and the safety counters
+     * keep accumulating past the cap (the overflow is tallied in
+     * safety.droppedViolationEvents).
+     */
     std::vector<ViolationEvent> violations;
     bool stoppedEarly = false;
+
+    /** Safety accounting (violation detection, monitor activity). */
+    SafetyCounters safety;
 
     /** True when any violation occurred. */
     bool failed() const { return !violations.empty(); }
 
+    /** Sum of per-core violation episodes. */
+    long totalViolations() const;
+
     /** Mean frequency of one core over the run (MHz). */
     double meanFreqMhz(int core) const;
 };
+
+/** Cap on stored ViolationEvent entries per run. */
+inline constexpr std::size_t kMaxStoredViolations = 4096;
 
 } // namespace atmsim::sim

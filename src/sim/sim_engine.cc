@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "circuit/constants.h"
+#include "fault/fault_injector.h"
 #include "util/logging.h"
 #include "workload/catalog.h"
 
@@ -109,6 +111,14 @@ SimEngine::run(double duration_us)
                                 steady.coreTempC[ci]);
     }
 
+    // --- Fault campaign arming.
+    fault::FaultInjector injector(chip_);
+    if (campaign_) {
+        campaign_->validate(n);
+        campaign_->reset();
+    }
+    std::vector<std::size_t> fault_edges;
+
     // --- Main loop.
     RunResult result;
     result.coreStats.resize(static_cast<std::size_t>(n));
@@ -117,11 +127,24 @@ SimEngine::run(double duration_us)
         static_cast<long>(std::ceil(duration_ns / config_.dtNs));
     const double dt_s = config_.dtNs * 1e-9;
     std::vector<double> instant_current(static_cast<std::size_t>(n), 0.0);
+    std::vector<char> in_violation(static_cast<std::size_t>(n), 0);
     util::Rng fail_rng = rng.fork(0xfa11);
 
     long step = 0;
     for (; step < total_steps; ++step) {
         const double now_ns = static_cast<double>(step) * config_.dtNs;
+
+        // Fire and expire armed faults.
+        if (campaign_ && !campaign_->allDone()) {
+            fault_edges.clear();
+            campaign_->collectActivations(now_ns, fault_edges);
+            for (std::size_t f : fault_edges)
+                injector.apply(campaign_->spec(f));
+            fault_edges.clear();
+            campaign_->collectExpirations(now_ns, fault_edges);
+            for (std::size_t f : fault_edges)
+                injector.revert(campaign_->spec(f));
+        }
 
         // Slow cadence: refresh DC power draw and temperatures.
         if (step % config_.slowCadence == 0) {
@@ -164,10 +187,16 @@ SimEngine::run(double duration_us)
                     ? 0.0
                     : activity[ci].transientCurrentA(now_ns);
             instant_current[ci] = core_current[ci] + transient;
+            if (injector.stormActive())
+                instant_current[ci] += injector.stormCurrentA(c, now_ns);
         }
         chip.pdn().step(dt_s, instant_current, uncore_current);
 
-        // Control loops and the timing race.
+        // Control loops and the timing race. A violation is counted
+        // once per episode: contiguous violating steps are one event,
+        // and the episode ends when the core meets timing again, so a
+        // run past its first violation keeps accumulating per-core
+        // counts without storing one event per 0.2 ns step.
         bool violated = false;
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
@@ -176,6 +205,9 @@ SimEngine::run(double duration_us)
             chip.core(c).stepControl(now_ns, v, t_c);
             if (!chip.core(c).timingMet(v, t_c, exposure_ps[ci],
                                         config_.runNoisePs)) {
+                if (in_violation[ci])
+                    continue;
+                in_violation[ci] = 1;
                 ViolationEvent ev;
                 ev.timeNs = now_ns;
                 ev.core = c;
@@ -185,9 +217,22 @@ SimEngine::run(double duration_us)
                 ev.kind = u < 0.3 ? FailureKind::SystemCrash
                         : u < 0.8 ? FailureKind::AbnormalExit
                                   : FailureKind::SilentDataCorruption;
-                result.violations.push_back(ev);
+                if (observer_)
+                    ev.detected = observer_->onViolation(ev);
+                if (ev.detected) {
+                    ++result.safety.detectedViolations;
+                } else if (ev.kind
+                           == FailureKind::SilentDataCorruption) {
+                    ++result.safety.silentFailures;
+                }
+                if (result.violations.size() < kMaxStoredViolations)
+                    result.violations.push_back(ev);
+                else
+                    ++result.safety.droppedViolationEvents;
                 ++result.coreStats[ci].violations;
                 violated = true;
+            } else {
+                in_violation[ci] = 0;
             }
         }
         if (violated && config_.stopOnViolation) {
@@ -219,15 +264,30 @@ SimEngine::run(double duration_us)
             result.chipPowerW.add(chip_power);
             result.maxCoreTempC = std::max(result.maxCoreTempC,
                                            chip.thermal().maxCoreTempC());
+            if (observer_)
+                observer_->onSample(now_ns);
         }
     }
 
     for (int c = 0; c < n; ++c) {
-        result.coreStats[static_cast<std::size_t>(c)].emergencies =
-            chip.core(c).emergencyCount();
+        const auto ci = static_cast<std::size_t>(c);
+        result.coreStats[ci].emergencies = chip.core(c).emergencyCount();
+        result.safety.emergencies += result.coreStats[ci].emergencies;
     }
     result.minGridV = chip.pdn().minGridV();
     result.durationNs = static_cast<double>(step) * config_.dtNs;
+    if (observer_)
+        observer_->finish(result.durationNs, result.safety);
+
+    // Leave no fault state behind: anything still active at the end of
+    // the run window is reverted so the chip can be reused.
+    if (campaign_) {
+        fault_edges.clear();
+        campaign_->collectExpirations(
+            std::numeric_limits<double>::infinity(), fault_edges);
+        for (std::size_t f : fault_edges)
+            injector.revert(campaign_->spec(f));
+    }
     return result;
 }
 

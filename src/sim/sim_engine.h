@@ -18,11 +18,41 @@
 #include <vector>
 
 #include "chip/chip.h"
+#include "fault/fault_campaign.h"
 #include "sim/run_result.h"
 #include "util/rng.h"
 #include "workload/activity.h"
 
 namespace atmsim::sim {
+
+/**
+ * Runtime supervisor interface: a safety monitor implements this to
+ * watch an engine run and react to it (the engine reads core modes
+ * and CPM configurations every step, so reconfigurations take effect
+ * immediately). The engine never owns the observer.
+ */
+class EngineObserver
+{
+  public:
+    virtual ~EngineObserver() = default;
+
+    /**
+     * A core entered a timing-violation episode. Return true when the
+     * monitor detects the event (and typically reconfigures the
+     * core); undetected SDC episodes count as silent failures.
+     */
+    virtual bool onViolation(const ViolationEvent &event) = 0;
+
+    /** Called at the statistics cadence with the current time. */
+    virtual void onSample(double now_ns) { (void)now_ns; }
+
+    /** Merge monitor-side counters at the end of a run. */
+    virtual void finish(double end_ns, SafetyCounters &counters)
+    {
+        (void)end_ns;
+        (void)counters;
+    }
+};
 
 /** Engine configuration. */
 struct SimConfig
@@ -75,6 +105,20 @@ class SimEngine
     using Probe = std::function<void(double, int, double, double)>;
     void setProbe(Probe probe) { probe_ = std::move(probe); }
 
+    /**
+     * Attach a fault campaign (not owned; may outlive several runs).
+     * run() re-arms it, applies each fault when its start time passes
+     * and reverts it when its window closes, so faults strike mid-run
+     * instead of only shaping the initial state.
+     */
+    void setCampaign(fault::FaultCampaign *campaign)
+    {
+        campaign_ = campaign;
+    }
+
+    /** Attach a runtime supervisor (not owned). */
+    void setObserver(EngineObserver *observer) { observer_ = observer; }
+
     const SimConfig &config() const { return config_; }
 
   private:
@@ -95,6 +139,8 @@ class SimEngine
     chip::Chip *chip_;
     SimConfig config_;
     Probe probe_;
+    fault::FaultCampaign *campaign_ = nullptr;
+    EngineObserver *observer_ = nullptr;
 };
 
 } // namespace atmsim::sim

@@ -4,6 +4,21 @@
 
 namespace atmsim::sim {
 
+void
+SafetyCounters::print(std::ostream &os) const
+{
+    os << "emergencies=" << emergencies
+       << " detected=" << detectedViolations
+       << " silent=" << silentFailures
+       << " anomalies=" << anomalies
+       << " quarantines=" << quarantines
+       << " fallbacks=" << fallbacks
+       << " reentry-steps=" << reentrySteps
+       << " recoveries=" << recoveries
+       << " degraded-us=" << degradedTimeNs * 1e-3
+       << '\n';
+}
+
 TelemetryRecorder::TelemetryRecorder(int core_count,
                                      double min_interval_ns)
     : minIntervalNs_(min_interval_ns)

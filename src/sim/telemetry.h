@@ -22,6 +22,52 @@ struct TelemetrySample
     double voltageV = 0.0;
 };
 
+/**
+ * Safety counters of one engine run: how the chip and the (optional)
+ * safety monitor fared under faults. The engine fills the violation
+ * accounting; an attached monitor merges its quarantine/recovery
+ * bookkeeping at the end of the run.
+ */
+struct SafetyCounters
+{
+    /** DPLL emergency engagements, summed over cores. */
+    long emergencies = 0;
+
+    /** Violation episodes a monitor observed and reacted to. */
+    long detectedViolations = 0;
+
+    /**
+     * Silent failures: violation episodes nobody detected whose
+     * manifestation is silent data corruption. Crashes and abnormal
+     * exits are loud even without a monitor; SDC is not.
+     */
+    long silentFailures = 0;
+
+    /** Anomalous-sensor detections (caught before a violation). */
+    long anomalies = 0;
+
+    /** Cores pulled back to the safe default configuration. */
+    long quarantines = 0;
+
+    /** Escalations from quarantine to the static-margin fallback. */
+    long fallbacks = 0;
+
+    /** Staged re-entry steps taken toward fine-tuned limits. */
+    long reentrySteps = 0;
+
+    /** Cores fully recovered to their fine-tuned deployment. */
+    long recoveries = 0;
+
+    /** Core-time spent below the fine-tuned deployment (ns). */
+    double degradedTimeNs = 0.0;
+
+    /** Violation events not stored in RunResult (cap exceeded). */
+    long droppedViolationEvents = 0;
+
+    /** Render one line per non-zero counter. */
+    void print(std::ostream &os) const;
+};
+
 /** Recorder collecting per-core series from a SimEngine probe. */
 class TelemetryRecorder
 {

@@ -13,6 +13,7 @@ ThermalModel::ThermalModel(const ThermalParams &params, int core_count)
         util::fatal("thermal model needs at least one core");
     packageC_ = params_.ambientC;
     coreC_.assign(static_cast<std::size_t>(core_count), params_.ambientC);
+    faultOffsetC_.assign(static_cast<std::size_t>(core_count), 0.0);
 }
 
 void
@@ -59,13 +60,33 @@ ThermalModel::coreTempC(int core) const
 {
     if (core < 0 || core >= static_cast<int>(coreC_.size()))
         util::fatal("thermal coreTempC: core ", core, " out of range");
-    return coreC_[static_cast<std::size_t>(core)];
+    return coreC_[static_cast<std::size_t>(core)]
+         + faultOffsetC_[static_cast<std::size_t>(core)];
 }
 
 double
 ThermalModel::maxCoreTempC() const
 {
-    return *std::max_element(coreC_.begin(), coreC_.end());
+    double max_c = coreC_.front() + faultOffsetC_.front();
+    for (std::size_t c = 1; c < coreC_.size(); ++c)
+        max_c = std::max(max_c, coreC_[c] + faultOffsetC_[c]);
+    return max_c;
+}
+
+void
+ThermalModel::setFaultOffsetC(int core, double offset_c)
+{
+    if (core < 0 || core >= static_cast<int>(coreC_.size()))
+        util::fatal("thermal fault: core ", core, " out of range");
+    faultOffsetC_[static_cast<std::size_t>(core)] = offset_c;
+}
+
+double
+ThermalModel::faultOffsetC(int core) const
+{
+    if (core < 0 || core >= static_cast<int>(coreC_.size()))
+        util::fatal("thermal fault: core ", core, " out of range");
+    return faultOffsetC_[static_cast<std::size_t>(core)];
 }
 
 } // namespace atmsim::thermal

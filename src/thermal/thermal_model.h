@@ -56,12 +56,21 @@ class ThermalModel
     /** Hottest core temperature (degC). */
     double maxCoreTempC() const;
 
+    /**
+     * Fault injection: a local thermal excursion (e.g. a detached
+     * heat-sink pad) added on top of the modelled junction temperature
+     * of one core. Cleared by setting 0.
+     */
+    void setFaultOffsetC(int core, double offset_c);
+    double faultOffsetC(int core) const;
+
     const ThermalParams &params() const { return params_; }
 
   private:
     ThermalParams params_;
     double packageC_;
     std::vector<double> coreC_;
+    std::vector<double> faultOffsetC_;
 };
 
 } // namespace atmsim::thermal

@@ -119,6 +119,49 @@ TEST_F(GovernorTest, Validation)
     EXPECT_THROW(Governor(&chip_, wrong), util::FatalError);
 }
 
+TEST_F(GovernorTest, EmptyLimitTableRejected)
+{
+    LimitTable empty;
+    EXPECT_THROW(Governor(&chip_, empty), util::FatalError);
+}
+
+TEST_F(GovernorTest, OversizedRollbackClampsToZero)
+{
+    // A rollback deeper than any characterized limit must degrade
+    // every policy to the factory default, never go negative.
+    Governor governor(&chip_, table_, 99);
+    const auto &gcc = workload::findWorkload("gcc");
+    for (const GovernorPolicy policy :
+         {GovernorPolicy::FineTuned, GovernorPolicy::Conservative,
+          GovernorPolicy::Aggressive}) {
+        const auto red = governor.reductions(policy, &gcc);
+        for (int c = 0; c < chip_.coreCount(); ++c)
+            EXPECT_EQ(red[c], 0)
+                << governorPolicyName(policy) << " core " << c;
+    }
+    governor.apply(GovernorPolicy::FineTuned);
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        EXPECT_EQ(chip_.core(c).mode(), chip::CoreMode::AtmOverclock);
+        EXPECT_EQ(chip_.core(c).cpmReduction(), 0);
+    }
+}
+
+TEST_F(GovernorTest, AggressiveApplyWithoutAppFailsLoudly)
+{
+    Governor governor(&chip_, table_);
+    EXPECT_THROW(governor.apply(GovernorPolicy::Aggressive),
+                 util::FatalError);
+    // A failed apply must not have half-configured the chip.
+    for (int c = 0; c < chip_.coreCount(); ++c)
+        EXPECT_EQ(chip_.core(c).cpmReduction(), 0);
+}
+
+TEST_F(GovernorTest, RobustCoresWithImpossibleSpreadIsEmpty)
+{
+    Governor governor(&chip_, table_);
+    EXPECT_TRUE(governor.robustCores(-1).empty());
+}
+
 TEST(GovernorPolicyNames, Printable)
 {
     EXPECT_STREQ(governorPolicyName(GovernorPolicy::FineTuned),

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault_spec.h"
+#include "util/logging.h"
+
+namespace atmsim::fault {
+namespace {
+
+TEST(FaultKindNames, RoundTrip)
+{
+    for (int k = 0; k < kFaultKindCount; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        EXPECT_EQ(faultKindFromName(faultKindName(kind)), kind);
+    }
+}
+
+TEST(FaultKindNames, UnknownNameIsFatal)
+{
+    EXPECT_THROW(faultKindFromName("meltdown"), util::FatalError);
+}
+
+TEST(FaultSpecTest, FormatParseRoundTrip)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::CpmStuckAt;
+    spec.core = 3;
+    spec.site = 2;
+    spec.startUs = 1.5;
+    spec.durationUs = 4.0;
+    spec.magnitude = 12.0;
+    const FaultSpec back = FaultSpec::parse(spec.format());
+    EXPECT_EQ(back.kind, spec.kind);
+    EXPECT_EQ(back.core, spec.core);
+    EXPECT_EQ(back.site, spec.site);
+    EXPECT_DOUBLE_EQ(back.startUs, spec.startUs);
+    EXPECT_DOUBLE_EQ(back.durationUs, spec.durationUs);
+    EXPECT_DOUBLE_EQ(back.magnitude, spec.magnitude);
+}
+
+TEST(FaultSpecTest, ParseDefaultsMissingFields)
+{
+    const FaultSpec spec = FaultSpec::parse("dropout:core=2");
+    EXPECT_EQ(spec.kind, FaultKind::SensorDropout);
+    EXPECT_EQ(spec.core, 2);
+    EXPECT_EQ(spec.site, 0);
+    EXPECT_DOUBLE_EQ(spec.startUs, 0.0);
+    EXPECT_DOUBLE_EQ(spec.durationUs, 0.0);
+    EXPECT_DOUBLE_EQ(spec.magnitude, 0.0);
+}
+
+TEST(FaultSpecTest, TimesConvertToEngineUnits)
+{
+    FaultSpec spec;
+    spec.startUs = 2.0;
+    spec.durationUs = 3.0;
+    EXPECT_DOUBLE_EQ(spec.startNs(), 2000.0);
+    EXPECT_DOUBLE_EQ(spec.endNs(), 5000.0);
+    spec.durationUs = 0.0; // permanent
+    EXPECT_TRUE(std::isinf(spec.endNs()));
+}
+
+TEST(FaultSpecTest, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(FaultSpec::parse("cpm-stuck:core"), util::FatalError);
+    EXPECT_THROW(FaultSpec::parse("cpm-stuck:pants=3"),
+                 util::FatalError);
+    EXPECT_THROW(FaultSpec::parse("cpm-stuck:core=x"), util::FatalError);
+    EXPECT_THROW(FaultSpec::parse("warp-core:core=1"), util::FatalError);
+}
+
+TEST(FaultSpecTest, ValidateChecksCoreRange)
+{
+    FaultSpec spec = FaultSpec::parse("thermal:core=7,mag=10");
+    spec.validate(8);
+    spec.core = 8;
+    EXPECT_THROW(spec.validate(8), util::FatalError);
+    spec.core = -1;
+    EXPECT_THROW(spec.validate(8), util::FatalError);
+}
+
+TEST(FaultSpecTest, VrmStepIsChipWideOnly)
+{
+    FaultSpec spec = FaultSpec::parse("vrm-step:core=-1,mag=5");
+    spec.validate(8);
+    spec.core = 0;
+    EXPECT_THROW(spec.validate(8), util::FatalError);
+}
+
+TEST(FaultSpecTest, ValidateChecksMagnitudes)
+{
+    FaultSpec storm = FaultSpec::parse("droop-storm:core=0,mag=2");
+    storm.validate(8);
+    storm.magnitude = 0.0;
+    EXPECT_THROW(storm.validate(8), util::FatalError);
+
+    FaultSpec aging = FaultSpec::parse("aging-jump:core=0,mag=0.02");
+    aging.validate(8);
+    aging.magnitude = -1.0;
+    EXPECT_THROW(aging.validate(8), util::FatalError);
+
+    FaultSpec stuck = FaultSpec::parse("cpm-stuck:core=0,mag=-1");
+    EXPECT_THROW(stuck.validate(8), util::FatalError);
+
+    FaultSpec late = FaultSpec::parse("dropout:core=0,start=-1");
+    EXPECT_THROW(late.validate(8), util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::fault

@@ -1,0 +1,125 @@
+/**
+ * The robustness acceptance scenario: a stuck CPM quantizer on one
+ * core of a fine-tuned chip. With the safety monitor attached, the
+ * faulted core alone is quarantined, nothing fails silently, and the
+ * core re-enters its fine-tuned limits after the fault clears. With
+ * the monitor detached, the same campaign produces silent data
+ * corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chip/chip.h"
+#include "core/safety_monitor.h"
+#include "fault/fault_campaign.h"
+#include "sim/sim_engine.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim {
+namespace {
+
+/** Deploy the fine-tuned (thread-worst) limits on a reference chip. */
+std::vector<int>
+deployFineTuned(chip::Chip &chip)
+{
+    std::vector<int> targets;
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        targets.push_back(variation::referenceTargets(0, c).worst);
+        chip.core(c).setMode(chip::CoreMode::AtmOverclock);
+        chip.core(c).setCpmReduction(targets.back());
+    }
+    return targets;
+}
+
+TEST(FaultInjectionIntegration, StuckCpmIsQuarantinedAndRecovers)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    const std::vector<int> targets = deployFineTuned(chip);
+    const auto &x264 = workload::findWorkload("x264");
+    chip.assignWorkload(2, &x264);
+
+    // The controlling site's quantizer sticks near saturation for
+    // 4 us: the loop acts on phantom margin until the monitor reacts.
+    fault::FaultCampaign campaign = fault::FaultCampaign::parse(
+        "cpm-stuck:core=2,site=0,start=0.5,dur=4,mag=24");
+
+    core::SafetyMonitorConfig monitor_config;
+    monitor_config.backoffBaseUs = 1.0;
+    monitor_config.maxBackoffUs = 4.0;
+    monitor_config.stageIntervalUs = 0.2;
+    core::SafetyMonitor monitor(&chip, targets, monitor_config);
+
+    sim::SimConfig config;
+    config.stopOnViolation = false;
+    config.runNoisePs = 1.15;
+    config.seed = 3;
+    sim::SimEngine engine(&chip, config);
+    engine.setCampaign(&campaign);
+    engine.setObserver(&monitor);
+    const sim::RunResult result = engine.run(12.0);
+    chip.clearAssignments();
+
+    // The faulted core was caught (by the sensor probe or a caught
+    // violation) and pulled out of its fine-tuned configuration.
+    EXPECT_GE(result.safety.quarantines, 1);
+    EXPECT_GE(result.safety.anomalies
+              + result.safety.detectedViolations, 1);
+
+    // Nothing failed silently while the monitor was watching.
+    EXPECT_EQ(result.safety.silentFailures, 0);
+
+    // The rest of the chip never left its fine-tuned deployment.
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        if (c == 2)
+            continue;
+        EXPECT_EQ(result.coreStats[c].violations, 0) << "core " << c;
+        EXPECT_EQ(monitor.state(c), core::CoreSafetyState::Deployed)
+            << "core " << c;
+        EXPECT_EQ(chip.core(c).cpmReduction(), targets[c])
+            << "core " << c;
+    }
+
+    // After the fault window and the staged re-entry, the core is
+    // back at its fine-tuned limit.
+    EXPECT_EQ(monitor.state(2), core::CoreSafetyState::Deployed);
+    EXPECT_EQ(chip.core(2).cpmReduction(), targets[2]);
+    EXPECT_GE(result.safety.recoveries, 1);
+    EXPECT_GT(result.safety.degradedTimeNs, 0.0);
+    EXPECT_LT(result.safety.degradedTimeNs, result.durationNs);
+}
+
+TEST(FaultInjectionIntegration, WithoutMonitorTheFaultGoesSilent)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    deployFineTuned(chip);
+    const auto &x264 = workload::findWorkload("x264");
+    chip.assignWorkload(2, &x264);
+
+    fault::FaultCampaign campaign = fault::FaultCampaign::parse(
+        "cpm-stuck:core=2,site=0,start=0.5,mag=24");
+
+    long violations = 0;
+    long silent = 0;
+    for (std::uint64_t seed = 1; seed <= 12 && silent == 0; ++seed) {
+        sim::SimConfig config;
+        config.stopOnViolation = false;
+        config.runNoisePs = 1.15;
+        config.seed = seed;
+        sim::SimEngine engine(&chip, config);
+        engine.setCampaign(&campaign);
+        const sim::RunResult result = engine.run(6.0);
+        violations += result.totalViolations();
+        silent += result.safety.silentFailures;
+        EXPECT_EQ(result.safety.detectedViolations, 0);
+    }
+    chip.clearAssignments();
+
+    EXPECT_GE(violations, 1) << "phantom margin must break timing";
+    EXPECT_GE(silent, 1) << "undetected SDC episodes must surface";
+}
+
+} // namespace
+} // namespace atmsim

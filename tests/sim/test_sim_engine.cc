@@ -2,6 +2,7 @@
 
 #include "chip/chip.h"
 #include "circuit/constants.h"
+#include "fault/fault_campaign.h"
 #include "sim/sim_engine.h"
 #include "util/logging.h"
 #include "variation/reference_chips.h"
@@ -206,6 +207,75 @@ TEST_F(SimEngineTest, ThreadWorstSurvivesVirusInEngine)
     // 160 W / 70 degC test-floor conditions.
     EXPECT_GT(result.chipPowerW.mean(), 120.0);
     EXPECT_GT(result.maxCoreTempC, 55.0);
+}
+
+TEST_F(SimEngineTest, RunPastViolationsCountsEveryCoreEpisode)
+{
+    // With stopOnViolation off, a run must keep accumulating per-core
+    // episode counts past the first violation instead of reporting
+    // only the earliest offender.
+    const int limit0 = variation::referenceTargets(0, 0).idle;
+    const int limit5 = variation::referenceTargets(0, 5).idle;
+    chip_.core(0).setCpmReduction(limit0 + 2);
+    chip_.core(5).setCpmReduction(limit5 + 2);
+    SimConfig config;
+    config.runNoisePs = 1.2;
+    config.stopOnViolation = false;
+    SimEngine engine(&chip_, config);
+    const RunResult result = engine.run(3.0);
+    chip_.core(0).setCpmReduction(0);
+    chip_.core(5).setCpmReduction(0);
+
+    EXPECT_FALSE(result.stoppedEarly);
+    EXPECT_TRUE(result.failed());
+    EXPECT_GE(result.coreStats[0].violations, 1);
+    EXPECT_GE(result.coreStats[5].violations, 1);
+    EXPECT_EQ(result.totalViolations(),
+              result.coreStats[0].violations
+              + result.coreStats[5].violations);
+    // Every episode is either stored or tallied as dropped overflow.
+    EXPECT_EQ(result.totalViolations(),
+              static_cast<long>(result.violations.size())
+              + result.safety.droppedViolationEvents);
+    bool saw0 = false, saw5 = false;
+    for (const ViolationEvent &ev : result.violations) {
+        saw0 = saw0 || ev.core == 0;
+        saw5 = saw5 || ev.core == 5;
+        EXPECT_FALSE(ev.detected) << "no observer attached";
+    }
+    EXPECT_TRUE(saw0);
+    EXPECT_TRUE(saw5);
+    // Undetected episodes split into silent and noisy manifestations.
+    EXPECT_EQ(result.safety.detectedViolations, 0);
+    EXPECT_GE(result.safety.silentFailures, 0);
+}
+
+TEST_F(SimEngineTest, CampaignStrikesMidRunAndCleansUp)
+{
+    fault::FaultCampaign campaign = fault::FaultCampaign::parse(
+        "vrm-step:core=-1,start=1,dur=1,mag=40");
+    SimEngine engine(&chip_);
+    engine.setCampaign(&campaign);
+    const RunResult faulted = engine.run(3.0);
+    // The parasitic load is gone after the run, and the campaign
+    // re-arms, so a second run reproduces the same grid sag.
+    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA(), 0.0);
+    const RunResult again = engine.run(3.0);
+
+    SimEngine clean_engine(&chip_);
+    const RunResult clean = clean_engine.run(3.0);
+    EXPECT_LT(faulted.minGridV, clean.minGridV - 0.005);
+    EXPECT_DOUBLE_EQ(faulted.minGridV, again.minGridV);
+}
+
+TEST_F(SimEngineTest, PermanentFaultRevertedAtRunEnd)
+{
+    fault::FaultCampaign campaign = fault::FaultCampaign::parse(
+        "dropout:core=1,start=0.5");
+    SimEngine engine(&chip_);
+    engine.setCampaign(&campaign);
+    engine.run(1.0);
+    EXPECT_FALSE(chip_.core(1).dpll().sensorDropout());
 }
 
 TEST(FailureKinds, Printable)
