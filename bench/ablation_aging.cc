@@ -38,9 +38,9 @@ main()
         variation::ChipSilicon silicon = variation::makeReferenceChip(0);
         variation::applyAging(silicon, params, years, 1.25, 55.0);
         chip::Chip chip(std::move(silicon));
-        chip.core(0).setCpmReduction(worst);
+        chip.core(0).setCpmReduction(util::CpmSteps{worst});
         const chip::ChipSteadyState st = chip.solveSteadyState();
-        const double freq = st.coreFreqMhz[0];
+        const double freq = st.coreFreqMhz[0].value();
         if (years == 0.0)
             fresh_freq = freq;
 
@@ -51,10 +51,12 @@ main()
         const double worst_case_v = 1.25 - 0.075; // di/dt + DC guard
         const double aged_path =
             core.speedFactor
-            * chip.delayModel().factor(worst_case_v, 70.0)
+            * chip.delayModel().factor(util::Volts{worst_case_v},
+                                       util::Celsius{70.0})
             * core.realPathIdlePs;
         const double headroom =
-            util::mhzToPs(circuit::kStaticMarginMhz) - aged_path;
+            util::periodOf(circuit::kStaticMarginMhz).value()
+            - aged_path;
 
         table.addRow({util::fmtFixed(years, 0),
                       util::fmtFixed(variation::agingDelayFactor(

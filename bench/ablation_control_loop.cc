@@ -25,7 +25,7 @@ namespace {
 long
 violations(chip::Chip &chip, int reduction, double stretch)
 {
-    chip.core(0).setCpmReduction(reduction);
+    chip.core(0).setCpmReduction(util::CpmSteps{reduction});
     sim::SimConfig config;
     config.runNoisePs = 1.1; // hostile end of the run-noise range
     config.stopOnViolation = false;

@@ -51,9 +51,12 @@ main()
         for (int c = 0; c < chip->coreCount(); ++c) {
             const int red =
                 std::max(limits.byIndex(c).worst - rollback, 0);
-            slowest = std::min(slowest,
-                               chip->core(c).silicon()
-                                   .atmFrequencyMhz(red, 1.0));
+            slowest = std::min(
+                slowest,
+                chip->core(c)
+                    .silicon()
+                    .atmFrequencyMhz(util::CpmSteps{red}, 1.0)
+                    .value());
         }
         table.addRow({std::to_string(rollback),
                       util::fmtFixed(perf.mean(), 3),

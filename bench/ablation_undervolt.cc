@@ -43,7 +43,8 @@ main()
         const core::UndervoltResult result = controller.solve();
 
         table.addRow({core::governorPolicyName(policy), "overclock",
-                      util::fmtFixed(chip->config().vrmSetpointV, 3),
+                      util::fmtFixed(chip->config().vrmSetpointV.value(),
+                                     3),
                       "(all above target)",
                       util::fmtInt(result.overclockPowerW), "-"});
         table.addRow({core::governorPolicyName(policy),

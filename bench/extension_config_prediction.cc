@@ -76,10 +76,17 @@ main()
         util::RunningStats worst_f, pred_f;
         for (int c = 0; c < chip->coreCount(); ++c) {
             const auto &silicon = chip->core(c).silicon();
-            worst_f.add(silicon.atmFrequencyMhz(
-                limits.byIndex(c).worst, 1.0));
-            pred_f.add(silicon.atmFrequencyMhz(
-                predictor.predictLimit(c, app), 1.0));
+            worst_f.add(
+                silicon
+                    .atmFrequencyMhz(
+                        util::CpmSteps{limits.byIndex(c).worst}, 1.0)
+                    .value());
+            pred_f.add(
+                silicon
+                    .atmFrequencyMhz(
+                        util::CpmSteps{predictor.predictLimit(c, app)},
+                        1.0)
+                    .value());
         }
         gain.addRow({name, util::fmtInt(worst_f.mean()),
                      util::fmtInt(pred_f.mean()),

@@ -61,7 +61,8 @@ main()
                 ++throttled;
         }
         std::cout << server.chip(p).name() << ": "
-                  << util::fmtInt(st.chipPowerW) << " W, " << throttled
+                  << util::fmtInt(st.chipPowerW.value()) << " W, "
+                  << throttled
                   << " background cores throttled\n";
     }
     std::cout << "\nhard jobs (ferret, vgg19) claim the fastest cores "

@@ -59,9 +59,9 @@ main()
     std::vector<ModeRow> rows;
 
     // Chip-wide static margin: one fixed frequency for every core.
-    rows.push_back({"chip-wide static", circuit::kStaticMarginMhz,
-                    circuit::kStaticMarginMhz, circuit::kStaticMarginMhz,
-                    circuit::kStaticMarginMhz});
+    const double static_mhz = circuit::kStaticMarginMhz.value();
+    rows.push_back({"chip-wide static", static_mhz, static_mhz,
+                    static_mhz, static_mhz});
 
     // Per-core static <v, f>: each core's silicon limit de-rated by
     // the full static guard a fixed operating point must carry --
@@ -72,10 +72,14 @@ main()
         double fast = 0.0, slow = 1e9;
         for (int c = 0; c < chip->coreCount(); ++c) {
             const double silicon_max =
-                chip->core(c).silicon().atmFrequencyMhz(
-                    limits.byIndex(c).idle, 1.0);
-            const double derated = std::max(silicon_max / 1.155,
-                                            circuit::kStaticMarginMhz);
+                chip->core(c)
+                    .silicon()
+                    .atmFrequencyMhz(
+                        util::CpmSteps{limits.byIndex(c).idle}, 1.0)
+                    .value();
+            const double derated =
+                std::max(silicon_max / 1.155,
+                         circuit::kStaticMarginMhz.value());
             fast = std::max(fast, derated);
             slow = std::min(slow, derated);
         }
@@ -86,18 +90,20 @@ main()
     {
         governor.apply(core::GovernorPolicy::DefaultAtm);
         const auto [idle, loaded] = measure(*chip);
-        rows.push_back({"default ATM", idle.maxFreqMhz(),
-                        idle.minActiveFreqMhz(), loaded.maxFreqMhz(),
-                        loaded.minActiveFreqMhz()});
+        rows.push_back({"default ATM", idle.maxFreqMhz().value(),
+                        idle.minActiveFreqMhz().value(),
+                        loaded.maxFreqMhz().value(),
+                        loaded.minActiveFreqMhz().value()});
     }
 
     // Fine-tuned per-core ATM (stress-test thread-worst configs).
     {
         governor.apply(core::GovernorPolicy::FineTuned);
         const auto [idle, loaded] = measure(*chip);
-        rows.push_back({"fine-tuned ATM", idle.maxFreqMhz(),
-                        idle.minActiveFreqMhz(), loaded.maxFreqMhz(),
-                        loaded.minActiveFreqMhz()});
+        rows.push_back({"fine-tuned ATM", idle.maxFreqMhz().value(),
+                        idle.minActiveFreqMhz().value(),
+                        loaded.maxFreqMhz().value(),
+                        loaded.minActiveFreqMhz().value()});
     }
 
     util::TextTable table;

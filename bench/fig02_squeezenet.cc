@@ -34,8 +34,12 @@ main()
     {
         double fast_f = 0.0, slow_f = 1e9;
         for (int c = 0; c < chip->coreCount(); ++c) {
-            const double f = chip->core(c).silicon().atmFrequencyMhz(
-                limits.byIndex(c).worst, 1.0);
+            const double f =
+                chip->core(c)
+                    .silicon()
+                    .atmFrequencyMhz(
+                        util::CpmSteps{limits.byIndex(c).worst}, 1.0)
+                    .value();
             if (f > fast_f) {
                 fast_f = f;
                 fast_core = c;
@@ -82,8 +86,8 @@ main()
             }
         }
         const chip::ChipSteadyState st = chip->solveSteadyState();
-        const double f = st.coreFreqMhz[static_cast<std::size_t>(
-            row.core)];
+        const double f =
+            st.coreFreqMhz[static_cast<std::size_t>(row.core)].value();
         const double ms = squeezenet.latencyMs(f);
         table.addRow({row.schedule, chip->core(row.core).name(),
                       util::fmtInt(f), util::fmtFixed(ms, 1),

@@ -45,9 +45,13 @@ main()
     for (int k = 0; k <= max_limit; ++k) {
         std::vector<std::string> row = {std::to_string(k)};
         for (const auto &[silicon, limit] : cores) {
-            row.push_back(k <= limit
-                          ? util::fmtInt(silicon->atmFrequencyMhz(k, 1.0))
-                          : std::string("-"));
+            row.push_back(
+                k <= limit
+                    ? util::fmtInt(
+                          silicon
+                              ->atmFrequencyMhz(util::CpmSteps{k}, 1.0)
+                              .value())
+                    : std::string("-"));
         }
         table.addRow(row);
     }

@@ -34,10 +34,14 @@ main()
             for (const auto &[value, count] : dist.maxSafe.items())
                 spread << value << ":" << count << " ";
             const int limit = dist.limit();
-            table.addRow({chip->core(c).name(), spread.str(),
-                          std::to_string(limit),
-                          util::fmtInt(chip->core(c).silicon()
-                                           .atmFrequencyMhz(limit, 1.0))});
+            table.addRow(
+                {chip->core(c).name(), spread.str(),
+                 std::to_string(limit),
+                 util::fmtInt(chip->core(c)
+                                  .silicon()
+                                  .atmFrequencyMhz(
+                                      util::CpmSteps{limit}, 1.0)
+                                  .value())});
         }
     }
     table.print(std::cout);

@@ -43,7 +43,8 @@ replayCampaign(const std::string &campaign_text, std::uint64_t seed)
     const core::DeployedConfig limit = tester.deriveDeployedConfig(0);
     for (int c = 0; c < chip->coreCount(); ++c) {
         chip->core(c).setMode(chip::CoreMode::AtmOverclock);
-        chip->core(c).setCpmReduction(limit.reductionPerCore[c]);
+        chip->core(c).setCpmReduction(
+            util::CpmSteps{limit.reductionPerCore[c]});
     }
 
     fault::FaultCampaign campaign =
@@ -118,8 +119,8 @@ main(int argc, char **argv)
         const chip::ChipSteadyState env =
             tester.stressEnvironment(limit.reductionPerCore);
         double max_temp = 0.0;
-        for (double t : env.coreTempC)
-            max_temp = std::max(max_temp, t);
+        for (util::Celsius t : env.coreTempC)
+            max_temp = std::max(max_temp, t.value());
         std::cout << chip->name() << ": speed differential "
                   << util::fmtInt(limit.speedDifferentialMhz())
                   << " MHz (fastest "
@@ -127,7 +128,7 @@ main(int argc, char **argv)
                   << ", slowest "
                   << chip->core(limit.slowestCore()).name()
                   << "); stress environment "
-                  << util::fmtInt(env.chipPowerW) << " W, "
+                  << util::fmtInt(env.chipPowerW.value()) << " W, "
                   << util::fmtInt(max_temp) << " degC\n\n";
     }
     std::cout << "thread-worst configurations sustain the stressmarks; "

@@ -29,11 +29,12 @@ referenceChip()
 void
 BM_PdnStep(benchmark::State &state)
 {
-    pdn::PdnNetwork net(pdn::PdnParams{}, pdn::Vrm(1.273, 0.3e-3), 8);
-    std::vector<double> loads(8, 6.0);
-    net.settle(loads, 10.0);
+    pdn::PdnNetwork net(pdn::PdnParams{},
+                        pdn::Vrm(util::Volts{1.273}, 0.3e-3), 8);
+    std::vector<util::Amps> loads(8, util::Amps{6.0});
+    net.settle(loads, util::Amps{10.0});
     for (auto _ : state) {
-        net.step(0.2e-9, loads, 10.0);
+        net.step(util::Seconds{0.2e-9}, loads, util::Amps{10.0});
         benchmark::DoNotOptimize(net.gridV());
     }
 }
@@ -45,7 +46,8 @@ BM_CpmBankWorstCount(benchmark::State &state)
     chip::Chip &chip = referenceChip();
     const auto &bank = chip.core(0).cpmBank();
     for (auto _ : state) {
-        benchmark::DoNotOptimize(bank.worstCount(217.4, 1.24, 48.0));
+        benchmark::DoNotOptimize(bank.worstCount(util::Picoseconds{217.4}, util::Volts{1.24},
+                                 util::Celsius{48.0}));
     }
 }
 BENCHMARK(BM_CpmBankWorstCount);
@@ -54,11 +56,11 @@ void
 BM_DpllObserve(benchmark::State &state)
 {
     dpll::Dpll loop;
-    loop.reset(217.4);
-    double now = 0.0;
+    loop.reset(util::Picoseconds{217.4});
+    util::Nanoseconds now{0.0};
     for (auto _ : state) {
         loop.observe(now, 4);
-        now += 0.2;
+        now += util::Nanoseconds{0.2};
         benchmark::DoNotOptimize(loop.periodPs());
     }
 }

@@ -72,10 +72,10 @@ main(int argc, char **argv)
     const chip::ChipSteadyState env =
         tester.stressEnvironment(deployed.reductionPerCore);
     double max_temp = 0.0;
-    for (double t : env.coreTempC)
-        max_temp = std::max(max_temp, t);
+    for (util::Celsius t : env.coreTempC)
+        max_temp = std::max(max_temp, t.value());
     std::cout << "  stress env    "
-              << util::fmtInt(env.chipPowerW) << " W, "
+              << util::fmtInt(env.chipPowerW.value()) << " W, "
               << util::fmtInt(max_temp) << " degC die\n";
     return 0;
 }

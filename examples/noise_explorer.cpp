@@ -36,7 +36,7 @@ main(int argc, char **argv)
     chip::Chip chip(variation::makeReferenceChip(0));
     const auto &traits = workload::findWorkload(workload_name);
     chip.assignWorkload(0, &traits);
-    chip.core(0).setCpmReduction(reduction);
+    chip.core(0).setCpmReduction(util::CpmSteps{reduction});
 
     std::cout << "Running " << workload_name << " on "
               << chip.core(0).name() << " at CPM reduction " << reduction

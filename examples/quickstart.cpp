@@ -30,25 +30,25 @@ main()
     // 2. The factory default: uniform ~4.6 GHz idle ATM frequency.
     chip::ChipSteadyState st = chip.solveSteadyState();
     std::cout << core.name() << " at factory CPM preset:   "
-              << util::fmtInt(st.coreFreqMhz[0]) << " MHz\n";
+              << util::fmtInt(st.coreFreqMhz[0].value()) << " MHz\n";
 
     // 3. Fine-tune: reduce the CPM inserted delay step by step. The
     //    control loop perceives more margin and overclocks.
     core::Characterizer characterizer(&chip);
     const int idle_limit = characterizer.idleLimit(0).limit();
     for (int k : {2, 5, idle_limit}) {
-        core.setCpmReduction(k);
+        core.setCpmReduction(util::CpmSteps{k});
         st = chip.solveSteadyState();
         std::cout << core.name() << " at " << k
                   << " steps of reduction: "
-                  << util::fmtInt(st.coreFreqMhz[0]) << " MHz"
+                  << util::fmtInt(st.coreFreqMhz[0].value()) << " MHz"
                   << (k == idle_limit ? "  <- idle limit" : "") << "\n";
     }
 
     // 4. One step past the limit: the canary no longer covers the
     //    real critical path, and a detailed engine run catches a
     //    timing violation.
-    core.setCpmReduction(idle_limit + 2);
+    core.setCpmReduction(util::CpmSteps{idle_limit + 2});
     sim::SimConfig config;
     config.runNoisePs = 1.1; // a hostile run
     sim::SimEngine engine(&chip, config);
@@ -68,7 +68,7 @@ main()
 
     // 5. Safe deployment: thread-worst limits survive even the
     //    voltage-virus stress test.
-    core.setCpmReduction(0);
+    core.setCpmReduction(util::CpmSteps{0});
     std::cout << "\nNext steps: examples/characterize_chip for the "
                  "full Table-I procedure,\nexamples/datacenter_"
                  "scheduler for QoS-managed scheduling.\n";

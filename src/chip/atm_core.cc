@@ -4,7 +4,6 @@
 
 #include "circuit/constants.h"
 #include "util/logging.h"
-#include "util/units.h"
 
 namespace atmsim::chip {
 
@@ -27,8 +26,8 @@ AtmCore::AtmCore(const variation::CoreSiliconParams *silicon,
 {
     if (!silicon || !model)
         util::panic("AtmCore constructed with null silicon or model");
-    bank_.setReduction(0);
-    dpll_.reset(util::mhzToPs(circuit::kDefaultAtmIdleMhz));
+    bank_.setReduction(CpmSteps{0});
+    dpll_.reset(util::periodOf(circuit::kDefaultAtmIdleMhz));
 }
 
 void
@@ -38,29 +37,29 @@ AtmCore::setMode(CoreMode mode)
 }
 
 void
-AtmCore::setFixedFrequencyMhz(double f_mhz)
+AtmCore::setFixedFrequencyMhz(Mhz f)
 {
-    if (f_mhz <= 0.0)
-        util::fatal("fixed frequency must be positive, got ", f_mhz);
-    fixedMhz_ = f_mhz;
+    if (f <= Mhz{0.0})
+        util::fatal("fixed frequency must be positive, got ", f.value());
+    fixedMhz_ = f;
 }
 
 void
-AtmCore::setCpmReduction(int steps)
+AtmCore::setCpmReduction(CpmSteps steps)
 {
     bank_.setReduction(steps);
 }
 
 void
-AtmCore::resetClock(double v, double t_c)
+AtmCore::resetClock(Volts v, Celsius t)
 {
-    dpll_.reset(util::mhzToPs(steadyFrequencyMhz(v, t_c)));
+    dpll_.reset(util::periodOf(steadyFrequencyMhz(v, t)));
     vSlow_ = v;
     vSlowValid_ = true;
 }
 
 void
-AtmCore::stepControl(double now_ns, double v, double t_c)
+AtmCore::stepControl(Nanoseconds now, Volts v, Celsius t)
 {
     // Track the slow (post-transient) local voltage; the gap between
     // it and the instantaneous voltage is the droop excursion.
@@ -69,75 +68,74 @@ AtmCore::stepControl(double now_ns, double v, double t_c)
         vSlowValid_ = true;
     } else {
         constexpr double alpha = 0.0015; // ~150 ns at 0.2 ns steps
-        vSlow_ += alpha * (v - vSlow_);
+        vSlow_ += (v - vSlow_) * alpha;
     }
 
     if (mode_ != CoreMode::AtmOverclock)
         return;
-    const int margin = bank_.worstCount(dpll_.periodPs(), v, t_c);
-    dpll_.observe(now_ns, margin);
+    const int margin = bank_.worstCount(dpll_.periodPs(), v, t);
+    dpll_.observe(now, margin);
 }
 
 bool
-AtmCore::timingMet(double v, double t_c, double extra_path_ps,
-                   double noise_ps) const
+AtmCore::timingMet(Volts v, Celsius t, Picoseconds extra_path,
+                   Picoseconds noise) const
 {
     if (mode_ == CoreMode::Gated)
         return true;
-    return timingDeficitPs(v, t_c, extra_path_ps, noise_ps) <= 0.0;
+    return timingDeficitPs(v, t, extra_path, noise) <= Picoseconds{0.0};
 }
 
-double
-AtmCore::timingDeficitPs(double v, double t_c, double extra_path_ps,
-                         double noise_ps) const
+Picoseconds
+AtmCore::timingDeficitPs(Volts v, Celsius t, Picoseconds extra_path,
+                         Picoseconds noise) const
 {
     // The real paths see the droop excursion amplified by the core's
     // local vulnerability (local grid and response effects the shared
     // node does not capture).
-    double v_eff = v;
+    Volts v_eff = v;
     if (vSlowValid_) {
-        v_eff = vSlow_
-              - silicon_->didtVulnerability * (vSlow_ - v);
-        v_eff = std::max(v_eff, 0.6);
+        v_eff = vSlow_ - (vSlow_ - v) * silicon_->didtVulnerability;
+        v_eff = std::max(v_eff, Volts{0.6});
     }
-    const double real = silicon_->speedFactor
-                      * model_->factor(v_eff, t_c)
-                      * (silicon_->realPathIdlePs + extra_path_ps)
-                      + noise_ps;
+    const Picoseconds real =
+        (Picoseconds{silicon_->realPathIdlePs} + extra_path)
+            * (silicon_->speedFactor * model_->factor(v_eff, t))
+        + noise;
     return real - periodPs();
 }
 
-double
+Picoseconds
 AtmCore::periodPs() const
 {
     switch (mode_) {
       case CoreMode::AtmOverclock:
         return dpll_.periodPs();
       case CoreMode::FixedFrequency:
-        return util::mhzToPs(fixedMhz_);
+        return util::periodOf(fixedMhz_);
       case CoreMode::Gated:
-        return util::mhzToPs(circuit::kPStateMinMhz);
+        return util::periodOf(circuit::kPStateMinMhz);
     }
     util::panic("unreachable core mode");
 }
 
-double
+Mhz
 AtmCore::frequencyMhz() const
 {
-    return util::psToMhz(periodPs());
+    return util::frequencyOf(periodPs());
 }
 
-double
-AtmCore::steadyFrequencyMhz(double v, double t_c) const
+Mhz
+AtmCore::steadyFrequencyMhz(Volts v, Celsius t) const
 {
     switch (mode_) {
       case CoreMode::AtmOverclock:
         return silicon_->atmFrequencyMhz(bank_.reduction(),
-                                         model_->factor(v, t_c));
+                                         model_->factor(v, t));
       case CoreMode::FixedFrequency:
         return fixedMhz_;
       case CoreMode::Gated:
-        return 0.0;
+        return Mhz{0.0};
     }
     util::panic("unreachable core mode");
 }

@@ -10,9 +10,17 @@
 #include "circuit/delay_model.h"
 #include "cpm/cpm_bank.h"
 #include "dpll/dpll.h"
+#include "util/quantity.h"
 #include "variation/core_silicon.h"
 
 namespace atmsim::chip {
+
+using util::Celsius;
+using util::CpmSteps;
+using util::Mhz;
+using util::Nanoseconds;
+using util::Picoseconds;
+using util::Volts;
 
 /** Operating mode of a core. */
 enum class CoreMode {
@@ -47,16 +55,16 @@ class AtmCore
     void setMode(CoreMode mode);
     CoreMode mode() const { return mode_; }
 
-    /** Set the fixed frequency used in FixedFrequency mode (MHz). */
-    void setFixedFrequencyMhz(double f_mhz);
-    double fixedFrequencyMhz() const { return fixedMhz_; }
+    /** Set the fixed frequency used in FixedFrequency mode. */
+    void setFixedFrequencyMhz(Mhz f);
+    Mhz fixedFrequencyMhz() const { return fixedMhz_; }
 
     /**
      * Program the CPM inserted-delay reduction (the fine-tuning knob).
      * 0 restores the factory default ATM behaviour.
      */
-    void setCpmReduction(int steps);
-    int cpmReduction() const { return bank_.reduction(); }
+    void setCpmReduction(CpmSteps steps);
+    CpmSteps cpmReduction() const { return bank_.reduction(); }
 
     // --- Engine interface ----------------------------------------------
 
@@ -64,17 +72,17 @@ class AtmCore
      * Reset the clock to the steady state for the given environment
      * (used at the start of an engine run).
      */
-    void resetClock(double v, double t_c);
+    void resetClock(Volts v, Celsius t);
 
     /**
      * Advance the control loop: sample the CPM bank against the
      * current period and let the DPLL adjust.
      *
-     * @param now_ns Simulation time.
-     * @param v Local supply voltage (V).
-     * @param t_c Local temperature (degC).
+     * @param now Simulation time.
+     * @param v Local supply voltage.
+     * @param t Local temperature.
      */
-    void stepControl(double now_ns, double v, double t_c);
+    void stepControl(Nanoseconds now, Volts v, Celsius t);
 
     /**
      * Check whether the real critical path meets timing this instant.
@@ -85,28 +93,28 @@ class AtmCore
      * droops than the shared grid reports, which is what their larger
      * characterization rollbacks reflect.
      *
-     * @param v Local supply voltage (V).
-     * @param t_c Local temperature (degC).
-     * @param extra_path_ps Scenario path exposure (nominal ps).
-     * @param noise_ps This run's timing noise (ps).
+     * @param v Local supply voltage.
+     * @param t Local temperature.
+     * @param extra_path Scenario path exposure (nominal).
+     * @param noise This run's timing noise.
      * @return true when timing is met (no violation).
      */
-    bool timingMet(double v, double t_c, double extra_path_ps,
-                   double noise_ps) const;
+    bool timingMet(Volts v, Celsius t, Picoseconds extra_path,
+                   Picoseconds noise) const;
 
     /**
-     * Signed timing deficit (ps): how far the real path misses the
-     * current period under the same model timingMet() uses. Positive
-     * means a violation.
+     * Signed timing deficit: how far the real path misses the current
+     * period under the same model timingMet() uses. Positive means a
+     * violation.
      */
-    double timingDeficitPs(double v, double t_c, double extra_path_ps,
-                           double noise_ps) const;
+    Picoseconds timingDeficitPs(Volts v, Celsius t, Picoseconds extra_path,
+                                Picoseconds noise) const;
 
-    /** Current clock period (ps). */
-    double periodPs() const;
+    /** Current clock period. */
+    Picoseconds periodPs() const;
 
-    /** Current clock frequency (MHz). */
-    double frequencyMhz() const;
+    /** Current clock frequency. */
+    Mhz frequencyMhz() const;
 
     /** Emergency engagements since the last resetClock(). */
     long emergencyCount() const { return dpll_.emergencyCount(); }
@@ -117,7 +125,7 @@ class AtmCore
      * Steady-state frequency under the given environment, from the
      * closed-form ATM model (or the fixed frequency / 0 when gated).
      */
-    double steadyFrequencyMhz(double v, double t_c) const;
+    Mhz steadyFrequencyMhz(Volts v, Celsius t) const;
 
     const variation::CoreSiliconParams &silicon() const
     {
@@ -134,10 +142,10 @@ class AtmCore
     cpm::CpmBank bank_;
     dpll::Dpll dpll_;
     CoreMode mode_ = CoreMode::AtmOverclock;
-    double fixedMhz_;
+    Mhz fixedMhz_;
 
     /** Slow-tracked local voltage (reference for droop excursions). */
-    double vSlow_ = 0.0;
+    Volts vSlow_{0.0};
     bool vSlowValid_ = false;
 };
 

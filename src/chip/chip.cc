@@ -8,25 +8,28 @@
 
 namespace atmsim::chip {
 
-double
+using util::Amps;
+using util::Watts;
+
+Mhz
 ChipSteadyState::minActiveFreqMhz() const
 {
-    double min_f = 0.0;
+    Mhz min_f{0.0};
     bool any = false;
-    for (double f : coreFreqMhz) {
-        if (f <= 0.0)
+    for (Mhz f : coreFreqMhz) {
+        if (f <= Mhz{0.0})
             continue; // gated
         min_f = any ? std::min(min_f, f) : f;
         any = true;
     }
-    return any ? min_f : 0.0;
+    return any ? min_f : Mhz{0.0};
 }
 
-double
+Mhz
 ChipSteadyState::maxFreqMhz() const
 {
-    double max_f = 0.0;
-    for (double f : coreFreqMhz)
+    Mhz max_f{0.0};
+    for (Mhz f : coreFreqMhz)
         max_f = std::max(max_f, f);
     return max_f;
 }
@@ -115,17 +118,17 @@ Chip::assignment(int core_index) const
     return assignments_[static_cast<std::size_t>(core_index)];
 }
 
-double
+Picoseconds
 Chip::pathExposurePs(const variation::CoreSiliconParams &core,
                      const workload::WorkloadTraits &traits)
 {
     switch (traits.suite) {
       case workload::Suite::Idle:
-        return 0.0;
+        return Picoseconds{0.0};
       case workload::Suite::UBench:
-        return core.ubenchExtraPs;
+        return Picoseconds{core.ubenchExtraPs};
       default:
-        return core.loadExposurePs;
+        return Picoseconds{core.loadExposurePs};
     }
 }
 
@@ -134,34 +137,34 @@ Chip::solveSteadyState() const
 {
     const int n = coreCount();
     ChipSteadyState st;
-    st.coreFreqMhz.assign(static_cast<std::size_t>(n), 0.0);
+    st.coreFreqMhz.assign(static_cast<std::size_t>(n), Mhz{0.0});
     st.coreVoltageV.assign(static_cast<std::size_t>(n),
                            circuit::kVddNominal);
-    st.corePowerW.assign(static_cast<std::size_t>(n), 0.0);
+    st.corePowerW.assign(static_cast<std::size_t>(n), Watts{0.0});
     st.coreTempC.assign(static_cast<std::size_t>(n),
-                        circuit::kTempNominalC);
+                        circuit::kTempNominal);
 
     // Initial guess: nominal environment.
     for (int c = 0; c < n; ++c) {
         st.coreFreqMhz[static_cast<std::size_t>(c)] =
             core(c).steadyFrequencyMhz(circuit::kVddNominal,
-                                       circuit::kTempNominalC);
+                                       circuit::kTempNominal);
     }
 
     for (int iter = 0; iter < 60; ++iter) {
         // Power from the current frequency/voltage/temperature guess.
-        double total_power = 0.0;
+        Watts total_power{0.0};
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
             const CoreAssignment &slot = assignments_[ci];
-            double p;
+            Watts p;
             if (core(c).mode() == CoreMode::Gated) {
-                p = 0.25; // gated residual
+                p = Watts{0.25}; // gated residual
             } else {
-                const double activity = slot.idle()
-                    ? 0.0
-                    : slot.traits->coreActivityW(slot.threads)
-                          * slot.traits->avgActivityScale();
+                const Watts activity = slot.idle()
+                    ? Watts{0.0}
+                    : Watts{slot.traits->coreActivityW(slot.threads)
+                            * slot.traits->avgActivityScale()};
                 p = power_.coreTotalW(activity, st.coreFreqMhz[ci],
                                       st.coreVoltageV[ci],
                                       st.coreTempC[ci]);
@@ -169,47 +172,50 @@ Chip::solveSteadyState() const
             st.corePowerW[ci] = p;
             total_power += p;
         }
-        const double grid_guess = st.gridVoltageV > 0.0
-                                ? st.gridVoltageV
-                                : config_.vrmSetpointV;
-        const double uncore = power_.uncoreW(grid_guess);
+        const Volts grid_guess = st.gridVoltageV > Volts{0.0}
+                               ? st.gridVoltageV
+                               : config_.vrmSetpointV;
+        const Watts uncore = power_.uncoreW(grid_guess);
         total_power += uncore;
         st.chipPowerW = total_power;
 
         // Voltages from the DC PDN solution.
-        const double total_current =
+        const Amps total_current =
             power::PowerModel::currentA(total_power, grid_guess);
         st.gridVoltageV = pdn_.dcGridV(total_current);
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            const double core_current = power::PowerModel::currentA(
+            const Amps core_current = power::PowerModel::currentA(
                 st.corePowerW[ci], st.gridVoltageV);
             st.coreVoltageV[ci] = st.gridVoltageV
-                                - config_.pdnParams.coreLocalResOhm
-                                * core_current;
+                                - Volts{config_.pdnParams.coreLocalResOhm
+                                        * core_current.value()};
         }
 
         // Temperatures from the thermal steady state.
-        st.packageTempC = config_.thermalParams.ambientC
-                        + config_.thermalParams.packageResKpW * total_power;
+        st.packageTempC = Celsius{config_.thermalParams.ambientC
+                                  + config_.thermalParams.packageResKpW
+                                  * total_power.value()};
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
             st.coreTempC[ci] = st.packageTempC
-                             + config_.thermalParams.coreResKpW
-                             * st.corePowerW[ci];
+                             + Celsius{config_.thermalParams.coreResKpW
+                                       * st.corePowerW[ci].value()};
         }
 
         // Frequencies from the ATM steady state; check convergence.
-        double max_delta = 0.0;
+        Mhz max_delta{0.0};
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            const double f = core(c).steadyFrequencyMhz(
+            const Mhz f = core(c).steadyFrequencyMhz(
                 st.coreVoltageV[ci], st.coreTempC[ci]);
-            max_delta = std::max(max_delta,
-                                 std::abs(f - st.coreFreqMhz[ci]));
+            const Mhz delta = f >= st.coreFreqMhz[ci]
+                            ? f - st.coreFreqMhz[ci]
+                            : st.coreFreqMhz[ci] - f;
+            max_delta = std::max(max_delta, delta);
             st.coreFreqMhz[ci] = f;
         }
-        if (max_delta < 0.01)
+        if (max_delta < Mhz{0.01})
             break;
     }
     return st;

@@ -31,11 +31,11 @@ struct ChipConfig
     dpll::DpllParams dpllParams;
 
     /**
-     * VRM setpoint (V). Slightly above the nominal 1.25 V so that the
+     * VRM setpoint. Slightly above the nominal 1.25 V so that the
      * idle IR drop lands the cores at the nominal voltage, matching
      * the paper's 4.2 GHz p-state operating point.
      */
-    double vrmSetpointV = 1.267;
+    util::Volts vrmSetpointV{1.267};
 
     /** VRM load-line resistance (ohm). */
     double vrmLoadLineOhm = 0.22e-3;
@@ -53,19 +53,19 @@ struct CoreAssignment
 /** Steady-state operating point of a chip. */
 struct ChipSteadyState
 {
-    std::vector<double> coreFreqMhz;
-    std::vector<double> coreVoltageV;
-    std::vector<double> corePowerW;
-    std::vector<double> coreTempC;
-    double gridVoltageV = 0.0;
-    double chipPowerW = 0.0;
-    double packageTempC = 0.0;
+    std::vector<Mhz> coreFreqMhz;
+    std::vector<Volts> coreVoltageV;
+    std::vector<util::Watts> corePowerW;
+    std::vector<Celsius> coreTempC;
+    Volts gridVoltageV{0.0};
+    util::Watts chipPowerW{0.0};
+    Celsius packageTempC{0.0};
 
-    /** Frequency of the slowest non-gated core (MHz). */
-    double minActiveFreqMhz() const;
+    /** Frequency of the slowest non-gated core. */
+    Mhz minActiveFreqMhz() const;
 
-    /** Frequency of the fastest core (MHz). */
-    double maxFreqMhz() const;
+    /** Frequency of the fastest core. */
+    Mhz maxFreqMhz() const;
 };
 
 /** A processor chip. */
@@ -144,8 +144,9 @@ class Chip
      * activates (none when idle, the uBench exposure for uBench, the
      * full load exposure for realistic workloads and stressmarks).
      */
-    static double pathExposurePs(const variation::CoreSiliconParams &core,
-                                 const workload::WorkloadTraits &traits);
+    static Picoseconds
+    pathExposurePs(const variation::CoreSiliconParams &core,
+                   const workload::WorkloadTraits &traits);
 
   private:
     variation::ChipSilicon silicon_;

@@ -5,13 +5,14 @@
 
 namespace atmsim::chip {
 
-const std::vector<double> &
+const std::vector<util::Mhz> &
 pstateTableMhz()
 {
-    static const std::vector<double> table = [] {
-        std::vector<double> t;
-        for (double f = circuit::kStaticMarginMhz;
-             f >= circuit::kPStateMinMhz - 1.0; f -= 300.0) {
+    static const std::vector<util::Mhz> table = [] {
+        std::vector<util::Mhz> t;
+        for (util::Mhz f = circuit::kStaticMarginMhz;
+             f >= circuit::kPStateMinMhz - util::Mhz{1.0};
+             f -= util::Mhz{300.0}) {
             t.push_back(f);
         }
         return t;
@@ -19,23 +20,23 @@ pstateTableMhz()
     return table;
 }
 
-double
+util::Mhz
 highestPStateMhz()
 {
     return pstateTableMhz().front();
 }
 
-double
+util::Mhz
 lowestPStateMhz()
 {
     return pstateTableMhz().back();
 }
 
-double
-pstateAtOrBelowMhz(double f_mhz)
+util::Mhz
+pstateAtOrBelowMhz(util::Mhz f_req)
 {
-    for (double f : pstateTableMhz()) {
-        if (f <= f_mhz + 1e-9)
+    for (util::Mhz f : pstateTableMhz()) {
+        if (f <= f_req + util::Mhz{1e-9})
             return f;
     }
     return lowestPStateMhz();

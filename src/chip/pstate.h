@@ -11,18 +11,20 @@
 
 #include <vector>
 
+#include "util/quantity.h"
+
 namespace atmsim::chip {
 
-/** @return P-state frequencies in MHz, highest first. */
-const std::vector<double> &pstateTableMhz();
+/** @return P-state frequencies, highest first. */
+const std::vector<util::Mhz> &pstateTableMhz();
 
-/** Highest (nominal) p-state frequency (MHz). */
-double highestPStateMhz();
+/** Highest (nominal) p-state frequency. */
+util::Mhz highestPStateMhz();
 
-/** Lowest p-state frequency (MHz). */
-double lowestPStateMhz();
+/** Lowest p-state frequency. */
+util::Mhz lowestPStateMhz();
 
-/** Closest p-state at or below the requested frequency (MHz). */
-double pstateAtOrBelowMhz(double f_mhz);
+/** Closest p-state at or below the requested frequency. */
+util::Mhz pstateAtOrBelowMhz(util::Mhz f);
 
 } // namespace atmsim::chip

@@ -9,35 +9,37 @@
 
 #pragma once
 
+#include "util/quantity.h"
+
 namespace atmsim::circuit {
 
-/** Nominal supply voltage of the 4.2 GHz p-state (V). */
-constexpr double kVddNominal = 1.25;
+/** Nominal supply voltage of the 4.2 GHz p-state. */
+constexpr util::Volts kVddNominal{1.25};
 
-/** Nominal die temperature for delay normalization (degC). */
-constexpr double kTempNominalC = 45.0;
+/** Nominal die temperature for delay normalization. */
+constexpr util::Celsius kTempNominal{45.0};
 
-/** Chip-wide static-margin frequency: the 4.2 GHz p-state (MHz). */
-constexpr double kStaticMarginMhz = 4200.0;
+/** Chip-wide static-margin frequency: the 4.2 GHz p-state. */
+constexpr util::Mhz kStaticMarginMhz{4200.0};
 
-/** Lowest DVFS p-state frequency (MHz). */
-constexpr double kPStateMinMhz = 2100.0;
+/** Lowest DVFS p-state frequency. */
+constexpr util::Mhz kPStateMinMhz{2100.0};
 
-/** Default (factory preset) ATM idle frequency target (MHz). */
-constexpr double kDefaultAtmIdleMhz = 4600.0;
+/** Default (factory preset) ATM idle frequency target. */
+constexpr util::Mhz kDefaultAtmIdleMhz{4600.0};
 
 /**
  * Residual timing slack the DPLL control loop maintains above the
- * violation threshold (ps). The loop servoes the clock period to
+ * violation threshold. The loop servoes the clock period to
  * CPM-observed delay plus this slack.
  */
-constexpr double kDpllTargetSlackPs = 6.0;
+constexpr util::Picoseconds kDpllTargetSlack{6.0};
 
-/** Time quantum of one CPM output inverter (ps). */
-constexpr double kInverterStepPs = 1.5;
+/** Time quantum of one CPM output inverter. */
+constexpr util::Picoseconds kInverterStep{1.5};
 
-/** Alpha-power-law threshold voltage (V). */
-constexpr double kVth = 0.35;
+/** Alpha-power-law threshold voltage. */
+constexpr util::Volts kVth{0.35};
 
 /** Alpha-power-law velocity-saturation exponent. */
 constexpr double kAlpha = 1.3;
@@ -45,8 +47,8 @@ constexpr double kAlpha = 1.3;
 /** Fractional delay increase per degC above nominal. */
 constexpr double kTempDelayCoeffPerC = 3.0e-4;
 
-/** Memory nest (fabric + LLC + DRAM path) clock, fixed (MHz). */
-constexpr double kNestFrequencyMhz = 2000.0;
+/** Memory nest (fabric + LLC + DRAM path) clock, fixed. */
+constexpr util::Mhz kNestFrequencyMhz{2000.0};
 
 /** Number of cores per processor chip. */
 constexpr int kCoresPerChip = 8;

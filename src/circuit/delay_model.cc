@@ -7,79 +7,80 @@
 
 namespace atmsim::circuit {
 
-DelayModel::DelayModel(double vth, double alpha, double v_nominal,
-                       double t_nominal_c, double temp_coeff)
-    : vth_(vth), alpha_(alpha), vNominal_(v_nominal),
-      tNominalC_(t_nominal_c), tempCoeff_(temp_coeff)
+DelayModel::DelayModel(Volts vth, double alpha, Volts v_nominal,
+                       Celsius t_nominal, double temp_coeff)
+    : vth_(vth), alpha_(alpha), vNominal_(v_nominal), tNominal_(t_nominal),
+      tempCoeff_(temp_coeff)
 {
     if (v_nominal <= vth)
-        util::fatal("nominal voltage ", v_nominal,
-                    " must exceed threshold ", vth);
-    rawNominal_ = raw(v_nominal);
+        util::fatal("nominal voltage ", v_nominal.value(),
+                    " must exceed threshold ", vth.value());
+    rawNominal_ = raw(v_nominal.value());
 }
 
 DelayModel
 DelayModel::makeDefault()
 {
-    return DelayModel(kVth, kAlpha, kVddNominal, kTempNominalC,
+    return DelayModel(kVth, kAlpha, kVddNominal, kTempNominal,
                       kTempDelayCoeffPerC);
 }
 
 double
 DelayModel::raw(double v) const
 {
-    return v / std::pow(v - vth_, alpha_);
+    return v / std::pow(v - vth_.value(), alpha_);
 }
 
 double
-DelayModel::factor(double v, double t_c) const
+DelayModel::factor(Volts v, Celsius t) const
 {
     if (v <= vth_)
-        util::fatal("supply voltage ", v, " V at or below threshold ",
-                    vth_, " V");
-    const double volt_part = raw(v) / rawNominal_;
-    const double temp_part = 1.0 + tempCoeff_ * (t_c - tNominalC_);
+        util::fatal("supply voltage ", v.value(), " V at or below threshold ",
+                    vth_.value(), " V");
+    const double volt_part = raw(v.value()) / rawNominal_;
+    const double temp_part = 1.0 + tempCoeff_ * (t - tNominal_).value();
     return volt_part * temp_part;
 }
 
 double
-DelayModel::dFactorDv(double v, double t_c) const
+DelayModel::dFactorDv(Volts v, Celsius t) const
 {
     // d/dV [ V (V-Vth)^-a ] = (V-Vth)^-a - a V (V-Vth)^-(a+1)
-    const double body = v - vth_;
+    const double body = (v - vth_).value();
     const double draw = std::pow(body, -alpha_)
-                      - alpha_ * v * std::pow(body, -(alpha_ + 1.0));
-    const double temp_part = 1.0 + tempCoeff_ * (t_c - tNominalC_);
+                      - alpha_ * v.value() * std::pow(body, -(alpha_ + 1.0));
+    const double temp_part = 1.0 + tempCoeff_ * (t - tNominal_).value();
     return draw / rawNominal_ * temp_part;
 }
 
 double
-DelayModel::sensitivityPerVolt(double v, double t_c) const
+DelayModel::sensitivityPerVolt(Volts v, Celsius t) const
 {
-    return -dFactorDv(v, t_c) / factor(v, t_c);
+    return -dFactorDv(v, t) / factor(v, t);
 }
 
-double
-DelayModel::voltageForFactor(double target, double t_c) const
+Volts
+DelayModel::voltageForFactor(double target, Celsius t) const
 {
     if (target <= 0.0)
         util::fatal("delay factor target must be positive, got ", target);
-    double v = vNominal_;
+    double v = vNominal_.value();
+    const double floor = vth_.value() + 1e-4;
     for (int iter = 0; iter < 60; ++iter) {
-        const double f = factor(v, t_c) - target;
-        const double df = dFactorDv(v, t_c);
+        const double f = factor(Volts{v}, t) - target;
+        const double df = dFactorDv(Volts{v}, t);
         const double step = f / df;
         double next = v - step;
         // Keep the iterate in the valid domain.
-        if (next <= vth_ + 1e-4)
-            next = (v + vth_ + 1e-4) / 2.0;
+        if (next <= floor)
+            next = (v + floor) / 2.0;
         if (std::abs(next - v) < 1e-12) {
             v = next;
             break;
         }
         v = next;
     }
-    return v;
+    return Volts{v};
 }
 
 } // namespace atmsim::circuit

@@ -12,21 +12,26 @@
 
 #pragma once
 
+#include "util/quantity.h"
+
 namespace atmsim::circuit {
+
+using util::Celsius;
+using util::Volts;
 
 /** Parameterized alpha-power-law delay model. */
 class DelayModel
 {
   public:
     /**
-     * @param vth Threshold voltage (V).
+     * @param vth Threshold voltage.
      * @param alpha Velocity saturation exponent.
      * @param v_nominal Normalization voltage (factor == 1 there).
-     * @param t_nominal_c Normalization temperature (degC).
+     * @param t_nominal Normalization temperature.
      * @param temp_coeff Fractional delay increase per degC.
      */
-    DelayModel(double vth, double alpha, double v_nominal,
-               double t_nominal_c, double temp_coeff);
+    DelayModel(Volts vth, double alpha, Volts v_nominal, Celsius t_nominal,
+               double temp_coeff);
 
     /** Construct with the platform constants from constants.h. */
     static DelayModel makeDefault();
@@ -34,43 +39,43 @@ class DelayModel
     /**
      * Relative delay at (v, t) versus the nominal point.
      *
-     * @param v Supply voltage (V); must exceed Vth.
-     * @param t_c Temperature (degC).
+     * @param v Supply voltage; must exceed Vth.
+     * @param t Temperature.
      * @return Multiplicative delay factor (1.0 at nominal).
      */
-    double factor(double v, double t_c) const;
+    double factor(Volts v, Celsius t) const;
 
     /** Partial derivative of factor() with respect to voltage (1/V). */
-    double dFactorDv(double v, double t_c) const;
+    double dFactorDv(Volts v, Celsius t) const;
 
     /**
      * Local voltage sensitivity of delay: -d(ln d)/dV at (v, t), in
      * fractional delay change per volt. Positive number (delay grows
      * as voltage drops). About 0.64/V at the nominal point.
      */
-    double sensitivityPerVolt(double v, double t_c) const;
+    double sensitivityPerVolt(Volts v, Celsius t) const;
 
     /**
      * Invert factor(): find the voltage at which the delay factor
      * equals the target (Newton iteration).
      *
      * @param target Desired delay factor (> 0).
-     * @param t_c Temperature (degC).
+     * @param t Temperature.
      */
-    double voltageForFactor(double target, double t_c) const;
+    Volts voltageForFactor(double target, Celsius t) const;
 
-    double vth() const { return vth_; }
-    double vNominal() const { return vNominal_; }
-    double tNominalC() const { return tNominalC_; }
+    Volts vth() const { return vth_; }
+    Volts vNominal() const { return vNominal_; }
+    Celsius tNominal() const { return tNominal_; }
 
   private:
-    /** Raw (unnormalized) alpha-power delay. */
+    /** Raw (unnormalized) alpha-power delay on the bare voltage. */
     double raw(double v) const;
 
-    double vth_;
+    Volts vth_;
     double alpha_;
-    double vNominal_;
-    double tNominalC_;
+    Volts vNominal_;
+    Celsius tNominal_;
     double tempCoeff_;
     double rawNominal_;
 };

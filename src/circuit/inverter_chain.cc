@@ -7,29 +7,29 @@
 
 namespace atmsim::circuit {
 
-InverterChain::InverterChain(double step_ps, int length)
-    : stepPs_(step_ps), length_(length)
+InverterChain::InverterChain(Picoseconds step, int length)
+    : step_(step), length_(length)
 {
-    if (step_ps <= 0.0)
-        util::fatal("inverter step must be positive, got ", step_ps);
+    if (step <= Picoseconds{0.0})
+        util::fatal("inverter step must be positive, got ", step.value());
     if (length <= 0)
         util::fatal("inverter chain length must be positive, got ", length);
 }
 
 int
-InverterChain::quantize(double slack_ps, double delay_factor) const
+InverterChain::quantize(Picoseconds slack, double delay_factor) const
 {
-    if (slack_ps <= 0.0)
+    if (slack <= Picoseconds{0.0})
         return 0;
-    const double effective_step = stepPs_ * delay_factor;
-    const int count = static_cast<int>(slack_ps / effective_step);
+    const double effective_step = step_.value() * delay_factor;
+    const int count = static_cast<int>(slack.value() / effective_step);
     return std::min(count, length_);
 }
 
-double
+Picoseconds
 InverterChain::toPs(int count) const
 {
-    return static_cast<double>(std::clamp(count, 0, length_)) * stepPs_;
+    return step_ * static_cast<double>(std::clamp(count, 0, length_));
 }
 
 } // namespace atmsim::circuit

@@ -8,36 +8,40 @@
 
 #pragma once
 
+#include "util/quantity.h"
+
 namespace atmsim::circuit {
+
+using util::Picoseconds;
 
 /** Quantizing inverter chain at the tail of a CPM. */
 class InverterChain
 {
   public:
     /**
-     * @param step_ps Delay of one inverter stage at nominal conditions.
+     * @param step Delay of one inverter stage at nominal conditions.
      * @param length Number of inverters in the chain (output saturates).
      */
-    InverterChain(double step_ps, int length);
+    InverterChain(Picoseconds step, int length);
 
     /**
      * Quantize a slack measurement.
      *
-     * @param slack_ps Remaining slack in the cycle (may be negative).
+     * @param slack Remaining slack in the cycle (may be negative).
      * @param delay_factor Environmental delay factor scaling the
      *        inverter delays themselves.
      * @return Inverter count in [0, length].
      */
-    int quantize(double slack_ps, double delay_factor) const;
+    int quantize(Picoseconds slack, double delay_factor) const;
 
-    /** Convert an inverter count back to picoseconds (nominal). */
-    double toPs(int count) const;
+    /** Convert an inverter count back to a time (nominal). */
+    Picoseconds toPs(int count) const;
 
-    double stepPs() const { return stepPs_; }
+    Picoseconds stepPs() const { return step_; }
     int length() const { return length_; }
 
   private:
-    double stepPs_;
+    Picoseconds step_;
     int length_;
 };
 

@@ -7,8 +7,11 @@
 #pragma once
 
 #include "circuit/delay_model.h"
+#include "util/quantity.h"
 
 namespace atmsim::circuit {
+
+using util::Picoseconds;
 
 /**
  * A timing path whose delay scales with voltage/temperature via the
@@ -20,31 +23,31 @@ class PathDelay
     PathDelay() = default;
 
     /**
-     * @param nominal_ps Path delay at nominal V/T for a speed-1.0 core.
+     * @param nominal Path delay at nominal V/T for a speed-1.0 core.
      */
-    explicit PathDelay(double nominal_ps) : nominalPs_(nominal_ps) {}
+    explicit PathDelay(Picoseconds nominal) : nominal_(nominal) {}
 
     /**
      * Evaluate the path delay under given conditions.
      *
      * @param model Shared delay model.
-     * @param v Local supply voltage (V).
-     * @param t_c Local temperature (degC).
+     * @param v Local supply voltage.
+     * @param t Local temperature.
      * @param speed_factor Per-core process speed multiplier
      *        (< 1.0 means a faster-than-typical core).
      */
-    double
-    evaluate(const DelayModel &model, double v, double t_c,
+    Picoseconds
+    evaluate(const DelayModel &model, Volts v, Celsius t,
              double speed_factor) const
     {
-        return nominalPs_ * model.factor(v, t_c) * speed_factor;
+        return nominal_ * (model.factor(v, t) * speed_factor);
     }
 
-    double nominalPs() const { return nominalPs_; }
-    void setNominalPs(double ps) { nominalPs_ = ps; }
+    Picoseconds nominalPs() const { return nominal_; }
+    void setNominalPs(Picoseconds ps) { nominal_ = ps; }
 
   private:
-    double nominalPs_ = 0.0;
+    Picoseconds nominal_{0.0};
 };
 
 } // namespace atmsim::circuit

@@ -9,6 +9,9 @@
 
 namespace atmsim::core {
 
+using util::CpmSteps;
+using util::Picoseconds;
+
 int
 LimitDistribution::limit() const
 {
@@ -40,9 +43,12 @@ Characterizer::trialSafe(int core, int reduction,
 
     if (config_.mode == CharacterizerConfig::Mode::Analytic) {
         const double extra = variation::scenarioExtraPs(
-            silicon, chip::Chip::pathExposurePs(silicon, traits),
+            silicon,
+            chip::Chip::pathExposurePs(silicon, traits).value(),
             traits.droopMv);
-        return variation::analyticSafe(silicon, reduction, extra, noise);
+        return variation::analyticSafe(silicon, CpmSteps{reduction},
+                                       Picoseconds{extra},
+                                       Picoseconds{noise});
     }
 
     // Engine mode: place the workload on the core under test (the
@@ -53,11 +59,11 @@ Characterizer::trialSafe(int core, int reduction,
         traits.stress == workload::StressClass::Virus;
     for (int c = 0; c < chip_->coreCount(); ++c) {
         chip_->core(c).setMode(chip::CoreMode::AtmOverclock);
-        chip_->core(c).setCpmReduction(0);
+        chip_->core(c).setCpmReduction(CpmSteps{0});
         if (chip_wide || c == core)
             chip_->assignWorkload(c, &traits);
     }
-    chip_->core(core).setCpmReduction(reduction);
+    chip_->core(core).setCpmReduction(CpmSteps{reduction});
 
     sim::SimConfig sim_config;
     sim_config.runNoisePs = noise;
@@ -70,7 +76,7 @@ Characterizer::trialSafe(int core, int reduction,
 
     // Restore a neutral state.
     chip_->clearAssignments();
-    chip_->core(core).setCpmReduction(0);
+    chip_->core(core).setCpmReduction(CpmSteps{0});
 
     for (const auto &ev : result.violations) {
         if (ev.core == core)
@@ -180,8 +186,10 @@ Characterizer::characterizeCore(int core)
     limits.normal = normal;
     limits.worst = worst;
 
-    limits.idleLimitFreqMhz = silicon.atmFrequencyMhz(limits.idle, 1.0);
-    limits.worstLimitFreqMhz = silicon.atmFrequencyMhz(limits.worst, 1.0);
+    limits.idleLimitFreqMhz =
+        silicon.atmFrequencyMhz(CpmSteps{limits.idle}, 1.0).value();
+    limits.worstLimitFreqMhz =
+        silicon.atmFrequencyMhz(CpmSteps{limits.worst}, 1.0).value();
     return limits;
 }
 

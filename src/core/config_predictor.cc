@@ -108,13 +108,15 @@ ConfigPredictor::fit(
                 characterizer.appLimit(c, ubench, *probe).limit();
             ProbeObservation obs;
             obs.droopMv = probe->droopMv;
-            obs.periodHiPs = silicon.atmPeriodPs(limit, 1.0);
+            obs.periodHiPs =
+                silicon.atmPeriodPs(util::CpmSteps{limit}, 1.0).value();
             // When the probe's limit equals the ceiling, the crossing
             // may lie anywhere below; bound it loosely by one
             // further step if available.
             obs.periodLoPs =
                 limit + 1 <= silicon.presetSteps
-                    ? silicon.atmPeriodPs(limit + 1, 1.0)
+                    ? silicon.atmPeriodPs(util::CpmSteps{limit + 1}, 1.0)
+                          .value()
                     : 0.0;
             if (limit == ubench) {
                 // The procedure never explores above the uBench
@@ -139,7 +141,8 @@ ConfigPredictor::predictLimit(int core,
 
     int best = 0;
     for (int k = 1; k <= model.ubenchLimit; ++k) {
-        if (silicon.atmPeriodPs(k, 1.0) < required)
+        if (silicon.atmPeriodPs(util::CpmSteps{k}, 1.0).value()
+            < required)
             break;
         best = k;
     }

@@ -32,8 +32,8 @@ FreqPredictor::fit(chip::Chip *target, int sweep_points)
         const chip::ChipSteadyState st = target->solveSteadyState();
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            power_samples[ci].push_back(st.chipPowerW);
-            freq_samples[ci].push_back(st.coreFreqMhz[ci]);
+            power_samples[ci].push_back(st.chipPowerW.value());
+            freq_samples[ci].push_back(st.coreFreqMhz[ci].value());
         }
     }
     target->clearAssignments();

@@ -58,12 +58,16 @@ Governor::reductions(GovernorPolicy policy,
             // scenario ceiling established by characterization.
             const auto &silicon = chip_->core(c).silicon();
             const double extra = variation::scenarioExtraPs(
-                silicon, chip::Chip::pathExposurePs(silicon, *app),
+                silicon,
+                chip::Chip::pathExposurePs(silicon, *app).value(),
                 app->droopMv);
             const double worst_noise = silicon.idleNoiseFloorPs
                                      + silicon.idleNoiseRangePs;
-            const int app_limit = variation::analyticMaxSafeReduction(
-                silicon, extra, worst_noise);
+            const int app_limit =
+                variation::analyticMaxSafeReduction(
+                    silicon, util::Picoseconds{extra},
+                    util::Picoseconds{worst_noise})
+                    .value();
             out[static_cast<std::size_t>(c)] = std::max(
                 std::min(app_limit, limits_.byIndex(c).ubench)
                 - rollback_, 0);
@@ -83,10 +87,11 @@ Governor::apply(GovernorPolicy policy, const workload::WorkloadTraits *app)
         if (policy == GovernorPolicy::StaticMargin) {
             core.setMode(chip::CoreMode::FixedFrequency);
             core.setFixedFrequencyMhz(circuit::kStaticMarginMhz);
-            core.setCpmReduction(0);
+            core.setCpmReduction(util::CpmSteps{0});
         } else {
             core.setMode(chip::CoreMode::AtmOverclock);
-            core.setCpmReduction(red[static_cast<std::size_t>(c)]);
+            core.setCpmReduction(
+                util::CpmSteps{red[static_cast<std::size_t>(c)]});
         }
     }
 }

@@ -70,8 +70,12 @@ AtmManager::pickCriticalCore(const ScheduleRequest &request) const
     int best = candidates.front();
     double best_f = -1.0;
     for (int c : candidates) {
-        const double f = chip_->core(c).silicon().atmFrequencyMhz(
-            red[static_cast<std::size_t>(c)], 1.0);
+        const double f =
+            chip_->core(c)
+                .silicon()
+                .atmFrequencyMhz(
+                    util::CpmSteps{red[static_cast<std::size_t>(c)]}, 1.0)
+                .value();
         if (f > best_f) {
             best_f = f;
             best = c;
@@ -107,10 +111,10 @@ AtmManager::finish(Scenario scenario, const ScheduleRequest &request,
     result.scenario = scenario;
     result.criticalCore = critical_core;
     result.criticalFreqMhz =
-        st.coreFreqMhz[static_cast<std::size_t>(critical_core)];
+        st.coreFreqMhz[static_cast<std::size_t>(critical_core)].value();
     result.criticalPerf =
         request.critical->perfRelative(result.criticalFreqMhz);
-    result.chipPowerW = st.chipPowerW;
+    result.chipPowerW = st.chipPowerW.value();
     result.powerBudgetW = budget_w;
     result.qosMet = result.criticalPerf >= request.qosTarget - 1e-9;
     result.backgroundCapMhz.assign(
@@ -121,7 +125,7 @@ AtmManager::finish(Scenario scenario, const ScheduleRequest &request,
         const chip::AtmCore &core = chip_->core(c);
         if (core.mode() == chip::CoreMode::FixedFrequency) {
             result.backgroundCapMhz[static_cast<std::size_t>(c)] =
-                core.fixedFrequencyMhz();
+                core.fixedFrequencyMhz().value();
         } else if (core.mode() == chip::CoreMode::Gated) {
             result.backgroundCapMhz[static_cast<std::size_t>(c)] = -1.0;
         }
@@ -162,9 +166,14 @@ AtmManager::evaluate(Scenario scenario, const ScheduleRequest &request)
             governor_.reductions(GovernorPolicy::FineTuned);
         std::vector<std::pair<double, int>> speed;
         for (int c = 0; c < chip_->coreCount(); ++c) {
-            speed.emplace_back(chip_->core(c).silicon().atmFrequencyMhz(
-                                   red[static_cast<std::size_t>(c)], 1.0),
-                               c);
+            speed.emplace_back(
+                chip_->core(c)
+                    .silicon()
+                    .atmFrequencyMhz(
+                        util::CpmSteps{red[static_cast<std::size_t>(c)]},
+                        1.0)
+                    .value(),
+                c);
         }
         std::sort(speed.begin(), speed.end());
         const int core = speed[speed.size() / 2].second;
@@ -206,7 +215,7 @@ AtmManager::evaluate(Scenario scenario, const ScheduleRequest &request)
         for (int iter = 0; iter < 256; ++iter) {
             const chip::ChipSteadyState st = chip_->solveSteadyState();
             const double perf = request.critical->perfRelative(
-                st.coreFreqMhz[static_cast<std::size_t>(core)]);
+                st.coreFreqMhz[static_cast<std::size_t>(core)].value());
             if (perf >= request.qosTarget - 1e-9)
                 break;
             // Find the hungriest throttleable background core.
@@ -222,11 +231,11 @@ AtmManager::evaluate(Scenario scenario, const ScheduleRequest &request)
                 const bool at_floor =
                     bg.mode() == chip::CoreMode::FixedFrequency
                     && bg.fixedFrequencyMhz()
-                           <= chip::lowestPStateMhz() + 1e-9;
+                           <= chip::lowestPStateMhz() + util::Mhz{1e-9};
                 if (!at_floor)
                     all_floor = false;
                 const double p =
-                    st.corePowerW[static_cast<std::size_t>(c)];
+                    st.corePowerW[static_cast<std::size_t>(c)].value();
                 if (!at_floor && p > victim_power) {
                     victim_power = p;
                     victim = c;
@@ -244,7 +253,8 @@ AtmManager::evaluate(Scenario scenario, const ScheduleRequest &request)
                             == chip::CoreMode::Gated)
                             continue;
                         const double p =
-                            st.corePowerW[static_cast<std::size_t>(c)];
+                            st.corePowerW[static_cast<std::size_t>(c)]
+                                .value();
                         if (p > gate_power) {
                             gate_power = p;
                             gate = c;
@@ -263,7 +273,7 @@ AtmManager::evaluate(Scenario scenario, const ScheduleRequest &request)
                 bg.setFixedFrequencyMhz(chip::highestPStateMhz());
             } else {
                 bg.setFixedFrequencyMhz(chip::pstateAtOrBelowMhz(
-                    bg.fixedFrequencyMhz() - 1.0));
+                    bg.fixedFrequencyMhz() - util::Mhz{1.0}));
             }
         }
         return finish(scenario, request, core, budget_w);

@@ -69,9 +69,10 @@ buildChipReport(chip::Chip *target, int robust_spread)
     report.speedDifferentialMhz = deployed.speedDifferentialMhz();
     const chip::ChipSteadyState env =
         tester.stressEnvironment(deployed.reductionPerCore);
-    report.stressPowerW = env.chipPowerW;
+    report.stressPowerW = env.chipPowerW.value();
     report.stressMaxTempC =
-        *std::max_element(env.coreTempC.begin(), env.coreTempC.end());
+        std::max_element(env.coreTempC.begin(), env.coreTempC.end())
+            ->value();
 
     // Fit Eq. 1 on the deployed configuration.
     Governor governor(target, limits);

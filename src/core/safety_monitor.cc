@@ -88,7 +88,7 @@ SafetyMonitor::restartAtm(int core, int reduction)
 {
     chip::AtmCore &c = chip_->core(core);
     c.setMode(chip::CoreMode::AtmOverclock);
-    c.setCpmReduction(reduction);
+    c.setCpmReduction(util::CpmSteps{reduction});
     c.resetClock(chip_->pdn().coreV(core),
                  chip_->thermal().coreTempC(core));
 }
@@ -209,8 +209,8 @@ SafetyMonitor::onSample(double now_ns)
         // clock; in Fallback the DPLL is out of the loop).
         if (c.mode() != chip::CoreMode::AtmOverclock)
             continue;
-        const double v = chip_->pdn().coreV(core);
-        const double t_c = chip_->thermal().coreTempC(core);
+        const util::Volts v = chip_->pdn().coreV(core);
+        const util::Celsius t_c = chip_->thermal().coreTempC(core);
         bool anomaly = false;
 
         // Phantom-margin guard: the analytic steady state at nominal
@@ -218,10 +218,15 @@ SafetyMonitor::onSample(double now_ns)
         // programmed reduction (droops only ever slow it down, and
         // overshoot above nominal is millivolts). Clearing it means
         // the loop is acting on margin that is not really there.
-        const double honest_mhz = c.silicon().atmFrequencyMhz(
-            c.cpmReduction(),
-            chip_->delayModel().factor(circuit::kVddNominal, t_c));
-        if (c.frequencyMhz() > honest_mhz * (1.0 + config_.freqGuardFrac))
+        const double honest_mhz =
+            c.silicon()
+                .atmFrequencyMhz(
+                    c.cpmReduction(),
+                    chip_->delayModel().factor(circuit::kVddNominal,
+                                               t_c))
+                .value();
+        if (c.frequencyMhz().value()
+            > honest_mhz * (1.0 + config_.freqGuardFrac))
             anomaly = true;
 
         // Stuck-sensor guard: probe every site at a slightly longer
@@ -232,9 +237,10 @@ SafetyMonitor::onSample(double now_ns)
         // Probes agreeing at zero (a deep droop eating all slack) are
         // excluded: a canary stuck at zero only drags the loop slow,
         // a performance fault rather than a safety hazard.
-        const double period = c.periodPs();
-        const double slow_ps = period * (1.0 + config_.probePeriodFrac);
-        const double fast_ps =
+        const util::Picoseconds period = c.periodPs();
+        const util::Picoseconds slow_ps =
+            period * (1.0 + config_.probePeriodFrac);
+        const util::Picoseconds fast_ps =
             period * (1.0 - 4.0 * config_.probePeriodFrac);
         bool insensitive = false;
         for (std::size_t s = 0; s < c.cpmBank().siteCount(); ++s) {

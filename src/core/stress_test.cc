@@ -96,7 +96,10 @@ StressTester::deriveDeployedConfig(int rollback_steps)
         const int deployed = std::max(limit - rollback_steps, 0);
         config.reductionPerCore.push_back(deployed);
         config.idleFreqMhz.push_back(
-            chip_->core(c).silicon().atmFrequencyMhz(deployed, 1.0));
+            chip_->core(c)
+                .silicon()
+                .atmFrequencyMhz(util::CpmSteps{deployed}, 1.0)
+                .value());
     }
     return config;
 }
@@ -111,13 +114,13 @@ StressTester::stressEnvironment(const std::vector<int> &reductions)
     for (int c = 0; c < chip_->coreCount(); ++c) {
         chip_->core(c).setMode(chip::CoreMode::AtmOverclock);
         chip_->core(c).setCpmReduction(
-            reductions[static_cast<std::size_t>(c)]);
+            util::CpmSteps{reductions[static_cast<std::size_t>(c)]});
         chip_->assignWorkload(c, &virus);
     }
     chip::ChipSteadyState st = chip_->solveSteadyState();
     chip_->clearAssignments();
     for (int c = 0; c < chip_->coreCount(); ++c)
-        chip_->core(c).setCpmReduction(0);
+        chip_->core(c).setCpmReduction(util::CpmSteps{0});
     return st;
 }
 

@@ -44,8 +44,11 @@ SystemManager::deployedFreqMhz(int chip, int core) const
     if (chip < 0 || chip >= chipCount())
         util::fatal("system manager: chip ", chip, " out of range");
     const LimitTable &table = tables_[static_cast<std::size_t>(chip)];
-    return server_->chip(chip).core(core).silicon().atmFrequencyMhz(
-        table.byIndex(core).worst, 1.0);
+    return server_->chip(chip)
+        .core(core)
+        .silicon()
+        .atmFrequencyMhz(util::CpmSteps{table.byIndex(core).worst}, 1.0)
+        .value();
 }
 
 SystemScheduleResult
@@ -129,8 +132,10 @@ SystemManager::scheduleBatch(const std::vector<CriticalJob> &jobs,
                 const JobPlacement &placement = result.placements[j];
                 if (placement.chip != p)
                     continue;
-                const double f = st.coreFreqMhz[static_cast<std::size_t>(
-                    placement.core)];
+                const double f =
+                    st.coreFreqMhz[static_cast<std::size_t>(
+                                       placement.core)]
+                        .value();
                 if (jobs[j].app->perfRelative(f)
                     < jobs[j].qosTarget - 1e-9) {
                     all_met = false;
@@ -155,11 +160,11 @@ SystemManager::scheduleBatch(const std::vector<CriticalJob> &jobs,
                 const bool at_floor =
                     bg.mode() == chip::CoreMode::FixedFrequency
                     && bg.fixedFrequencyMhz()
-                           <= chip::lowestPStateMhz() + 1e-9;
+                           <= chip::lowestPStateMhz() + util::Mhz{1e-9};
                 if (at_floor)
                     continue;
                 const double power =
-                    st.corePowerW[static_cast<std::size_t>(c)];
+                    st.corePowerW[static_cast<std::size_t>(c)].value();
                 if (power > victim_power) {
                     victim_power = power;
                     victim = c;
@@ -182,7 +187,8 @@ SystemManager::scheduleBatch(const std::vector<CriticalJob> &jobs,
                     if (chip.core(c).mode() == chip::CoreMode::Gated)
                         continue;
                     const double power =
-                        st.corePowerW[static_cast<std::size_t>(c)];
+                        st.corePowerW[static_cast<std::size_t>(c)]
+                            .value();
                     if (power > gate_power) {
                         gate_power = power;
                         gate = c;
@@ -199,7 +205,7 @@ SystemManager::scheduleBatch(const std::vector<CriticalJob> &jobs,
                 bg.setFixedFrequencyMhz(chip::highestPStateMhz());
             } else {
                 bg.setFixedFrequencyMhz(chip::pstateAtOrBelowMhz(
-                    bg.fixedFrequencyMhz() - 1.0));
+                    bg.fixedFrequencyMhz() - util::Mhz{1.0}));
             }
         }
         result.chipStates.push_back(chip.solveSteadyState());
@@ -211,7 +217,8 @@ SystemManager::scheduleBatch(const std::vector<CriticalJob> &jobs,
         const chip::ChipSteadyState &st =
             result.chipStates[static_cast<std::size_t>(placement.chip)];
         const double f =
-            st.coreFreqMhz[static_cast<std::size_t>(placement.core)];
+            st.coreFreqMhz[static_cast<std::size_t>(placement.core)]
+                .value();
         placement.achievedPerf = jobs[j].app->perfRelative(f);
         placement.qosMet =
             placement.achievedPerf >= jobs[j].qosTarget - 1e-9;

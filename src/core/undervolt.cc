@@ -21,7 +21,7 @@ UndervoltController::UndervoltController(chip::Chip *target,
         util::panic("UndervoltController constructed with null chip");
     if (target_mhz <= 0.0)
         util::fatal("frequency target must be positive, got ", target_mhz);
-    originalSetpointV_ = chip_->pdn().vrm().setpointV();
+    originalSetpointV_ = chip_->pdn().vrm().setpointV().value();
     if (vdd_floor_v >= originalSetpointV_)
         util::fatal("V_dd floor ", vdd_floor_v,
                     " V at or above the current setpoint");
@@ -30,26 +30,26 @@ UndervoltController::UndervoltController(chip::Chip *target,
 double
 UndervoltController::slowestAt(double setpoint_v) const
 {
-    chip_->pdn().vrm().setSetpointV(setpoint_v);
-    return chip_->solveSteadyState().minActiveFreqMhz();
+    chip_->pdn().vrm().setSetpointV(util::Volts{setpoint_v});
+    return chip_->solveSteadyState().minActiveFreqMhz().value();
 }
 
 UndervoltResult
 UndervoltController::solve()
 {
     UndervoltResult result;
-    chip_->pdn().vrm().setSetpointV(originalSetpointV_);
+    chip_->pdn().vrm().setSetpointV(util::Volts{originalSetpointV_});
     const chip::ChipSteadyState overclock = chip_->solveSteadyState();
-    result.overclockPowerW = overclock.chipPowerW;
+    result.overclockPowerW = overclock.chipPowerW.value();
 
-    if (overclock.minActiveFreqMhz() < targetMhz_) {
+    if (overclock.minActiveFreqMhz().value() < targetMhz_) {
         // The chip cannot meet the target even at full voltage: the
         // worst core limits undervolting to nothing (Sec. II).
         util::warn("undervolt target ", targetMhz_,
                    " MHz unreachable; keeping full V_dd");
         result.vrmSetpointV = originalSetpointV_;
-        result.undervoltPowerW = overclock.chipPowerW;
-        result.slowestCoreMhz = overclock.minActiveFreqMhz();
+        result.undervoltPowerW = overclock.chipPowerW.value();
+        result.slowestCoreMhz = overclock.minActiveFreqMhz().value();
         result.steady = overclock;
         return result;
     }
@@ -69,18 +69,18 @@ UndervoltController::solve()
         }
     }
 
-    chip_->pdn().vrm().setSetpointV(hi);
+    chip_->pdn().vrm().setSetpointV(util::Volts{hi});
     result.steady = chip_->solveSteadyState();
     result.vrmSetpointV = hi;
-    result.undervoltPowerW = result.steady.chipPowerW;
-    result.slowestCoreMhz = result.steady.minActiveFreqMhz();
+    result.undervoltPowerW = result.steady.chipPowerW.value();
+    result.slowestCoreMhz = result.steady.minActiveFreqMhz().value();
     return result;
 }
 
 void
 UndervoltController::restore()
 {
-    chip_->pdn().vrm().setSetpointV(originalSetpointV_);
+    chip_->pdn().vrm().setSetpointV(util::Volts{originalSetpointV_});
 }
 
 } // namespace atmsim::core

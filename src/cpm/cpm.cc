@@ -23,14 +23,14 @@ cpmSiteName(CpmSite site)
 Cpm::Cpm(const variation::CoreSiliconParams *core,
          const circuit::DelayModel *model, int site_index)
     : core_(core), model_(model),
-      chain_(circuit::kInverterStepPs, 24), siteIndex_(site_index)
+      chain_(circuit::kInverterStep, 24), siteIndex_(site_index)
 {
     if (!core || !model)
         util::panic("Cpm constructed with null core or model");
     if (site_index < 0 || site_index >= circuit::kCpmSitesPerCore)
         util::fatal("CPM site index ", site_index, " out of range");
-    configSteps_ = std::min(core_->presetSteps
-                            + core_->siteOffsets[site_index],
+    configSteps_ = std::min(CpmSteps{core_->presetSteps
+                                     + core_->siteOffsets[site_index]},
                             core_->maxConfig());
     if (site_index == 0) {
         synthScale_ = 1.0;
@@ -40,15 +40,17 @@ Cpm::Cpm(const variation::CoreSiliconParams *core,
         // extra preset offset never makes them report less slack than
         // the controlling site 0.
         const int offset = core_->siteOffsets[site_index];
+        const int max_cfg = core_->maxConfig().value();
         double max_gap = 0.0;
         for (int k = 0; k <= core_->presetSteps; ++k) {
             const int site_cfg = std::clamp(core_->presetSteps + offset - k,
-                                            0, core_->maxConfig());
+                                            0, max_cfg);
             const int base_cfg = std::clamp(core_->presetSteps - k, 0,
-                                            core_->maxConfig());
-            max_gap = std::max(max_gap,
-                               core_->insertedDelayPs(site_cfg)
-                               - core_->insertedDelayPs(base_cfg));
+                                            max_cfg);
+            max_gap = std::max(
+                max_gap,
+                (core_->insertedDelayPs(CpmSteps{site_cfg})
+                 - core_->insertedDelayPs(CpmSteps{base_cfg})).value());
         }
         synthScale_ = 1.0 - (max_gap + 2.0 + 0.4 * site_index)
                     / core_->synthPathPs;
@@ -56,37 +58,38 @@ Cpm::Cpm(const variation::CoreSiliconParams *core,
 }
 
 void
-Cpm::setConfigSteps(int steps)
+Cpm::setConfigSteps(CpmSteps steps)
 {
-    if (steps < 0 || steps > core_->maxConfig()) {
-        util::fatal("CPM config ", steps, " outside [0, ",
-                    core_->maxConfig(), "] on core ", core_->name);
+    if (steps < CpmSteps{0} || steps > core_->maxConfig()) {
+        util::fatal("CPM config ", steps.value(), " outside [0, ",
+                    core_->maxConfig().value(), "] on core ", core_->name);
     }
     configSteps_ = steps;
 }
 
-double
-Cpm::monitoredDelayPs(double v, double t_c) const
+Picoseconds
+Cpm::monitoredDelayPs(Volts v, Celsius t) const
 {
-    const int effective = std::max(configSteps_ - skippedSegments_, 0);
+    const CpmSteps effective =
+        std::max(configSteps_ - CpmSteps{skippedSegments_}, CpmSteps{0});
     const double nominal = core_->synthPathPs * synthScale_
-                         + core_->insertedDelayPs(effective);
-    return nominal * core_->speedFactor * model_->factor(v, t_c);
+                         + core_->insertedDelayPs(effective).value();
+    return Picoseconds{nominal * core_->speedFactor * model_->factor(v, t)};
 }
 
-double
-Cpm::slackPs(double period_ps, double v, double t_c) const
+Picoseconds
+Cpm::slackPs(Picoseconds period, Volts v, Celsius t) const
 {
-    return period_ps - monitoredDelayPs(v, t_c);
+    return period - monitoredDelayPs(v, t);
 }
 
 int
-Cpm::outputCount(double period_ps, double v, double t_c) const
+Cpm::outputCount(Picoseconds period, Volts v, Celsius t) const
 {
     if (stuckActive_)
         return stuckCount_;
-    const double factor = model_->factor(v, t_c) * core_->speedFactor;
-    return chain_.quantize(slackPs(period_ps, v, t_c), factor);
+    const double factor = model_->factor(v, t) * core_->speedFactor;
+    return chain_.quantize(slackPs(period, v, t), factor);
 }
 
 void

@@ -12,9 +12,15 @@
 
 #include "circuit/delay_model.h"
 #include "circuit/inverter_chain.h"
+#include "util/quantity.h"
 #include "variation/core_silicon.h"
 
 namespace atmsim::cpm {
+
+using util::Celsius;
+using util::CpmSteps;
+using util::Picoseconds;
+using util::Volts;
 
 /** CPM site locations within a core. */
 enum class CpmSite {
@@ -45,28 +51,28 @@ class Cpm
      * This is the service-processor command interface the paper uses
      * for fine-tuning.
      */
-    void setConfigSteps(int steps);
+    void setConfigSteps(CpmSteps steps);
 
     /** Current inserted-delay configuration. */
-    int configSteps() const { return configSteps_; }
+    CpmSteps configSteps() const { return configSteps_; }
 
     /** Site position. */
     int siteIndex() const { return siteIndex_; }
 
     /**
      * Delay of the monitored structure (inserted delay + synthetic
-     * path) under current conditions (ps).
+     * path) under current conditions.
      */
-    double monitoredDelayPs(double v, double t_c) const;
+    Picoseconds monitoredDelayPs(Volts v, Celsius t) const;
 
-    /** Leftover slack within a clock period (ps, may be negative). */
-    double slackPs(double period_ps, double v, double t_c) const;
+    /** Leftover slack within a clock period (may be negative). */
+    Picoseconds slackPs(Picoseconds period, Volts v, Celsius t) const;
 
     /**
      * The CPM's per-cycle integer output: the inverter count that
      * quantizes the slack.
      */
-    int outputCount(double period_ps, double v, double t_c) const;
+    int outputCount(Picoseconds period, Volts v, Celsius t) const;
 
     /** The quantizing chain (for unit conversion). */
     const circuit::InverterChain &chain() const { return chain_; }
@@ -99,7 +105,7 @@ class Cpm
     const circuit::DelayModel *model_;
     circuit::InverterChain chain_;
     int siteIndex_;
-    int configSteps_;
+    CpmSteps configSteps_;
 
     // Fault state (see injectStuckOutput / injectSkippedSegments).
     bool stuckActive_ = false;

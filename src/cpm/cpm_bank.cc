@@ -19,38 +19,40 @@ CpmBank::CpmBank(const variation::CoreSiliconParams *core,
 }
 
 void
-CpmBank::setReduction(int steps)
+CpmBank::setReduction(CpmSteps steps)
 {
-    if (steps < 0)
-        util::fatal("CPM reduction must be non-negative, got ", steps);
-    if (steps > core_->presetSteps) {
-        util::fatal("CPM reduction ", steps, " exceeds preset ",
+    if (steps < CpmSteps{0})
+        util::fatal("CPM reduction must be non-negative, got ",
+                    steps.value());
+    if (steps.value() > core_->presetSteps) {
+        util::fatal("CPM reduction ", steps.value(), " exceeds preset ",
                     core_->presetSteps, " on core ", core_->name);
     }
     for (auto &site : sites_) {
         const int preset = core_->presetSteps
                          + core_->siteOffsets[site.siteIndex()];
-        const int cfg = std::clamp(preset - steps, 0, core_->maxConfig());
-        site.setConfigSteps(cfg);
+        const int cfg = std::clamp(preset - steps.value(), 0,
+                                   core_->maxConfig().value());
+        site.setConfigSteps(CpmSteps{cfg});
     }
     reduction_ = steps;
 }
 
 int
-CpmBank::worstCount(double period_ps, double v, double t_c) const
+CpmBank::worstCount(Picoseconds period, Volts v, Celsius t) const
 {
-    int worst = sites_.front().outputCount(period_ps, v, t_c);
+    int worst = sites_.front().outputCount(period, v, t);
     for (std::size_t s = 1; s < sites_.size(); ++s)
-        worst = std::min(worst, sites_[s].outputCount(period_ps, v, t_c));
+        worst = std::min(worst, sites_[s].outputCount(period, v, t));
     return worst;
 }
 
-double
-CpmBank::worstMonitoredDelayPs(double v, double t_c) const
+Picoseconds
+CpmBank::worstMonitoredDelayPs(Volts v, Celsius t) const
 {
-    double worst = sites_.front().monitoredDelayPs(v, t_c);
+    Picoseconds worst = sites_.front().monitoredDelayPs(v, t);
     for (std::size_t s = 1; s < sites_.size(); ++s)
-        worst = std::max(worst, sites_[s].monitoredDelayPs(v, t_c));
+        worst = std::max(worst, sites_[s].monitoredDelayPs(v, t));
     return worst;
 }
 

@@ -31,16 +31,16 @@ class CpmBank
      *
      * @param steps Reduction steps (>= 0); clamped per site at 0.
      */
-    void setReduction(int steps);
+    void setReduction(CpmSteps steps);
 
     /** Current reduction from the preset. */
-    int reduction() const { return reduction_; }
+    CpmSteps reduction() const { return reduction_; }
 
     /** Worst (minimum) output count across the bank this cycle. */
-    int worstCount(double period_ps, double v, double t_c) const;
+    int worstCount(Picoseconds period, Volts v, Celsius t) const;
 
     /** Largest monitored delay across the bank (controlling site). */
-    double worstMonitoredDelayPs(double v, double t_c) const;
+    Picoseconds worstMonitoredDelayPs(Volts v, Celsius t) const;
 
     /** Access a site. */
     const Cpm &site(int index) const;
@@ -65,7 +65,7 @@ class CpmBank
   private:
     const variation::CoreSiliconParams *core_;
     std::vector<Cpm> sites_;
-    int reduction_ = 0;
+    CpmSteps reduction_{0};
 };
 
 } // namespace atmsim::cpm

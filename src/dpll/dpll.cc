@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "util/logging.h"
-#include "util/units.h"
 
 namespace atmsim::dpll {
 
@@ -11,17 +10,17 @@ Dpll::Dpll(const DpllParams &params) : params_(params)
 {
     if (params_.targetCounts <= params_.emergencyCounts)
         util::fatal("DPLL target must exceed the emergency threshold");
-    if (params_.minPeriodPs >= params_.maxPeriodPs)
+    if (params_.minPeriod >= params_.maxPeriod)
         util::fatal("DPLL period bounds inverted");
 }
 
 void
-Dpll::reset(double period_ps)
+Dpll::reset(Picoseconds period)
 {
-    periodPs_ = period_ps;
+    period_ = period;
     clampPeriod();
-    lastUpdateNs_ = -1e18;
-    lastEmergencyNs_ = -1e18;
+    lastUpdate_ = Nanoseconds{-1e18};
+    lastEmergency_ = Nanoseconds{-1e18};
     emergencies_ = 0;
     heldMargin_ = 0;
     heldValid_ = false;
@@ -34,7 +33,7 @@ Dpll::setSensorDropout(bool active)
 }
 
 void
-Dpll::observe(double now_ns, int margin_counts)
+Dpll::observe(Nanoseconds now, int margin_counts)
 {
     if (dropout_) {
         // The sensor input is gone; the loop keeps acting on the last
@@ -48,49 +47,48 @@ Dpll::observe(double now_ns, int margin_counts)
     }
     // Emergency fast path: immediate stretch, rate limited.
     if (margin_counts <= params_.emergencyCounts) {
-        if (now_ns - lastEmergencyNs_ >= params_.emergencyHoldoffNs) {
-            periodPs_ *= 1.0 + params_.emergencyStretchFrac;
-            lastEmergencyNs_ = now_ns;
+        if (now - lastEmergency_ >= params_.emergencyHoldoff) {
+            period_ *= 1.0 + params_.emergencyStretchFrac;
+            lastEmergency_ = now;
             ++emergencies_;
             clampPeriod();
         }
         // An emergency restarts the proportional interval so the slow
         // path does not immediately undo the stretch.
-        lastUpdateNs_ = now_ns;
+        lastUpdate_ = now;
         return;
     }
 
-    if (now_ns - lastUpdateNs_ < params_.updateIntervalNs)
+    if (now - lastUpdate_ < params_.updateInterval)
         return;
-    lastUpdateNs_ = now_ns;
+    lastUpdate_ = now;
 
     const int error = margin_counts - params_.targetCounts;
     if (error < 0) {
-        periodPs_ *= 1.0 + params_.slewDownPerCount * (-error);
+        period_ *= 1.0 + params_.slewDownPerCount * (-error);
     } else if (error > 0) {
         const int step = std::min(error, params_.slewUpCapCounts);
-        periodPs_ *= 1.0 - params_.slewUpPerCount * step;
+        period_ *= 1.0 - params_.slewUpPerCount * step;
     }
     clampPeriod();
 }
 
-double
+Mhz
 Dpll::frequencyMhz() const
 {
-    return util::psToMhz(periodPs_);
+    return util::frequencyOf(period_);
 }
 
 bool
-Dpll::inEmergency(double now_ns) const
+Dpll::inEmergency(Nanoseconds now) const
 {
-    return now_ns - lastEmergencyNs_ < params_.emergencyHoldoffNs;
+    return now - lastEmergency_ < params_.emergencyHoldoff;
 }
 
 void
 Dpll::clampPeriod()
 {
-    periodPs_ = std::clamp(periodPs_, params_.minPeriodPs,
-                           params_.maxPeriodPs);
+    period_ = std::clamp(period_, params_.minPeriod, params_.maxPeriod);
 }
 
 } // namespace atmsim::dpll

@@ -10,14 +10,20 @@
 
 #pragma once
 
+#include "util/quantity.h"
+
 namespace atmsim::dpll {
+
+using util::Mhz;
+using util::Nanoseconds;
+using util::Picoseconds;
 
 /** Control-loop parameters. */
 struct DpllParams
 {
-    /** Proportional-control update interval (ns); also the loop
-     *  round-trip latency for non-emergency adjustments. */
-    double updateIntervalNs = 2.0;
+    /** Proportional-control update interval; also the loop round-trip
+     *  latency for non-emergency adjustments. */
+    Nanoseconds updateInterval{2.0};
 
     /** Margin setpoint in CPM inverter counts (~6 ps at 1.5 ps/inv). */
     int targetCounts = 4;
@@ -37,12 +43,12 @@ struct DpllParams
     /** Immediate fractional period stretch on an emergency. */
     double emergencyStretchFrac = 0.01;
 
-    /** Minimum time between emergency stretches (ns). */
-    double emergencyHoldoffNs = 1.0;
+    /** Minimum time between emergency stretches. */
+    Nanoseconds emergencyHoldoff{1.0};
 
-    /** Clock period bounds (ps). */
-    double minPeriodPs = 166.0;  ///< ~6.0 GHz
-    double maxPeriodPs = 500.0;  ///< ~2.0 GHz
+    /** Clock period bounds. */
+    Picoseconds minPeriod{166.0}; ///< ~6.0 GHz
+    Picoseconds maxPeriod{500.0}; ///< ~2.0 GHz
 };
 
 /** Slew-limited adaptive clock generator. */
@@ -52,26 +58,26 @@ class Dpll
     explicit Dpll(const DpllParams &params = {});
 
     /** Reset to a starting period and clear loop state. */
-    void reset(double period_ps);
+    void reset(Picoseconds period);
 
     /**
      * Feed one margin observation. The proportional path acts only at
      * update-interval boundaries; the emergency path acts immediately
      * (subject to a holdoff).
      *
-     * @param now_ns Current simulation time.
+     * @param now Current simulation time.
      * @param margin_counts Worst CPM count this cycle.
      */
-    void observe(double now_ns, int margin_counts);
+    void observe(Nanoseconds now, int margin_counts);
 
-    /** Current clock period (ps). */
-    double periodPs() const { return periodPs_; }
+    /** Current clock period. */
+    Picoseconds periodPs() const { return period_; }
 
-    /** Current clock frequency (MHz). */
-    double frequencyMhz() const;
+    /** Current clock frequency. */
+    Mhz frequencyMhz() const;
 
     /** True if the emergency path fired within the last holdoff. */
-    bool inEmergency(double now_ns) const;
+    bool inEmergency(Nanoseconds now) const;
 
     /** Number of emergency engagements since reset. */
     long emergencyCount() const { return emergencies_; }
@@ -92,9 +98,9 @@ class Dpll
     void clampPeriod();
 
     DpllParams params_;
-    double periodPs_ = 250.0;
-    double lastUpdateNs_ = -1e18;
-    double lastEmergencyNs_ = -1e18;
+    Picoseconds period_{250.0};
+    Nanoseconds lastUpdate_{-1e18};
+    Nanoseconds lastEmergency_{-1e18};
     long emergencies_ = 0;
     bool dropout_ = false;
     int heldMargin_ = 0;

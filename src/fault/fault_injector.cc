@@ -30,7 +30,7 @@ FaultInjector::apply(const FaultSpec &spec)
         break;
       case FaultKind::VrmLoadStep:
         chip_->pdn().setFaultCurrentA(chip_->pdn().faultCurrentA()
-                                      + spec.magnitude);
+                                      + util::Amps{spec.magnitude});
         break;
       case FaultKind::DroopStorm:
         storms_.push_back(spec);
@@ -41,7 +41,8 @@ FaultInjector::apply(const FaultSpec &spec)
       case FaultKind::ThermalExcursion:
         chip_->thermal().setFaultOffsetC(
             spec.core,
-            chip_->thermal().faultOffsetC(spec.core) + spec.magnitude);
+            chip_->thermal().faultOffsetC(spec.core)
+                + util::Celsius{spec.magnitude});
         break;
     }
     ++activeCount_;
@@ -61,7 +62,7 @@ FaultInjector::revert(const FaultSpec &spec)
         break;
       case FaultKind::VrmLoadStep:
         chip_->pdn().setFaultCurrentA(chip_->pdn().faultCurrentA()
-                                      - spec.magnitude);
+                                      - util::Amps{spec.magnitude});
         break;
       case FaultKind::DroopStorm:
         for (std::size_t s = 0; s < storms_.size(); ++s) {
@@ -79,7 +80,8 @@ FaultInjector::revert(const FaultSpec &spec)
       case FaultKind::ThermalExcursion:
         chip_->thermal().setFaultOffsetC(
             spec.core,
-            chip_->thermal().faultOffsetC(spec.core) - spec.magnitude);
+            chip_->thermal().faultOffsetC(spec.core)
+                - util::Celsius{spec.magnitude});
         break;
     }
     --activeCount_;

@@ -31,60 +31,65 @@ PdnNetwork::PdnNetwork(const PdnParams &params, const Vrm &vrm,
 {
     if (core_count <= 0)
         util::fatal("PDN needs at least one core branch");
-    lastCoreCurrents_.assign(static_cast<std::size_t>(core_count), 0.0);
+    lastCoreCurrents_.assign(static_cast<std::size_t>(core_count),
+                             Amps{0.0});
     vDie_ = vrm_.setpointV();
     iInd_ = 0.0;
     minVDie_ = vDie_;
 }
 
 void
-PdnNetwork::step(double dt_s, const std::vector<double> &core_currents_a,
-                 double uncore_current_a)
+PdnNetwork::step(Seconds dt, const std::vector<Amps> &core_currents,
+                 Amps uncore_current)
 {
-    if (core_currents_a.size() != lastCoreCurrents_.size()) {
+    if (core_currents.size() != lastCoreCurrents_.size()) {
         util::fatal("PDN step: expected ", lastCoreCurrents_.size(),
-                    " core currents, got ", core_currents_a.size());
+                    " core currents, got ", core_currents.size());
     }
-    double load = uncore_current_a + faultCurrentA_;
-    for (double i : core_currents_a)
+    Amps load = uncore_current + faultCurrent_;
+    for (Amps i : core_currents)
         load += i;
 
     // Semi-implicit Euler: update the inductor current first, then the
-    // capacitor voltage with the fresh current.
-    const double v_in = vrm_.outputV(iInd_);
-    const double di = (v_in - params_.boardResOhm * iInd_ - vDie_)
+    // capacitor voltage with the fresh current. Raw doubles inside the
+    // integrator; the typed state is rebuilt at the end.
+    const double dt_s = dt.value();
+    double v_die = vDie_.value();
+    const double v_in = vrm_.outputV(Amps{iInd_}).value();
+    const double di = (v_in - params_.boardResOhm * iInd_ - v_die)
                     / params_.boardIndH;
     iInd_ += di * dt_s;
-    vDie_ += (iInd_ - load) / params_.dieCapF * dt_s;
+    v_die += (iInd_ - load.value()) / params_.dieCapF * dt_s;
+    vDie_ = Volts{v_die};
 
-    lastCoreCurrents_ = core_currents_a;
+    lastCoreCurrents_ = core_currents;
     minVDie_ = std::min(minVDie_, vDie_);
 }
 
 void
-PdnNetwork::settle(const std::vector<double> &core_currents_a,
-                   double uncore_current_a)
+PdnNetwork::settle(const std::vector<Amps> &core_currents,
+                   Amps uncore_current)
 {
-    if (core_currents_a.size() != lastCoreCurrents_.size()) {
+    if (core_currents.size() != lastCoreCurrents_.size()) {
         util::fatal("PDN settle: expected ", lastCoreCurrents_.size(),
-                    " core currents, got ", core_currents_a.size());
+                    " core currents, got ", core_currents.size());
     }
-    double load = uncore_current_a;
-    for (double i : core_currents_a)
+    Amps load = uncore_current;
+    for (Amps i : core_currents)
         load += i;
-    iInd_ = load;
+    iInd_ = load.value();
     vDie_ = dcGridV(load);
-    lastCoreCurrents_ = core_currents_a;
+    lastCoreCurrents_ = core_currents;
     minVDie_ = vDie_;
 }
 
-double
+Volts
 PdnNetwork::coreV(int core) const
 {
     if (core < 0 || core >= coreCount_)
         util::fatal("PDN coreV: core ", core, " out of range");
-    return vDie_ - params_.coreLocalResOhm
-                 * lastCoreCurrents_[static_cast<std::size_t>(core)];
+    const Amps branch = lastCoreCurrents_[static_cast<std::size_t>(core)];
+    return vDie_ - Volts{params_.coreLocalResOhm * branch.value()};
 }
 
 void
@@ -93,15 +98,15 @@ PdnNetwork::resetStats()
     minVDie_ = vDie_;
 }
 
-double
-PdnNetwork::dcGridV(double total_current_a) const
+Volts
+PdnNetwork::dcGridV(Amps total_current) const
 {
-    return vrm_.outputV(total_current_a)
-         - params_.boardResOhm * total_current_a;
+    return vrm_.outputV(total_current)
+         - Volts{params_.boardResOhm * total_current.value()};
 }
 
-double
-PdnNetwork::stepDroopV(double current_step_a) const
+Volts
+PdnNetwork::stepDroopV(Amps current_step) const
 {
     // Peak of the underdamped series-RLC step response:
     // dV_peak = dI * Z0 * exp(-zeta * phi / sqrt(1 - zeta^2)),
@@ -110,7 +115,7 @@ PdnNetwork::stepDroopV(double current_step_a) const
     const double zeta = std::min(params_.dampingRatio(), 0.999);
     const double root = std::sqrt(1.0 - zeta * zeta);
     const double phi = std::atan2(root, zeta);
-    return current_step_a * z0 * std::exp(-zeta * phi / root);
+    return Volts{current_step.value() * z0 * std::exp(-zeta * phi / root)};
 }
 
 } // namespace atmsim::pdn

@@ -19,8 +19,11 @@
 #include <vector>
 
 #include "pdn/vrm.h"
+#include "util/quantity.h"
 
 namespace atmsim::pdn {
+
+using util::Seconds;
 
 /** Electrical parameters of the chip PDN. */
 struct PdnParams
@@ -58,25 +61,24 @@ class PdnNetwork
     /**
      * Advance the network by one time step.
      *
-     * @param dt_s Time step (seconds).
-     * @param core_currents_a Instantaneous per-core load currents (A).
-     * @param uncore_current_a Non-core (nest) load current (A).
+     * @param dt Time step.
+     * @param core_currents Instantaneous per-core load currents.
+     * @param uncore_current Non-core (nest) load current.
      */
-    void step(double dt_s, const std::vector<double> &core_currents_a,
-              double uncore_current_a);
+    void step(Seconds dt, const std::vector<Amps> &core_currents,
+              Amps uncore_current);
 
     /** Jump directly to the DC steady state for the given loads. */
-    void settle(const std::vector<double> &core_currents_a,
-                double uncore_current_a);
+    void settle(const std::vector<Amps> &core_currents, Amps uncore_current);
 
-    /** On-die grid voltage (V). */
-    double gridV() const { return vDie_; }
+    /** On-die grid voltage. */
+    Volts gridV() const { return vDie_; }
 
-    /** Local supply voltage at a core (V). */
-    double coreV(int core) const;
+    /** Local supply voltage at a core. */
+    Volts coreV(int core) const;
 
     /** Lowest grid voltage observed since the last resetStats(). */
-    double minGridV() const { return minVDie_; }
+    Volts minGridV() const { return minVDie_; }
 
     /** Reset droop statistics. */
     void resetStats();
@@ -87,35 +89,34 @@ class PdnNetwork
      * the die). Applied on top of the per-core and uncore draws every
      * step() until cleared with 0.
      */
-    void setFaultCurrentA(double current_a) { faultCurrentA_ = current_a; }
-    double faultCurrentA() const { return faultCurrentA_; }
+    void setFaultCurrentA(Amps current) { faultCurrent_ = current; }
+    Amps faultCurrentA() const { return faultCurrent_; }
 
     const PdnParams &params() const { return params_; }
     Vrm &vrm() { return vrm_; }
     const Vrm &vrm() const { return vrm_; }
 
     /**
-     * Analytic DC grid voltage for a total chip current (A), ignoring
+     * Analytic DC grid voltage for a total chip current, ignoring
      * transients: what the grid settles to under steady load.
      */
-    double dcGridV(double total_current_a) const;
+    Volts dcGridV(Amps total_current) const;
 
     /**
-     * Analytic peak droop amplitude (V) for an abrupt load-current
-     * step of the given size, from the underdamped second-order step
-     * response.
+     * Analytic peak droop amplitude for an abrupt load-current step of
+     * the given size, from the underdamped second-order step response.
      */
-    double stepDroopV(double current_step_a) const;
+    Volts stepDroopV(Amps current_step) const;
 
   private:
     PdnParams params_;
     Vrm vrm_;
     int coreCount_;
-    double vDie_;
+    Volts vDie_;
     double iInd_;
-    std::vector<double> lastCoreCurrents_;
-    double minVDie_;
-    double faultCurrentA_ = 0.0;
+    std::vector<Amps> lastCoreCurrents_;
+    Volts minVDie_;
+    Amps faultCurrent_{0.0};
 };
 
 } // namespace atmsim::pdn

@@ -4,27 +4,27 @@
 
 namespace atmsim::pdn {
 
-Vrm::Vrm(double setpoint_v, double load_line_ohm)
-    : setpointV_(setpoint_v), loadLineOhm_(load_line_ohm)
+Vrm::Vrm(Volts setpoint, double load_line_ohm)
+    : setpoint_(setpoint), loadLineOhm_(load_line_ohm)
 {
-    if (setpoint_v <= 0.0)
-        util::fatal("VRM setpoint must be positive, got ", setpoint_v);
+    if (setpoint <= Volts{0.0})
+        util::fatal("VRM setpoint must be positive, got ", setpoint.value());
     if (load_line_ohm < 0.0)
         util::fatal("VRM load line must be non-negative");
 }
 
-double
-Vrm::outputV(double current_a) const
+Volts
+Vrm::outputV(Amps current) const
 {
-    return setpointV_ - loadLineOhm_ * current_a;
+    return setpoint_ - Volts{loadLineOhm_ * current.value()};
 }
 
 void
-Vrm::setSetpointV(double v)
+Vrm::setSetpointV(Volts v)
 {
-    if (v <= 0.0)
-        util::fatal("VRM setpoint must be positive, got ", v);
-    setpointV_ = v;
+    if (v <= Volts{0.0})
+        util::fatal("VRM setpoint must be positive, got ", v.value());
+    setpoint_ = v;
 }
 
 } // namespace atmsim::pdn

@@ -8,28 +8,33 @@
 
 #pragma once
 
+#include "util/quantity.h"
+
 namespace atmsim::pdn {
+
+using util::Amps;
+using util::Volts;
 
 /** Idealized VRM with a load line. */
 class Vrm
 {
   public:
     /**
-     * @param setpoint_v Regulation target at zero load (V).
+     * @param setpoint Regulation target at zero load.
      * @param load_line_ohm Output resistance (ohm).
      */
-    Vrm(double setpoint_v, double load_line_ohm);
+    Vrm(Volts setpoint, double load_line_ohm);
 
-    /** Output voltage at a given load current (A). */
-    double outputV(double current_a) const;
+    /** Output voltage at a given load current. */
+    Volts outputV(Amps current) const;
 
-    double setpointV() const { return setpointV_; }
-    void setSetpointV(double v);
+    Volts setpointV() const { return setpoint_; }
+    void setSetpointV(Volts v);
 
     double loadLineOhm() const { return loadLineOhm_; }
 
   private:
-    double setpointV_;
+    Volts setpoint_;
     double loadLineOhm_;
 };
 

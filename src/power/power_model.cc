@@ -1,5 +1,6 @@
 #include "power/power_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "circuit/constants.h"
@@ -13,46 +14,46 @@ PowerModel::PowerModel(const PowerParams &params) : params_(params)
         util::fatal("power model reference point must be positive");
 }
 
-double
-PowerModel::coreDynamicW(double activity_w, double f_mhz, double v) const
+Watts
+PowerModel::coreDynamicW(Watts activity, Mhz f, Volts v) const
 {
-    if (activity_w < 0.0)
-        util::fatal("negative workload activity ", activity_w);
-    const double vr = v / params_.refVoltage;
-    const double fr = f_mhz / params_.refFrequencyMhz;
-    return (activity_w + params_.idleDynamicW) * vr * vr * fr;
+    if (activity < Watts{0.0})
+        util::fatal("negative workload activity ", activity.value());
+    const double vr = v.value() / params_.refVoltage;
+    const double fr = f.value() / params_.refFrequencyMhz;
+    return (activity + Watts{params_.idleDynamicW}) * (vr * vr * fr);
 }
 
-double
-PowerModel::coreLeakageW(double v, double t_c) const
+Watts
+PowerModel::coreLeakageW(Volts v, Celsius t) const
 {
-    const double vr = v / params_.refVoltage;
+    const double vr = v.value() / params_.refVoltage;
     const double temp = 1.0 + params_.leakTempCoeffPerC
-                      * (t_c - circuit::kTempNominalC);
-    return params_.leakageNominalW * std::pow(vr, params_.leakVoltageExp)
-         * std::max(temp, 0.1);
+                      * (t - circuit::kTempNominal).value();
+    return Watts{params_.leakageNominalW
+                 * std::pow(vr, params_.leakVoltageExp)
+                 * std::max(temp, 0.1)};
 }
 
-double
-PowerModel::coreTotalW(double activity_w, double f_mhz, double v,
-                       double t_c) const
+Watts
+PowerModel::coreTotalW(Watts activity, Mhz f, Volts v, Celsius t) const
 {
-    return coreDynamicW(activity_w, f_mhz, v) + coreLeakageW(v, t_c);
+    return coreDynamicW(activity, f, v) + coreLeakageW(v, t);
 }
 
-double
-PowerModel::uncoreW(double v) const
+Watts
+PowerModel::uncoreW(Volts v) const
 {
-    const double vr = v / params_.refVoltage;
-    return params_.uncoreNominalW * vr * vr;
+    const double vr = v.value() / params_.refVoltage;
+    return Watts{params_.uncoreNominalW * vr * vr};
 }
 
-double
-PowerModel::currentA(double power_w, double v)
+Amps
+PowerModel::currentA(Watts power, Volts v)
 {
-    if (v <= 0.0)
-        util::fatal("currentA: non-positive voltage ", v);
-    return power_w / v;
+    if (v <= Volts{0.0})
+        util::fatal("currentA: non-positive voltage ", v.value());
+    return Amps{power.value() / v.value()};
 }
 
 } // namespace atmsim::power

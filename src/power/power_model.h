@@ -9,7 +9,15 @@
 
 #pragma once
 
+#include "util/quantity.h"
+
 namespace atmsim::power {
+
+using util::Amps;
+using util::Celsius;
+using util::Mhz;
+using util::Volts;
+using util::Watts;
 
 /** Power-model parameters for one core and the chip uncore. */
 struct PowerParams
@@ -45,26 +53,25 @@ class PowerModel
     /**
      * Dynamic power of a core.
      *
-     * @param activity_w Workload activity level: dynamic watts the
+     * @param activity Workload activity level: dynamic watts the
      *        workload burns at the reference frequency and voltage
      *        (0 for an idle core; the model adds OS background).
-     * @param f_mhz Operating frequency (MHz).
-     * @param v Supply voltage (V).
+     * @param f Operating frequency.
+     * @param v Supply voltage.
      */
-    double coreDynamicW(double activity_w, double f_mhz, double v) const;
+    Watts coreDynamicW(Watts activity, Mhz f, Volts v) const;
 
     /** Leakage power of a core at (v, t). */
-    double coreLeakageW(double v, double t_c) const;
+    Watts coreLeakageW(Volts v, Celsius t) const;
 
     /** Total core power: dynamic + leakage. */
-    double coreTotalW(double activity_w, double f_mhz, double v,
-                      double t_c) const;
+    Watts coreTotalW(Watts activity, Mhz f, Volts v, Celsius t) const;
 
     /** Uncore power at voltage v. */
-    double uncoreW(double v) const;
+    Watts uncoreW(Volts v) const;
 
-    /** Convert power at a node voltage to current (A). */
-    static double currentA(double power_w, double v);
+    /** Convert power at a node voltage to current. */
+    static Amps currentA(Watts power, Volts v);
 
     const PowerParams &params() const { return params_; }
 

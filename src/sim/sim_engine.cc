@@ -11,6 +11,14 @@
 
 namespace atmsim::sim {
 
+using util::Amps;
+using util::Celsius;
+using util::Nanoseconds;
+using util::Picoseconds;
+using util::Seconds;
+using util::Volts;
+using util::Watts;
+
 SimEngine::SimEngine(chip::Chip *target, const SimConfig &config)
     : chip_(target), config_(config)
 {
@@ -34,7 +42,8 @@ SimEngine::eventCurrentFor(const variation::CoreSiliconParams &core,
     (void)core;
     const double droop_v = traits.droopMv * 1e-3;
     const double gain_v_per_a =
-        chip_->pdn().stepDroopV(1.0) * std::max(synchronized_cores, 1)
+        chip_->pdn().stepDroopV(Amps{1.0}).value()
+            * std::max(synchronized_cores, 1)
         + chip_->config().pdnParams.coreLocalResOhm;
     // A periodic synchronized wave partially rides the PDN resonance;
     // derate its swing so the built-up excursion matches the
@@ -53,7 +62,8 @@ SimEngine::run(double duration_us)
 
     // --- Per-core setup from the current assignments.
     std::vector<workload::ActivityGenerator> activity;
-    std::vector<double> exposure_ps(static_cast<std::size_t>(n), 0.0);
+    std::vector<Picoseconds> exposure_ps(static_cast<std::size_t>(n),
+                                         Picoseconds{0.0});
     std::vector<double> activity_w(static_cast<std::size_t>(n), 0.0);
     activity.reserve(static_cast<std::size_t>(n));
     int synchronized_cores = 0;
@@ -86,11 +96,12 @@ SimEngine::run(double duration_us)
 
     // --- Settle the DC operating point and start the clocks there.
     const chip::ChipSteadyState steady = chip.solveSteadyState();
-    std::vector<double> core_power = steady.corePowerW;
-    std::vector<double> core_current(static_cast<std::size_t>(n), 0.0);
-    double uncore_current = 0.0;
+    std::vector<Watts> core_power = steady.corePowerW;
+    std::vector<Amps> core_current(static_cast<std::size_t>(n),
+                                   Amps{0.0});
+    Amps uncore_current{0.0};
     {
-        std::vector<double> dc(static_cast<std::size_t>(n), 0.0);
+        std::vector<Amps> dc(static_cast<std::size_t>(n), Amps{0.0});
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
             dc[ci] = power::PowerModel::currentA(core_power[ci],
@@ -126,7 +137,8 @@ SimEngine::run(double duration_us)
     const long total_steps =
         static_cast<long>(std::ceil(duration_ns / config_.dtNs));
     const double dt_s = config_.dtNs * 1e-9;
-    std::vector<double> instant_current(static_cast<std::size_t>(n), 0.0);
+    std::vector<Amps> instant_current(static_cast<std::size_t>(n),
+                                      Amps{0.0});
     std::vector<char> in_violation(static_cast<std::size_t>(n), 0);
     util::Rng fail_rng = rng.fork(0xfa11);
 
@@ -148,13 +160,14 @@ SimEngine::run(double duration_us)
 
         // Slow cadence: refresh DC power draw and temperatures.
         if (step % config_.slowCadence == 0) {
-            const double grid_v = chip.pdn().gridV();
-            double uncore_w = chip.powerModel().uncoreW(grid_v);
+            const Volts grid_v = chip.pdn().gridV();
+            const Watts uncore_w = chip.powerModel().uncoreW(grid_v);
+            const Volts grid_floor = std::max(grid_v, Volts{0.6});
             for (int c = 0; c < n; ++c) {
                 const auto ci = static_cast<std::size_t>(c);
-                double p;
+                Watts p;
                 if (chip.core(c).mode() == chip::CoreMode::Gated) {
-                    p = 0.25;
+                    p = Watts{0.25};
                 } else {
                     const chip::CoreAssignment &slot =
                         chip.assignment(c);
@@ -163,19 +176,19 @@ SimEngine::run(double duration_us)
                                     : slot.traits->phaseActivityScale(
                                           now_ns * 1e-3);
                     p = chip.powerModel().coreTotalW(
-                        activity_w[ci] * phase_scale,
+                        Watts{activity_w[ci] * phase_scale},
                         chip.core(c).frequencyMhz(),
-                        std::max(chip.pdn().coreV(c), 0.6),
+                        std::max(chip.pdn().coreV(c), Volts{0.6}),
                         chip.thermal().coreTempC(c));
                 }
                 core_power[ci] = p;
                 core_current[ci] =
-                    power::PowerModel::currentA(p, std::max(grid_v, 0.6));
+                    power::PowerModel::currentA(p, grid_floor);
             }
             uncore_current = power::PowerModel::currentA(
-                uncore_w, std::max(grid_v, 0.6));
-            chip.thermal().step(dt_s * config_.slowCadence, core_power,
-                                uncore_w);
+                uncore_w, grid_floor);
+            chip.thermal().step(Seconds{dt_s * config_.slowCadence},
+                                core_power, uncore_w);
         }
 
         // Electrical step: DC draw plus transient di/dt events
@@ -186,11 +199,12 @@ SimEngine::run(double duration_us)
                 chip.core(c).mode() == chip::CoreMode::Gated
                     ? 0.0
                     : activity[ci].transientCurrentA(now_ns);
-            instant_current[ci] = core_current[ci] + transient;
+            instant_current[ci] = core_current[ci] + Amps{transient};
             if (injector.stormActive())
-                instant_current[ci] += injector.stormCurrentA(c, now_ns);
+                instant_current[ci] +=
+                    Amps{injector.stormCurrentA(c, now_ns)};
         }
-        chip.pdn().step(dt_s, instant_current, uncore_current);
+        chip.pdn().step(Seconds{dt_s}, instant_current, uncore_current);
 
         // Control loops and the timing race. A violation is counted
         // once per episode: contiguous violating steps are one event,
@@ -200,19 +214,23 @@ SimEngine::run(double duration_us)
         bool violated = false;
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            const double v = chip.pdn().coreV(c);
-            const double t_c = chip.thermal().coreTempC(c);
-            chip.core(c).stepControl(now_ns, v, t_c);
+            const Volts v = chip.pdn().coreV(c);
+            const Celsius t_c = chip.thermal().coreTempC(c);
+            chip.core(c).stepControl(Nanoseconds{now_ns}, v, t_c);
             if (!chip.core(c).timingMet(v, t_c, exposure_ps[ci],
-                                        config_.runNoisePs)) {
+                                        Picoseconds{config_.runNoisePs}))
+            {
                 if (in_violation[ci])
                     continue;
                 in_violation[ci] = 1;
                 ViolationEvent ev;
                 ev.timeNs = now_ns;
                 ev.core = c;
-                ev.deficitPs = chip.core(c).timingDeficitPs(
-                    v, t_c, exposure_ps[ci], config_.runNoisePs);
+                ev.deficitPs =
+                    chip.core(c)
+                        .timingDeficitPs(v, t_c, exposure_ps[ci],
+                                         Picoseconds{config_.runNoisePs})
+                        .value();
                 const double u = fail_rng.uniform();
                 ev.kind = u < 0.3 ? FailureKind::SystemCrash
                         : u < 0.8 ? FailureKind::AbnormalExit
@@ -243,12 +261,12 @@ SimEngine::run(double duration_us)
 
         // Statistics cadence.
         if (step % config_.statsCadence == 0) {
-            double chip_power = chip.powerModel().uncoreW(
-                chip.pdn().gridV());
+            double chip_power =
+                chip.powerModel().uncoreW(chip.pdn().gridV()).value();
             for (int c = 0; c < n; ++c) {
                 const auto ci = static_cast<std::size_t>(c);
-                const double v = chip.pdn().coreV(c);
-                const double f = chip.core(c).frequencyMhz();
+                const double v = chip.pdn().coreV(c).value();
+                const double f = chip.core(c).frequencyMhz().value();
                 auto &cs = result.coreStats[ci];
                 if (chip.core(c).mode() != chip::CoreMode::Gated) {
                     cs.freqMhz.add(f);
@@ -257,13 +275,14 @@ SimEngine::run(double duration_us)
                                    ? v
                                    : std::min(cs.minVoltageV, v);
                 }
-                chip_power += core_power[ci];
+                chip_power += core_power[ci].value();
                 if (probe_)
                     probe_(now_ns, c, f, v);
             }
             result.chipPowerW.add(chip_power);
-            result.maxCoreTempC = std::max(result.maxCoreTempC,
-                                           chip.thermal().maxCoreTempC());
+            result.maxCoreTempC =
+                std::max(result.maxCoreTempC,
+                         chip.thermal().maxCoreTempC().value());
             if (observer_)
                 observer_->onSample(now_ns);
         }
@@ -274,7 +293,7 @@ SimEngine::run(double duration_us)
         result.coreStats[ci].emergencies = chip.core(c).emergencyCount();
         result.safety.emergencies += result.coreStats[ci].emergencies;
     }
-    result.minGridV = chip.pdn().minGridV();
+    result.minGridV = chip.pdn().minGridV().value();
     result.durationNs = static_cast<double>(step) * config_.dtNs;
     if (observer_)
         observer_->finish(result.durationNs, result.safety);

@@ -17,76 +17,77 @@ ThermalModel::ThermalModel(const ThermalParams &params, int core_count)
 }
 
 void
-ThermalModel::step(double dt_s, const std::vector<double> &core_powers_w,
-                   double uncore_power_w)
+ThermalModel::step(Seconds dt, const std::vector<Watts> &core_powers,
+                   Watts uncore_power)
 {
-    if (core_powers_w.size() != coreC_.size()) {
+    if (core_powers.size() != coreC_.size()) {
         util::fatal("thermal step: expected ", coreC_.size(),
-                    " core powers, got ", core_powers_w.size());
+                    " core powers, got ", core_powers.size());
     }
-    double total = uncore_power_w;
-    for (double p : core_powers_w)
+    Watts total = uncore_power;
+    for (Watts p : core_powers)
         total += p;
 
+    const double dt_s = dt.value();
     const double pkg_target = params_.ambientC
-                            + params_.packageResKpW * total;
+                            + params_.packageResKpW * total.value();
     packageC_ += (pkg_target - packageC_) / params_.packageTauS * dt_s;
 
     for (std::size_t c = 0; c < coreC_.size(); ++c) {
         const double target = packageC_
-                            + params_.coreResKpW * core_powers_w[c];
+                            + params_.coreResKpW * core_powers[c].value();
         coreC_[c] += (target - coreC_[c]) / params_.coreTauS * dt_s;
     }
 }
 
 void
-ThermalModel::settle(const std::vector<double> &core_powers_w,
-                     double uncore_power_w)
+ThermalModel::settle(const std::vector<Watts> &core_powers,
+                     Watts uncore_power)
 {
-    if (core_powers_w.size() != coreC_.size()) {
+    if (core_powers.size() != coreC_.size()) {
         util::fatal("thermal settle: expected ", coreC_.size(),
-                    " core powers, got ", core_powers_w.size());
+                    " core powers, got ", core_powers.size());
     }
-    double total = uncore_power_w;
-    for (double p : core_powers_w)
+    Watts total = uncore_power;
+    for (Watts p : core_powers)
         total += p;
-    packageC_ = params_.ambientC + params_.packageResKpW * total;
+    packageC_ = params_.ambientC + params_.packageResKpW * total.value();
     for (std::size_t c = 0; c < coreC_.size(); ++c)
-        coreC_[c] = packageC_ + params_.coreResKpW * core_powers_w[c];
+        coreC_[c] = packageC_ + params_.coreResKpW * core_powers[c].value();
 }
 
-double
+Celsius
 ThermalModel::coreTempC(int core) const
 {
     if (core < 0 || core >= static_cast<int>(coreC_.size()))
         util::fatal("thermal coreTempC: core ", core, " out of range");
-    return coreC_[static_cast<std::size_t>(core)]
-         + faultOffsetC_[static_cast<std::size_t>(core)];
+    return Celsius{coreC_[static_cast<std::size_t>(core)]
+                   + faultOffsetC_[static_cast<std::size_t>(core)]};
 }
 
-double
+Celsius
 ThermalModel::maxCoreTempC() const
 {
     double max_c = coreC_.front() + faultOffsetC_.front();
     for (std::size_t c = 1; c < coreC_.size(); ++c)
         max_c = std::max(max_c, coreC_[c] + faultOffsetC_[c]);
-    return max_c;
+    return Celsius{max_c};
 }
 
 void
-ThermalModel::setFaultOffsetC(int core, double offset_c)
+ThermalModel::setFaultOffsetC(int core, Celsius offset)
 {
     if (core < 0 || core >= static_cast<int>(coreC_.size()))
         util::fatal("thermal fault: core ", core, " out of range");
-    faultOffsetC_[static_cast<std::size_t>(core)] = offset_c;
+    faultOffsetC_[static_cast<std::size_t>(core)] = offset.value();
 }
 
-double
+Celsius
 ThermalModel::faultOffsetC(int core) const
 {
     if (core < 0 || core >= static_cast<int>(coreC_.size()))
         util::fatal("thermal fault: core ", core, " out of range");
-    return faultOffsetC_[static_cast<std::size_t>(core)];
+    return Celsius{faultOffsetC_[static_cast<std::size_t>(core)]};
 }
 
 } // namespace atmsim::thermal

@@ -11,16 +11,22 @@
 
 #include <vector>
 
+#include "util/quantity.h"
+
 namespace atmsim::thermal {
+
+using util::Celsius;
+using util::Seconds;
+using util::Watts;
 
 /** Thermal parameters of the package and cores. */
 struct ThermalParams
 {
-    double ambientC = 25.0;      ///< Inlet air temperature.
+    double ambientC = 25.0;      ///< Inlet air temperature (degC).
     double packageResKpW = 0.25; ///< Package+heatsink resistance (K/W).
     double coreResKpW = 0.55;    ///< Core-to-package resistance (K/W).
-    double packageTauS = 20e-3;  ///< Package thermal time constant.
-    double coreTauS = 2e-3;      ///< Core thermal time constant.
+    double packageTauS = 20e-3;  ///< Package thermal time constant (s).
+    double coreTauS = 2e-3;      ///< Core thermal time constant (s).
 };
 
 /** Time-stepped thermal state for one chip. */
@@ -36,33 +42,32 @@ class ThermalModel
     /**
      * Advance temperatures by one time step.
      *
-     * @param dt_s Time step (seconds).
-     * @param core_powers_w Per-core power (W).
-     * @param uncore_power_w Non-core chip power (W).
+     * @param dt Time step.
+     * @param core_powers Per-core power.
+     * @param uncore_power Non-core chip power.
      */
-    void step(double dt_s, const std::vector<double> &core_powers_w,
-              double uncore_power_w);
+    void step(Seconds dt, const std::vector<Watts> &core_powers,
+              Watts uncore_power);
 
     /** Jump to steady state for the given power distribution. */
-    void settle(const std::vector<double> &core_powers_w,
-                double uncore_power_w);
+    void settle(const std::vector<Watts> &core_powers, Watts uncore_power);
 
-    /** Junction temperature of a core (degC). */
-    double coreTempC(int core) const;
+    /** Junction temperature of a core. */
+    Celsius coreTempC(int core) const;
 
-    /** Package (shared) temperature (degC). */
-    double packageTempC() const { return packageC_; }
+    /** Package (shared) temperature. */
+    Celsius packageTempC() const { return Celsius{packageC_}; }
 
-    /** Hottest core temperature (degC). */
-    double maxCoreTempC() const;
+    /** Hottest core temperature. */
+    Celsius maxCoreTempC() const;
 
     /**
      * Fault injection: a local thermal excursion (e.g. a detached
      * heat-sink pad) added on top of the modelled junction temperature
      * of one core. Cleared by setting 0.
      */
-    void setFaultOffsetC(int core, double offset_c);
-    double faultOffsetC(int core) const;
+    void setFaultOffsetC(int core, Celsius offset);
+    Celsius faultOffsetC(int core) const;
 
     const ThermalParams &params() const { return params_; }
 

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Zero-overhead dimensional safety: tagged strong types for the
+ * physical quantities the simulator passes across module boundaries.
+ *
+ * Every quantity that crosses a public interface — clock periods in
+ * picoseconds, loop times in nanoseconds, frequencies in MHz, supply
+ * voltages in volts, droop magnitudes in millivolts, junction
+ * temperatures in Celsius, power in watts, CPM inserted-delay steps —
+ * is a distinct type. Same-dimension arithmetic works directly;
+ * cross-dimension conversion requires a named function (periodOf,
+ * toPicoseconds, toVolts, ...), so a mis-scaled delay step or an
+ * ns-for-ps mixup is a compile error instead of a silently corrupted
+ * configuration.
+ *
+ * The types are trivially copyable wrappers around one double (or one
+ * int for CpmSteps) — same size, same codegen as the raw scalar.
+ * Internals are free to unwrap via value() in hot loops; the contract
+ * lives at the interface.
+ */
+
+#pragma once
+
+#include <compare>
+#include <type_traits>
+
+namespace atmsim::util {
+
+/**
+ * A value tagged with its dimension/unit. Only same-tag arithmetic is
+ * defined; there is no implicit construction from (or conversion to)
+ * raw double, so quantities of different units never mix silently.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    /** Zero-initialized. */
+    constexpr Quantity() = default;
+
+    /** Tag a raw scalar. Explicit: the caller names the unit. */
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** Unwrap to the raw scalar (hot-loop escape hatch). */
+    constexpr double value() const { return value_; }
+
+    // --- Same-dimension arithmetic -------------------------------------
+
+    constexpr Quantity operator+(Quantity o) const
+    {
+        return Quantity{value_ + o.value_};
+    }
+    constexpr Quantity operator-(Quantity o) const
+    {
+        return Quantity{value_ - o.value_};
+    }
+    constexpr Quantity operator-() const { return Quantity{-value_}; }
+
+    // --- Dimensionless scaling -----------------------------------------
+
+    constexpr Quantity operator*(double s) const
+    {
+        return Quantity{value_ * s};
+    }
+    constexpr Quantity operator/(double s) const
+    {
+        return Quantity{value_ / s};
+    }
+    friend constexpr Quantity operator*(double s, Quantity q)
+    {
+        return Quantity{s * q.value_};
+    }
+
+    /** Ratio of two same-unit quantities is dimensionless. */
+    constexpr double operator/(Quantity o) const { return value_ / o.value_; }
+
+    constexpr Quantity &operator+=(Quantity o)
+    {
+        value_ += o.value_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity o)
+    {
+        value_ -= o.value_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double s)
+    {
+        value_ *= s;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double s)
+    {
+        value_ /= s;
+        return *this;
+    }
+
+    // --- Ordering ------------------------------------------------------
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double value_ = 0.0;
+};
+
+// Dimension tags. Empty structs: they exist only to make the types
+// distinct.
+struct PicosecondsTag;
+struct NanosecondsTag;
+struct MicrosecondsTag;
+struct SecondsTag;
+struct MhzTag;
+struct VoltsTag;
+struct MillivoltsTag;
+struct CelsiusTag;
+struct WattsTag;
+struct AmpsTag;
+
+using Picoseconds = Quantity<PicosecondsTag>;   ///< Circuit-level time.
+using Nanoseconds = Quantity<NanosecondsTag>;   ///< System-level time.
+using Microseconds = Quantity<MicrosecondsTag>; ///< Scheduling time.
+using Seconds = Quantity<SecondsTag>;           ///< Thermal time.
+using Mhz = Quantity<MhzTag>;                   ///< Clock frequency.
+using Volts = Quantity<VoltsTag>;               ///< Supply voltage.
+using Millivolts = Quantity<MillivoltsTag>;     ///< Droop magnitudes.
+using Celsius = Quantity<CelsiusTag>;           ///< Junction temperature.
+using Watts = Quantity<WattsTag>;               ///< Power.
+using Amps = Quantity<AmpsTag>;                 ///< PDN current.
+
+/**
+ * Count of CPM inserted-delay segments — the fine-tuning knob. An
+ * integer quantity, deliberately distinct from every time unit: a
+ * step count is converted to picoseconds only through a core's
+ * manufactured per-segment delays, never by a scale factor.
+ */
+class CpmSteps
+{
+  public:
+    constexpr CpmSteps() = default;
+    constexpr explicit CpmSteps(int steps) : steps_(steps) {}
+
+    constexpr int value() const { return steps_; }
+
+    constexpr CpmSteps operator+(CpmSteps o) const
+    {
+        return CpmSteps{steps_ + o.steps_};
+    }
+    constexpr CpmSteps operator-(CpmSteps o) const
+    {
+        return CpmSteps{steps_ - o.steps_};
+    }
+    constexpr CpmSteps operator-() const { return CpmSteps{-steps_}; }
+    constexpr CpmSteps &operator+=(CpmSteps o)
+    {
+        steps_ += o.steps_;
+        return *this;
+    }
+    constexpr CpmSteps &operator-=(CpmSteps o)
+    {
+        steps_ -= o.steps_;
+        return *this;
+    }
+    constexpr auto operator<=>(const CpmSteps &) const = default;
+
+  private:
+    int steps_ = 0;
+};
+
+// --- Explicit cross-dimension conversions ------------------------------
+
+/** Clock period of a frequency (replaces the raw mhzToPs helper). */
+constexpr Picoseconds
+periodOf(Mhz f)
+{
+    return Picoseconds{1.0e6 / f.value()};
+}
+
+/** Frequency whose period is the given time (replaces psToMhz). */
+constexpr Mhz
+frequencyOf(Picoseconds period)
+{
+    return Mhz{1.0e6 / period.value()};
+}
+
+constexpr Picoseconds
+toPicoseconds(Nanoseconds t)
+{
+    return Picoseconds{t.value() * 1.0e3};
+}
+
+constexpr Nanoseconds
+toNanoseconds(Picoseconds t)
+{
+    return Nanoseconds{t.value() * 1.0e-3};
+}
+
+constexpr Nanoseconds
+toNanoseconds(Microseconds t)
+{
+    return Nanoseconds{t.value() * 1.0e3};
+}
+
+constexpr Microseconds
+toMicroseconds(Nanoseconds t)
+{
+    return Microseconds{t.value() * 1.0e-3};
+}
+
+constexpr Seconds
+toSeconds(Nanoseconds t)
+{
+    return Seconds{t.value() * 1.0e-9};
+}
+
+constexpr Nanoseconds
+toNanoseconds(Seconds t)
+{
+    return Nanoseconds{t.value() * 1.0e9};
+}
+
+constexpr Volts
+toVolts(Millivolts v)
+{
+    return Volts{v.value() * 1.0e-3};
+}
+
+constexpr Millivolts
+toMillivolts(Volts v)
+{
+    return Millivolts{v.value() * 1.0e3};
+}
+
+/** Frequency from a GHz scalar (there is no Ghz type; MHz is canon). */
+constexpr Mhz
+mhzFromGhz(double ghz)
+{
+    return Mhz{ghz * 1.0e3};
+}
+
+// --- Zero-overhead guarantees ------------------------------------------
+
+static_assert(std::is_trivially_copyable_v<Picoseconds> &&
+                  std::is_trivially_copyable_v<Nanoseconds> &&
+                  std::is_trivially_copyable_v<Mhz> &&
+                  std::is_trivially_copyable_v<Volts> &&
+                  std::is_trivially_copyable_v<Millivolts> &&
+                  std::is_trivially_copyable_v<Celsius> &&
+                  std::is_trivially_copyable_v<Watts> &&
+                  std::is_trivially_copyable_v<Amps> &&
+                  std::is_trivially_copyable_v<CpmSteps>,
+              "quantities must stay trivially copyable (pass in registers)");
+
+static_assert(sizeof(Picoseconds) == sizeof(double) &&
+                  sizeof(Mhz) == sizeof(double) &&
+                  sizeof(Volts) == sizeof(double) &&
+                  sizeof(Watts) == sizeof(double) &&
+                  sizeof(CpmSteps) == sizeof(int),
+              "quantities must add no storage overhead over the raw scalar");
+
+static_assert(std::is_standard_layout_v<Picoseconds> &&
+                  std::is_standard_layout_v<CpmSteps>,
+              "quantities must stay standard-layout");
+
+// The safety property itself: units never mix silently.
+static_assert(!std::is_convertible_v<Nanoseconds, Picoseconds> &&
+                  !std::is_convertible_v<Picoseconds, Nanoseconds> &&
+                  !std::is_convertible_v<Volts, Millivolts> &&
+                  !std::is_convertible_v<double, Picoseconds> &&
+                  !std::is_convertible_v<Picoseconds, double> &&
+                  !std::is_convertible_v<int, CpmSteps>,
+              "cross-unit and raw-scalar conversions must stay explicit");
+
+namespace literals {
+
+constexpr Picoseconds operator""_ps(long double v)
+{
+    return Picoseconds{static_cast<double>(v)};
+}
+constexpr Picoseconds operator""_ps(unsigned long long v)
+{
+    return Picoseconds{static_cast<double>(v)};
+}
+constexpr Nanoseconds operator""_ns(long double v)
+{
+    return Nanoseconds{static_cast<double>(v)};
+}
+constexpr Nanoseconds operator""_ns(unsigned long long v)
+{
+    return Nanoseconds{static_cast<double>(v)};
+}
+constexpr Microseconds operator""_us(long double v)
+{
+    return Microseconds{static_cast<double>(v)};
+}
+constexpr Microseconds operator""_us(unsigned long long v)
+{
+    return Microseconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v)
+{
+    return Seconds{static_cast<double>(v)};
+}
+constexpr Mhz operator""_mhz(long double v)
+{
+    return Mhz{static_cast<double>(v)};
+}
+constexpr Mhz operator""_mhz(unsigned long long v)
+{
+    return Mhz{static_cast<double>(v)};
+}
+constexpr Mhz operator""_ghz(long double v)
+{
+    return mhzFromGhz(static_cast<double>(v));
+}
+constexpr Volts operator""_volt(long double v)
+{
+    return Volts{static_cast<double>(v)};
+}
+constexpr Millivolts operator""_mv(long double v)
+{
+    return Millivolts{static_cast<double>(v)};
+}
+constexpr Millivolts operator""_mv(unsigned long long v)
+{
+    return Millivolts{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degc(long double v)
+{
+    return Celsius{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degc(unsigned long long v)
+{
+    return Celsius{static_cast<double>(v)};
+}
+constexpr Watts operator""_watt(long double v)
+{
+    return Watts{static_cast<double>(v)};
+}
+constexpr CpmSteps operator""_steps(unsigned long long v)
+{
+    return CpmSteps{static_cast<int>(v)};
+}
+
+} // namespace literals
+
+} // namespace atmsim::util

@@ -50,7 +50,7 @@ double
 Rng::uniform()
 {
     // 53 bits of mantissa.
-    return (u64() >> 11) * 0x1.0p-53;
+    return static_cast<double>(u64() >> 11) * 0x1.0p-53;
 }
 
 double
@@ -143,7 +143,7 @@ VanDerCorput::at(std::uint64_t index) const
         bits >>= 1;
     }
     reversed ^= scramble_;
-    return (reversed >> 11) * 0x1.0p-53;
+    return static_cast<double>(reversed >> 11) * 0x1.0p-53;
 }
 
 double

@@ -17,9 +17,9 @@ agingDelayFactor(const AgingParams &params, double years, double avg_v,
         return 1.0;
     const double stress =
         (1.0 + params.voltageAccel
-               * (avg_v - circuit::kVddNominal) / 0.1)
+               * (avg_v - circuit::kVddNominal.value()) / 0.1)
         * (1.0 + params.tempAccel
-                 * (avg_t_c - circuit::kTempNominalC) / 25.0);
+                 * (avg_t_c - circuit::kTempNominal.value()) / 25.0);
     const double slowdown = params.delayFracPerYearN
                           * std::pow(years, params.timeExponent)
                           * std::max(stress, 0.1);

@@ -91,7 +91,7 @@ tryBuildCore(CoreSiliconParams &core, const CoreLimitTargets &t,
              int preset_steps, double speed_factor, util::Rng &rng,
              const StepHints *hints, double guard_inflation)
 {
-    using circuit::kDpllTargetSlackPs;
+    const double dpll_slack_ps = circuit::kDpllTargetSlack.value();
     const double s = speed_factor;
     const double n0 = kIdleNoiseFloorPs;
     const double r = kIdleNoiseRangePs;
@@ -116,7 +116,8 @@ tryBuildCore(CoreSiliconParams &core, const CoreLimitTargets &t,
     }
 
     // Total removal over L steps fixes the idle-limit frequency.
-    const double period0 = util::mhzToPs(circuit::kDefaultAtmIdleMhz);
+    const double period0 =
+        util::periodOf(circuit::kDefaultAtmIdleMhz).value();
     const double period_l = util::mhzToPs(t.idleLimitMhz);
     const double removal = (period0 - period_l) / s;
     if (removal <= 0.0)
@@ -188,25 +189,24 @@ tryBuildCore(CoreSiliconParams &core, const CoreLimitTargets &t,
     const double ins_full = std::accumulate(core.cpmStepPs.begin(),
                                             core.cpmStepPs.begin() + P,
                                             0.0);
-    core.synthPathPs = (period0 - kDpllTargetSlackPs) / s - ins_full;
+    core.synthPathPs = (period0 - dpll_slack_ps) / s - ins_full;
     if (core.synthPathPs <= 0.0)
         util::fatal("negative synthetic path delay");
 
     // --- 3. Real path from the idle placement S(L+1) = n0 + 0.3 r.
     core.realPathIdlePs = core.synthPathPs
-                        + core.insertedDelayPs(P - L - 1)
-                        + (kDpllTargetSlackPs - n0 - 0.3 * r) / s;
+                        + core.insertedDelayPs(CpmSteps{P - L - 1}).value()
+                        + (dpll_slack_ps - n0 - 0.3 * r) / s;
     core.idleNoiseFloorPs = n0;
     core.idleNoiseRangePs = r;
 
     // Placement window for a scenario with limit X (see doc comment).
-    auto win_lo = [&](int x) {
-        return core.safetySlackPs(x + 1) - n0 - 0.5 * r;
+    auto slack = [&](int x) {
+        return core.safetySlackPs(CpmSteps{x}).value();
     };
-    auto win_hi = [&](int x) { return core.safetySlackPs(x) - n0 - r; };
-    auto place = [&](int x) {
-        return core.safetySlackPs(x + 1) - n0 - 0.35 * r;
-    };
+    auto win_lo = [&](int x) { return slack(x + 1) - n0 - 0.5 * r; };
+    auto win_hi = [&](int x) { return slack(x) - n0 - r; };
+    auto place = [&](int x) { return slack(x + 1) - n0 - 0.35 * r; };
     auto in_window = [&](double e, int x) {
         return e > win_lo(x) && e <= win_hi(x);
     };
@@ -302,7 +302,7 @@ buildCoreFromTargets(const std::string &name, const CoreLimitTargets &targets,
     // segment above the run-noise resolution, or adjacent
     // configurations would be indistinguishable to characterization.
     const double removal =
-        (util::mhzToPs(circuit::kDefaultAtmIdleMhz)
+        (util::periodOf(circuit::kDefaultAtmIdleMhz).value()
          - util::mhzToPs(targets.idleLimitMhz)) / speed_factor;
     if (removal < 0.9 * static_cast<double>(targets.idle)) {
         util::fatal("core ", name, ": idle limit ", targets.idle,
@@ -344,8 +344,11 @@ verifyCoreTargets(const CoreSiliconParams &core,
         int lo = core.presetSteps;
         for (int rep = 0; rep < reps; ++rep) {
             const double extra = scenarioExtraPs(core, exposure, droop);
-            const int k = analyticMaxSafeReduction(core, extra,
-                                                   runNoisePs(core, rep));
+            const int k =
+                analyticMaxSafeReduction(
+                    core, Picoseconds{extra},
+                    Picoseconds{runNoisePs(core, rep)})
+                    .value();
             lo = std::min(lo, k);
         }
         return lo;

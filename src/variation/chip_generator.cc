@@ -57,7 +57,7 @@ generateChip(const std::string &name, std::uint64_t seed,
         // The idle limit follows from how much period must be removed
         // to reach the idle-limit frequency at ~2 ps per segment.
         const double removal =
-            util::mhzToPs(circuit::kDefaultAtmIdleMhz)
+            util::periodOf(circuit::kDefaultAtmIdleMhz).value()
             - util::mhzToPs(targets.idleLimitMhz);
         const int idle_guess = static_cast<int>(
             std::lround(removal / kMeanStepPs + rng.gaussian(0.0, 0.8)));

@@ -4,41 +4,46 @@
 
 #include "circuit/constants.h"
 #include "util/logging.h"
-#include "util/units.h"
 
 namespace atmsim::variation {
 
-double
-CoreSiliconParams::insertedDelayPs(int cfg_steps) const
+Picoseconds
+CoreSiliconParams::insertedDelayPs(CpmSteps cfg_steps) const
 {
-    if (cfg_steps < 0 || cfg_steps > maxConfig()) {
-        util::fatal("core ", name, ": inserted-delay config ", cfg_steps,
-                    " out of range [0, ", maxConfig(), "]");
+    const int steps = cfg_steps.value();
+    if (steps < 0 || cfg_steps > maxConfig()) {
+        util::fatal("core ", name, ": inserted-delay config ", steps,
+                    " out of range [0, ", maxConfig().value(), "]");
     }
-    return std::accumulate(cpmStepPs.begin(), cpmStepPs.begin() + cfg_steps,
-                           0.0);
+    return Picoseconds{std::accumulate(cpmStepPs.begin(),
+                                       cpmStepPs.begin() + steps, 0.0)};
 }
 
-double
-CoreSiliconParams::safetySlackPs(int reduction) const
+Picoseconds
+CoreSiliconParams::safetySlackPs(CpmSteps reduction) const
 {
-    const double inserted = insertedDelayPs(presetSteps - reduction);
-    return speedFactor * (synthPathPs + inserted - realPathIdlePs)
-         + circuit::kDpllTargetSlackPs;
+    const Picoseconds inserted =
+        insertedDelayPs(CpmSteps{presetSteps} - reduction);
+    return (Picoseconds{synthPathPs} + inserted - Picoseconds{realPathIdlePs})
+             * speedFactor
+         + circuit::kDpllTargetSlack;
 }
 
-double
-CoreSiliconParams::atmPeriodPs(int reduction, double delay_factor) const
+Picoseconds
+CoreSiliconParams::atmPeriodPs(CpmSteps reduction, double delay_factor) const
 {
-    const double inserted = insertedDelayPs(presetSteps - reduction);
-    return speedFactor * delay_factor * (synthPathPs + inserted)
-         + circuit::kDpllTargetSlackPs;
+    const Picoseconds inserted =
+        insertedDelayPs(CpmSteps{presetSteps} - reduction);
+    return (Picoseconds{synthPathPs} + inserted)
+             * (speedFactor * delay_factor)
+         + circuit::kDpllTargetSlack;
 }
 
-double
-CoreSiliconParams::atmFrequencyMhz(int reduction, double delay_factor) const
+Mhz
+CoreSiliconParams::atmFrequencyMhz(CpmSteps reduction,
+                                   double delay_factor) const
 {
-    return util::psToMhz(atmPeriodPs(reduction, delay_factor));
+    return util::frequencyOf(atmPeriodPs(reduction, delay_factor));
 }
 
 void
@@ -51,9 +56,9 @@ CoreSiliconParams::validate() const
                     speedFactor);
     if (synthPathPs <= 0.0)
         util::fatal("core ", name, ": synthetic path delay must be positive");
-    if (presetSteps <= 0 || presetSteps > maxConfig())
+    if (presetSteps <= 0 || CpmSteps{presetSteps} > maxConfig())
         util::fatal("core ", name, ": preset ", presetSteps,
-                    " outside chain length ", maxConfig());
+                    " outside chain length ", maxConfig().value());
     for (double step : cpmStepPs) {
         if (step <= 0.0)
             util::fatal("core ", name, ": non-positive CPM step ", step);
@@ -68,7 +73,8 @@ CoreSiliconParams::validate() const
         util::fatal("core ", name, ": invalid noise parameters");
     // The preset configuration must be safe with room to spare, or the
     // factory would never have shipped the part.
-    if (safetySlackPs(0) <= idleNoiseFloorPs + idleNoiseRangePs)
+    if (safetySlackPs(CpmSteps{0})
+        <= Picoseconds{idleNoiseFloorPs + idleNoiseRangePs})
         util::fatal("core ", name, ": preset configuration is not safe");
 }
 
@@ -83,25 +89,25 @@ ChipSilicon::validate() const
 }
 
 bool
-analyticSafe(const CoreSiliconParams &core, int reduction, double extra_ps,
-             double noise_ps)
+analyticSafe(const CoreSiliconParams &core, CpmSteps reduction,
+             Picoseconds extra, Picoseconds noise)
 {
-    return core.safetySlackPs(reduction) >= extra_ps + noise_ps;
+    return core.safetySlackPs(reduction) >= extra + noise;
 }
 
-int
-analyticMaxSafeReduction(const CoreSiliconParams &core, double extra_ps,
-                         double noise_ps)
+CpmSteps
+analyticMaxSafeReduction(const CoreSiliconParams &core, Picoseconds extra,
+                         Picoseconds noise)
 {
     // Safety is monotone in the reduction (every disabled segment has
     // positive delay), so scan upward until the first violation.
     int best = 0;
     for (int k = 1; k <= core.presetSteps; ++k) {
-        if (!analyticSafe(core, k, extra_ps, noise_ps))
+        if (!analyticSafe(core, CpmSteps{k}, extra, noise))
             break;
         best = k;
     }
-    return best;
+    return CpmSteps{best};
 }
 
 } // namespace atmsim::variation

@@ -14,7 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.h"
+
 namespace atmsim::variation {
+
+using util::CpmSteps;
+using util::Mhz;
+using util::Picoseconds;
 
 /**
  * Manufactured parameters of one core. All delays are "nominal ps":
@@ -64,14 +70,17 @@ struct CoreSiliconParams
     /** Range of run-to-run timing noise above the floor, ps. */
     double idleNoiseRangePs = 0.7;
 
-    /** @return Total inserted delay for a configuration (ps, nominal). */
-    double insertedDelayPs(int cfg_steps) const;
+    /** @return Total inserted delay for a configuration (nominal). */
+    Picoseconds insertedDelayPs(CpmSteps cfg_steps) const;
 
     /** @return Largest valid configuration (= chain length). */
-    int maxConfig() const { return static_cast<int>(cpmStepPs.size()); }
+    CpmSteps maxConfig() const
+    {
+        return CpmSteps{static_cast<int>(cpmStepPs.size())};
+    }
 
     /**
-     * Static safety slack at a given delay reduction (nominal ps):
+     * Static safety slack at a given delay reduction (nominal):
      * the margin between the ATM steady-state period and the real
      * worst path, before transient effects and run noise.
      *
@@ -80,7 +89,7 @@ struct CoreSiliconParams
      *
      * @param reduction Steps of inserted-delay reduction from preset.
      */
-    double safetySlackPs(int reduction) const;
+    Picoseconds safetySlackPs(CpmSteps reduction) const;
 
     /**
      * ATM steady-state clock period at a given reduction and
@@ -88,12 +97,11 @@ struct CoreSiliconParams
      *
      * @param reduction Steps reduced from the preset configuration.
      * @param delay_factor Shared environmental delay factor.
-     * @return Clock period in ps.
      */
-    double atmPeriodPs(int reduction, double delay_factor) const;
+    Picoseconds atmPeriodPs(CpmSteps reduction, double delay_factor) const;
 
-    /** Convenience: ATM steady-state frequency in MHz. */
-    double atmFrequencyMhz(int reduction, double delay_factor) const;
+    /** Convenience: ATM steady-state frequency. */
+    Mhz atmFrequencyMhz(CpmSteps reduction, double delay_factor) const;
 
     /** Validate internal consistency; fatal() on violation. */
     void validate() const;
@@ -117,12 +125,12 @@ struct ChipSilicon
  *
  * @param core Core parameters.
  * @param reduction Steps of inserted-delay reduction from preset.
- * @param extra_ps Scenario path exposure + uncovered droop (nominal ps).
- * @param noise_ps This run's timing noise draw (nominal ps).
+ * @param extra Scenario path exposure + uncovered droop (nominal).
+ * @param noise This run's timing noise draw (nominal).
  * @return true when no timing violation occurs.
  */
-bool analyticSafe(const CoreSiliconParams &core, int reduction,
-                  double extra_ps, double noise_ps);
+bool analyticSafe(const CoreSiliconParams &core, CpmSteps reduction,
+                  Picoseconds extra, Picoseconds noise);
 
 /**
  * Largest safe reduction for a scenario under a given noise draw.
@@ -130,7 +138,7 @@ bool analyticSafe(const CoreSiliconParams &core, int reduction,
  * @return Reduction steps in [0, preset]; 0 means the preset itself is
  *         the only safe point (the search never goes below preset).
  */
-int analyticMaxSafeReduction(const CoreSiliconParams &core, double extra_ps,
-                             double noise_ps);
+CpmSteps analyticMaxSafeReduction(const CoreSiliconParams &core,
+                                  Picoseconds extra, Picoseconds noise);
 
 } // namespace atmsim::variation

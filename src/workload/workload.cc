@@ -62,7 +62,7 @@ WorkloadTraits::perfRelative(double f_mhz) const
 {
     if (f_mhz <= 0.0)
         util::fatal("perfRelative: non-positive frequency ", f_mhz);
-    const double fr = circuit::kStaticMarginMhz / f_mhz;
+    const double fr = circuit::kStaticMarginMhz.value() / f_mhz;
     return 1.0 / ((1.0 - memBoundFrac) * fr + memBoundFrac);
 }
 

@@ -11,6 +11,13 @@
 namespace atmsim::chip {
 namespace {
 
+using util::Celsius;
+using util::CpmSteps;
+using util::Mhz;
+using util::Nanoseconds;
+using util::Picoseconds;
+using util::Volts;
+
 class AtmCoreTest : public ::testing::Test
 {
   protected:
@@ -30,6 +37,11 @@ class AtmCoreTest : public ::testing::Test
         core_ = std::make_unique<AtmCore>(&silicon_, model_.get());
     }
 
+    double steadyMhz(double v, double t) const
+    {
+        return core_->steadyFrequencyMhz(Volts{v}, Celsius{t}).value();
+    }
+
     variation::CoreSiliconParams silicon_;
     std::unique_ptr<circuit::DelayModel> model_;
     std::unique_ptr<AtmCore> core_;
@@ -37,91 +49,94 @@ class AtmCoreTest : public ::testing::Test
 
 TEST_F(AtmCoreTest, DefaultSteadyFrequencyIsFactoryAtm)
 {
-    EXPECT_NEAR(core_->steadyFrequencyMhz(1.25, 45.0),
-                circuit::kDefaultAtmIdleMhz, 1.0);
+    EXPECT_NEAR(steadyMhz(1.25, 45.0),
+                circuit::kDefaultAtmIdleMhz.value(), 1.0);
 }
 
 TEST_F(AtmCoreTest, ReductionRaisesSteadyFrequency)
 {
-    const double base = core_->steadyFrequencyMhz(1.25, 45.0);
-    core_->setCpmReduction(8);
-    EXPECT_NEAR(core_->steadyFrequencyMhz(1.25, 45.0), 5000.0, 1.0);
-    EXPECT_GT(core_->steadyFrequencyMhz(1.25, 45.0), base);
+    const double base = steadyMhz(1.25, 45.0);
+    core_->setCpmReduction(CpmSteps{8});
+    EXPECT_NEAR(steadyMhz(1.25, 45.0), 5000.0, 1.0);
+    EXPECT_GT(steadyMhz(1.25, 45.0), base);
 }
 
 TEST_F(AtmCoreTest, SteadyFrequencyDropsWithVoltage)
 {
-    EXPECT_LT(core_->steadyFrequencyMhz(1.18, 45.0),
-              core_->steadyFrequencyMhz(1.25, 45.0));
+    EXPECT_LT(steadyMhz(1.18, 45.0), steadyMhz(1.25, 45.0));
 }
 
 TEST_F(AtmCoreTest, FixedModeIgnoresEnvironment)
 {
     core_->setMode(CoreMode::FixedFrequency);
-    core_->setFixedFrequencyMhz(4200.0);
-    EXPECT_DOUBLE_EQ(core_->steadyFrequencyMhz(1.18, 70.0), 4200.0);
-    EXPECT_DOUBLE_EQ(core_->frequencyMhz(),
-                     util::psToMhz(core_->periodPs()));
+    core_->setFixedFrequencyMhz(Mhz{4200.0});
+    EXPECT_DOUBLE_EQ(steadyMhz(1.18, 70.0), 4200.0);
+    EXPECT_DOUBLE_EQ(core_->frequencyMhz().value(),
+                     util::frequencyOf(core_->periodPs()).value());
 }
 
 TEST_F(AtmCoreTest, GatedModeReportsZeroSteady)
 {
     core_->setMode(CoreMode::Gated);
-    EXPECT_DOUBLE_EQ(core_->steadyFrequencyMhz(1.25, 45.0), 0.0);
-    EXPECT_TRUE(core_->timingMet(1.0, 45.0, 100.0, 100.0));
+    EXPECT_DOUBLE_EQ(steadyMhz(1.25, 45.0), 0.0);
+    EXPECT_TRUE(core_->timingMet(Volts{1.0}, Celsius{45.0},
+                                 Picoseconds{100.0}, Picoseconds{100.0}));
 }
 
 TEST_F(AtmCoreTest, ControlLoopTracksSteadyState)
 {
-    core_->setCpmReduction(5);
-    core_->resetClock(1.25, 45.0);
+    core_->setCpmReduction(CpmSteps{5});
+    core_->resetClock(Volts{1.25}, Celsius{45.0});
     double now = 0.0;
     for (int i = 0; i < 5000; ++i) {
-        core_->stepControl(now, 1.25, 45.0);
+        core_->stepControl(Nanoseconds{now}, Volts{1.25}, Celsius{45.0});
         now += 0.2;
     }
     // The engine loop holds slack in [target, target+1) inverters, so
     // it sits slightly below the analytic steady state.
-    const double analytic = core_->steadyFrequencyMhz(1.25, 45.0);
-    EXPECT_NEAR(core_->frequencyMhz(), analytic, 40.0);
-    EXPECT_LE(core_->frequencyMhz(), analytic + 1.0);
+    const double analytic = steadyMhz(1.25, 45.0);
+    EXPECT_NEAR(core_->frequencyMhz().value(), analytic, 40.0);
+    EXPECT_LE(core_->frequencyMhz().value(), analytic + 1.0);
 }
 
 TEST_F(AtmCoreTest, ControlLoopAdaptsToVoltageDrop)
 {
-    core_->setCpmReduction(5);
-    core_->resetClock(1.25, 45.0);
+    core_->setCpmReduction(CpmSteps{5});
+    core_->resetClock(Volts{1.25}, Celsius{45.0});
     double now = 0.0;
     for (int i = 0; i < 2000; ++i) {
-        core_->stepControl(now, 1.25, 45.0);
+        core_->stepControl(Nanoseconds{now}, Volts{1.25}, Celsius{45.0});
         now += 0.2;
     }
-    const double before = core_->frequencyMhz();
+    const double before = core_->frequencyMhz().value();
     for (int i = 0; i < 10000; ++i) {
-        core_->stepControl(now, 1.20, 45.0);
+        core_->stepControl(Nanoseconds{now}, Volts{1.20}, Celsius{45.0});
         now += 0.2;
     }
-    const double after = core_->frequencyMhz();
+    const double after = core_->frequencyMhz().value();
     EXPECT_LT(after, before - 50.0);
 }
 
 TEST_F(AtmCoreTest, TimingMetAtSafeConfig)
 {
-    core_->setCpmReduction(8); // the idle limit
-    core_->resetClock(1.25, 45.0);
-    EXPECT_TRUE(core_->timingMet(1.25, 45.0, 0.0, 0.5));
+    core_->setCpmReduction(CpmSteps{8}); // the idle limit
+    core_->resetClock(Volts{1.25}, Celsius{45.0});
+    EXPECT_TRUE(core_->timingMet(Volts{1.25}, Celsius{45.0},
+                                 Picoseconds{0.0}, Picoseconds{0.5}));
 }
 
 TEST_F(AtmCoreTest, TimingViolatedBeyondLimit)
 {
-    core_->setCpmReduction(10); // two past the idle limit
-    core_->resetClock(1.25, 45.0);
-    EXPECT_FALSE(core_->timingMet(1.25, 45.0, 0.0, 1.2));
+    core_->setCpmReduction(CpmSteps{10}); // two past the idle limit
+    core_->resetClock(Volts{1.25}, Celsius{45.0});
+    EXPECT_FALSE(core_->timingMet(Volts{1.25}, Celsius{45.0},
+                                  Picoseconds{0.0}, Picoseconds{1.2}));
 }
 
 TEST_F(AtmCoreTest, Validation)
 {
-    EXPECT_THROW(core_->setFixedFrequencyMhz(0.0), util::FatalError);
+    EXPECT_THROW(core_->setFixedFrequencyMhz(Mhz{0.0}),
+                 util::FatalError);
     EXPECT_THROW(AtmCore(nullptr, model_.get()), util::PanicError);
 }
 

@@ -9,6 +9,9 @@
 namespace atmsim::chip {
 namespace {
 
+using util::Mhz;
+using util::Volts;
+
 class ChipTest : public ::testing::Test
 {
   protected:
@@ -28,14 +31,15 @@ TEST_F(ChipTest, IdleSteadyStateNearNominal)
 {
     const ChipSteadyState st = chip_.solveSteadyState();
     // The VRM setpoint is chosen so idle cores sit near 1.25 V.
-    for (double v : st.coreVoltageV)
-        EXPECT_NEAR(v, circuit::kVddNominal, 0.01);
+    for (Volts v : st.coreVoltageV)
+        EXPECT_NEAR(v.value(), circuit::kVddNominal.value(), 0.01);
     // Idle chip power around 40 W.
-    EXPECT_GT(st.chipPowerW, 30.0);
-    EXPECT_LT(st.chipPowerW, 50.0);
+    EXPECT_GT(st.chipPowerW.value(), 30.0);
+    EXPECT_LT(st.chipPowerW.value(), 50.0);
     // Default ATM idles near 4.6 GHz on every core.
-    for (double f : st.coreFreqMhz)
-        EXPECT_NEAR(f, circuit::kDefaultAtmIdleMhz, 30.0);
+    for (Mhz f : st.coreFreqMhz)
+        EXPECT_NEAR(f.value(), circuit::kDefaultAtmIdleMhz.value(),
+                    30.0);
 }
 
 TEST_F(ChipTest, LoadDropsVoltageAndFrequency)
@@ -45,10 +49,12 @@ TEST_F(ChipTest, LoadDropsVoltageAndFrequency)
     for (int c = 0; c < chip_.coreCount(); ++c)
         chip_.assignWorkload(c, &daxpy, 4);
     const ChipSteadyState loaded = chip_.solveSteadyState();
-    EXPECT_GT(loaded.chipPowerW, idle.chipPowerW + 50.0);
-    EXPECT_LT(loaded.gridVoltageV, idle.gridVoltageV - 0.03);
+    EXPECT_GT(loaded.chipPowerW.value(), idle.chipPowerW.value() + 50.0);
+    EXPECT_LT(loaded.gridVoltageV.value(),
+              idle.gridVoltageV.value() - 0.03);
     for (int c = 0; c < chip_.coreCount(); ++c) {
-        EXPECT_LT(loaded.coreFreqMhz[c], idle.coreFreqMhz[c] - 80.0)
+        EXPECT_LT(loaded.coreFreqMhz[c].value(),
+                  idle.coreFreqMhz[c].value() - 80.0)
             << "core " << c;
     }
 }
@@ -61,8 +67,9 @@ TEST_F(ChipTest, FrequencyPowerSlopeNearTwoMhzPerWatt)
     for (int c = 0; c < chip_.coreCount(); ++c)
         chip_.assignWorkload(c, &daxpy, 4);
     const ChipSteadyState loaded = chip_.solveSteadyState();
-    const double slope = (idle.coreFreqMhz[0] - loaded.coreFreqMhz[0])
-                       / (loaded.chipPowerW - idle.chipPowerW);
+    const double slope =
+        (idle.coreFreqMhz[0].value() - loaded.coreFreqMhz[0].value())
+        / (loaded.chipPowerW.value() - idle.chipPowerW.value());
     EXPECT_GT(slope, 1.0);
     EXPECT_LT(slope, 3.5);
 }
@@ -72,9 +79,9 @@ TEST_F(ChipTest, GatedCoreDrawsAlmostNothing)
     const ChipSteadyState before = chip_.solveSteadyState();
     chip_.core(0).setMode(CoreMode::Gated);
     const ChipSteadyState after = chip_.solveSteadyState();
-    EXPECT_LT(after.chipPowerW, before.chipPowerW - 2.0);
-    EXPECT_DOUBLE_EQ(after.coreFreqMhz[0], 0.0);
-    EXPECT_GT(after.minActiveFreqMhz(), 0.0);
+    EXPECT_LT(after.chipPowerW.value(), before.chipPowerW.value() - 2.0);
+    EXPECT_DOUBLE_EQ(after.coreFreqMhz[0].value(), 0.0);
+    EXPECT_GT(after.minActiveFreqMhz().value(), 0.0);
     chip_.core(0).setMode(CoreMode::AtmOverclock);
 }
 
@@ -88,8 +95,8 @@ TEST_F(ChipTest, FixedCoresHoldFrequencyUnderLoad)
     for (int c = 0; c < chip_.coreCount(); ++c)
         chip_.assignWorkload(c, &x264);
     const ChipSteadyState st = chip_.solveSteadyState();
-    for (double f : st.coreFreqMhz)
-        EXPECT_DOUBLE_EQ(f, circuit::kStaticMarginMhz);
+    for (Mhz f : st.coreFreqMhz)
+        EXPECT_DOUBLE_EQ(f.value(), circuit::kStaticMarginMhz.value());
 }
 
 TEST_F(ChipTest, AssignmentBookkeeping)
@@ -111,24 +118,27 @@ TEST_F(ChipTest, PathExposureBySuite)
 {
     const auto &silicon = chip_.core(0).silicon();
     EXPECT_DOUBLE_EQ(
-        Chip::pathExposurePs(silicon, workload::idleWorkload()), 0.0);
+        Chip::pathExposurePs(silicon, workload::idleWorkload()).value(),
+        0.0);
     EXPECT_DOUBLE_EQ(
-        Chip::pathExposurePs(silicon, workload::findWorkload("daxpy")),
+        Chip::pathExposurePs(silicon, workload::findWorkload("daxpy"))
+            .value(),
         silicon.ubenchExtraPs);
     EXPECT_DOUBLE_EQ(
-        Chip::pathExposurePs(silicon, workload::findWorkload("x264")),
+        Chip::pathExposurePs(silicon, workload::findWorkload("x264"))
+            .value(),
         silicon.loadExposurePs);
     EXPECT_DOUBLE_EQ(
-        Chip::pathExposurePs(silicon, workload::voltageVirus()),
+        Chip::pathExposurePs(silicon, workload::voltageVirus()).value(),
         silicon.loadExposurePs);
 }
 
 TEST_F(ChipTest, SteadyStateHelpers)
 {
     ChipSteadyState st;
-    st.coreFreqMhz = {4800.0, 0.0, 4900.0};
-    EXPECT_DOUBLE_EQ(st.minActiveFreqMhz(), 4800.0);
-    EXPECT_DOUBLE_EQ(st.maxFreqMhz(), 4900.0);
+    st.coreFreqMhz = {Mhz{4800.0}, Mhz{0.0}, Mhz{4900.0}};
+    EXPECT_DOUBLE_EQ(st.minActiveFreqMhz().value(), 4800.0);
+    EXPECT_DOUBLE_EQ(st.maxFreqMhz().value(), 4900.0);
 }
 
 } // namespace

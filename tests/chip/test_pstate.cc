@@ -6,10 +6,14 @@
 namespace atmsim::chip {
 namespace {
 
+using util::Mhz;
+
 TEST(PState, TableSpansPaperRange)
 {
-    EXPECT_DOUBLE_EQ(highestPStateMhz(), circuit::kStaticMarginMhz);
-    EXPECT_DOUBLE_EQ(lowestPStateMhz(), circuit::kPStateMinMhz);
+    EXPECT_DOUBLE_EQ(highestPStateMhz().value(),
+                     circuit::kStaticMarginMhz.value());
+    EXPECT_DOUBLE_EQ(lowestPStateMhz().value(),
+                     circuit::kPStateMinMhz.value());
 }
 
 TEST(PState, TableDescending)
@@ -22,10 +26,10 @@ TEST(PState, TableDescending)
 
 TEST(PState, AtOrBelowSnapsDown)
 {
-    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(4200.0), 4200.0);
-    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(4100.0), 3900.0);
-    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(3899.0), 3600.0);
-    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(1000.0), 2100.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(Mhz{4200.0}).value(), 4200.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(Mhz{4100.0}).value(), 3900.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(Mhz{3899.0}).value(), 3600.0);
+    EXPECT_DOUBLE_EQ(pstateAtOrBelowMhz(Mhz{1000.0}).value(), 2100.0);
 }
 
 } // namespace

@@ -46,9 +46,10 @@ TEST(System, SocketsAreElectricallyIndependent)
     const auto &virus = server.chip(0).assignment(0); // touch API
     (void)virus;
     for (int c = 0; c < server.chip(0).coreCount(); ++c)
-        server.chip(0).core(c).setCpmReduction(2);
+        server.chip(0).core(c).setCpmReduction(util::CpmSteps{2});
     const ChipSteadyState idle1_after = server.chip(1).solveSteadyState();
-    EXPECT_DOUBLE_EQ(idle1.gridVoltageV, idle1_after.gridVoltageV);
+    EXPECT_DOUBLE_EQ(idle1.gridVoltageV.value(),
+                     idle1_after.gridVoltageV.value());
 }
 
 } // namespace

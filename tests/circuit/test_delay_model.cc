@@ -8,6 +8,10 @@
 namespace atmsim::circuit {
 namespace {
 
+using util::Celsius;
+using util::Picoseconds;
+using util::Volts;
+
 class DelayModelTest : public ::testing::Test
 {
   protected:
@@ -16,22 +20,22 @@ class DelayModelTest : public ::testing::Test
 
 TEST_F(DelayModelTest, UnityAtNominalPoint)
 {
-    EXPECT_NEAR(model_.factor(kVddNominal, kTempNominalC), 1.0, 1e-12);
+    EXPECT_NEAR(model_.factor(kVddNominal, kTempNominal), 1.0, 1e-12);
 }
 
 TEST_F(DelayModelTest, DelayGrowsAsVoltageDrops)
 {
-    const double at_nominal = model_.factor(kVddNominal, kTempNominalC);
-    const double at_droop = model_.factor(kVddNominal - 0.05,
-                                          kTempNominalC);
+    const double at_nominal = model_.factor(kVddNominal, kTempNominal);
+    const double at_droop = model_.factor(kVddNominal - Volts{0.05},
+                                          kTempNominal);
     EXPECT_GT(at_droop, at_nominal);
 }
 
 TEST_F(DelayModelTest, MonotoneInVoltage)
 {
-    double prev = model_.factor(0.9, kTempNominalC);
+    double prev = model_.factor(Volts{0.9}, kTempNominal);
     for (double v = 0.95; v <= 1.40; v += 0.05) {
-        const double f = model_.factor(v, kTempNominalC);
+        const double f = model_.factor(Volts{v}, kTempNominal);
         EXPECT_LT(f, prev) << "at " << v;
         prev = f;
     }
@@ -42,15 +46,15 @@ TEST_F(DelayModelTest, SensitivityMagnitudeMatchesPaperScale)
     // ~20-60 mV corresponds to 1-3 CPM steps of ~2 ps on a ~210 ps
     // path: the voltage sensitivity at nominal must be around 0.5/V.
     const double sens = model_.sensitivityPerVolt(kVddNominal,
-                                                  kTempNominalC);
+                                                  kTempNominal);
     EXPECT_GT(sens, 0.3);
     EXPECT_LT(sens, 0.9);
 }
 
 TEST_F(DelayModelTest, TemperatureIncreasesDelayWeakly)
 {
-    const double hot = model_.factor(kVddNominal, 70.0);
-    const double cold = model_.factor(kVddNominal, 45.0);
+    const double hot = model_.factor(kVddNominal, Celsius{70.0});
+    const double cold = model_.factor(kVddNominal, Celsius{45.0});
     EXPECT_GT(hot, cold);
     // Paper: temperature has only a modest effect.
     EXPECT_LT(hot / cold, 1.02);
@@ -59,48 +63,56 @@ TEST_F(DelayModelTest, TemperatureIncreasesDelayWeakly)
 TEST_F(DelayModelTest, DerivativeMatchesFiniteDifference)
 {
     const double v = 1.2, t = 50.0, h = 1e-6;
-    const double analytic = model_.dFactorDv(v, t);
-    const double numeric =
-        (model_.factor(v + h, t) - model_.factor(v - h, t)) / (2 * h);
+    const double analytic = model_.dFactorDv(Volts{v}, Celsius{t});
+    const double numeric = (model_.factor(Volts{v + h}, Celsius{t})
+                            - model_.factor(Volts{v - h}, Celsius{t}))
+                         / (2 * h);
     EXPECT_NEAR(analytic, numeric, 1e-6);
 }
 
 TEST_F(DelayModelTest, InversionRoundTrips)
 {
     for (double v : {1.05, 1.15, 1.25, 1.35}) {
-        const double f = model_.factor(v, kTempNominalC);
-        EXPECT_NEAR(model_.voltageForFactor(f, kTempNominalC), v, 1e-8);
+        const double f = model_.factor(Volts{v}, kTempNominal);
+        EXPECT_NEAR(model_.voltageForFactor(f, kTempNominal).value(), v,
+                    1e-8);
     }
 }
 
 TEST_F(DelayModelTest, RejectsSubThresholdVoltage)
 {
-    EXPECT_THROW(model_.factor(0.2, kTempNominalC), util::FatalError);
-    EXPECT_THROW(model_.factor(kVth, kTempNominalC), util::FatalError);
+    EXPECT_THROW(model_.factor(Volts{0.2}, kTempNominal),
+                 util::FatalError);
+    EXPECT_THROW(model_.factor(kVth, kTempNominal), util::FatalError);
 }
 
 TEST_F(DelayModelTest, RejectsBadConstruction)
 {
-    EXPECT_THROW(DelayModel(0.5, 1.3, 0.4, 45.0, 0.0), util::FatalError);
+    EXPECT_THROW(DelayModel(Volts{0.5}, 1.3, Volts{0.4}, Celsius{45.0},
+                            0.0),
+                 util::FatalError);
 }
 
 TEST_F(DelayModelTest, RejectsBadFactorTarget)
 {
-    EXPECT_THROW(model_.voltageForFactor(0.0, 45.0), util::FatalError);
+    EXPECT_THROW(model_.voltageForFactor(0.0, Celsius{45.0}),
+                 util::FatalError);
 }
 
 TEST(PathDelay, ScalesWithAllFactors)
 {
     const DelayModel model = DelayModel::makeDefault();
-    const PathDelay path(200.0);
-    const double nominal = path.evaluate(model, kVddNominal,
-                                         kTempNominalC, 1.0);
-    EXPECT_NEAR(nominal, 200.0, 1e-9);
+    const PathDelay path(Picoseconds{200.0});
+    const Picoseconds nominal =
+        path.evaluate(model, kVddNominal, kTempNominal, 1.0);
+    EXPECT_NEAR(nominal.value(), 200.0, 1e-9);
     // Slower silicon.
-    EXPECT_NEAR(path.evaluate(model, kVddNominal, kTempNominalC, 1.05),
-                210.0, 1e-9);
+    EXPECT_NEAR(
+        path.evaluate(model, kVddNominal, kTempNominal, 1.05).value(),
+        210.0, 1e-9);
     // Lower voltage lengthens the path.
-    EXPECT_GT(path.evaluate(model, 1.20, kTempNominalC, 1.0), 200.0);
+    EXPECT_GT(path.evaluate(model, Volts{1.20}, kTempNominal, 1.0),
+              Picoseconds{200.0});
 }
 
 } // namespace

@@ -6,43 +6,45 @@
 namespace atmsim::circuit {
 namespace {
 
+using util::Picoseconds;
+
 TEST(InverterChain, QuantizesSlack)
 {
-    const InverterChain chain(1.5, 24);
-    EXPECT_EQ(chain.quantize(0.0, 1.0), 0);
-    EXPECT_EQ(chain.quantize(-3.0, 1.0), 0);
-    EXPECT_EQ(chain.quantize(1.4, 1.0), 0);
-    EXPECT_EQ(chain.quantize(1.5, 1.0), 1);
-    EXPECT_EQ(chain.quantize(6.0, 1.0), 4);
-    EXPECT_EQ(chain.quantize(7.4, 1.0), 4);
+    const InverterChain chain(Picoseconds{1.5}, 24);
+    EXPECT_EQ(chain.quantize(Picoseconds{0.0}, 1.0), 0);
+    EXPECT_EQ(chain.quantize(Picoseconds{-3.0}, 1.0), 0);
+    EXPECT_EQ(chain.quantize(Picoseconds{1.4}, 1.0), 0);
+    EXPECT_EQ(chain.quantize(Picoseconds{1.5}, 1.0), 1);
+    EXPECT_EQ(chain.quantize(Picoseconds{6.0}, 1.0), 4);
+    EXPECT_EQ(chain.quantize(Picoseconds{7.4}, 1.0), 4);
 }
 
 TEST(InverterChain, SaturatesAtLength)
 {
-    const InverterChain chain(1.5, 8);
-    EXPECT_EQ(chain.quantize(1000.0, 1.0), 8);
+    const InverterChain chain(Picoseconds{1.5}, 8);
+    EXPECT_EQ(chain.quantize(Picoseconds{1000.0}, 1.0), 8);
 }
 
 TEST(InverterChain, DelayFactorStretchesSteps)
 {
-    const InverterChain chain(1.5, 24);
+    const InverterChain chain(Picoseconds{1.5}, 24);
     // At 5% slower silicon/conditions, each inverter is 1.575 ps.
-    EXPECT_EQ(chain.quantize(3.1, 1.05), 1);
-    EXPECT_EQ(chain.quantize(3.2, 1.05), 2);
+    EXPECT_EQ(chain.quantize(Picoseconds{3.1}, 1.05), 1);
+    EXPECT_EQ(chain.quantize(Picoseconds{3.2}, 1.05), 2);
 }
 
 TEST(InverterChain, ToPsClampsAndConverts)
 {
-    const InverterChain chain(2.0, 10);
-    EXPECT_DOUBLE_EQ(chain.toPs(3), 6.0);
-    EXPECT_DOUBLE_EQ(chain.toPs(-1), 0.0);
-    EXPECT_DOUBLE_EQ(chain.toPs(99), 20.0);
+    const InverterChain chain(Picoseconds{2.0}, 10);
+    EXPECT_DOUBLE_EQ(chain.toPs(3).value(), 6.0);
+    EXPECT_DOUBLE_EQ(chain.toPs(-1).value(), 0.0);
+    EXPECT_DOUBLE_EQ(chain.toPs(99).value(), 20.0);
 }
 
 TEST(InverterChain, RejectsBadConstruction)
 {
-    EXPECT_THROW(InverterChain(0.0, 10), util::FatalError);
-    EXPECT_THROW(InverterChain(1.0, 0), util::FatalError);
+    EXPECT_THROW(InverterChain(Picoseconds{0.0}, 10), util::FatalError);
+    EXPECT_THROW(InverterChain(Picoseconds{1.0}, 0), util::FatalError);
 }
 
 } // namespace

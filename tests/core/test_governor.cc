@@ -31,8 +31,8 @@ TEST_F(GovernorTest, StaticMarginFixesAllCores)
     governor.apply(GovernorPolicy::StaticMargin);
     for (int c = 0; c < chip_.coreCount(); ++c) {
         EXPECT_EQ(chip_.core(c).mode(), chip::CoreMode::FixedFrequency);
-        EXPECT_DOUBLE_EQ(chip_.core(c).fixedFrequencyMhz(),
-                         circuit::kStaticMarginMhz);
+        EXPECT_DOUBLE_EQ(chip_.core(c).fixedFrequencyMhz().value(),
+                         circuit::kStaticMarginMhz.value());
     }
 }
 
@@ -42,7 +42,7 @@ TEST_F(GovernorTest, DefaultAtmZeroReduction)
     governor.apply(GovernorPolicy::DefaultAtm);
     for (int c = 0; c < chip_.coreCount(); ++c) {
         EXPECT_EQ(chip_.core(c).mode(), chip::CoreMode::AtmOverclock);
-        EXPECT_EQ(chip_.core(c).cpmReduction(), 0);
+        EXPECT_EQ(chip_.core(c).cpmReduction().value(), 0);
     }
 }
 
@@ -51,7 +51,8 @@ TEST_F(GovernorTest, FineTunedUsesThreadWorst)
     Governor governor(&chip_, table_);
     governor.apply(GovernorPolicy::FineTuned);
     for (int c = 0; c < chip_.coreCount(); ++c) {
-        EXPECT_EQ(chip_.core(c).cpmReduction(), table_.byIndex(c).worst);
+        EXPECT_EQ(chip_.core(c).cpmReduction().value(),
+                  table_.byIndex(c).worst);
     }
 }
 
@@ -142,7 +143,7 @@ TEST_F(GovernorTest, OversizedRollbackClampsToZero)
     governor.apply(GovernorPolicy::FineTuned);
     for (int c = 0; c < chip_.coreCount(); ++c) {
         EXPECT_EQ(chip_.core(c).mode(), chip::CoreMode::AtmOverclock);
-        EXPECT_EQ(chip_.core(c).cpmReduction(), 0);
+        EXPECT_EQ(chip_.core(c).cpmReduction().value(), 0);
     }
 }
 
@@ -153,7 +154,7 @@ TEST_F(GovernorTest, AggressiveApplyWithoutAppFailsLoudly)
                  util::FatalError);
     // A failed apply must not have half-configured the chip.
     for (int c = 0; c < chip_.coreCount(); ++c)
-        EXPECT_EQ(chip_.core(c).cpmReduction(), 0);
+        EXPECT_EQ(chip_.core(c).cpmReduction().value(), 0);
 }
 
 TEST_F(GovernorTest, RobustCoresWithImpossibleSpreadIsEmpty)

@@ -53,8 +53,9 @@ TEST_F(FreqPredictorTest, PredictionMatchesSteadyState)
     const chip::ChipSteadyState st = chip_.solveSteadyState();
     chip_.clearAssignments();
     for (int c = 0; c < chip_.coreCount(); ++c) {
-        EXPECT_NEAR(predictor_.predictMhz(c, st.chipPowerW),
-                    st.coreFreqMhz[c], 25.0) << "core " << c;
+        EXPECT_NEAR(predictor_.predictMhz(c, st.chipPowerW.value()),
+                    st.coreFreqMhz[c].value(), 25.0)
+            << "core " << c;
     }
 }
 

@@ -19,7 +19,7 @@ class SafetyMonitorTest : public ::testing::Test
         // clock at its honest steady state, as an engine run would.
         for (int c = 0; c < chip_.coreCount(); ++c) {
             targets_.push_back(variation::referenceTargets(0, c).worst);
-            chip_.core(c).setCpmReduction(targets_.back());
+            chip_.core(c).setCpmReduction(util::CpmSteps{targets_.back()});
             chip_.core(c).resetClock(circuit::kVddNominal,
                                      chip_.thermal().coreTempC(c));
         }
@@ -58,14 +58,14 @@ TEST_F(SafetyMonitorTest, FirstStrikeQuarantinesOnlyThatCore)
     SafetyMonitor monitor(&chip_, targets_);
     EXPECT_TRUE(monitor.onViolation(violation(2, 1000.0)));
     EXPECT_EQ(monitor.state(2), CoreSafetyState::Quarantined);
-    EXPECT_EQ(chip_.core(2).cpmReduction(), 0);
+    EXPECT_EQ(chip_.core(2).cpmReduction().value(), 0);
     EXPECT_EQ(chip_.core(2).mode(), chip::CoreMode::AtmOverclock);
     EXPECT_EQ(monitor.counters().quarantines, 1);
     for (int c = 0; c < chip_.coreCount(); ++c) {
         if (c == 2)
             continue;
         EXPECT_EQ(monitor.state(c), CoreSafetyState::Deployed);
-        EXPECT_EQ(chip_.core(c).cpmReduction(), targets_[c]);
+        EXPECT_EQ(chip_.core(c).cpmReduction().value(), targets_[c]);
     }
 }
 
@@ -77,8 +77,8 @@ TEST_F(SafetyMonitorTest, SecondStrikeFallsBackToStaticMargin)
     monitor.onViolation(violation(2, 1200.0));
     EXPECT_EQ(monitor.state(2), CoreSafetyState::Fallback);
     EXPECT_EQ(chip_.core(2).mode(), chip::CoreMode::FixedFrequency);
-    EXPECT_DOUBLE_EQ(chip_.core(2).fixedFrequencyMhz(),
-                     circuit::kStaticMarginMhz);
+    EXPECT_DOUBLE_EQ(chip_.core(2).fixedFrequencyMhz().value(),
+                     circuit::kStaticMarginMhz.value());
     EXPECT_EQ(monitor.counters().fallbacks, 1);
     EXPECT_DOUBLE_EQ(monitor.backoffUs(2),
                      base * monitor.config().backoffMultiplier);
@@ -106,7 +106,7 @@ TEST_F(SafetyMonitorTest, StagedReentryRestoresFineTunedLimits)
     const int core = 3;
     ASSERT_GE(targets_[core], 2);
     monitor.onViolation(violation(core, 0.0));
-    EXPECT_EQ(chip_.core(core).cpmReduction(), 0);
+    EXPECT_EQ(chip_.core(core).cpmReduction().value(), 0);
 
     monitor.onSample(900.0); // backoff not yet expired
     EXPECT_EQ(monitor.state(core), CoreSafetyState::Quarantined);
@@ -115,17 +115,17 @@ TEST_F(SafetyMonitorTest, StagedReentryRestoresFineTunedLimits)
     double now = 1000.0;
     monitor.onSample(now);
     EXPECT_EQ(monitor.state(core), CoreSafetyState::Reentry);
-    EXPECT_EQ(chip_.core(core).cpmReduction(), 1);
+    EXPECT_EQ(chip_.core(core).cpmReduction().value(), 1);
     for (int step = 2; step <= targets_[core]; ++step) {
         now += 500.0;
         monitor.onSample(now);
-        EXPECT_EQ(chip_.core(core).cpmReduction(), step);
+        EXPECT_EQ(chip_.core(core).cpmReduction().value(), step);
     }
     // One full stage at the target, then the core is deployed again.
     now += 500.0;
     monitor.onSample(now);
     EXPECT_EQ(monitor.state(core), CoreSafetyState::Deployed);
-    EXPECT_EQ(chip_.core(core).cpmReduction(), targets_[core]);
+    EXPECT_EQ(chip_.core(core).cpmReduction().value(), targets_[core]);
     EXPECT_EQ(monitor.counters().recoveries, 1);
     EXPECT_EQ(monitor.counters().reentrySteps, targets_[core]);
     EXPECT_DOUBLE_EQ(monitor.backoffUs(core), config.backoffBaseUs);
@@ -148,7 +148,7 @@ TEST_F(SafetyMonitorTest, FallbackProbesAfterBackoff)
     monitor.onSample(2100.0);
     EXPECT_EQ(monitor.state(1), CoreSafetyState::Quarantined);
     EXPECT_EQ(chip_.core(1).mode(), chip::CoreMode::AtmOverclock);
-    EXPECT_EQ(chip_.core(1).cpmReduction(), 0);
+    EXPECT_EQ(chip_.core(1).cpmReduction().value(), 0);
 }
 
 TEST_F(SafetyMonitorTest, StuckSensorCaughtWithoutAViolation)

@@ -75,11 +75,11 @@ TEST_F(StressTestTest, StressEnvironmentMatchesPaper)
     const DeployedConfig config = tester_.deriveDeployedConfig();
     const chip::ChipSteadyState st =
         tester_.stressEnvironment(config.reductionPerCore);
-    EXPECT_GT(st.chipPowerW, 130.0);
-    EXPECT_LT(st.chipPowerW, 185.0);
+    EXPECT_GT(st.chipPowerW.value(), 130.0);
+    EXPECT_LT(st.chipPowerW.value(), 185.0);
     double max_temp = 0.0;
-    for (double t : st.coreTempC)
-        max_temp = std::max(max_temp, t);
+    for (util::Celsius t : st.coreTempC)
+        max_temp = std::max(max_temp, t.value());
     EXPECT_GT(max_temp, 60.0);
     EXPECT_LT(max_temp, 80.0);
 }

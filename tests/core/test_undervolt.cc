@@ -27,7 +27,7 @@ TEST_F(UndervoltTest, SavesPowerAtReachableTarget)
 {
     UndervoltController controller(&chip_, 4200.0);
     const UndervoltResult result = controller.solve();
-    EXPECT_LT(result.vrmSetpointV, chip_.config().vrmSetpointV);
+    EXPECT_LT(result.vrmSetpointV, chip_.config().vrmSetpointV.value());
     EXPECT_LT(result.undervoltPowerW, result.overclockPowerW);
     EXPECT_GT(result.savingFrac(), 0.05);
     // The target is held (within the bisection tolerance).
@@ -71,19 +71,20 @@ TEST_F(UndervoltTest, UnreachableTargetKeepsFullVoltage)
 {
     UndervoltController controller(&chip_, 5600.0);
     const UndervoltResult result = controller.solve();
-    EXPECT_DOUBLE_EQ(result.vrmSetpointV, chip_.config().vrmSetpointV);
+    EXPECT_DOUBLE_EQ(result.vrmSetpointV,
+                     chip_.config().vrmSetpointV.value());
     EXPECT_DOUBLE_EQ(result.undervoltPowerW, result.overclockPowerW);
     EXPECT_DOUBLE_EQ(result.savingFrac(), 0.0);
 }
 
 TEST_F(UndervoltTest, RestorePutsSetpointBack)
 {
-    const double before = chip_.pdn().vrm().setpointV();
+    const double before = chip_.pdn().vrm().setpointV().value();
     UndervoltController controller(&chip_, 4200.0);
     controller.solve();
-    EXPECT_NE(chip_.pdn().vrm().setpointV(), before);
+    EXPECT_NE(chip_.pdn().vrm().setpointV().value(), before);
     controller.restore();
-    EXPECT_DOUBLE_EQ(chip_.pdn().vrm().setpointV(), before);
+    EXPECT_DOUBLE_EQ(chip_.pdn().vrm().setpointV().value(), before);
 }
 
 TEST_F(UndervoltTest, DeeperTargetSavesMore)

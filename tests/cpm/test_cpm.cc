@@ -11,6 +11,11 @@
 namespace atmsim::cpm {
 namespace {
 
+using util::Celsius;
+using util::CpmSteps;
+using util::Picoseconds;
+using util::Volts;
+
 class CpmTest : public ::testing::Test
 {
   protected:
@@ -36,51 +41,57 @@ class CpmTest : public ::testing::Test
 TEST_F(CpmTest, DefaultConfigIsPresetPlusOffset)
 {
     const Cpm site0(&core_, model_.get(), 0);
-    EXPECT_EQ(site0.configSteps(), core_.presetSteps);
+    EXPECT_EQ(site0.configSteps().value(), core_.presetSteps);
     const Cpm site1(&core_, model_.get(), 1);
-    EXPECT_EQ(site1.configSteps(),
+    EXPECT_EQ(site1.configSteps().value(),
               core_.presetSteps + core_.siteOffsets[1]);
 }
 
 TEST_F(CpmTest, MonitoredDelayGrowsWithConfig)
 {
     Cpm cpm(&core_, model_.get(), 0);
-    const double at_preset = cpm.monitoredDelayPs(1.25, 45.0);
-    cpm.setConfigSteps(core_.presetSteps - 3);
-    EXPECT_LT(cpm.monitoredDelayPs(1.25, 45.0), at_preset);
+    const Picoseconds at_preset =
+        cpm.monitoredDelayPs(Volts{1.25}, Celsius{45.0});
+    cpm.setConfigSteps(CpmSteps{core_.presetSteps - 3});
+    EXPECT_LT(cpm.monitoredDelayPs(Volts{1.25}, Celsius{45.0}),
+              at_preset);
 }
 
 TEST_F(CpmTest, MonitoredDelayGrowsAsVoltageDrops)
 {
     const Cpm cpm(&core_, model_.get(), 0);
-    EXPECT_GT(cpm.monitoredDelayPs(1.18, 45.0),
-              cpm.monitoredDelayPs(1.25, 45.0));
+    EXPECT_GT(cpm.monitoredDelayPs(Volts{1.18}, Celsius{45.0}),
+              cpm.monitoredDelayPs(Volts{1.25}, Celsius{45.0}));
 }
 
 TEST_F(CpmTest, SlackAndOutputConsistent)
 {
     const Cpm cpm(&core_, model_.get(), 0);
-    const double period = util::mhzToPs(4600.0);
-    const double slack = cpm.slackPs(period, 1.25, 45.0);
+    const Picoseconds period = util::periodOf(util::Mhz{4600.0});
+    const double slack =
+        cpm.slackPs(period, Volts{1.25}, Celsius{45.0}).value();
     // At the preset and the default ATM frequency, slack is near the
     // DPLL target (6 ps).
-    EXPECT_NEAR(slack, circuit::kDpllTargetSlackPs, 1.0);
-    EXPECT_EQ(cpm.outputCount(period, 1.25, 45.0),
-              static_cast<int>(slack / circuit::kInverterStepPs));
+    EXPECT_NEAR(slack, circuit::kDpllTargetSlack.value(), 1.0);
+    EXPECT_EQ(cpm.outputCount(period, Volts{1.25}, Celsius{45.0}),
+              static_cast<int>(slack / circuit::kInverterStep.value()));
 }
 
 TEST_F(CpmTest, NegativeSlackReportsZero)
 {
     const Cpm cpm(&core_, model_.get(), 0);
-    EXPECT_EQ(cpm.outputCount(150.0, 1.25, 45.0), 0);
+    EXPECT_EQ(
+        cpm.outputCount(Picoseconds{150.0}, Volts{1.25}, Celsius{45.0}),
+        0);
 }
 
 TEST_F(CpmTest, ConfigRangeChecked)
 {
     Cpm cpm(&core_, model_.get(), 0);
-    EXPECT_THROW(cpm.setConfigSteps(-1), util::FatalError);
-    EXPECT_THROW(cpm.setConfigSteps(core_.maxConfig() + 1),
-                 util::FatalError);
+    EXPECT_THROW(cpm.setConfigSteps(CpmSteps{-1}), util::FatalError);
+    EXPECT_THROW(
+        cpm.setConfigSteps(core_.maxConfig() + CpmSteps{1}),
+        util::FatalError);
 }
 
 TEST_F(CpmTest, SiteIndexChecked)

@@ -11,6 +11,11 @@
 namespace atmsim::cpm {
 namespace {
 
+using util::Celsius;
+using util::CpmSteps;
+using util::Picoseconds;
+using util::Volts;
+
 class CpmBankTest : public ::testing::Test
 {
   protected:
@@ -46,40 +51,50 @@ TEST_F(CpmBankTest, SiteZeroControls)
     // controlling site 0, at every legal reduction.
     CpmBank bank(&core_, model_.get());
     for (int k = 0; k <= core_.presetSteps; ++k) {
-        bank.setReduction(k);
-        const double worst = bank.worstMonitoredDelayPs(1.25, 45.0);
-        EXPECT_NEAR(worst, bank.site(0).monitoredDelayPs(1.25, 45.0),
-                    1e-9) << "reduction " << k;
+        bank.setReduction(CpmSteps{k});
+        const double worst =
+            bank.worstMonitoredDelayPs(Volts{1.25}, Celsius{45.0})
+                .value();
+        EXPECT_NEAR(worst,
+                    bank.site(0)
+                        .monitoredDelayPs(Volts{1.25}, Celsius{45.0})
+                        .value(),
+                    1e-9)
+            << "reduction " << k;
     }
 }
 
 TEST_F(CpmBankTest, ReductionRaisesWorstCount)
 {
     CpmBank bank(&core_, model_.get());
-    const double period = util::mhzToPs(4600.0);
-    const int at_preset = bank.worstCount(period, 1.25, 45.0);
-    bank.setReduction(4);
-    EXPECT_GT(bank.worstCount(period, 1.25, 45.0), at_preset);
+    const Picoseconds period = util::periodOf(util::Mhz{4600.0});
+    const int at_preset = bank.worstCount(period, Volts{1.25},
+                                          Celsius{45.0});
+    bank.setReduction(CpmSteps{4});
+    EXPECT_GT(bank.worstCount(period, Volts{1.25}, Celsius{45.0}),
+              at_preset);
 }
 
 TEST_F(CpmBankTest, WorstCountDropsUnderDroop)
 {
     CpmBank bank(&core_, model_.get());
-    bank.setReduction(4);
+    bank.setReduction(CpmSteps{4});
     // Pick the period where the loop would sit, then droop.
-    const double period = core_.atmPeriodPs(4, 1.0);
-    const int healthy = bank.worstCount(period, 1.25, 45.0);
-    const int drooped = bank.worstCount(period, 1.19, 45.0);
+    const Picoseconds period = core_.atmPeriodPs(CpmSteps{4}, 1.0);
+    const int healthy = bank.worstCount(period, Volts{1.25},
+                                        Celsius{45.0});
+    const int drooped = bank.worstCount(period, Volts{1.19},
+                                        Celsius{45.0});
     EXPECT_LT(drooped, healthy);
 }
 
 TEST_F(CpmBankTest, ReductionValidation)
 {
     CpmBank bank(&core_, model_.get());
-    EXPECT_THROW(bank.setReduction(-1), util::FatalError);
-    EXPECT_THROW(bank.setReduction(core_.presetSteps + 1),
+    EXPECT_THROW(bank.setReduction(CpmSteps{-1}), util::FatalError);
+    EXPECT_THROW(bank.setReduction(CpmSteps{core_.presetSteps + 1}),
                  util::FatalError);
-    EXPECT_NO_THROW(bank.setReduction(core_.presetSteps));
+    EXPECT_NO_THROW(bank.setReduction(CpmSteps{core_.presetSteps}));
 }
 
 TEST_F(CpmBankTest, SiteAccessChecked)

@@ -7,80 +7,83 @@
 namespace atmsim::dpll {
 namespace {
 
+using util::Nanoseconds;
+using util::Picoseconds;
+
 TEST(Dpll, ResetSetsPeriod)
 {
     Dpll dpll;
-    dpll.reset(217.4);
-    EXPECT_DOUBLE_EQ(dpll.periodPs(), 217.4);
-    EXPECT_NEAR(dpll.frequencyMhz(), 4599.8, 0.5);
+    dpll.reset(Picoseconds{217.4});
+    EXPECT_DOUBLE_EQ(dpll.periodPs().value(), 217.4);
+    EXPECT_NEAR(dpll.frequencyMhz().value(), 4599.8, 0.5);
 }
 
 TEST(Dpll, SpeedsUpOnSurplusMargin)
 {
     Dpll dpll;
-    dpll.reset(220.0);
-    double now = 0.0;
+    dpll.reset(Picoseconds{220.0});
+    Nanoseconds now{0.0};
     for (int i = 0; i < 50; ++i) {
         dpll.observe(now, 10); // plenty of margin
-        now += dpll.params().updateIntervalNs;
+        now += dpll.params().updateInterval;
     }
-    EXPECT_LT(dpll.periodPs(), 220.0);
+    EXPECT_LT(dpll.periodPs().value(), 220.0);
 }
 
 TEST(Dpll, SlowsDownOnDeficitMargin)
 {
     Dpll dpll;
-    dpll.reset(220.0);
-    double now = 0.0;
+    dpll.reset(Picoseconds{220.0});
+    Nanoseconds now{0.0};
     for (int i = 0; i < 10; ++i) {
         dpll.observe(now, 2); // below target, above emergency
-        now += dpll.params().updateIntervalNs;
+        now += dpll.params().updateInterval;
     }
-    EXPECT_GT(dpll.periodPs(), 220.0);
+    EXPECT_GT(dpll.periodPs().value(), 220.0);
     EXPECT_EQ(dpll.emergencyCount(), 0);
 }
 
 TEST(Dpll, HoldsAtTarget)
 {
     Dpll dpll;
-    dpll.reset(220.0);
-    dpll.observe(0.0, dpll.params().targetCounts);
-    EXPECT_DOUBLE_EQ(dpll.periodPs(), 220.0);
+    dpll.reset(Picoseconds{220.0});
+    dpll.observe(Nanoseconds{0.0}, dpll.params().targetCounts);
+    EXPECT_DOUBLE_EQ(dpll.periodPs().value(), 220.0);
 }
 
 TEST(Dpll, EmergencyStretchesImmediately)
 {
     Dpll dpll;
-    dpll.reset(200.0);
-    dpll.observe(0.05, 0); // far from an update boundary
-    EXPECT_NEAR(dpll.periodPs(),
+    dpll.reset(Picoseconds{200.0});
+    dpll.observe(Nanoseconds{0.05}, 0); // far from an update boundary
+    EXPECT_NEAR(dpll.periodPs().value(),
                 200.0 * (1.0 + dpll.params().emergencyStretchFrac),
                 1e-9);
     EXPECT_EQ(dpll.emergencyCount(), 1);
-    EXPECT_TRUE(dpll.inEmergency(0.1));
+    EXPECT_TRUE(dpll.inEmergency(Nanoseconds{0.1}));
 }
 
 TEST(Dpll, EmergencyRateLimited)
 {
     Dpll dpll;
-    dpll.reset(200.0);
-    dpll.observe(0.0, 0);
-    const double after_first = dpll.periodPs();
-    dpll.observe(0.2, 0); // within the holdoff
-    EXPECT_DOUBLE_EQ(dpll.periodPs(), after_first);
-    dpll.observe(1.5, 0); // past the holdoff
-    EXPECT_GT(dpll.periodPs(), after_first);
+    dpll.reset(Picoseconds{200.0});
+    dpll.observe(Nanoseconds{0.0}, 0);
+    const double after_first = dpll.periodPs().value();
+    dpll.observe(Nanoseconds{0.2}, 0); // within the holdoff
+    EXPECT_DOUBLE_EQ(dpll.periodPs().value(), after_first);
+    dpll.observe(Nanoseconds{1.5}, 0); // past the holdoff
+    EXPECT_GT(dpll.periodPs().value(), after_first);
     EXPECT_EQ(dpll.emergencyCount(), 2);
 }
 
 TEST(Dpll, ProportionalPathRespectsUpdateInterval)
 {
     Dpll dpll;
-    dpll.reset(220.0);
-    dpll.observe(0.0, 10);
-    const double after_first = dpll.periodPs();
-    dpll.observe(0.5, 10); // too soon
-    EXPECT_DOUBLE_EQ(dpll.periodPs(), after_first);
+    dpll.reset(Picoseconds{220.0});
+    dpll.observe(Nanoseconds{0.0}, 10);
+    const double after_first = dpll.periodPs().value();
+    dpll.observe(Nanoseconds{0.5}, 10); // too soon
+    EXPECT_DOUBLE_EQ(dpll.periodPs().value(), after_first);
 }
 
 TEST(Dpll, UpSlewSlowerThanDownSlew)
@@ -94,13 +97,14 @@ TEST(Dpll, UpSlewSlowerThanDownSlew)
 TEST(Dpll, PeriodClampedToBounds)
 {
     Dpll dpll;
-    dpll.reset(170.0);
-    double now = 0.0;
+    dpll.reset(Picoseconds{170.0});
+    Nanoseconds now{0.0};
     for (int i = 0; i < 2000; ++i) {
         dpll.observe(now, 20);
-        now += dpll.params().updateIntervalNs;
+        now += dpll.params().updateInterval;
     }
-    EXPECT_GE(dpll.periodPs(), dpll.params().minPeriodPs - 1e-9);
+    EXPECT_GE(dpll.periodPs().value(),
+              dpll.params().minPeriod.value() - 1e-9);
 }
 
 TEST(Dpll, ConvergesToTargetMarginBand)
@@ -109,16 +113,17 @@ TEST(Dpll, ConvergesToTargetMarginBand)
     // 1.5 ps inverter; the loop should settle with period in
     // [210 + 6, 210 + 7.5).
     Dpll dpll;
-    dpll.reset(230.0);
-    double now = 0.0;
+    dpll.reset(Picoseconds{230.0});
+    Nanoseconds now{0.0};
     for (int i = 0; i < 4000; ++i) {
         const int margin = std::max(
-            0, static_cast<int>((dpll.periodPs() - 210.0) / 1.5));
+            0,
+            static_cast<int>((dpll.periodPs().value() - 210.0) / 1.5));
         dpll.observe(now, margin);
-        now += dpll.params().updateIntervalNs;
+        now += dpll.params().updateInterval;
     }
-    EXPECT_GE(dpll.periodPs(), 215.9);
-    EXPECT_LT(dpll.periodPs(), 218.0);
+    EXPECT_GE(dpll.periodPs().value(), 215.9);
+    EXPECT_LT(dpll.periodPs().value(), 218.0);
 }
 
 TEST(Dpll, RejectsBadParams)
@@ -128,8 +133,8 @@ TEST(Dpll, RejectsBadParams)
     params.emergencyCounts = 1;
     EXPECT_THROW(Dpll{params}, util::FatalError);
     DpllParams bounds;
-    bounds.minPeriodPs = 500.0;
-    bounds.maxPeriodPs = 400.0;
+    bounds.minPeriod = Picoseconds{500.0};
+    bounds.maxPeriod = Picoseconds{400.0};
     EXPECT_THROW(Dpll{bounds}, util::FatalError);
 }
 

@@ -121,8 +121,9 @@ TEST_F(FaultInjectorTest, CpmFaultsApplyAndRevert)
         FaultSpec::parse("cpm-stuck:core=1,site=0,mag=9");
     injector_.apply(stuck);
     EXPECT_TRUE(chip_.core(1).cpmBank().anyFaulted());
-    EXPECT_EQ(chip_.core(1).cpmBank().site(0).outputCount(210.0, 1.25,
-                                                          40.0),
+    EXPECT_EQ(chip_.core(1).cpmBank().site(0).outputCount(
+                  util::Picoseconds{210.0}, util::Volts{1.25},
+                  util::Celsius{40.0}),
               9);
     EXPECT_EQ(injector_.activeCount(), 1);
     injector_.revert(stuck);
@@ -131,16 +132,28 @@ TEST_F(FaultInjectorTest, CpmFaultsApplyAndRevert)
 
     const FaultSpec skip =
         FaultSpec::parse("cpm-skip:core=1,site=1,mag=4");
-    const double before =
-        chip_.core(1).cpmBank().site(1).monitoredDelayPs(1.25, 40.0);
+    const double before = chip_.core(1)
+                              .cpmBank()
+                              .site(1)
+                              .monitoredDelayPs(util::Volts{1.25},
+                                                util::Celsius{40.0})
+                              .value();
     injector_.apply(skip);
-    EXPECT_LT(chip_.core(1).cpmBank().site(1).monitoredDelayPs(1.25,
-                                                               40.0),
+    EXPECT_LT(chip_.core(1)
+                  .cpmBank()
+                  .site(1)
+                  .monitoredDelayPs(util::Volts{1.25},
+                                    util::Celsius{40.0})
+                  .value(),
               before);
     injector_.revert(skip);
-    EXPECT_DOUBLE_EQ(
-        chip_.core(1).cpmBank().site(1).monitoredDelayPs(1.25, 40.0),
-        before);
+    EXPECT_DOUBLE_EQ(chip_.core(1)
+                         .cpmBank()
+                         .site(1)
+                         .monitoredDelayPs(util::Volts{1.25},
+                                           util::Celsius{40.0})
+                         .value(),
+                     before);
 }
 
 TEST_F(FaultInjectorTest, SensorDropoutTogglesDpll)
@@ -157,10 +170,10 @@ TEST_F(FaultInjectorTest, VrmLoadStepAccumulates)
     const FaultSpec spec = FaultSpec::parse("vrm-step:core=-1,mag=5");
     injector_.apply(spec);
     injector_.apply(spec);
-    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA(), 10.0);
+    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA().value(), 10.0);
     injector_.revert(spec);
     injector_.revert(spec);
-    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA(), 0.0);
+    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA().value(), 0.0);
 }
 
 TEST_F(FaultInjectorTest, AgingJumpScalesAndRestoresSilicon)
@@ -178,12 +191,13 @@ TEST_F(FaultInjectorTest, AgingJumpScalesAndRestoresSilicon)
 TEST_F(FaultInjectorTest, ThermalExcursionOffsetsOneCore)
 {
     const FaultSpec spec = FaultSpec::parse("thermal:core=5,mag=15");
-    const double base = chip_.thermal().coreTempC(5);
+    const double base = chip_.thermal().coreTempC(5).value();
     injector_.apply(spec);
-    EXPECT_DOUBLE_EQ(chip_.thermal().coreTempC(5), base + 15.0);
-    EXPECT_DOUBLE_EQ(chip_.thermal().faultOffsetC(4), 0.0);
+    EXPECT_DOUBLE_EQ(chip_.thermal().coreTempC(5).value(),
+                     base + 15.0);
+    EXPECT_DOUBLE_EQ(chip_.thermal().faultOffsetC(4).value(), 0.0);
     injector_.revert(spec);
-    EXPECT_DOUBLE_EQ(chip_.thermal().coreTempC(5), base);
+    EXPECT_DOUBLE_EQ(chip_.thermal().coreTempC(5).value(), base);
 }
 
 TEST_F(FaultInjectorTest, DroopStormIsResonantSquareWave)

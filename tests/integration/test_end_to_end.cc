@@ -89,9 +89,14 @@ TEST(EndToEnd, FineTuningDoublesTheFrequencyGain)
         core::Characterizer characterizer(&chip);
         for (int c = 0; c < chip.coreCount(); ++c) {
             const auto &silicon = chip.core(c).silicon();
-            default_gain.add(silicon.atmFrequencyMhz(0, 1.0) - 4200.0);
+            default_gain.add(
+                silicon.atmFrequencyMhz(util::CpmSteps{0}, 1.0).value()
+                - 4200.0);
             const int idle = characterizer.idleLimit(c).limit();
-            tuned_gain.add(silicon.atmFrequencyMhz(idle, 1.0) - 4200.0);
+            tuned_gain.add(
+                silicon.atmFrequencyMhz(util::CpmSteps{idle}, 1.0)
+                    .value()
+                - 4200.0);
         }
     }
     EXPECT_NEAR(default_gain.mean(), 400.0, 20.0);

@@ -29,7 +29,7 @@ deployFineTuned(chip::Chip &chip)
     for (int c = 0; c < chip.coreCount(); ++c) {
         targets.push_back(variation::referenceTargets(0, c).worst);
         chip.core(c).setMode(chip::CoreMode::AtmOverclock);
-        chip.core(c).setCpmReduction(targets.back());
+        chip.core(c).setCpmReduction(util::CpmSteps{targets.back()});
     }
     return targets;
 }
@@ -78,14 +78,14 @@ TEST(FaultInjectionIntegration, StuckCpmIsQuarantinedAndRecovers)
         EXPECT_EQ(result.coreStats[c].violations, 0) << "core " << c;
         EXPECT_EQ(monitor.state(c), core::CoreSafetyState::Deployed)
             << "core " << c;
-        EXPECT_EQ(chip.core(c).cpmReduction(), targets[c])
+        EXPECT_EQ(chip.core(c).cpmReduction().value(), targets[c])
             << "core " << c;
     }
 
     // After the fault window and the staged re-entry, the core is
     // back at its fine-tuned limit.
     EXPECT_EQ(monitor.state(2), core::CoreSafetyState::Deployed);
-    EXPECT_EQ(chip.core(2).cpmReduction(), targets[2]);
+    EXPECT_EQ(chip.core(2).cpmReduction().value(), targets[2]);
     EXPECT_GE(result.safety.recoveries, 1);
     EXPECT_GT(result.safety.degradedTimeNs, 0.0);
     EXPECT_LT(result.safety.degradedTimeNs, result.durationNs);

@@ -9,10 +9,14 @@
 namespace atmsim::pdn {
 namespace {
 
+using util::Amps;
+using util::Seconds;
+using util::Volts;
+
 PdnNetwork
 makeNetwork(int cores = 8)
 {
-    return PdnNetwork(PdnParams{}, Vrm(1.267, 0.22e-3), cores);
+    return PdnNetwork(PdnParams{}, Vrm(Volts{1.267}, 0.22e-3), cores);
 }
 
 TEST(PdnParams, DerivedQuantities)
@@ -31,18 +35,20 @@ TEST(PdnParams, DerivedQuantities)
 TEST(PdnNetwork, SettleMatchesDcFormula)
 {
     PdnNetwork net = makeNetwork();
-    std::vector<double> loads(8, 5.0); // 40 A total
-    net.settle(loads, 10.0);           // + 10 A uncore
-    EXPECT_NEAR(net.gridV(), net.dcGridV(50.0), 1e-12);
+    std::vector<Amps> loads(8, Amps{5.0}); // 40 A total
+    net.settle(loads, Amps{10.0});         // + 10 A uncore
+    EXPECT_NEAR(net.gridV().value(), net.dcGridV(Amps{50.0}).value(),
+                1e-12);
     // Core voltage below grid by the local branch drop.
-    EXPECT_NEAR(net.coreV(0), net.gridV() - 1.15e-3 * 5.0, 1e-12);
+    EXPECT_NEAR(net.coreV(0).value(),
+                net.gridV().value() - 1.15e-3 * 5.0, 1e-12);
 }
 
 TEST(PdnNetwork, DcDropScalesWithCurrent)
 {
     PdnNetwork net = makeNetwork();
-    const double v_light = net.dcGridV(30.0);
-    const double v_heavy = net.dcGridV(130.0);
+    const double v_light = net.dcGridV(Amps{30.0}).value();
+    const double v_heavy = net.dcGridV(Amps{130.0}).value();
     // Total shared resistance is ~0.48 mOhm.
     EXPECT_NEAR(v_light - v_heavy, 100.0 * 0.48e-3, 1e-9);
 }
@@ -50,59 +56,62 @@ TEST(PdnNetwork, DcDropScalesWithCurrent)
 TEST(PdnNetwork, StepConvergesToDc)
 {
     PdnNetwork net = makeNetwork();
-    std::vector<double> loads(8, 8.0);
-    net.settle(loads, 12.0);
+    std::vector<Amps> loads(8, Amps{8.0});
+    net.settle(loads, Amps{12.0});
     // Walk forward 5 us; must stay at DC.
     for (int i = 0; i < 25000; ++i)
-        net.step(0.2e-9, loads, 12.0);
-    EXPECT_NEAR(net.gridV(), net.dcGridV(76.0), 1e-4);
+        net.step(Seconds{0.2e-9}, loads, Amps{12.0});
+    EXPECT_NEAR(net.gridV().value(), net.dcGridV(Amps{76.0}).value(),
+                1e-4);
 }
 
 TEST(PdnNetwork, LoadStepCausesUnderdampedDroop)
 {
     PdnNetwork net = makeNetwork();
-    std::vector<double> light(8, 2.0);
-    net.settle(light, 10.0);
-    const double v0 = net.gridV();
+    std::vector<Amps> light(8, Amps{2.0});
+    net.settle(light, Amps{10.0});
+    const double v0 = net.gridV().value();
 
     // Apply a 40 A step on core 0 and track the minimum.
-    std::vector<double> heavy = light;
-    heavy[0] += 40.0;
+    std::vector<Amps> heavy = light;
+    heavy[0] += Amps{40.0};
     net.resetStats();
     for (int i = 0; i < 50000; ++i)
-        net.step(0.2e-9, heavy, 10.0);
-    const double droop = v0 - net.minGridV();
-    const double dc_drop = v0 - net.dcGridV(66.0);
+        net.step(Seconds{0.2e-9}, heavy, Amps{10.0});
+    const double droop = v0 - net.minGridV().value();
+    const double dc_drop = v0 - net.dcGridV(Amps{66.0}).value();
     // The transient undershoots the new DC level (underdamped)...
     EXPECT_GT(droop, dc_drop * 1.2);
     // ...by roughly the analytic first-droop estimate.
-    EXPECT_NEAR(droop - dc_drop, net.stepDroopV(40.0),
-                0.4 * net.stepDroopV(40.0));
+    EXPECT_NEAR(droop - dc_drop, net.stepDroopV(Amps{40.0}).value(),
+                0.4 * net.stepDroopV(Amps{40.0}).value());
 }
 
 TEST(PdnNetwork, StepDroopLinearInCurrent)
 {
     PdnNetwork net = makeNetwork();
-    EXPECT_NEAR(net.stepDroopV(40.0), 2.0 * net.stepDroopV(20.0), 1e-12);
+    EXPECT_NEAR(net.stepDroopV(Amps{40.0}).value(),
+                2.0 * net.stepDroopV(Amps{20.0}).value(), 1e-12);
 }
 
 TEST(PdnNetwork, CoreVoltagesIndependentBranches)
 {
     PdnNetwork net = makeNetwork();
-    std::vector<double> loads(8, 0.0);
-    loads[3] = 10.0;
-    net.settle(loads, 0.0);
+    std::vector<Amps> loads(8, Amps{0.0});
+    loads[3] = Amps{10.0};
+    net.settle(loads, Amps{0.0});
     EXPECT_LT(net.coreV(3), net.coreV(0));
 }
 
 TEST(PdnNetwork, InputValidation)
 {
     PdnNetwork net = makeNetwork();
-    std::vector<double> wrong(3, 0.0);
-    EXPECT_THROW(net.step(0.2e-9, wrong, 0.0), util::FatalError);
-    EXPECT_THROW(net.settle(wrong, 0.0), util::FatalError);
+    std::vector<Amps> wrong(3, Amps{0.0});
+    EXPECT_THROW(net.step(Seconds{0.2e-9}, wrong, Amps{0.0}),
+                 util::FatalError);
+    EXPECT_THROW(net.settle(wrong, Amps{0.0}), util::FatalError);
     EXPECT_THROW(net.coreV(8), util::FatalError);
-    EXPECT_THROW(PdnNetwork(PdnParams{}, Vrm(1.25, 0.0), 0),
+    EXPECT_THROW(PdnNetwork(PdnParams{}, Vrm(Volts{1.25}, 0.0), 0),
                  util::FatalError);
 }
 

@@ -6,31 +6,34 @@
 namespace atmsim::pdn {
 namespace {
 
+using util::Amps;
+using util::Volts;
+
 TEST(Vrm, LoadLineDropsWithCurrent)
 {
-    const Vrm vrm(1.273, 0.3e-3);
-    EXPECT_DOUBLE_EQ(vrm.outputV(0.0), 1.273);
-    EXPECT_NEAR(vrm.outputV(100.0), 1.273 - 0.03, 1e-12);
+    const Vrm vrm(Volts{1.273}, 0.3e-3);
+    EXPECT_DOUBLE_EQ(vrm.outputV(Amps{0.0}).value(), 1.273);
+    EXPECT_NEAR(vrm.outputV(Amps{100.0}).value(), 1.273 - 0.03, 1e-12);
 }
 
 TEST(Vrm, ZeroLoadLineIsIdeal)
 {
-    const Vrm vrm(1.25, 0.0);
-    EXPECT_DOUBLE_EQ(vrm.outputV(500.0), 1.25);
+    const Vrm vrm(Volts{1.25}, 0.0);
+    EXPECT_DOUBLE_EQ(vrm.outputV(Amps{500.0}).value(), 1.25);
 }
 
 TEST(Vrm, SetpointAdjustable)
 {
-    Vrm vrm(1.25, 0.3e-3);
-    vrm.setSetpointV(1.30);
-    EXPECT_DOUBLE_EQ(vrm.setpointV(), 1.30);
-    EXPECT_THROW(vrm.setSetpointV(0.0), util::FatalError);
+    Vrm vrm(Volts{1.25}, 0.3e-3);
+    vrm.setSetpointV(Volts{1.30});
+    EXPECT_DOUBLE_EQ(vrm.setpointV().value(), 1.30);
+    EXPECT_THROW(vrm.setSetpointV(Volts{0.0}), util::FatalError);
 }
 
 TEST(Vrm, RejectsBadConstruction)
 {
-    EXPECT_THROW(Vrm(0.0, 0.1e-3), util::FatalError);
-    EXPECT_THROW(Vrm(1.25, -1.0), util::FatalError);
+    EXPECT_THROW(Vrm(Volts{0.0}, 0.1e-3), util::FatalError);
+    EXPECT_THROW(Vrm(Volts{1.25}, -1.0), util::FatalError);
 }
 
 } // namespace

@@ -7,36 +7,49 @@
 namespace atmsim::power {
 namespace {
 
+using util::Amps;
+using util::Celsius;
+using util::Mhz;
+using util::Volts;
+using util::Watts;
+
 TEST(PowerModel, DynamicScalesWithFrequency)
 {
     const PowerModel model;
-    const double at_42 = model.coreDynamicW(10.0, 4200.0, 1.25);
-    const double at_50 = model.coreDynamicW(10.0, 5000.0, 1.25);
+    const double at_42 =
+        model.coreDynamicW(Watts{10.0}, Mhz{4200.0}, Volts{1.25}).value();
+    const double at_50 =
+        model.coreDynamicW(Watts{10.0}, Mhz{5000.0}, Volts{1.25}).value();
     EXPECT_NEAR(at_50 / at_42, 5000.0 / 4200.0, 1e-9);
 }
 
 TEST(PowerModel, DynamicScalesWithVoltageSquared)
 {
     const PowerModel model;
-    const double lo = model.coreDynamicW(10.0, 4200.0, 1.20);
-    const double hi = model.coreDynamicW(10.0, 4200.0, 1.25);
+    const double lo =
+        model.coreDynamicW(Watts{10.0}, Mhz{4200.0}, Volts{1.20}).value();
+    const double hi =
+        model.coreDynamicW(Watts{10.0}, Mhz{4200.0}, Volts{1.25}).value();
     EXPECT_NEAR(hi / lo, (1.25 * 1.25) / (1.20 * 1.20), 1e-9);
 }
 
 TEST(PowerModel, IdleCoreStillBurnsBackground)
 {
     const PowerModel model;
-    EXPECT_GT(model.coreDynamicW(0.0, 4600.0, 1.25), 1.0);
+    EXPECT_GT(
+        model.coreDynamicW(Watts{0.0}, Mhz{4600.0}, Volts{1.25}).value(),
+        1.0);
 }
 
 TEST(PowerModel, LeakageGrowsWithTemperatureAndVoltage)
 {
     const PowerModel model;
-    EXPECT_GT(model.coreLeakageW(1.25, 70.0),
-              model.coreLeakageW(1.25, 45.0));
-    EXPECT_GT(model.coreLeakageW(1.25, 45.0),
-              model.coreLeakageW(1.15, 45.0));
-    EXPECT_NEAR(model.coreLeakageW(1.25, 45.0), 1.5, 1e-9);
+    EXPECT_GT(model.coreLeakageW(Volts{1.25}, Celsius{70.0}),
+              model.coreLeakageW(Volts{1.25}, Celsius{45.0}));
+    EXPECT_GT(model.coreLeakageW(Volts{1.25}, Celsius{45.0}),
+              model.coreLeakageW(Volts{1.15}, Celsius{45.0}));
+    EXPECT_NEAR(model.coreLeakageW(Volts{1.25}, Celsius{45.0}).value(),
+                1.5, 1e-9);
 }
 
 TEST(PowerModel, IdleChipPowerNearFortyWatts)
@@ -44,9 +57,12 @@ TEST(PowerModel, IdleChipPowerNearFortyWatts)
     // The calibrated idle operating point: ~38-44 W for an idle chip
     // at default ATM (~4.6 GHz).
     const PowerModel model;
-    double chip = model.uncoreW(1.25);
+    double chip = model.uncoreW(Volts{1.25}).value();
     for (int c = 0; c < circuit::kCoresPerChip; ++c)
-        chip += model.coreTotalW(0.0, 4600.0, 1.25, 50.0);
+        chip += model
+                    .coreTotalW(Watts{0.0}, Mhz{4600.0}, Volts{1.25},
+                                Celsius{50.0})
+                    .value();
     EXPECT_GT(chip, 33.0);
     EXPECT_LT(chip, 46.0);
 }
@@ -56,24 +72,30 @@ TEST(PowerModel, VirusChipPowerNear160Watts)
     // The stress-test environment: 32 virus threads at ~4.6 GHz push
     // the chip toward 160 W (Sec. VII-A).
     const PowerModel model;
-    double chip = model.uncoreW(1.2);
+    double chip = model.uncoreW(Volts{1.2}).value();
     for (int c = 0; c < circuit::kCoresPerChip; ++c)
-        chip += model.coreTotalW(4.6 * 3.1, 4600.0, 1.2, 70.0);
+        chip += model
+                    .coreTotalW(Watts{4.6 * 3.1}, Mhz{4600.0}, Volts{1.2},
+                                Celsius{70.0})
+                    .value();
     EXPECT_GT(chip, 140.0);
     EXPECT_LT(chip, 180.0);
 }
 
 TEST(PowerModel, CurrentConversion)
 {
-    EXPECT_DOUBLE_EQ(PowerModel::currentA(125.0, 1.25), 100.0);
-    EXPECT_THROW(PowerModel::currentA(10.0, 0.0), util::FatalError);
+    EXPECT_DOUBLE_EQ(
+        PowerModel::currentA(Watts{125.0}, Volts{1.25}).value(), 100.0);
+    EXPECT_THROW(PowerModel::currentA(Watts{10.0}, Volts{0.0}),
+                 util::FatalError);
 }
 
 TEST(PowerModel, RejectsNegativeActivity)
 {
     const PowerModel model;
-    EXPECT_THROW(model.coreDynamicW(-1.0, 4200.0, 1.25),
-                 util::FatalError);
+    EXPECT_THROW(
+        model.coreDynamicW(Watts{-1.0}, Mhz{4200.0}, Volts{1.25}),
+        util::FatalError);
 }
 
 } // namespace

@@ -13,6 +13,13 @@
 namespace atmsim {
 namespace {
 
+using util::Amps;
+using util::Celsius;
+using util::CpmSteps;
+using util::Picoseconds;
+using util::Seconds;
+using util::Volts;
+
 // ---------------------------------------------------------------------
 // Delay model: inversion and monotonicity across the operating space.
 
@@ -23,20 +30,20 @@ class DelayModelGrid : public ::testing::TestWithParam<double>
 TEST_P(DelayModelGrid, InversionRoundTripsAtTemperature)
 {
     const circuit::DelayModel model = circuit::DelayModel::makeDefault();
-    const double t_c = GetParam();
+    const Celsius t_c{GetParam()};
     for (double v = 1.00; v <= 1.40; v += 0.02) {
-        const double f = model.factor(v, t_c);
-        EXPECT_NEAR(model.voltageForFactor(f, t_c), v, 1e-7)
-            << "v=" << v << " t=" << t_c;
+        const double f = model.factor(Volts{v}, t_c);
+        EXPECT_NEAR(model.voltageForFactor(f, t_c).value(), v, 1e-7)
+            << "v=" << v << " t=" << t_c.value();
     }
 }
 
 TEST_P(DelayModelGrid, SensitivityPositiveEverywhere)
 {
     const circuit::DelayModel model = circuit::DelayModel::makeDefault();
-    const double t_c = GetParam();
+    const Celsius t_c{GetParam()};
     for (double v = 0.95; v <= 1.40; v += 0.05)
-        EXPECT_GT(model.sensitivityPerVolt(v, t_c), 0.0);
+        EXPECT_GT(model.sensitivityPerVolt(Volts{v}, t_c), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Temps, DelayModelGrid,
@@ -53,17 +60,19 @@ class PdnStability : public ::testing::TestWithParam<double>
 TEST_P(PdnStability, SettlesToDcAtTimestep)
 {
     const double dt_ns = GetParam();
-    pdn::PdnNetwork net(pdn::PdnParams{}, pdn::Vrm(1.267, 0.22e-3), 8);
-    std::vector<double> loads(8, 7.0);
+    pdn::PdnNetwork net(pdn::PdnParams{}, pdn::Vrm(Volts{1.267}, 0.22e-3),
+                        8);
+    std::vector<Amps> loads(8, Amps{7.0});
     // Start cold (settled at zero load), then step the full load on.
-    net.settle(std::vector<double>(8, 0.0), 0.0);
+    net.settle(std::vector<Amps>(8, Amps{0.0}), Amps{0.0});
     const long steps = static_cast<long>(3000.0 / dt_ns);
     for (long i = 0; i < steps; ++i)
-        net.step(dt_ns * 1e-9, loads, 10.0);
-    EXPECT_NEAR(net.gridV(), net.dcGridV(66.0), 2e-3)
+        net.step(Seconds{dt_ns * 1e-9}, loads, Amps{10.0});
+    EXPECT_NEAR(net.gridV().value(), net.dcGridV(Amps{66.0}).value(),
+                2e-3)
         << "dt=" << dt_ns;
     // No runaway oscillation.
-    EXPECT_GT(net.minGridV(), 1.0);
+    EXPECT_GT(net.minGridV().value(), 1.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Timesteps, PdnStability,
@@ -87,9 +96,10 @@ class RandomChipInvariants : public ::testing::TestWithParam<int>
 TEST_P(RandomChipInvariants, FrequencyMonotoneInReduction)
 {
     for (const auto &core : silicon_.cores) {
-        double prev = core.atmFrequencyMhz(0, 1.0);
+        double prev = core.atmFrequencyMhz(CpmSteps{0}, 1.0).value();
         for (int k = 1; k <= core.presetSteps; ++k) {
-            const double f = core.atmFrequencyMhz(k, 1.0);
+            const double f =
+                core.atmFrequencyMhz(CpmSteps{k}, 1.0).value();
             EXPECT_GT(f, prev) << core.name << " @ " << k;
             prev = f;
         }
@@ -99,9 +109,9 @@ TEST_P(RandomChipInvariants, FrequencyMonotoneInReduction)
 TEST_P(RandomChipInvariants, SafetySlackStrictlyDecreasing)
 {
     for (const auto &core : silicon_.cores) {
-        double prev = core.safetySlackPs(0);
+        double prev = core.safetySlackPs(CpmSteps{0}).value();
         for (int k = 1; k <= core.presetSteps; ++k) {
-            const double s = core.safetySlackPs(k);
+            const double s = core.safetySlackPs(CpmSteps{k}).value();
             EXPECT_LT(s, prev) << core.name << " @ " << k;
             prev = s;
         }
@@ -111,10 +121,11 @@ TEST_P(RandomChipInvariants, SafetySlackStrictlyDecreasing)
 TEST_P(RandomChipInvariants, MaxSafeMonotoneInNoise)
 {
     for (const auto &core : silicon_.cores) {
-        int prev = variation::analyticMaxSafeReduction(core, 0.0, 0.0);
+        CpmSteps prev = variation::analyticMaxSafeReduction(
+            core, Picoseconds{0.0}, Picoseconds{0.0});
         for (double noise = 0.2; noise <= 2.0; noise += 0.2) {
-            const int k =
-                variation::analyticMaxSafeReduction(core, 0.0, noise);
+            const CpmSteps k = variation::analyticMaxSafeReduction(
+                core, Picoseconds{0.0}, Picoseconds{noise});
             EXPECT_LE(k, prev) << core.name;
             prev = k;
         }
@@ -151,11 +162,12 @@ TEST(SteadyStateInvariants, PowerMonotoneInOccupancy)
         for (int c = 0; c < busy; ++c)
             chip.assignWorkload(c, &gcc);
         const chip::ChipSteadyState st = chip.solveSteadyState();
-        EXPECT_GT(st.chipPowerW, prev_power) << busy << " busy cores";
-        EXPECT_LT(st.coreFreqMhz.back(), prev_freq + 1e-9)
+        EXPECT_GT(st.chipPowerW.value(), prev_power)
             << busy << " busy cores";
-        prev_power = st.chipPowerW;
-        prev_freq = st.coreFreqMhz.back();
+        EXPECT_LT(st.coreFreqMhz.back().value(), prev_freq + 1e-9)
+            << busy << " busy cores";
+        prev_power = st.chipPowerW.value();
+        prev_freq = st.coreFreqMhz.back().value();
     }
 }
 

@@ -26,7 +26,8 @@ TEST_F(SimEngineTest, IdleRunTracksSteadyState)
     const chip::ChipSteadyState st = chip_.solveSteadyState();
     for (int c = 0; c < chip_.coreCount(); ++c) {
         // The quantized loop sits slightly below the analytic value.
-        EXPECT_NEAR(result.meanFreqMhz(c), st.coreFreqMhz[c], 45.0)
+        EXPECT_NEAR(result.meanFreqMhz(c), st.coreFreqMhz[c].value(),
+                    45.0)
             << "core " << c;
     }
 }
@@ -45,19 +46,19 @@ TEST_F(SimEngineTest, SafeReductionProducesNoViolations)
 {
     // One step short of the idle limit must be robustly safe.
     const int idle_limit = variation::referenceTargets(0, 0).idle;
-    chip_.core(0).setCpmReduction(idle_limit - 1);
+    chip_.core(0).setCpmReduction(util::CpmSteps{idle_limit - 1});
     SimConfig config;
     config.runNoisePs = 1.0;
     SimEngine engine(&chip_, config);
     const RunResult result = engine.run(3.0);
     EXPECT_FALSE(result.failed());
-    chip_.core(0).setCpmReduction(0);
+    chip_.core(0).setCpmReduction(util::CpmSteps{0});
 }
 
 TEST_F(SimEngineTest, DeepOverReductionViolatesQuickly)
 {
     const int idle_limit = variation::referenceTargets(0, 0).idle;
-    chip_.core(0).setCpmReduction(idle_limit + 2);
+    chip_.core(0).setCpmReduction(util::CpmSteps{idle_limit + 2});
     SimConfig config;
     config.runNoisePs = 1.2; // hostile end of the run-noise range
     SimEngine engine(&chip_, config);
@@ -66,7 +67,7 @@ TEST_F(SimEngineTest, DeepOverReductionViolatesQuickly)
     EXPECT_TRUE(result.stoppedEarly);
     EXPECT_EQ(result.violations.front().core, 0);
     EXPECT_GT(result.violations.front().deficitPs, 0.0);
-    chip_.core(0).setCpmReduction(0);
+    chip_.core(0).setCpmReduction(util::CpmSteps{0});
 }
 
 TEST_F(SimEngineTest, LoadedRunDropsFrequency)
@@ -134,7 +135,7 @@ TEST_F(SimEngineTest, FailureKindsFollowConfiguredMix)
     // seeds, the manifestation mix covers all three observable kinds
     // with the crash/exit/SDC proportions of the model (30/50/20).
     const int idle_limit = variation::referenceTargets(0, 0).idle;
-    chip_.core(0).setCpmReduction(idle_limit + 3);
+    chip_.core(0).setCpmReduction(util::CpmSteps{idle_limit + 3});
     int crash = 0, exit_ = 0, sdc = 0;
     for (std::uint64_t seed = 0; seed < 60; ++seed) {
         SimConfig config;
@@ -149,7 +150,7 @@ TEST_F(SimEngineTest, FailureKindsFollowConfiguredMix)
           case FailureKind::SilentDataCorruption: ++sdc; break;
         }
     }
-    chip_.core(0).setCpmReduction(0);
+    chip_.core(0).setCpmReduction(util::CpmSteps{0});
     // All three observable kinds occur; the 30/50/20 mix is sampled,
     // so only coarse proportions are asserted.
     EXPECT_GT(crash, 5);
@@ -192,7 +193,7 @@ TEST_F(SimEngineTest, ThreadWorstSurvivesVirusInEngine)
     const auto &virus = workload::voltageVirus();
     for (int c = 0; c < chip_.coreCount(); ++c) {
         chip_.core(c).setCpmReduction(
-            variation::referenceTargets(0, c).worst);
+            util::CpmSteps{variation::referenceTargets(0, c).worst});
         chip_.assignWorkload(c, &virus);
     }
     SimConfig config;
@@ -201,7 +202,7 @@ TEST_F(SimEngineTest, ThreadWorstSurvivesVirusInEngine)
     const RunResult result = engine.run(4.0);
     chip_.clearAssignments();
     for (int c = 0; c < chip_.coreCount(); ++c)
-        chip_.core(c).setCpmReduction(0);
+        chip_.core(c).setCpmReduction(util::CpmSteps{0});
     EXPECT_FALSE(result.failed());
     // The stress pushes power and temperature toward the paper's
     // 160 W / 70 degC test-floor conditions.
@@ -216,15 +217,15 @@ TEST_F(SimEngineTest, RunPastViolationsCountsEveryCoreEpisode)
     // only the earliest offender.
     const int limit0 = variation::referenceTargets(0, 0).idle;
     const int limit5 = variation::referenceTargets(0, 5).idle;
-    chip_.core(0).setCpmReduction(limit0 + 2);
-    chip_.core(5).setCpmReduction(limit5 + 2);
+    chip_.core(0).setCpmReduction(util::CpmSteps{limit0 + 2});
+    chip_.core(5).setCpmReduction(util::CpmSteps{limit5 + 2});
     SimConfig config;
     config.runNoisePs = 1.2;
     config.stopOnViolation = false;
     SimEngine engine(&chip_, config);
     const RunResult result = engine.run(3.0);
-    chip_.core(0).setCpmReduction(0);
-    chip_.core(5).setCpmReduction(0);
+    chip_.core(0).setCpmReduction(util::CpmSteps{0});
+    chip_.core(5).setCpmReduction(util::CpmSteps{0});
 
     EXPECT_FALSE(result.stoppedEarly);
     EXPECT_TRUE(result.failed());
@@ -259,7 +260,7 @@ TEST_F(SimEngineTest, CampaignStrikesMidRunAndCleansUp)
     const RunResult faulted = engine.run(3.0);
     // The parasitic load is gone after the run, and the campaign
     // re-arms, so a second run reproduces the same grid sag.
-    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA(), 0.0);
+    EXPECT_DOUBLE_EQ(chip_.pdn().faultCurrentA().value(), 0.0);
     const RunResult again = engine.run(3.0);
 
     SimEngine clean_engine(&chip_);

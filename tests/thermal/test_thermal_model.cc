@@ -8,60 +8,68 @@
 namespace atmsim::thermal {
 namespace {
 
+using util::Celsius;
+using util::Seconds;
+using util::Watts;
+
 TEST(ThermalModel, StartsAtAmbient)
 {
     ThermalModel model(ThermalParams{}, 8);
     for (int c = 0; c < 8; ++c)
-        EXPECT_DOUBLE_EQ(model.coreTempC(c), 25.0);
+        EXPECT_DOUBLE_EQ(model.coreTempC(c).value(), 25.0);
 }
 
 TEST(ThermalModel, SettleMatchesResistances)
 {
     ThermalParams params;
     ThermalModel model(params, 8);
-    std::vector<double> powers(8, 14.0); // 112 W cores
-    model.settle(powers, 12.0);          // + 12 W uncore
+    std::vector<Watts> powers(8, Watts{14.0}); // 112 W cores
+    model.settle(powers, Watts{12.0});         // + 12 W uncore
     const double expected_pkg = 25.0 + 0.25 * 124.0;
-    EXPECT_NEAR(model.packageTempC(), expected_pkg, 1e-9);
-    EXPECT_NEAR(model.coreTempC(0), expected_pkg + 0.55 * 14.0, 1e-9);
+    EXPECT_NEAR(model.packageTempC().value(), expected_pkg, 1e-9);
+    EXPECT_NEAR(model.coreTempC(0).value(), expected_pkg + 0.55 * 14.0,
+                1e-9);
 }
 
 TEST(ThermalModel, StressmarkReachesSeventyC)
 {
     // The paper's stress-test holds ~160 W and ~70 degC die.
     ThermalModel model(ThermalParams{}, 8);
-    std::vector<double> powers(8, 18.0);
-    model.settle(powers, 16.0); // 160 W chip
-    EXPECT_GT(model.maxCoreTempC(), 63.0);
-    EXPECT_LT(model.maxCoreTempC(), 78.0);
+    std::vector<Watts> powers(8, Watts{18.0});
+    model.settle(powers, Watts{16.0}); // 160 W chip
+    EXPECT_GT(model.maxCoreTempC().value(), 63.0);
+    EXPECT_LT(model.maxCoreTempC().value(), 78.0);
 }
 
 TEST(ThermalModel, TransientApproachesSteadyState)
 {
     ThermalModel model(ThermalParams{}, 4);
-    std::vector<double> powers(4, 10.0);
+    std::vector<Watts> powers(4, Watts{10.0});
     // Step forward 200 ms in 0.1 ms increments.
     for (int i = 0; i < 2000; ++i)
-        model.step(1e-4, powers, 10.0);
+        model.step(Seconds{1e-4}, powers, Watts{10.0});
     ThermalModel settled(ThermalParams{}, 4);
-    settled.settle(powers, 10.0);
-    EXPECT_NEAR(model.coreTempC(0), settled.coreTempC(0), 0.5);
+    settled.settle(powers, Watts{10.0});
+    EXPECT_NEAR(model.coreTempC(0).value(), settled.coreTempC(0).value(),
+                0.5);
 }
 
 TEST(ThermalModel, HotterCoreForHotterPower)
 {
     ThermalModel model(ThermalParams{}, 2);
-    model.settle({20.0, 2.0}, 5.0);
+    model.settle({Watts{20.0}, Watts{2.0}}, Watts{5.0});
     EXPECT_GT(model.coreTempC(0), model.coreTempC(1));
-    EXPECT_DOUBLE_EQ(model.maxCoreTempC(), model.coreTempC(0));
+    EXPECT_DOUBLE_EQ(model.maxCoreTempC().value(),
+                     model.coreTempC(0).value());
 }
 
 TEST(ThermalModel, InputValidation)
 {
     ThermalModel model(ThermalParams{}, 2);
-    std::vector<double> wrong(3, 1.0);
-    EXPECT_THROW(model.step(1e-4, wrong, 0.0), util::FatalError);
-    EXPECT_THROW(model.settle(wrong, 0.0), util::FatalError);
+    std::vector<Watts> wrong(3, Watts{1.0});
+    EXPECT_THROW(model.step(Seconds{1e-4}, wrong, Watts{0.0}),
+                 util::FatalError);
+    EXPECT_THROW(model.settle(wrong, Watts{0.0}), util::FatalError);
     EXPECT_THROW(model.coreTempC(2), util::FatalError);
     EXPECT_THROW(ThermalModel(ThermalParams{}, 0), util::FatalError);
 }

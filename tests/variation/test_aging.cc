@@ -46,12 +46,14 @@ TEST(Aging, AtmTracksAgingAutomatically)
     // no reconfiguration needed, because the canaries aged too.
     variation::ChipSilicon fresh = makeReferenceChip(0);
     chip::Chip fresh_chip(std::move(fresh));
-    const double f0 = fresh_chip.solveSteadyState().coreFreqMhz[0];
+    const double f0 =
+        fresh_chip.solveSteadyState().coreFreqMhz[0].value();
 
     variation::ChipSilicon aged = makeReferenceChip(0);
     applyAging(aged, {}, 5.0, 1.25, 55.0);
     chip::Chip aged_chip(std::move(aged));
-    const double f5 = aged_chip.solveSteadyState().coreFreqMhz[0];
+    const double f5 =
+        aged_chip.solveSteadyState().coreFreqMhz[0].value();
 
     EXPECT_LT(f5, f0);
     // Graceful: a few tens of MHz over five years, not hundreds.
@@ -72,7 +74,9 @@ TEST(Aging, SafetyStructureSurvivesAging)
             core.idleNoiseFloorPs + core.idleNoiseRangePs;
         const double extra = scenarioExtraPs(
             core, core.loadExposurePs, kWorstClassDroopMv);
-        EXPECT_TRUE(analyticSafe(core, worst, extra, noise_max))
+        EXPECT_TRUE(analyticSafe(core, util::CpmSteps{worst},
+                                 util::Picoseconds{extra},
+                                 util::Picoseconds{noise_max}))
             << core.name;
     }
 }

@@ -71,8 +71,8 @@ TEST(Calibration, PresetLandsOnDefaultAtmIdleFrequency)
     util::Rng rng(404);
     const CoreSiliconParams core = buildCoreFromTargets(
         "T0C3", targets(7, 6, 5, 4, 4950), 11, 1.0, rng);
-    EXPECT_NEAR(core.atmFrequencyMhz(0, 1.0),
-                circuit::kDefaultAtmIdleMhz, 0.5);
+    EXPECT_NEAR(core.atmFrequencyMhz(util::CpmSteps{0}, 1.0).value(),
+                circuit::kDefaultAtmIdleMhz.value(), 0.5);
 }
 
 TEST(Calibration, IdleLimitFrequencyMatchesTarget)
@@ -80,7 +80,8 @@ TEST(Calibration, IdleLimitFrequencyMatchesTarget)
     util::Rng rng(505);
     const CoreSiliconParams core = buildCoreFromTargets(
         "T0C4", targets(8, 7, 6, 5, 5100), 12, 0.97, rng);
-    EXPECT_NEAR(core.atmFrequencyMhz(8, 1.0), 5100.0, 1.0);
+    EXPECT_NEAR(core.atmFrequencyMhz(util::CpmSteps{8}, 1.0).value(),
+                5100.0, 1.0);
 }
 
 TEST(Calibration, StepHintsAreHonored)
@@ -171,7 +172,7 @@ TEST_P(CalibrationSweep, RandomTargetShapesInvertible)
     const int wo = std::max(1, no - static_cast<int>(rng.below(4)));
     const double removal = idle * rng.uniform(1.4, 3.2);
     const double mhz = util::psToMhz(
-        util::mhzToPs(circuit::kDefaultAtmIdleMhz) - removal);
+        util::periodOf(circuit::kDefaultAtmIdleMhz).value() - removal);
     const auto t = targets(idle, ub, no, wo, mhz);
     const int preset = std::max(idle + 4, 7);
     const double speed = 4950.0 / mhz;

@@ -57,12 +57,15 @@ TEST_P(GeneratorSweep, GeneratedCoresHaveConsistentShape)
         "G", static_cast<std::uint64_t>(GetParam()) * 977 + 5);
     for (const auto &core : chip.cores) {
         // Default config must land on the factory ATM idle frequency.
-        EXPECT_NEAR(core.atmFrequencyMhz(0, 1.0),
-                    circuit::kDefaultAtmIdleMhz, 1.0) << core.name;
+        EXPECT_NEAR(core.atmFrequencyMhz(util::CpmSteps{0}, 1.0).value(),
+                    circuit::kDefaultAtmIdleMhz.value(), 1.0)
+            << core.name;
         // Idle-limit frequencies stay in the plausible band.
-        const int idle = analyticMaxSafeReduction(
-            core, 0.0, core.idleNoiseFloorPs + core.idleNoiseRangePs);
-        const double f = core.atmFrequencyMhz(idle, 1.0);
+        const util::CpmSteps idle = analyticMaxSafeReduction(
+            core, util::Picoseconds{0.0},
+            util::Picoseconds{core.idleNoiseFloorPs
+                              + core.idleNoiseRangePs});
+        const double f = core.atmFrequencyMhz(idle, 1.0).value();
         EXPECT_GE(f, 4600.0) << core.name;
         EXPECT_LE(f, 5300.0) << core.name;
     }
@@ -78,9 +81,12 @@ TEST(ChipGenerator, PopulationShowsVariation)
     for (int seed = 0; seed < 10; ++seed) {
         const ChipSilicon chip = generateChip("V", seed + 1);
         for (const auto &core : chip.cores) {
-            seen_limits.insert(analyticMaxSafeReduction(
-                core, 0.0,
-                core.idleNoiseFloorPs + core.idleNoiseRangePs));
+            seen_limits.insert(
+                analyticMaxSafeReduction(
+                    core, util::Picoseconds{0.0},
+                    util::Picoseconds{core.idleNoiseFloorPs
+                                      + core.idleNoiseRangePs})
+                    .value());
         }
     }
     EXPECT_GE(seen_limits.size(), 4u);

@@ -7,6 +7,9 @@
 namespace atmsim::variation {
 namespace {
 
+using util::CpmSteps;
+using util::Picoseconds;
+
 CoreSiliconParams
 makeSimpleCore()
 {
@@ -25,24 +28,24 @@ makeSimpleCore()
 TEST(CoreSilicon, InsertedDelayIsPrefixSum)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    EXPECT_DOUBLE_EQ(core.insertedDelayPs(0), 0.0);
-    EXPECT_DOUBLE_EQ(core.insertedDelayPs(3), 6.0);
-    EXPECT_DOUBLE_EQ(core.insertedDelayPs(12), 24.0);
+    EXPECT_DOUBLE_EQ(core.insertedDelayPs(CpmSteps{0}).value(), 0.0);
+    EXPECT_DOUBLE_EQ(core.insertedDelayPs(CpmSteps{3}).value(), 6.0);
+    EXPECT_DOUBLE_EQ(core.insertedDelayPs(CpmSteps{12}).value(), 24.0);
 }
 
 TEST(CoreSilicon, InsertedDelayRangeChecked)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    EXPECT_THROW(core.insertedDelayPs(-1), util::FatalError);
-    EXPECT_THROW(core.insertedDelayPs(13), util::FatalError);
+    EXPECT_THROW(core.insertedDelayPs(CpmSteps{-1}), util::FatalError);
+    EXPECT_THROW(core.insertedDelayPs(CpmSteps{13}), util::FatalError);
 }
 
 TEST(CoreSilicon, AtmFrequencyIncreasesWithReduction)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    double prev = core.atmFrequencyMhz(0, 1.0);
+    double prev = core.atmFrequencyMhz(CpmSteps{0}, 1.0).value();
     for (int k = 1; k <= 6; ++k) {
-        const double f = core.atmFrequencyMhz(k, 1.0);
+        const double f = core.atmFrequencyMhz(CpmSteps{k}, 1.0).value();
         EXPECT_GT(f, prev);
         prev = f;
     }
@@ -51,15 +54,16 @@ TEST(CoreSilicon, AtmFrequencyIncreasesWithReduction)
 TEST(CoreSilicon, AtmFrequencyDropsWithDelayFactor)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    EXPECT_LT(core.atmFrequencyMhz(0, 1.05), core.atmFrequencyMhz(0, 1.0));
+    EXPECT_LT(core.atmFrequencyMhz(CpmSteps{0}, 1.05),
+              core.atmFrequencyMhz(CpmSteps{0}, 1.0));
 }
 
 TEST(CoreSilicon, SafetySlackShrinksWithReduction)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    double prev = core.safetySlackPs(0);
+    double prev = core.safetySlackPs(CpmSteps{0}).value();
     for (int k = 1; k <= 6; ++k) {
-        const double s = core.safetySlackPs(k);
+        const double s = core.safetySlackPs(CpmSteps{k}).value();
         EXPECT_LT(s, prev);
         // Step delta matches the removed segment.
         EXPECT_NEAR(prev - s, 2.0, 1e-9);
@@ -70,20 +74,28 @@ TEST(CoreSilicon, SafetySlackShrinksWithReduction)
 TEST(CoreSilicon, AnalyticSafetyMatchesSlack)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    const double s3 = core.safetySlackPs(3);
-    EXPECT_TRUE(analyticSafe(core, 3, s3 - 0.1, 0.0));
-    EXPECT_FALSE(analyticSafe(core, 3, s3 + 0.1, 0.0));
+    const double s3 = core.safetySlackPs(CpmSteps{3}).value();
+    EXPECT_TRUE(analyticSafe(core, CpmSteps{3}, Picoseconds{s3 - 0.1},
+                             Picoseconds{0.0}));
+    EXPECT_FALSE(analyticSafe(core, CpmSteps{3}, Picoseconds{s3 + 0.1},
+                              Picoseconds{0.0}));
     // Noise and extra are interchangeable.
-    EXPECT_TRUE(analyticSafe(core, 3, s3 / 2, s3 / 2 - 0.1));
-    EXPECT_FALSE(analyticSafe(core, 3, s3 / 2, s3 / 2 + 0.1));
+    EXPECT_TRUE(analyticSafe(core, CpmSteps{3}, Picoseconds{s3 / 2},
+                             Picoseconds{s3 / 2 - 0.1}));
+    EXPECT_FALSE(analyticSafe(core, CpmSteps{3}, Picoseconds{s3 / 2},
+                              Picoseconds{s3 / 2 + 0.1}));
 }
 
 TEST(CoreSilicon, MaxSafeReductionMonotoneInStress)
 {
     const CoreSiliconParams core = makeSimpleCore();
-    int prev = analyticMaxSafeReduction(core, 0.0, 0.5);
+    int prev = analyticMaxSafeReduction(core, Picoseconds{0.0},
+                                        Picoseconds{0.5})
+                   .value();
     for (double extra = 1.0; extra < 15.0; extra += 1.0) {
-        const int k = analyticMaxSafeReduction(core, extra, 0.5);
+        const int k = analyticMaxSafeReduction(core, Picoseconds{extra},
+                                               Picoseconds{0.5})
+                          .value();
         EXPECT_LE(k, prev);
         prev = k;
     }
@@ -119,7 +131,8 @@ TEST(CoreSilicon, ValidateRejectsBadCores)
     {
         CoreSiliconParams c = makeSimpleCore();
         // Preset must itself be safe: push the real path past it.
-        c.realPathIdlePs = c.synthPathPs + c.insertedDelayPs(12) + 10.0;
+        c.realPathIdlePs = c.synthPathPs
+                         + c.insertedDelayPs(CpmSteps{12}).value() + 10.0;
         EXPECT_THROW(c.validate(), util::FatalError);
     }
 }

@@ -19,6 +19,12 @@ constexpr int kNormal[2][8] = {{8, 7, 4, 9, 8, 6, 7, 2},
 constexpr int kWorst[2][8] = {{6, 6, 3, 6, 6, 5, 5, 2},
                               {3, 3, 5, 3, 3, 2, 6, 2}};
 
+double
+fMhz(const CoreSiliconParams &core, int reduction)
+{
+    return core.atmFrequencyMhz(util::CpmSteps{reduction}, 1.0).value();
+}
+
 TEST(ReferenceChips, TargetsMatchTableOne)
 {
     for (int p = 0; p < 2; ++p) {
@@ -98,7 +104,7 @@ TEST(ReferenceChips, IdleLimitFrequenciesMatchFigSeven)
     double best_f = 0.0;
     int best_core = -1;
     for (int c = 0; c < 8; ++c) {
-        const double f = p0.cores[c].atmFrequencyMhz(kIdle[0][c], 1.0);
+        const double f = fMhz(p0.cores[c], kIdle[0][c]);
         EXPECT_GE(f, 4650.0) << p0.cores[c].name;
         EXPECT_LE(f, 5250.0) << p0.cores[c].name;
         if (f > best_f) {
@@ -117,28 +123,28 @@ TEST(ReferenceChips, NonLinearityAnecdotes)
     // P1C6: the first reduction step jumps >200 MHz, the second is
     // nearly free (Sec. IV-C / Fig. 5).
     const auto &c6 = p1.cores[6];
-    const double f0 = c6.atmFrequencyMhz(0, 1.0);
-    const double f1 = c6.atmFrequencyMhz(1, 1.0);
-    const double f2 = c6.atmFrequencyMhz(2, 1.0);
+    const double f0 = fMhz(c6, 0);
+    const double f1 = fMhz(c6, 1);
+    const double f2 = fMhz(c6, 2);
     EXPECT_GT(f1 - f0, 180.0);
     EXPECT_LT(f2 - f1, 30.0);
 
     // P1C3: step 5->6 nearly unchanged, 6->7 gains >100 MHz.
     const auto &c3 = p1.cores[3];
-    EXPECT_LT(c3.atmFrequencyMhz(6, 1.0) - c3.atmFrequencyMhz(5, 1.0),
+    EXPECT_LT(fMhz(c3, 6) - fMhz(c3, 5),
               30.0);
-    EXPECT_GT(c3.atmFrequencyMhz(7, 1.0) - c3.atmFrequencyMhz(6, 1.0),
+    EXPECT_GT(fMhz(c3, 7) - fMhz(c3, 6),
               95.0);
 
     // P1C2: the unsafe sixth step would jump ~300 MHz (the rollback
     // cost the paper describes).
     const auto &c2 = p1.cores[2];
-    EXPECT_GT(c2.atmFrequencyMhz(6, 1.0) - c2.atmFrequencyMhz(5, 1.0),
+    EXPECT_GT(fMhz(c2, 6) - fMhz(c2, 5),
               250.0);
 
     // P1C1: rolling back from 9 to 8 costs about 100 MHz.
     const auto &c1 = p1.cores[1];
-    EXPECT_NEAR(c1.atmFrequencyMhz(9, 1.0) - c1.atmFrequencyMhz(8, 1.0),
+    EXPECT_NEAR(fMhz(c1, 9) - fMhz(c1, 8),
                 100.0, 25.0);
 }
 
@@ -148,8 +154,8 @@ TEST(ReferenceChips, SimilarFrequencyDifferentStepCounts)
     // non-linearity across cores (Sec. IV-C).
     const ChipSilicon p0 = makeReferenceChip(0);
     const ChipSilicon p1 = makeReferenceChip(1);
-    const double f_p0c4 = p0.cores[4].atmFrequencyMhz(10, 1.0);
-    const double f_p1c7 = p1.cores[7].atmFrequencyMhz(3, 1.0);
+    const double f_p0c4 = fMhz(p0.cores[4], 10);
+    const double f_p1c7 = fMhz(p1.cores[7], 3);
     EXPECT_NEAR(f_p0c4, f_p1c7, 20.0);
 }
 
@@ -158,8 +164,8 @@ TEST(ReferenceChips, SpeedDifferentialAtThreadWorst)
     // Fig. 11: >200 MHz differential between P0C1 and P0C7 at their
     // stress-test limits.
     const ChipSilicon p0 = makeReferenceChip(0);
-    const double f_c1 = p0.cores[1].atmFrequencyMhz(kWorst[0][1], 1.0);
-    const double f_c7 = p0.cores[7].atmFrequencyMhz(kWorst[0][7], 1.0);
+    const double f_c1 = fMhz(p0.cores[1], kWorst[0][1]);
+    const double f_c7 = fMhz(p0.cores[7], kWorst[0][7]);
     EXPECT_GT(f_c1 - f_c7, 200.0);
 }
 

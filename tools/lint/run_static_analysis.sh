@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Run the repo's full static-analysis suite.
+#
+# Always runs the python units lint (no external dependencies).
+# clang-format, clang-tidy and cppcheck run only when present on
+# PATH; absent tools are reported and skipped so the script is usable
+# on minimal containers.  CI installs all three, so nothing is
+# skipped there.
+#
+# Usage: tools/lint/run_static_analysis.sh [build-dir]
+#   build-dir: a CMake build tree configured with
+#              -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (default: build)
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+failures=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+cd "$repo_root"
+
+note "units lint (tools/lint/check_units.py)"
+if python3 tools/lint/check_units.py src; then
+    :
+else
+    failures=$((failures + 1))
+fi
+
+note "clang-format (check only)"
+if command -v clang-format >/dev/null 2>&1; then
+    unformatted=$(git ls-files '*.h' '*.cc' '*.cpp' \
+        | xargs clang-format --dry-run -Werror 2>&1 | head -40)
+    if [ -n "$unformatted" ]; then
+        echo "$unformatted"
+        echo "clang-format: style violations found" \
+             "(run: git ls-files '*.h' '*.cc' '*.cpp'" \
+             "| xargs clang-format -i)"
+        failures=$((failures + 1))
+    else
+        echo "clang-format: clean"
+    fi
+else
+    echo "clang-format not installed; skipped"
+fi
+
+note "clang-tidy (.clang-tidy profile)"
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f "$build_dir/compile_commands.json" ]; then
+        echo "no compile_commands.json in $build_dir; configure with" \
+             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        failures=$((failures + 1))
+    elif git ls-files 'src/*.cc' \
+        | xargs clang-tidy -p "$build_dir" --quiet; then
+        echo "clang-tidy: clean"
+    else
+        failures=$((failures + 1))
+    fi
+else
+    echo "clang-tidy not installed; skipped"
+fi
+
+note "cppcheck (suppression baseline)"
+if command -v cppcheck >/dev/null 2>&1; then
+    if cppcheck --std=c++20 --language=c++ --inline-suppr \
+        --enable=warning,performance,portability \
+        --suppressions-list=tools/lint/cppcheck_suppressions.txt \
+        --error-exitcode=1 --quiet -I src src; then
+        echo "cppcheck: clean"
+    else
+        failures=$((failures + 1))
+    fi
+else
+    echo "cppcheck not installed; skipped"
+fi
+
+note "summary"
+if [ "$failures" -ne 0 ]; then
+    echo "static analysis: $failures check(s) failed"
+    exit 1
+fi
+echo "static analysis: all available checks passed"
