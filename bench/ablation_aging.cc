@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_session.h"
 #include "chip/chip.h"
 #include "circuit/constants.h"
 #include "util/table.h"
@@ -20,8 +21,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("ablation_aging", argc, argv);
     std::cout << "\n=== Ablation: aging ===\n"
               << "Fine-tuned ATM frequency vs. static-margin headroom "
                  "over service life (P0C0 at its thread-worst "

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_session.h"
 #include "chip/chip.h"
 #include "sim/sim_engine.h"
 #include "util/table.h"
@@ -23,15 +24,19 @@ namespace {
 
 /** Violation count over a short window at a given configuration. */
 long
-violations(chip::Chip &chip, int reduction, double stretch)
+violations(chip::Chip &chip, int reduction, double stretch,
+           bench::BenchSession &session)
 {
     chip.core(0).setCpmReduction(util::CpmSteps{reduction});
     sim::SimConfig config;
     config.runNoisePs = 1.1; // hostile end of the run-noise range
     config.stopOnViolation = false;
+    session.setConfig(config);
     sim::SimEngine engine(&chip, config);
+    session.observe(engine);
     (void)stretch;
     const sim::RunResult result = engine.run(4.0);
+    session.noteEngineRun(result);
     long count = 0;
     for (const auto &ev : result.violations) {
         if (ev.core == 0)
@@ -43,8 +48,9 @@ violations(chip::Chip &chip, int reduction, double stretch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("ablation_control_loop", argc, argv);
     std::cout << "\n=== Ablation: control-loop emergency response ===\n"
               << "x264 on P0C0, detailed engine, violations in a 4 us "
                  "window at CPM settings around the thread-worst "
@@ -64,7 +70,7 @@ main()
         std::vector<std::string> row = {util::fmtPercent(stretch)};
         for (int delta : {-1, 0, 2, 3}) {
             row.push_back(std::to_string(
-                violations(chip, worst + delta, stretch)));
+                violations(chip, worst + delta, stretch, session)));
         }
         table.addRow(row);
     }

@@ -19,14 +19,15 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("ablation_governor_policy", argc, argv);
     bench::banner("Ablation: governor policy",
                   "Managed-max critical performance per CPM-setting "
                   "policy, chip P0.");
 
     auto chip = bench::makeReferenceChip(0);
-    core::AtmManager manager(chip.get(), bench::characterize(*chip));
+    core::AtmManager manager(chip.get(), bench::characterize(*chip, session));
 
     const std::vector<std::pair<std::string, std::string>> pairs = {
         {"squeezenet", "lu_cb"}, {"seq2seq", "streamcluster"},

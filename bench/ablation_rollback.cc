@@ -17,14 +17,15 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("ablation_rollback", argc, argv);
     bench::banner("Ablation: deployment rollback",
                   "Managed-max critical performance vs. extra safety "
                   "rollback from the stress-test limits, chip P0.");
 
     auto chip = bench::makeReferenceChip(0);
-    const core::LimitTable limits = bench::characterize(*chip);
+    const core::LimitTable limits = bench::characterize(*chip, session);
 
     const std::vector<std::pair<std::string, std::string>> pairs = {
         {"squeezenet", "lu_cb"},

@@ -20,14 +20,15 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("ablation_undervolt", argc, argv);
     bench::banner("Ablation: undervolting",
                   "Margin-to-power conversion at a 4.2 GHz target, all "
                   "cores running gcc, chip P0.");
 
     auto chip = bench::makeReferenceChip(0);
-    core::Governor governor(chip.get(), bench::characterize(*chip));
+    core::Governor governor(chip.get(), bench::characterize(*chip, session));
     const auto &gcc = workload::findWorkload("gcc");
     for (int c = 0; c < chip->coreCount(); ++c)
         chip->assignWorkload(c, &gcc);

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Per-harness observability session.
+ *
+ * Every figure/table/ablation harness owns one BenchSession. The
+ * session strips the shared observability flags from the command
+ * line before the harness parses its own arguments, carries the
+ * metrics registry and (optional) trace collector the harness hands
+ * to engines and characterizers, accumulates engine totals across
+ * runs, and -- on destruction -- writes the run-provenance manifest
+ * (and trace) next to the harness's printed output:
+ *
+ *   --manifest <path>   manifest destination
+ *                       (default BENCH_<tool>.json in the cwd)
+ *   --no-manifest       skip the manifest entirely
+ *   --trace [<path>]    also write a Chrome/Perfetto trace
+ *                       (default BENCH_<tool>.trace.json)
+ *
+ * The filtered argument list is exposed via argc()/argv() so
+ * harnesses that reject unknown arguments keep doing so.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
+#include "sim/run_result.h"
+#include "sim/sim_engine.h"
+#include "util/logging.h"
+
+namespace atmsim::bench {
+
+/** Observability wrapper for one harness invocation. */
+class BenchSession
+{
+  public:
+    /**
+     * @param tool Harness name, e.g. "fig11_stress_test"; names the
+     *        default output files and the manifest's tool field.
+     * @param argc,argv The harness's raw command line; observability
+     *        flags are consumed here.
+     */
+    BenchSession(std::string tool, int argc, char **argv)
+        : tool_(std::move(tool)), startWallNs_(obs::monotonicWallNs())
+    {
+        manifestPath_ = "BENCH_" + tool_ + ".json";
+        tracePath_ = "BENCH_" + tool_ + ".trace.json";
+        parseArgs(argc, argv);
+        util::setLogContext(tool_);
+        if (traceEnabled_)
+            trace_.emplace();
+    }
+
+    ~BenchSession()
+    {
+        try {
+            writeOutputs();
+        } catch (const std::exception &e) {
+            std::cerr << tool_ << ": manifest write failed: "
+                      << e.what() << "\n";
+        }
+        util::setLogContext("");
+    }
+
+    BenchSession(const BenchSession &) = delete;
+    BenchSession &operator=(const BenchSession &) = delete;
+
+    // --- Filtered command line -----------------------------------------
+
+    int argc() const { return static_cast<int>(argvPtrs_.size()); }
+
+    char **argv() { return argvPtrs_.data(); }
+
+    /** Filtered arguments without argv[0]. */
+    const std::vector<std::string> &args() const { return args_; }
+
+    // --- Observability backends ----------------------------------------
+
+    obs::MetricsRegistry &metrics() { return metrics_; }
+
+    /** Null unless --trace was given. */
+    obs::TraceCollector *trace()
+    {
+        return traceEnabled_ ? &*trace_ : nullptr;
+    }
+
+    /** Bundle to hand to engines, characterizers, and monitors. */
+    obs::Observability
+    observability()
+    {
+        return {&metrics_, trace()};
+    }
+
+    /** Attach this session's sinks to an engine. */
+    void observe(sim::SimEngine &engine)
+    {
+        engine.setObservability(observability());
+    }
+
+    // --- Provenance ----------------------------------------------------
+
+    void setChip(const std::string &name) { manifest_.chip = name; }
+
+    void setSeed(std::uint64_t seed) { manifest_.seed = seed; }
+
+    void
+    setFaultCampaign(const std::string &text)
+    {
+        manifest_.faultCampaign = text;
+    }
+
+    /** Record one configuration key/value pair. */
+    void
+    setConfig(const std::string &key, const std::string &value)
+    {
+        for (auto &kv : manifest_.config) {
+            if (kv.first == key) {
+                kv.second = value;
+                return;
+            }
+        }
+        manifest_.config.emplace_back(key, value);
+    }
+
+    /** Record the engine configuration a harness runs with. */
+    void
+    setConfig(const sim::SimConfig &config)
+    {
+        setConfig("sim.dt_ns", fmt(config.dtNs));
+        setConfig("sim.slow_cadence", fmt(config.slowCadence));
+        setConfig("sim.stats_cadence", fmt(config.statsCadence));
+        setConfig("sim.run_noise_ps", fmt(config.runNoisePs));
+        setConfig("sim.stop_on_violation",
+                  config.stopOnViolation ? "true" : "false");
+        setSeed(config.seed);
+    }
+
+    /** Append/overwrite one harness-level counter. */
+    void
+    setCounter(const std::string &name, double value)
+    {
+        manifest_.setCounter(name, value);
+    }
+
+    /**
+     * Fold one engine run into the manifest: run/step/wall totals,
+     * the per-phase breakdown, and the run's safety counters.
+     */
+    void
+    noteEngineRun(const sim::RunResult &result)
+    {
+        manifest_.engineRuns += 1;
+        manifest_.engineSteps += result.steps;
+        manifest_.engineWallSeconds += result.wallSeconds;
+        manifest_.engineSimNs += result.durationNs;
+        for (const auto &stat : result.phaseStats)
+            mergePhase(stat);
+        for (const auto &[name, value] : result.safety.named())
+            addCounter(name, value);
+    }
+
+    bool manifestEnabled() const { return manifestEnabled_; }
+    const std::string &manifestPath() const { return manifestPath_; }
+    const std::string &tracePath() const { return tracePath_; }
+
+  private:
+    template <typename T>
+    static std::string
+    fmt(T value)
+    {
+        std::ostringstream os;
+        os << value;
+        return os.str();
+    }
+
+    void
+    parseArgs(int argc, char **argv)
+    {
+        argvPtrs_.push_back(argc > 0 ? argv[0] : nullptr);
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const bool has_next = i + 1 < argc
+                                  && argv[i + 1][0] != '-';
+            if (arg == "--no-manifest") {
+                manifestEnabled_ = false;
+            } else if (arg == "--manifest" && has_next) {
+                manifestPath_ = argv[++i];
+            } else if (arg.rfind("--manifest=", 0) == 0) {
+                manifestPath_ = arg.substr(11);
+            } else if (arg == "--trace") {
+                traceEnabled_ = true;
+                if (has_next)
+                    tracePath_ = argv[++i];
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                traceEnabled_ = true;
+                tracePath_ = arg.substr(8);
+            } else {
+                args_.push_back(arg);
+                argvPtrs_.push_back(argv[i]);
+            }
+        }
+        manifest_.args = args_;
+    }
+
+    void
+    mergePhase(const obs::PhaseStat &stat)
+    {
+        for (auto &existing : manifest_.phases) {
+            if (std::string(existing.name) == stat.name) {
+                existing.wallNs += stat.wallNs;
+                existing.calls += stat.calls;
+                return;
+            }
+        }
+        manifest_.phases.push_back(stat);
+    }
+
+    void
+    addCounter(const std::string &name, double value)
+    {
+        for (auto &kv : manifest_.counters) {
+            if (kv.first == name) {
+                kv.second += value;
+                return;
+            }
+        }
+        manifest_.counters.emplace_back(name, value);
+    }
+
+    void
+    writeOutputs()
+    {
+        if (traceEnabled_) {
+            std::ofstream os(tracePath_);
+            if (!os) {
+                std::cerr << tool_ << ": cannot open " << tracePath_
+                          << "\n";
+            } else {
+                trace_->writeChromeTrace(os);
+                std::cout << "[" << tool_ << "] trace written to "
+                          << tracePath_ << "\n";
+            }
+        }
+        if (!manifestEnabled_)
+            return;
+        manifest_.tool = tool_;
+        manifest_.wallSeconds =
+            (obs::monotonicWallNs() - startWallNs_) * 1e-9;
+        manifest_.metrics = metrics_.snapshot();
+        std::ofstream os(manifestPath_);
+        if (!os) {
+            std::cerr << tool_ << ": cannot open " << manifestPath_
+                      << "\n";
+            return;
+        }
+        manifest_.writeJson(os);
+        std::cout << "[" << tool_ << "] manifest written to "
+                  << manifestPath_ << "\n";
+    }
+
+    std::string tool_;
+    double startWallNs_;
+    bool manifestEnabled_ = true;
+    bool traceEnabled_ = false;
+    std::string manifestPath_;
+    std::string tracePath_;
+    std::vector<std::string> args_;
+    std::vector<char *> argvPtrs_;
+    obs::MetricsRegistry metrics_;
+    std::optional<obs::TraceCollector> trace_;
+    obs::RunManifest manifest_;
+};
+
+} // namespace atmsim::bench

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_session.h"
 #include "chip/chip.h"
 #include "core/characterizer.h"
 #include "variation/reference_chips.h"
@@ -35,6 +36,15 @@ inline core::LimitTable
 characterize(chip::Chip &chip)
 {
     core::Characterizer characterizer(&chip);
+    return characterizer.characterizeChip();
+}
+
+/** Same, reporting trials/spans into a session's sinks. */
+inline core::LimitTable
+characterize(chip::Chip &chip, BenchSession &session)
+{
+    core::Characterizer characterizer(&chip);
+    characterizer.setObservability(session.observability());
     return characterizer.characterizeChip();
 }
 

@@ -19,8 +19,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("extension_config_prediction", argc, argv);
     bench::banner("Extension: per-app CPM prediction",
                   "Interval-constrained prediction from four probe "
                   "apps, evaluated against full characterization.");
@@ -66,7 +67,7 @@ main()
     auto chip = bench::makeReferenceChip(0);
     const core::ConfigPredictor predictor =
         core::ConfigPredictor::fit(chip.get(), probes);
-    const core::LimitTable limits = bench::characterize(*chip);
+    const core::LimitTable limits = bench::characterize(*chip, session);
 
     util::TextTable gain;
     gain.setHeader({"app", "mean f @ thread-worst", "mean f @ predicted",

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_session.h"
 #include "chip/system.h"
 #include "core/system_manager.h"
 #include "util/table.h"
@@ -18,8 +19,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("extension_system_schedule", argc, argv);
     std::cout << "\n=== Extension: server-wide batch scheduling ===\n"
               << "Six critical jobs + lu_cb background across both "
                  "sockets, 10% QoS each.\n\n";

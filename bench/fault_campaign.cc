@@ -70,8 +70,11 @@ campaignFor(const SweepPoint &point)
 } // namespace
 
 int
-main(int argc, char **argv)
+main(int raw_argc, char **raw_argv)
 {
+    bench::BenchSession session("fault_campaign", raw_argc, raw_argv);
+    const int argc = session.argc();
+    char **argv = session.argv();
     bench::banner("Fault campaign",
                   "Fault kind x intensity x deployment sweep: "
                   "violation episodes, silent failures, and monitor "
@@ -100,7 +103,8 @@ main(int argc, char **argv)
     };
 
     auto chip = bench::makeReferenceChip(0);
-    const core::LimitTable limits = bench::characterize(*chip);
+    session.setChip(chip->name());
+    const core::LimitTable limits = bench::characterize(*chip, session);
     const auto &x264 = workload::findWorkload("x264");
 
     const std::string csv_path = bench::csvPathFromArgs(argc, argv);
@@ -121,6 +125,7 @@ main(int argc, char **argv)
     for (const SweepPoint &point : points) {
         for (const Deployment &deployment : deployments) {
             core::Governor governor(chip.get(), limits);
+            governor.setObservability(session.observability());
             governor.apply(deployment.policy);
             chip->assignWorkload(2, &x264);
             fault::FaultCampaign campaign = campaignFor(point);
@@ -132,16 +137,20 @@ main(int argc, char **argv)
             core::SafetyMonitor monitor(
                 chip.get(), governor.reductions(deployment.policy),
                 monitor_config);
+            monitor.setObservability(session.observability());
 
             sim::SimConfig config;
             config.stopOnViolation = false;
             config.runNoisePs = 1.1;
             config.seed = 17;
+            session.setConfig(config);
             sim::SimEngine engine(chip.get(), config);
             engine.setCampaign(&campaign);
             if (deployment.monitored)
                 engine.setObserver(&monitor);
+            session.observe(engine);
             const sim::RunResult result = engine.run(12.0);
+            session.noteEngineRun(result);
             chip->clearAssignments();
 
             const sim::SafetyCounters &s = result.safety;

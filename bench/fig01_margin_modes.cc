@@ -46,14 +46,15 @@ measure(chip::Chip &chip)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig01_margin_modes", argc, argv);
     bench::banner("Figure 1",
                   "Core frequency (MHz) per margin mode, idle vs. "
                   "all-core daxpy load, reference chip P0.");
 
     auto chip = bench::makeReferenceChip(0);
-    const core::LimitTable limits = bench::characterize(*chip);
+    const core::LimitTable limits = bench::characterize(*chip, session);
     core::Governor governor(chip.get(), limits);
 
     std::vector<ModeRow> rows;

@@ -17,14 +17,15 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig02_squeezenet", argc, argv);
     bench::banner("Figure 2",
                   "SqueezeNet inference latency (ms) per margin "
                   "setting and schedule, reference chip P0.");
 
     auto chip = bench::makeReferenceChip(0);
-    const core::LimitTable limits = bench::characterize(*chip);
+    const core::LimitTable limits = bench::characterize(*chip, session);
     core::Governor governor(chip.get(), limits);
     const auto &squeezenet = workload::findWorkload("squeezenet");
     const auto &daxpy = workload::findWorkload("daxpy");

@@ -17,8 +17,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig04b_preset_delays", argc, argv);
     bench::banner("Figure 4b",
                   "Pre-set CPM inserted delay (segments) per core and "
                   "CPM site, both reference chips.");

@@ -15,8 +15,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig05_delay_sweep", argc, argv);
     bench::banner("Figure 5",
                   "ATM frequency (MHz) vs. CPM delay reduction, four "
                   "example cores (idle conditions).");

@@ -15,8 +15,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig07_idle_limits", argc, argv);
     bench::banner("Figure 7",
                   "Idle-limit distributions (max safe reduction over 8 "
                   "stratified repeats) and idle-limit frequency.");

@@ -17,8 +17,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig08_ubench_rollback", argc, argv);
     bench::banner("Figure 8",
                   "uBench rollback (steps from the idle limit) for the "
                   "cores whose idle limit fails under uBench.");

@@ -16,8 +16,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig09_app_rollback", argc, argv);
     bench::banner("Figure 9",
                   "Mean CPM rollback from the uBench limit: x264 vs. "
                   "gcc, all 16 cores, 8 repeats each.");

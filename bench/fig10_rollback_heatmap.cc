@@ -17,8 +17,9 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig10_rollback_heatmap", argc, argv);
     bench::banner("Figure 10",
                   "Mean CPM rollback from the uBench limit, all "
                   "profiled apps x all cores (both chips).");

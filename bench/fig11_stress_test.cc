@@ -34,7 +34,8 @@ namespace {
 
 /** Replay a fault campaign against the deployed limit configuration. */
 void
-replayCampaign(const std::string &campaign_text, std::uint64_t seed)
+replayCampaign(const std::string &campaign_text, std::uint64_t seed,
+               bench::BenchSession &session)
 {
     std::cout << "--- fault-campaign replay (seed " << seed << ") ---\n"
               << "campaign: " << campaign_text << "\n";
@@ -51,15 +52,21 @@ replayCampaign(const std::string &campaign_text, std::uint64_t seed)
         fault::FaultCampaign::parse(campaign_text);
     campaign.validate(chip->coreCount());
     core::SafetyMonitor monitor(chip.get(), limit.reductionPerCore);
+    monitor.setObservability(session.observability());
 
     sim::SimConfig config;
     config.stopOnViolation = false;
     config.runNoisePs = 1.1;
     config.seed = seed;
+    session.setChip(chip->name());
+    session.setFaultCampaign(campaign_text);
+    session.setConfig(config);
     sim::SimEngine engine(chip.get(), config);
     engine.setCampaign(&campaign);
     engine.setObserver(&monitor);
+    session.observe(engine);
     const sim::RunResult result = engine.run(12.0);
+    session.noteEngineRun(result);
 
     result.safety.print(std::cout);
     util::TextTable table;
@@ -76,8 +83,12 @@ replayCampaign(const std::string &campaign_text, std::uint64_t seed)
 } // namespace
 
 int
-main(int argc, char **argv)
+main(int raw_argc, char **raw_argv)
 {
+    bench::BenchSession session("fig11_stress_test", raw_argc,
+                                raw_argv);
+    const int argc = session.argc();
+    char **argv = session.argv();
     std::uint64_t seed = 1;
     std::string faults;
     for (int i = 1; i < argc; ++i) {
@@ -91,6 +102,7 @@ main(int argc, char **argv)
                         argv[0], " [--seed <n>] [--faults <campaign>]");
         }
     }
+    session.setSeed(seed);
 
     bench::banner("Figure 11",
                   "Post-stress-test core frequencies (MHz, idle "
@@ -136,7 +148,7 @@ main(int argc, char **argv)
 
     if (!faults.empty()) {
         std::cout << "\n";
-        replayCampaign(faults, seed);
+        replayCampaign(faults, seed, session);
     }
     return 0;
 }

@@ -19,14 +19,15 @@
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("fig12_predictors", argc, argv);
     bench::banner("Figure 12a",
                   "Per-core frequency predictor f = -k'*P + b fitted "
                   "on the fine-tuned configuration (chip P0).");
 
     auto chip = bench::makeReferenceChip(0);
-    core::Governor governor(chip.get(), bench::characterize(*chip));
+    core::Governor governor(chip.get(), bench::characterize(*chip, session));
     governor.apply(core::GovernorPolicy::FineTuned);
     const core::FreqPredictor freq = core::FreqPredictor::fit(chip.get());
 

@@ -23,14 +23,18 @@
 using namespace atmsim;
 
 int
-main(int argc, char **argv)
+main(int raw_argc, char **raw_argv)
 {
+    bench::BenchSession session("fig14_managed_performance", raw_argc,
+                                raw_argv);
+    const int argc = session.argc();
+    char **argv = session.argv();
     bench::banner("Figure 14",
                   "Critical-app performance vs. static margin, "
                   "<critical : background> pairs on chip P0.");
 
     auto chip = bench::makeReferenceChip(0);
-    core::AtmManager manager(chip.get(), bench::characterize(*chip));
+    core::AtmManager manager(chip.get(), bench::characterize(*chip, session));
 
     const std::vector<std::pair<std::string, std::string>> pairs = {
         {"squeezenet", "lu_cb"},      {"ferret", "raytrace"},

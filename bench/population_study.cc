@@ -9,14 +9,16 @@
 
 #include <iostream>
 
+#include "bench_session.h"
 #include "core/population.h"
 #include "util/table.h"
 
 using namespace atmsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("population_study", argc, argv);
     std::cout << "\n=== Population study ===\n"
               << "Fine-tuning pipeline over 24 randomly manufactured "
                  "chips (192 cores).\n\n";

@@ -15,8 +15,12 @@
 using namespace atmsim;
 
 int
-main(int argc, char **argv)
+main(int raw_argc, char **raw_argv)
 {
+    bench::BenchSession session("table1_limits", raw_argc,
+                                raw_argv);
+    const int argc = session.argc();
+    char **argv = session.argv();
     bench::banner("Table I",
                   "ATM limits from the full characterization procedure "
                   "(idle -> uBench -> realistic workloads).");
@@ -31,7 +35,7 @@ main(int argc, char **argv)
 
     for (int p = 0; p < 2; ++p) {
         auto chip = bench::makeReferenceChip(p);
-        const core::LimitTable table = bench::characterize(*chip);
+        const core::LimitTable table = bench::characterize(*chip, session);
         table.print(std::cout);
         std::cout << "\n";
         if (csv.is_open())

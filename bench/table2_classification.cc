@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_session.h"
 #include "util/table.h"
 #include "workload/catalog.h"
 
@@ -29,8 +30,9 @@ names(workload::Role role, bool mem_intensive)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchSession session("table2_classification", argc, argv);
     std::cout << "\n=== Table II ===\n"
               << "Critical vs. background applications by memory "
                  "behaviour.\n\n";

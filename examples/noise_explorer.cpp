@@ -47,17 +47,14 @@ main(int argc, char **argv)
     config.stopOnViolation = false;
     config.statsCadence = 5;
     sim::SimEngine engine(&chip, config);
-    engine.setProbe([&](double now_ns, int core, double f_mhz,
-                        double v) {
-        telemetry.record(now_ns, core, f_mhz, v);
-    });
+    engine.addObserver(&telemetry);
     const sim::RunResult result = engine.run(4.0);
 
     std::vector<double> t_us, volts, freqs;
     for (const auto &sample : telemetry.series(0)) {
-        t_us.push_back(sample.timeNs / 1000.0);
-        volts.push_back(sample.voltageV * 1000.0); // mV
-        freqs.push_back(sample.freqMhz);
+        t_us.push_back(sample.timeNs.value() / 1000.0);
+        volts.push_back(sample.voltageV.value() * 1000.0); // mV
+        freqs.push_back(sample.freqMhz.value());
     }
 
     util::AsciiPlot vplot(72, 14);

@@ -56,6 +56,7 @@ AtmCore::resetClock(Volts v, Celsius t)
     dpll_.reset(util::periodOf(steadyFrequencyMhz(v, t)));
     vSlow_ = v;
     vSlowValid_ = true;
+    lastWorstCount_ = -1;
 }
 
 void
@@ -74,6 +75,7 @@ AtmCore::stepControl(Nanoseconds now, Volts v, Celsius t)
     if (mode_ != CoreMode::AtmOverclock)
         return;
     const int margin = bank_.worstCount(dpll_.periodPs(), v, t);
+    lastWorstCount_ = margin;
     dpll_.observe(now, margin);
 }
 

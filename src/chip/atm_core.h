@@ -119,6 +119,14 @@ class AtmCore
     /** Emergency engagements since the last resetClock(). */
     long emergencyCount() const { return dpll_.emergencyCount(); }
 
+    /**
+     * Worst CPM count seen by the last stepControl() in ATM mode (the
+     * margin the DPLL acted on); -1 before the first control step.
+     * Sampled by the engine's metric histograms without re-reading
+     * the bank.
+     */
+    int lastWorstCount() const { return lastWorstCount_; }
+
     // --- Analytic interface --------------------------------------------
 
     /**
@@ -147,6 +155,9 @@ class AtmCore
     /** Slow-tracked local voltage (reference for droop excursions). */
     Volts vSlow_{0.0};
     bool vSlowValid_ = false;
+
+    /** Margin the DPLL last acted on (metrics sampling). */
+    int lastWorstCount_ = -1;
 };
 
 } // namespace atmsim::chip

@@ -20,6 +20,14 @@ LimitDistribution::limit() const
     return static_cast<int>(maxSafe.minValue());
 }
 
+void
+Characterizer::setObservability(const obs::Observability &sinks)
+{
+    obs_ = sinks;
+    traceTrack_ =
+        obs_.trace ? obs_.trace->track("characterizer") : -1;
+}
+
 Characterizer::Characterizer(chip::Chip *target,
                              const CharacterizerConfig &config)
     : chip_(target), config_(config)
@@ -40,15 +48,21 @@ Characterizer::trialSafe(int core, int reduction,
     const variation::CoreSiliconParams &silicon =
         chip_->core(core).silicon();
     const double noise = variation::runNoisePs(silicon, rep);
+    if (obs_.metrics)
+        obs_.metrics->counter("characterizer.trials").inc();
 
     if (config_.mode == CharacterizerConfig::Mode::Analytic) {
         const double extra = variation::scenarioExtraPs(
             silicon,
             chip::Chip::pathExposurePs(silicon, traits).value(),
             traits.droopMv);
-        return variation::analyticSafe(silicon, CpmSteps{reduction},
-                                       Picoseconds{extra},
-                                       Picoseconds{noise});
+        const bool safe =
+            variation::analyticSafe(silicon, CpmSteps{reduction},
+                                    Picoseconds{extra},
+                                    Picoseconds{noise});
+        if (!safe && obs_.metrics)
+            obs_.metrics->counter("characterizer.trials.unsafe").inc();
+        return safe;
     }
 
     // Engine mode: place the workload on the core under test (the
@@ -72,6 +86,9 @@ Characterizer::trialSafe(int core, int reduction,
                     ^ (static_cast<std::uint64_t>(reduction) << 16)
                     ^ static_cast<std::uint64_t>(rep);
     sim::SimEngine engine(chip_, sim_config);
+    engine.setObservability(obs_);
+    if (obs_.metrics)
+        obs_.metrics->counter("characterizer.trials.engine").inc();
     const sim::RunResult result = engine.run(config_.engineWindowUs);
 
     // Restore a neutral state.
@@ -79,8 +96,13 @@ Characterizer::trialSafe(int core, int reduction,
     chip_->core(core).setCpmReduction(CpmSteps{0});
 
     for (const auto &ev : result.violations) {
-        if (ev.core == core)
+        if (ev.core == core) {
+            if (obs_.metrics) {
+                obs_.metrics->counter("characterizer.trials.unsafe")
+                    .inc();
+            }
             return false;
+        }
     }
     return true;
 }
@@ -159,6 +181,9 @@ Characterizer::meanRollback(int core, int ubench_limit,
 CoreLimits
 Characterizer::characterizeCore(int core)
 {
+    obs::ScopedSpan span(obs_.trace, "characterize.core", traceTrack_);
+    if (obs_.metrics)
+        obs_.metrics->counter("characterizer.cores").inc();
     CoreLimits limits;
     const variation::CoreSiliconParams &silicon =
         chip_->core(core).silicon();

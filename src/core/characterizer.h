@@ -19,6 +19,7 @@
 
 #include "chip/chip.h"
 #include "core/limit_table.h"
+#include "obs/phase.h"
 #include "workload/workload.h"
 
 namespace atmsim::core {
@@ -106,6 +107,14 @@ class Characterizer
 
     const CharacterizerConfig &config() const { return config_; }
 
+    /**
+     * Attach observability backends (none owned): trials tick
+     * `characterizer.*` counters, per-core characterization runs
+     * become trace spans, and engine-mode trials propagate the bundle
+     * into the spawned SimEngine.
+     */
+    void setObservability(const obs::Observability &sinks);
+
   private:
     /** Largest safe reduction for one repeat, scanning upward. */
     int maxSafeScan(int core, const workload::WorkloadTraits &traits,
@@ -113,6 +122,9 @@ class Characterizer
 
     chip::Chip *chip_;
     CharacterizerConfig config_;
+
+    obs::Observability obs_;
+    int traceTrack_ = -1;
 };
 
 } // namespace atmsim::core

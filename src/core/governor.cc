@@ -1,6 +1,7 @@
 #include "core/governor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "circuit/constants.h"
 #include "util/logging.h"
@@ -79,8 +80,27 @@ Governor::reductions(GovernorPolicy policy,
 }
 
 void
+Governor::setObservability(const obs::Observability &sinks)
+{
+    obs_ = sinks;
+    if (obs_.trace)
+        traceTrack_ = obs_.trace->track("governor");
+}
+
+void
 Governor::apply(GovernorPolicy policy, const workload::WorkloadTraits *app)
 {
+    if (obs_.metrics) {
+        obs_.metrics->counter("governor.applies").inc();
+        obs_.metrics
+            ->counter(std::string("governor.apply.")
+                      + governorPolicyName(policy))
+            .inc();
+    }
+    if (obs_.trace) {
+        obs_.trace->instant(governorPolicyName(policy), traceTrack_,
+                            -1.0, static_cast<long>(policy));
+    }
     const std::vector<int> red = reductions(policy, app);
     for (int c = 0; c < chip_->coreCount(); ++c) {
         chip::AtmCore &core = chip_->core(c);

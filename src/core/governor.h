@@ -20,6 +20,7 @@
 
 #include "chip/chip.h"
 #include "core/limit_table.h"
+#include "obs/phase.h"
 #include "workload/workload.h"
 
 namespace atmsim::core {
@@ -75,10 +76,15 @@ class Governor
     const LimitTable &limits() const { return limits_; }
     int rollback() const { return rollback_; }
 
+    /** Report policy applications into metrics/trace sinks. */
+    void setObservability(const obs::Observability &sinks);
+
   private:
     chip::Chip *chip_;
     LimitTable limits_;
     int rollback_;
+    obs::Observability obs_;
+    int traceTrack_ = -1;
 };
 
 } // namespace atmsim::core

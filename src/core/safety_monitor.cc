@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "circuit/constants.h"
 #include "util/logging.h"
@@ -77,6 +78,26 @@ SafetyMonitor::backoffUs(int core) const
 }
 
 void
+SafetyMonitor::setObservability(const obs::Observability &sinks)
+{
+    obs_ = sinks;
+    traceTrack_ =
+        obs_.trace ? obs_.trace->track("safety_monitor") : -1;
+}
+
+void
+SafetyMonitor::note(const char *transition, int core, double now_ns)
+{
+    if (obs_.metrics) {
+        obs_.metrics
+            ->counter(std::string("safety_monitor.") + transition)
+            .inc();
+    }
+    if (obs_.trace)
+        obs_.trace->instant(transition, traceTrack_, now_ns, core);
+}
+
+void
 SafetyMonitor::markDegraded(CoreState &cs, double now_ns)
 {
     if (cs.degradedSinceNs < 0.0)
@@ -104,6 +125,7 @@ SafetyMonitor::quarantine(int core, double now_ns)
     cs.deadlineNs = now_ns + cs.backoffUs * 1e3;
     cs.insensitiveSamples = 0;
     ++counters_.quarantines;
+    note("quarantine", core, now_ns);
 }
 
 void
@@ -122,6 +144,7 @@ SafetyMonitor::escalate(int core, double now_ns)
     cs.deadlineNs = now_ns + cs.backoffUs * 1e3;
     cs.insensitiveSamples = 0;
     ++counters_.fallbacks;
+    note("fallback", core, now_ns);
 }
 
 void
@@ -160,8 +183,11 @@ SafetyMonitor::onViolation(const sim::ViolationEvent &event)
 }
 
 void
-SafetyMonitor::onSample(double now_ns)
+SafetyMonitor::onSample(util::Nanoseconds now,
+                        const std::vector<sim::CoreSample> &cores)
 {
+    (void)cores; // The monitor reads the chip sensors directly.
+    const double now_ns = now.value();
     const int n = chip_->coreCount();
     for (int core = 0; core < n; ++core) {
         CoreState &cs = cores_[static_cast<std::size_t>(core)];
@@ -202,6 +228,7 @@ SafetyMonitor::onSample(double now_ns)
                     cs.degradedSinceNs = -1.0;
                 }
                 ++counters_.recoveries;
+                note("recovery", core, now_ns);
             }
         }
 
@@ -262,6 +289,7 @@ SafetyMonitor::onSample(double now_ns)
 
         if (anomaly) {
             ++counters_.anomalies;
+            note("anomaly", core, now_ns);
             cs.insensitiveSamples = 0;
             demote(core, now_ns);
         }
@@ -269,8 +297,10 @@ SafetyMonitor::onSample(double now_ns)
 }
 
 void
-SafetyMonitor::finish(double end_ns, sim::SafetyCounters &counters)
+SafetyMonitor::finish(util::Nanoseconds end,
+                      sim::SafetyCounters &counters)
 {
+    const double end_ns = end.value();
     // Close any still-open degraded windows against the end of the run.
     for (CoreState &cs : cores_) {
         if (cs.degradedSinceNs >= 0.0) {

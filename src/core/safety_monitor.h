@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chip/chip.h"
+#include "obs/phase.h"
 #include "sim/sim_engine.h"
 
 namespace atmsim::core {
@@ -96,8 +97,17 @@ class SafetyMonitor : public sim::EngineObserver
     // --- EngineObserver ------------------------------------------------
 
     bool onViolation(const sim::ViolationEvent &event) override;
-    void onSample(double now_ns) override;
-    void finish(double end_ns, sim::SafetyCounters &counters) override;
+    void onSample(util::Nanoseconds now,
+                  const std::vector<sim::CoreSample> &cores) override;
+    void finish(util::Nanoseconds end,
+                sim::SafetyCounters &counters) override;
+
+    /**
+     * Attach observability backends (none owned): state transitions
+     * increment `safety_monitor.*` counters and emit instant trace
+     * events on the monitor's own track.
+     */
+    void setObservability(const obs::Observability &sinks);
 
     // --- Inspection ----------------------------------------------------
 
@@ -136,10 +146,16 @@ class SafetyMonitor : public sim::EngineObserver
     void restartAtm(int core, int reduction);
     void markDegraded(CoreState &cs, double now_ns);
 
+    /** Count a state transition and trace it as an instant event. */
+    void note(const char *transition, int core, double now_ns);
+
     chip::Chip *chip_;
     SafetyMonitorConfig config_;
     std::vector<CoreState> cores_;
     sim::SafetyCounters counters_;
+
+    obs::Observability obs_;
+    int traceTrack_ = -1;
 };
 
 } // namespace atmsim::core

@@ -22,6 +22,8 @@ Dpll::reset(Picoseconds period)
     lastUpdate_ = Nanoseconds{-1e18};
     lastEmergency_ = Nanoseconds{-1e18};
     emergencies_ = 0;
+    slewDowns_ = 0;
+    slewUps_ = 0;
     heldMargin_ = 0;
     heldValid_ = false;
 }
@@ -66,9 +68,11 @@ Dpll::observe(Nanoseconds now, int margin_counts)
     const int error = margin_counts - params_.targetCounts;
     if (error < 0) {
         period_ *= 1.0 + params_.slewDownPerCount * (-error);
+        ++slewDowns_;
     } else if (error > 0) {
         const int step = std::min(error, params_.slewUpCapCounts);
         period_ *= 1.0 - params_.slewUpPerCount * step;
+        ++slewUps_;
     }
     clampPeriod();
 }

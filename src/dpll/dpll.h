@@ -82,6 +82,13 @@ class Dpll
     /** Number of emergency engagements since reset. */
     long emergencyCount() const { return emergencies_; }
 
+    /** Downward slews (period stretches) since reset, emergencies
+     *  excluded. */
+    long slewDownCount() const { return slewDowns_; }
+
+    /** Upward slews (period shrinks) since reset. */
+    long slewUpCount() const { return slewUps_; }
+
     /**
      * Fault injection: drop the CPM sensor input. While active the
      * loop holds the last margin it observed before the dropout
@@ -102,6 +109,8 @@ class Dpll
     Nanoseconds lastUpdate_{-1e18};
     Nanoseconds lastEmergency_{-1e18};
     long emergencies_ = 0;
+    long slewDowns_ = 0;
+    long slewUps_ = 0;
     bool dropout_ = false;
     int heldMargin_ = 0;
     bool heldValid_ = false;

@@ -1,0 +1,98 @@
+#include "obs/manifest.h"
+
+#include "util/json_writer.h"
+
+namespace atmsim::obs {
+
+double
+RunManifest::stepsPerSec() const
+{
+    if (engineSteps <= 0 || engineWallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(engineSteps) / engineWallSeconds;
+}
+
+void
+RunManifest::setCounter(const std::string &name, double value)
+{
+    for (auto &[key, val] : counters) {
+        if (key == name) {
+            val = value;
+            return;
+        }
+    }
+    counters.emplace_back(name, value);
+}
+
+void
+RunManifest::writeJson(std::ostream &os) const
+{
+    util::JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", kManifestSchema);
+    json.field("tool", tool);
+    if (chip.empty())
+        json.key("chip").nullValue();
+    else
+        json.field("chip", chip);
+    json.field("seed", static_cast<std::uint64_t>(seed));
+
+    json.key("args").beginArray();
+    for (const std::string &arg : args)
+        json.value(arg);
+    json.endArray();
+
+    if (faultCampaign.empty())
+        json.key("fault_campaign").nullValue();
+    else
+        json.field("fault_campaign", faultCampaign);
+
+    json.key("config").beginObject();
+    for (const auto &[key, val] : config)
+        json.field(key, val);
+    json.endObject();
+
+    json.key("build").beginObject();
+#if defined(__VERSION__)
+    json.field("compiler", __VERSION__);
+#else
+    json.key("compiler").nullValue();
+#endif
+#if defined(NDEBUG)
+    json.field("assertions", false);
+#else
+    json.field("assertions", true);
+#endif
+    json.endObject();
+
+    json.field("wall_seconds", wallSeconds);
+
+    json.key("engine").beginObject();
+    json.field("runs", engineRuns);
+    json.field("steps", engineSteps);
+    json.field("wall_seconds", engineWallSeconds);
+    json.field("sim_ns", engineSimNs);
+    json.field("steps_per_sec", stepsPerSec());
+    json.key("phases").beginArray();
+    for (const PhaseStat &phase : phases) {
+        json.beginObject();
+        json.field("name", phase.name);
+        json.field("wall_ns", phase.wallNs);
+        json.field("calls", phase.calls);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    json.key("counters").beginObject();
+    for (const auto &[key, val] : counters)
+        json.field(key, val);
+    json.endObject();
+
+    json.key("metrics");
+    metrics.writeJson(json);
+    json.endObject();
+    os << '\n';
+}
+
+} // namespace atmsim::obs

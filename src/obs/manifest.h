@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Run-provenance manifests.
+ *
+ * A manifest is the machine-readable record of one harness run: what
+ * binary ran, with which seed, chip, configuration and fault
+ * campaign, how much wall time it took, how many engine steps it
+ * advanced (and therefore the steps/sec throughput), the wall-clock
+ * breakdown per engine phase, the end-of-run safety counters, and a
+ * full metrics snapshot. Checked-in manifests are the repo's perf
+ * baseline: CI regenerates one and rejects a >30% steps/sec
+ * regression (tools/bench/check_regression.py), and any two
+ * manifests are directly diffable because every field is named and
+ * the metrics snapshot is sorted.
+ *
+ * The schema is documented in docs/OBSERVABILITY.md and validated by
+ * tools/bench/validate_manifest.py.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/phase.h"
+
+namespace atmsim::obs {
+
+/** Manifest schema identifier (bump on breaking changes). */
+inline constexpr const char *kManifestSchema = "atmsim-run-manifest-v1";
+
+/** Provenance + performance record of one run. */
+struct RunManifest
+{
+    /** Harness/binary name, e.g. "fig11_stress_test". */
+    std::string tool;
+
+    /** Chip under test (reference-chip name), empty when n/a. */
+    std::string chip;
+
+    /** Primary random seed of the run. */
+    std::uint64_t seed = 0;
+
+    /** Command-line arguments (without argv[0]). */
+    std::vector<std::string> args;
+
+    /** Fault campaign text, empty when none was attached. */
+    std::string faultCampaign;
+
+    /** Free-form configuration key/value pairs (SimConfig, ...). */
+    std::vector<std::pair<std::string, std::string>> config;
+
+    /** End-to-end wall time of the harness (seconds). */
+    double wallSeconds = 0.0;
+
+    // --- Engine totals (zero when no engine ran) -----------------------
+
+    long engineRuns = 0;      ///< SimEngine::run invocations.
+    long engineSteps = 0;     ///< Total engine steps advanced.
+    double engineWallSeconds = 0.0; ///< Wall time inside run().
+    double engineSimNs = 0.0; ///< Total simulated time (ns).
+
+    /** Engine throughput; the CI regression gate reads this. */
+    double stepsPerSec() const;
+
+    /** Per-phase wall-clock breakdown (engine phases). */
+    std::vector<PhaseStat> phases;
+
+    /** Named scalar counters (safety counters, harness totals). */
+    std::vector<std::pair<std::string, double>> counters;
+
+    /** Metrics snapshot taken at the end of the run. */
+    MetricsSnapshot metrics;
+
+    /** Append/overwrite one named counter. */
+    void setCounter(const std::string &name, double value);
+
+    /** Serialize the manifest as a JSON document. */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace atmsim::obs

@@ -1,0 +1,380 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace atmsim::obs {
+
+Histogram
+Histogram::linear(double lo, double hi, int buckets)
+{
+    if (buckets < 1)
+        util::fatal("histogram needs at least one bucket, got ",
+                    buckets);
+    if (!(hi > lo))
+        util::fatal("histogram range [", lo, ", ", hi,
+                    ") is not ascending");
+    Histogram h;
+    h.linear_ = true;
+    h.lo_ = lo;
+    h.width_ = (hi - lo) / static_cast<double>(buckets);
+    h.counts_.assign(static_cast<std::size_t>(buckets), 0);
+    return h;
+}
+
+Histogram
+Histogram::explicitEdges(std::vector<double> edges)
+{
+    if (edges.size() < 2)
+        util::fatal("explicit histogram needs >= 2 edges, got ",
+                    edges.size());
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        if (!(edges[i] > edges[i - 1]))
+            util::fatal("histogram edges must ascend strictly; edge ",
+                        i, " (", edges[i], ") <= edge ", i - 1, " (",
+                        edges[i - 1], ")");
+    }
+    Histogram h;
+    h.linear_ = false;
+    h.edges_ = std::move(edges);
+    h.counts_.assign(h.edges_.size() - 1, 0);
+    return h;
+}
+
+void
+Histogram::record(double value)
+{
+    if (count_ == 0) {
+        minSeen_ = value;
+        maxSeen_ = value;
+    } else {
+        minSeen_ = std::min(minSeen_, value);
+        maxSeen_ = std::max(maxSeen_, value);
+    }
+    ++count_;
+    sum_ += value;
+
+    if (linear_) {
+        const double offset = (value - lo_) / width_;
+        if (offset < 0.0) {
+            ++underflow_;
+        } else if (offset >= static_cast<double>(counts_.size())) {
+            ++overflow_;
+        } else {
+            ++counts_[static_cast<std::size_t>(offset)];
+        }
+        return;
+    }
+    if (value < edges_.front()) {
+        ++underflow_;
+        return;
+    }
+    if (value >= edges_.back()) {
+        ++overflow_;
+        return;
+    }
+    // First edge strictly above the value; the bucket before it.
+    const auto it =
+        std::upper_bound(edges_.begin(), edges_.end(), value);
+    ++counts_[static_cast<std::size_t>(it - edges_.begin()) - 1];
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    if (i >= counts_.size())
+        util::fatal("histogram bucket ", i, " out of range");
+    return linear_ ? lo_ + width_ * static_cast<double>(i) : edges_[i];
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    if (i >= counts_.size())
+        util::fatal("histogram bucket ", i, " out of range");
+    return linear_ ? lo_ + width_ * static_cast<double>(i + 1)
+                   : edges_[i + 1];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::minSeen() const
+{
+    return count_ > 0 ? minSeen_ : 0.0;
+}
+
+double
+Histogram::maxSeen() const
+{
+    return count_ > 0 ? maxSeen_ : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    minSeen_ = 0.0;
+    maxSeen_ = 0.0;
+}
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+bool
+MetricSnapshotEntry::operator==(const MetricSnapshotEntry &o) const
+{
+    if (name != o.name || kind != o.kind)
+        return false;
+    switch (kind) {
+      case MetricKind::Counter:
+        return counter == o.counter;
+      case MetricKind::Gauge:
+        return gauge == o.gauge;
+      case MetricKind::Histogram:
+        if (histogram.count() != o.histogram.count()
+            || histogram.sum() != o.histogram.sum()
+            || histogram.underflow() != o.histogram.underflow()
+            || histogram.overflow() != o.histogram.overflow()
+            || histogram.bucketCount() != o.histogram.bucketCount())
+            return false;
+        for (std::size_t i = 0; i < histogram.bucketCount(); ++i) {
+            if (histogram.bucketHits(i) != o.histogram.bucketHits(i))
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+const MetricSnapshotEntry *
+MetricsSnapshot::find(std::string_view name) const
+{
+    for (const MetricSnapshotEntry &entry : entries) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+MetricsSnapshot::operator==(const MetricsSnapshot &o) const
+{
+    return entries == o.entries;
+}
+
+void
+MetricsSnapshot::writeText(std::ostream &os) const
+{
+    for (const MetricSnapshotEntry &entry : entries) {
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            os << entry.name << " counter " << entry.counter << '\n';
+            break;
+          case MetricKind::Gauge:
+            os << entry.name << " gauge " << entry.gauge << '\n';
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = entry.histogram;
+            os << entry.name << " histogram count=" << h.count()
+               << " mean=" << h.mean() << " min=" << h.minSeen()
+               << " max=" << h.maxSeen()
+               << " underflow=" << h.underflow()
+               << " overflow=" << h.overflow() << '\n';
+            for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+                if (h.bucketHits(i) == 0)
+                    continue;
+                os << "  [" << h.bucketLo(i) << ", " << h.bucketHi(i)
+                   << ") " << h.bucketHits(i) << '\n';
+            }
+            break;
+          }
+        }
+    }
+}
+
+namespace {
+
+void
+writeHistogramJson(util::JsonWriter &json, const Histogram &h)
+{
+    json.beginObject();
+    json.field("count", h.count());
+    json.field("sum", h.sum());
+    json.field("mean", h.mean());
+    json.field("min", h.minSeen());
+    json.field("max", h.maxSeen());
+    json.field("underflow", h.underflow());
+    json.field("overflow", h.overflow());
+    json.key("buckets").beginArray();
+    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+        json.beginObject();
+        json.field("lo", h.bucketLo(i));
+        json.field("hi", h.bucketHi(i));
+        json.field("hits", h.bucketHits(i));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeSnapshotJson(util::JsonWriter &json, const MetricsSnapshot &snap)
+{
+    json.beginObject();
+    for (const MetricSnapshotEntry &entry : snap.entries) {
+        json.key(entry.name).beginObject();
+        json.field("kind", metricKindName(entry.kind));
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            json.field("value", entry.counter);
+            break;
+          case MetricKind::Gauge:
+            json.field("value", entry.gauge);
+            break;
+          case MetricKind::Histogram:
+            json.key("value");
+            writeHistogramJson(json, entry.histogram);
+            break;
+        }
+        json.endObject();
+    }
+    json.endObject();
+}
+
+} // namespace
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    util::JsonWriter json(os);
+    writeSnapshotJson(json, *this);
+}
+
+void
+MetricsSnapshot::writeJson(util::JsonWriter &json) const
+{
+    writeSnapshotJson(json, *this);
+}
+
+MetricsRegistry::Slot &
+MetricsRegistry::slot(std::string_view name, MetricKind kind)
+{
+    if (name.empty())
+        util::fatal("metric registered with an empty name");
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        if (it->second.kind != kind)
+            util::fatal("metric '", std::string(name),
+                        "' already registered as ",
+                        metricKindName(it->second.kind),
+                        ", requested as ", metricKindName(kind));
+        return it->second;
+    }
+    Slot fresh;
+    fresh.kind = kind;
+    return index_.emplace(std::string(name), fresh).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    Slot &s = slot(name, MetricKind::Counter);
+    if (!s.counter) {
+        counters_.emplace_back();
+        s.counter = &counters_.back();
+    }
+    return *s.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    Slot &s = slot(name, MetricKind::Gauge);
+    if (!s.gauge) {
+        gauges_.emplace_back();
+        s.gauge = &gauges_.back();
+    }
+    return *s.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name, Histogram prototype)
+{
+    Slot &s = slot(name, MetricKind::Histogram);
+    if (!s.histogram) {
+        histograms_.push_back(std::move(prototype));
+        s.histogram = &histograms_.back();
+    }
+    return *s.histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.entries.reserve(index_.size());
+    // std::map iterates in name order, so the snapshot is sorted.
+    for (const auto &[name, s] : index_) {
+        MetricSnapshotEntry entry;
+        entry.name = name;
+        entry.kind = s.kind;
+        switch (s.kind) {
+          case MetricKind::Counter:
+            entry.counter = s.counter->value();
+            break;
+          case MetricKind::Gauge:
+            entry.gauge = s.gauge->value();
+            break;
+          case MetricKind::Histogram:
+            entry.histogram = *s.histogram;
+            break;
+        }
+        snap.entries.push_back(std::move(entry));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (Counter &c : counters_)
+        c.reset();
+    for (Gauge &g : gauges_)
+        g.reset();
+    for (Histogram &h : histograms_)
+        h.reset();
+}
+
+void
+MetricsRegistry::writeText(std::ostream &os) const
+{
+    snapshot().writeText(os);
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    snapshot().writeJson(os);
+}
+
+} // namespace atmsim::obs

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with O(1) hot-path recording.
+ *
+ * The registry is the in-process counterpart of the POWER server's
+ * sensor fabric the paper reads through the service processor:
+ * everything the engine, control loops, and supervisors want to
+ * report -- violation episodes, DPLL slews, CPM occupancy, sampled
+ * voltages -- is registered once by name and then updated through a
+ * stable pointer, so the per-step cost is an increment, never a map
+ * lookup. Snapshots are sorted by name, which makes two snapshots of
+ * deterministic runs byte-comparable; export is either a human
+ * `name value` text dump or JSON for the run manifests.
+ *
+ * Naming convention (docs/OBSERVABILITY.md): dot-separated lowercase
+ * path, subsystem first, with the unit as the last path segment when
+ * the value carries one, e.g. `engine.core.voltage_v`,
+ * `dpll.slew.down`, `characterizer.trials`.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atmsim::util {
+class JsonWriter;
+}
+
+namespace atmsim::obs {
+
+/** Monotonically increasing integer metric. */
+class Counter
+{
+  public:
+    void inc(long delta = 1) { value_ += delta; }
+    long value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    long value_ = 0;
+};
+
+/** Last-value metric. */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    void add(double delta) { value_ += delta; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram. Buckets are laid out at construction --
+ * uniform (`linear`) or explicit ascending edges -- and never change,
+ * so recording is O(1) for linear layouts (one subtraction, one
+ * multiply, one clamp) and O(log n_buckets) for explicit edges.
+ * Values below the first edge land in the underflow bin, values at or
+ * above the last edge in the overflow bin; count/sum/min/max are
+ * tracked exactly regardless of binning.
+ */
+class Histogram
+{
+  public:
+    /** Uniform buckets covering [lo, hi). */
+    static Histogram linear(double lo, double hi, int buckets);
+
+    /**
+     * Explicit ascending edges; bucket i covers [edges[i],
+     * edges[i+1]). Needs at least two edges.
+     */
+    static Histogram explicitEdges(std::vector<double> edges);
+
+    /** Record one value. */
+    void record(double value);
+
+    // --- Inspection ----------------------------------------------------
+
+    std::size_t bucketCount() const { return counts_.size(); }
+
+    /** Samples in bucket i. */
+    long bucketHits(std::size_t i) const { return counts_[i]; }
+
+    /** Inclusive lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bucket i. */
+    double bucketHi(std::size_t i) const;
+
+    long underflow() const { return underflow_; }
+    long overflow() const { return overflow_; }
+    long count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+
+    /** Smallest / largest recorded value (0 when empty). */
+    double minSeen() const;
+    double maxSeen() const;
+
+    /** Zero all bins and moments; the bucket layout is kept. */
+    void reset();
+
+  private:
+    Histogram() = default;
+
+    bool linear_ = true;
+    double lo_ = 0.0;
+    double width_ = 1.0;           ///< Bucket width (linear layout).
+    std::vector<double> edges_;    ///< Explicit layout only.
+    std::vector<long> counts_;
+    long underflow_ = 0;
+    long overflow_ = 0;
+    long count_ = 0;
+    double sum_ = 0.0;
+    double minSeen_ = 0.0;
+    double maxSeen_ = 0.0;
+};
+
+/** Kind discriminator for snapshot entries. */
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/** Printable kind name. */
+const char *metricKindName(MetricKind kind);
+
+/** Point-in-time copy of one metric. */
+struct MetricSnapshotEntry
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    long counter = 0;
+    double gauge = 0.0;
+    Histogram histogram = Histogram::linear(0.0, 1.0, 1);
+
+    bool operator==(const MetricSnapshotEntry &o) const;
+};
+
+/** Point-in-time copy of a whole registry, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<MetricSnapshotEntry> entries;
+
+    /** Entry by name, or nullptr. */
+    const MetricSnapshotEntry *find(std::string_view name) const;
+
+    /** `name kind value` lines, histograms with their bins. */
+    void writeText(std::ostream &os) const;
+
+    /** JSON object keyed by metric name. */
+    void writeJson(std::ostream &os) const;
+
+    /** Same, spliced into an enclosing document. */
+    void writeJson(util::JsonWriter &json) const;
+
+    /** Identical content (used by the determinism tests). */
+    bool operator==(const MetricsSnapshot &o) const;
+};
+
+/**
+ * Name -> metric store. Metric objects have stable addresses for the
+ * registry's lifetime (deque storage), so hot paths resolve a metric
+ * once and then update it pointer-directly. Re-registering a name
+ * returns the existing instrument; registering it as a different kind
+ * is a fatal error.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create a counter. */
+    Counter &counter(std::string_view name);
+
+    /** Find-or-create a gauge. */
+    Gauge &gauge(std::string_view name);
+
+    /**
+     * Find-or-create a histogram. The prototype supplies the bucket
+     * layout on first registration and is ignored afterwards.
+     */
+    Histogram &histogram(std::string_view name, Histogram prototype);
+
+    /** Number of registered metrics. */
+    std::size_t size() const { return index_.size(); }
+
+    /** Copy every metric, sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric in place (layouts are kept). */
+    void reset();
+
+    /** Text dump of a fresh snapshot. */
+    void writeText(std::ostream &os) const;
+
+    /** JSON dump of a fresh snapshot. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Slot
+    {
+        MetricKind kind;
+        Counter *counter = nullptr;
+        Gauge *gauge = nullptr;
+        Histogram *histogram = nullptr;
+    };
+
+    Slot &slot(std::string_view name, MetricKind kind);
+
+    std::map<std::string, Slot, std::less<>> index_;
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+} // namespace atmsim::obs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-phase wall-clock accounting and the observability bundle.
+ *
+ * PhaseProfiler accumulates wall nanoseconds and call counts for a
+ * small fixed set of named phases (the engine's PDN advance, thermal
+ * cadence, ATM loop, violation check, ...). It is the source of the
+ * per-phase breakdown in run manifests and of the chunked phase
+ * spans in Chrome traces. All methods are header-inline; when
+ * disabled, begin()/end() are a bool test each, so instrumented hot
+ * loops compile to their uninstrumented shape.
+ *
+ * Observability is the non-owning bundle instrumented components
+ * accept: a metrics registry, a trace collector, or both. Components
+ * treat null members as "off".
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace atmsim::obs {
+
+/** Aggregate wall-clock cost of one named phase. */
+struct PhaseStat
+{
+    const char *name = "";
+    double wallNs = 0.0;
+    long calls = 0;
+};
+
+/** Fixed-phase wall-clock accumulator. */
+class PhaseProfiler
+{
+  public:
+    /**
+     * @param names Static-storage phase names; the index into this
+     *        vector is the phase id used by begin()/end().
+     * @param enabled Disabled profilers never read the clock.
+     */
+    PhaseProfiler(std::vector<const char *> names, bool enabled)
+        : names_(std::move(names)), enabled_(enabled),
+          wallNs_(names_.size(), 0.0), calls_(names_.size(), 0)
+    {
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /** Phase-entry timestamp (0 when disabled). */
+    double begin() const { return enabled_ ? monotonicWallNs() : 0.0; }
+
+    /** Close a phase opened at begin()'s return value. */
+    void
+    end(std::size_t phase, double t0)
+    {
+        if (!enabled_)
+            return;
+        wallNs_[phase] += monotonicWallNs() - t0;
+        ++calls_[phase];
+    }
+
+    /** Accumulated wall nanoseconds of one phase. */
+    double wallNs(std::size_t phase) const { return wallNs_[phase]; }
+
+    /** Invocations of one phase. */
+    long calls(std::size_t phase) const { return calls_[phase]; }
+
+    /** Wall nanoseconds accrued since a previous reading. */
+    double
+    wallNsSince(std::size_t phase, double prev_ns) const
+    {
+        return wallNs_[phase] - prev_ns;
+    }
+
+    /** All phases, in registration order. */
+    std::vector<PhaseStat>
+    snapshot() const
+    {
+        std::vector<PhaseStat> out;
+        out.reserve(names_.size());
+        for (std::size_t i = 0; i < names_.size(); ++i)
+            out.push_back({names_[i], wallNs_[i], calls_[i]});
+        return out;
+    }
+
+  private:
+    std::vector<const char *> names_;
+    bool enabled_;
+    std::vector<double> wallNs_;
+    std::vector<long> calls_;
+};
+
+/** Non-owning bundle of observability backends. */
+struct Observability
+{
+    MetricsRegistry *metrics = nullptr;
+    TraceCollector *trace = nullptr;
+
+    bool any() const { return metrics != nullptr || trace != nullptr; }
+};
+
+} // namespace atmsim::obs

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace atmsim::obs {
+
+double
+monotonicWallNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+TraceCollector::TraceCollector(std::size_t max_events)
+    : epochNs_(monotonicWallNs()), maxEvents_(max_events)
+{
+    if (max_events == 0)
+        util::fatal("trace collector needs a nonzero event cap");
+    events_.reserve(std::min<std::size_t>(max_events, 4096));
+    trackNames_.push_back("main");
+    trackIndex_.emplace("main", 0);
+}
+
+int
+TraceCollector::track(const std::string &name)
+{
+    const auto it = trackIndex_.find(name);
+    if (it != trackIndex_.end())
+        return it->second;
+    const int id = static_cast<int>(trackNames_.size());
+    trackNames_.push_back(name);
+    trackIndex_.emplace(name, id);
+    return id;
+}
+
+double
+TraceCollector::nowUs() const
+{
+    return (monotonicWallNs() - epochNs_) * 1e-3;
+}
+
+void
+TraceCollector::complete(const char *name, int track, double ts_us,
+                         double dur_us, double sim_ns, long arg)
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent ev;
+    ev.name = name;
+    ev.phase = 'X';
+    ev.track = track;
+    ev.tsUs = ts_us;
+    ev.durUs = dur_us;
+    ev.simNs = sim_ns;
+    ev.arg = arg;
+    events_.push_back(ev);
+}
+
+void
+TraceCollector::instant(const char *name, int track, double sim_ns,
+                        long arg)
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent ev;
+    ev.name = name;
+    ev.phase = 'i';
+    ev.track = track;
+    ev.tsUs = nowUs();
+    ev.simNs = sim_ns;
+    ev.arg = arg;
+    events_.push_back(ev);
+}
+
+void
+TraceCollector::writeChromeTrace(std::ostream &os) const
+{
+    util::JsonWriter json(os);
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+
+    // Process/track naming metadata so Perfetto labels the swimlanes.
+    json.beginObject();
+    json.field("ph", "M");
+    json.field("pid", 0);
+    json.field("tid", 0);
+    json.field("name", "process_name");
+    json.key("args").beginObject();
+    json.field("name", "atmsim");
+    json.endObject();
+    json.endObject();
+    for (std::size_t t = 0; t < trackNames_.size(); ++t) {
+        json.beginObject();
+        json.field("ph", "M");
+        json.field("pid", 0);
+        json.field("tid", static_cast<long>(t));
+        json.field("name", "thread_name");
+        json.key("args").beginObject();
+        json.field("name", trackNames_[t]);
+        json.endObject();
+        json.endObject();
+    }
+
+    for (const TraceEvent &ev : events_) {
+        json.beginObject();
+        json.field("name", ev.name);
+        json.field("ph", std::string_view(&ev.phase, 1));
+        json.field("pid", 0);
+        json.field("tid", ev.track);
+        json.field("ts", ev.tsUs);
+        if (ev.phase == 'X')
+            json.field("dur", ev.durUs);
+        if (ev.phase == 'i')
+            json.field("s", "t");
+        if (ev.simNs >= 0.0 || ev.arg >= 0) {
+            json.key("args").beginObject();
+            if (ev.simNs >= 0.0)
+                json.field("t_ns", ev.simNs);
+            if (ev.arg >= 0)
+                json.field("value", ev.arg);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.field("displayTimeUnit", "ms");
+    if (dropped_ > 0)
+        json.field("droppedEvents",
+                   static_cast<long>(dropped_));
+    json.endObject();
+}
+
+void
+TraceCollector::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+} // namespace atmsim::obs

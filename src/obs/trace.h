@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Phase tracing in Chrome trace-event format.
+ *
+ * A TraceCollector buffers complete ("X") and instant ("i") events
+ * and serializes them as a `{"traceEvents": [...]}` JSON document
+ * that chrome://tracing and Perfetto load directly. Event timestamps
+ * are wall-clock microseconds since the collector was created;
+ * every event also carries the simulation time (`t_ns`) in its args,
+ * so a run can be read either as a profile (where did the wall time
+ * go) or as a timeline (what happened when in simulated time). The
+ * event *sequence* -- names, tracks, simulation times -- is a pure
+ * function of the run and is what the determinism tests compare;
+ * only the wall-clock fields vary between runs.
+ *
+ * Tracks: callers register named tracks (rendered by Perfetto as
+ * threads of one process) and tag events with the returned id, so
+ * the engine's phases, the characterizer, and the safety monitor
+ * each get their own swimlane.
+ *
+ * Cost model: when no collector is attached, instrumented code holds
+ * a null pointer and every helper (ScopedSpan included) collapses to
+ * a pointer test -- no clock reads, no allocation. When attached,
+ * recording is an O(1) append into a preallocated vector with a hard
+ * event cap; overflow is counted, never reallocated unbounded.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace atmsim::obs {
+
+/** Monotonic wall-clock nanoseconds (steady_clock). */
+double monotonicWallNs();
+
+/** One buffered trace event. */
+struct TraceEvent
+{
+    const char *name = "";  ///< Static-storage event name.
+    char phase = 'X';       ///< 'X' complete, 'i' instant.
+    int track = 0;          ///< Registered track id.
+    double tsUs = 0.0;      ///< Wall microseconds since collector start.
+    double durUs = 0.0;     ///< Wall duration ('X' only).
+    double simNs = -1.0;    ///< Simulation time arg (< 0: omitted).
+    long arg = -1;          ///< Generic integer arg (< 0: omitted).
+};
+
+/** Buffers trace events and writes chrome://tracing JSON. */
+class TraceCollector
+{
+  public:
+    /** @param max_events Hard cap on buffered events. */
+    explicit TraceCollector(std::size_t max_events = 1u << 20);
+
+    /**
+     * Find-or-create a named track (a Perfetto swimlane). Track 0 is
+     * the default "main" track.
+     */
+    int track(const std::string &name);
+
+    /** Wall microseconds since the collector was constructed. */
+    double nowUs() const;
+
+    /** Append a complete event (begin wall time + duration). */
+    void complete(const char *name, int track, double ts_us,
+                  double dur_us, double sim_ns = -1.0, long arg = -1);
+
+    /** Append an instant event at the current wall time. */
+    void instant(const char *name, int track, double sim_ns = -1.0,
+                 long arg = -1);
+
+    // --- Inspection ----------------------------------------------------
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t droppedEvents() const { return dropped_; }
+
+    /** Serialize as a chrome://tracing / Perfetto JSON document. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Drop buffered events; track registrations are kept. */
+    void clear();
+
+  private:
+    double epochNs_;
+    std::size_t maxEvents_;
+    std::size_t dropped_ = 0;
+    std::vector<TraceEvent> events_;
+    std::vector<std::string> trackNames_;
+    std::map<std::string, int> trackIndex_;
+};
+
+/**
+ * RAII span: measures the wall time of a scope and appends one
+ * complete event on destruction. With a null collector both
+ * constructor and destructor reduce to a pointer test.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceCollector *collector, const char *name, int track,
+               double sim_ns = -1.0)
+        : collector_(collector), name_(name), track_(track),
+          simNs_(sim_ns)
+    {
+        if (collector_)
+            startUs_ = collector_->nowUs();
+    }
+
+    ~ScopedSpan()
+    {
+        if (collector_) {
+            collector_->complete(name_, track_, startUs_,
+                                 collector_->nowUs() - startUs_,
+                                 simNs_);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceCollector *collector_;
+    const char *name_;
+    int track_;
+    double simNs_;
+    double startUs_ = 0.0;
+};
+
+} // namespace atmsim::obs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Engine observation interface: the single per-sample dispatch point
+ * of a SimEngine run.
+ *
+ * PR 3 folded the legacy SimEngine::Probe callback into this
+ * interface: the engine builds one per-core sample frame at the
+ * statistics cadence and hands it to every attached observer, so
+ * telemetry recorders, safety monitors, and metric exporters all
+ * share a single dispatch instead of stacking per-core std::function
+ * calls in the hot loop.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "sim/run_result.h"
+#include "util/quantity.h"
+
+namespace atmsim::sim {
+
+/** One core's state at a statistics sample. */
+struct CoreSample
+{
+    util::Mhz freqMhz{0.0};
+    util::Volts voltageV{0.0};
+    bool gated = false;
+};
+
+/**
+ * Runtime observer interface: telemetry recorders and supervisors
+ * implement this to watch an engine run and (for supervisors) react
+ * to it -- the engine reads core modes and CPM configurations every
+ * step, so reconfigurations take effect immediately. The engine
+ * never owns its observers; several can be attached to one run.
+ */
+class EngineObserver
+{
+  public:
+    virtual ~EngineObserver() = default;
+
+    /**
+     * A core entered a timing-violation episode. Return true when the
+     * observer detects the event (and typically reconfigures the
+     * core); episodes no observer detects count as silent failures
+     * when they manifest as SDC.
+     */
+    virtual bool onViolation(const ViolationEvent &event)
+    {
+        (void)event;
+        return false;
+    }
+
+    /**
+     * Called at the statistics cadence with the per-core sample
+     * frame. The frame is owned by the engine and only valid for the
+     * duration of the call.
+     */
+    virtual void onSample(util::Nanoseconds now,
+                          const std::vector<CoreSample> &cores)
+    {
+        (void)now;
+        (void)cores;
+    }
+
+    /** Merge observer-side counters at the end of a run. */
+    virtual void finish(util::Nanoseconds end, SafetyCounters &counters)
+    {
+        (void)end;
+        (void)counters;
+    }
+};
+
+} // namespace atmsim::sim

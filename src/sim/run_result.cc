@@ -15,6 +15,48 @@ failureKindName(FailureKind kind)
     return "?";
 }
 
+void
+SafetyCounters::print(std::ostream &os) const
+{
+    os << "emergencies=" << emergencies
+       << " detected=" << detectedViolations
+       << " silent=" << silentFailures
+       << " anomalies=" << anomalies
+       << " quarantines=" << quarantines
+       << " fallbacks=" << fallbacks
+       << " reentry-steps=" << reentrySteps
+       << " recoveries=" << recoveries
+       << " degraded-us=" << degradedTimeNs * 1e-3
+       << '\n';
+}
+
+std::vector<std::pair<const char *, double>>
+SafetyCounters::named() const
+{
+    return {
+        {"safety.emergencies", static_cast<double>(emergencies)},
+        {"safety.detected_violations",
+         static_cast<double>(detectedViolations)},
+        {"safety.silent_failures", static_cast<double>(silentFailures)},
+        {"safety.anomalies", static_cast<double>(anomalies)},
+        {"safety.quarantines", static_cast<double>(quarantines)},
+        {"safety.fallbacks", static_cast<double>(fallbacks)},
+        {"safety.reentry_steps", static_cast<double>(reentrySteps)},
+        {"safety.recoveries", static_cast<double>(recoveries)},
+        {"safety.degraded_time_ns", degradedTimeNs},
+        {"safety.dropped_violation_events",
+         static_cast<double>(droppedViolationEvents)},
+    };
+}
+
+double
+RunResult::stepsPerSecond() const
+{
+    if (steps <= 0 || wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(steps) / wallSeconds;
+}
+
 long
 RunResult::totalViolations() const
 {

@@ -1,17 +1,21 @@
 /**
  * @file
  * Results of a time-stepped engine run: per-core frequency traces,
- * power/thermal envelopes, and the timing-violation events that
- * manifest as the failures the paper observes (abnormal application
- * exit, silent data corruption, system crash).
+ * power/thermal envelopes, the timing-violation events that manifest
+ * as the failures the paper observes (abnormal application exit,
+ * silent data corruption, system crash), and the run's own
+ * performance record (steps advanced, wall time, per-phase
+ * breakdown) feeding the run-provenance manifests.
  */
 
 #pragma once
 
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "sim/telemetry.h"
+#include "obs/phase.h"
 #include "util/stats.h"
 
 namespace atmsim::sim {
@@ -40,6 +44,59 @@ struct ViolationEvent
     double deficitPs = 0.0; ///< How far the path missed the cycle.
     FailureKind kind = FailureKind::AbnormalExit;
     bool detected = false;  ///< A safety monitor caught this episode.
+};
+
+/**
+ * Safety counters of one engine run: how the chip and the (optional)
+ * safety monitor fared under faults. The engine fills the violation
+ * accounting; an attached monitor merges its quarantine/recovery
+ * bookkeeping at the end of the run.
+ */
+struct SafetyCounters
+{
+    /** DPLL emergency engagements, summed over cores. */
+    long emergencies = 0;
+
+    /** Violation episodes a monitor observed and reacted to. */
+    long detectedViolations = 0;
+
+    /**
+     * Silent failures: violation episodes nobody detected whose
+     * manifestation is silent data corruption. Crashes and abnormal
+     * exits are loud even without a monitor; SDC is not.
+     */
+    long silentFailures = 0;
+
+    /** Anomalous-sensor detections (caught before a violation). */
+    long anomalies = 0;
+
+    /** Cores pulled back to the safe default configuration. */
+    long quarantines = 0;
+
+    /** Escalations from quarantine to the static-margin fallback. */
+    long fallbacks = 0;
+
+    /** Staged re-entry steps taken toward fine-tuned limits. */
+    long reentrySteps = 0;
+
+    /** Cores fully recovered to their fine-tuned deployment. */
+    long recoveries = 0;
+
+    /** Core-time spent below the fine-tuned deployment (ns). */
+    double degradedTimeNs = 0.0;
+
+    /** Violation events not stored in RunResult (cap exceeded). */
+    long droppedViolationEvents = 0;
+
+    /** Render one line per non-zero counter. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Named (counter, value) view, in declaration order -- the
+     * manifest writer and metric exporters iterate this instead of
+     * hand-copying every field.
+     */
+    std::vector<std::pair<const char *, double>> named() const;
 };
 
 /** Per-core statistics of one run. */
@@ -72,6 +129,23 @@ struct RunResult
 
     /** Safety accounting (violation detection, monitor activity). */
     SafetyCounters safety;
+
+    // --- Run performance record ----------------------------------------
+
+    /** Engine steps actually advanced. */
+    long steps = 0;
+
+    /** Wall-clock time spent inside run() (seconds; always filled). */
+    double wallSeconds = 0.0;
+
+    /**
+     * Per-phase wall-clock breakdown. Filled only when observability
+     * is attached to the engine (profiling is off otherwise).
+     */
+    std::vector<obs::PhaseStat> phaseStats;
+
+    /** Steps/sec throughput of this run (0 when unmeasured). */
+    double stepsPerSecond() const;
 
     /** True when any violation occurred. */
     bool failed() const { return !violations.empty(); }

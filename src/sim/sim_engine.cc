@@ -19,6 +19,127 @@ using util::Seconds;
 using util::Volts;
 using util::Watts;
 
+namespace {
+
+/** Engine phase ids (indices into kPhaseNames). */
+enum EnginePhase : std::size_t {
+    kPhaseSettle = 0,
+    kPhaseFaults,
+    kPhaseThermal,
+    kPhasePdn,
+    kPhaseAtm,
+    kPhaseViolation,
+    kPhaseStats,
+    kPhaseCount,
+};
+
+const char *const kPhaseNames[kPhaseCount] = {
+    "engine.settle",    "engine.faults",          "engine.thermal_cadence",
+    "engine.pdn_advance", "engine.atm_loop",
+    "engine.violation_check", "engine.stats_sample",
+};
+
+/** Metric instruments the engine updates, resolved once per run. */
+struct EngineMetrics
+{
+    obs::Counter *runs = nullptr;
+    obs::Counter *steps = nullptr;
+    obs::Counter *samples = nullptr;
+    obs::Counter *violations = nullptr;
+    obs::Counter *detected = nullptr;
+    obs::Counter *silent = nullptr;
+    obs::Counter *emergencies = nullptr;
+    obs::Counter *stoppedEarly = nullptr;
+    obs::Counter *gridClamped = nullptr;
+    obs::Counter *faultsActivated = nullptr;
+    obs::Counter *faultsReverted = nullptr;
+    obs::Counter *slewUps = nullptr;
+    obs::Counter *slewDowns = nullptr;
+    obs::Histogram *voltage = nullptr;
+    obs::Histogram *freq = nullptr;
+    obs::Histogram *deficit = nullptr;
+    obs::Histogram *cpmWorst = nullptr;
+
+    explicit EngineMetrics(obs::MetricsRegistry *reg)
+    {
+        if (!reg)
+            return;
+        runs = &reg->counter("engine.runs");
+        steps = &reg->counter("engine.steps");
+        samples = &reg->counter("engine.samples");
+        violations = &reg->counter("engine.violations.total");
+        detected = &reg->counter("engine.violations.detected");
+        silent = &reg->counter("engine.violations.silent");
+        emergencies = &reg->counter("engine.emergencies");
+        stoppedEarly = &reg->counter("engine.stopped_early");
+        gridClamped = &reg->counter("engine.grid.clamped_cadences");
+        faultsActivated = &reg->counter("engine.faults.activated");
+        faultsReverted = &reg->counter("engine.faults.reverted");
+        slewUps = &reg->counter("engine.dpll.slew_up");
+        slewDowns = &reg->counter("engine.dpll.slew_down");
+        voltage = &reg->histogram(
+            "engine.core.voltage_v",
+            obs::Histogram::linear(0.5, 1.3, 32));
+        freq = &reg->histogram(
+            "engine.core.freq_mhz",
+            obs::Histogram::linear(1000.0, 5000.0, 40));
+        deficit = &reg->histogram(
+            "engine.violation.deficit_ps",
+            obs::Histogram::linear(0.0, 100.0, 25));
+        cpmWorst = &reg->histogram(
+            "engine.cpm.worst_count",
+            obs::Histogram::linear(0.0, 32.0, 32));
+    }
+};
+
+/**
+ * Chunked phase spans: instead of one trace event per step (which
+ * would swamp the buffer at a 0.2 ns dt), the run flushes one
+ * complete event per phase per flush point, spanning the wall time
+ * that phase accumulated since the previous flush. Each phase gets
+ * its own track, so Perfetto renders the chunks as parallel
+ * swimlanes under the engine process.
+ */
+class PhaseSpanFlusher
+{
+  public:
+    PhaseSpanFlusher(obs::TraceCollector *trace,
+                     const obs::PhaseProfiler &profiler)
+        : trace_(trace), profiler_(profiler)
+    {
+        if (!trace_)
+            return;
+        for (std::size_t p = 0; p < kPhaseCount; ++p)
+            tracks_[p] = trace_->track(kPhaseNames[p]);
+    }
+
+    void
+    flush(double sim_ns)
+    {
+        if (!trace_)
+            return;
+        const double now_us = trace_->nowUs();
+        for (std::size_t p = 0; p < kPhaseCount; ++p) {
+            const double delta_ns =
+                profiler_.wallNsSince(p, lastWallNs_[p]);
+            if (delta_ns <= 0.0)
+                continue;
+            lastWallNs_[p] += delta_ns;
+            const double dur_us = delta_ns * 1e-3;
+            trace_->complete(kPhaseNames[p], tracks_[p],
+                             now_us - dur_us, dur_us, sim_ns);
+        }
+    }
+
+  private:
+    obs::TraceCollector *trace_;
+    const obs::PhaseProfiler &profiler_;
+    int tracks_[kPhaseCount] = {};
+    double lastWallNs_[kPhaseCount] = {};
+};
+
+} // namespace
+
 SimEngine::SimEngine(chip::Chip *target, const SimConfig &config)
     : chip_(target), config_(config)
 {
@@ -59,6 +180,26 @@ SimEngine::run(double duration_us)
     chip::Chip &chip = *chip_;
     const int n = chip.coreCount();
     util::Rng rng(config_.seed);
+    const double run_start_wall_ns = obs::monotonicWallNs();
+
+    // --- Observability wiring (all optional).
+    obs::PhaseProfiler profiler(
+        std::vector<const char *>(kPhaseNames,
+                                  kPhaseNames + kPhaseCount),
+        obs_.any());
+    EngineMetrics met(obs_.metrics);
+    PhaseSpanFlusher spans(obs_.trace, profiler);
+    int trk_violations = 0;
+    int trk_faults = 0;
+    if (obs_.trace) {
+        trk_violations = obs_.trace->track("engine.violations");
+        trk_faults = obs_.trace->track("engine.fault_edges");
+    }
+    if (met.runs)
+        met.runs->inc();
+    util::WarnThrottle grid_warn("engine.grid");
+
+    double t0 = profiler.begin();
 
     // --- Per-core setup from the current assignments.
     std::vector<workload::ActivityGenerator> activity;
@@ -121,6 +262,7 @@ SimEngine::run(double duration_us)
         chip.core(c).resetClock(steady.coreVoltageV[ci],
                                 steady.coreTempC[ci]);
     }
+    profiler.end(kPhaseSettle, t0);
 
     // --- Fault campaign arming.
     fault::FaultInjector injector(chip_);
@@ -140,6 +282,7 @@ SimEngine::run(double duration_us)
     std::vector<Amps> instant_current(static_cast<std::size_t>(n),
                                       Amps{0.0});
     std::vector<char> in_violation(static_cast<std::size_t>(n), 0);
+    std::vector<CoreSample> frame(static_cast<std::size_t>(n));
     util::Rng fail_rng = rng.fork(0xfa11);
 
     long step = 0;
@@ -148,21 +291,47 @@ SimEngine::run(double duration_us)
 
         // Fire and expire armed faults.
         if (campaign_ && !campaign_->allDone()) {
+            t0 = profiler.begin();
             fault_edges.clear();
             campaign_->collectActivations(now_ns, fault_edges);
-            for (std::size_t f : fault_edges)
+            for (std::size_t f : fault_edges) {
                 injector.apply(campaign_->spec(f));
+                if (met.faultsActivated)
+                    met.faultsActivated->inc();
+                if (obs_.trace) {
+                    obs_.trace->instant("fault.activate", trk_faults,
+                                        now_ns,
+                                        static_cast<long>(f));
+                }
+            }
             fault_edges.clear();
             campaign_->collectExpirations(now_ns, fault_edges);
-            for (std::size_t f : fault_edges)
+            for (std::size_t f : fault_edges) {
                 injector.revert(campaign_->spec(f));
+                if (met.faultsReverted)
+                    met.faultsReverted->inc();
+                if (obs_.trace) {
+                    obs_.trace->instant("fault.revert", trk_faults,
+                                        now_ns,
+                                        static_cast<long>(f));
+                }
+            }
+            profiler.end(kPhaseFaults, t0);
         }
 
         // Slow cadence: refresh DC power draw and temperatures.
         if (step % config_.slowCadence == 0) {
+            t0 = profiler.begin();
             const Volts grid_v = chip.pdn().gridV();
             const Watts uncore_w = chip.powerModel().uncoreW(grid_v);
             const Volts grid_floor = std::max(grid_v, Volts{0.6});
+            if (grid_v < Volts{0.6}) {
+                if (met.gridClamped)
+                    met.gridClamped->inc();
+                grid_warn.warn("grid voltage ", grid_v.value(),
+                               " V clamped to 0.6 V at t=", now_ns,
+                               " ns");
+            }
             for (int c = 0; c < n; ++c) {
                 const auto ci = static_cast<std::size_t>(c);
                 Watts p;
@@ -189,10 +358,13 @@ SimEngine::run(double duration_us)
                 uncore_w, grid_floor);
             chip.thermal().step(Seconds{dt_s * config_.slowCadence},
                                 core_power, uncore_w);
+            profiler.end(kPhaseThermal, t0);
+            spans.flush(now_ns);
         }
 
         // Electrical step: DC draw plus transient di/dt events
         // (power-gated cores inject nothing).
+        t0 = profiler.begin();
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
             const double transient =
@@ -205,18 +377,30 @@ SimEngine::run(double duration_us)
                     Amps{injector.stormCurrentA(c, now_ns)};
         }
         chip.pdn().step(Seconds{dt_s}, instant_current, uncore_current);
+        profiler.end(kPhasePdn, t0);
 
-        // Control loops and the timing race. A violation is counted
-        // once per episode: contiguous violating steps are one event,
-        // and the episode ends when the core meets timing again, so a
-        // run past its first violation keeps accumulating per-core
-        // counts without storing one event per 0.2 ns step.
+        // Per-core ATM control loops (cores are independent within a
+        // step, so the control advance and the timing race can run as
+        // separate passes and be profiled as distinct phases).
+        t0 = profiler.begin();
+        for (int c = 0; c < n; ++c) {
+            chip.core(c).stepControl(Nanoseconds{now_ns},
+                                     chip.pdn().coreV(c),
+                                     chip.thermal().coreTempC(c));
+        }
+        profiler.end(kPhaseAtm, t0);
+
+        // The timing race. A violation is counted once per episode:
+        // contiguous violating steps are one event, and the episode
+        // ends when the core meets timing again, so a run past its
+        // first violation keeps accumulating per-core counts without
+        // storing one event per 0.2 ns step.
+        t0 = profiler.begin();
         bool violated = false;
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
             const Volts v = chip.pdn().coreV(c);
             const Celsius t_c = chip.thermal().coreTempC(c);
-            chip.core(c).stepControl(Nanoseconds{now_ns}, v, t_c);
             if (!chip.core(c).timingMet(v, t_c, exposure_ps[ci],
                                         Picoseconds{config_.runNoisePs}))
             {
@@ -235,13 +419,28 @@ SimEngine::run(double duration_us)
                 ev.kind = u < 0.3 ? FailureKind::SystemCrash
                         : u < 0.8 ? FailureKind::AbnormalExit
                                   : FailureKind::SilentDataCorruption;
-                if (observer_)
-                    ev.detected = observer_->onViolation(ev);
+                for (EngineObserver *o : observers_) {
+                    if (o->onViolation(ev))
+                        ev.detected = true;
+                }
                 if (ev.detected) {
                     ++result.safety.detectedViolations;
                 } else if (ev.kind
                            == FailureKind::SilentDataCorruption) {
                     ++result.safety.silentFailures;
+                }
+                if (met.violations) {
+                    met.violations->inc();
+                    if (ev.detected)
+                        met.detected->inc();
+                    else if (ev.kind
+                             == FailureKind::SilentDataCorruption)
+                        met.silent->inc();
+                    met.deficit->record(ev.deficitPs);
+                }
+                if (obs_.trace) {
+                    obs_.trace->instant("violation", trk_violations,
+                                        now_ns, c);
                 }
                 if (result.violations.size() < kMaxStoredViolations)
                     result.violations.push_back(ev);
@@ -253,38 +452,54 @@ SimEngine::run(double duration_us)
                 in_violation[ci] = 0;
             }
         }
+        profiler.end(kPhaseViolation, t0);
         if (violated && config_.stopOnViolation) {
             result.stoppedEarly = true;
             ++step;
             break;
         }
 
-        // Statistics cadence.
+        // Statistics cadence: fold the frame into the run stats, the
+        // metric histograms, and every attached observer.
         if (step % config_.statsCadence == 0) {
+            t0 = profiler.begin();
             double chip_power =
                 chip.powerModel().uncoreW(chip.pdn().gridV()).value();
             for (int c = 0; c < n; ++c) {
                 const auto ci = static_cast<std::size_t>(c);
-                const double v = chip.pdn().coreV(c).value();
-                const double f = chip.core(c).frequencyMhz().value();
+                const Volts v = chip.pdn().coreV(c);
+                const util::Mhz f = chip.core(c).frequencyMhz();
+                const bool gated =
+                    chip.core(c).mode() == chip::CoreMode::Gated;
+                frame[ci] = {f, v, gated};
                 auto &cs = result.coreStats[ci];
-                if (chip.core(c).mode() != chip::CoreMode::Gated) {
-                    cs.freqMhz.add(f);
-                    cs.voltageV.add(v);
+                if (!gated) {
+                    cs.freqMhz.add(f.value());
+                    cs.voltageV.add(v.value());
                     cs.minVoltageV = cs.voltageV.count() == 1
-                                   ? v
-                                   : std::min(cs.minVoltageV, v);
+                                   ? v.value()
+                                   : std::min(cs.minVoltageV,
+                                              v.value());
+                    if (met.voltage) {
+                        met.voltage->record(v.value());
+                        met.freq->record(f.value());
+                        const int worst =
+                            chip.core(c).lastWorstCount();
+                        if (worst >= 0)
+                            met.cpmWorst->record(worst);
+                    }
                 }
                 chip_power += core_power[ci].value();
-                if (probe_)
-                    probe_(now_ns, c, f, v);
             }
             result.chipPowerW.add(chip_power);
             result.maxCoreTempC =
                 std::max(result.maxCoreTempC,
                          chip.thermal().maxCoreTempC().value());
-            if (observer_)
-                observer_->onSample(now_ns);
+            if (met.samples)
+                met.samples->inc();
+            for (EngineObserver *o : observers_)
+                o->onSample(Nanoseconds{now_ns}, frame);
+            profiler.end(kPhaseStats, t0);
         }
     }
 
@@ -295,8 +510,8 @@ SimEngine::run(double duration_us)
     }
     result.minGridV = chip.pdn().minGridV().value();
     result.durationNs = static_cast<double>(step) * config_.dtNs;
-    if (observer_)
-        observer_->finish(result.durationNs, result.safety);
+    for (EngineObserver *o : observers_)
+        o->finish(Nanoseconds{result.durationNs}, result.safety);
 
     // Leave no fault state behind: anything still active at the end of
     // the run window is reverted so the chip can be reused.
@@ -306,6 +521,24 @@ SimEngine::run(double duration_us)
             std::numeric_limits<double>::infinity(), fault_edges);
         for (std::size_t f : fault_edges)
             injector.revert(campaign_->spec(f));
+    }
+
+    // --- Run performance record + final observability flush.
+    result.steps = step;
+    result.wallSeconds =
+        (obs::monotonicWallNs() - run_start_wall_ns) * 1e-9;
+    if (profiler.enabled())
+        result.phaseStats = profiler.snapshot();
+    spans.flush(result.durationNs);
+    if (met.steps) {
+        met.steps->inc(step);
+        met.emergencies->inc(result.safety.emergencies);
+        if (result.stoppedEarly)
+            met.stoppedEarly->inc();
+        for (int c = 0; c < n; ++c) {
+            met.slewUps->inc(chip.core(c).dpll().slewUpCount());
+            met.slewDowns->inc(chip.core(c).dpll().slewDownCount());
+        }
     }
     return result;
 }

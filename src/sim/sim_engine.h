@@ -9,50 +9,28 @@
  * against the instantaneous clock period. This is the detailed-mode
  * counterpart of the closed-form analytic model; the two agree on
  * characterization limits to within one CPM step.
+ *
+ * Observability: attach an obs::Observability bundle to record
+ * engine metrics (violation counters, sampled voltage/frequency
+ * histograms) and per-phase Chrome-trace spans. When nothing is
+ * attached the instrumentation reduces to pointer tests -- the hot
+ * loop never reads a clock.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "chip/chip.h"
 #include "fault/fault_campaign.h"
+#include "obs/phase.h"
+#include "sim/observer.h"
 #include "sim/run_result.h"
 #include "util/rng.h"
 #include "workload/activity.h"
 
 namespace atmsim::sim {
-
-/**
- * Runtime supervisor interface: a safety monitor implements this to
- * watch an engine run and react to it (the engine reads core modes
- * and CPM configurations every step, so reconfigurations take effect
- * immediately). The engine never owns the observer.
- */
-class EngineObserver
-{
-  public:
-    virtual ~EngineObserver() = default;
-
-    /**
-     * A core entered a timing-violation episode. Return true when the
-     * monitor detects the event (and typically reconfigures the
-     * core); undetected SDC episodes count as silent failures.
-     */
-    virtual bool onViolation(const ViolationEvent &event) = 0;
-
-    /** Called at the statistics cadence with the current time. */
-    virtual void onSample(double now_ns) { (void)now_ns; }
-
-    /** Merge monitor-side counters at the end of a run. */
-    virtual void finish(double end_ns, SafetyCounters &counters)
-    {
-        (void)end_ns;
-        (void)counters;
-    }
-};
 
 /** Engine configuration. */
 struct SimConfig
@@ -98,14 +76,6 @@ class SimEngine
     RunResult run(double duration_us);
 
     /**
-     * Optional per-sample probe, called at the statistics cadence
-     * with (time ns, core index, core frequency MHz, core voltage V).
-     * Used by the examples to draw waveforms.
-     */
-    using Probe = std::function<void(double, int, double, double)>;
-    void setProbe(Probe probe) { probe_ = std::move(probe); }
-
-    /**
      * Attach a fault campaign (not owned; may outlive several runs).
      * run() re-arms it, applies each fault when its start time passes
      * and reverts it when its window closes, so faults strike mid-run
@@ -116,8 +86,43 @@ class SimEngine
         campaign_ = campaign;
     }
 
-    /** Attach a runtime supervisor (not owned). */
-    void setObserver(EngineObserver *observer) { observer_ = observer; }
+    /**
+     * Attach one observer, replacing any already attached (not owned).
+     * nullptr detaches everything.
+     */
+    void
+    setObserver(EngineObserver *observer)
+    {
+        observers_.clear();
+        if (observer)
+            observers_.push_back(observer);
+    }
+
+    /** Attach an additional observer (not owned). */
+    void
+    addObserver(EngineObserver *observer)
+    {
+        if (observer)
+            observers_.push_back(observer);
+    }
+
+    /** Currently attached observers, in attachment order. */
+    const std::vector<EngineObserver *> &observers() const
+    {
+        return observers_;
+    }
+
+    /**
+     * Attach observability backends (none owned). Null members are
+     * "off"; a default-constructed bundle detaches everything and
+     * returns the hot loop to its uninstrumented cost.
+     */
+    void setObservability(const obs::Observability &sinks)
+    {
+        obs_ = sinks;
+    }
+
+    const obs::Observability &observability() const { return obs_; }
 
     const SimConfig &config() const { return config_; }
 
@@ -138,9 +143,9 @@ class SimEngine
 
     chip::Chip *chip_;
     SimConfig config_;
-    Probe probe_;
     fault::FaultCampaign *campaign_ = nullptr;
-    EngineObserver *observer_ = nullptr;
+    std::vector<EngineObserver *> observers_;
+    obs::Observability obs_;
 };
 
 } // namespace atmsim::sim

@@ -1,23 +1,10 @@
 #include "sim/telemetry.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace atmsim::sim {
-
-void
-SafetyCounters::print(std::ostream &os) const
-{
-    os << "emergencies=" << emergencies
-       << " detected=" << detectedViolations
-       << " silent=" << silentFailures
-       << " anomalies=" << anomalies
-       << " quarantines=" << quarantines
-       << " fallbacks=" << fallbacks
-       << " reentry-steps=" << reentrySteps
-       << " recoveries=" << recoveries
-       << " degraded-us=" << degradedTimeNs * 1e-3
-       << '\n';
-}
 
 TelemetryRecorder::TelemetryRecorder(int core_count,
                                      double min_interval_ns)
@@ -32,16 +19,27 @@ TelemetryRecorder::TelemetryRecorder(int core_count,
 }
 
 void
-TelemetryRecorder::record(double now_ns, int core, double freq_mhz,
-                          double v)
+TelemetryRecorder::record(util::Nanoseconds now, int core,
+                          util::Mhz freq, util::Volts v)
 {
     if (core < 0 || core >= coreCount())
         util::fatal("telemetry record: core ", core, " out of range");
     const auto ci = static_cast<std::size_t>(core);
-    if (now_ns - lastKeptNs_[ci] < minIntervalNs_)
+    if (now.value() - lastKeptNs_[ci] < minIntervalNs_)
         return;
-    lastKeptNs_[ci] = now_ns;
-    series_[ci].push_back({now_ns, freq_mhz, v});
+    lastKeptNs_[ci] = now.value();
+    series_[ci].push_back({now, freq, v});
+}
+
+void
+TelemetryRecorder::onSample(util::Nanoseconds now,
+                            const std::vector<CoreSample> &cores)
+{
+    const int n = std::min(coreCount(), static_cast<int>(cores.size()));
+    for (int c = 0; c < n; ++c) {
+        const CoreSample &cs = cores[static_cast<std::size_t>(c)];
+        record(now, c, cs.freqMhz, cs.voltageV);
+    }
 }
 
 const std::vector<TelemetrySample> &
@@ -67,13 +65,13 @@ TelemetryRecorder::windowAvgFreqMhz(int core, double window_ns) const
     const auto &s = series(core);
     if (s.empty())
         util::fatal("telemetry window: no samples for core ", core);
-    const double cutoff = s.back().timeNs - window_ns;
+    const double cutoff = s.back().timeNs.value() - window_ns;
     double sum = 0.0;
     std::size_t count = 0;
     for (auto it = s.rbegin(); it != s.rend(); ++it) {
-        if (it->timeNs < cutoff)
+        if (it->timeNs.value() < cutoff)
             break;
-        sum += it->freqMhz;
+        sum += it->freqMhz.value();
         ++count;
     }
     return sum / static_cast<double>(count);
@@ -85,8 +83,9 @@ TelemetryRecorder::writeCsv(std::ostream &os) const
     os << "time_ns,core,freq_mhz,voltage_v\n";
     for (int c = 0; c < coreCount(); ++c) {
         for (const auto &sample : series(c)) {
-            os << sample.timeNs << ',' << c << ',' << sample.freqMhz
-               << ',' << sample.voltageV << '\n';
+            os << sample.timeNs.value() << ',' << c << ','
+               << sample.freqMhz.value() << ','
+               << sample.voltageV.value() << '\n';
         }
     }
 }

@@ -12,64 +12,25 @@
 #include <ostream>
 #include <vector>
 
+#include "sim/observer.h"
+#include "util/quantity.h"
+
 namespace atmsim::sim {
 
 /** One telemetry sample. */
 struct TelemetrySample
 {
-    double timeNs = 0.0;
-    double freqMhz = 0.0;
-    double voltageV = 0.0;
+    util::Nanoseconds timeNs{0.0};
+    util::Mhz freqMhz{0.0};
+    util::Volts voltageV{0.0};
 };
 
 /**
- * Safety counters of one engine run: how the chip and the (optional)
- * safety monitor fared under faults. The engine fills the violation
- * accounting; an attached monitor merges its quarantine/recovery
- * bookkeeping at the end of the run.
+ * Observer collecting per-core series from an engine run. Attach it
+ * with SimEngine::addObserver (or call record() directly when driving
+ * it by hand); it keeps every core's samples in arrival order.
  */
-struct SafetyCounters
-{
-    /** DPLL emergency engagements, summed over cores. */
-    long emergencies = 0;
-
-    /** Violation episodes a monitor observed and reacted to. */
-    long detectedViolations = 0;
-
-    /**
-     * Silent failures: violation episodes nobody detected whose
-     * manifestation is silent data corruption. Crashes and abnormal
-     * exits are loud even without a monitor; SDC is not.
-     */
-    long silentFailures = 0;
-
-    /** Anomalous-sensor detections (caught before a violation). */
-    long anomalies = 0;
-
-    /** Cores pulled back to the safe default configuration. */
-    long quarantines = 0;
-
-    /** Escalations from quarantine to the static-margin fallback. */
-    long fallbacks = 0;
-
-    /** Staged re-entry steps taken toward fine-tuned limits. */
-    long reentrySteps = 0;
-
-    /** Cores fully recovered to their fine-tuned deployment. */
-    long recoveries = 0;
-
-    /** Core-time spent below the fine-tuned deployment (ns). */
-    double degradedTimeNs = 0.0;
-
-    /** Violation events not stored in RunResult (cap exceeded). */
-    long droppedViolationEvents = 0;
-
-    /** Render one line per non-zero counter. */
-    void print(std::ostream &os) const;
-};
-
-/** Recorder collecting per-core series from a SimEngine probe. */
-class TelemetryRecorder
+class TelemetryRecorder : public EngineObserver
 {
   public:
     /**
@@ -80,8 +41,13 @@ class TelemetryRecorder
     explicit TelemetryRecorder(int core_count,
                                double min_interval_ns = 0.0);
 
-    /** Probe-compatible record call. */
-    void record(double now_ns, int core, double freq_mhz, double v);
+    /** Record one core's state at a time point. */
+    void record(util::Nanoseconds now, int core, util::Mhz freq,
+                util::Volts v);
+
+    /** EngineObserver hook: record every core of the sample frame. */
+    void onSample(util::Nanoseconds now,
+                  const std::vector<CoreSample> &cores) override;
 
     /** Recorded series of one core. */
     const std::vector<TelemetrySample> &series(int core) const;

@@ -1,0 +1,197 @@
+#include "util/json_writer.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace atmsim::util {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                std::array<char, 8> buf{};
+                std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf.data();
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+JsonWriter::~JsonWriter()
+{
+    // A destructor must not throw; an unbalanced writer is a
+    // programming error that the nearest test will surface through
+    // the malformed document instead.
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (!stack_.empty() && stack_.back() == Frame::Object && !keyPending_)
+        panic("JSON writer: value inside an object needs a key");
+    if (!stack_.empty() && stack_.back() == Frame::Array
+        && !firstInFrame_) {
+        os_ << ',';
+    }
+    firstInFrame_ = false;
+    keyPending_ = false;
+}
+
+void
+JsonWriter::prepareKey()
+{
+    if (stack_.empty() || stack_.back() != Frame::Object)
+        panic("JSON writer: key outside an object");
+    if (keyPending_)
+        panic("JSON writer: two keys in a row");
+    if (!firstInFrame_)
+        os_ << ',';
+    firstInFrame_ = false;
+    keyPending_ = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    stack_.push_back(Frame::Object);
+    firstInFrame_ = true;
+    os_ << '{';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::Object)
+        panic("JSON writer: endObject without beginObject");
+    if (keyPending_)
+        panic("JSON writer: object closed with a dangling key");
+    stack_.pop_back();
+    firstInFrame_ = false;
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    stack_.push_back(Frame::Array);
+    firstInFrame_ = true;
+    os_ << '[';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::Array)
+        panic("JSON writer: endArray without beginArray");
+    stack_.pop_back();
+    firstInFrame_ = false;
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    prepareKey();
+    os_ << '"' << jsonEscape(name) << "\":";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    prepareValue();
+    os_ << '"' << jsonEscape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    prepareValue();
+    if (!std::isfinite(number)) {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        os_ << "null";
+        return *this;
+    }
+    // Shortest round-trip representation, locale-independent.
+    std::array<char, 32> buf{};
+    const auto res =
+        std::to_chars(buf.data(), buf.data() + buf.size(), number);
+    os_.write(buf.data(), res.ptr - buf.data());
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long number)
+{
+    prepareValue();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    prepareValue();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<long>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    prepareValue();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    prepareValue();
+    os_ << "null";
+    return *this;
+}
+
+} // namespace atmsim::util

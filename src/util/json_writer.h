@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The observability layer emits three machine-readable artifacts --
+ * metric snapshots, Chrome-trace event streams, and run-provenance
+ * manifests -- and all three need correct string escaping and stable
+ * number formatting without pulling in an external JSON dependency.
+ * The writer is a thin state machine over an std::ostream: callers
+ * open objects/arrays, emit keys and values, and the writer inserts
+ * commas; nesting errors are caught with util::panic in debug-style
+ * fashion rather than producing silently malformed output.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atmsim::util {
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+std::string jsonEscape(std::string_view text);
+
+/** Streaming JSON emitter with comma/nesting bookkeeping. */
+class JsonWriter
+{
+  public:
+    /** @param os Destination stream (not owned). */
+    explicit JsonWriter(std::ostream &os);
+
+    /** All containers opened must be closed before destruction. */
+    ~JsonWriter();
+
+    // --- Containers ----------------------------------------------------
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a key inside an object; the next value binds to it. */
+    JsonWriter &key(std::string_view name);
+
+    // --- Values --------------------------------------------------------
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(long number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+    JsonWriter &nullValue();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Depth of currently open containers. */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    enum class Frame { Object, Array };
+
+    /** Emit separators/indentation before a key or value. */
+    void prepareValue();
+    void prepareKey();
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool firstInFrame_ = true;
+    bool keyPending_ = false;
+};
+
+} // namespace atmsim::util

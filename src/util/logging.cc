@@ -1,14 +1,21 @@
 #include "util/logging.h"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <unordered_set>
 
 namespace atmsim::util {
 
 namespace {
 
 LogLevel g_level = LogLevel::Warn;
+LogSink *g_sink = nullptr;
+std::string g_context;
 std::mutex g_mutex;
+std::unordered_set<std::string> g_warned_keys;
 
 const char *
 levelTag(LogLevel level)
@@ -20,6 +27,28 @@ levelTag(LogLevel level)
       case LogLevel::Error: return "error";
     }
     return "?";
+}
+
+/** UTC wall-clock timestamp for the default stderr sink. */
+std::string
+wallTimestamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto millis =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count()
+        % 1000;
+    std::tm tm_utc{};
+    gmtime_r(&secs, &tm_utc);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1,
+                  tm_utc.tm_mday, tm_utc.tm_hour, tm_utc.tm_min,
+                  tm_utc.tm_sec, static_cast<int>(millis));
+    return buf;
 }
 
 } // namespace
@@ -37,12 +66,55 @@ logLevel()
 }
 
 void
+setLogSink(LogSink *sink)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_sink = sink;
+}
+
+void
+setLogContext(const std::string &context)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_context = context;
+}
+
+std::string
+logContext()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_context;
+}
+
+void
 logMessage(LogLevel level, const std::string &msg)
 {
     if (level < g_level)
         return;
     std::lock_guard<std::mutex> lock(g_mutex);
-    std::cerr << "[" << levelTag(level) << "] " << msg << "\n";
+    if (g_sink) {
+        g_sink->write(level, msg);
+        return;
+    }
+    std::cerr << "[" << levelTag(level) << " " << wallTimestamp()
+              << "] ";
+    if (!g_context.empty())
+        std::cerr << g_context << " | ";
+    std::cerr << msg << "\n";
+}
+
+bool
+warnOnceArm(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_warned_keys.insert(key).second;
+}
+
+void
+resetWarnOnce()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_warned_keys.clear();
 }
 
 void

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace atmsim::util {
 
@@ -42,6 +43,75 @@ LogLevel logLevel();
  * @param msg Preformatted message body.
  */
 void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * Pluggable log destination. The default sink writes timestamped
+ * lines to stderr; tests install a CaptureLogSink to assert on
+ * emitted warnings without scraping process output.
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+
+    /**
+     * Receive one record that passed the level filter.
+     *
+     * @param level Severity of the record.
+     * @param msg Message body (no level tag, no timestamp).
+     */
+    virtual void write(LogLevel level, const std::string &msg) = 0;
+};
+
+/**
+ * Install a sink (not owned; must outlive its installation). Pass
+ * nullptr to restore the default timestamped-stderr sink.
+ */
+void setLogSink(LogSink *sink);
+
+/**
+ * Attach a run-context string (e.g. a bench run id or seed) that the
+ * default sink prepends to every line, so interleaved campaign logs
+ * stay attributable. Empty clears the context.
+ */
+void setLogContext(const std::string &context);
+
+/** Currently attached run context. */
+std::string logContext();
+
+/** Sink that buffers records in memory (for tests). */
+class CaptureLogSink : public LogSink
+{
+  public:
+    struct Record
+    {
+        LogLevel level;
+        std::string msg;
+    };
+
+    void write(LogLevel level, const std::string &msg) override
+    {
+        records_.push_back({level, msg});
+    }
+
+    const std::vector<Record> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+    /** Number of buffered records containing a substring. */
+    std::size_t
+    countContaining(const std::string &needle) const
+    {
+        std::size_t hits = 0;
+        for (const Record &rec : records_) {
+            if (rec.msg.find(needle) != std::string::npos)
+                ++hits;
+        }
+        return hits;
+    }
+
+  private:
+    std::vector<Record> records_;
+};
 
 namespace detail {
 
@@ -83,6 +153,94 @@ warn(const Args &...args)
 {
     logMessage(LogLevel::Warn, detail::concat(args...));
 }
+
+/** warnOnce implementation helper: true the first time a key is seen. */
+bool warnOnceArm(const std::string &key);
+
+/** Forget all warnOnce keys (tests). */
+void resetWarnOnce();
+
+/**
+ * Emit a warning at most once per unique key for the process
+ * lifetime. Use for conditions that would otherwise print once per
+ * step or per run in a large campaign.
+ *
+ * @param key Dedup key (conventionally "subsystem.condition").
+ */
+template <typename... Args>
+void
+warnOnce(const std::string &key, const Args &...args)
+{
+    if (warnOnceArm(key))
+        logMessage(LogLevel::Warn, detail::concat(args...));
+}
+
+/**
+ * Rate-limited warning channel for per-step conditions inside hot
+ * loops: the first `limit` calls emit normally, everything after is
+ * counted instead of printed, and flush() reports the suppressed
+ * total. Cheap enough to live in an engine run (one branch and an
+ * increment once the limit is hit).
+ */
+class WarnThrottle
+{
+  public:
+    /**
+     * @param tag Prefix identifying the channel in emitted lines.
+     * @param limit Warnings emitted before suppression starts.
+     */
+    explicit WarnThrottle(std::string tag, long limit = 5)
+        : tag_(std::move(tag)), limit_(limit)
+    {
+    }
+
+    /** Flushes on destruction so no suppression count is lost. */
+    ~WarnThrottle() { flush(); }
+
+    WarnThrottle(const WarnThrottle &) = delete;
+    WarnThrottle &operator=(const WarnThrottle &) = delete;
+
+    template <typename... Args>
+    void
+    warn(const Args &...args)
+    {
+        ++total_;
+        if (total_ > limit_)
+            return;
+        logMessage(LogLevel::Warn,
+                   tag_ + ": " + detail::concat(args...)
+                       + (total_ == limit_
+                              ? " (limit reached; further occurrences"
+                                " counted silently)"
+                              : ""));
+    }
+
+    /** Calls made so far (emitted + suppressed). */
+    long total() const { return total_; }
+
+    /** Calls suppressed beyond the limit. */
+    long suppressed() const
+    {
+        return total_ > limit_ ? total_ - limit_ : 0;
+    }
+
+    /** Report and reset the suppressed count, if any. */
+    void
+    flush()
+    {
+        if (suppressed() > 0) {
+            logMessage(LogLevel::Warn,
+                       tag_ + ": " + detail::concat(suppressed())
+                           + " further occurrence(s) suppressed");
+        }
+        total_ = 0;
+    }
+
+  private:
+    std::string tag_;
+    long limit_;
+    long total_ = 0;
+};
 
 /** Terminate: implementation helpers (throw so tests can observe). */
 [[noreturn]] void fatalImpl(const std::string &msg);

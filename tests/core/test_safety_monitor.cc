@@ -35,6 +35,13 @@ class SafetyMonitorTest : public ::testing::Test
         return ev;
     }
 
+    /** Drive one observer sample; the monitor reads the chip, so an
+     *  empty frame suffices. */
+    static void sample(SafetyMonitor &monitor, double t_ns)
+    {
+        monitor.onSample(util::Nanoseconds{t_ns}, {});
+    }
+
     chip::Chip chip_;
     std::vector<int> targets_;
 };
@@ -88,7 +95,7 @@ TEST_F(SafetyMonitorTest, HealthyCoresRaiseNoAnomalies)
 {
     SafetyMonitor monitor(&chip_, targets_);
     for (int s = 1; s <= 10; ++s)
-        monitor.onSample(s * 100.0);
+        sample(monitor, s * 100.0);
     EXPECT_EQ(monitor.counters().anomalies, 0);
     EXPECT_EQ(monitor.counters().quarantines, 0);
     for (int c = 0; c < chip_.coreCount(); ++c)
@@ -108,22 +115,22 @@ TEST_F(SafetyMonitorTest, StagedReentryRestoresFineTunedLimits)
     monitor.onViolation(violation(core, 0.0));
     EXPECT_EQ(chip_.core(core).cpmReduction().value(), 0);
 
-    monitor.onSample(900.0); // backoff not yet expired
+    sample(monitor, 900.0); // backoff not yet expired
     EXPECT_EQ(monitor.state(core), CoreSafetyState::Quarantined);
 
     // Backoff expiry starts re-entry: one CPM step per stage.
     double now = 1000.0;
-    monitor.onSample(now);
+    sample(monitor, now);
     EXPECT_EQ(monitor.state(core), CoreSafetyState::Reentry);
     EXPECT_EQ(chip_.core(core).cpmReduction().value(), 1);
     for (int step = 2; step <= targets_[core]; ++step) {
         now += 500.0;
-        monitor.onSample(now);
+        sample(monitor, now);
         EXPECT_EQ(chip_.core(core).cpmReduction().value(), step);
     }
     // One full stage at the target, then the core is deployed again.
     now += 500.0;
-    monitor.onSample(now);
+    sample(monitor, now);
     EXPECT_EQ(monitor.state(core), CoreSafetyState::Deployed);
     EXPECT_EQ(chip_.core(core).cpmReduction().value(), targets_[core]);
     EXPECT_EQ(monitor.counters().recoveries, 1);
@@ -143,9 +150,9 @@ TEST_F(SafetyMonitorTest, FallbackProbesAfterBackoff)
     EXPECT_EQ(monitor.state(1), CoreSafetyState::Fallback);
 
     // Doubled backoff: 2 us from the escalation.
-    monitor.onSample(2000.0);
+    sample(monitor, 2000.0);
     EXPECT_EQ(monitor.state(1), CoreSafetyState::Fallback);
-    monitor.onSample(2100.0);
+    sample(monitor, 2100.0);
     EXPECT_EQ(monitor.state(1), CoreSafetyState::Quarantined);
     EXPECT_EQ(chip_.core(1).mode(), chip::CoreMode::AtmOverclock);
     EXPECT_EQ(chip_.core(1).cpmReduction().value(), 0);
@@ -157,7 +164,7 @@ TEST_F(SafetyMonitorTest, StuckSensorCaughtWithoutAViolation)
     chip_.core(1).cpmBank().injectStuckOutput(2, 9);
     const int window = monitor.config().stuckSampleWindow;
     for (int s = 1; s <= window; ++s)
-        monitor.onSample(s * 100.0);
+        sample(monitor, s * 100.0);
     EXPECT_GE(monitor.counters().anomalies, 1);
     EXPECT_EQ(monitor.state(1), CoreSafetyState::Quarantined);
     EXPECT_EQ(monitor.counters().quarantines, 1);
@@ -169,7 +176,7 @@ TEST_F(SafetyMonitorTest, FinishMergesCountersAndDegradedTime)
     SafetyMonitor monitor(&chip_, targets_);
     monitor.onViolation(violation(0, 1000.0));
     sim::SafetyCounters counters;
-    monitor.finish(5000.0, counters);
+    monitor.finish(util::Nanoseconds{5000.0}, counters);
     EXPECT_EQ(counters.quarantines, 1);
     EXPECT_DOUBLE_EQ(counters.degradedTimeNs, 4000.0);
 }

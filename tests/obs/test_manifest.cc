@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/manifest.h"
+
+namespace atmsim::obs {
+namespace {
+
+TEST(RunManifest, StepsPerSecGuardsAgainstUnmeasuredRuns)
+{
+    RunManifest m;
+    EXPECT_DOUBLE_EQ(m.stepsPerSec(), 0.0);
+    m.engineSteps = 1000;
+    EXPECT_DOUBLE_EQ(m.stepsPerSec(), 0.0);
+    m.engineWallSeconds = 0.5;
+    EXPECT_DOUBLE_EQ(m.stepsPerSec(), 2000.0);
+}
+
+TEST(RunManifest, SetCounterOverwrites)
+{
+    RunManifest m;
+    m.setCounter("runs", 1.0);
+    m.setCounter("runs", 2.0);
+    m.setCounter("other", 3.0);
+    ASSERT_EQ(m.counters.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.counters[0].second, 2.0);
+}
+
+TEST(RunManifest, JsonCarriesSchemaAndProvenance)
+{
+    RunManifest m;
+    m.tool = "fig11_stress_test";
+    m.chip = "P0";
+    m.seed = 7;
+    m.args = {"--seed", "7"};
+    m.faultCampaign = "cpm-stuck:core=2";
+    m.config.emplace_back("sim.dt_ns", "0.2");
+    m.engineRuns = 1;
+    m.engineSteps = 60000;
+    m.engineWallSeconds = 0.5;
+    m.engineSimNs = 12000.0;
+    m.phases.push_back({"engine.atm_loop", 1e6, 60000});
+    m.setCounter("safety.quarantines", 1.0);
+
+    std::ostringstream os;
+    m.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find(kManifestSchema), std::string::npos);
+    EXPECT_NE(out.find("\"tool\":\"fig11_stress_test\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"seed\":7"), std::string::npos);
+    EXPECT_NE(out.find("\"fault_campaign\":\"cpm-stuck:core=2\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"sim.dt_ns\":\"0.2\""), std::string::npos);
+    EXPECT_NE(out.find("\"steps_per_sec\":120000"), std::string::npos);
+    EXPECT_NE(out.find("\"engine.atm_loop\""), std::string::npos);
+    EXPECT_NE(out.find("\"safety.quarantines\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"metrics\":{"), std::string::npos);
+}
+
+TEST(RunManifest, EmptyChipAndCampaignSerializeAsNull)
+{
+    RunManifest m;
+    m.tool = "tool";
+    std::ostringstream os;
+    m.writeJson(os);
+    EXPECT_NE(os.str().find("\"chip\":null"), std::string::npos);
+    EXPECT_NE(os.str().find("\"fault_campaign\":null"),
+              std::string::npos);
+}
+
+TEST(RunManifest, MetricsSnapshotIsEmbedded)
+{
+    MetricsRegistry reg;
+    reg.counter("engine.steps").inc(5);
+    RunManifest m;
+    m.tool = "tool";
+    m.metrics = reg.snapshot();
+    std::ostringstream os;
+    m.writeJson(os);
+    EXPECT_NE(os.str().find("\"engine.steps\":{\"kind\":\"counter\","
+                            "\"value\":5}"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace atmsim::obs

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace atmsim::obs {
+namespace {
+
+TEST(TraceCollector, TracksAreFoundOrCreated)
+{
+    TraceCollector trace;
+    const int a = trace.track("engine");
+    const int b = trace.track("safety_monitor");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(trace.track("engine"), a);
+}
+
+TEST(TraceCollector, BuffersCompleteAndInstantEvents)
+{
+    TraceCollector trace;
+    const int t = trace.track("engine");
+    trace.complete("phase", t, 1.0, 2.5, 100.0, 3);
+    trace.instant("violation", t, 200.0);
+    ASSERT_EQ(trace.events().size(), 2u);
+    const TraceEvent &ev = trace.events()[0];
+    EXPECT_STREQ(ev.name, "phase");
+    EXPECT_EQ(ev.phase, 'X');
+    EXPECT_EQ(ev.track, t);
+    EXPECT_DOUBLE_EQ(ev.tsUs, 1.0);
+    EXPECT_DOUBLE_EQ(ev.durUs, 2.5);
+    EXPECT_DOUBLE_EQ(ev.simNs, 100.0);
+    EXPECT_EQ(ev.arg, 3);
+    EXPECT_EQ(trace.events()[1].phase, 'i');
+}
+
+TEST(TraceCollector, EventCapCountsDrops)
+{
+    TraceCollector trace(2);
+    trace.instant("a", 0);
+    trace.instant("b", 0);
+    trace.instant("c", 0);
+    trace.instant("d", 0);
+    EXPECT_EQ(trace.events().size(), 2u);
+    EXPECT_EQ(trace.droppedEvents(), 2u);
+}
+
+TEST(TraceCollector, WritesChromeTraceJson)
+{
+    TraceCollector trace;
+    const int t = trace.track("engine");
+    trace.complete("engine.atm_loop", t, 0.0, 1.0, 42.0);
+    std::ostringstream os;
+    trace.writeChromeTrace(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"engine.atm_loop\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    // Track metadata names the swimlane for Perfetto.
+    EXPECT_NE(out.find("thread_name"), std::string::npos);
+    EXPECT_NE(out.find("\"engine\""), std::string::npos);
+}
+
+TEST(TraceCollector, ClearDropsEventsKeepsTracks)
+{
+    TraceCollector trace;
+    const int t = trace.track("engine");
+    trace.instant("x", t);
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+    EXPECT_EQ(trace.track("engine"), t);
+}
+
+TEST(ScopedSpan, EmitsOneCompleteEvent)
+{
+    TraceCollector trace;
+    const int t = trace.track("engine");
+    {
+        ScopedSpan span(&trace, "scope", t, 7.0);
+    }
+    ASSERT_EQ(trace.events().size(), 1u);
+    EXPECT_STREQ(trace.events()[0].name, "scope");
+    EXPECT_EQ(trace.events()[0].phase, 'X');
+    EXPECT_DOUBLE_EQ(trace.events()[0].simNs, 7.0);
+    EXPECT_GE(trace.events()[0].durUs, 0.0);
+}
+
+TEST(ScopedSpan, NullCollectorIsSafe)
+{
+    ScopedSpan span(nullptr, "scope", 0);
+}
+
+TEST(MonotonicWallNs, Advances)
+{
+    const double a = monotonicWallNs();
+    const double b = monotonicWallNs();
+    EXPECT_GE(b, a);
+}
+
+} // namespace
+} // namespace atmsim::obs

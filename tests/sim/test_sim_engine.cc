@@ -100,13 +100,47 @@ TEST_F(SimEngineTest, DidtEventsEngageTheLoop)
     EXPECT_FALSE(result.failed()) << "reduction 0 must be safe";
 }
 
-TEST_F(SimEngineTest, ProbeObservesSamples)
+class CountingObserver : public EngineObserver
+{
+  public:
+    void
+    onSample(util::Nanoseconds,
+             const std::vector<CoreSample> &cores) override
+    {
+        ++frames;
+        coreSamples += static_cast<long>(cores.size());
+    }
+
+    long frames = 0;
+    long coreSamples = 0;
+};
+
+TEST_F(SimEngineTest, ObserverReceivesSampleFrames)
 {
     SimEngine engine(&chip_);
-    int samples = 0;
-    engine.setProbe([&](double, int, double, double) { ++samples; });
+    CountingObserver counting;
+    engine.addObserver(&counting);
     engine.run(0.5);
-    EXPECT_GT(samples, 100);
+    EXPECT_GT(counting.frames, 100);
+    EXPECT_EQ(counting.coreSamples,
+              counting.frames * chip_.coreCount());
+}
+
+TEST_F(SimEngineTest, MultipleObserversAllDispatched)
+{
+    SimEngine engine(&chip_);
+    CountingObserver first, second;
+    engine.addObserver(&first);
+    engine.addObserver(&second);
+    engine.run(0.5);
+    EXPECT_GT(first.frames, 0);
+    EXPECT_EQ(first.frames, second.frames);
+
+    // setObserver replaces the whole set.
+    CountingObserver third;
+    engine.setObserver(&third);
+    ASSERT_EQ(engine.observers().size(), 1u);
+    EXPECT_EQ(engine.observers().front(), &third);
 }
 
 TEST_F(SimEngineTest, DeterministicAcrossRuns)

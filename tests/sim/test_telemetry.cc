@@ -11,37 +11,41 @@
 namespace atmsim::sim {
 namespace {
 
+using util::Mhz;
+using util::Nanoseconds;
+using util::Volts;
+
 TEST(Telemetry, RecordsAndRetrieves)
 {
     TelemetryRecorder rec(2);
-    rec.record(0.0, 0, 4600.0, 1.25);
-    rec.record(1.0, 0, 4610.0, 1.24);
-    rec.record(0.5, 1, 4700.0, 1.23);
+    rec.record(Nanoseconds{0.0}, 0, Mhz{4600.0}, Volts{1.25});
+    rec.record(Nanoseconds{1.0}, 0, Mhz{4610.0}, Volts{1.24});
+    rec.record(Nanoseconds{0.5}, 1, Mhz{4700.0}, Volts{1.23});
     EXPECT_EQ(rec.series(0).size(), 2u);
     EXPECT_EQ(rec.series(1).size(), 1u);
     EXPECT_EQ(rec.totalSamples(), 3u);
-    EXPECT_DOUBLE_EQ(rec.series(0)[1].freqMhz, 4610.0);
-    EXPECT_DOUBLE_EQ(rec.series(1)[0].voltageV, 1.23);
+    EXPECT_DOUBLE_EQ(rec.series(0)[1].freqMhz.value(), 4610.0);
+    EXPECT_DOUBLE_EQ(rec.series(1)[0].voltageV.value(), 1.23);
 }
 
 TEST(Telemetry, DownsamplingKeepsSpacing)
 {
     TelemetryRecorder rec(1, 10.0);
     for (double t = 0.0; t < 100.0; t += 1.0)
-        rec.record(t, 0, 4600.0, 1.25);
+        rec.record(Nanoseconds{t}, 0, Mhz{4600.0}, Volts{1.25});
     EXPECT_EQ(rec.series(0).size(), 10u);
     for (std::size_t i = 1; i < rec.series(0).size(); ++i) {
-        EXPECT_GE(rec.series(0)[i].timeNs
-                  - rec.series(0)[i - 1].timeNs, 10.0 - 1e-9);
+        EXPECT_GE(rec.series(0)[i].timeNs.value()
+                  - rec.series(0)[i - 1].timeNs.value(), 10.0 - 1e-9);
     }
 }
 
 TEST(Telemetry, WindowAverage)
 {
     TelemetryRecorder rec(1);
-    rec.record(0.0, 0, 4000.0, 1.25);
-    rec.record(10.0, 0, 5000.0, 1.25);
-    rec.record(20.0, 0, 5000.0, 1.25);
+    rec.record(Nanoseconds{0.0}, 0, Mhz{4000.0}, Volts{1.25});
+    rec.record(Nanoseconds{10.0}, 0, Mhz{5000.0}, Volts{1.25});
+    rec.record(Nanoseconds{20.0}, 0, Mhz{5000.0}, Volts{1.25});
     // Window covering the last two samples only.
     EXPECT_DOUBLE_EQ(rec.windowAvgFreqMhz(0, 10.0), 5000.0);
     // Window covering everything.
@@ -51,8 +55,8 @@ TEST(Telemetry, WindowAverage)
 TEST(Telemetry, CsvExportShape)
 {
     TelemetryRecorder rec(2);
-    rec.record(0.0, 0, 4600.0, 1.25);
-    rec.record(0.0, 1, 4700.0, 1.24);
+    rec.record(Nanoseconds{0.0}, 0, Mhz{4600.0}, Volts{1.25});
+    rec.record(Nanoseconds{0.0}, 1, Mhz{4700.0}, Volts{1.24});
     std::ostringstream os;
     rec.writeCsv(os);
     const std::string out = os.str();
@@ -64,11 +68,11 @@ TEST(Telemetry, CsvExportShape)
 TEST(Telemetry, ClearResets)
 {
     TelemetryRecorder rec(1, 5.0);
-    rec.record(0.0, 0, 4600.0, 1.25);
+    rec.record(Nanoseconds{0.0}, 0, Mhz{4600.0}, Volts{1.25});
     rec.clear();
     EXPECT_EQ(rec.totalSamples(), 0u);
     // After clear, a sample at t=0 is kept again.
-    rec.record(0.0, 0, 4600.0, 1.25);
+    rec.record(Nanoseconds{0.0}, 0, Mhz{4600.0}, Volts{1.25});
     EXPECT_EQ(rec.totalSamples(), 1u);
 }
 
@@ -77,19 +81,30 @@ TEST(Telemetry, Validation)
     EXPECT_THROW(TelemetryRecorder(0), util::FatalError);
     EXPECT_THROW(TelemetryRecorder(1, -1.0), util::FatalError);
     TelemetryRecorder rec(1);
-    EXPECT_THROW(rec.record(0.0, 5, 1.0, 1.0), util::FatalError);
+    EXPECT_THROW(rec.record(Nanoseconds{0.0}, 5, Mhz{1.0},
+                            Volts{1.0}),
+                 util::FatalError);
     EXPECT_THROW(rec.series(5), util::FatalError);
     EXPECT_THROW(rec.windowAvgFreqMhz(0, 1.0), util::FatalError);
 }
 
-TEST(Telemetry, IntegratesWithEngineProbe)
+TEST(Telemetry, ObserverFrameSmallerThanRecorderIsTolerated)
+{
+    TelemetryRecorder rec(4);
+    std::vector<CoreSample> frame(2);
+    frame[0] = {Mhz{4600.0}, Volts{1.25}, false};
+    frame[1] = {Mhz{4500.0}, Volts{1.24}, false};
+    rec.onSample(Nanoseconds{1.0}, frame);
+    EXPECT_EQ(rec.totalSamples(), 2u);
+    EXPECT_TRUE(rec.series(2).empty());
+}
+
+TEST(Telemetry, IntegratesWithEngineObserver)
 {
     chip::Chip chip(variation::makeReferenceChip(0));
     TelemetryRecorder rec(chip.coreCount(), 2.0);
     SimEngine engine(&chip);
-    engine.setProbe([&](double t, int c, double f, double v) {
-        rec.record(t, c, f, v);
-    });
+    engine.addObserver(&rec);
     engine.run(1.0);
     EXPECT_GT(rec.totalSamples(), 100u);
     // The recorded frequency matches the run's scale.

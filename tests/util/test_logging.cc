@@ -43,5 +43,91 @@ TEST(Logging, InformAndWarnDoNotThrow)
     setLogLevel(before);
 }
 
+/** Installs a capture sink for the test body, restores on exit. */
+class LogSinkTest : public ::testing::Test
+{
+  protected:
+    LogSinkTest() { setLogSink(&capture_); }
+
+    ~LogSinkTest() override
+    {
+        setLogSink(nullptr);
+        setLogContext("");
+        resetWarnOnce();
+    }
+
+    CaptureLogSink capture_;
+};
+
+TEST_F(LogSinkTest, CaptureSinkReceivesRecords)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Info);
+    warn("grid sagged to ", 0.55, " V");
+    inform("run complete");
+    setLogLevel(before);
+    ASSERT_EQ(capture_.records().size(), 2u);
+    EXPECT_EQ(capture_.records()[0].level, LogLevel::Warn);
+    EXPECT_EQ(capture_.records()[0].msg, "grid sagged to 0.55 V");
+    EXPECT_EQ(capture_.countContaining("grid"), 1u);
+    capture_.clear();
+    EXPECT_TRUE(capture_.records().empty());
+}
+
+TEST_F(LogSinkTest, LevelFilterAppliesBeforeTheSink)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    warn("filtered out");
+    EXPECT_TRUE(capture_.records().empty());
+    setLogLevel(before);
+}
+
+TEST_F(LogSinkTest, ContextRoundTrips)
+{
+    setLogContext("fig11 seed=7");
+    EXPECT_EQ(logContext(), "fig11 seed=7");
+    setLogContext("");
+    EXPECT_EQ(logContext(), "");
+}
+
+TEST_F(LogSinkTest, WarnOnceDeduplicatesByKey)
+{
+    warnOnce("engine.grid", "first");
+    warnOnce("engine.grid", "second");
+    warnOnce("engine.other", "third");
+    EXPECT_EQ(capture_.records().size(), 2u);
+    resetWarnOnce();
+    warnOnce("engine.grid", "after reset");
+    EXPECT_EQ(capture_.records().size(), 3u);
+}
+
+TEST_F(LogSinkTest, WarnThrottleSuppressesBeyondLimit)
+{
+    {
+        WarnThrottle throttle("engine.grid", 2);
+        for (int i = 0; i < 5; ++i)
+            throttle.warn("sag at step ", i);
+        EXPECT_EQ(throttle.total(), 5);
+        EXPECT_EQ(throttle.suppressed(), 3);
+        // Two emitted, the second tagged with the limit notice.
+        EXPECT_EQ(capture_.records().size(), 2u);
+        EXPECT_EQ(capture_.countContaining("limit reached"), 1u);
+    }
+    // Destructor flushed the suppressed total.
+    EXPECT_EQ(capture_.countContaining("3 further occurrence"), 1u);
+}
+
+TEST_F(LogSinkTest, WarnThrottleFlushResetsTheWindow)
+{
+    WarnThrottle throttle("tag", 1);
+    throttle.warn("a");
+    throttle.warn("b");
+    throttle.flush();
+    EXPECT_EQ(throttle.total(), 0);
+    throttle.warn("c"); // emitted again after the flush
+    EXPECT_EQ(capture_.countContaining("tag: c"), 1u);
+}
+
 } // namespace
 } // namespace atmsim::util

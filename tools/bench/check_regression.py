@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate engine throughput against a reference manifest.
+
+Compares the `engine.steps_per_sec` of a freshly generated run
+manifest against a checked-in reference (tools/bench/
+reference_manifest.json by default) and fails when throughput
+regressed by more than the threshold (default 30%, the slack needed
+to absorb CI-runner hardware variance). Speedups and small
+regressions pass; an absent or zero reference only warns so the gate
+cannot brick a tree whose reference predates the engine totals.
+
+Usage: check_regression.py <new-manifest.json>
+           [--reference <path>] [--threshold <fraction>]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def steps_per_sec(path: str) -> float:
+    with open(path, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    return float(manifest["engine"]["steps_per_sec"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="steps/sec regression gate")
+    parser.add_argument("manifest", help="freshly generated manifest")
+    parser.add_argument(
+        "--reference",
+        default="tools/bench/reference_manifest.json",
+        help="checked-in reference manifest",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional regression (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    current = steps_per_sec(args.manifest)
+    if current <= 0:
+        print(
+            "check_regression: manifest reports no engine throughput "
+            "(did the harness run the engine?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        reference = steps_per_sec(args.reference)
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        print(
+            f"check_regression: no usable reference "
+            f"({args.reference}: {err}); skipping gate",
+            file=sys.stderr,
+        )
+        return 0
+    if reference <= 0:
+        print(
+            "check_regression: reference has no engine throughput; "
+            "skipping gate",
+            file=sys.stderr,
+        )
+        return 0
+
+    ratio = current / reference
+    print(
+        f"check_regression: {current:,.0f} steps/s vs reference "
+        f"{reference:,.0f} steps/s (x{ratio:.2f}, "
+        f"threshold x{1.0 - args.threshold:.2f})"
+    )
+    if ratio < 1.0 - args.threshold:
+        print(
+            f"check_regression: FAIL -- throughput regressed "
+            f"{(1.0 - ratio) * 100.0:.1f}% "
+            f"(limit {args.threshold * 100.0:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

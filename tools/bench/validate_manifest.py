@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate an atmsim run-provenance manifest.
+
+Structural validation of the `atmsim-run-manifest-v1` schema written
+by obs::RunManifest::writeJson (documented in docs/OBSERVABILITY.md):
+required keys, value types, and internal consistency (phase entries,
+metric snapshot entries, counter values). Pure stdlib so it runs in
+CI without extra packages.
+
+Usage: validate_manifest.py <manifest.json> [...]
+Exit status is nonzero when any manifest fails validation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = "atmsim-run-manifest-v1"
+
+NUMBER = (int, float)
+
+
+class ValidationError(Exception):
+    pass
+
+
+def require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValidationError(message)
+
+
+def check_type(obj: dict, key: str, types, allow_none: bool = False):
+    require(key in obj, f"missing required key '{key}'")
+    value = obj[key]
+    if value is None and allow_none:
+        return value
+    require(
+        isinstance(value, types) and not isinstance(value, bool),
+        f"key '{key}' has type {type(value).__name__}, "
+        f"expected {types}",
+    )
+    return value
+
+
+def validate_phase(phase: dict, where: str) -> None:
+    require(isinstance(phase, dict), f"{where}: phase is not an object")
+    name = check_type(phase, "name", str)
+    require(name != "", f"{where}: empty phase name")
+    wall_ns = check_type(phase, "wall_ns", NUMBER)
+    require(wall_ns >= 0, f"{where}: negative wall_ns")
+    calls = check_type(phase, "calls", int)
+    require(calls >= 0, f"{where}: negative calls")
+
+
+def validate_metric(name: str, entry: dict) -> None:
+    require(isinstance(entry, dict), f"metric '{name}' is not an object")
+    kind = check_type(entry, "kind", str)
+    require(
+        kind in ("counter", "gauge", "histogram"),
+        f"metric '{name}' has unknown kind '{kind}'",
+    )
+    require("value" in entry, f"metric '{name}' has no value")
+    value = entry["value"]
+    if kind == "counter":
+        require(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"counter '{name}' value is not an integer",
+        )
+    elif kind == "gauge":
+        require(
+            isinstance(value, NUMBER) and not isinstance(value, bool),
+            f"gauge '{name}' value is not a number",
+        )
+    else:
+        require(
+            isinstance(value, dict),
+            f"histogram '{name}' value is not an object",
+        )
+        for key in ("count", "sum", "mean", "min", "max", "underflow",
+                    "overflow"):
+            check_type(value, key, NUMBER)
+        buckets = check_type(value, "buckets", list)
+        binned = 0
+        for i, bucket in enumerate(buckets):
+            where = f"histogram '{name}' bucket {i}"
+            require(isinstance(bucket, dict), f"{where}: not an object")
+            lo = check_type(bucket, "lo", NUMBER)
+            hi = check_type(bucket, "hi", NUMBER)
+            require(hi > lo, f"{where}: edges not ascending")
+            hits = check_type(bucket, "hits", int)
+            require(hits >= 0, f"{where}: negative hits")
+            binned += hits
+        total = binned + value["underflow"] + value["overflow"]
+        require(
+            total == value["count"],
+            f"histogram '{name}': bucket hits + under/overflow "
+            f"({total}) != count ({value['count']})",
+        )
+
+
+def validate_manifest(manifest: dict) -> None:
+    require(isinstance(manifest, dict), "manifest is not a JSON object")
+    schema = check_type(manifest, "schema", str)
+    require(
+        schema == SCHEMA,
+        f"schema is '{schema}', expected '{SCHEMA}'",
+    )
+    tool = check_type(manifest, "tool", str)
+    require(tool != "", "empty tool name")
+    check_type(manifest, "chip", str, allow_none=True)
+    seed = check_type(manifest, "seed", int)
+    require(seed >= 0, "negative seed")
+
+    args = check_type(manifest, "args", list)
+    require(
+        all(isinstance(a, str) for a in args),
+        "args contains non-string entries",
+    )
+    check_type(manifest, "fault_campaign", str, allow_none=True)
+
+    config = check_type(manifest, "config", dict)
+    require(
+        all(isinstance(v, str) for v in config.values()),
+        "config contains non-string values",
+    )
+    check_type(manifest, "build", dict)
+    wall = check_type(manifest, "wall_seconds", NUMBER)
+    require(wall >= 0, "negative wall_seconds")
+
+    engine = check_type(manifest, "engine", dict)
+    runs = check_type(engine, "runs", int)
+    steps = check_type(engine, "steps", int)
+    require(runs >= 0 and steps >= 0, "negative engine totals")
+    check_type(engine, "wall_seconds", NUMBER)
+    check_type(engine, "sim_ns", NUMBER)
+    check_type(engine, "steps_per_sec", NUMBER)
+    phases = check_type(engine, "phases", list)
+    for i, phase in enumerate(phases):
+        validate_phase(phase, f"engine.phases[{i}]")
+    if runs > 0:
+        require(steps > 0, "engine ran but advanced no steps")
+
+    counters = check_type(manifest, "counters", dict)
+    for name, value in counters.items():
+        require(
+            isinstance(value, NUMBER) and not isinstance(value, bool),
+            f"counter '{name}' is not a number",
+        )
+
+    metrics = check_type(manifest, "metrics", dict)
+    for name, entry in metrics.items():
+        validate_metric(name, entry)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            validate_manifest(manifest)
+        except (OSError, json.JSONDecodeError, ValidationError) as err:
+            print(f"validate_manifest: {path}: {err}", file=sys.stderr)
+            status = 1
+            continue
+        engine = manifest["engine"]
+        print(
+            f"validate_manifest: {path}: OK "
+            f"(tool={manifest['tool']}, runs={engine['runs']}, "
+            f"steps={engine['steps']}, "
+            f"metrics={len(manifest['metrics'])})"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
