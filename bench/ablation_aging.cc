@@ -43,6 +43,8 @@ main(int argc, char **argv)
         chip.core(0).setCpmReduction(util::CpmSteps{worst});
         const chip::ChipSteadyState st = chip.solveSteadyState();
         const double freq = st.coreFreqMhz[0].value();
+        // atmlint: allow(float-equality) -- matches the literal 0.0
+        // sweep point, not a computed value.
         if (years == 0.0)
             fresh_freq = freq;
 

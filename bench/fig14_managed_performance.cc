@@ -82,6 +82,8 @@ main(int raw_argc, char **raw_argv)
 
         int throttled = 0;
         for (double cap : r_bal.backgroundCapMhz) {
+            // atmlint: allow(float-equality) -- 0.0 is the exact
+            // "unthrottled" sentinel, never a computed frequency.
             if (cap != 0.0)
                 ++throttled;
         }

@@ -87,6 +87,8 @@ main(int argc, char **argv)
                   << background_name << " @ ";
         if (cap < 0.0)
             std::cout << "power-gated\n";
+        // atmlint: allow(float-equality) -- 0.0 is the exact
+        // "unthrottled" sentinel, never a computed frequency.
         else if (cap == 0.0)
             std::cout << "fine-tuned ATM (unthrottled)\n";
         else

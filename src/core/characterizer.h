@@ -50,7 +50,7 @@ struct LimitDistribution
     util::IntHistogram maxSafe;
 
     /** The scenario limit: the most conservative run's outcome. */
-    int limit() const;
+    [[nodiscard]] int limit() const;
 };
 
 /** Runs the Fig. 6 characterization methodology on one chip. */
@@ -105,7 +105,7 @@ class Characterizer
     /** Fig. 10: rollback matrix over the profiled apps. */
     RollbackMatrix rollbackMatrix(const LimitTable &table);
 
-    const CharacterizerConfig &config() const { return config_; }
+    [[nodiscard]] const CharacterizerConfig &config() const { return config_; }
 
     /**
      * Attach observability backends (none owned): trials tick

@@ -49,7 +49,7 @@ struct FittedCoreModel
      * droop: max of a + b*droop over all (a, b >= 0) satisfying every
      * probe interval.
      */
-    double requiredPeriodPs(double droop_mv) const;
+    [[nodiscard]] double requiredPeriodPs(double droop_mv) const;
 };
 
 /** Predicts per-<app, core> CPM limits from probe characterizations. */
@@ -64,7 +64,7 @@ class ConfigPredictor
      * @param target Chip (not owned).
      * @param probes Probe applications, any droop order.
      */
-    static ConfigPredictor fit(
+    [[nodiscard]] static ConfigPredictor fit(
         chip::Chip *target,
         const std::vector<const workload::WorkloadTraits *> &probes);
 
@@ -73,11 +73,13 @@ class ConfigPredictor
      * Guaranteed not to exceed the characterized limit (conservative
      * by construction).
      */
+    [[nodiscard]]
     int predictLimit(int core, const workload::WorkloadTraits &app) const;
 
     /** The fitted per-core model. */
-    const FittedCoreModel &modelFor(int core) const;
+    [[nodiscard]] const FittedCoreModel &modelFor(int core) const;
 
+    [[nodiscard]]
     int coreCount() const { return static_cast<int>(models_.size()); }
 
   private:
@@ -93,7 +95,7 @@ struct PredictionAccuracy
     int conservative = 0; ///< predicted < characterized (safe)
     int optimistic = 0;   ///< predicted > characterized (UNSAFE)
 
-    double exactFrac() const;
+    [[nodiscard]] double exactFrac() const;
 
     /** Mean steps of performance left on the table by conservatism. */
     double meanConservativeGap = 0.0;
@@ -102,7 +104,7 @@ struct PredictionAccuracy
 /**
  * Evaluate a predictor against the characterizer over a set of apps.
  */
-PredictionAccuracy evaluatePredictor(
+[[nodiscard]] PredictionAccuracy evaluatePredictor(
     const ConfigPredictor &predictor, chip::Chip *target,
     const std::vector<const workload::WorkloadTraits *> &apps);
 

@@ -35,21 +35,23 @@ class FreqPredictor
      *        afterwards.
      * @param sweep_points Number of load levels in the sweep.
      */
+    [[nodiscard]]
     static FreqPredictor fit(chip::Chip *target, int sweep_points = 8);
 
     /** Predicted steady frequency of a core at a chip power (MHz). */
-    double predictMhz(int core, double chip_power_w) const;
+    [[nodiscard]] double predictMhz(int core, double chip_power_w) const;
 
     /**
      * Invert the model: the chip power at which a core still reaches
      * a required frequency (W). This is the power budget the manager
      * enforces for a QoS target (Sec. VII-C).
      */
-    double powerBudgetW(int core, double required_mhz) const;
+    [[nodiscard]] double powerBudgetW(int core, double required_mhz) const;
 
     /** Per-core fitted line (slope MHz/W, intercept MHz, R^2). */
-    const util::LineFit &fitFor(int core) const;
+    [[nodiscard]] const util::LineFit &fitFor(int core) const;
 
+    [[nodiscard]]
     int coreCount() const { return static_cast<int>(fits_.size()); }
 
   private:

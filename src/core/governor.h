@@ -35,7 +35,7 @@ enum class GovernorPolicy {
 };
 
 /** Printable policy name. */
-const char *governorPolicyName(GovernorPolicy policy);
+[[nodiscard]] const char *governorPolicyName(GovernorPolicy policy);
 
 /** Applies deployment policies to a chip. */
 class Governor
@@ -55,7 +55,7 @@ class Governor
      * @param policy Deployment policy.
      * @param app Running application (required for Aggressive).
      */
-    std::vector<int> reductions(GovernorPolicy policy,
+    [[nodiscard]] std::vector<int> reductions(GovernorPolicy policy,
                                 const workload::WorkloadTraits *app
                                 = nullptr) const;
 
@@ -71,10 +71,10 @@ class Governor
      * spread is at most the threshold, i.e. whose control loops
      * tolerate any application's system effects.
      */
-    std::vector<int> robustCores(int max_spread = 1) const;
+    [[nodiscard]] std::vector<int> robustCores(int max_spread = 1) const;
 
-    const LimitTable &limits() const { return limits_; }
-    int rollback() const { return rollback_; }
+    [[nodiscard]] const LimitTable &limits() const { return limits_; }
+    [[nodiscard]] int rollback() const { return rollback_; }
 
     /** Report policy applications into metrics/trace sinks. */
     void setObservability(const obs::Observability &sinks);

@@ -42,7 +42,7 @@ struct CoreLimits
      * Robustness (Sec. VI): immunity to CPM rollback from the uBench
      * limit; smaller spread means the core tolerates any application.
      */
-    int rollbackSpread() const { return ubench - worst; }
+    [[nodiscard]] int rollbackSpread() const { return ubench - worst; }
 };
 
 /** Characterization results for a whole chip. */
@@ -51,8 +51,8 @@ struct LimitTable
     std::string chipName;
     std::vector<CoreLimits> cores;
 
-    const CoreLimits &byIndex(int core) const;
-    const CoreLimits &byName(const std::string &name) const;
+    [[nodiscard]] const CoreLimits &byIndex(int core) const;
+    [[nodiscard]] const CoreLimits &byName(const std::string &name) const;
 
     /** Render in the layout of the paper's Table I. */
     void print(std::ostream &os) const;
@@ -67,7 +67,7 @@ struct LimitTable
      * Parse a table previously written by toCsv(); fatal() on
      * malformed input.
      */
-    static LimitTable fromCsv(std::istream &is);
+    [[nodiscard]] static LimitTable fromCsv(std::istream &is);
 };
 
 /**
@@ -81,10 +81,10 @@ struct RollbackMatrix
     std::vector<std::vector<double>> meanRollback; ///< [app][core]
 
     /** Mean rollback of an app across all cores (row average). */
-    double appMean(std::size_t app) const;
+    [[nodiscard]] double appMean(std::size_t app) const;
 
     /** Mean rollback on a core across all apps (column average). */
-    double coreMean(std::size_t core) const;
+    [[nodiscard]] double coreMean(std::size_t core) const;
 
     /** Render as a text heatmap table. */
     void print(std::ostream &os) const;

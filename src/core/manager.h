@@ -34,7 +34,7 @@ enum class Scenario {
 };
 
 /** Printable scenario name. */
-const char *scenarioName(Scenario scenario);
+[[nodiscard]] const char *scenarioName(Scenario scenario);
 
 /** A scheduling request: one critical app plus background co-runners. */
 struct ScheduleRequest
@@ -86,16 +86,18 @@ class AtmManager
      * the fastest deployed core, restricted to robust cores under the
      * Conservative policy.
      */
-    int pickCriticalCore(const ScheduleRequest &request) const;
+    [[nodiscard]] int pickCriticalCore(const ScheduleRequest &request) const;
 
     /**
      * Check the Table II co-location rule: two memory-intensive
      * workloads are not placed together.
      */
+    [[nodiscard]]
     static bool colocationAllowed(const workload::WorkloadTraits &critical,
                                   const workload::WorkloadTraits &background);
 
-    const Governor &governor() const { return governor_; }
+    [[nodiscard]] const Governor &governor() const { return governor_; }
+    [[nodiscard]]
     const FreqPredictor &freqPredictor() const { return freqPredictor_; }
 
     /** Per-application performance predictor (cached). */

@@ -27,24 +27,26 @@ class PerfPredictor
      * @param f_hi_mhz High end of the sampled range.
      * @param points Number of samples.
      */
+    [[nodiscard]]
     static PerfPredictor fit(const workload::WorkloadTraits &traits,
                              double f_lo_mhz = 4200.0,
                              double f_hi_mhz = 5200.0, int points = 11);
 
     /** Predicted performance at a frequency, relative to the 4.2 GHz
      *  static margin. */
-    double predictPerf(double f_mhz) const;
+    [[nodiscard]] double predictPerf(double f_mhz) const;
 
     /**
      * Invert the model: the frequency needed for a performance target
      * (relative to the static margin).
      */
-    double requiredFreqMhz(double perf_target) const;
+    [[nodiscard]] double requiredFreqMhz(double perf_target) const;
 
     /** The fitted line. */
-    const util::LineFit &fit() const { return fit_; }
+    [[nodiscard]] const util::LineFit &fit() const { return fit_; }
 
     /** The modelled application. */
+    [[nodiscard]]
     const workload::WorkloadTraits &traits() const { return *traits_; }
 
   private:

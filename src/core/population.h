@@ -51,7 +51,7 @@ struct PopulationStats
     util::RunningStats robustCores;
 
     /** Fraction of chips with a differential of at least 200 MHz. */
-    double fracAbove200Mhz() const;
+    [[nodiscard]] double fracAbove200Mhz() const;
 };
 
 /**

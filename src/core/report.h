@@ -55,6 +55,7 @@ struct ChipReport
  *        during the runs and left in the deployed state).
  * @param robust_spread Robustness threshold (uBench-to-worst spread).
  */
+[[nodiscard]]
 ChipReport buildChipReport(chip::Chip *target, int robust_spread = 1);
 
 } // namespace atmsim::core

@@ -78,7 +78,7 @@ enum class CoreSafetyState {
 };
 
 /** Printable state name. */
-const char *coreSafetyStateName(CoreSafetyState state);
+[[nodiscard]] const char *coreSafetyStateName(CoreSafetyState state);
 
 /** Watches an engine run and quarantines misbehaving cores. */
 class SafetyMonitor : public sim::EngineObserver
@@ -111,19 +111,20 @@ class SafetyMonitor : public sim::EngineObserver
 
     // --- Inspection ----------------------------------------------------
 
-    CoreSafetyState state(int core) const;
+    [[nodiscard]] CoreSafetyState state(int core) const;
 
     /** Current re-entry backoff of a core (us). */
-    double backoffUs(int core) const;
+    [[nodiscard]] double backoffUs(int core) const;
 
     /** Monitor-side counters (quarantines, recoveries, ...). */
+    [[nodiscard]]
     const sim::SafetyCounters &counters() const { return counters_; }
 
     /** Re-arm for a fresh run: all cores Deployed, counters cleared.
      *  Does not touch the chip configuration. */
     void rearm();
 
-    const SafetyMonitorConfig &config() const { return config_; }
+    [[nodiscard]] const SafetyMonitorConfig &config() const { return config_; }
 
   private:
     struct CoreState

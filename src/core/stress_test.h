@@ -28,13 +28,13 @@ struct DeployedConfig
     std::vector<double> idleFreqMhz;
 
     /** Fastest minus slowest deployed idle frequency (MHz). */
-    double speedDifferentialMhz() const;
+    [[nodiscard]] double speedDifferentialMhz() const;
 
     /** Index of the fastest core. */
-    int fastestCore() const;
+    [[nodiscard]] int fastestCore() const;
 
     /** Index of the slowest core. */
-    int slowestCore() const;
+    [[nodiscard]] int slowestCore() const;
 };
 
 /** Runs the test-time stress procedure on a chip. */

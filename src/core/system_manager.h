@@ -44,7 +44,7 @@ struct SystemScheduleResult
     std::vector<chip::ChipSteadyState> chipStates;
 
     /** True when every job met its QoS target. */
-    bool allQosMet() const;
+    [[nodiscard]] bool allQosMet() const;
 };
 
 /** Manages a multi-chip server of fine-tuned ATM processors. */
@@ -77,8 +77,9 @@ class SystemManager
     AtmManager &managerFor(int chip);
 
     /** Deployed idle frequency of a core (MHz). */
-    double deployedFreqMhz(int chip, int core) const;
+    [[nodiscard]] double deployedFreqMhz(int chip, int core) const;
 
+    [[nodiscard]]
     int chipCount() const { return static_cast<int>(managers_.size()); }
 
   private:

@@ -40,7 +40,7 @@ struct UndervoltResult
     chip::ChipSteadyState steady;
 
     /** Fractional power saving. */
-    double savingFrac() const;
+    [[nodiscard]] double savingFrac() const;
 };
 
 /**
@@ -72,11 +72,11 @@ class UndervoltController
     /** Restore the original VRM setpoint. */
     void restore();
 
-    double targetMhz() const { return targetMhz_; }
+    [[nodiscard]] double targetMhz() const { return targetMhz_; }
 
   private:
     /** Slowest active core frequency at a given setpoint. */
-    double slowestAt(double setpoint_v) const;
+    [[nodiscard]] double slowestAt(double setpoint_v) const;
 
     chip::Chip *chip_;
     double targetMhz_;

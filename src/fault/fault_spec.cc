@@ -97,6 +97,8 @@ FaultSpec::format() const
     os << ",start=" << startUs;
     if (durationUs > 0.0)
         os << ",dur=" << durationUs;
+    // atmlint: allow(float-equality) -- 0.0 is the exact "field not
+    // set" sentinel round-tripped through parse/format.
     if (magnitude != 0.0)
         os << ",mag=" << magnitude;
     return os.str();

@@ -65,7 +65,7 @@ struct RunManifest
     double engineSimNs = 0.0; ///< Total simulated time (ns).
 
     /** Engine throughput; the CI regression gate reads this. */
-    double stepsPerSec() const;
+    [[nodiscard]] double stepsPerSec() const;
 
     /** Per-phase wall-clock breakdown (engine phases). */
     std::vector<PhaseStat> phases;

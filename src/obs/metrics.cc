@@ -298,6 +298,7 @@ MetricsRegistry::slot(std::string_view name, MetricKind kind)
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
+    util::MutexLock lock(mu_);
     Slot &s = slot(name, MetricKind::Counter);
     if (!s.counter) {
         counters_.emplace_back();
@@ -309,6 +310,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
+    util::MutexLock lock(mu_);
     Slot &s = slot(name, MetricKind::Gauge);
     if (!s.gauge) {
         gauges_.emplace_back();
@@ -320,6 +322,7 @@ MetricsRegistry::gauge(std::string_view name)
 Histogram &
 MetricsRegistry::histogram(std::string_view name, Histogram prototype)
 {
+    util::MutexLock lock(mu_);
     Slot &s = slot(name, MetricKind::Histogram);
     if (!s.histogram) {
         histograms_.push_back(std::move(prototype));
@@ -331,6 +334,7 @@ MetricsRegistry::histogram(std::string_view name, Histogram prototype)
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
+    util::MutexLock lock(mu_);
     MetricsSnapshot snap;
     snap.entries.reserve(index_.size());
     // std::map iterates in name order, so the snapshot is sorted.
@@ -357,6 +361,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
+    util::MutexLock lock(mu_);
     for (Counter &c : counters_)
         c.reset();
     for (Gauge &g : gauges_)

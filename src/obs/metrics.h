@@ -29,6 +29,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace atmsim::util {
 class JsonWriter;
 }
@@ -40,7 +43,7 @@ class Counter
 {
   public:
     void inc(long delta = 1) { value_ += delta; }
-    long value() const { return value_; }
+    [[nodiscard]] long value() const { return value_; }
     void reset() { value_ = 0; }
 
   private:
@@ -53,7 +56,7 @@ class Gauge
   public:
     void set(double value) { value_ = value; }
     void add(double delta) { value_ += delta; }
-    double value() const { return value_; }
+    [[nodiscard]] double value() const { return value_; }
     void reset() { value_ = 0.0; }
 
   private:
@@ -73,39 +76,39 @@ class Histogram
 {
   public:
     /** Uniform buckets covering [lo, hi). */
-    static Histogram linear(double lo, double hi, int buckets);
+    [[nodiscard]] static Histogram linear(double lo, double hi, int buckets);
 
     /**
      * Explicit ascending edges; bucket i covers [edges[i],
      * edges[i+1]). Needs at least two edges.
      */
-    static Histogram explicitEdges(std::vector<double> edges);
+    [[nodiscard]] static Histogram explicitEdges(std::vector<double> edges);
 
     /** Record one value. */
     void record(double value);
 
     // --- Inspection ----------------------------------------------------
 
-    std::size_t bucketCount() const { return counts_.size(); }
+    [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
 
     /** Samples in bucket i. */
-    long bucketHits(std::size_t i) const { return counts_[i]; }
+    [[nodiscard]] long bucketHits(std::size_t i) const { return counts_[i]; }
 
     /** Inclusive lower edge of bucket i. */
-    double bucketLo(std::size_t i) const;
+    [[nodiscard]] double bucketLo(std::size_t i) const;
 
     /** Exclusive upper edge of bucket i. */
-    double bucketHi(std::size_t i) const;
+    [[nodiscard]] double bucketHi(std::size_t i) const;
 
-    long underflow() const { return underflow_; }
-    long overflow() const { return overflow_; }
-    long count() const { return count_; }
-    double sum() const { return sum_; }
-    double mean() const;
+    [[nodiscard]] long underflow() const { return underflow_; }
+    [[nodiscard]] long overflow() const { return overflow_; }
+    [[nodiscard]] long count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double mean() const;
 
     /** Smallest / largest recorded value (0 when empty). */
-    double minSeen() const;
-    double maxSeen() const;
+    [[nodiscard]] double minSeen() const;
+    [[nodiscard]] double maxSeen() const;
 
     /** Zero all bins and moments; the bucket layout is kept. */
     void reset();
@@ -130,7 +133,7 @@ class Histogram
 enum class MetricKind { Counter, Gauge, Histogram };
 
 /** Printable kind name. */
-const char *metricKindName(MetricKind kind);
+[[nodiscard]] const char *metricKindName(MetricKind kind);
 
 /** Point-in-time copy of one metric. */
 struct MetricSnapshotEntry
@@ -150,7 +153,7 @@ struct MetricsSnapshot
     std::vector<MetricSnapshotEntry> entries;
 
     /** Entry by name, or nullptr. */
-    const MetricSnapshotEntry *find(std::string_view name) const;
+    [[nodiscard]] const MetricSnapshotEntry *find(std::string_view name) const;
 
     /** `name kind value` lines, histograms with their bins. */
     void writeText(std::ostream &os) const;
@@ -171,6 +174,12 @@ struct MetricsSnapshot
  * once and then update it pointer-directly. Re-registering a name
  * returns the existing instrument; registering it as a different kind
  * is a fatal error.
+ *
+ * Thread safety: registration, snapshot, reset, and the writers are
+ * serialized on an internal mutex (clang -Wthread-safety proves the
+ * guard). The *instruments* themselves are not synchronized -- the
+ * single-writer hot-path contract (one thread increments a given
+ * Counter) is the price of keeping record() at one add.
  */
 class MetricsRegistry
 {
@@ -188,10 +197,15 @@ class MetricsRegistry
     Histogram &histogram(std::string_view name, Histogram prototype);
 
     /** Number of registered metrics. */
-    std::size_t size() const { return index_.size(); }
+    [[nodiscard]] std::size_t
+    size() const
+    {
+        util::MutexLock lock(mu_);
+        return index_.size();
+    }
 
     /** Copy every metric, sorted by name. */
-    MetricsSnapshot snapshot() const;
+    [[nodiscard]] MetricsSnapshot snapshot() const;
 
     /** Zero every metric in place (layouts are kept). */
     void reset();
@@ -211,12 +225,15 @@ class MetricsRegistry
         Histogram *histogram = nullptr;
     };
 
-    Slot &slot(std::string_view name, MetricKind kind);
+    Slot &slot(std::string_view name, MetricKind kind)
+        ATM_REQUIRES(mu_);
 
-    std::map<std::string, Slot, std::less<>> index_;
-    std::deque<Counter> counters_;
-    std::deque<Gauge> gauges_;
-    std::deque<Histogram> histograms_;
+    mutable util::Mutex mu_;
+    std::map<std::string, Slot, std::less<>> index_
+        ATM_GUARDED_BY(mu_);
+    std::deque<Counter> counters_ ATM_GUARDED_BY(mu_);
+    std::deque<Gauge> gauges_ ATM_GUARDED_BY(mu_);
+    std::deque<Histogram> histograms_ ATM_GUARDED_BY(mu_);
 };
 
 } // namespace atmsim::obs

@@ -48,9 +48,10 @@ class PhaseProfiler
     {
     }
 
-    bool enabled() const { return enabled_; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
 
     /** Phase-entry timestamp (0 when disabled). */
+    [[nodiscard]]
     double begin() const { return enabled_ ? monotonicWallNs() : 0.0; }
 
     /** Close a phase opened at begin()'s return value. */
@@ -64,20 +65,21 @@ class PhaseProfiler
     }
 
     /** Accumulated wall nanoseconds of one phase. */
+    [[nodiscard]]
     double wallNs(std::size_t phase) const { return wallNs_[phase]; }
 
     /** Invocations of one phase. */
-    long calls(std::size_t phase) const { return calls_[phase]; }
+    [[nodiscard]] long calls(std::size_t phase) const { return calls_[phase]; }
 
     /** Wall nanoseconds accrued since a previous reading. */
-    double
+    [[nodiscard]] double
     wallNsSince(std::size_t phase, double prev_ns) const
     {
         return wallNs_[phase] - prev_ns;
     }
 
     /** All phases, in registration order. */
-    std::vector<PhaseStat>
+    [[nodiscard]] std::vector<PhaseStat>
     snapshot() const
     {
         std::vector<PhaseStat> out;
@@ -100,6 +102,7 @@ struct Observability
     MetricsRegistry *metrics = nullptr;
     TraceCollector *trace = nullptr;
 
+    [[nodiscard]]
     bool any() const { return metrics != nullptr || trace != nullptr; }
 };
 

@@ -30,6 +30,7 @@ TraceCollector::TraceCollector(std::size_t max_events)
 int
 TraceCollector::track(const std::string &name)
 {
+    util::MutexLock lock(mu_);
     const auto it = trackIndex_.find(name);
     if (it != trackIndex_.end())
         return it->second;
@@ -49,6 +50,7 @@ void
 TraceCollector::complete(const char *name, int track, double ts_us,
                          double dur_us, double sim_ns, long arg)
 {
+    util::MutexLock lock(mu_);
     if (events_.size() >= maxEvents_) {
         ++dropped_;
         return;
@@ -68,6 +70,7 @@ void
 TraceCollector::instant(const char *name, int track, double sim_ns,
                         long arg)
 {
+    util::MutexLock lock(mu_);
     if (events_.size() >= maxEvents_) {
         ++dropped_;
         return;
@@ -82,9 +85,24 @@ TraceCollector::instant(const char *name, int track, double sim_ns,
     events_.push_back(ev);
 }
 
+std::vector<TraceEvent>
+TraceCollector::events() const
+{
+    util::MutexLock lock(mu_);
+    return events_;
+}
+
+std::size_t
+TraceCollector::droppedEvents() const
+{
+    util::MutexLock lock(mu_);
+    return dropped_;
+}
+
 void
 TraceCollector::writeChromeTrace(std::ostream &os) const
 {
+    util::MutexLock lock(mu_);
     util::JsonWriter json(os);
     json.beginObject();
     json.key("traceEvents").beginArray();
@@ -143,6 +161,7 @@ TraceCollector::writeChromeTrace(std::ostream &os) const
 void
 TraceCollector::clear()
 {
+    util::MutexLock lock(mu_);
     events_.clear();
     dropped_ = 0;
 }

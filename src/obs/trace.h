@@ -33,10 +33,13 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace atmsim::obs {
 
 /** Monotonic wall-clock nanoseconds (steady_clock). */
-double monotonicWallNs();
+[[nodiscard]] double monotonicWallNs();
 
 /** One buffered trace event. */
 struct TraceEvent
@@ -50,7 +53,14 @@ struct TraceEvent
     long arg = -1;          ///< Generic integer arg (< 0: omitted).
 };
 
-/** Buffers trace events and writes chrome://tracing JSON. */
+/**
+ * Buffers trace events and writes chrome://tracing JSON.
+ *
+ * Thread safety: every member that mutates or reads the buffer is
+ * serialized on an internal mutex, so spans recorded from worker
+ * threads interleave safely; the inspection accessors return copies
+ * taken under the lock. nowUs() touches only immutable state.
+ */
 class TraceCollector
 {
   public:
@@ -64,7 +74,7 @@ class TraceCollector
     int track(const std::string &name);
 
     /** Wall microseconds since the collector was constructed. */
-    double nowUs() const;
+    [[nodiscard]] double nowUs() const;
 
     /** Append a complete event (begin wall time + duration). */
     void complete(const char *name, int track, double ts_us,
@@ -76,8 +86,11 @@ class TraceCollector
 
     // --- Inspection ----------------------------------------------------
 
-    const std::vector<TraceEvent> &events() const { return events_; }
-    std::size_t droppedEvents() const { return dropped_; }
+    /** Copy of the buffered events (taken under the lock). */
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    /** Events rejected because the buffer was full. */
+    [[nodiscard]] std::size_t droppedEvents() const;
 
     /** Serialize as a chrome://tracing / Perfetto JSON document. */
     void writeChromeTrace(std::ostream &os) const;
@@ -86,12 +99,13 @@ class TraceCollector
     void clear();
 
   private:
-    double epochNs_;
-    std::size_t maxEvents_;
-    std::size_t dropped_ = 0;
-    std::vector<TraceEvent> events_;
-    std::vector<std::string> trackNames_;
-    std::map<std::string, int> trackIndex_;
+    const double epochNs_;
+    const std::size_t maxEvents_;
+    mutable util::Mutex mu_;
+    std::size_t dropped_ ATM_GUARDED_BY(mu_) = 0;
+    std::vector<TraceEvent> events_ ATM_GUARDED_BY(mu_);
+    std::vector<std::string> trackNames_ ATM_GUARDED_BY(mu_);
+    std::map<std::string, int> trackIndex_ ATM_GUARDED_BY(mu_);
 };
 
 /**

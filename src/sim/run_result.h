@@ -28,7 +28,7 @@ enum class FailureKind {
 };
 
 /** Printable failure-kind name. */
-const char *failureKindName(FailureKind kind);
+[[nodiscard]] const char *failureKindName(FailureKind kind);
 
 /**
  * One observed timing-violation episode. An episode starts when a
@@ -96,7 +96,7 @@ struct SafetyCounters
      * manifest writer and metric exporters iterate this instead of
      * hand-copying every field.
      */
-    std::vector<std::pair<const char *, double>> named() const;
+    [[nodiscard]] std::vector<std::pair<const char *, double>> named() const;
 };
 
 /** Per-core statistics of one run. */
@@ -145,16 +145,16 @@ struct RunResult
     std::vector<obs::PhaseStat> phaseStats;
 
     /** Steps/sec throughput of this run (0 when unmeasured). */
-    double stepsPerSecond() const;
+    [[nodiscard]] double stepsPerSecond() const;
 
     /** True when any violation occurred. */
-    bool failed() const { return !violations.empty(); }
+    [[nodiscard]] bool failed() const { return !violations.empty(); }
 
     /** Sum of per-core violation episodes. */
-    long totalViolations() const;
+    [[nodiscard]] long totalViolations() const;
 
     /** Mean frequency of one core over the run (MHz). */
-    double meanFreqMhz(int core) const;
+    [[nodiscard]] double meanFreqMhz(int core) const;
 };
 
 /** Cap on stored ViolationEvent entries per run. */

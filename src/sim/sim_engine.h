@@ -107,7 +107,7 @@ class SimEngine
     }
 
     /** Currently attached observers, in attachment order. */
-    const std::vector<EngineObserver *> &observers() const
+    [[nodiscard]] const std::vector<EngineObserver *> &observers() const
     {
         return observers_;
     }
@@ -122,9 +122,10 @@ class SimEngine
         obs_ = sinks;
     }
 
+    [[nodiscard]]
     const obs::Observability &observability() const { return obs_; }
 
-    const SimConfig &config() const { return config_; }
+    [[nodiscard]] const SimConfig &config() const { return config_; }
 
   private:
     /**
@@ -137,6 +138,7 @@ class SimEngine
      *        superpose on the shared grid, so each carries a share of
      *        the chip-level droop. 1 for ordinary workloads.
      */
+    [[nodiscard]]
     double eventCurrentFor(const variation::CoreSiliconParams &core,
                            const workload::WorkloadTraits &traits,
                            int synchronized_cores) const;

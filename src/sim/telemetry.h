@@ -50,14 +50,14 @@ class TelemetryRecorder : public EngineObserver
                   const std::vector<CoreSample> &cores) override;
 
     /** Recorded series of one core. */
-    const std::vector<TelemetrySample> &series(int core) const;
+    [[nodiscard]] const std::vector<TelemetrySample> &series(int core) const;
 
     /** Total samples kept across cores. */
-    std::size_t totalSamples() const;
+    [[nodiscard]] std::size_t totalSamples() const;
 
     /** Sliding-window average frequency of a core over the last
      *  window_ns of its series (the off-chip controller's input). */
-    double windowAvgFreqMhz(int core, double window_ns) const;
+    [[nodiscard]] double windowAvgFreqMhz(int core, double window_ns) const;
 
     /** Export all series as CSV (time_ns, core, freq_mhz, voltage_v). */
     void writeCsv(std::ostream &os) const;
@@ -65,6 +65,7 @@ class TelemetryRecorder : public EngineObserver
     /** Drop all samples. */
     void clear();
 
+    [[nodiscard]]
     int coreCount() const { return static_cast<int>(series_.size()); }
 
   private:

@@ -51,8 +51,11 @@ AsciiPlot::print(std::ostream &os) const
         os << "(empty plot)\n";
         return;
     }
+    // atmlint: allow(float-equality) -- exact degenerate-range guard;
+    // near-equal ranges plot fine, only bit-equal ones divide by 0.
     if (xmax == xmin)
         xmax = xmin + 1.0;
+    // atmlint: allow(float-equality) -- same exact guard for y.
     if (ymax == ymin)
         ymax = ymin + 1.0;
 

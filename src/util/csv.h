@@ -36,7 +36,7 @@ class CsvWriter
     void close();
 
   private:
-    static std::string quote(const std::string &cell);
+    [[nodiscard]] static std::string quote(const std::string &cell);
 
     std::ofstream out_;
 };

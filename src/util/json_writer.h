@@ -23,7 +23,7 @@
 namespace atmsim::util {
 
 /** Escape a string for inclusion in a JSON document (no quotes). */
-std::string jsonEscape(std::string_view text);
+[[nodiscard]] std::string jsonEscape(std::string_view text);
 
 /** Streaming JSON emitter with comma/nesting bookkeeping. */
 class JsonWriter
@@ -66,7 +66,7 @@ class JsonWriter
     }
 
     /** Depth of currently open containers. */
-    std::size_t depth() const { return stack_.size(); }
+    [[nodiscard]] std::size_t depth() const { return stack_.size(); }
 
   private:
     enum class Frame { Object, Array };

@@ -31,6 +31,9 @@ fitLine(const std::vector<double> &x, const std::vector<double> &y)
         sxy += dx * dy;
         syy += dy * dy;
     }
+    // atmlint: allow(float-equality) -- sxx is a sum of squares; it
+    // is exactly 0.0 iff every x equals the mean (the division that
+    // follows is safe for any nonzero value).
     if (sxx == 0.0)
         fatal("fitLine: degenerate x values (all equal)");
 
@@ -38,6 +41,7 @@ fitLine(const std::vector<double> &x, const std::vector<double> &y)
     fit.slope = sxy / sxx;
     fit.intercept = my - fit.slope * mx;
     // R^2 = 1 - SS_res / SS_tot; a constant y is a perfect fit.
+    // atmlint: allow(float-equality) -- exact zero iff y is constant.
     if (syy == 0.0) {
         fit.r2 = 1.0;
     } else {

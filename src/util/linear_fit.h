@@ -28,6 +28,7 @@ struct LineFit
  * @param y Ordinates.
  * @return Fitted slope, intercept and R^2.
  */
+[[nodiscard]]
 LineFit fitLine(const std::vector<double> &x, const std::vector<double> &y);
 
 } // namespace atmsim::util

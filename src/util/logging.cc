@@ -1,21 +1,27 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <iostream>
-#include <mutex>
 #include <unordered_set>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace atmsim::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
-LogSink *g_sink = nullptr;
-std::string g_context;
-std::mutex g_mutex;
-std::unordered_set<std::string> g_warned_keys;
+Mutex g_mutex;
+// Read on every logMessage() call without the lock; atomic so the
+// hot-path filter stays lock-free.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+LogSink *g_sink ATM_GUARDED_BY(g_mutex) = nullptr;
+std::string g_context ATM_GUARDED_BY(g_mutex);
+std::unordered_set<std::string> g_warned_keys
+    ATM_GUARDED_BY(g_mutex);
 
 const char *
 levelTag(LogLevel level)
@@ -56,42 +62,42 @@ wallTimestamp()
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogSink(LogSink *sink)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     g_sink = sink;
 }
 
 void
 setLogContext(const std::string &context)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     g_context = context;
 }
 
 std::string
 logContext()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     return g_context;
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (level < g_level)
+    if (level < g_level.load(std::memory_order_relaxed))
         return;
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     if (g_sink) {
         g_sink->write(level, msg);
         return;
@@ -106,14 +112,14 @@ logMessage(LogLevel level, const std::string &msg)
 bool
 warnOnceArm(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     return g_warned_keys.insert(key).second;
 }
 
 void
 resetWarnOnce()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     g_warned_keys.clear();
 }
 

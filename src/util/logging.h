@@ -33,7 +33,7 @@ enum class LogLevel {
 void setLogLevel(LogLevel level);
 
 /** @return The current minimum emitted severity. */
-LogLevel logLevel();
+[[nodiscard]] LogLevel logLevel();
 
 /**
  * Emit a log record. Normally called through the convenience wrappers
@@ -77,7 +77,7 @@ void setLogSink(LogSink *sink);
 void setLogContext(const std::string &context);
 
 /** Currently attached run context. */
-std::string logContext();
+[[nodiscard]] std::string logContext();
 
 /** Sink that buffers records in memory (for tests). */
 class CaptureLogSink : public LogSink
@@ -94,11 +94,12 @@ class CaptureLogSink : public LogSink
         records_.push_back({level, msg});
     }
 
+    [[nodiscard]]
     const std::vector<Record> &records() const { return records_; }
     void clear() { records_.clear(); }
 
     /** Number of buffered records containing a substring. */
-    std::size_t
+    [[nodiscard]] std::size_t
     countContaining(const std::string &needle) const
     {
         std::size_t hits = 0;
@@ -117,7 +118,7 @@ namespace detail {
 
 /** Concatenate a parameter pack into one string via operator<<. */
 template <typename... Args>
-std::string
+[[nodiscard]] std::string
 concat(const Args &...args)
 {
     std::ostringstream os;
@@ -155,7 +156,7 @@ warn(const Args &...args)
 }
 
 /** warnOnce implementation helper: true the first time a key is seen. */
-bool warnOnceArm(const std::string &key);
+[[nodiscard]] bool warnOnceArm(const std::string &key);
 
 /** Forget all warnOnce keys (tests). */
 void resetWarnOnce();
@@ -216,10 +217,10 @@ class WarnThrottle
     }
 
     /** Calls made so far (emitted + suppressed). */
-    long total() const { return total_; }
+    [[nodiscard]] long total() const { return total_; }
 
     /** Calls suppressed beyond the limit. */
-    long suppressed() const
+    [[nodiscard]] long suppressed() const
     {
         return total_ > limit_ ? total_ - limit_ : 0;
     }

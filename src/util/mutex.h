@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Annotated mutex and RAII lock.
+ *
+ * std::mutex from libstdc++ carries no thread-safety-analysis
+ * attributes, so locking it tells clang's `-Wthread-safety` nothing.
+ * util::Mutex is a zero-cost wrapper that adds the `capability`
+ * annotations; util::MutexLock is the annotated lock_guard
+ * equivalent. Shared-state classes (obs::MetricsRegistry,
+ * obs::TraceCollector, the logging globals) use these so the
+ * analysis can prove ATM_GUARDED_BY contracts.
+ */
+
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace atmsim::util {
+
+/** std::mutex with clang capability annotations. */
+class ATM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ATM_ACQUIRE() { m_.lock(); }
+    void unlock() ATM_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool tryLock() ATM_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
+
+  private:
+    std::mutex m_;
+};
+
+/** Annotated scope lock (lock_guard equivalent). */
+class ATM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ATM_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() ATM_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace atmsim::util

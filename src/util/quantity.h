@@ -42,7 +42,7 @@ class Quantity
     constexpr explicit Quantity(double value) : value_(value) {}
 
     /** Unwrap to the raw scalar (hot-loop escape hatch). */
-    constexpr double value() const { return value_; }
+    [[nodiscard]] constexpr double value() const { return value_; }
 
     // --- Same-dimension arithmetic -------------------------------------
 
@@ -139,7 +139,7 @@ class CpmSteps
     constexpr CpmSteps() = default;
     constexpr explicit CpmSteps(int steps) : steps_(steps) {}
 
-    constexpr int value() const { return steps_; }
+    [[nodiscard]] constexpr int value() const { return steps_; }
 
     constexpr CpmSteps operator+(CpmSteps o) const
     {
@@ -169,69 +169,69 @@ class CpmSteps
 // --- Explicit cross-dimension conversions ------------------------------
 
 /** Clock period of a frequency (replaces the raw mhzToPs helper). */
-constexpr Picoseconds
+[[nodiscard]] constexpr Picoseconds
 periodOf(Mhz f)
 {
     return Picoseconds{1.0e6 / f.value()};
 }
 
 /** Frequency whose period is the given time (replaces psToMhz). */
-constexpr Mhz
+[[nodiscard]] constexpr Mhz
 frequencyOf(Picoseconds period)
 {
     return Mhz{1.0e6 / period.value()};
 }
 
-constexpr Picoseconds
+[[nodiscard]] constexpr Picoseconds
 toPicoseconds(Nanoseconds t)
 {
     return Picoseconds{t.value() * 1.0e3};
 }
 
-constexpr Nanoseconds
+[[nodiscard]] constexpr Nanoseconds
 toNanoseconds(Picoseconds t)
 {
     return Nanoseconds{t.value() * 1.0e-3};
 }
 
-constexpr Nanoseconds
+[[nodiscard]] constexpr Nanoseconds
 toNanoseconds(Microseconds t)
 {
     return Nanoseconds{t.value() * 1.0e3};
 }
 
-constexpr Microseconds
+[[nodiscard]] constexpr Microseconds
 toMicroseconds(Nanoseconds t)
 {
     return Microseconds{t.value() * 1.0e-3};
 }
 
-constexpr Seconds
+[[nodiscard]] constexpr Seconds
 toSeconds(Nanoseconds t)
 {
     return Seconds{t.value() * 1.0e-9};
 }
 
-constexpr Nanoseconds
+[[nodiscard]] constexpr Nanoseconds
 toNanoseconds(Seconds t)
 {
     return Nanoseconds{t.value() * 1.0e9};
 }
 
-constexpr Volts
+[[nodiscard]] constexpr Volts
 toVolts(Millivolts v)
 {
     return Volts{v.value() * 1.0e-3};
 }
 
-constexpr Millivolts
+[[nodiscard]] constexpr Millivolts
 toMillivolts(Volts v)
 {
     return Millivolts{v.value() * 1.0e3};
 }
 
 /** Frequency from a GHz scalar (there is no Ghz type; MHz is canon). */
-constexpr Mhz
+[[nodiscard]] constexpr Mhz
 mhzFromGhz(double ghz)
 {
     return Mhz{ghz * 1.0e3};

@@ -82,6 +82,8 @@ Rng::gaussian()
     }
     // Box-Muller transform.
     double u1 = 0.0;
+    // atmlint: allow(float-equality) -- rejection sampling: log(u1)
+    // needs u1 strictly above exactly 0.0, which uniform() can emit.
     while (u1 == 0.0)
         u1 = uniform();
     const double u2 = uniform();
@@ -110,6 +112,8 @@ Rng::exponential(double rate)
     if (rate <= 0.0)
         fatal("exponential rate must be positive, got ", rate);
     double u = 0.0;
+    // atmlint: allow(float-equality) -- rejection sampling, as in
+    // gaussian(): log(u) requires u != exact 0.0.
     while (u == 0.0)
         u = uniform();
     return -std::log(u) / rate;

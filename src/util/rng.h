@@ -17,7 +17,7 @@
 namespace atmsim::util {
 
 /** Stateless SplitMix64 step, used for seeding and stream derivation. */
-std::uint64_t splitMix64(std::uint64_t &state);
+[[nodiscard]] std::uint64_t splitMix64(std::uint64_t &state);
 
 /**
  * Small, fast, high-quality PRNG (xoshiro256**) with explicit seeding
@@ -63,7 +63,7 @@ class Rng
      *
      * @param stream_id Identifier for the child stream.
      */
-    Rng fork(std::uint64_t stream_id) const;
+    [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
 
     /** Shuffle a vector in place (Fisher-Yates). */
     template <typename T>
@@ -95,7 +95,7 @@ class VanDerCorput
     explicit VanDerCorput(std::uint64_t scramble = 0);
 
     /** @return The index-th element of the scrambled sequence in [0,1). */
-    double at(std::uint64_t index) const;
+    [[nodiscard]] double at(std::uint64_t index) const;
 
     /** @return The next element of the sequence. */
     double next();

@@ -30,24 +30,25 @@ class RunningStats
     void reset();
 
     /** @return Number of samples added. */
-    std::size_t count() const { return n_; }
+    [[nodiscard]] std::size_t count() const { return n_; }
 
     /** @return Arithmetic mean (0 if empty). */
-    double mean() const { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
 
     /** @return Population variance (0 if fewer than 2 samples). */
-    double variance() const;
+    [[nodiscard]] double variance() const;
 
     /** @return Population standard deviation. */
-    double stddev() const;
+    [[nodiscard]] double stddev() const;
 
     /** @return Smallest sample (+inf if empty). */
-    double min() const { return min_; }
+    [[nodiscard]] double min() const { return min_; }
 
     /** @return Largest sample (-inf if empty). */
-    double max() const { return max_; }
+    [[nodiscard]] double max() const { return max_; }
 
     /** @return Sum of all samples. */
+    [[nodiscard]]
     double sum() const { return mean_ * static_cast<double>(n_); }
 
   private:
@@ -69,28 +70,28 @@ class IntHistogram
     void add(long value);
 
     /** @return Count of a specific value. */
-    std::size_t countOf(long value) const;
+    [[nodiscard]] std::size_t countOf(long value) const;
 
     /** @return Total number of observations. */
-    std::size_t total() const { return total_; }
+    [[nodiscard]] std::size_t total() const { return total_; }
 
     /** @return Smallest observed value; undefined when empty. */
-    long minValue() const;
+    [[nodiscard]] long minValue() const;
 
     /** @return Largest observed value; undefined when empty. */
-    long maxValue() const;
+    [[nodiscard]] long maxValue() const;
 
     /** @return Number of distinct observed values. */
-    std::size_t distinct() const { return counts_.size(); }
+    [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
 
     /** @return Mean of the observations (0 when empty). */
-    double mean() const;
+    [[nodiscard]] double mean() const;
 
     /** @return Sorted (value, count) pairs. */
-    std::vector<std::pair<long, std::size_t>> items() const;
+    [[nodiscard]] std::vector<std::pair<long, std::size_t>> items() const;
 
     /** @return true if no observations were added. */
-    bool empty() const { return total_ == 0; }
+    [[nodiscard]] bool empty() const { return total_ == 0; }
 
   private:
     std::map<long, std::size_t> counts_;
@@ -104,12 +105,12 @@ class IntHistogram
  * @param values Sample set (copied and sorted internally).
  * @param p Percentile in [0, 100].
  */
-double percentile(std::vector<double> values, double p);
+[[nodiscard]] double percentile(std::vector<double> values, double p);
 
 /** Arithmetic mean of a vector (0 if empty). */
-double mean(const std::vector<double> &values);
+[[nodiscard]] double mean(const std::vector<double> &values);
 
 /** Geometric mean of a vector of positive values (0 if empty). */
-double geomean(const std::vector<double> &values);
+[[nodiscard]] double geomean(const std::vector<double> &values);
 
 } // namespace atmsim::util

@@ -41,10 +41,10 @@ class TextTable
     void print(std::ostream &os) const;
 
     /** Render the table to a string. */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
     /** @return Number of data rows. */
-    std::size_t rowCount() const { return rows_.size(); }
+    [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
 
   private:
     std::vector<std::string> header_;
@@ -53,12 +53,12 @@ class TextTable
 };
 
 /** Format a double with fixed precision. */
-std::string fmtFixed(double value, int precision);
+[[nodiscard]] std::string fmtFixed(double value, int precision);
 
 /** Format a double as an integer-rounded string. */
-std::string fmtInt(double value);
+[[nodiscard]] std::string fmtInt(double value);
 
 /** Format a percentage with one decimal, e.g. "12.3%". */
-std::string fmtPercent(double fraction);
+[[nodiscard]] std::string fmtPercent(double fraction);
 
 } // namespace atmsim::util

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros.
+ *
+ * Wraps the `thread_safety` attribute family behind `ATM_`-prefixed
+ * macros that expand to nothing on compilers without the attributes
+ * (gcc), so annotated headers stay portable while clang builds with
+ * `-Wthread-safety` (wired into the ATMSIM_WERROR configuration)
+ * verify the locking contract at compile time.
+ *
+ * Convention (DESIGN.md, "Thread safety"): classes are
+ * single-threaded by default; the classes that the future parallel
+ * engine shares across threads -- the metrics registry, the trace
+ * collector, the logging globals -- own a util::Mutex and annotate
+ * every piece of guarded state with ATM_GUARDED_BY. The atmlint
+ * `lock-discipline` check enforces the annotation discipline on
+ * every compiler; clang additionally proves the lock is actually
+ * held at each access.
+ */
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ATM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ATM_THREAD_ANNOTATION
+#define ATM_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex). */
+#define ATM_CAPABILITY(x) ATM_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define ATM_SCOPED_CAPABILITY ATM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with `x` held. */
+#define ATM_GUARDED_BY(x) ATM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by `x`. */
+#define ATM_PT_GUARDED_BY(x) ATM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that acquires the capability and holds it on return. */
+#define ATM_ACQUIRE(...) \
+    ATM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define ATM_RELEASE(...) \
+    ATM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that may acquire the capability (returns success). */
+#define ATM_TRY_ACQUIRE(...) \
+    ATM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Callable only with the listed capabilities already held. */
+#define ATM_REQUIRES(...) \
+    ATM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Callable only with the listed capabilities NOT held. */
+#define ATM_EXCLUDES(...) \
+    ATM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returning a reference to the given capability. */
+#define ATM_RETURN_CAPABILITY(x) \
+    ATM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: suppress the analysis for one function. */
+#define ATM_NO_THREAD_SAFETY_ANALYSIS \
+    ATM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -13,63 +13,63 @@
 namespace atmsim::util {
 
 /** Convert a frequency in MHz to a clock period in picoseconds. */
-constexpr double
+[[nodiscard]] constexpr double
 mhzToPs(double mhz)
 {
     return 1.0e6 / mhz;
 }
 
 /** Convert a clock period in picoseconds to a frequency in MHz. */
-constexpr double
+[[nodiscard]] constexpr double
 psToMhz(double ps)
 {
     return 1.0e6 / ps;
 }
 
 /** Convert GHz to MHz. */
-constexpr double
+[[nodiscard]] constexpr double
 ghzToMhz(double ghz)
 {
     return ghz * 1000.0;
 }
 
 /** Convert MHz to GHz. */
-constexpr double
+[[nodiscard]] constexpr double
 mhzToGhz(double mhz)
 {
     return mhz / 1000.0;
 }
 
 /** Convert millivolts to volts. */
-constexpr double
+[[nodiscard]] constexpr double
 mvToV(double mv)
 {
     return mv * 1.0e-3;
 }
 
 /** Convert volts to millivolts. */
-constexpr double
+[[nodiscard]] constexpr double
 vToMv(double v)
 {
     return v * 1.0e3;
 }
 
 /** Convert nanoseconds to picoseconds. */
-constexpr double
+[[nodiscard]] constexpr double
 nsToPs(double ns)
 {
     return ns * 1.0e3;
 }
 
 /** Convert picoseconds to nanoseconds. */
-constexpr double
+[[nodiscard]] constexpr double
 psToNs(double ps)
 {
     return ps * 1.0e-3;
 }
 
 /** Convert microseconds to nanoseconds. */
-constexpr double
+[[nodiscard]] constexpr double
 usToNs(double us)
 {
     return us * 1.0e3;

@@ -13,6 +13,8 @@ agingDelayFactor(const AgingParams &params, double years, double avg_v,
 {
     if (years < 0.0)
         util::fatal("aging: negative service time ", years);
+    // atmlint: allow(float-equality) -- exact fresh-silicon fast
+    // path; any nonzero service time takes the full model below.
     if (years == 0.0)
         return 1.0;
     const double stress =

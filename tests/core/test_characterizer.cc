@@ -114,7 +114,7 @@ TEST(CharacterizerConfigTest, RejectsBadReps)
 TEST(LimitDistributionTest, EmptyIsFatal)
 {
     LimitDistribution dist;
-    EXPECT_THROW(dist.limit(), util::FatalError);
+    EXPECT_THROW((void)dist.limit(), util::FatalError);
 }
 
 } // namespace

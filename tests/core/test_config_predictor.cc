@@ -123,7 +123,7 @@ TEST_F(ConfigPredictorTest, Validation)
                      &chip_, {&workload::findWorkload("gcc"),
                               &workload::findWorkload("deepsjeng")}),
                  util::FatalError);
-    EXPECT_THROW(predictor_.modelFor(9), util::FatalError);
+    EXPECT_THROW((void)predictor_.modelFor(9), util::FatalError);
 }
 
 TEST(ConfigPredictorRandomChips, SafeAcrossPopulation)

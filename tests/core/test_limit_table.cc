@@ -30,8 +30,8 @@ TEST(LimitTable, LookupByIndexAndName)
     const LimitTable table = makeTable();
     EXPECT_EQ(table.byIndex(1).coreName, "TC1");
     EXPECT_EQ(table.byName("TC0").idle, 8);
-    EXPECT_THROW(table.byIndex(5), util::FatalError);
-    EXPECT_THROW(table.byName("nope"), util::FatalError);
+    EXPECT_THROW((void)table.byIndex(5), util::FatalError);
+    EXPECT_THROW((void)table.byName("nope"), util::FatalError);
 }
 
 TEST(LimitTable, RollbackSpread)
@@ -107,8 +107,8 @@ TEST(RollbackMatrix, MeansAndPrint)
     EXPECT_DOUBLE_EQ(matrix.appMean(1), 0.5);
     EXPECT_DOUBLE_EQ(matrix.coreMean(0), 1.0);
     EXPECT_DOUBLE_EQ(matrix.coreMean(1), 2.0);
-    EXPECT_THROW(matrix.appMean(2), util::FatalError);
-    EXPECT_THROW(matrix.coreMean(2), util::FatalError);
+    EXPECT_THROW((void)matrix.appMean(2), util::FatalError);
+    EXPECT_THROW((void)matrix.coreMean(2), util::FatalError);
 
     std::ostringstream os;
     matrix.print(os);

@@ -67,7 +67,7 @@ TEST_F(FreqPredictorTest, PowerBudgetInvertsPrediction)
 
 TEST_F(FreqPredictorTest, RangeChecked)
 {
-    EXPECT_THROW(predictor_.fitFor(99), util::FatalError);
+    EXPECT_THROW((void)predictor_.fitFor(99), util::FatalError);
 }
 
 TEST(PerfPredictorTest, LinearAndAccurate)
@@ -103,9 +103,9 @@ TEST(PerfPredictorTest, RequiredFreqInverts)
 TEST(PerfPredictorTest, Validation)
 {
     const auto &gcc = workload::findWorkload("gcc");
-    EXPECT_THROW(PerfPredictor::fit(gcc, 5000.0, 4200.0),
+    EXPECT_THROW((void)PerfPredictor::fit(gcc, 5000.0, 4200.0),
                  util::FatalError);
-    EXPECT_THROW(PerfPredictor::fit(gcc, 4200.0, 5000.0, 1),
+    EXPECT_THROW((void)PerfPredictor::fit(gcc, 4200.0, 5000.0, 1),
                  util::FatalError);
 }
 

@@ -191,7 +191,7 @@ TEST_F(SafetyMonitorTest, RearmForgetsHistory)
     EXPECT_EQ(monitor.counters().quarantines, 0);
     EXPECT_DOUBLE_EQ(monitor.backoffUs(0),
                      monitor.config().backoffBaseUs);
-    EXPECT_THROW(monitor.state(99), util::FatalError);
+    EXPECT_THROW((void)monitor.state(99), util::FatalError);
 }
 
 TEST(CoreSafetyStateNames, Printable)

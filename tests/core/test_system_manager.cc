@@ -112,7 +112,7 @@ TEST_F(SystemManagerTest, Validation)
     EXPECT_THROW(manager_.scheduleBatch(null_job, nullptr),
                  util::FatalError);
     EXPECT_THROW(manager_.managerFor(5), util::FatalError);
-    EXPECT_THROW(manager_.deployedFreqMhz(5, 0), util::FatalError);
+    EXPECT_THROW((void)manager_.deployedFreqMhz(5, 0), util::FatalError);
 }
 
 } // namespace

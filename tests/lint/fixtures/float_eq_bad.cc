@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Negative fixture for the `float-equality` check: exact ==/!= on
+ * floating-point values and Quantity types. Never compiled.
+ */
+
+#include "util/quantity.h"
+
+namespace atmsim::lintfixture {
+
+bool
+badCompares(double measured, util::Mhz freq)
+{
+    // BAD: exact comparison against a float literal.
+    if (measured == 0.1)
+        return true;
+    double target = measured * 3.0;
+    // BAD: exact comparison between two computed doubles.
+    if (target != measured)
+        return false;
+    // BAD: exact comparison on a Quantity's raw value.
+    return freq.value() == 4000.0;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Clean counterpart of float_eq_bad.cc: tolerance comparisons, plus
+ * one deliberate exact comparison carrying the inline-suppression
+ * marker with a justification. Never compiled.
+ */
+
+#include <cmath>
+
+#include "util/quantity.h"
+
+namespace atmsim::lintfixture {
+
+bool
+goodCompares(double measured, util::Mhz freq)
+{
+    if (std::abs(measured - 0.1) < 1e-9)
+        return true;
+    const double target = measured * 3.0;
+    if (std::abs(target - measured) > 1e-12)
+        return false;
+    // atmlint: allow(float-equality) -- sentinel: 0.0 means the
+    // caller never set a frequency, not a measured value.
+    return freq.value() == 0.0;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Negative fixture for the `lock-discipline` check: a class that
+ * owns a mutex but leaves shared state unannotated, so nothing ties
+ * the state to the lock. Never compiled.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::lintfixture {
+
+class BadBuffer
+{
+  public:
+    void push(const std::string &line);
+
+  private:
+    util::Mutex mu_;
+    // BAD: mutable members of a mutex-owning class without
+    // ATM_GUARDED_BY -- the lock protects nothing, structurally.
+    std::vector<std::string> lines_;
+    long dropped_ = 0;
+};
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Clean counterpart of lock_bad.h: every mutable member is tied to
+ * the mutex with ATM_GUARDED_BY; const/static/atomic members are
+ * exempt by rule. Never compiled.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::lintfixture {
+
+class GoodBuffer
+{
+  public:
+    void push(const std::string &line);
+
+  private:
+    util::Mutex mu_;
+    std::vector<std::string> lines_ ATM_GUARDED_BY(mu_);
+    long dropped_ ATM_GUARDED_BY(mu_) = 0;
+    std::atomic<long> pushes_{0};   // atomic: exempt
+    const std::size_t capacity_ = 1024; // immutable: exempt
+    static constexpr long kLimit = 8;   // static: exempt
+};
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Negative fixture for the `missing-nodiscard` check: value-returning
+ * compute/factory APIs without [[nodiscard]]. Never compiled.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace atmsim::lintfixture {
+
+class BadTable
+{
+  public:
+    // BAD: const getter returning a value.
+    std::size_t size() const { return size_; }
+
+    // BAD: factory returning the product.
+    static BadTable fromRows(std::size_t rows);
+
+    void clear() { size_ = 0; } // fine: void return
+
+  private:
+    std::size_t size_ = 0;
+};
+
+// BAD: free compute function returning a value.
+double interpolate(double lo, double hi, double frac);
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Clean counterpart of nodiscard_bad.h: the same APIs annotated.
+ * Never compiled.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace atmsim::lintfixture {
+
+class GoodTable
+{
+  public:
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    [[nodiscard]] static GoodTable fromRows(std::size_t rows);
+
+    void clear() { size_ = 0; }
+
+  private:
+    std::size_t size_ = 0;
+};
+
+[[nodiscard]] double interpolate(double lo, double hi, double frac);
+
+} // namespace atmsim::lintfixture

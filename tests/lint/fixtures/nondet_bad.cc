@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Negative fixture for the `nondet-iteration` check: iterating an
+ * unordered container in code whose output must be deterministic.
+ * The iteration order depends on the hash seed and the allocation
+ * history, so two identical runs can emit differently ordered
+ * output. Never compiled.
+ */
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace atmsim::lintfixture {
+
+double
+badSum(const std::unordered_map<std::string, double> &)
+{
+    std::unordered_map<std::string, double> weights;
+    std::unordered_set<int> cores;
+    double total = 0.0;
+    // BAD: range-for over an unordered_map.
+    for (const auto &entry : weights)
+        total += entry.second;
+    // BAD: explicit iterator walk over an unordered_set.
+    for (auto it = cores.begin(); it != cores.end(); ++it)
+        total += *it;
+    return total;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Clean counterpart of nondet_bad.cc: ordered containers iterate
+ * deterministically, and an unordered container used purely for
+ * membership tests (never iterated) is fine. Never compiled.
+ */
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace atmsim::lintfixture {
+
+double
+goodSum()
+{
+    std::map<std::string, double> weights;
+    std::vector<int> cores;
+    std::unordered_set<int> seen; // lookup-only: never iterated
+    double total = 0.0;
+    for (const auto &entry : weights)
+        total += entry.second;
+    for (int core : cores) {
+        if (seen.count(core))
+            total += core;
+    }
+    return total;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Negative fixture for the `unseeded-rng` check: every way this
+ * repo has seen reproducibility die. Never compiled.
+ */
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace atmsim::lintfixture {
+
+int
+badDraws()
+{
+    // BAD: default-constructed engine, fixed but implicit seed.
+    std::mt19937 gen;
+    // BAD: nondeterministic hardware seed.
+    std::random_device rd;
+    std::mt19937_64 gen64(rd());
+    // BAD: C RNG seeded from the wall clock.
+    std::srand(std::time(nullptr));
+    return static_cast<int>(gen() + gen64()) + std::rand();
+}
+
+} // namespace atmsim::lintfixture

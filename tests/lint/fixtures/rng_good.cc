@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Clean counterpart of rng_bad.cc: randomness comes from the
+ * explicitly seeded util::Rng, the only source the determinism
+ * guarantee (same seed -> bit-identical run) allows. Never compiled.
+ */
+
+#include "util/rng.h"
+
+namespace atmsim::lintfixture {
+
+double
+goodDraws(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    util::Rng child = rng.fork(1);
+    return rng.uniform() + child.gaussian();
+}
+
+} // namespace atmsim::lintfixture

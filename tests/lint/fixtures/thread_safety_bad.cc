@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Negative compile fixture for clang's -Wthread-safety: reads and
+ * writes ATM_GUARDED_BY state without holding the mutex. The
+ * `lint_thread_safety_rejects_bad_fixture` ctest compiles this with
+ * `clang -fsyntax-only -Wthread-safety -Werror=thread-safety-analysis`
+ * and expects FAILURE -- proving the annotations are load-bearing,
+ * not decorative. (On gcc the macros expand to nothing and this file
+ * would compile; the test only runs under clang.)
+ */
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::lintfixture {
+
+class UnsafeCounter
+{
+  public:
+    void
+    incr()
+    {
+        // BAD: writing guarded state with the mutex not held.
+        ++count_;
+    }
+
+    [[nodiscard]] long
+    read() const
+    {
+        // BAD: reading guarded state with the mutex not held.
+        return count_;
+    }
+
+  private:
+    mutable util::Mutex mu_;
+    long count_ ATM_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Positive compile fixture for clang's -Wthread-safety: the same
+ * class as thread_safety_bad.cc with every access under
+ * util::MutexLock. Must compile clean with
+ * `-Wthread-safety -Werror=thread-safety-analysis`.
+ */
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::lintfixture {
+
+class SafeCounter
+{
+  public:
+    void
+    incr()
+    {
+        util::MutexLock lock(mu_);
+        ++count_;
+    }
+
+    [[nodiscard]] long
+    read() const
+    {
+        util::MutexLock lock(mu_);
+        return count_;
+    }
+
+  private:
+    mutable util::Mutex mu_;
+    long count_ ATM_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Clean counterpart of units_bad.h: the same interface expressed
+ * with the dimensional strong types, which is exactly what the
+ * `units` check wants. ctest asserts atmlint exits 0 on this file.
+ *
+ * Never compiled; lint fixture only.
+ */
+
+#pragma once
+
+#include "util/quantity.h"
+
+namespace atmsim::lintfixture {
+
+class GoodClock
+{
+  public:
+    void setPeriod(util::Picoseconds period);
+
+    double steadyState(util::Mhz freq, util::Volts vdd,
+                       util::Celsius temp);
+};
+
+} // namespace atmsim::lintfixture

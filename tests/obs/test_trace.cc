@@ -22,8 +22,10 @@ TEST(TraceCollector, BuffersCompleteAndInstantEvents)
     const int t = trace.track("engine");
     trace.complete("phase", t, 1.0, 2.5, 100.0, 3);
     trace.instant("violation", t, 200.0);
-    ASSERT_EQ(trace.events().size(), 2u);
-    const TraceEvent &ev = trace.events()[0];
+    // events() returns a copy taken under the collector's lock.
+    const std::vector<TraceEvent> events = trace.events();
+    ASSERT_EQ(events.size(), 2u);
+    const TraceEvent &ev = events[0];
     EXPECT_STREQ(ev.name, "phase");
     EXPECT_EQ(ev.phase, 'X');
     EXPECT_EQ(ev.track, t);
@@ -31,7 +33,7 @@ TEST(TraceCollector, BuffersCompleteAndInstantEvents)
     EXPECT_DOUBLE_EQ(ev.durUs, 2.5);
     EXPECT_DOUBLE_EQ(ev.simNs, 100.0);
     EXPECT_EQ(ev.arg, 3);
-    EXPECT_EQ(trace.events()[1].phase, 'i');
+    EXPECT_EQ(events[1].phase, 'i');
 }
 
 TEST(TraceCollector, EventCapCountsDrops)
@@ -78,11 +80,12 @@ TEST(ScopedSpan, EmitsOneCompleteEvent)
     {
         ScopedSpan span(&trace, "scope", t, 7.0);
     }
-    ASSERT_EQ(trace.events().size(), 1u);
-    EXPECT_STREQ(trace.events()[0].name, "scope");
-    EXPECT_EQ(trace.events()[0].phase, 'X');
-    EXPECT_DOUBLE_EQ(trace.events()[0].simNs, 7.0);
-    EXPECT_GE(trace.events()[0].durUs, 0.0);
+    const std::vector<TraceEvent> events = trace.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "scope");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_DOUBLE_EQ(events[0].simNs, 7.0);
+    EXPECT_GE(events[0].durUs, 0.0);
 }
 
 TEST(ScopedSpan, NullCollectorIsSafe)

@@ -99,6 +99,8 @@ TEST(QuantityProperty, ConversionIsOrderReversing)
     for (int i = 0; i < 10000; ++i) {
         const util::Mhz a{rng.uniform(100.0, 8000.0)};
         const util::Mhz b{rng.uniform(100.0, 8000.0)};
+        // atmlint: allow(float-equality) -- duplicate draws really
+        // are bit-identical; anything else must order strictly.
         if (a == b)
             continue;
         const util::Mhz lo = std::min(a, b);
@@ -116,6 +118,8 @@ TEST(QuantityProperty, OrderingMatchesUnderlyingValue)
         const util::Picoseconds qx{x};
         const util::Picoseconds qy{y};
         EXPECT_EQ(qx < qy, x < y);
+        // atmlint: allow(float-equality) -- this property test
+        // asserts Quantity::operator== forwards bit-exactly.
         EXPECT_EQ(qx == qy, x == y);
         EXPECT_EQ(qx <=> qy, x <=> y);
     }
@@ -133,6 +137,8 @@ TEST(QuantityProperty, ArithmeticMatchesUnderlyingValue)
         EXPECT_EQ((qx + qy).value(), x + y);
         EXPECT_EQ((qx - qy).value(), x - y);
         EXPECT_EQ((qx * k).value(), x * k);
+        // atmlint: allow(float-equality) -- exact division-by-zero
+        // guard on the raw drawn value.
         if (y != 0.0) {
             EXPECT_EQ(qx / qy, x / y); // ratio is dimensionless
             EXPECT_EQ((qx / y).value(), x / y);

@@ -84,8 +84,8 @@ TEST(Telemetry, Validation)
     EXPECT_THROW(rec.record(Nanoseconds{0.0}, 5, Mhz{1.0},
                             Volts{1.0}),
                  util::FatalError);
-    EXPECT_THROW(rec.series(5), util::FatalError);
-    EXPECT_THROW(rec.windowAvgFreqMhz(0, 1.0), util::FatalError);
+    EXPECT_THROW((void)rec.series(5), util::FatalError);
+    EXPECT_THROW((void)rec.windowAvgFreqMhz(0, 1.0), util::FatalError);
 }
 
 TEST(Telemetry, ObserverFrameSmallerThanRecorderIsTolerated)

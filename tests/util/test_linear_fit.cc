@@ -46,9 +46,9 @@ TEST(LinearFit, ConstantYIsPerfectFit)
 
 TEST(LinearFit, RejectsDegenerateInput)
 {
-    EXPECT_THROW(fitLine({1}, {2}), FatalError);
-    EXPECT_THROW(fitLine({1, 2}, {1}), FatalError);
-    EXPECT_THROW(fitLine({2, 2, 2}, {1, 2, 3}), FatalError);
+    EXPECT_THROW((void)fitLine({1}, {2}), FatalError);
+    EXPECT_THROW((void)fitLine({1, 2}, {1}), FatalError);
+    EXPECT_THROW((void)fitLine({2, 2, 2}, {1, 2, 3}), FatalError);
 }
 
 } // namespace

@@ -104,8 +104,8 @@ TEST(IntHistogram, EmptyBehaviour)
     IntHistogram h;
     EXPECT_TRUE(h.empty());
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
-    EXPECT_THROW(h.minValue(), PanicError);
-    EXPECT_THROW(h.maxValue(), PanicError);
+    EXPECT_THROW((void)h.minValue(), PanicError);
+    EXPECT_THROW((void)h.maxValue(), PanicError);
 }
 
 TEST(IntHistogram, ItemsSorted)
@@ -140,9 +140,9 @@ TEST(Percentile, Interpolates)
 
 TEST(Percentile, RejectsBadInput)
 {
-    EXPECT_THROW(percentile({}, 50), FatalError);
-    EXPECT_THROW(percentile({1.0}, -1), FatalError);
-    EXPECT_THROW(percentile({1.0}, 101), FatalError);
+    EXPECT_THROW((void)percentile({}, 50), FatalError);
+    EXPECT_THROW((void)percentile({1.0}, -1), FatalError);
+    EXPECT_THROW((void)percentile({1.0}, 101), FatalError);
 }
 
 TEST(Means, ArithmeticAndGeometric)
@@ -151,7 +151,7 @@ TEST(Means, ArithmeticAndGeometric)
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
     EXPECT_NEAR(geomean({1, 4, 16}), 4.0, 1e-12);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
-    EXPECT_THROW(geomean({1.0, -2.0}), FatalError);
+    EXPECT_THROW((void)geomean({1.0, -2.0}), FatalError);
 }
 
 } // namespace

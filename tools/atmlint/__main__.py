@@ -1,0 +1,16 @@
+"""Entry point: ``python3 tools/atmlint [args]``.
+
+Works both as a directory target (python adds tools/atmlint to
+sys.path and runs this file) and as ``python3 -m tools.atmlint``
+(bootstrap below makes the flat module imports resolve either way).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

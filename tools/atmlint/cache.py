@@ -1,0 +1,138 @@
+"""Incremental result cache for atmlint.
+
+Repo-wide analysis must stay interactive (< 10 s warm on the full
+tree), so results are cached per ``(file, check)``:
+
+* a file entry is valid when size + mtime_ns match the stat fast
+  path; if they differ, the content hash is compared, so a
+  ``touch``-only change is still a hit;
+* every check carries a *fingerprint* -- the hash of its module
+  source plus the shared tokenizer/scanner/engine sources -- so
+  editing a check (or the framework) invalidates exactly the results
+  that could change;
+* findings are cached *pre-baseline* but post-suppression: inline
+  ``atmlint: allow`` markers live in the file content (so the hash
+  already invalidates them), while baselines can change without the
+  file changing and are therefore re-applied on every run -- updating
+  a baseline never requires re-analysis.
+
+The cache is a single JSON document written atomically; a corrupt or
+version-skewed file is silently treated as empty.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+CACHE_VERSION = 1
+
+
+def file_sha256(path):
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def sources_fingerprint(paths):
+    """Joint hash of a list of source files (order-insensitive)."""
+    h = hashlib.sha256()
+    for p in sorted(str(p) for p in paths):
+        h.update(p.encode())
+        h.update(pathlib.Path(p).read_bytes())
+    return h.hexdigest()
+
+
+class IncrementalCache:
+    """Maps repo-relative path -> stat identity + per-check findings."""
+
+    def __init__(self, cache_path, check_fps):
+        self.path = pathlib.Path(cache_path) if cache_path else None
+        self.check_fps = dict(check_fps)
+        self.files = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self):
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if doc.get("version") != CACHE_VERSION:
+            return
+        old_fps = doc.get("check_fps", {})
+        for rel, entry in doc.get("files", {}).items():
+            checks = {name: findings
+                      for name, findings in entry.get("checks",
+                                                      {}).items()
+                      if old_fps.get(name) == self.check_fps.get(name)}
+            entry["checks"] = checks
+            self.files[rel] = entry
+
+    def _identity(self, abspath):
+        st = os.stat(abspath)
+        return st.st_size, st.st_mtime_ns
+
+    def lookup(self, abspath, rel, check_name):
+        """Cached raw findings for (file, check), or None."""
+        entry = self.files.get(rel)
+        if entry is None or check_name not in entry["checks"]:
+            self.misses += 1
+            return None
+        size, mtime = self._identity(abspath)
+        if entry.get("size") == size and entry.get("mtime_ns") == mtime:
+            self.hits += 1
+            return entry["checks"][check_name]
+        # Stat changed: fall back to the content hash (touch-only).
+        sha = file_sha256(abspath)
+        if entry.get("sha256") == sha:
+            entry["size"] = size
+            entry["mtime_ns"] = mtime
+            self.hits += 1
+            return entry["checks"][check_name]
+        # Content changed: every cached check result is stale.
+        entry["checks"] = {}
+        entry["size"] = size
+        entry["mtime_ns"] = mtime
+        entry["sha256"] = sha
+        self.misses += 1
+        return None
+
+    def store(self, abspath, rel, check_name, findings):
+        entry = self.files.get(rel)
+        if entry is None or "sha256" not in entry:
+            size, mtime = self._identity(abspath)
+            entry = {"size": size, "mtime_ns": mtime,
+                     "sha256": file_sha256(abspath), "checks": {}}
+            self.files[rel] = entry
+        entry["checks"][check_name] = findings
+
+    def prune(self, live_rels):
+        """Drop entries for files that no longer exist in the scan."""
+        for rel in list(self.files):
+            if rel not in live_rels:
+                del self.files[rel]
+
+    def save(self):
+        if self.path is None:
+            return
+        doc = {"version": CACHE_VERSION, "check_fps": self.check_fps,
+               "files": self.files}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=".atmlint-cache.")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

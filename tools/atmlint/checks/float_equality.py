@@ -1,0 +1,104 @@
+"""float-equality: exact == / != on floating-point values.
+
+Exact comparison of computed floating-point values is almost always a
+bug -- two mathematically equal results can differ in the last ulp
+after different operation orders, which matters for a simulator whose
+results feed regression gates.  The check flags a ``==`` or ``!=``
+whose operand is:
+
+* a floating-point literal (``x == 0.5``, ``1e-3 != y``);
+* an identifier declared ``double``/``float`` *in the same file*
+  (declaration-aware, not cross-TU);
+* an identifier declared with a util/quantity.h strong type
+  (Picoseconds, Mhz, Volts, ...), whose comparison forwards to the
+  raw double;
+* a ``.value()`` call result (the Quantity raw-value accessor).
+
+``operator==`` declarations themselves are not flagged.  Deliberate
+exact comparisons -- sentinel values, rejection-sampling guards,
+determinism tests asserting bit-identical results -- are blessed with
+``atmlint: allow(float-equality)`` plus a justification.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from cpptokens import IDENT, PUNCT, is_float_literal  # noqa: E402
+from registry import Check, register  # noqa: E402
+
+#: Strong types from src/util/quantity.h whose == forwards to double.
+_QUANTITY_TYPES = {
+    "Picoseconds", "Nanoseconds", "Microseconds", "Seconds", "Mhz",
+    "Volts", "Millivolts", "Celsius", "Watts", "Amps",
+}
+
+_FLOAT_TYPES = {"double", "float"}
+
+RULE = "float-equality"
+
+
+def _declared_float_names(toks):
+    """Identifiers declared double/float or as a Quantity type."""
+    names = set()
+    for i, t in enumerate(toks[:-1]):
+        if t.kind != IDENT:
+            continue
+        if t.text in _FLOAT_TYPES or t.text in _QUANTITY_TYPES:
+            nxt = toks[i + 1]
+            if nxt.kind == IDENT:
+                names.add(nxt.text)
+    return names
+
+
+@register
+class FloatEqualityCheck(Check):
+    name = "float-equality"
+    description = ("exact ==/!= on floating-point or Quantity values "
+                   "is ulp-fragile; compare with a tolerance")
+    rules = {
+        RULE: "exact floating-point equality comparison",
+    }
+    default_paths = ("src", "tests", "bench", "examples")
+
+    def run(self, source):
+        toks = source.tok.tokens
+        names = _declared_float_names(toks)
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != PUNCT or t.text not in ("==", "!="):
+                continue
+            if i == 0 or i + 1 >= n:
+                continue
+            prev = toks[i - 1]
+            nxt = toks[i + 1]
+            # `bool operator==(...)` declarations are fine.
+            if prev.kind == IDENT and prev.text == "operator":
+                continue
+            symbol = None
+            if is_float_literal(prev):
+                symbol = prev.text
+            elif is_float_literal(nxt):
+                symbol = nxt.text
+            elif prev.kind == IDENT and prev.text in names:
+                symbol = prev.text
+            elif nxt.kind == IDENT and nxt.text in names:
+                symbol = nxt.text
+            elif (prev.text == ")" and i >= 3
+                  and toks[i - 2].text == "("
+                  and toks[i - 3].kind == IDENT
+                  and toks[i - 3].text == "value"):
+                symbol = "value()"
+            elif (nxt.kind == IDENT and i + 4 < n
+                  and toks[i + 2].text in (".", "->")
+                  and toks[i + 3].text == "value"
+                  and toks[i + 4].text == "("):
+                symbol = "value()"
+            if symbol is None:
+                continue
+            yield source.finding(
+                self, RULE, t.line, symbol,
+                f"exact '{t.text}' on a floating-point value "
+                f"('{symbol}'); compare against a tolerance or bless "
+                "with a justified suppression")

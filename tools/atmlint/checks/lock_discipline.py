@@ -1,0 +1,173 @@
+"""lock-discipline: shared state must be mutex-guarded + annotated.
+
+The observability stack (src/obs) and the logging sink/context are
+the two places the future parallel engine will touch from multiple
+threads, so their shared state carries clang thread-safety
+annotations (src/util/thread_annotations.h) and this check keeps the
+annotations honest on *every* compiler, not just clang:
+
+* ``unguarded-member`` -- in a class that owns a mutex
+  (``util::Mutex`` or ``std::mutex``), every mutable data member must
+  be annotated ``ATM_GUARDED_BY(<mutex>)`` (or ``ATM_PT_GUARDED_BY``
+  for pointed-to data).  ``const``/``constexpr``, ``static``,
+  ``std::atomic`` members and the mutexes themselves are exempt.
+* ``unguarded-global`` -- in a scoped ``.cc`` file that declares a
+  namespace-scope mutex, every other namespace-scope variable needs
+  the same treatment.
+
+A class with *no* mutex member is skipped: single-threaded ownership
+is this repo's default contract and is documented per class
+(DESIGN.md, "Thread safety").  Members initialized with parentheses
+are not modelled (none exist in the scoped files); deliberate
+exceptions take ``atmlint: allow(lock-discipline)`` with a reason.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from cpptokens import IDENT  # noqa: E402
+from declscan import CLASS, NAMESPACE, iter_statements  # noqa: E402
+from registry import Check, register  # noqa: E402
+
+RULE_MEMBER = "unguarded-member"
+RULE_GLOBAL = "unguarded-global"
+
+_GUARD_MACROS = {"ATM_GUARDED_BY", "ATM_PT_GUARDED_BY"}
+_MUTEX_TYPES = {"Mutex", "mutex", "shared_mutex", "recursive_mutex"}
+_EXEMPT = {"const", "constexpr", "static", "atomic", "atomic_bool",
+           "atomic_int", "atomic_long"}
+
+
+def _strip_annotations(texts):
+    """Remove ATM_*(...) macro calls from a token-text list."""
+    out = []
+    i = 0
+    while i < len(texts):
+        if texts[i] in _GUARD_MACROS or (
+                texts[i].startswith("ATM_") and i + 1 < len(texts)
+                and texts[i + 1] == "("):
+            depth = 0
+            i += 1
+            while i < len(texts):
+                if texts[i] == "(":
+                    depth += 1
+                elif texts[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+            continue
+        out.append(texts[i])
+        i += 1
+    return out
+
+
+def _member_name(texts):
+    """Best-effort declared-identifier extraction for a data member."""
+    # Name is the last identifier before '=' / '[' / end.
+    for stop in ("=", "["):
+        if stop in texts:
+            texts = texts[:texts.index(stop)]
+    for txt in reversed(texts):
+        if txt and (txt[0].isalpha() or txt[0] == "_"):
+            if txt not in ("const", "mutable"):
+                return txt
+    return "?"
+
+
+def _is_data_member(stripped):
+    """A declaration with no parameter list once annotations go."""
+    return "(" not in stripped and stripped and \
+        stripped[0] not in ("using", "typedef", "static_assert",
+                            "friend", "class", "struct", "enum",
+                            "public", "private", "protected")
+
+
+def _is_mutex_decl(stripped):
+    return any(t in _MUTEX_TYPES for t in stripped)
+
+
+def _is_exempt(stripped):
+    return any(t in _EXEMPT for t in stripped)
+
+
+@register
+class LockDisciplineCheck(Check):
+    name = "lock-discipline"
+    description = ("mutable shared state in obs/logging must be "
+                   "mutex-guarded and ATM_GUARDED_BY-annotated")
+    rules = {
+        RULE_MEMBER: "member of a mutex-owning class lacks "
+                     "ATM_GUARDED_BY",
+        RULE_GLOBAL: "namespace-scope variable lacks ATM_GUARDED_BY",
+    }
+    default_paths = ("src/obs", "src/util/logging.h",
+                     "src/util/logging.cc", "src/util/mutex.h")
+
+    def run(self, source):
+        # Group statements per enclosing class, plus namespace scope.
+        classes = {}
+        globals_ = []
+        for stmt in iter_statements(source.tok.tokens):
+            if stmt.scope_kind == CLASS:
+                classes.setdefault(stmt.class_name, []).append(stmt)
+            elif stmt.scope_kind == NAMESPACE:
+                globals_.append(stmt)
+
+        for cls_name, stmts in classes.items():
+            members = []
+            has_mutex = False
+            for stmt in stmts:
+                texts = stmt.texts()
+                stripped = _strip_annotations(texts)
+                if not _is_data_member(stripped):
+                    continue
+                if _is_mutex_decl(stripped):
+                    has_mutex = True
+                    continue
+                members.append((stmt, texts, stripped))
+            if not has_mutex:
+                continue
+            for stmt, texts, stripped in members:
+                if _is_exempt(stripped):
+                    continue
+                if any(t in _GUARD_MACROS for t in texts):
+                    continue
+                name = _member_name(stripped)
+                yield source.finding(
+                    self, RULE_MEMBER, stmt.line,
+                    f"{cls_name}::{name}",
+                    f"member '{name}' of mutex-owning class "
+                    f"'{cls_name}' is not ATM_GUARDED_BY-annotated")
+
+        if not source.relpath.endswith((".cc", ".cpp")):
+            return
+        ns_members = []
+        ns_has_mutex = False
+        for stmt in globals_:
+            texts = stmt.texts()
+            stripped = _strip_annotations(texts)
+            if stmt.terminator != ";" or not _is_data_member(stripped):
+                continue
+            if _is_mutex_decl(stripped):
+                ns_has_mutex = True
+                continue
+            ns_members.append((stmt, texts, stripped))
+        if not ns_has_mutex:
+            return
+        for stmt, texts, stripped in ns_members:
+            if _is_exempt(stripped):
+                continue
+            if any(t in _GUARD_MACROS for t in texts):
+                continue
+            # Skip includes/forward decls that survive the filters.
+            if len(stripped) < 2:
+                continue
+            name = _member_name(stripped)
+            yield source.finding(
+                self, RULE_GLOBAL, stmt.line, name,
+                f"namespace-scope variable '{name}' shares a file "
+                "with a mutex but is not ATM_GUARDED_BY-annotated")

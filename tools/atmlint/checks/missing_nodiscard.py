@@ -1,0 +1,150 @@
+"""missing-nodiscard: value-returning APIs without [[nodiscard]].
+
+A compute or factory function whose only effect is its return value
+should be ``[[nodiscard]]``: silently dropping the result is always a
+bug (a lost snapshot, an ignored predicted frequency, a discarded
+factory product).  The check scans *public headers* under the scoped
+directories and requires ``[[nodiscard]]`` on:
+
+* const-qualified member functions returning a value or reference;
+* static member functions returning a value (factories like
+  ``Histogram::linear``);
+* free/namespace-scope functions returning a value.
+
+Not flagged: void returns, constructors/destructors, operators
+(idiomatic use is unambiguous), stream-returning helpers, and
+non-const member functions (their point is usually the side effect;
+find-or-create accessors that return references are still covered by
+their const counterparts where it matters).
+
+The sweep in this PR annotated every flagged declaration, so the
+check ships with an *empty* baseline -- new unannotated APIs fail CI
+immediately.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from cpptokens import IDENT  # noqa: E402
+from declscan import (CLASS, NAMESPACE, iter_statements,  # noqa: E402
+                      skip_template_header)
+from registry import Check, register  # noqa: E402
+
+RULE = "missing-nodiscard"
+
+_SPECIFIERS = {"virtual", "static", "inline", "constexpr", "explicit",
+               "friend", "extern", "typename", "mutable", "consteval",
+               "constinit"}
+
+_SKIP_LEADS = {"using", "typedef", "static_assert", "enum", "class",
+               "struct", "union", "namespace", "concept", "requires"}
+
+#: Return types that are themselves side-effect channels.
+_STREAM_TYPES = {"ostream", "istream", "iostream", "ostringstream",
+                 "istringstream", "stringstream", "JsonWriter"}
+
+
+def _analyze(stmt):
+    """Return (name_tok, ret_texts, has_nodiscard) or None."""
+    texts = stmt.texts()
+    start = skip_template_header(texts)
+    texts = texts[start:]
+    toks = stmt.tokens[start:]
+    if not texts or texts[0] in _SKIP_LEADS or "friend" in texts:
+        return None
+    # Find the parameter-list '(' : first top-level '(' preceded by an
+    # identifier.  '=' before it means a data-member initializer.
+    paren = -1
+    for i, txt in enumerate(texts):
+        if txt == "=":
+            return None
+        if txt == "(":
+            paren = i
+            break
+    if paren <= 0:
+        return None
+    name_tok = toks[paren - 1]
+    if name_tok.kind != IDENT:
+        return None
+    if "operator" in texts[:paren]:
+        return None
+    ret = texts[:paren - 1]
+    # `~Dtor()` or qualified `Class::~Class()`.
+    if "~" in texts[:paren]:
+        return None
+    # Strip declaration specifiers and attributes from return type.
+    has_nodiscard = "nodiscard" in ret
+    ret = [t for t in ret
+           if t not in _SPECIFIERS
+           and t not in ("[", "]", "nodiscard", "maybe_unused")]
+    # Qualified name: `Type Class::method(` leaves `Class ::` at the
+    # tail of ret; drop trailing `ident ::` pairs.
+    while len(ret) >= 2 and ret[-1] == "::":
+        ret = ret[:-2]
+    return name_tok, ret, has_nodiscard
+
+
+@register
+class MissingNodiscardCheck(Check):
+    name = "missing-nodiscard"
+    description = ("value-returning compute/factory APIs in public "
+                   "headers must be [[nodiscard]]")
+    rules = {
+        RULE: "value-returning function lacks [[nodiscard]]",
+    }
+    default_paths = ("src/core", "src/sim", "src/obs", "src/util")
+    extensions = (".h", ".hpp")
+
+    def run(self, source):
+        for stmt in iter_statements(source.tok.tokens):
+            info = _analyze(stmt)
+            if info is None:
+                continue
+            name_tok, ret, has_nodiscard = info
+            if not ret:
+                continue  # Constructor / conversion operator.
+            if name_tok.text == stmt.class_name:
+                continue  # Constructor.
+            base = [t for t in ret if t not in
+                    ("&", "*", "const", "::", "<", ">", ">>", ",")]
+            if not base:
+                continue
+            if "void" in base and "*" not in ret:
+                continue
+            if any(b in _STREAM_TYPES for b in base):
+                continue
+            texts = stmt.texts()
+            is_static = "static" in texts
+            is_const_member = (stmt.scope_kind == CLASS
+                               and self._is_const_qualified(texts))
+            is_free = stmt.scope_kind == NAMESPACE
+            if not (is_const_member or is_free
+                    or (stmt.scope_kind == CLASS and is_static)):
+                continue
+            if has_nodiscard:
+                continue
+            yield source.finding(
+                self, RULE, name_tok.line, name_tok.text,
+                f"'{name_tok.text}' returns a value but is not "
+                "[[nodiscard]]; a silently dropped result is a bug")
+
+    @staticmethod
+    def _is_const_qualified(texts):
+        """True for `... ) const [noexcept/override/final...]`."""
+        # Find the ')' closing the parameter list: the one matching
+        # the first '('.
+        depth = 0
+        close = -1
+        for i, txt in enumerate(texts):
+            if txt == "(":
+                depth += 1
+            elif txt == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+        if close < 0:
+            return False
+        return "const" in texts[close + 1:]

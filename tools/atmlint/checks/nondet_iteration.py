@@ -1,0 +1,119 @@
+"""nondet-iteration: iterating unordered containers in src/.
+
+Manifests, CSV, JSON, and trace emitters promise byte-identical
+output for identical seeds, and future sharded execution will only
+keep that promise if nothing on a result path walks a hash-ordered
+container.  This check finds, per file, every identifier declared as
+``std::unordered_map`` / ``std::unordered_set`` (and the multi
+variants) and then flags:
+
+* range-for loops whose range expression mentions such an identifier;
+* explicit ``.begin()`` / ``.cbegin()`` calls on one (iterator loops
+  and ``std::for_each``-style algorithms).
+
+Declaring an unordered container is fine -- lookup tables with no
+iteration are the intended use.  Iterating one for a commutative
+reduction is also fine, but must be blessed explicitly with an
+``atmlint: allow(nondet-iteration)`` comment carrying a
+justification, so every hash-order walk in the tree is a documented
+decision.
+
+Limitation (accepted): type aliases are not resolved -- a container
+hidden behind ``using Foo = std::unordered_map<...>`` is not seen.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from cpptokens import IDENT, PUNCT  # noqa: E402
+from declscan import match_angle  # noqa: E402
+from registry import Check, register  # noqa: E402
+
+_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"}
+
+RULE = "nondet-iteration"
+
+
+def _declared_unordered_names(toks):
+    """Identifiers declared with an unordered container type."""
+    texts = [t.text for t in toks]
+    names = set()
+    i = 0
+    while i < len(toks):
+        if toks[i].kind == IDENT and toks[i].text in _UNORDERED:
+            j = i + 1
+            if j < len(texts) and texts[j] == "<":
+                j = match_angle(texts, j)
+            # Skip references/pointers between type and name.
+            while j < len(texts) and texts[j] in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and toks[j].kind == IDENT:
+                names.add(toks[j].text)
+            i = j
+        else:
+            i += 1
+    return names
+
+
+@register
+class NondetIterationCheck(Check):
+    name = "nondet-iteration"
+    description = ("iteration over std::unordered_{map,set} is "
+                   "hash-ordered and breaks deterministic output")
+    rules = {
+        RULE: "iteration over an unordered container",
+    }
+    default_paths = ("src",)
+
+    def run(self, source):
+        toks = source.tok.tokens
+        texts = [t.text for t in toks]
+        names = _declared_unordered_names(toks)
+        if not names:
+            return
+        n = len(toks)
+        for i, t in enumerate(toks):
+            # for ( decl : range-expr )
+            if t.kind == IDENT and t.text == "for" and i + 1 < n \
+                    and texts[i + 1] == "(":
+                depth = 0
+                colon = -1
+                j = i + 1
+                while j < n:
+                    if texts[j] == "(":
+                        depth += 1
+                    elif texts[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif texts[j] == ":" and depth == 1 \
+                            and texts[j - 1] != ":" \
+                            and (j + 1 >= n or texts[j + 1] != ":"):
+                        colon = j
+                    elif texts[j] == ";" and depth == 1:
+                        colon = -1  # Classic for loop, not range-for.
+                        break
+                    j += 1
+                if colon > 0:
+                    for k in range(colon + 1, j):
+                        if toks[k].kind == IDENT \
+                                and toks[k].text in names:
+                            yield source.finding(
+                                self, RULE, toks[k].line, toks[k].text,
+                                f"range-for over unordered container "
+                                f"'{toks[k].text}' visits elements in "
+                                "hash order; use an ordered container "
+                                "or sort before emitting")
+                            break
+            # name.begin() / name.cbegin()
+            if (t.kind == IDENT and t.text in names and i + 2 < n
+                    and toks[i + 1].kind == PUNCT
+                    and texts[i + 1] in (".", "->")
+                    and texts[i + 2] in ("begin", "cbegin")):
+                yield source.finding(
+                    self, RULE, t.line, t.text,
+                    f"iterator over unordered container '{t.text}' "
+                    "visits elements in hash order")

@@ -1,0 +1,57 @@
+"""units: raw floating declarations carrying a unit suffix.
+
+Migrated from the PR 2 ``tools/lint/check_units.py`` units-suffix
+rule (the unseeded-RNG half lives in the ``unseeded-rng`` check).
+A ``double``/``float`` declaration whose identifier ends in a unit
+suffix (``*_ps``, ``*_mhz``, ``*_v``, ``*_mv``, ``*_c``, ``*_w``) is
+a latent dimensional bug: the declaration should use the matching
+strong type from ``src/util/quantity.h`` (util::Picoseconds,
+util::Mhz, util::Volts, util::Millivolts, util::Celsius,
+util::Watts), which turns a Nanoseconds-for-Picoseconds mix-up into
+a compile error.
+
+Finding keys are ``<path>:units-suffix:<identifier>`` -- identical to
+the PR 2 format, so the committed baseline carried over unchanged.
+"""
+
+import re
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from cpptokens import IDENT  # noqa: E402
+from registry import Check, register  # noqa: E402
+
+UNIT_SUFFIXES = ("ps", "mhz", "v", "mv", "c", "w")
+
+_SUFFIX_RE = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_]*_(?:" + "|".join(UNIT_SUFFIXES) + r")$")
+
+RULE = "units-suffix"
+
+
+@register
+class UnitsCheck(Check):
+    name = "units"
+    description = ("raw double/float declarations with unit-suffixed "
+                   "identifiers must use util/quantity.h strong types")
+    rules = {
+        RULE: "unit-suffixed raw floating declaration",
+    }
+    default_paths = ("src",)
+
+    def run(self, source):
+        toks = source.tok.tokens
+        for i, t in enumerate(toks):
+            if t.kind != IDENT or t.text not in ("double", "float"):
+                continue
+            if i + 1 >= len(toks):
+                continue
+            nxt = toks[i + 1]
+            if nxt.kind != IDENT or not _SUFFIX_RE.match(nxt.text):
+                continue
+            yield source.finding(
+                self, RULE, nxt.line, nxt.text,
+                f"'{nxt.text}' is a raw {t.text} carrying a unit "
+                "suffix; use the strong type from util/quantity.h")

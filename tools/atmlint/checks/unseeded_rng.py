@@ -1,0 +1,76 @@
+"""unseeded-rng: randomness that bypasses the seeded util::Rng.
+
+Same-seed bit-identical runs are the sim's headline guarantee, so
+every stochastic component must draw from the explicitly seeded,
+explicitly forked util::Rng.  This check flags:
+
+* ``unseeded-rng`` -- any standard-library random engine or
+  ``rand()``/``srand()`` use (migrated from PR 2's check_units.py);
+  ``std::random_device`` is included: even "just for a seed" it makes
+  a run unreproducible.
+* ``time-seed`` -- ``time(0)`` / ``time(nullptr)`` / ``time(NULL)``
+  calls, the classic wallclock-as-seed pattern that silently varies
+  between runs.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from cpptokens import IDENT, PUNCT  # noqa: E402
+from registry import Check, register  # noqa: E402
+
+_STD_ENGINES = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "random_device", "knuth_b",
+    "ranlux24", "ranlux48", "ranlux24_base", "ranlux48_base",
+}
+
+RULE_RNG = "unseeded-rng"
+RULE_TIME = "time-seed"
+
+
+@register
+class UnseededRngCheck(Check):
+    name = "unseeded-rng"
+    description = ("standard-library randomness and wallclock seeds "
+                   "break run reproducibility; use util::Rng")
+    rules = {
+        RULE_RNG: "std random engine / rand() bypasses util::Rng",
+        RULE_TIME: "time(0)-style wallclock value used in code",
+    }
+    default_paths = ("src", "tests", "bench", "examples")
+
+    def run(self, source):
+        toks = source.tok.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != IDENT:
+                continue
+            # std::<engine>
+            if (t.text in _STD_ENGINES and i >= 2
+                    and toks[i - 1].text == "::"
+                    and toks[i - 2].text == "std"):
+                yield source.finding(
+                    self, RULE_RNG, t.line, t.text,
+                    f"std::{t.text} bypasses the seeded util::Rng "
+                    "and breaks run reproducibility")
+                continue
+            # rand( / srand(
+            if (t.text in ("rand", "srand") and i + 1 < n
+                    and toks[i + 1].kind == PUNCT
+                    and toks[i + 1].text == "("):
+                yield source.finding(
+                    self, RULE_RNG, t.line, t.text,
+                    f"{t.text}() bypasses the seeded util::Rng")
+                continue
+            # time(0) / time(nullptr) / time(NULL)
+            if (t.text == "time" and i + 2 < n
+                    and toks[i + 1].text == "("
+                    and toks[i + 2].text in ("0", "nullptr", "NULL")
+                    and i + 3 < n and toks[i + 3].text == ")"):
+                yield source.finding(
+                    self, RULE_TIME, t.line, "time",
+                    "wallclock time() value varies between runs; "
+                    "seeds must come from the run configuration")

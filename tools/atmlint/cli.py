@@ -1,0 +1,222 @@
+"""atmlint command-line driver.
+
+Usage (from the repo root)::
+
+    python3 tools/atmlint                      # all checks, default scopes
+    python3 tools/atmlint --check units        # one check
+    python3 tools/atmlint --sarif atmlint.sarif
+    python3 tools/atmlint --check units --update-baseline
+    python3 tools/atmlint --check nondet-iteration path/to/file.cc
+    python3 tools/atmlint --clang-tidy --cppcheck --build-dir build
+
+Exit status: 0 clean, 1 new findings (or an external tool failed),
+2 usage error.  See CONTRIBUTING.md "Static analysis".
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+from engine import Engine
+from registry import load_checks
+from sarifout import write_sarif, TOOL_VERSION
+
+
+def _default_root():
+    return pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="atmlint",
+        description="tokenizer-based semantic analysis for the "
+                    "atmsim tree")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files/dirs (default: each "
+                             "check's own scope)")
+    parser.add_argument("--check", "-c", action="append", default=[],
+                        help="run only this check (repeatable, "
+                             "comma-separable)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list registered checks and exit")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="also write a SARIF 2.1.0 log")
+    parser.add_argument("--print-keys", action="store_true",
+                        help="print stable finding keys (incl. "
+                             "baselined) and exit 0")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache")
+    parser.add_argument("--cache-file", metavar="PATH",
+                        help="cache location (default: "
+                             "<root>/.atmlint-cache.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore committed baselines")
+    parser.add_argument("--baseline-dir", metavar="DIR",
+                        help="baseline directory (default: "
+                             "tools/atmlint/baselines)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite selected checks' baselines "
+                             "from current findings")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=_default_root(),
+                        help="repository root")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache/timing statistics")
+    parser.add_argument("--clang-tidy", action="store_true",
+                        help="also run clang-tidy (skipped when not "
+                             "installed)")
+    parser.add_argument("--cppcheck", action="store_true",
+                        help="also run cppcheck (skipped when not "
+                             "installed)")
+    parser.add_argument("--build-dir", metavar="DIR", default="build",
+                        help="build tree with compile_commands.json "
+                             "for clang-tidy")
+    parser.add_argument("--version", action="version",
+                        version=f"atmlint {TOOL_VERSION}")
+    return parser.parse_args(argv)
+
+
+def _select_checks(all_checks, requested):
+    if not requested:
+        return list(all_checks.values())
+    names = []
+    for item in requested:
+        names.extend(n.strip() for n in item.split(",") if n.strip())
+    selected = []
+    for name in names:
+        if name not in all_checks:
+            known = ", ".join(sorted(all_checks))
+            print(f"atmlint: unknown check '{name}' (known: {known})",
+                  file=sys.stderr)
+            sys.exit(2)
+        selected.append(all_checks[name])
+    return selected
+
+
+def _run_clang_tidy(root, build_dir):
+    if not shutil.which("clang-tidy"):
+        print("atmlint: clang-tidy not installed; skipped")
+        return 0
+    compdb = pathlib.Path(build_dir)
+    compdb = compdb if compdb.is_absolute() else root / compdb
+    if not (compdb / "compile_commands.json").exists():
+        print(f"atmlint: no compile_commands.json in {compdb}; "
+              "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+              file=sys.stderr)
+        return 1
+    files = subprocess.run(
+        ["git", "ls-files", "src/*.cc"], cwd=root,
+        capture_output=True, text=True).stdout.split()
+    proc = subprocess.run(
+        ["clang-tidy", "-p", str(compdb), "--quiet", *files],
+        cwd=root)
+    print("atmlint: clang-tidy "
+          + ("clean" if proc.returncode == 0 else "FAILED"))
+    return proc.returncode
+
+
+def _run_cppcheck(root):
+    if not shutil.which("cppcheck"):
+        print("atmlint: cppcheck not installed; skipped")
+        return 0
+    proc = subprocess.run(
+        ["cppcheck", "--std=c++20", "--language=c++",
+         "--inline-suppr",
+         "--enable=warning,performance,portability",
+         "--suppressions-list=tools/lint/cppcheck_suppressions.txt",
+         "--error-exitcode=1", "--quiet", "-I", "src", "src"],
+        cwd=root)
+    print("atmlint: cppcheck "
+          + ("clean" if proc.returncode == 0 else "FAILED"))
+    return proc.returncode
+
+
+def main(argv=None):
+    args = _parse_args(argv)
+    all_checks = load_checks()
+
+    if args.list_checks:
+        for name in sorted(all_checks):
+            check = all_checks[name]
+            scope = ", ".join(check.default_paths)
+            print(f"{name:20} {check.description}")
+            print(f"{'':20} scope: {scope}")
+        return 0
+
+    checks = _select_checks(all_checks, args.check)
+    root = args.root.resolve()
+    cache_path = None
+    if not args.no_cache:
+        cache_path = (pathlib.Path(args.cache_file)
+                      if args.cache_file
+                      else root / ".atmlint-cache.json")
+
+    try:
+        eng = Engine(root, checks,
+                     baseline_dir=args.baseline_dir,
+                     cache_path=cache_path,
+                     use_baseline=not args.no_baseline)
+        report = eng.run(explicit_paths=args.paths or None,
+                         scope_override=bool(args.paths
+                                             and args.check),
+                         update_baseline=args.update_baseline)
+    except FileNotFoundError as err:
+        print(f"atmlint: {err}", file=sys.stderr)
+        return 2
+
+    if args.print_keys:
+        keys = sorted({f.key for r in report.reports
+                       for f in (r.new + r.baselined)})
+        for key in keys:
+            print(key)
+        return 0
+
+    if args.update_baseline:
+        for name, path, count in report.updated_baselines:
+            rel = path
+            try:
+                rel = path.relative_to(root)
+            except ValueError:
+                pass
+            print(f"atmlint: {name}: wrote {count} entries to {rel}")
+
+    failures = 0
+    for crep in report.reports:
+        for f in sorted(crep.new,
+                        key=lambda f: (f.path, f.line, f.rule)):
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        for key in crep.stale:
+            print(f"atmlint: note: stale {crep.check.name} baseline "
+                  f"entry: {key}")
+        if crep.new:
+            failures += 1
+            print(f"atmlint: {crep.check.name}: "
+                  f"{len(crep.new)} new finding(s); fix them, add an "
+                  f"'atmlint: allow({crep.check.name})' comment with "
+                  "a justification, or update the baseline")
+
+    if args.sarif:
+        write_sarif(args.sarif, checks, report.new_findings,
+                    report.baselined_findings, root)
+        print(f"atmlint: wrote SARIF log to {args.sarif}")
+
+    if args.stats:
+        print(f"atmlint: {report.files} files, "
+              f"{report.cache_hits} cache hits, "
+              f"{report.cache_misses} misses, "
+              f"{report.elapsed_s:.2f}s")
+
+    if args.clang_tidy:
+        failures += 1 if _run_clang_tidy(root, args.build_dir) else 0
+    if args.cppcheck:
+        failures += 1 if _run_cppcheck(root) else 0
+
+    if failures == 0 and not args.update_baseline:
+        total_baselined = sum(len(r.baselined)
+                              for r in report.reports)
+        print(f"atmlint: clean ({len(checks)} checks, "
+              f"{report.files} files, {total_baselined} baselined, "
+              f"{report.elapsed_s:.2f}s)")
+    return 1 if failures else 0

@@ -1,0 +1,293 @@
+"""C++ tokenizer for atmlint.
+
+Turns a translation unit into a flat stream of (kind, text, line)
+tokens with comments and preprocessor directives stripped, which is
+what makes atmlint checks *semantic* rather than regex-per-line:
+a check never sees into comments, string literals are opaque single
+tokens, and multi-character operators (``==``, ``::``, ``->``) arrive
+pre-assembled so neighbourhood tests are reliable.
+
+This is deliberately not a full C++ parser.  It handles exactly the
+lexical features the checks need:
+
+* line ("//") and block ("/* */") comments, including block comments
+  spanning lines;
+* ordinary, char, and raw (``R"delim(...)delim"``) string literals,
+  with encoding prefixes;
+* preprocessor directives, skipped wholesale including backslash
+  continuations (so macro *definitions* are never linted, only uses);
+* numeric literals with digit separators, exponents, and suffixes,
+  classified as float or integer;
+* maximal-munch punctuation up to three characters.
+
+Suppression markers are collected during tokenization.  A comment
+containing ``atmlint: allow(check-a, check-b)`` suppresses those
+checks on the marker's line; a bare ``atmlint: allow`` (or the legacy
+``units-lint: allow``) suppresses every check.  When the comment is
+the only thing on its line the suppression instead applies to the
+next line that carries code, so a multi-line justification comment
+can sit above the statement it blesses.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+IDENT = "ident"
+NUM = "num"
+STR = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+# Longest first so maximal munch falls out of the lookup order.
+_PUNCTS_3 = ("<<=", ">>=", "...", "->*", "<=>")
+_PUNCTS_2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+             "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+             "|=", "^=", "##")
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_STRING_PREFIXES = {"u8", "u", "U", "L"}
+
+_ALLOW_RE = re.compile(
+    r"atmlint:\s*allow(?:\(([^)]*)\))?|units-lint:\s*allow")
+
+ALL_CHECKS = "*"
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: str
+    text: str
+    line: int
+
+
+@dataclass
+class TokenizedFile:
+    """Token stream plus per-line suppression sets."""
+
+    tokens: list = field(default_factory=list)
+    #: line number -> set of suppressed check names ('*' = all).
+    suppressed: dict = field(default_factory=dict)
+    nlines: int = 0
+
+    def is_suppressed(self, check_name, line):
+        marks = self.suppressed.get(line)
+        if not marks:
+            return False
+        return ALL_CHECKS in marks or check_name in marks
+
+
+def _is_float_literal(text):
+    """Classify a numeric literal token as floating-point."""
+    lower = text.lower().replace("'", "")
+    if lower.startswith("0x"):
+        return "p" in lower  # Hex floats carry a binary exponent.
+    if "." in lower:
+        return True
+    # An exponent makes a decimal literal floating even without a dot.
+    mantissa = lower.rstrip("flu")
+    return "e" in mantissa and not mantissa.startswith("0x")
+
+
+def is_float_literal(tok):
+    return tok.kind == NUM and _is_float_literal(tok.text)
+
+
+def _parse_allow(comment):
+    match = _ALLOW_RE.search(comment)
+    if not match:
+        return None
+    names = match.group(1)
+    if names is None or not names.strip():
+        return {ALL_CHECKS}
+    return {n.strip() for n in re.split(r"[,\s]+", names.strip())
+            if n.strip()}
+
+
+def tokenize(text):
+    """Tokenize ``text`` into a TokenizedFile."""
+    out = TokenizedFile()
+    i = 0
+    n = len(text)
+    line = 1
+    line_has_token = False
+    token_lines = set()
+    #: Own-line markers waiting for the next code line: (line, marks).
+    pending_marks = []
+
+    def emit(kind, tok_text, tok_line):
+        nonlocal line_has_token
+        out.tokens.append(Tok(kind, tok_text, tok_line))
+        line_has_token = True
+        token_lines.add(tok_line)
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            line_has_token = False
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor directive: skip the logical line (with
+        # backslash continuations) so macro bodies are never linted.
+        if c == "#" and not line_has_token:
+            while i < n:
+                if text[i] == "\n":
+                    if text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            continue
+
+        # Line comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            if end < 0:
+                end = n
+            marks = _parse_allow(text[i:end])
+            if marks:
+                if line_has_token:
+                    out.suppressed.setdefault(line,
+                                              set()).update(marks)
+                else:
+                    pending_marks.append((line, marks))
+            i = end
+            continue
+
+        # Block comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end < 0:
+                end = n - 2
+            comment = text[i:end + 2]
+            close_line = line + comment.count("\n")
+            marks = _parse_allow(comment)
+            if marks:
+                # A comment that owns its line blesses the next code
+                # line; a trailing comment blesses only its own.
+                nl = text.find("\n", end + 2)
+                rest = text[end + 2:nl if nl >= 0 else n]
+                if not line_has_token and rest.strip() == "":
+                    pending_marks.append((close_line, marks))
+                else:
+                    out.suppressed.setdefault(line,
+                                              set()).update(marks)
+            line = close_line
+            i = end + 2
+            continue
+
+        # String / char literals (with optional encoding prefix and
+        # raw strings).  Checked before identifiers so the prefix is
+        # consumed with the literal.
+        if c in _IDENT_START or c in "\"'":
+            # Look ahead for a literal prefix like u8R"(...)".
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            prefix = text[i:j]
+            if j < n and text[j] == '"' and (
+                    prefix == "" or prefix == "R"
+                    or prefix in _STRING_PREFIXES
+                    or (prefix.endswith("R")
+                        and prefix[:-1] in _STRING_PREFIXES)):
+                if prefix.endswith("R"):
+                    # Raw string: scan for the )delim" terminator.
+                    k = j + 1
+                    m = k
+                    while m < n and text[m] not in "()\\ \t\n":
+                        m += 1
+                    delim = text[k:m]
+                    closer = ")" + delim + '"'
+                    end = text.find(closer, m)
+                    if end < 0:
+                        end = n - len(closer)
+                    literal = text[i:end + len(closer)]
+                    emit(STR, literal, line)
+                    line += literal.count("\n")
+                    i = end + len(closer)
+                    continue
+                if prefix == "" or prefix in _STRING_PREFIXES:
+                    k = j + 1
+                    while k < n and text[k] != '"':
+                        if text[k] == "\\":
+                            k += 1
+                        elif text[k] == "\n":
+                            break  # Unterminated; recover.
+                        k += 1
+                    emit(STR, text[i:k + 1], line)
+                    i = k + 1
+                    continue
+            if c == "'":
+                k = i + 1
+                while k < n and text[k] != "'":
+                    if text[k] == "\\":
+                        k += 1
+                    elif text[k] == "\n":
+                        break
+                    k += 1
+                emit(CHAR, text[i:k + 1], line)
+                i = k + 1
+                continue
+            if c == '"':
+                # Unreachable (handled above with empty prefix) but
+                # kept for clarity.
+                i += 1
+                continue
+            emit(IDENT, prefix, line)
+            i = j
+            continue
+
+        # Numeric literal (also covers .5 style).
+        if c.isdigit() or (c == "." and i + 1 < n
+                           and text[i + 1].isdigit()):
+            j = i
+            while j < n:
+                ch = text[j]
+                if ch.isalnum() or ch in "._'":
+                    j += 1
+                elif ch in "+-" and j > i and text[j - 1] in "eEpP" \
+                        and not text[i:j].lower().startswith("0x") \
+                        and "e" in text[i:j].lower():
+                    j += 1
+                elif ch in "+-" and j > i and text[j - 1] in "pP" \
+                        and text[i:j].lower().startswith("0x"):
+                    j += 1
+                else:
+                    break
+            emit(NUM, text[i:j], line)
+            i = j
+            continue
+
+        # Punctuation: maximal munch.
+        for length in (3, 2):
+            chunk = text[i:i + length]
+            if (length == 3 and chunk in _PUNCTS_3) or (
+                    length == 2 and chunk in _PUNCTS_2):
+                emit(PUNCT, chunk, line)
+                i += length
+                break
+        else:
+            emit(PUNCT, c, line)
+            i += 1
+
+    # Resolve own-line markers to the first following code line (a
+    # multi-line justification comment blesses the statement after
+    # it, not the comment's own continuation lines).
+    for marker_line, marks in pending_marks:
+        target = marker_line
+        for candidate in range(marker_line + 1, line + 2):
+            if candidate in token_lines:
+                target = candidate
+                break
+        out.suppressed.setdefault(target, set()).update(marks)
+
+    out.nlines = line
+    return out

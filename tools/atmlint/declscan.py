@@ -1,0 +1,160 @@
+"""Lightweight declaration scanner shared by atmlint checks.
+
+Walks a token stream (from :mod:`cpptokens`) tracking brace scopes --
+namespace, class/struct, function body, initializer -- and yields the
+*statements* that appear at namespace or class scope.  A statement is
+the token run between ``;`` / ``{`` / ``}`` / access-specifier
+boundaries; function bodies are skipped wholesale so local code never
+masquerades as a declaration.
+
+This gives the nodiscard and lock-discipline checks just enough
+structure to reason about member and free declarations without a real
+C++ parser.  Known limitations (documented, accepted): template
+template parameters, macros that expand to declarations, and
+function-try-blocks are not modelled.
+"""
+
+from dataclasses import dataclass
+
+from cpptokens import IDENT, PUNCT
+
+#: Scope kinds.
+NAMESPACE = "namespace"
+CLASS = "class"
+FUNCTION = "function"
+OTHER = "other"
+
+_ACCESS = {"public", "private", "protected"}
+
+
+@dataclass
+class Statement:
+    """Tokens of one declaration-ish statement plus its context."""
+
+    tokens: list
+    scope_kind: str     # NAMESPACE or CLASS
+    class_name: str     # enclosing class name ("" at namespace scope)
+    terminator: str     # ";" or "{"
+
+    @property
+    def line(self):
+        return self.tokens[0].line if self.tokens else 0
+
+    def texts(self):
+        return [t.text for t in self.tokens]
+
+
+def _classify_brace(header):
+    """Decide what scope a ``{`` opens from the tokens before it."""
+    texts = [t.text for t in header]
+    if "namespace" in texts:
+        return NAMESPACE, ""
+    for kw in ("class", "struct", "union"):
+        if kw in texts:
+            # `class X { ... }` or `struct X : Base {`.  A `(` before
+            # the brace means this was a function returning a class
+            # type or a brace-init -- not a definition.
+            if "(" not in texts and "=" not in texts:
+                idx = texts.index(kw)
+                name = ""
+                for t in header[idx + 1:]:
+                    if t.kind == IDENT and t.text not in (
+                            "final", "alignas"):
+                        name = t.text
+                    elif t.text in (":", "{"):
+                        break
+                return CLASS, name
+    if "enum" in texts:
+        return OTHER, ""
+    if texts and texts[-1] in (")", "const", "noexcept", "override",
+                               "final") or "->" in texts:
+        return FUNCTION, ""
+    if "=" in texts or (texts and texts[-1] in (",", "(", "return")):
+        return OTHER, ""
+    # `struct {` anonymous, lambdas, array initializers...
+    return OTHER, ""
+
+
+def iter_statements(tokens):
+    """Yield Statements found at namespace or class scope."""
+    stack = []  # list of (kind, class_name)
+
+    def scope():
+        for kind, name in reversed(stack):
+            if kind in (NAMESPACE, CLASS):
+                return kind, name
+            if kind in (FUNCTION, OTHER):
+                return None, ""
+        return NAMESPACE, ""  # file scope behaves like a namespace
+
+    current = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        kind, cls_name = scope()
+        if t.text == "{" and t.kind == PUNCT:
+            opened, name = _classify_brace(current)
+            if kind is not None and current and opened == FUNCTION:
+                yield Statement(list(current), kind, cls_name, "{")
+            stack.append((opened, name))
+            current = []
+        elif t.text == "}" and t.kind == PUNCT:
+            if stack:
+                stack.pop()
+            current = []
+        elif t.text == ";" and t.kind == PUNCT:
+            if kind is not None and current:
+                yield Statement(list(current), kind, cls_name, ";")
+            current = []
+        elif (t.kind == IDENT and t.text in _ACCESS and i + 1 < n
+              and tokens[i + 1].text == ":"):
+            current = []
+            i += 2
+            continue
+        else:
+            if kind is not None:
+                current.append(t)
+        i += 1
+    # Trailing statement without terminator: ignore (broken input).
+
+
+def skip_template_header(texts, start=0):
+    """Return index just past a leading ``template <...>`` block."""
+    if start < len(texts) and texts[start] == "template":
+        depth = 0
+        i = start + 1
+        while i < len(texts):
+            if texts[i] == "<":
+                depth += 1
+            elif texts[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif texts[i] == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            i += 1
+    return start
+
+
+def match_angle(texts, start):
+    """Given index of ``<``, return index just past its ``>``."""
+    depth = 0
+    i = start
+    while i < len(texts):
+        if texts[i] == "<":
+            depth += 1
+        elif texts[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif texts[i] == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif texts[i] in (";", "{", "}"):
+            break  # Not a template argument list after all.
+        i += 1
+    return start + 1

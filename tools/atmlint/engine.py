@@ -1,0 +1,238 @@
+"""atmlint engine: file collection, caching, baselines, reporting.
+
+Orchestrates one analysis run:
+
+1. resolve which checks run over which files (per-check default
+   scopes, or explicit paths);
+2. tokenize each file once and hand the shared token stream to every
+   interested check (or pull the raw findings from the incremental
+   cache);
+3. filter raw findings through inline suppressions and the per-check
+   committed baselines;
+4. report -- human text, finding keys, or SARIF -- and persist the
+   cache.
+"""
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+import cpptokens
+from cache import IncrementalCache, sources_fingerprint
+from registry import SourceFile, Finding, check_source_files
+
+#: Paths never scanned by default scopes (deliberately-bad fixtures,
+#: build trees).  Explicit paths on the command line bypass this.
+DEFAULT_EXCLUDES = ("tests/lint/fixtures", "build")
+
+_CORE_SOURCES = ("cpptokens.py", "declscan.py", "engine.py",
+                 "registry.py")
+
+
+def core_fingerprint():
+    here = pathlib.Path(__file__).resolve().parent
+    return sources_fingerprint([here / name for name in _CORE_SOURCES])
+
+
+def check_fingerprints(checks):
+    core = core_fingerprint()
+    by_module = {p.stem: p for p in check_source_files()}
+    fps = {}
+    for check in checks:
+        module = type(check).__module__.replace("atmlint_check_", "")
+        path = by_module.get(module)
+        src_fp = sources_fingerprint([path]) if path else "?"
+        fps[check.name] = f"{core}:{src_fp}"
+    return fps
+
+
+@dataclass
+class BaselineState:
+    entries: dict = field(default_factory=dict)  # key -> reason
+    path: pathlib.Path = None
+
+
+def load_baseline(baseline_dir, check_name):
+    state = BaselineState()
+    state.path = pathlib.Path(baseline_dir) / f"{check_name}.txt"
+    if not state.path.exists():
+        return state
+    for raw in state.path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, reason = line.partition("  #")
+        state.entries[key.strip()] = reason.strip()
+    return state
+
+
+def write_baseline(baseline_dir, check_name, findings):
+    """Rewrite one check's baseline from current findings."""
+    path = pathlib.Path(baseline_dir) / f"{check_name}.txt"
+    if not findings:
+        if path.exists():
+            path.unlink()
+        return path, 0
+    keys = sorted({f.key for f in findings})
+    lines = [
+        f"# Accepted {check_name} findings.",
+        "# Regenerate with: python3 tools/atmlint "
+        f"--check {check_name} --update-baseline",
+        "# Format: <path>:<rule>:<symbol>  [ # justification ]",
+    ]
+    lines.extend(keys)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+    return path, len(keys)
+
+
+@dataclass
+class CheckReport:
+    check: object
+    new: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    suppressed: int = 0
+    stale: list = field(default_factory=list)
+    files_scanned: int = 0
+
+
+@dataclass
+class RunReport:
+    reports: list = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+    files: int = 0
+
+    @property
+    def new_findings(self):
+        return [f for r in self.reports for f in r.new]
+
+    @property
+    def baselined_findings(self):
+        return [f for r in self.reports for f in r.baselined]
+
+
+def _expand_paths(root, paths, extensions):
+    files = []
+    for p in paths:
+        p = pathlib.Path(p)
+        p = p if p.is_absolute() else root / p
+        if p.is_dir():
+            for ext in extensions:
+                files.extend(sorted(p.rglob(f"*{ext}")))
+        elif p.exists():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such path: {p}")
+    return files
+
+
+def _excluded(rel):
+    return any(rel == ex or rel.startswith(ex + "/")
+               for ex in DEFAULT_EXCLUDES)
+
+
+class Engine:
+    def __init__(self, root, checks, baseline_dir=None,
+                 cache_path=None, use_baseline=True):
+        self.root = pathlib.Path(root).resolve()
+        self.checks = list(checks)
+        self.baseline_dir = (pathlib.Path(baseline_dir)
+                             if baseline_dir else
+                             pathlib.Path(__file__).resolve().parent
+                             / "baselines")
+        self.use_baseline = use_baseline
+        self.cache = IncrementalCache(
+            cache_path, check_fingerprints(self.checks))
+
+    def _plan(self, explicit_paths, scope_override):
+        """{check -> [abspath]} plus the union file list."""
+        plan = {}
+        union = {}
+        for check in self.checks:
+            if explicit_paths:
+                files = _expand_paths(self.root, explicit_paths,
+                                      check.extensions)
+                if not scope_override:
+                    files = [f for f in files if check.wants(
+                        f.relative_to(self.root).as_posix())]
+            else:
+                files = _expand_paths(self.root, check.default_paths,
+                                      check.extensions)
+                files = [f for f in files if not _excluded(
+                    f.relative_to(self.root).as_posix())]
+            plan[check.name] = files
+            for f in files:
+                union[f] = None
+        return plan, list(union)
+
+    def run(self, explicit_paths=None, scope_override=False,
+            update_baseline=False):
+        start = time.monotonic()
+        plan, union = self._plan(explicit_paths, scope_override)
+        report = RunReport(files=len(union))
+        tokenized = {}
+
+        def get_source(path):
+            if path not in tokenized:
+                text = path.read_text(errors="replace")
+                rel = path.relative_to(self.root).as_posix()
+                tokenized[path] = SourceFile(
+                    path, rel, text, cpptokens.tokenize(text))
+            return tokenized[path]
+
+        updated_baselines = []
+        for check in self.checks:
+            crep = CheckReport(check=check)
+            baseline = (load_baseline(self.baseline_dir, check.name)
+                        if self.use_baseline else BaselineState())
+            seen_keys = set()
+            raw_all = []
+            for path in plan[check.name]:
+                rel = path.relative_to(self.root).as_posix()
+                cached = self.cache.lookup(path, rel, check.name)
+                if cached is not None:
+                    raw = [Finding(check=check.name, rule=r[0],
+                                   path=rel, line=r[1], symbol=r[2],
+                                   message=r[3]) for r in cached]
+                else:
+                    # Inline suppressions are applied before the
+                    # store, so cached findings are already filtered.
+                    source = get_source(path)
+                    raw = []
+                    for f in check.run(source):
+                        if source.tok.is_suppressed(check.name,
+                                                    f.line):
+                            crep.suppressed += 1
+                            continue
+                        raw.append(f)
+                    self.cache.store(
+                        path, rel, check.name,
+                        [[f.rule, f.line, f.symbol, f.message]
+                         for f in raw])
+                crep.files_scanned += 1
+                raw_all.extend(raw)
+            kept = raw_all
+            for f in kept:
+                seen_keys.add(f.key)
+                if f.key in baseline.entries:
+                    crep.baselined.append(f)
+                else:
+                    crep.new.append(f)
+            crep.stale = sorted(k for k in baseline.entries
+                                if k not in seen_keys)
+            if update_baseline:
+                path, count = write_baseline(
+                    self.baseline_dir, check.name, kept)
+                updated_baselines.append((check.name, path, count))
+                crep.new = []
+                crep.stale = []
+            report.reports.append(crep)
+
+        self.cache.save()
+        report.cache_hits = self.cache.hits
+        report.cache_misses = self.cache.misses
+        report.elapsed_s = time.monotonic() - start
+        report.updated_baselines = updated_baselines
+        return report

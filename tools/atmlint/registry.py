@@ -1,0 +1,117 @@
+"""Check plugin registry for atmlint.
+
+A check is a module in ``tools/atmlint/checks/`` that defines a
+subclass of :class:`Check` and registers an instance with the
+``@register`` decorator.  The driver discovers checks by importing
+every ``*.py`` file in that directory, so adding a check is: drop a
+file in ``checks/``, subclass ``Check``, decorate.  No central list
+to edit.
+
+Each check declares:
+
+* ``name`` -- stable identifier used on the command line, in
+  baseline file names, and in suppression comments;
+* ``description`` -- one line shown by ``--list-checks`` and in the
+  SARIF rule metadata;
+* ``rules`` -- mapping of rule id -> short description for every
+  rule the check can emit (a check may emit several, e.g. the
+  lock-discipline check distinguishes members from globals);
+* ``default_paths`` -- directories/files (relative to the repo root)
+  scanned when no explicit paths are given;
+* ``extensions`` -- file extensions the check applies to;
+* ``run(source)`` -- yields :class:`Finding` objects for one file.
+"""
+
+import importlib.util
+import pathlib
+from dataclasses import dataclass
+
+CHECKS_DIR = pathlib.Path(__file__).resolve().parent / "checks"
+
+DEFAULT_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic, identified across runs by its key."""
+
+    check: str
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    symbol: str
+    message: str
+
+    @property
+    def key(self):
+        """Stable identity: survives unrelated edits (no line no)."""
+        return f"{self.path}:{self.rule}:{self.symbol}"
+
+
+class SourceFile:
+    """A file handed to checks: path, text, and lazy token stream."""
+
+    def __init__(self, path, relpath, text, tokenized):
+        self.path = path
+        self.relpath = relpath  # posix, repo-relative
+        self.text = text
+        self.tok = tokenized
+
+    def finding(self, check, rule, line, symbol, message):
+        return Finding(check=check.name, rule=rule, path=self.relpath,
+                       line=line, symbol=symbol, message=message)
+
+
+class Check:
+    """Base class for atmlint checks."""
+
+    name = ""
+    description = ""
+    rules = {}
+    default_paths = ("src",)
+    extensions = DEFAULT_EXTENSIONS
+
+    def run(self, source):  # pragma: no cover - interface
+        """Yield findings for one SourceFile."""
+        raise NotImplementedError
+
+    def wants(self, relpath):
+        """True when ``relpath`` is inside this check's default scope."""
+        for scope in self.default_paths:
+            scope = scope.rstrip("/")
+            if relpath == scope or relpath.startswith(scope + "/"):
+                return True
+        return False
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register a check."""
+    inst = cls()
+    if not inst.name:
+        raise ValueError(f"check {cls.__name__} has no name")
+    if inst.name in _REGISTRY:
+        raise ValueError(f"duplicate check name {inst.name!r}")
+    _REGISTRY[inst.name] = inst
+    return cls
+
+
+def load_checks():
+    """Import every module in checks/ and return {name: Check}."""
+    if not _REGISTRY:
+        for path in sorted(CHECKS_DIR.glob("*.py")):
+            if path.name.startswith("_"):
+                continue
+            spec = importlib.util.spec_from_file_location(
+                f"atmlint_check_{path.stem}", path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+    return dict(_REGISTRY)
+
+
+def check_source_files():
+    """Module files whose content fingerprints the check set."""
+    return sorted(p for p in CHECKS_DIR.glob("*.py")
+                  if not p.name.startswith("_"))

@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output for atmlint.
+
+Emits a single-run SARIF log that GitHub code scanning ingests via
+``github/codeql-action/upload-sarif``.  Layout choices:
+
+* one ``run`` with one tool driver (``atmlint``); every rule any
+  selected check can emit is listed in ``tool.driver.rules`` and
+  results reference rules by both ``ruleId`` and ``ruleIndex``;
+* file locations are repo-relative URIs against the ``SRCROOT``
+  base id, declared in ``originalUriBaseIds``, so the log is
+  machine-portable;
+* the stable finding key is recorded in ``partialFingerprints`` so
+  code-scanning alert identity survives line drift;
+* baselined findings are still present but carry a ``suppressions``
+  entry (kind ``external``), which GitHub hides by default -- the
+  SARIF log is the complete ground truth, not just the failures.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "atmlint"
+TOOL_VERSION = "1.0.0"
+TOOL_URI = "https://github.com/atmsim/atmsim/tree/main/tools/atmlint"
+
+FINGERPRINT_KEY = "atmlintKey/v1"
+
+
+def build_sarif(checks, new_findings, baselined_findings, root):
+    """Build the SARIF document as a plain dict."""
+    rules = []
+    rule_index = {}
+    for check in sorted(checks, key=lambda c: c.name):
+        for rule_id in sorted(check.rules):
+            if rule_id in rule_index:
+                continue
+            rule_index[rule_id] = len(rules)
+            rules.append({
+                "id": rule_id,
+                "name": rule_id.replace("-", " ").title()
+                        .replace(" ", ""),
+                "shortDescription": {"text": check.rules[rule_id]},
+                "fullDescription": {"text": check.description},
+                "defaultConfiguration": {"level": "error"},
+                "properties": {"check": check.name},
+            })
+
+    def result(finding, suppressed):
+        res = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "note" if suppressed else "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                },
+            }],
+            "partialFingerprints": {FINGERPRINT_KEY: finding.key},
+        }
+        if suppressed:
+            res["suppressions"] = [{
+                "kind": "external",
+                "justification": "accepted in the committed "
+                                 f"{finding.check} baseline",
+            }]
+        return res
+
+    results = [result(f, False) for f in new_findings]
+    results += [result(f, True) for f in baselined_findings]
+
+    root_uri = root.resolve().as_uri()
+    if not root_uri.endswith("/"):
+        root_uri += "/"
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri": TOOL_URI,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": root_uri},
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path, checks, new_findings, baselined_findings, root):
+    doc = build_sarif(checks, new_findings, baselined_findings, root)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")

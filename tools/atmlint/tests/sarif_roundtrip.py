@@ -1,0 +1,115 @@
+"""End-to-end SARIF validation for ctest.
+
+Runs the real atmlint CLI twice -- once over a fixture that is
+guaranteed to produce findings, once over the full default scope --
+and structurally validates both logs against the SARIF 2.1.0
+requirements GitHub code scanning enforces (the real JSON schema is
+not vendored; this checks every required property and type the spec
+mandates for the objects atmlint emits).
+
+Exit 0 when both logs validate; nonzero with a message otherwise.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent.parent
+ATMLINT = REPO_ROOT / "tools" / "atmlint"
+
+
+def fail(msg):
+    print(f"sarif_roundtrip: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate(doc, expect_results):
+    expect(doc.get("version") == "2.1.0",
+           f"version must be '2.1.0', got {doc.get('version')!r}")
+    expect("sarif-schema-2.1.0.json" in doc.get("$schema", ""),
+           "$schema must reference the 2.1.0 schema")
+    runs = doc.get("runs")
+    expect(isinstance(runs, list) and len(runs) == 1,
+           "exactly one run expected")
+    run = runs[0]
+    driver = run.get("tool", {}).get("driver", {})
+    expect(driver.get("name") == "atmlint", "tool.driver.name")
+    rules = driver.get("rules")
+    expect(isinstance(rules, list) and rules, "tool.driver.rules")
+    ids = [r.get("id") for r in rules]
+    expect(len(set(ids)) == len(ids), "rule ids must be unique")
+    for rule in rules:
+        expect(rule.get("id"), "every rule needs an id")
+        expect(rule.get("shortDescription", {}).get("text"),
+               f"rule {rule.get('id')}: shortDescription.text")
+    bases = run.get("originalUriBaseIds", {})
+    expect(bases.get("SRCROOT", {}).get("uri", "").endswith("/"),
+           "originalUriBaseIds.SRCROOT.uri must end with '/'")
+    results = run.get("results")
+    expect(isinstance(results, list), "run.results must be a list")
+    if expect_results:
+        expect(results, "fixture run must produce results")
+    for res in results:
+        rid = res.get("ruleId")
+        expect(rid in ids, f"result ruleId {rid!r} not in rules")
+        idx = res.get("ruleIndex")
+        expect(isinstance(idx, int) and ids[idx] == rid,
+               f"ruleIndex must point at ruleId ({rid})")
+        expect(res.get("level") in ("note", "warning", "error"),
+               "result.level")
+        expect(res.get("message", {}).get("text"),
+               "result.message.text")
+        for loc in res.get("locations", []):
+            phys = loc.get("physicalLocation", {})
+            art = phys.get("artifactLocation", {})
+            expect(art.get("uri") and not art["uri"].startswith("/"),
+                   "artifact uri must be relative")
+            expect(art.get("uriBaseId") == "SRCROOT",
+                   "artifact uriBaseId")
+            expect(phys.get("region", {}).get("startLine", 0) >= 1,
+                   "region.startLine must be >= 1")
+        expect(res.get("partialFingerprints"),
+               "results must carry partialFingerprints")
+
+
+def run_atmlint(out, args):
+    proc = subprocess.run(
+        [sys.executable, str(ATMLINT), "--sarif", str(out),
+         "--no-cache", *args],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):  # 1 = findings, still writes
+        fail(f"atmlint crashed ({proc.returncode}): {proc.stderr}")
+    return json.loads(out.read_text())
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "fixture.sarif"
+        doc = run_atmlint(out, [
+            "--no-baseline", "--check",
+            "units,unseeded-rng,missing-nodiscard,lock-discipline",
+            "tests/lint/fixtures/units_bad.h",
+            "tests/lint/fixtures/nodiscard_bad.h",
+            "tests/lint/fixtures/lock_bad.h",
+        ])
+        validate(doc, expect_results=True)
+        n_fixture = len(doc["runs"][0]["results"])
+
+        out = pathlib.Path(tmp) / "repo.sarif"
+        doc = run_atmlint(out, [])
+        validate(doc, expect_results=False)
+        n_repo = len(doc["runs"][0]["results"])
+
+    print(f"sarif_roundtrip: OK (fixture results: {n_fixture}, "
+          f"repo results: {n_repo})")
+
+
+if __name__ == "__main__":
+    main()

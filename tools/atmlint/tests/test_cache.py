@@ -1,0 +1,107 @@
+"""Incremental-cache unit tests: hit/miss behaviour across edits,
+touches, check-fingerprint changes, and reload."""
+
+import os
+import pathlib
+import sys
+import tempfile
+import unittest
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent))
+
+from cache import IncrementalCache  # noqa: E402
+
+FINDINGS = [["some-rule", 3, "x", "'x' is wrong"]]
+
+
+class CacheTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = pathlib.Path(self.tmp.name)
+        self.src = self.dir / "a.cc"
+        self.src.write_text("int x;\n")
+        self.cache_path = self.dir / "cache.json"
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def fresh(self, fps=None):
+        return IncrementalCache(self.cache_path,
+                                fps or {"check": "fp1"})
+
+    def test_miss_then_hit(self):
+        cache = self.fresh()
+        self.assertIsNone(cache.lookup(self.src, "a.cc", "check"))
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        self.assertEqual(cache.lookup(self.src, "a.cc", "check"),
+                         FINDINGS)
+
+    def test_hit_survives_save_and_reload(self):
+        cache = self.fresh()
+        cache.lookup(self.src, "a.cc", "check")
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        cache.save()
+        again = self.fresh()
+        self.assertEqual(again.lookup(self.src, "a.cc", "check"),
+                         FINDINGS)
+        self.assertEqual(again.hits, 1)
+
+    def test_edit_invalidates(self):
+        cache = self.fresh()
+        cache.lookup(self.src, "a.cc", "check")
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        cache.save()
+        self.src.write_text("int y;\n")
+        again = self.fresh()
+        self.assertIsNone(again.lookup(self.src, "a.cc", "check"))
+
+    def test_touch_only_is_still_a_hit(self):
+        cache = self.fresh()
+        cache.lookup(self.src, "a.cc", "check")
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        cache.save()
+        # Same content, different mtime: the stat fast path misses but
+        # the content hash rescues the entry.
+        st = os.stat(self.src)
+        os.utime(self.src, ns=(st.st_atime_ns,
+                               st.st_mtime_ns + 1_000_000_000))
+        again = self.fresh()
+        self.assertEqual(again.lookup(self.src, "a.cc", "check"),
+                         FINDINGS)
+        self.assertEqual(again.hits, 1)
+
+    def test_check_fingerprint_change_invalidates_only_that_check(self):
+        cache = self.fresh({"check": "fp1", "other": "fpA"})
+        cache.lookup(self.src, "a.cc", "check")
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        cache.lookup(self.src, "a.cc", "other")
+        cache.store(self.src, "a.cc", "other", [])
+        cache.save()
+        again = IncrementalCache(self.cache_path,
+                                 {"check": "fp2", "other": "fpA"})
+        self.assertIsNone(again.lookup(self.src, "a.cc", "check"))
+        self.assertEqual(again.lookup(self.src, "a.cc", "other"), [])
+
+    def test_corrupt_cache_treated_as_empty(self):
+        self.cache_path.write_text("{not json")
+        cache = self.fresh()
+        self.assertIsNone(cache.lookup(self.src, "a.cc", "check"))
+
+    def test_prune_drops_dead_files(self):
+        cache = self.fresh()
+        cache.lookup(self.src, "a.cc", "check")
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        cache.prune(set())
+        self.assertEqual(cache.files, {})
+
+    def test_disabled_cache_never_hits(self):
+        cache = IncrementalCache(None, {"check": "fp1"})
+        self.assertIsNone(cache.lookup(self.src, "a.cc", "check"))
+        cache.store(self.src, "a.cc", "check", FINDINGS)
+        cache.save()  # no-op, must not raise
+        self.assertFalse(self.cache_path.exists())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,110 @@
+"""SARIF writer unit tests: the fields GitHub code scanning and the
+SARIF 2.1.0 schema actually require must be present and consistent."""
+
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent))
+
+import sarifout  # noqa: E402
+from registry import Check, Finding  # noqa: E402
+
+
+class FakeCheck(Check):
+    name = "fake-check"
+    description = "a check used by the SARIF unit tests"
+    rules = {
+        "fake-rule": "something fake is wrong",
+        "other-rule": "something else is wrong",
+    }
+
+
+def finding(rule="fake-rule", path="src/a.cc", line=3, symbol="x"):
+    return Finding(check="fake-check", rule=rule, path=path, line=line,
+                   symbol=symbol, message=f"'{symbol}' is wrong")
+
+
+class SarifDocumentTest(unittest.TestCase):
+    def build(self, new=(), baselined=()):
+        return sarifout.build_sarif(
+            [FakeCheck()], list(new), list(baselined),
+            pathlib.Path("/tmp"))
+
+    def test_top_level_schema_fields(self):
+        doc = self.build([finding()])
+        self.assertEqual(doc["version"], "2.1.0")
+        self.assertIn("sarif-schema-2.1.0.json", doc["$schema"])
+        self.assertEqual(len(doc["runs"]), 1)
+
+    def test_driver_identity_and_rules(self):
+        doc = self.build([finding()])
+        driver = doc["runs"][0]["tool"]["driver"]
+        self.assertEqual(driver["name"], "atmlint")
+        self.assertTrue(driver["version"])
+        rule_ids = [r["id"] for r in driver["rules"]]
+        self.assertEqual(sorted(rule_ids), rule_ids)
+        self.assertIn("fake-rule", rule_ids)
+        for rule in driver["rules"]:
+            self.assertIn("text", rule["shortDescription"])
+
+    def test_result_references_rule_by_id_and_index(self):
+        doc = self.build([finding()])
+        run = doc["runs"][0]
+        res = run["results"][0]
+        rules = run["tool"]["driver"]["rules"]
+        self.assertEqual(res["ruleId"], "fake-rule")
+        self.assertEqual(rules[res["ruleIndex"]]["id"], "fake-rule")
+
+    def test_location_is_srcroot_relative(self):
+        doc = self.build([finding(path="src/a.cc", line=7)])
+        loc = doc["runs"][0]["results"][0]["locations"][0]
+        phys = loc["physicalLocation"]
+        self.assertEqual(phys["artifactLocation"]["uri"], "src/a.cc")
+        self.assertEqual(phys["artifactLocation"]["uriBaseId"],
+                         "SRCROOT")
+        self.assertEqual(phys["region"]["startLine"], 7)
+        bases = doc["runs"][0]["originalUriBaseIds"]
+        self.assertTrue(bases["SRCROOT"]["uri"].startswith("file://"))
+        self.assertTrue(bases["SRCROOT"]["uri"].endswith("/"))
+
+    def test_partial_fingerprint_is_stable_key(self):
+        f = finding()
+        doc = self.build([f])
+        fps = doc["runs"][0]["results"][0]["partialFingerprints"]
+        self.assertEqual(fps[sarifout.FINGERPRINT_KEY], f.key)
+
+    def test_baselined_results_are_suppressed_notes(self):
+        doc = self.build([], [finding()])
+        res = doc["runs"][0]["results"][0]
+        self.assertEqual(res["level"], "note")
+        self.assertEqual(res["suppressions"][0]["kind"], "external")
+        self.assertTrue(res["suppressions"][0]["justification"])
+
+    def test_new_results_are_errors_without_suppressions(self):
+        doc = self.build([finding()])
+        res = doc["runs"][0]["results"][0]
+        self.assertEqual(res["level"], "error")
+        self.assertNotIn("suppressions", res)
+
+    def test_line_zero_clamps_to_one(self):
+        doc = self.build([finding(line=0)])
+        region = (doc["runs"][0]["results"][0]["locations"][0]
+                  ["physicalLocation"]["region"])
+        self.assertEqual(region["startLine"], 1)
+
+    def test_write_sarif_round_trips_as_json(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "out.sarif"
+            sarifout.write_sarif(out, [FakeCheck()], [finding()], [],
+                                 pathlib.Path(tmp))
+            doc = json.loads(out.read_text())
+        self.assertEqual(doc["version"], "2.1.0")
+        self.assertEqual(len(doc["runs"][0]["results"]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,195 +1,27 @@
 #!/usr/bin/env python3
-"""Dimensional-safety lint for the atmsim tree.
+"""REMOVED: check_units.py was replaced by tools/atmlint.
 
-Two rules, both motivated by the strong-type layer in
-src/util/quantity.h:
+The regex-per-line units lint (and its units_baseline.txt) migrated
+into the tokenizer-based atmlint framework as the `units` check; the
+baseline moved to tools/atmlint/baselines/units.txt with identical
+keys.
 
-1. units-suffix: a raw ``double``/``float`` declaration whose
-   identifier carries a unit suffix (``*_ps``, ``*_mhz``, ``*_v``,
-   ``*_mv``, ``*_c``, ``*_w``) in a public header is a latent unit
-   bug -- the declaration should use the matching strong type
-   (util::Picoseconds, util::Mhz, util::Volts, util::Millivolts,
-   util::Celsius, util::Watts) instead.
+Equivalent invocations:
 
-2. unseeded-rng: any use of the standard-library random machinery
-   (std::mt19937, std::random_device, rand(), srand(), ...) bypasses
-   the explicitly seeded util::Rng and silently breaks run
-   reproducibility.
+    python3 tools/atmlint --check units            # was: check_units.py src
+    python3 tools/atmlint --check units --update-baseline
+    python3 tools/atmlint --list-checks            # everything else
 
-Findings already accepted (legacy raw helpers, intentionally-raw
-result structs) live in the committed baseline file; a line can also
-be suppressed in place with a ``units-lint: allow`` comment.
-
-Exit status: 0 when every finding is baselined or suppressed,
-1 when new findings exist, 2 on usage error.
+This shim fails loudly so stale scripts and CI steps surface
+immediately instead of silently skipping the lint.
 """
 
-import argparse
-import pathlib
-import re
 import sys
 
-UNIT_SUFFIXES = ("ps", "mhz", "v", "mv", "c", "w")
-
-# A raw floating declaration whose identifier ends in a unit suffix.
-UNITS_RE = re.compile(
-    r"\b(?:double|float)\s+"
-    r"(?P<ident>[A-Za-z_][A-Za-z0-9_]*_(?:" + "|".join(UNIT_SUFFIXES) + r"))\b"
-)
-
-# Standard-library randomness that bypasses the seeded util::Rng.
-RNG_RE = re.compile(
-    r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
-    r"random_device|ranlux\w+|knuth_b)\b"
-    r"|\b(?:srand|rand)\s*\("
-)
-
-SUPPRESS_MARKER = "units-lint: allow"
-
-
-def iter_findings(path, text):
-    """Yield (rule, line_number, identifier, line_text) findings."""
-    in_block_comment = False
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        stripped = line
-        if in_block_comment:
-            end = stripped.find("*/")
-            if end < 0:
-                continue
-            stripped = stripped[end + 2:]
-            in_block_comment = False
-        # Drop trailing // comments and any /* ... */ spans so that
-        # prose mentioning e.g. "double slack_ps" does not trip the
-        # lint.  Suppression markers are honoured before stripping.
-        if SUPPRESS_MARKER in stripped:
-            continue
-        stripped = re.sub(r"//.*", "", stripped)
-        while True:
-            start = stripped.find("/*")
-            if start < 0:
-                break
-            end = stripped.find("*/", start + 2)
-            if end < 0:
-                stripped = stripped[:start]
-                in_block_comment = True
-                break
-            stripped = stripped[:start] + stripped[end + 2:]
-        for match in UNITS_RE.finditer(stripped):
-            yield ("units-suffix", lineno, match.group("ident"), line)
-        for match in RNG_RE.finditer(stripped):
-            yield ("unseeded-rng", lineno, match.group(0).strip("( \t"), line)
-
-
-def finding_key(root, path, rule, ident):
-    rel = path.relative_to(root).as_posix()
-    return f"{rel}:{rule}:{ident}"
-
-
-def load_baseline(baseline_path):
-    entries = set()
-    if baseline_path is None or not baseline_path.exists():
-        return entries
-    for raw in baseline_path.read_text().splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        entries.add(line)
-    return entries
-
-
-def collect_files(root, paths):
-    files = []
-    for p in paths:
-        p = (root / p) if not p.is_absolute() else p
-        if p.is_dir():
-            for ext in ("*.h", "*.hpp", "*.cc", "*.cpp"):
-                files.extend(sorted(p.rglob(ext)))
-        elif p.exists():
-            files.append(p)
-        else:
-            print(f"check_units: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return files
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("paths", nargs="*", default=None,
-                        help="files or directories to scan "
-                             "(default: src)")
-    parser.add_argument("--root", type=pathlib.Path,
-                        default=pathlib.Path(__file__).resolve()
-                        .parent.parent.parent,
-                        help="repository root for relative reporting")
-    parser.add_argument("--baseline", type=pathlib.Path, default=None,
-                        help="baseline file of accepted findings "
-                             "(default: units_baseline.txt next to "
-                             "this script; pass /dev/null for none)")
-    parser.add_argument("--update-baseline", action="store_true",
-                        help="rewrite the baseline with the current "
-                             "findings instead of failing")
-    args = parser.parse_args()
-
-    root = args.root.resolve()
-    baseline_path = args.baseline
-    if baseline_path is None:
-        baseline_path = (pathlib.Path(__file__).resolve().parent
-                         / "units_baseline.txt")
-
-    paths = [pathlib.Path(p) for p in (args.paths or ["src"])]
-    files = collect_files(root, paths)
-    if not files:
-        print("check_units: nothing to scan", file=sys.stderr)
-        return 2
-
-    baseline = load_baseline(baseline_path)
-    new_findings = []
-    seen_keys = set()
-    for path in files:
-        try:
-            text = path.read_text(errors="replace")
-        except OSError as err:
-            print(f"check_units: cannot read {path}: {err}",
-                  file=sys.stderr)
-            return 2
-        for rule, lineno, ident, line in iter_findings(path, text):
-            key = finding_key(root, path, rule, ident)
-            seen_keys.add(key)
-            if key in baseline:
-                continue
-            rel = path.relative_to(root).as_posix()
-            new_findings.append(
-                (rel, lineno, rule, ident, line.strip()))
-
-    if args.update_baseline:
-        lines = ["# Accepted units-lint findings.",
-                 "# Regenerate with: "
-                 "python3 tools/lint/check_units.py --update-baseline",
-                 "# Format: <path>:<rule>:<identifier>"]
-        lines.extend(sorted(seen_keys))
-        baseline_path.write_text("\n".join(lines) + "\n")
-        print(f"check_units: wrote {len(seen_keys)} entries to "
-              f"{baseline_path}")
-        return 0
-
-    stale = sorted(k for k in baseline if k not in seen_keys)
-    for entry in stale:
-        print(f"check_units: note: stale baseline entry: {entry}")
-
-    if new_findings:
-        for rel, lineno, rule, ident, line in new_findings:
-            print(f"{rel}:{lineno}: [{rule}] '{ident}' -- use the "
-                  f"strong type from util/quantity.h (or the seeded "
-                  f"util::Rng)\n    {line}")
-        print(f"check_units: {len(new_findings)} new finding(s); "
-              f"fix them or add to {baseline_path.name} with a "
-              f"justification")
-        return 1
-
-    print(f"check_units: clean ({len(files)} files, "
-          f"{len(baseline)} baselined)")
-    return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())
+sys.stderr.write(
+    "error: tools/lint/check_units.py has been removed.\n"
+    "The units lint now lives in the atmlint framework:\n"
+    "    python3 tools/atmlint --check units\n"
+    "Baseline: tools/atmlint/baselines/units.txt "
+    "(--update-baseline regenerates it).\n")
+sys.exit(2)

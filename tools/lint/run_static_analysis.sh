@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Run the repo's full static-analysis suite.
 #
-# Always runs the python units lint (no external dependencies).
-# clang-format, clang-tidy and cppcheck run only when present on
-# PATH; absent tools are reported and skipped so the script is usable
-# on minimal containers.  CI installs all three, so nothing is
-# skipped there.
+# atmlint (tools/atmlint) is the single entry point for the semantic
+# checks and also drives clang-tidy and cppcheck when they are on
+# PATH (absent external tools are reported and skipped, so the script
+# is usable on minimal containers; CI installs them, so nothing is
+# skipped there). clang-format stays separate: it is a formatter, not
+# an analyzer, and has no atmlint integration.
 #
 # Usage: tools/lint/run_static_analysis.sh [build-dir]
 #   build-dir: a CMake build tree configured with
@@ -21,9 +22,10 @@ note() { printf '\n== %s ==\n' "$*"; }
 
 cd "$repo_root"
 
-note "units lint (tools/lint/check_units.py)"
-if python3 tools/lint/check_units.py src; then
-    :
+note "atmlint (semantic checks + clang-tidy + cppcheck)"
+if python3 tools/atmlint --stats --sarif atmlint.sarif \
+    --clang-tidy --cppcheck --build-dir "$build_dir"; then
+    echo "atmlint: SARIF log written to atmlint.sarif"
 else
     failures=$((failures + 1))
 fi
@@ -43,36 +45,6 @@ if command -v clang-format >/dev/null 2>&1; then
     fi
 else
     echo "clang-format not installed; skipped"
-fi
-
-note "clang-tidy (.clang-tidy profile)"
-if command -v clang-tidy >/dev/null 2>&1; then
-    if [ ! -f "$build_dir/compile_commands.json" ]; then
-        echo "no compile_commands.json in $build_dir; configure with" \
-             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
-        failures=$((failures + 1))
-    elif git ls-files 'src/*.cc' \
-        | xargs clang-tidy -p "$build_dir" --quiet; then
-        echo "clang-tidy: clean"
-    else
-        failures=$((failures + 1))
-    fi
-else
-    echo "clang-tidy not installed; skipped"
-fi
-
-note "cppcheck (suppression baseline)"
-if command -v cppcheck >/dev/null 2>&1; then
-    if cppcheck --std=c++20 --language=c++ --inline-suppr \
-        --enable=warning,performance,portability \
-        --suppressions-list=tools/lint/cppcheck_suppressions.txt \
-        --error-exitcode=1 --quiet -I src src; then
-        echo "cppcheck: clean"
-    else
-        failures=$((failures + 1))
-    fi
-else
-    echo "cppcheck not installed; skipped"
 fi
 
 note "summary"
