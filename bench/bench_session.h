@@ -15,6 +15,9 @@
  *   --no-manifest       skip the manifest entirely
  *   --trace [<path>]    also write a Chrome/Perfetto trace
  *                       (default BENCH_<tool>.trace.json)
+ *   --jobs <n>          worker threads for parallel sweeps
+ *                       (default: hardware concurrency; n >= 1;
+ *                       outputs are identical at every n)
  *
  * The filtered argument list is exposed via argc()/argv() so
  * harnesses that reject unknown arguments keep doing so.
@@ -31,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
@@ -57,6 +61,10 @@ class BenchSession
         manifestPath_ = "BENCH_" + tool_ + ".json";
         tracePath_ = "BENCH_" + tool_ + ".trace.json";
         parseArgs(argc, argv);
+        if (jobs_ == 0)
+            jobs_ = exec::hardwareConcurrency();
+        exec::setDefaultJobs(jobs_); // fatal on jobs < 1
+        manifest_.jobs = jobs_;
         util::setLogContext(tool_);
         if (traceEnabled_)
             trace_.emplace();
@@ -170,6 +178,9 @@ class BenchSession
             addCounter(name, value);
     }
 
+    /** Resolved --jobs value (also installed as the process default). */
+    int jobs() const { return jobs_; }
+
     bool manifestEnabled() const { return manifestEnabled_; }
     const std::string &manifestPath() const { return manifestPath_; }
     const std::string &tracePath() const { return tracePath_; }
@@ -205,12 +216,32 @@ class BenchSession
             } else if (arg.rfind("--trace=", 0) == 0) {
                 traceEnabled_ = true;
                 tracePath_ = arg.substr(8);
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                jobs_ = parseJobs(argv[++i]);
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                jobs_ = parseJobs(arg.substr(7));
             } else {
                 args_.push_back(arg);
                 argvPtrs_.push_back(argv[i]);
             }
         }
         manifest_.args = args_;
+    }
+
+    static int
+    parseJobs(const std::string &text)
+    {
+        std::size_t used = 0;
+        int jobs = 0;
+        try {
+            jobs = std::stoi(text, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != text.size() || jobs < 1)
+            util::fatal("--jobs wants an integer >= 1, got '" + text
+                        + "'");
+        return jobs;
     }
 
     void
@@ -273,6 +304,7 @@ class BenchSession
     double startWallNs_;
     bool manifestEnabled_ = true;
     bool traceEnabled_ = false;
+    int jobs_ = 0; ///< 0 until resolved in the constructor.
     std::string manifestPath_;
     std::string tracePath_;
     std::vector<std::string> args_;

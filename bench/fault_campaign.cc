@@ -11,8 +11,10 @@
  * Usage: fault_campaign [--csv <path>]
  */
 
+#include <cstddef>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,7 +22,9 @@
 #include "bench_util.h"
 #include "core/governor.h"
 #include "core/safety_monitor.h"
+#include "exec/thread_pool.h"
 #include "fault/fault_campaign.h"
+#include "obs/metrics.h"
 #include "sim/sim_engine.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -117,70 +121,98 @@ main(int raw_argc, char **raw_argv)
                        "emergencies"});
     }
 
+    // One task per (fault, deployment) cell. Every cell runs on a
+    // private chip clone with a private metric shard, so the grid is
+    // identical at every --jobs value (the serial loop also leaked a
+    // rounding residue from AgingJump revert into later cells; clones
+    // make each cell exact). Rows, CSV lines, manifest totals, and
+    // metric shards all fold in cell order below.
+    sim::SimConfig config;
+    config.stopOnViolation = false;
+    config.runNoisePs = 1.1;
+    config.seed = 17;
+    session.setConfig(config);
+
+    const std::size_t n_deploy = deployments.size();
+    const std::size_t n_cells = points.size() * n_deploy;
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(n_cells);
+    const std::vector<sim::RunResult> results =
+        exec::parallelMap<sim::RunResult>(
+            n_cells,
+            [&](std::size_t i) {
+                const SweepPoint &point = points[i / n_deploy];
+                const Deployment &deployment =
+                    deployments[i % n_deploy];
+                shards[i] = std::make_unique<obs::MetricsRegistry>();
+                const obs::Observability sinks{shards[i].get(),
+                                               nullptr};
+
+                chip::Chip cell_chip(chip->silicon(), chip->config());
+                core::Governor governor(&cell_chip, limits);
+                governor.setObservability(sinks);
+                governor.apply(deployment.policy);
+                cell_chip.assignWorkload(2, &x264);
+                fault::FaultCampaign campaign = campaignFor(point);
+
+                core::SafetyMonitorConfig monitor_config;
+                monitor_config.backoffBaseUs = 1.0;
+                monitor_config.maxBackoffUs = 4.0;
+                monitor_config.stageIntervalUs = 0.2;
+                core::SafetyMonitor monitor(
+                    &cell_chip,
+                    governor.reductions(deployment.policy),
+                    monitor_config);
+                monitor.setObservability(sinks);
+
+                sim::SimEngine engine(&cell_chip, config);
+                engine.setCampaign(&campaign);
+                if (deployment.monitored)
+                    engine.setObserver(&monitor);
+                engine.setObservability(sinks);
+                return engine.run(12.0);
+            },
+            session.jobs());
+    for (const auto &shard : shards)
+        session.metrics().mergeFrom(*shard);
+
     util::TextTable table;
     table.setHeader({"fault", "mag", "deployment", "episodes", "silent",
                      "quar", "fall", "recov", "degr us"});
     long unsupervised_silent = 0;
     long supervised_silent = 0;
-    for (const SweepPoint &point : points) {
-        for (const Deployment &deployment : deployments) {
-            core::Governor governor(chip.get(), limits);
-            governor.setObservability(session.observability());
-            governor.apply(deployment.policy);
-            chip->assignWorkload(2, &x264);
-            fault::FaultCampaign campaign = campaignFor(point);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        const SweepPoint &point = points[i / n_deploy];
+        const Deployment &deployment = deployments[i % n_deploy];
+        const sim::RunResult &result = results[i];
+        session.noteEngineRun(result);
 
-            core::SafetyMonitorConfig monitor_config;
-            monitor_config.backoffBaseUs = 1.0;
-            monitor_config.maxBackoffUs = 4.0;
-            monitor_config.stageIntervalUs = 0.2;
-            core::SafetyMonitor monitor(
-                chip.get(), governor.reductions(deployment.policy),
-                monitor_config);
-            monitor.setObservability(session.observability());
-
-            sim::SimConfig config;
-            config.stopOnViolation = false;
-            config.runNoisePs = 1.1;
-            config.seed = 17;
-            session.setConfig(config);
-            sim::SimEngine engine(chip.get(), config);
-            engine.setCampaign(&campaign);
-            if (deployment.monitored)
-                engine.setObserver(&monitor);
-            session.observe(engine);
-            const sim::RunResult result = engine.run(12.0);
-            session.noteEngineRun(result);
-            chip->clearAssignments();
-
-            const sim::SafetyCounters &s = result.safety;
-            if (deployment.monitored)
-                supervised_silent += s.silentFailures;
-            else
-                unsupervised_silent += s.silentFailures;
-            table.addRow({faultKindName(point.kind),
-                          fmt2(point.magnitude),
-                          deployment.name,
-                          std::to_string(result.totalViolations()),
-                          std::to_string(s.silentFailures),
-                          std::to_string(s.quarantines),
-                          std::to_string(s.fallbacks),
-                          std::to_string(s.recoveries),
-                          fmt2(s.degradedTimeNs * 1e-3)});
-            if (csv) {
-                csv->writeRow({faultKindName(point.kind),
-                               fmt2(point.magnitude),
-                               deployment.name,
-                               std::to_string(result.totalViolations()),
-                               std::to_string(s.detectedViolations),
-                               std::to_string(s.silentFailures),
-                               std::to_string(s.anomalies),
-                               std::to_string(s.quarantines),
-                               std::to_string(s.fallbacks),
-                               std::to_string(s.recoveries),
-                               fmt2(s.degradedTimeNs * 1e-3),
-                               std::to_string(s.emergencies)});
-            }
+        const sim::SafetyCounters &s = result.safety;
+        if (deployment.monitored)
+            supervised_silent += s.silentFailures;
+        else
+            unsupervised_silent += s.silentFailures;
+        table.addRow({faultKindName(point.kind),
+                      fmt2(point.magnitude),
+                      deployment.name,
+                      std::to_string(result.totalViolations()),
+                      std::to_string(s.silentFailures),
+                      std::to_string(s.quarantines),
+                      std::to_string(s.fallbacks),
+                      std::to_string(s.recoveries),
+                      fmt2(s.degradedTimeNs * 1e-3)});
+        if (csv) {
+            csv->writeRow({faultKindName(point.kind),
+                           fmt2(point.magnitude),
+                           deployment.name,
+                           std::to_string(result.totalViolations()),
+                           std::to_string(s.detectedViolations),
+                           std::to_string(s.silentFailures),
+                           std::to_string(s.anomalies),
+                           std::to_string(s.quarantines),
+                           std::to_string(s.fallbacks),
+                           std::to_string(s.recoveries),
+                           fmt2(s.degradedTimeNs * 1e-3),
+                           std::to_string(s.emergencies)});
         }
     }
     table.print(std::cout);

@@ -6,10 +6,12 @@
  * flat 5->6 step).
  */
 
+#include <cstddef>
 #include <iostream>
 
 #include "bench_util.h"
 #include "chip/system.h"
+#include "exec/thread_pool.h"
 #include "util/table.h"
 
 using namespace atmsim;
@@ -43,19 +45,27 @@ main(int argc, char **argv)
     for (const auto &name : names)
         header.push_back(name);
     table.setHeader(header);
-    for (int k = 0; k <= max_limit; ++k) {
-        std::vector<std::string> row = {std::to_string(k)};
-        for (const auto &[silicon, limit] : cores) {
-            row.push_back(
-                k <= limit
-                    ? util::fmtInt(
-                          silicon
-                              ->atmFrequencyMhz(util::CpmSteps{k}, 1.0)
-                              .value())
-                    : std::string("-"));
-        }
+    // One task per reduction row (--jobs); rows append in sweep order.
+    const auto rows = exec::parallelMap<std::vector<std::string>>(
+        static_cast<std::size_t>(max_limit) + 1,
+        [&](std::size_t i) {
+            const int k = static_cast<int>(i);
+            std::vector<std::string> row = {std::to_string(k)};
+            for (const auto &[silicon, limit] : cores) {
+                row.push_back(
+                    k <= limit
+                        ? util::fmtInt(
+                              silicon
+                                  ->atmFrequencyMhz(util::CpmSteps{k},
+                                                    1.0)
+                                  .value())
+                        : std::string("-"));
+            }
+            return row;
+        },
+        session.jobs());
+    for (const auto &row : rows)
         table.addRow(row);
-    }
     table.print(std::cout);
     std::cout << "\nnote the non-linear graduation: P1C6 jumps >200 MHz "
                  "on its first step; P1C3 gains almost nothing from "

@@ -24,9 +24,13 @@ main(int argc, char **argv)
                   "Mean CPM rollback from the uBench limit, all "
                   "profiled apps x all cores (both chips).");
 
+    // The <app, core> cells run in parallel (--jobs) inside the
+    // characterizer; the matrix is identical at every job count.
+    core::CharacterizerConfig config;
+    config.jobs = session.jobs();
     for (int p = 0; p < 2; ++p) {
         auto chip = bench::makeReferenceChip(p);
-        core::Characterizer characterizer(chip.get());
+        core::Characterizer characterizer(chip.get(), config);
         const core::LimitTable limits = characterizer.characterizeChip();
         core::RollbackMatrix matrix =
             characterizer.rollbackMatrix(limits);

@@ -8,9 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "chip/chip.h"
 #include "core/characterizer.h"
 #include "core/manager.h"
+#include "exec/thread_pool.h"
 #include "sim/sim_engine.h"
 #include "variation/reference_chips.h"
 #include "workload/catalog.h"
@@ -139,6 +144,43 @@ BM_ManagerScenarioEvaluate(benchmark::State &state)
     chip.clearAssignments();
 }
 BENCHMARK(BM_ManagerScenarioEvaluate)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PlainLoopBaseline(benchmark::State &state)
+{
+    // Reference point for BM_ParallelForDispatch: the same body in a
+    // bare loop.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> out(n, 0.0);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = static_cast<double>(i) * 1.5;
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PlainLoopBaseline)->Arg(8)->Arg(64)->Arg(512);
+
+void
+BM_ParallelForDispatch(benchmark::State &state)
+{
+    // Dispatch overhead of exec::parallelFor over a trivial body:
+    // batch publish, shard scan, and join, with the worker count of
+    // --jobs (pool default). Compare against BM_PlainLoopBaseline to
+    // see the fixed cost a sweep must amortize.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> out(n, 0.0);
+    for (auto _ : state) {
+        exec::parallelFor(n, [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * 1.5;
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(8)->Arg(64)->Arg(512);
 
 } // namespace
 

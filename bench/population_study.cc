@@ -23,7 +23,11 @@ main(int argc, char **argv)
               << "Fine-tuning pipeline over 24 randomly manufactured "
                  "chips (192 cores).\n\n";
 
-    const core::PopulationStats stats = core::studyPopulation();
+    // Chips run in parallel (--jobs); the stats fold in chip order,
+    // so every job count prints the same table.
+    core::PopulationConfig config;
+    config.jobs = session.jobs();
+    const core::PopulationStats stats = core::studyPopulation(config);
 
     util::TextTable table;
     table.setHeader({"quantity", "mean", "min", "max"});

@@ -1,7 +1,11 @@
 #include "core/characterizer.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "sim/sim_engine.h"
 #include "util/logging.h"
 #include "variation/calibration.h"
@@ -107,6 +111,52 @@ Characterizer::trialSafe(int core, int reduction,
     return true;
 }
 
+template <typename T, typename Fn>
+std::vector<T>
+Characterizer::shardedMap(std::size_t count, Fn &&fn)
+{
+    // Engine-mode trials mutate chip state (assignments, reductions,
+    // clocks), so each task gets a private clone; trials are
+    // history-free, so a clone answers exactly like the shared chip.
+    // Analytic trials only read silicon and share the chip.
+    const bool clone_chip =
+        config_.mode == CharacterizerConfig::Mode::Engine;
+    const bool shard_metrics = obs_.metrics != nullptr;
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(
+        shard_metrics ? count : 0);
+
+    std::vector<T> out(count);
+    exec::parallelFor(
+        count,
+        [&](std::size_t i) {
+            Characterizer task = *this;
+            // Traces stay on the caller's thread: event order inside
+            // a parallel region would depend on scheduling.
+            task.obs_.trace = nullptr;
+            task.traceTrack_ = -1;
+            std::unique_ptr<chip::Chip> local;
+            if (clone_chip) {
+                local = std::make_unique<chip::Chip>(
+                    chip_->silicon(), chip_->config());
+                task.chip_ = local.get();
+            }
+            if (shard_metrics) {
+                shards[i] = std::make_unique<obs::MetricsRegistry>();
+                task.obs_.metrics = shards[i].get();
+            }
+            out[i] = fn(task, i);
+        },
+        config_.jobs);
+
+    // Merge the metric shards in task-index order; double-valued
+    // sums therefore group the same way at every job count.
+    if (shard_metrics) {
+        for (const auto &shard : shards)
+            obs_.metrics->mergeFrom(*shard);
+    }
+    return out;
+}
+
 int
 Characterizer::maxSafeScan(int core, const workload::WorkloadTraits &traits,
                            int rep, int start, int ceiling)
@@ -131,25 +181,39 @@ Characterizer::idleLimit(int core)
 {
     const workload::WorkloadTraits &idle = workload::idleWorkload();
     const int ceiling = chip_->core(core).silicon().presetSteps;
+    // Repeats are independent (the scan inside one repeat is not):
+    // fan out one task per rep and fold the outcomes in rep order.
+    const std::vector<int> safe = shardedMap<int>(
+        static_cast<std::size_t>(config_.reps),
+        [&](Characterizer &task, std::size_t rep) {
+            return task.maxSafeScan(core, idle, static_cast<int>(rep),
+                                    0, ceiling);
+        });
     LimitDistribution dist;
-    for (int rep = 0; rep < config_.reps; ++rep)
-        dist.maxSafe.add(maxSafeScan(core, idle, rep, 0, ceiling));
+    for (int s : safe)
+        dist.maxSafe.add(s);
     return dist;
 }
 
 LimitDistribution
 Characterizer::ubenchLimit(int core, int idle_limit)
 {
+    // One task per (program, rep) cell of the uBench sweep. Rolls
+    // back from the idle limit; uBench never explores above it (the
+    // procedure only retreats under stress).
+    const auto progs = workload::ubenchPrograms();
+    const auto reps = static_cast<std::size_t>(config_.reps);
+    const std::vector<int> safe = shardedMap<int>(
+        progs.size() * reps,
+        [&](Characterizer &task, std::size_t i) {
+            const workload::WorkloadTraits &prog = *progs[i / reps];
+            const int rep = static_cast<int>(i % reps);
+            return task.maxSafeScan(core, prog, rep, idle_limit,
+                                    idle_limit);
+        });
     LimitDistribution dist;
-    for (const workload::WorkloadTraits *prog :
-         workload::ubenchPrograms()) {
-        for (int rep = 0; rep < config_.reps; ++rep) {
-            // Roll back from the idle limit; uBench never explores
-            // above it (the procedure only retreats under stress).
-            dist.maxSafe.add(maxSafeScan(core, *prog, rep, idle_limit,
-                                         idle_limit));
-        }
-    }
+    for (int s : safe)
+        dist.maxSafe.add(s);
     return dist;
 }
 
@@ -157,11 +221,15 @@ LimitDistribution
 Characterizer::appLimit(int core, int ubench_limit,
                         const workload::WorkloadTraits &app)
 {
+    const std::vector<int> safe = shardedMap<int>(
+        static_cast<std::size_t>(config_.reps),
+        [&](Characterizer &task, std::size_t rep) {
+            return task.maxSafeScan(core, app, static_cast<int>(rep),
+                                    ubench_limit, ubench_limit);
+        });
     LimitDistribution dist;
-    for (int rep = 0; rep < config_.reps; ++rep) {
-        dist.maxSafe.add(maxSafeScan(core, app, rep, ubench_limit,
-                                     ubench_limit));
-    }
+    for (int s : safe)
+        dist.maxSafe.add(s);
     return dist;
 }
 
@@ -169,12 +237,17 @@ double
 Characterizer::meanRollback(int core, int ubench_limit,
                             const workload::WorkloadTraits &app)
 {
+    const std::vector<int> safe = shardedMap<int>(
+        static_cast<std::size_t>(config_.reps),
+        [&](Characterizer &task, std::size_t rep) {
+            return task.maxSafeScan(core, app, static_cast<int>(rep),
+                                    ubench_limit, ubench_limit);
+        });
+    // Fold in rep order: the double sum groups exactly like the old
+    // sequential accumulation.
     double total = 0.0;
-    for (int rep = 0; rep < config_.reps; ++rep) {
-        const int safe = maxSafeScan(core, app, rep, ubench_limit,
-                                     ubench_limit);
-        total += static_cast<double>(ubench_limit - safe);
-    }
+    for (int s : safe)
+        total += static_cast<double>(ubench_limit - s);
     return total / static_cast<double>(config_.reps);
 }
 
@@ -221,10 +294,17 @@ Characterizer::characterizeCore(int core)
 LimitTable
 Characterizer::characterizeChip()
 {
+    obs::ScopedSpan span(obs_.trace, "characterize.chip", traceTrack_);
     LimitTable table;
     table.chipName = chip_->name();
-    for (int c = 0; c < chip_->coreCount(); ++c)
-        table.cores.push_back(characterizeCore(c));
+    // Cores are fully independent: one task per core, results placed
+    // in core order. Nested sweeps inside characterizeCore run
+    // inline on the task's thread (see exec::insideParallelTask).
+    table.cores = shardedMap<CoreLimits>(
+        static_cast<std::size_t>(chip_->coreCount()),
+        [](Characterizer &task, std::size_t c) {
+            return task.characterizeCore(static_cast<int>(c));
+        });
     return table;
 }
 
@@ -238,14 +318,23 @@ Characterizer::rollbackMatrix(const LimitTable &table)
     for (const auto &core : table.cores)
         matrix.coreNames.push_back(core.coreName);
 
+    // One task per (app, core) cell of the Fig. 10 grid.
+    const std::size_t n_cores = table.cores.size();
+    const std::vector<double> cells = shardedMap<double>(
+        apps.size() * n_cores,
+        [&](Characterizer &task, std::size_t i) {
+            const std::size_t a = i / n_cores;
+            const std::size_t c = i % n_cores;
+            return task.meanRollback(static_cast<int>(c),
+                                     table.cores[c].ubench, *apps[a]);
+        });
     matrix.meanRollback.resize(apps.size());
     for (std::size_t a = 0; a < apps.size(); ++a) {
         auto &row = matrix.meanRollback[a];
-        row.resize(table.cores.size(), 0.0);
-        for (std::size_t c = 0; c < table.cores.size(); ++c) {
-            row[c] = meanRollback(static_cast<int>(c),
-                                  table.cores[c].ubench, *apps[a]);
-        }
+        row.assign(cells.begin()
+                       + static_cast<std::ptrdiff_t>(a * n_cores),
+                   cells.begin()
+                       + static_cast<std::ptrdiff_t>((a + 1) * n_cores));
     }
     return matrix;
 }

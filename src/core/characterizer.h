@@ -15,7 +15,9 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "chip/chip.h"
 #include "core/limit_table.h"
@@ -42,6 +44,17 @@ struct CharacterizerConfig
 
     /** Engine-mode random seed base. */
     std::uint64_t seed = 2024;
+
+    /**
+     * Parallelism for the rep/core/cell sweeps (0 = the process
+     * default, 1 = inline). Any value produces bitwise-identical
+     * tables and metric snapshots: every trial's seed and noise are
+     * derived from (core, reduction, rep) alone, results fold in
+     * index order, and engine-mode tasks run on private chip clones
+     * (trials are history-free, so a clone answers exactly like the
+     * shared chip).
+     */
+    int jobs = 0;
 };
 
 /** Distribution of per-run max-safe configurations for one scenario. */
@@ -119,6 +132,18 @@ class Characterizer
     /** Largest safe reduction for one repeat, scanning upward. */
     int maxSafeScan(int core, const workload::WorkloadTraits &traits,
                     int rep, int start, int ceiling);
+
+    /**
+     * Deterministic parallel map over `count` independent tasks:
+     * out[i] = fn(task_characterizer, i), where each task runs on a
+     * private chip clone (engine mode) and records metrics into a
+     * private shard merged back in index order. The shard-and-merge
+     * route is taken at every job count -- including 1 -- so
+     * floating-point metric sums group identically regardless of
+     * --jobs.
+     */
+    template <typename T, typename Fn>
+    std::vector<T> shardedMap(std::size_t count, Fn &&fn);
 
     chip::Chip *chip_;
     CharacterizerConfig config_;

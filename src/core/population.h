@@ -27,6 +27,14 @@ struct PopulationConfig
 
     /** Robustness threshold (uBench-to-worst spread). */
     int robustSpread = 1;
+
+    /**
+     * Parallelism over the generated chips (0 = process default,
+     * 1 = inline). Any value yields identical stats: each chip is
+     * generated from seedBase + index and characterized in its own
+     * task, and the tables fold into the aggregate in chip order.
+     */
+    int jobs = 0;
 };
 
 /** Aggregated population results. */

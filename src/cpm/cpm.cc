@@ -55,6 +55,16 @@ Cpm::Cpm(const variation::CoreSiliconParams *core,
         synthScale_ = 1.0 - (max_gap + 2.0 + 0.4 * site_index)
                     / core_->synthPathPs;
     }
+    refreshNominal();
+}
+
+void
+Cpm::refreshNominal()
+{
+    const CpmSteps effective =
+        std::max(configSteps_ - CpmSteps{skippedSegments_}, CpmSteps{0});
+    nominalPs_ = core_->synthPathPs * synthScale_
+               + core_->insertedDelayPs(effective).value();
 }
 
 void
@@ -65,16 +75,19 @@ Cpm::setConfigSteps(CpmSteps steps)
                     core_->maxConfig().value(), "] on core ", core_->name);
     }
     configSteps_ = steps;
+    refreshNominal();
 }
 
 Picoseconds
 Cpm::monitoredDelayPs(Volts v, Celsius t) const
 {
-    const CpmSteps effective =
-        std::max(configSteps_ - CpmSteps{skippedSegments_}, CpmSteps{0});
-    const double nominal = core_->synthPathPs * synthScale_
-                         + core_->insertedDelayPs(effective).value();
-    return Picoseconds{nominal * core_->speedFactor * model_->factor(v, t)};
+    return monitoredDelayPs(model_->factor(v, t));
+}
+
+Picoseconds
+Cpm::monitoredDelayPs(double delay_factor) const
+{
+    return Picoseconds{nominalPs_ * core_->speedFactor * delay_factor};
 }
 
 Picoseconds
@@ -86,10 +99,17 @@ Cpm::slackPs(Picoseconds period, Volts v, Celsius t) const
 int
 Cpm::outputCount(Picoseconds period, Volts v, Celsius t) const
 {
+    return outputCount(period, model_->factor(v, t));
+}
+
+int
+Cpm::outputCount(Picoseconds period, double delay_factor) const
+{
     if (stuckActive_)
         return stuckCount_;
-    const double factor = model_->factor(v, t) * core_->speedFactor;
-    return chain_.quantize(slackPs(period, v, t), factor);
+    const double factor = delay_factor * core_->speedFactor;
+    return chain_.quantize(period - monitoredDelayPs(delay_factor),
+                           factor);
 }
 
 void
@@ -108,6 +128,7 @@ Cpm::injectSkippedSegments(int segments)
         util::fatal("skipped CPM segments must be non-negative, got ",
                     segments);
     skippedSegments_ = segments;
+    refreshNominal();
 }
 
 void
@@ -116,6 +137,7 @@ Cpm::clearFaults()
     stuckActive_ = false;
     stuckCount_ = 0;
     skippedSegments_ = 0;
+    refreshNominal();
 }
 
 } // namespace atmsim::cpm

@@ -65,6 +65,15 @@ class Cpm
      */
     Picoseconds monitoredDelayPs(Volts v, Celsius t) const;
 
+    /**
+     * Same, given the precomputed voltage/temperature delay factor
+     * (DelayModel::factor(v, t)). The factor is identical for every
+     * site of a core at a given (v, t), so the bank evaluates it
+     * once per scan instead of twice per site -- the hottest
+     * per-step computation in the engine's ATM phase.
+     */
+    Picoseconds monitoredDelayPs(double delay_factor) const;
+
     /** Leftover slack within a clock period (may be negative). */
     Picoseconds slackPs(Picoseconds period, Volts v, Celsius t) const;
 
@@ -73,6 +82,9 @@ class Cpm
      * quantizes the slack.
      */
     int outputCount(Picoseconds period, Volts v, Celsius t) const;
+
+    /** Same, given the precomputed delay factor (see above). */
+    int outputCount(Picoseconds period, double delay_factor) const;
 
     /** The quantizing chain (for unit conversion). */
     const circuit::InverterChain &chain() const { return chain_; }
@@ -101,11 +113,23 @@ class Cpm
     bool faulted() const { return stuckActive_ || skippedSegments_ > 0; }
 
   private:
+    /** Recompute the cached zero-factor monitored delay. */
+    void refreshNominal();
+
     const variation::CoreSiliconParams *core_;
     const circuit::DelayModel *model_;
     circuit::InverterChain chain_;
     int siteIndex_;
     CpmSteps configSteps_;
+
+    /**
+     * Cached `synthPathPs * synthScale_ + insertedDelayPs(effective)`.
+     * The sum only changes when the configuration or the fault state
+     * changes (setConfigSteps / injectSkippedSegments / clearFaults),
+     * yet the engine used to re-accumulate the segment vector every
+     * 0.2 ns electrical step on all five sites of every core.
+     */
+    double nominalPs_ = 0.0;
 
     // Fault state (see injectStuckOutput / injectSkippedSegments).
     bool stuckActive_ = false;

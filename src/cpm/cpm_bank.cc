@@ -9,7 +9,7 @@ namespace atmsim::cpm {
 
 CpmBank::CpmBank(const variation::CoreSiliconParams *core,
                  const circuit::DelayModel *model)
-    : core_(core)
+    : core_(core), model_(model)
 {
     if (!core)
         util::panic("CpmBank constructed with null core");
@@ -41,18 +41,23 @@ CpmBank::setReduction(CpmSteps steps)
 int
 CpmBank::worstCount(Picoseconds period, Volts v, Celsius t) const
 {
-    int worst = sites_.front().outputCount(period, v, t);
+    // One factor(v, t) evaluation for the whole scan: the model's
+    // pow() dominated the engine's ATM phase when every site
+    // re-derived it (twice) per step.
+    const double f = model_->factor(v, t);
+    int worst = sites_.front().outputCount(period, f);
     for (std::size_t s = 1; s < sites_.size(); ++s)
-        worst = std::min(worst, sites_[s].outputCount(period, v, t));
+        worst = std::min(worst, sites_[s].outputCount(period, f));
     return worst;
 }
 
 Picoseconds
 CpmBank::worstMonitoredDelayPs(Volts v, Celsius t) const
 {
-    Picoseconds worst = sites_.front().monitoredDelayPs(v, t);
+    const double f = model_->factor(v, t);
+    Picoseconds worst = sites_.front().monitoredDelayPs(f);
     for (std::size_t s = 1; s < sites_.size(); ++s)
-        worst = std::max(worst, sites_[s].monitoredDelayPs(v, t));
+        worst = std::max(worst, sites_[s].monitoredDelayPs(f));
     return worst;
 }
 

@@ -64,6 +64,7 @@ class CpmBank
 
   private:
     const variation::CoreSiliconParams *core_;
+    const circuit::DelayModel *model_;
     std::vector<Cpm> sites_;
     CpmSteps reduction_{0};
 };

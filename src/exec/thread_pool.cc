@@ -1,0 +1,320 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+
+#include "util/logging.h"
+
+namespace atmsim::exec {
+
+namespace {
+
+/** Process-wide --jobs override; 0 = fall back to the hardware. */
+std::atomic<int> g_default_jobs{0};
+
+/** Nested-dispatch guard; set while this thread runs a task body. */
+thread_local bool t_inside_task = false;
+
+/** RAII setter for the nested-dispatch guard. */
+class InsideTaskScope
+{
+  public:
+    InsideTaskScope() : prev_(t_inside_task) { t_inside_task = true; }
+    ~InsideTaskScope() { t_inside_task = prev_; }
+    InsideTaskScope(const InsideTaskScope &) = delete;
+    InsideTaskScope &operator=(const InsideTaskScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace
+
+/**
+ * One dispatch: the task body, per-participant deques, and the join
+ * state the participants converge on. Lives on the caller's stack
+ * for the duration of ThreadPool::run.
+ */
+struct Batch
+{
+    /** Per-participant task deque (LIFO local pop, FIFO steal). */
+    struct Shard
+    {
+        util::Mutex mu;
+        std::deque<std::size_t> tasks ATM_GUARDED_BY(mu);
+    };
+
+    /** Outstanding-task count and the winning (lowest-index)
+     *  exception. */
+    struct Join
+    {
+        util::Mutex mu;
+        util::ConditionVariable cv;
+        std::size_t remaining ATM_GUARDED_BY(mu) = 0;
+        std::size_t errIndex ATM_GUARDED_BY(mu) = 0;
+        std::exception_ptr error ATM_GUARDED_BY(mu);
+    };
+
+    Batch(detail::TaskRef body_ref, std::size_t count,
+          int participants)
+        : body(body_ref), parts(participants),
+          shards(static_cast<std::size_t>(participants))
+    {
+        {
+            util::MutexLock lock(join.mu);
+            join.remaining = count;
+        }
+        // Contiguous blocks per participant; stealing rebalances any
+        // skew in per-task cost at run time.
+        const std::size_t n = static_cast<std::size_t>(parts);
+        std::size_t next = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            const std::size_t share =
+                count / n + (p < count % n ? 1u : 0u);
+            util::MutexLock lock(shards[p].mu);
+            for (std::size_t k = 0; k < share; ++k)
+                shards[p].tasks.push_back(next++);
+        }
+    }
+
+    const detail::TaskRef body;
+    const int parts;
+    std::vector<Shard> shards;
+    std::atomic<int> nextParticipant{1}; ///< 0 is the caller.
+    Join join;
+};
+
+namespace {
+
+/** Drain the batch as one participant: own shard LIFO, then steal
+ *  FIFO round-robin. Returns when no queued task is left anywhere
+ *  (running tasks cannot enqueue more -- nested dispatch is inline). */
+void
+runParticipant(Batch &batch, int participant)
+{
+    InsideTaskScope inside;
+    const int parts = batch.parts;
+    while (true) {
+        std::size_t index = 0;
+        bool found = false;
+        {
+            Batch::Shard &own =
+                batch.shards[static_cast<std::size_t>(participant)];
+            util::MutexLock lock(own.mu);
+            if (!own.tasks.empty()) {
+                index = own.tasks.back();
+                own.tasks.pop_back();
+                found = true;
+            }
+        }
+        for (int off = 1; off < parts && !found; ++off) {
+            Batch::Shard &victim = batch.shards[static_cast<std::size_t>(
+                (participant + off) % parts)];
+            util::MutexLock lock(victim.mu);
+            if (!victim.tasks.empty()) {
+                index = victim.tasks.front();
+                victim.tasks.pop_front();
+                found = true;
+            }
+        }
+        if (!found)
+            return;
+        try {
+            batch.body(index);
+        } catch (...) {
+            util::MutexLock lock(batch.join.mu);
+            if (!batch.join.error || index < batch.join.errIndex) {
+                batch.join.error = std::current_exception();
+                batch.join.errIndex = index;
+            }
+        }
+        util::MutexLock lock(batch.join.mu);
+        if (--batch.join.remaining == 0)
+            batch.join.cv.notifyAll();
+    }
+}
+
+/** Sequential fallback with the same semantics as the parallel
+ *  path: every task runs, first (= lowest-index) exception wins. */
+void
+runInline(std::size_t count, detail::TaskRef body)
+{
+    InsideTaskScope inside;
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+        try {
+            body(i);
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace
+
+int
+hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+setDefaultJobs(int jobs)
+{
+    if (jobs < 1)
+        util::fatal("jobs must be >= 1, got ", jobs);
+    g_default_jobs.store(jobs, std::memory_order_relaxed);
+}
+
+int
+defaultJobs()
+{
+    const int jobs = g_default_jobs.load(std::memory_order_relaxed);
+    return jobs > 0 ? jobs : hardwareConcurrency();
+}
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs < 0)
+        util::fatal("job count must be >= 0 (0 = default), got ",
+                    jobs);
+    return jobs == 0 ? defaultJobs() : jobs;
+}
+
+bool
+insideParallelTask()
+{
+    return t_inside_task;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::~ThreadPool()
+{
+    std::vector<std::thread> workers;
+    {
+        util::MutexLock lock(mu_);
+        shutdown_ = true;
+        workers.swap(workers_);
+    }
+    workCv_.notifyAll();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+int
+ThreadPool::workerCount() const
+{
+    util::MutexLock lock(mu_);
+    return static_cast<int>(workers_.size());
+}
+
+void
+ThreadPool::ensureWorkers(int target)
+{
+    util::MutexLock lock(mu_);
+    while (static_cast<int>(workers_.size()) < target)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    mu_.lock();
+    while (!shutdown_) {
+        if (current_ == nullptr || generation_ == seen) {
+            workCv_.wait(mu_);
+            continue;
+        }
+        seen = generation_;
+        Batch *batch = current_;
+        ++activeWorkers_;
+        mu_.unlock();
+
+        // Participant slots are claimed first-come; surplus workers
+        // (more threads than tasks) fall straight through.
+        const int participant = batch->nextParticipant.fetch_add(1);
+        if (participant < batch->parts)
+            runParticipant(*batch, participant);
+
+        mu_.lock();
+        if (--activeWorkers_ == 0)
+            idleCv_.notifyAll();
+    }
+    mu_.unlock();
+}
+
+void
+ThreadPool::run(std::size_t count, detail::TaskRef body, int jobs)
+{
+    if (jobs < 1)
+        util::fatal("ThreadPool::run needs jobs >= 1, got ", jobs);
+    if (count == 0)
+        return;
+    const int parts = static_cast<int>(
+        std::min(static_cast<std::size_t>(jobs), count));
+    if (parts == 1 || t_inside_task) {
+        runInline(count, body);
+        return;
+    }
+
+    util::MutexLock runLock(runMu_);
+    ensureWorkers(parts - 1);
+
+    Batch batch(body, count, parts);
+    {
+        util::MutexLock lock(mu_);
+        current_ = &batch;
+        ++generation_;
+    }
+    workCv_.notifyAll();
+
+    runParticipant(batch, 0);
+
+    std::exception_ptr error;
+    {
+        util::MutexLock lock(batch.join.mu);
+        while (batch.join.remaining > 0)
+            batch.join.cv.wait(batch.join.mu);
+        error = batch.join.error;
+    }
+    {
+        // Retire the batch and wait for every worker to drop its
+        // pointer before the stack frame goes away.
+        util::MutexLock lock(mu_);
+        current_ = nullptr;
+        while (activeWorkers_ > 0)
+            idleCv_.wait(mu_);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+TaskGroup::wait()
+{
+    auto body = [this](std::size_t i) { tasks_[i](); };
+    try {
+        ThreadPool::global().run(tasks_.size(), detail::TaskRef(body),
+                                 resolveJobs(jobs_));
+    } catch (...) {
+        tasks_.clear();
+        throw;
+    }
+    tasks_.clear();
+}
+
+} // namespace atmsim::exec

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Deterministic parallel execution: a lazily grown work-stealing
+ * thread pool behind parallelFor / parallelMap / TaskGroup.
+ *
+ * Every sweep in this repo (characterization reps, population chips,
+ * fault-campaign grid cells) is a map over an index range where task
+ * i derives its randomness from `rng.fork(i)` and results are folded
+ * in index order. That shape makes parallelism invisible: any job
+ * count -- including 1 -- produces bitwise-identical output, because
+ * no value ever depends on which thread ran a task or in what order
+ * tasks finished. The execution layer enforces the matching contract:
+ *
+ *  - task bodies receive only their index; seeds are forked from it;
+ *  - results are written to per-index slots and merged in index
+ *    order by the caller (parallelMap does the slotting for you);
+ *  - every task runs even if one throws; the lowest-index exception
+ *    is rethrown at the join, so the error a caller observes is the
+ *    same one the sequential loop would have hit first;
+ *  - nested dispatch runs inline on the calling thread, so a
+ *    parallel region inside a parallel region cannot deadlock the
+ *    pool and cannot change the numbers either.
+ *
+ * See docs/PARALLELISM.md for the full determinism contract and the
+ * list of call sites that may (and may not) use this API.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::exec {
+
+/** Detected hardware thread count (always >= 1). */
+[[nodiscard]] int hardwareConcurrency();
+
+/**
+ * Process-wide default used by `jobs == 0` call sites (the benches
+ * route their --jobs flag here). Fatal when jobs < 1.
+ */
+void setDefaultJobs(int jobs);
+
+/** Current default job count (hardware concurrency until overridden). */
+[[nodiscard]] int defaultJobs();
+
+/** Resolve a call-site job count: 0 means defaultJobs(); negative is
+ *  a fatal configuration error. */
+[[nodiscard]] int resolveJobs(int jobs);
+
+/** True while the calling thread is executing a parallel task body
+ *  (the nested-dispatch guard reads this). */
+[[nodiscard]] bool insideParallelTask();
+
+namespace detail {
+
+/**
+ * Non-owning reference to a callable taking the task index. The
+ * referenced callable must outlive the dispatch -- parallelFor
+ * guarantees that by construction (the callable lives at the call
+ * site for the whole blocking run()).
+ */
+class TaskRef
+{
+  public:
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, TaskRef>>>
+    explicit TaskRef(Fn &fn)
+        : obj_(const_cast<void *>(static_cast<const void *>(&fn))),
+          call_([](void *obj, std::size_t i) {
+              (*static_cast<Fn *>(obj))(i);
+          })
+    {
+    }
+
+    void operator()(std::size_t index) const { call_(obj_, index); }
+
+  private:
+    void *obj_;
+    void (*call_)(void *, std::size_t);
+};
+
+} // namespace detail
+
+struct Batch;
+
+/**
+ * Work-stealing thread pool. One process-wide instance (global())
+ * serves every parallelFor; worker threads are created on demand up
+ * to the high-water mark of requested job counts and parked on a
+ * condition variable between batches.
+ *
+ * A batch pre-splits its index range into per-participant deques;
+ * participants pop their own deque LIFO (the tail stays cache-hot)
+ * and steal FIFO from the others once they run dry, so imbalanced
+ * task costs -- an engine-mode trial next to an analytic one -- do
+ * not serialize the sweep. The caller thread is always participant
+ * 0. Concurrent top-level run() calls are serialized; nested calls
+ * from inside a task run inline instead (see insideParallelTask()).
+ */
+class ThreadPool
+{
+  public:
+    ThreadPool() = default;
+    ~ThreadPool();
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** The process-wide pool behind parallelFor/parallelMap. */
+    [[nodiscard]] static ThreadPool &global();
+
+    /**
+     * Run body(i) for every i in [0, count) on up to `jobs` threads
+     * (the caller participates, so jobs == 1 means inline). Blocks
+     * until every task ran; rethrows the lowest-index exception.
+     */
+    void run(std::size_t count, detail::TaskRef body, int jobs);
+
+    /** Worker threads created so far (high-water mark). */
+    [[nodiscard]] int workerCount() const;
+
+  private:
+    void ensureWorkers(int target);
+    void workerLoop();
+
+    util::Mutex runMu_; ///< Serializes top-level batches.
+    mutable util::Mutex mu_;
+    util::ConditionVariable workCv_;
+    util::ConditionVariable idleCv_;
+    std::vector<std::thread> workers_ ATM_GUARDED_BY(mu_);
+    Batch *current_ ATM_GUARDED_BY(mu_) = nullptr;
+    std::uint64_t generation_ ATM_GUARDED_BY(mu_) = 0;
+    int activeWorkers_ ATM_GUARDED_BY(mu_) = 0;
+    bool shutdown_ ATM_GUARDED_BY(mu_) = false;
+};
+
+/**
+ * Run body(i) for every i in [0, count).
+ *
+ * jobs == 0 uses defaultJobs(); jobs == 1 (or a nested call, or
+ * count <= 1) runs inline on the calling thread. The body must only
+ * touch per-index state (or state behind a util::Mutex); every task
+ * runs even when one throws, and the lowest-index exception
+ * propagates -- identical to what the sequential loop would report.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, Fn &&body, int jobs = 0)
+{
+    auto &ref = body;
+    ThreadPool::global().run(count, detail::TaskRef(ref),
+                             resolveJobs(jobs));
+}
+
+/**
+ * Parallel map: out[i] = fn(i) for every i, returned in index order.
+ * T must be default-constructible (slots are built up front so no
+ * synchronization is needed on the result vector).
+ */
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T>
+parallelMap(std::size_t count, Fn &&fn, int jobs = 0)
+{
+    static_assert(std::is_default_constructible_v<T>,
+                  "parallelMap pre-sizes the result vector");
+    std::vector<T> out(count);
+    auto body = [&out, &fn](std::size_t i) { out[i] = fn(i); };
+    parallelFor(count, body, jobs);
+    return out;
+}
+
+/**
+ * Deferred task group: submit() queues closures, wait() runs them
+ * all through the pool. Submission order is the task-index order, so
+ * the determinism contract (and the lowest-index exception rule)
+ * carries over unchanged.
+ */
+class TaskGroup
+{
+  public:
+    /** jobs follows the parallelFor convention (0 = default). */
+    explicit TaskGroup(int jobs = 0) : jobs_(jobs) {}
+
+    /** Queue one task; nothing runs until wait(). */
+    template <typename Fn>
+    void
+    submit(Fn &&fn)
+    {
+        tasks_.emplace_back(std::forward<Fn>(fn));
+    }
+
+    /** Queued-but-not-yet-run task count. */
+    [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+
+    /** Run every queued task and clear the group. Rethrows the
+     *  lowest-submission-index exception after all tasks ran. */
+    void wait();
+
+  private:
+    int jobs_;
+    std::vector<std::function<void()>> tasks_;
+};
+
+} // namespace atmsim::exec

@@ -36,6 +36,7 @@ RunManifest::writeJson(std::ostream &os) const
     else
         json.field("chip", chip);
     json.field("seed", static_cast<std::uint64_t>(seed));
+    json.field("jobs", jobs);
 
     json.key("args").beginArray();
     for (const std::string &arg : args)

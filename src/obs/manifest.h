@@ -45,6 +45,12 @@ struct RunManifest
     /** Primary random seed of the run. */
     std::uint64_t seed = 0;
 
+    /**
+     * Worker threads the harness ran with (--jobs). Provenance only:
+     * outputs are jobs-invariant, wall-clock fields are not.
+     */
+    int jobs = 1;
+
     /** Command-line arguments (without argv[0]). */
     std::vector<std::string> args;
 

@@ -82,6 +82,35 @@ Histogram::record(double value)
     ++counts_[static_cast<std::size_t>(it - edges_.begin()) - 1];
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    const bool same_layout =
+        linear_ == other.linear_
+        && counts_.size() == other.counts_.size()
+        && (linear_ ? (lo_ == other.lo_ && width_ == other.width_)
+                    : edges_ == other.edges_);
+    if (!same_layout)
+        util::fatal("histogram merge with mismatched bucket layout (",
+                    counts_.size(), " vs ", other.counts_.size(),
+                    " buckets)");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        minSeen_ = other.minSeen_;
+        maxSeen_ = other.maxSeen_;
+    } else {
+        minSeen_ = std::min(minSeen_, other.minSeen_);
+        maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+}
+
 double
 Histogram::bucketLo(std::size_t i) const
 {
@@ -356,6 +385,43 @@ MetricsRegistry::snapshot() const
         snap.entries.push_back(std::move(entry));
     }
     return snap;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    // Snapshot first so the two registry locks are never held
+    // together (no ordering to get wrong, self-merge stays safe).
+    const MetricsSnapshot snap = other.snapshot();
+    util::MutexLock lock(mu_);
+    for (const MetricSnapshotEntry &entry : snap.entries) {
+        Slot &s = slot(entry.name, entry.kind);
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            if (!s.counter) {
+                counters_.emplace_back();
+                s.counter = &counters_.back();
+            }
+            s.counter->inc(entry.counter);
+            break;
+          case MetricKind::Gauge:
+            if (!s.gauge) {
+                gauges_.emplace_back();
+                s.gauge = &gauges_.back();
+            }
+            s.gauge->set(entry.gauge);
+            break;
+          case MetricKind::Histogram:
+            if (!s.histogram) {
+                Histogram layout = entry.histogram;
+                layout.reset();
+                histograms_.push_back(std::move(layout));
+                s.histogram = &histograms_.back();
+            }
+            s.histogram->merge(entry.histogram);
+            break;
+        }
+    }
 }
 
 void

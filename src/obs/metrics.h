@@ -87,6 +87,15 @@ class Histogram
     /** Record one value. */
     void record(double value);
 
+    /**
+     * Fold another histogram into this one. Both must share the
+     * exact bucket layout (fatal otherwise); bins and moments add,
+     * min/max combine. Merging shards in a fixed order reproduces
+     * the single-histogram result bin-for-bin, which is what keeps
+     * parallel sweeps snapshot-identical to serial ones.
+     */
+    void merge(const Histogram &other);
+
     // --- Inspection ----------------------------------------------------
 
     [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
@@ -206,6 +215,21 @@ class MetricsRegistry
 
     /** Copy every metric, sorted by name. */
     [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    /**
+     * Fold another registry into this one: counters add, gauges take
+     * the incoming value (last merge wins), histograms merge
+     * bin-wise (layouts must match). Metrics only the source knows
+     * are registered here on the fly.
+     *
+     * This is the join half of the per-task shard pattern
+     * (docs/PARALLELISM.md): parallel sweep tasks record into
+     * private registries, and the caller merges the shards back in
+     * task-index order, so the combined snapshot is identical at any
+     * job count -- including the inline jobs=1 path, which uses the
+     * same shard-and-merge route.
+     */
+    void mergeFrom(const MetricsRegistry &other);
 
     /** Zero every metric in place (layouts are kept). */
     void reset();

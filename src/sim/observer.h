@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/run_result.h"
@@ -39,6 +40,17 @@ class EngineObserver
 {
   public:
     virtual ~EngineObserver() = default;
+
+    /**
+     * Called once before the first step with the number of
+     * statistics samples the run will produce at most -- a reserve()
+     * hint so per-sample recorders allocate once instead of growing
+     * inside the hot loop. Runs that stop early deliver fewer.
+     */
+    virtual void onRunStart(std::size_t expected_samples)
+    {
+        (void)expected_samples;
+    }
 
     /**
      * A core entered a timing-violation episode. Return true when the

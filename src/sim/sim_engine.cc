@@ -270,7 +270,12 @@ SimEngine::run(double duration_us)
         campaign_->validate(n);
         campaign_->reset();
     }
+    // Scratch for fault edge collection; sized once so the step loop
+    // never grows it (a campaign can fire at most every spec at one
+    // edge).
     std::vector<std::size_t> fault_edges;
+    if (campaign_)
+        fault_edges.reserve(campaign_->size());
 
     // --- Main loop.
     RunResult result;
@@ -279,11 +284,35 @@ SimEngine::run(double duration_us)
     const long total_steps =
         static_cast<long>(std::ceil(duration_ns / config_.dtNs));
     const double dt_s = config_.dtNs * 1e-9;
+    // Hoisted per-step constants: these were rebuilt every iteration
+    // (and run_noise twice per core) inside the 0.2 ns loop.
+    const Seconds dt_step{dt_s};
+    const Seconds dt_slow{dt_s * config_.slowCadence};
+    const Picoseconds run_noise{config_.runNoisePs};
     std::vector<Amps> instant_current(static_cast<std::size_t>(n),
                                       Amps{0.0});
     std::vector<char> in_violation(static_cast<std::size_t>(n), 0);
     std::vector<CoreSample> frame(static_cast<std::size_t>(n));
     util::Rng fail_rng = rng.fork(0xfa11);
+
+    // Violation episodes are rare; still, growing the store inside
+    // the loop is avoidable. A stop-on-violation run holds at most
+    // one episode per core; a ride-through run is capped anyway.
+    result.violations.reserve(
+        config_.stopOnViolation
+            ? static_cast<std::size_t>(n)
+            : std::min(kMaxStoredViolations,
+                       static_cast<std::size_t>(total_steps)));
+
+    // Tell per-sample recorders how much to expect (stats samples at
+    // step 0, statsCadence, 2*statsCadence, ...).
+    const std::size_t expected_samples =
+        total_steps <= 0
+            ? 0
+            : static_cast<std::size_t>(
+                  (total_steps - 1) / config_.statsCadence + 1);
+    for (EngineObserver *o : observers_)
+        o->onRunStart(expected_samples);
 
     long step = 0;
     for (; step < total_steps; ++step) {
@@ -356,8 +385,7 @@ SimEngine::run(double duration_us)
             }
             uncore_current = power::PowerModel::currentA(
                 uncore_w, grid_floor);
-            chip.thermal().step(Seconds{dt_s * config_.slowCadence},
-                                core_power, uncore_w);
+            chip.thermal().step(dt_slow, core_power, uncore_w);
             profiler.end(kPhaseThermal, t0);
             spans.flush(now_ns);
         }
@@ -376,7 +404,7 @@ SimEngine::run(double duration_us)
                 instant_current[ci] +=
                     Amps{injector.stormCurrentA(c, now_ns)};
         }
-        chip.pdn().step(Seconds{dt_s}, instant_current, uncore_current);
+        chip.pdn().step(dt_step, instant_current, uncore_current);
         profiler.end(kPhasePdn, t0);
 
         // Per-core ATM control loops (cores are independent within a
@@ -402,7 +430,7 @@ SimEngine::run(double duration_us)
             const Volts v = chip.pdn().coreV(c);
             const Celsius t_c = chip.thermal().coreTempC(c);
             if (!chip.core(c).timingMet(v, t_c, exposure_ps[ci],
-                                        Picoseconds{config_.runNoisePs}))
+                                        run_noise))
             {
                 if (in_violation[ci])
                     continue;
@@ -413,7 +441,7 @@ SimEngine::run(double duration_us)
                 ev.deficitPs =
                     chip.core(c)
                         .timingDeficitPs(v, t_c, exposure_ps[ci],
-                                         Picoseconds{config_.runNoisePs})
+                                         run_noise)
                         .value();
                 const double u = fail_rng.uniform();
                 ev.kind = u < 0.3 ? FailureKind::SystemCrash

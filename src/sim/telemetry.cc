@@ -32,6 +32,13 @@ TelemetryRecorder::record(util::Nanoseconds now, int core,
 }
 
 void
+TelemetryRecorder::onRunStart(std::size_t expected_samples)
+{
+    for (auto &s : series_)
+        s.reserve(s.size() + expected_samples);
+}
+
+void
 TelemetryRecorder::onSample(util::Nanoseconds now,
                             const std::vector<CoreSample> &cores)
 {

@@ -45,6 +45,9 @@ class TelemetryRecorder : public EngineObserver
     void record(util::Nanoseconds now, int core, util::Mhz freq,
                 util::Volts v);
 
+    /** EngineObserver hook: pre-reserve every core's series. */
+    void onRunStart(std::size_t expected_samples) override;
+
     /** EngineObserver hook: record every core of the sample frame. */
     void onSample(util::Nanoseconds now,
                   const std::vector<CoreSample> &cores) override;

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "util/thread_annotations.h"
@@ -36,6 +37,38 @@ class ATM_CAPABILITY("mutex") Mutex
 
   private:
     std::mutex m_;
+};
+
+/**
+ * Condition variable waiting directly on util::Mutex.
+ *
+ * std::condition_variable only accepts std::unique_lock, which the
+ * thread-safety analysis cannot see through; condition_variable_any
+ * takes any BasicLockable, so waiting on the annotated Mutex keeps
+ * the ATM_GUARDED_BY proofs intact. There is deliberately no
+ * predicate overload: callers write the `while (!ready) cv.wait(mu)`
+ * loop at the call site, where the analysis can verify the guarded
+ * reads in the condition.
+ */
+class ConditionVariable
+{
+  public:
+    ConditionVariable() = default;
+    ConditionVariable(const ConditionVariable &) = delete;
+    ConditionVariable &operator=(const ConditionVariable &) = delete;
+
+    /** Atomically release `mu` and sleep; `mu` is held again on
+     *  return. Spurious wakeups happen: always wait in a loop. */
+    void wait(Mutex &mu) ATM_REQUIRES(mu) { cv_.wait(mu); }
+
+    /** Wake one / every waiter. The associated mutex need not be
+     *  held, but the state change the waiters test must already be
+     *  published under it. */
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
 };
 
 /** Annotated scope lock (lock_guard equivalent). */

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The determinism contract of the execution layer at its real call
+ * sites: characterization tables, rollback matrices, population
+ * stats, and merged metric snapshots must be identical at every
+ * --jobs value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/characterizer.h"
+#include "core/population.h"
+#include "obs/metrics.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::core {
+namespace {
+
+std::string
+csvOf(const LimitTable &table)
+{
+    std::ostringstream os;
+    table.toCsv(os);
+    return os.str();
+}
+
+LimitTable
+characterizeAt(int jobs, obs::MetricsRegistry *metrics,
+               CharacterizerConfig config = {})
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    config.jobs = jobs;
+    Characterizer characterizer(&chip, config);
+    if (metrics)
+        characterizer.setObservability({metrics, nullptr});
+    return characterizer.characterizeChip();
+}
+
+TEST(ParallelDeterminism, AnalyticTableIdenticalAcrossJobCounts)
+{
+    const LimitTable serial = characterizeAt(1, nullptr);
+    for (int jobs : {2, 4, 7}) {
+        const LimitTable parallel = characterizeAt(jobs, nullptr);
+        EXPECT_EQ(csvOf(serial), csvOf(parallel)) << "jobs " << jobs;
+    }
+}
+
+TEST(ParallelDeterminism, EngineIdleLimitIdenticalAcrossJobCounts)
+{
+    // Engine mode is the expensive path the pool exists for; keep the
+    // test window small and check one core's full idle distribution.
+    CharacterizerConfig config;
+    config.mode = CharacterizerConfig::Mode::Engine;
+    config.reps = 2;
+    config.engineWindowUs = 1.0;
+
+    chip::Chip serial_chip(variation::makeReferenceChip(0));
+    config.jobs = 1;
+    Characterizer serial(&serial_chip, config);
+    const LimitDistribution want = serial.idleLimit(2);
+
+    chip::Chip parallel_chip(variation::makeReferenceChip(0));
+    config.jobs = 4;
+    Characterizer parallel(&parallel_chip, config);
+    const LimitDistribution got = parallel.idleLimit(2);
+
+    EXPECT_EQ(want.limit(), got.limit());
+    EXPECT_EQ(want.maxSafe.mean(), got.maxSafe.mean());
+    EXPECT_EQ(want.maxSafe.minValue(), got.maxSafe.minValue());
+    EXPECT_EQ(want.maxSafe.maxValue(), got.maxSafe.maxValue());
+}
+
+TEST(ParallelDeterminism, MetricSnapshotsAgreeAfterShardMerge)
+{
+    obs::MetricsRegistry serial_metrics;
+    obs::MetricsRegistry parallel_metrics;
+    const LimitTable serial = characterizeAt(1, &serial_metrics);
+    const LimitTable parallel = characterizeAt(4, &parallel_metrics);
+    EXPECT_EQ(csvOf(serial), csvOf(parallel));
+    EXPECT_TRUE(serial_metrics.snapshot() == parallel_metrics.snapshot());
+}
+
+TEST(ParallelDeterminism, RollbackMatrixIdenticalAcrossJobCounts)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    CharacterizerConfig config;
+    config.jobs = 1;
+    Characterizer serial(&chip, config);
+    const LimitTable table = serial.characterizeChip();
+    const RollbackMatrix want = serial.rollbackMatrix(table);
+
+    config.jobs = 4;
+    Characterizer parallel(&chip, config);
+    const RollbackMatrix got = parallel.rollbackMatrix(table);
+
+    ASSERT_EQ(want.meanRollback.size(), got.meanRollback.size());
+    for (std::size_t a = 0; a < want.meanRollback.size(); ++a)
+        EXPECT_EQ(want.meanRollback[a], got.meanRollback[a])
+            << want.appNames[a];
+}
+
+TEST(ParallelDeterminism, PopulationStatsIdenticalAcrossJobCounts)
+{
+    PopulationConfig config;
+    config.chipCount = 4;
+    config.jobs = 1;
+    const PopulationStats want = studyPopulation(config);
+    config.jobs = 3;
+    const PopulationStats got = studyPopulation(config);
+
+    EXPECT_EQ(want.differentials, got.differentials);
+    EXPECT_EQ(want.idleLimitMhz.mean(), got.idleLimitMhz.mean());
+    EXPECT_EQ(want.worstLimitMhz.mean(), got.worstLimitMhz.mean());
+    EXPECT_EQ(want.robustCores.mean(), got.robustCores.mean());
+    EXPECT_EQ(want.idleLimitSteps.mean(), got.idleLimitSteps.mean());
+    EXPECT_EQ(want.idleLimitSteps.minValue(),
+              got.idleLimitSteps.minValue());
+    EXPECT_EQ(want.idleLimitSteps.maxValue(),
+              got.idleLimitSteps.maxValue());
+}
+
+} // namespace
+} // namespace atmsim::core

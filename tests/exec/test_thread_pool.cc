@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "util/logging.h"
+
+namespace atmsim::exec {
+namespace {
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    std::atomic<int> runs{0};
+    parallelFor(0, [&](std::size_t) { runs.fetch_add(1); }, 4);
+    EXPECT_EQ(runs.load(), 0);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    for (int jobs : {1, 2, 3, 8, 64}) {
+        constexpr std::size_t kCount = 257;
+        std::vector<std::atomic<int>> hits(kCount);
+        parallelFor(
+            kCount, [&](std::size_t i) { hits[i].fetch_add(1); },
+            jobs);
+        for (std::size_t i = 0; i < kCount; ++i)
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << " at jobs " << jobs;
+    }
+}
+
+TEST(ThreadPool, ParallelMapReturnsIndexOrder)
+{
+    const std::vector<int> out = parallelMap<int>(
+        100, [](std::size_t i) { return static_cast<int>(i) * 3; }, 4);
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, MoreJobsThanTasksIsFine)
+{
+    const std::vector<int> out = parallelMap<int>(
+        3, [](std::size_t i) { return static_cast<int>(i); }, 16);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsAndEveryTaskStillRuns)
+{
+    std::atomic<int> runs{0};
+    try {
+        parallelFor(
+            16,
+            [&](std::size_t i) {
+                runs.fetch_add(1);
+                if (i == 3)
+                    throw std::runtime_error("task 3");
+                if (i == 11)
+                    throw std::runtime_error("task 11");
+            },
+            4);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "task 3");
+    }
+    // The join waits for every task even after a throw, matching what
+    // the sequential loop would have executed up to its first throw
+    // only in *which* error surfaces, not in what ran.
+    EXPECT_EQ(runs.load(), 16);
+}
+
+TEST(ThreadPool, InlinePathPropagatesFirstException)
+{
+    std::atomic<int> runs{0};
+    try {
+        parallelFor(
+            8,
+            [&](std::size_t i) {
+                runs.fetch_add(1);
+                if (i >= 2)
+                    throw std::runtime_error("task " + std::to_string(i));
+            },
+            1);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "task 2");
+    }
+    EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(ThreadPool, NestedDispatchRunsInline)
+{
+    EXPECT_FALSE(insideParallelTask());
+    std::vector<std::atomic<int>> inner_hits(64);
+    std::atomic<int> nested_flags{0};
+    parallelFor(
+        4,
+        [&](std::size_t outer) {
+            if (insideParallelTask())
+                nested_flags.fetch_add(1);
+            // A nested parallelFor must not deadlock and must still
+            // run every inner index.
+            parallelFor(
+                16,
+                [&](std::size_t inner) {
+                    inner_hits[outer * 16 + inner].fetch_add(1);
+                },
+                4);
+        },
+        2);
+    EXPECT_EQ(nested_flags.load(), 4);
+    for (std::size_t i = 0; i < inner_hits.size(); ++i)
+        EXPECT_EQ(inner_hits[i].load(), 1) << "inner index " << i;
+    EXPECT_FALSE(insideParallelTask());
+}
+
+TEST(ThreadPool, ImbalancedTasksAllComplete)
+{
+    // Front-loaded work: stealing has to redistribute the expensive
+    // early indices for the sweep to finish promptly; correctness
+    // here just means nothing is lost or duplicated.
+    std::atomic<long> total{0};
+    parallelFor(
+        64,
+        [&](std::size_t i) {
+            long local = 0;
+            const long spin = i < 8 ? 20000 : 10;
+            for (long k = 0; k < spin; ++k)
+                local += k % 7;
+            total.fetch_add(local >= 0 ? static_cast<long>(i) : 0);
+        },
+        4);
+    EXPECT_EQ(total.load(), 63L * 64L / 2L);
+}
+
+TEST(ThreadPool, JobsValidation)
+{
+    EXPECT_THROW(setDefaultJobs(0), util::FatalError);
+    EXPECT_THROW(setDefaultJobs(-2), util::FatalError);
+    EXPECT_THROW(
+        parallelFor(4, [](std::size_t) {}, -1), util::FatalError);
+    EXPECT_GE(defaultJobs(), 1);
+    EXPECT_GE(hardwareConcurrency(), 1);
+    EXPECT_EQ(resolveJobs(0), defaultJobs());
+    EXPECT_EQ(resolveJobs(5), 5);
+}
+
+TEST(ThreadPool, SetDefaultJobsSticks)
+{
+    const int before = defaultJobs();
+    setDefaultJobs(3);
+    EXPECT_EQ(defaultJobs(), 3);
+    EXPECT_EQ(resolveJobs(0), 3);
+    setDefaultJobs(before);
+}
+
+TEST(TaskGroup, RunsEverySubmittedTask)
+{
+    TaskGroup group(4);
+    std::vector<std::atomic<int>> hits(32);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        group.submit([&hits, i] { hits[i].fetch_add(1); });
+    EXPECT_EQ(group.size(), hits.size());
+    group.wait();
+    EXPECT_EQ(group.size(), 0u);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(TaskGroup, LowestSubmissionIndexExceptionPropagates)
+{
+    TaskGroup group(4);
+    std::atomic<int> runs{0};
+    for (int i = 0; i < 8; ++i) {
+        group.submit([&runs, i] {
+            runs.fetch_add(1);
+            if (i == 2 || i == 6)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+    }
+    EXPECT_THROW(
+        {
+            try {
+                group.wait();
+            } catch (const std::runtime_error &err) {
+                EXPECT_STREQ(err.what(), "task 2");
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_EQ(runs.load(), 8);
+    // The group is reusable after a throwing wait().
+    group.submit([&runs] { runs.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(runs.load(), 9);
+}
+
+TEST(ThreadPool, WorkerCountGrowsToHighWaterMark)
+{
+    ThreadPool &pool = ThreadPool::global();
+    parallelFor(32, [](std::size_t) {}, 5);
+    EXPECT_GE(pool.workerCount(), 4); // jobs - the participating caller
+    const int before = pool.workerCount();
+    parallelFor(32, [](std::size_t) {}, 2);
+    EXPECT_EQ(pool.workerCount(), before); // never shrinks mid-process
+}
+
+} // namespace
+} // namespace atmsim::exec

@@ -184,6 +184,83 @@ TEST(MetricsRegistry, ResetZerosEverything)
     EXPECT_EQ(snap.find("h")->histogram.bucketCount(), 2u);
 }
 
+TEST(Histogram, MergeCombinesBinsAndMoments)
+{
+    Histogram a = Histogram::linear(0.0, 10.0, 5);
+    Histogram b = Histogram::linear(0.0, 10.0, 5);
+    a.record(1.0);
+    a.record(-2.0); // underflow
+    b.record(3.0);
+    b.record(12.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4);
+    EXPECT_EQ(a.underflow(), 1);
+    EXPECT_EQ(a.overflow(), 1);
+    EXPECT_DOUBLE_EQ(a.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(a.minSeen(), -2.0);
+    EXPECT_DOUBLE_EQ(a.maxSeen(), 12.0);
+    EXPECT_EQ(a.bucketHits(0), 1);
+    EXPECT_EQ(a.bucketHits(1), 1);
+}
+
+TEST(Histogram, MergeEmptySidesAreNeutral)
+{
+    Histogram a = Histogram::linear(0.0, 10.0, 5);
+    Histogram b = Histogram::linear(0.0, 10.0, 5);
+    b.record(4.0);
+    a.merge(b); // empty-this takes other's min/max
+    EXPECT_DOUBLE_EQ(a.minSeen(), 4.0);
+    EXPECT_DOUBLE_EQ(a.maxSeen(), 4.0);
+    Histogram empty = Histogram::linear(0.0, 10.0, 5);
+    a.merge(empty); // empty-other is a no-op
+    EXPECT_EQ(a.count(), 1);
+    EXPECT_DOUBLE_EQ(a.minSeen(), 4.0);
+}
+
+TEST(Histogram, MergeLayoutMismatchIsFatal)
+{
+    Histogram a = Histogram::linear(0.0, 10.0, 5);
+    Histogram coarse = Histogram::linear(0.0, 10.0, 2);
+    Histogram shifted = Histogram::linear(1.0, 11.0, 5);
+    Histogram custom = Histogram::explicitEdges({0.0, 2.0, 10.0});
+    EXPECT_THROW(a.merge(coarse), util::FatalError);
+    EXPECT_THROW(a.merge(shifted), util::FatalError);
+    EXPECT_THROW(a.merge(custom), util::FatalError);
+}
+
+TEST(MetricsRegistry, MergeFromFoldsShards)
+{
+    MetricsRegistry total;
+    total.counter("trials").inc(2);
+    total.gauge("level").set(1.0);
+    total.histogram("h", Histogram::linear(0, 10, 5)).record(1.0);
+
+    MetricsRegistry shard;
+    shard.counter("trials").inc(3);
+    shard.counter("shard.only").inc(1);
+    shard.gauge("level").set(2.5);
+    shard.histogram("h", Histogram::linear(0, 10, 5)).record(7.0);
+
+    total.mergeFrom(shard);
+    const MetricsSnapshot snap = total.snapshot();
+    EXPECT_EQ(snap.find("trials")->counter, 5);
+    EXPECT_EQ(snap.find("shard.only")->counter, 1);
+    EXPECT_DOUBLE_EQ(snap.find("level")->gauge, 2.5); // last merge wins
+    EXPECT_EQ(snap.find("h")->histogram.count(), 2);
+}
+
+TEST(MetricsRegistry, MergeFromSelfDoublesCounters)
+{
+    // Self-merge is allowed (the snapshot is taken first): counters
+    // double, gauges and layouts survive.
+    MetricsRegistry reg;
+    reg.counter("c").inc(4);
+    reg.gauge("g").set(1.5);
+    reg.mergeFrom(reg);
+    EXPECT_EQ(reg.snapshot().find("c")->counter, 8);
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("g")->gauge, 1.5);
+}
+
 TEST(MetricsRegistry, TextAndJsonExport)
 {
     MetricsRegistry reg;

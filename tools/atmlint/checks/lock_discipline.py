@@ -35,7 +35,11 @@ RULE_MEMBER = "unguarded-member"
 RULE_GLOBAL = "unguarded-global"
 
 _GUARD_MACROS = {"ATM_GUARDED_BY", "ATM_PT_GUARDED_BY"}
-_MUTEX_TYPES = {"Mutex", "mutex", "shared_mutex", "recursive_mutex"}
+# Condition variables are synchronization primitives like the mutex
+# they pair with: neither needs (nor can carry) a guard annotation.
+_MUTEX_TYPES = {"Mutex", "mutex", "shared_mutex", "recursive_mutex",
+                "ConditionVariable", "condition_variable",
+                "condition_variable_any"}
 _EXEMPT = {"const", "constexpr", "static", "atomic", "atomic_bool",
            "atomic_int", "atomic_long"}
 
@@ -104,7 +108,7 @@ class LockDisciplineCheck(Check):
                      "ATM_GUARDED_BY",
         RULE_GLOBAL: "namespace-scope variable lacks ATM_GUARDED_BY",
     }
-    default_paths = ("src/obs", "src/util/logging.h",
+    default_paths = ("src/obs", "src/exec", "src/util/logging.h",
                      "src/util/logging.cc", "src/util/mutex.h")
 
     def run(self, source):

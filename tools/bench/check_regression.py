@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Gate engine throughput against a reference manifest.
+"""Gate a throughput metric against a reference manifest.
 
-Compares the `engine.steps_per_sec` of a freshly generated run
+Compares a higher-is-better metric of a freshly generated run
 manifest against a checked-in reference (tools/bench/
 reference_manifest.json by default) and fails when throughput
 regressed by more than the threshold (default 30%, the slack needed
@@ -9,8 +9,15 @@ to absorb CI-runner hardware variance). Speedups and small
 regressions pass; an absent or zero reference only warns so the gate
 cannot brick a tree whose reference predates the engine totals.
 
+The gated metric defaults to `engine.steps_per_sec`. `--metric`
+accepts either a dotted path into the manifest object
+(`engine.steps_per_sec`) or `counters:<name>` for a harness-level
+counter (e.g. `counters:characterize.cores_per_sec`, the gate on
+BENCH_characterize.json).
+
 Usage: check_regression.py <new-manifest.json>
            [--reference <path>] [--threshold <fraction>]
+           [--metric <dotted.path|counters:name>]
 """
 
 from __future__ import annotations
@@ -20,10 +27,15 @@ import json
 import sys
 
 
-def steps_per_sec(path: str) -> float:
+def read_metric(path: str, metric: str) -> float:
     with open(path, encoding="utf-8") as fh:
         manifest = json.load(fh)
-    return float(manifest["engine"]["steps_per_sec"])
+    if metric.startswith("counters:"):
+        return float(manifest["counters"][metric.split(":", 1)[1]])
+    node = manifest
+    for part in metric.split("."):
+        node = node[part]
+    return float(node)
 
 
 def main() -> int:
@@ -41,20 +53,34 @@ def main() -> int:
         default=0.30,
         help="maximum tolerated fractional regression (default 0.30)",
     )
+    parser.add_argument(
+        "--metric",
+        default="engine.steps_per_sec",
+        help="higher-is-better metric to gate: a dotted manifest path "
+             "or counters:<name> (default engine.steps_per_sec)",
+    )
     args = parser.parse_args()
 
-    current = steps_per_sec(args.manifest)
+    try:
+        current = read_metric(args.manifest, args.metric)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
+        print(
+            f"check_regression: cannot read '{args.metric}' from "
+            f"{args.manifest}: {err}",
+            file=sys.stderr,
+        )
+        return 1
     if current <= 0:
         print(
-            "check_regression: manifest reports no engine throughput "
-            "(did the harness run the engine?)",
+            f"check_regression: manifest reports no '{args.metric}' "
+            "throughput (did the harness run?)",
             file=sys.stderr,
         )
         return 1
 
     try:
-        reference = steps_per_sec(args.reference)
-    except (OSError, json.JSONDecodeError, KeyError) as err:
+        reference = read_metric(args.reference, args.metric)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
         print(
             f"check_regression: no usable reference "
             f"({args.reference}: {err}); skipping gate",
@@ -63,16 +89,16 @@ def main() -> int:
         return 0
     if reference <= 0:
         print(
-            "check_regression: reference has no engine throughput; "
-            "skipping gate",
+            f"check_regression: reference has no '{args.metric}' "
+            "throughput; skipping gate",
             file=sys.stderr,
         )
         return 0
 
     ratio = current / reference
     print(
-        f"check_regression: {current:,.0f} steps/s vs reference "
-        f"{reference:,.0f} steps/s (x{ratio:.2f}, "
+        f"check_regression: {args.metric} {current:,.2f} vs reference "
+        f"{reference:,.2f} (x{ratio:.2f}, "
         f"threshold x{1.0 - args.threshold:.2f})"
     )
     if ratio < 1.0 - args.threshold:

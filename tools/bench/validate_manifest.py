@@ -111,6 +111,8 @@ def validate_manifest(manifest: dict) -> None:
     check_type(manifest, "chip", str, allow_none=True)
     seed = check_type(manifest, "seed", int)
     require(seed >= 0, "negative seed")
+    jobs = check_type(manifest, "jobs", int)
+    require(jobs >= 1, "jobs must be at least 1")
 
     args = check_type(manifest, "args", list)
     require(
