@@ -21,11 +21,20 @@
  *
  * The filtered argument list is exposed via argc()/argv() so
  * harnesses that reject unknown arguments keep doing so.
+ *
+ * The session also installs SIGINT/SIGTERM handlers for its
+ * lifetime: an interrupted harness still flushes its manifest (and
+ * trace), with the manifest's `interrupted` flag set, so a ^C'd
+ * campaign leaves an honest partial record instead of nothing. The
+ * process then exits 128+signal, the shell convention for a
+ * signal-terminated command.
  */
 
 #pragma once
 
+#include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -68,10 +77,12 @@ class BenchSession
         util::setLogContext(tool_);
         if (traceEnabled_)
             trace_.emplace();
+        installSignalHandlers();
     }
 
     ~BenchSession()
     {
+        removeSignalHandlers();
         try {
             writeOutputs();
         } catch (const std::exception &e) {
@@ -160,6 +171,20 @@ class BenchSession
     {
         manifest_.setCounter(name, value);
     }
+
+    /** Record a fleet campaign's coverage in the manifest. */
+    void
+    setFleet(const obs::FleetManifest &fleet)
+    {
+        manifest_.fleet = fleet;
+    }
+
+    /**
+     * Mark the manifest as cut short. The signal path sets this
+     * automatically; harnesses with their own early-exit logic can
+     * set it explicitly before destruction.
+     */
+    void markInterrupted() { manifest_.interrupted = true; }
 
     /**
      * Fold one engine run into the manifest: run/step/wall totals,
@@ -267,6 +292,62 @@ class BenchSession
             }
         }
         manifest_.counters.emplace_back(name, value);
+    }
+
+    /**
+     * The session whose outputs the signal handlers flush. One
+     * harness owns one session at a time; nested sessions keep the
+     * outermost one armed.
+     */
+    static BenchSession *&
+    activeSession()
+    {
+        static BenchSession *session = nullptr;
+        return session;
+    }
+
+    /**
+     * SIGINT/SIGTERM: flush the manifest and trace with the
+     * `interrupted` flag set, then exit 128+signal. Writing a file
+     * is not async-signal-safe in the letter of the law; for an
+     * interactive ^C on a harness the trade -- an honest partial
+     * manifest versus none at all -- is worth it, and the exit path
+     * never returns into the interrupted code.
+     */
+    static void
+    onSignal(int sig)
+    {
+        BenchSession *session = activeSession();
+        if (session != nullptr) {
+            activeSession() = nullptr;
+            session->manifest_.interrupted = true;
+            try {
+                session->writeOutputs();
+            } catch (...) {
+                // Dying anyway; nothing better to do with it.
+            }
+        }
+        std::_Exit(128 + sig);
+    }
+
+    void
+    installSignalHandlers()
+    {
+        if (activeSession() != nullptr)
+            return;
+        activeSession() = this;
+        std::signal(SIGINT, &BenchSession::onSignal);
+        std::signal(SIGTERM, &BenchSession::onSignal);
+    }
+
+    void
+    removeSignalHandlers()
+    {
+        if (activeSession() != this)
+            return;
+        activeSession() = nullptr;
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
     }
 
     void

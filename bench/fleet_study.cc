@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Fleet-scale population study: the crash-resilient campaign driver
+ * (src/fleet) run as a harness. Shards the chip population across
+ * forked worker processes with supervised retry, watchdog, periodic
+ * checkpoints, and exact resume; the aggregate is bitwise-identical
+ * to the single-process population_study fold at any worker count.
+ *
+ * Usage: fleet_study [options]
+ *   --chips <n>              population size (default 24)
+ *   --seed <n>               seed base (default 1000)
+ *   --workers <n>            forked workers; 0 = in-process (default)
+ *   --shard-size <n>         chips per shard (default 4)
+ *   --checkpoint-dir <path>  enable checkpointing into <path>
+ *   --checkpoint-every <n>   checkpoint cadence in decided shards
+ *   --resume                 continue from the checkpoint directory
+ *   --strict-resume          fail instead of restarting on a bad one
+ *   --max-retries <n>        re-assignments per shard (default 2)
+ *   --watchdog-seconds <x>   hung-worker timeout (default 30)
+ *   --backoff-seconds <x>    base retry backoff (default 0.25)
+ *   --fail-inject <spec>     shard=K[,chip=C][,times=N][,mode=exit|hang]
+ *   --halt-after <n>         stop once <n> shards are decided
+ *   --self-interrupt-after <n>  halt at <n> shards, then raise
+ *                               SIGINT (exercises the interrupted-
+ *                               manifest path; exits 130)
+ *   --stats-out <path>       write the exact stats+metrics JSON
+ *   --serial-check           re-run single-process and compare bitwise
+ */
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_session.h"
+#include "core/population.h"
+#include "fleet/supervisor.h"
+#include "util/json_writer.h"
+#include "util/table.h"
+
+using namespace atmsim;
+
+namespace {
+
+/**
+ * The exact result document: full accumulator state plus the metric
+ * snapshot. Two campaigns agree iff these strings are equal.
+ */
+std::string
+resultJson(const core::PopulationStats &stats,
+           const obs::MetricsSnapshot &metrics)
+{
+    std::ostringstream os;
+    {
+        util::JsonWriter json(os);
+        json.beginObject();
+        json.key("stats");
+        stats.writeJson(json);
+        json.key("metrics");
+        metrics.writeJson(json);
+        json.endObject();
+    }
+    os << '\n';
+    return os.str();
+}
+
+long
+parseLong(const std::string &flag, const std::string &text)
+{
+    std::size_t used = 0;
+    long value = 0;
+    try {
+        value = std::stol(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size())
+        util::fatal(flag, " wants an integer, got '", text, "'");
+    return value;
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size())
+        util::fatal(flag, " wants a number, got '", text, "'");
+    return value;
+}
+
+} // namespace
+
+int
+main(int raw_argc, char **raw_argv)
+{
+    bench::BenchSession session("fleet_study", raw_argc, raw_argv);
+    const int argc = session.argc();
+    char **argv = session.argv();
+
+    fleet::FleetConfig config;
+    std::string statsOut;
+    bool serialCheck = false;
+    bool selfInterrupt = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                util::fatal(arg, " wants ", what);
+            return argv[++i];
+        };
+        if (arg == "--chips") {
+            config.population.chipCount =
+                static_cast<int>(parseLong(arg, next("a count")));
+        } else if (arg == "--seed") {
+            config.population.seedBase = static_cast<std::uint64_t>(
+                parseLong(arg, next("a seed")));
+        } else if (arg == "--workers") {
+            config.workers =
+                static_cast<int>(parseLong(arg, next("a count")));
+        } else if (arg == "--shard-size") {
+            config.shardSize =
+                static_cast<int>(parseLong(arg, next("a count")));
+        } else if (arg == "--checkpoint-dir") {
+            config.checkpointDir = next("a directory");
+        } else if (arg == "--checkpoint-every") {
+            config.checkpointEvery =
+                static_cast<int>(parseLong(arg, next("a count")));
+        } else if (arg == "--resume") {
+            config.resume = true;
+        } else if (arg == "--strict-resume") {
+            config.strictResume = true;
+        } else if (arg == "--max-retries") {
+            config.maxRetries =
+                static_cast<int>(parseLong(arg, next("a count")));
+        } else if (arg == "--watchdog-seconds") {
+            config.watchdogSeconds =
+                parseDouble(arg, next("seconds"));
+        } else if (arg == "--backoff-seconds") {
+            config.backoffSeconds = parseDouble(arg, next("seconds"));
+        } else if (arg == "--fail-inject") {
+            config.failInject = fleet::FailInject::parse(next("a spec"));
+        } else if (arg == "--halt-after") {
+            config.haltAfterShards = parseLong(arg, next("a count"));
+        } else if (arg == "--self-interrupt-after") {
+            config.haltAfterShards = parseLong(arg, next("a count"));
+            selfInterrupt = true;
+        } else if (arg == "--stats-out") {
+            statsOut = next("a path");
+        } else if (arg == "--serial-check") {
+            serialCheck = true;
+        } else {
+            util::fatal("fleet_study: unknown argument '", arg, "'");
+        }
+    }
+
+    std::cout << "\n=== Fleet population study ===\n"
+              << config.population.chipCount << " chips in shards of "
+              << config.shardSize << ", "
+              << (config.workers > 0
+                      ? std::to_string(config.workers)
+                            + " forked workers"
+                      : std::string("in-process"))
+              << ".\n\n";
+
+    session.setSeed(config.population.seedBase);
+    session.setConfig("fleet.chips",
+                      std::to_string(config.population.chipCount));
+    session.setConfig("fleet.workers",
+                      std::to_string(config.workers));
+    session.setConfig("fleet.shard_size",
+                      std::to_string(config.shardSize));
+    session.setConfig("fleet.max_retries",
+                      std::to_string(config.maxRetries));
+    if (config.failInject.enabled())
+        session.setConfig("fleet.fail_inject",
+                          config.failInject.describe());
+
+    const fleet::FleetResult result = fleet::runFleetCampaign(config);
+
+    session.setFleet(result.coverage);
+    session.metrics().mergeFrom(result.metrics);
+    session.setCounter("fleet.chips_done",
+                       static_cast<double>(result.coverage.chipsDone));
+    session.setCounter(
+        "fleet.chips_skipped",
+        static_cast<double>(result.coverage.chipsSkipped));
+    session.setCounter("fleet.retries",
+                       static_cast<double>(result.coverage.retries));
+
+    const obs::FleetManifest &cov = result.coverage;
+    std::cout << "shards: " << cov.shardsCompleted << "/"
+              << cov.shardsTotal << " completed, " << cov.shardsFailed
+              << " failed; chips: " << cov.chipsDone << " done, "
+              << cov.chipsSkipped << " skipped; retries: "
+              << cov.retries << "; checkpoints: "
+              << cov.checkpointsWritten
+              << (cov.resumed ? " (resumed)" : "") << "\n";
+
+    if (result.halted) {
+        std::cout << "campaign halted after "
+                  << (cov.shardsCompleted + cov.shardsFailed)
+                  << " decided shards (checkpoint written)\n";
+        if (selfInterrupt) {
+            // Exercise the interrupted-manifest path for real: the
+            // session's SIGINT handler flushes the manifest with
+            // interrupted=true and exits 130.
+            std::raise(SIGINT);
+        }
+        return 0;
+    }
+
+    if (!statsOut.empty()) {
+        std::ofstream os(statsOut, std::ios::binary);
+        if (!os)
+            util::fatal("cannot open ", statsOut);
+        os << resultJson(result.stats, result.metrics);
+        std::cout << "exact result written to " << statsOut << "\n";
+    }
+
+    const core::PopulationStats &stats = result.stats;
+    if (stats.chipCount > 0) {
+        util::TextTable table;
+        table.setHeader({"quantity", "mean", "min", "max"});
+        table.addRow({"idle limit (steps)",
+                      util::fmtFixed(stats.idleLimitSteps.mean(), 1),
+                      std::to_string(stats.idleLimitSteps.minValue()),
+                      std::to_string(stats.idleLimitSteps.maxValue())});
+        table.addRow({"idle-limit frequency (MHz)",
+                      util::fmtInt(stats.idleLimitMhz.mean()),
+                      util::fmtInt(stats.idleLimitMhz.min()),
+                      util::fmtInt(stats.idleLimitMhz.max())});
+        table.addRow({"deployable (thread-worst) frequency (MHz)",
+                      util::fmtInt(stats.worstLimitMhz.mean()),
+                      util::fmtInt(stats.worstLimitMhz.min()),
+                      util::fmtInt(stats.worstLimitMhz.max())});
+        table.addRow({"per-chip speed differential (MHz)",
+                      util::fmtInt(stats.differentialMhz.mean()),
+                      util::fmtInt(stats.differentialMhz.min()),
+                      util::fmtInt(stats.differentialMhz.max())});
+        table.addRow({"robust cores per chip",
+                      util::fmtFixed(stats.robustCores.mean(), 1),
+                      util::fmtInt(stats.robustCores.min()),
+                      util::fmtInt(stats.robustCores.max())});
+        table.print(std::cout);
+    }
+
+    if (serialCheck) {
+        if (cov.shardsFailed > 0) {
+            std::cout << "serial check skipped: " << cov.shardsFailed
+                      << " shard(s) lost to exhausted retries\n";
+            return 0;
+        }
+        core::PopulationConfig serial = config.population;
+        serial.jobs = 1;
+        const core::PopulationStats reference =
+            core::studyPopulation(serial);
+        std::ostringstream fleetDoc, serialDoc;
+        {
+            util::JsonWriter json(fleetDoc);
+            result.stats.writeJson(json);
+        }
+        {
+            util::JsonWriter json(serialDoc);
+            reference.writeJson(json);
+        }
+        if (fleetDoc.str() != serialDoc.str()) {
+            std::cerr << "serial check FAILED: fleet aggregate "
+                         "differs from studyPopulation\n";
+            return 1;
+        }
+        std::cout << "serial check passed: fleet aggregate is "
+                     "bitwise-identical to studyPopulation\n";
+    }
+    return 0;
+}

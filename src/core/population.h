@@ -11,12 +11,24 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/stats.h"
 #include "variation/chip_generator.h"
 
+namespace atmsim::obs {
+class MetricsRegistry;
+}
+
+namespace atmsim::util {
+class JsonWriter;
+class JsonValue;
+}
+
 namespace atmsim::core {
+
+struct LimitTable;
 
 /** Configuration of a population study. */
 struct PopulationConfig
@@ -60,7 +72,72 @@ struct PopulationStats
 
     /** Fraction of chips with a differential of at least 200 MHz. */
     [[nodiscard]] double fracAbove200Mhz() const;
+
+    /**
+     * Serialize the full accumulator state (Welford moments
+     * included) so a parsed copy continues folding bitwise where
+     * this one stopped -- the checkpoint/resume contract of the
+     * fleet campaign driver (src/fleet).
+     */
+    void writeJson(util::JsonWriter &json) const;
+
+    /** Rebuild from writeJson() output; throws on malformed input. */
+    [[nodiscard]] static PopulationStats
+    fromJson(const util::JsonValue &value);
 };
+
+/**
+ * The fold-relevant rows of one characterized chip: everything
+ * foldChipSummary() needs, and nothing else, so the record is cheap
+ * to ship across a worker-process boundary.
+ */
+struct ChipCoreSummary
+{
+    int idleSteps = 0;         ///< Idle limit (CPM steps).
+    double idleFreqMhz = 0.0;  ///< ATM frequency at the idle limit.
+    double worstFreqMhz = 0.0; ///< Deployable (thread-worst) frequency.
+    int rollbackSpread = 0;    ///< uBench-to-worst robustness spread.
+};
+
+/** Per-chip summary, tagged with the chip's population index. */
+struct ChipSummary
+{
+    int chipIndex = 0;
+    std::vector<ChipCoreSummary> cores;
+};
+
+/** Extract the fold rows of a characterized chip. */
+[[nodiscard]] ChipSummary summarizeChip(int chipIndex,
+                                        const LimitTable &table);
+
+/**
+ * Fold one chip into the aggregate. This is THE fold: both
+ * studyPopulation() and the fleet supervisor's shard join call it,
+ * chip-index order in both cases, so a sharded multi-process
+ * campaign reproduces the single-process aggregate bit for bit.
+ * Increments stats.chipCount.
+ */
+void foldChipSummary(PopulationStats &stats, const ChipSummary &chip,
+                     int robustSpread);
+
+/**
+ * Characterize chips [beginChip, endChip) of the configured
+ * population -- the shard-range entry point of the fleet worker.
+ * Each chip derives from seedBase + index exactly as in
+ * studyPopulation(), so any partition of [0, chipCount) into ranges
+ * folds back to the same aggregate.
+ *
+ * @param config Study parameters (chip identity, generator, seeds).
+ * @param beginChip First chip index of the range.
+ * @param endChip One past the last chip index.
+ * @param metrics Optional registry for characterizer counters and
+ *        the `fleet.chips_done` progress counter.
+ * @param chipDone Optional per-chip progress callback (heartbeats).
+ */
+[[nodiscard]] std::vector<ChipSummary>
+studyShard(const PopulationConfig &config, int beginChip, int endChip,
+           obs::MetricsRegistry *metrics = nullptr,
+           const std::function<void(int)> &chipDone = {});
 
 /**
  * Run the study.

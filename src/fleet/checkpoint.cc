@@ -1,0 +1,237 @@
+#include "fleet/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace atmsim::fleet {
+
+namespace fs = std::filesystem;
+
+const char *
+checkpointStatusName(CheckpointStatus s)
+{
+    switch (s) {
+      case CheckpointStatus::Loaded: return "loaded";
+      case CheckpointStatus::NoCheckpoint: return "no-checkpoint";
+      case CheckpointStatus::Corrupt: return "corrupt";
+      case CheckpointStatus::Mismatch: return "mismatch";
+    }
+    return "?";
+}
+
+std::string
+checkpointPath(const std::string &dir)
+{
+    return (fs::path(dir) / kCheckpointFile).string();
+}
+
+void
+saveCheckpoint(const std::string &dir, const CheckpointData &data)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        util::fatal("checkpoint: cannot create directory '", dir,
+                    "': ", ec.message());
+
+    const std::string path = checkpointPath(dir);
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream os(temp, std::ios::trunc);
+        if (!os)
+            util::fatal("checkpoint: cannot open '", temp,
+                        "' for writing");
+        util::JsonWriter json(os);
+        json.beginObject();
+        json.field("schema", kCheckpointSchema);
+
+        json.key("config").beginObject();
+        json.field("chips", data.fingerprint.chipCount);
+        json.field("shard_size", data.fingerprint.shardSize);
+        json.field("seed_base", data.fingerprint.seedBase);
+        json.field("robust_spread", data.fingerprint.robustSpread);
+        json.endObject();
+
+        json.field("decided_shards", data.decidedShards);
+        json.key("failed_shards").beginArray();
+        for (const long shard : data.failedShards)
+            json.value(shard);
+        json.endArray();
+        json.key("shard_retries").beginObject();
+        for (const auto &[shard, count] : data.shardRetries)
+            json.field(std::to_string(shard), count);
+        json.endObject();
+        json.field("total_retries", data.totalRetries);
+
+        json.key("stats");
+        data.stats.writeJson(json);
+        json.key("metrics");
+        data.metrics.writeJson(json);
+
+        json.key("pending").beginArray();
+        for (const ShardResult &result : data.pending)
+            result.writeJson(json);
+        json.endArray();
+
+        json.endObject();
+        os << '\n';
+        os.flush();
+        if (!os)
+            util::fatal("checkpoint: short write to '", temp, "'");
+    }
+    // Atomic publish: a kill between the two steps leaves either the
+    // previous checkpoint or a stray .tmp, never a torn current one.
+    fs::rename(temp, path, ec);
+    if (ec)
+        util::fatal("checkpoint: cannot rename '", temp, "' to '",
+                    path, "': ", ec.message());
+}
+
+namespace {
+
+/** Parse the already-read document body; throws on any violation. */
+[[nodiscard]] CheckpointData
+parseCheckpoint(const util::JsonValue &doc)
+{
+    CheckpointData data;
+
+    const util::JsonValue &config = doc.at("config");
+    data.fingerprint.chipCount =
+        static_cast<int>(config.at("chips").asLong());
+    data.fingerprint.shardSize =
+        static_cast<int>(config.at("shard_size").asLong());
+    data.fingerprint.seedBase = static_cast<std::uint64_t>(
+        config.at("seed_base").asLong());
+    data.fingerprint.robustSpread =
+        static_cast<int>(config.at("robust_spread").asLong());
+
+    data.decidedShards =
+        static_cast<long>(doc.at("decided_shards").asLong());
+    if (data.decidedShards < 0)
+        util::fatal("checkpoint: negative decided_shards");
+
+    for (const util::JsonValue &shard :
+         doc.at("failed_shards").asArray()) {
+        const auto index = static_cast<long>(shard.asLong());
+        if (index < 0 || index >= data.decidedShards)
+            util::fatal("checkpoint: failed shard ", index,
+                        " outside the decided prefix");
+        data.failedShards.push_back(index);
+    }
+
+    for (const auto &[key, value] :
+         doc.at("shard_retries").asObject()) {
+        long shard = 0;
+        try {
+            shard = std::stol(key);
+        } catch (const std::exception &) {
+            util::fatal("checkpoint: shard_retries key '", key,
+                        "' is not an integer");
+        }
+        data.shardRetries.emplace_back(
+            shard, static_cast<long>(value.asLong()));
+    }
+    data.totalRetries =
+        static_cast<long>(doc.at("total_retries").asLong());
+    if (data.totalRetries < 0)
+        util::fatal("checkpoint: negative total_retries");
+
+    data.stats = core::PopulationStats::fromJson(doc.at("stats"));
+    data.metrics = obs::MetricsSnapshot::fromJson(doc.at("metrics"));
+
+    for (const util::JsonValue &pending :
+         doc.at("pending").asArray()) {
+        ShardResult result = ShardResult::fromJson(pending);
+        if (result.shard < data.decidedShards)
+            util::fatal("checkpoint: pending shard ", result.shard,
+                        " inside the decided prefix");
+        data.pending.push_back(std::move(result));
+    }
+    return data;
+}
+
+} // namespace
+
+CheckpointLoadResult
+loadCheckpoint(const std::string &dir,
+               const CampaignFingerprint &expected)
+{
+    CheckpointLoadResult out;
+    const std::string path = checkpointPath(dir);
+
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec) {
+        out.status = CheckpointStatus::NoCheckpoint;
+        out.message = "no checkpoint at " + path;
+        return out;
+    }
+
+    std::string text;
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (!is) {
+            out.status = CheckpointStatus::Corrupt;
+            out.message = "cannot read " + path;
+            return out;
+        }
+        std::ostringstream buffer;
+        buffer << is.rdbuf();
+        text = buffer.str();
+    }
+
+    util::JsonValue doc;
+    try {
+        doc = util::JsonValue::parse(text);
+    } catch (const std::exception &e) {
+        out.status = CheckpointStatus::Corrupt;
+        out.message =
+            path + ": not valid JSON (truncated write or disk "
+                   "corruption): " + e.what();
+        return out;
+    }
+
+    try {
+        const std::string &schema = doc.at("schema").asString();
+        if (schema != kCheckpointSchema) {
+            out.status = CheckpointStatus::Corrupt;
+            out.message = path + ": schema is '" + schema
+                          + "', this build reads '"
+                          + kCheckpointSchema + "'";
+            return out;
+        }
+        out.data = parseCheckpoint(doc);
+    } catch (const std::exception &e) {
+        out.status = CheckpointStatus::Corrupt;
+        out.message = path + ": structurally invalid: " + e.what();
+        out.data = CheckpointData{};
+        return out;
+    }
+
+    if (!out.data.fingerprint.matches(expected)) {
+        out.status = CheckpointStatus::Mismatch;
+        std::ostringstream os;
+        os << path << ": checkpoint belongs to a different campaign"
+           << " (chips " << out.data.fingerprint.chipCount << " vs "
+           << expected.chipCount << ", shard size "
+           << out.data.fingerprint.shardSize << " vs "
+           << expected.shardSize << ", seed base "
+           << out.data.fingerprint.seedBase << " vs "
+           << expected.seedBase << ", robust spread "
+           << out.data.fingerprint.robustSpread << " vs "
+           << expected.robustSpread << ")";
+        out.message = os.str();
+        out.data = CheckpointData{};
+        return out;
+    }
+
+    out.status = CheckpointStatus::Loaded;
+    out.message = path;
+    return out;
+}
+
+} // namespace atmsim::fleet

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Versioned fleet-campaign checkpoints.
+ *
+ * A checkpoint is the supervisor's fold state frozen to disk: how
+ * many shards have been *decided* (folded into the aggregate or
+ * abandoned after exhausted retries -- decisions advance strictly in
+ * shard-index order), the exact PopulationStats and metric-snapshot
+ * partials of that decided prefix, and any completed shard results
+ * still buffered behind an undecided lower-index shard. Restoring a
+ * checkpoint and re-running only the undecided shards therefore
+ * reproduces the uninterrupted campaign bit for bit -- the fold
+ * replays the same adds in the same order on the same values.
+ *
+ * Writes are atomic (temp file + rename), so a kill can only ever
+ * leave the previous complete checkpoint or a stray temp file,
+ * never a half-written current one. Loads never trust the file:
+ * truncation, garbage, schema drift, and config mismatches each
+ * produce a diagnostic and a clean fresh start (or a fatal error
+ * under --strict-resume), never undefined behavior.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/population.h"
+#include "fleet/protocol.h"
+#include "obs/metrics.h"
+
+namespace atmsim::fleet {
+
+/** Checkpoint schema identifier (bump on breaking changes). */
+inline constexpr const char *kCheckpointSchema =
+    "atmsim-fleet-ckpt-v1";
+
+/** File name inside the checkpoint directory. */
+inline constexpr const char *kCheckpointFile = "fleet.ckpt.json";
+
+/**
+ * Campaign identity: a checkpoint only resumes the campaign it was
+ * written by. Any field differing means the shard maths or the chip
+ * seeds changed, and the partial fold would be silently wrong.
+ */
+struct CampaignFingerprint
+{
+    int chipCount = 0;
+    int shardSize = 0;
+    std::uint64_t seedBase = 0;
+    int robustSpread = 0;
+
+    [[nodiscard]] bool matches(const CampaignFingerprint &o) const
+    {
+        return chipCount == o.chipCount && shardSize == o.shardSize
+               && seedBase == o.seedBase
+               && robustSpread == o.robustSpread;
+    }
+};
+
+/** The supervisor fold state a checkpoint freezes. */
+struct CheckpointData
+{
+    CampaignFingerprint fingerprint;
+
+    /** Shards decided (folded or failed), a strict prefix [0, n). */
+    long decidedShards = 0;
+
+    /** Failed shard indices within the decided prefix. */
+    std::vector<long> failedShards;
+
+    /** (shard, retries) for shards that needed re-spawns. */
+    std::vector<std::pair<long, long>> shardRetries;
+
+    /** Total worker re-spawns so far. */
+    long totalRetries = 0;
+
+    /** Exact aggregate of the decided prefix. */
+    core::PopulationStats stats;
+
+    /** Exact metric fold of the decided prefix. */
+    obs::MetricsSnapshot metrics;
+
+    /** Completed results buffered behind an undecided shard. */
+    std::vector<ShardResult> pending;
+};
+
+/** Outcome of a checkpoint load attempt. */
+enum class CheckpointStatus {
+    Loaded,       ///< Valid checkpoint for this campaign.
+    NoCheckpoint, ///< File absent: fresh campaign.
+    Corrupt,      ///< Truncated/garbage/wrong schema: fresh start.
+    Mismatch,     ///< Valid file, different campaign: fresh start.
+};
+
+/** Printable status name. */
+[[nodiscard]] const char *checkpointStatusName(CheckpointStatus s);
+
+/** Load outcome: data is only meaningful when status == Loaded. */
+struct CheckpointLoadResult
+{
+    CheckpointStatus status = CheckpointStatus::NoCheckpoint;
+    CheckpointData data;
+    std::string message; ///< Diagnostic for non-Loaded outcomes.
+};
+
+/** Checkpoint file path inside a campaign directory. */
+[[nodiscard]] std::string checkpointPath(const std::string &dir);
+
+/**
+ * Persist a checkpoint atomically (directory is created when
+ * missing). Fatal on I/O errors -- losing checkpoint coverage
+ * silently would defeat the point.
+ */
+void saveCheckpoint(const std::string &dir, const CheckpointData &data);
+
+/**
+ * Load and validate a checkpoint. Never throws for bad files: every
+ * corruption mode maps to a CheckpointStatus plus a diagnostic; the
+ * caller decides between fresh-start and --strict-resume failure.
+ *
+ * @param dir Campaign checkpoint directory.
+ * @param expected Identity of the campaign asking to resume.
+ */
+[[nodiscard]] CheckpointLoadResult
+loadCheckpoint(const std::string &dir,
+               const CampaignFingerprint &expected);
+
+} // namespace atmsim::fleet

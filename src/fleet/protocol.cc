@@ -1,0 +1,308 @@
+#include "fleet/protocol.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define ATMSIM_FLEET_POSIX 1
+#endif
+
+namespace atmsim::fleet {
+
+std::vector<ShardRange>
+planShards(int chipCount, int shardSize)
+{
+    if (chipCount <= 0)
+        util::fatal("fleet campaign needs at least one chip, got ",
+                    chipCount);
+    if (shardSize <= 0)
+        util::fatal("fleet shard size must be positive, got ",
+                    shardSize);
+    std::vector<ShardRange> shards;
+    for (int begin = 0, index = 0; begin < chipCount;
+         begin += shardSize, ++index) {
+        ShardRange shard;
+        shard.index = index;
+        shard.beginChip = begin;
+        shard.endChip = std::min(begin + shardSize, chipCount);
+        shards.push_back(shard);
+    }
+    return shards;
+}
+
+bool
+FailInject::shouldFail(int shardIndex, int attempt) const
+{
+    return enabled() && shardIndex == shard && attempt < times;
+}
+
+FailInject
+FailInject::parse(const std::string &text)
+{
+    FailInject spec;
+    if (text.empty())
+        return spec;
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            util::fatal("--fail-inject: '", item,
+                        "' is not key=value");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        try {
+            if (key == "shard") {
+                spec.shard = std::stoi(value);
+            } else if (key == "chip") {
+                spec.chip = std::stoi(value);
+            } else if (key == "times") {
+                spec.times = std::stoi(value);
+            } else if (key == "mode") {
+                if (value == "hang")
+                    spec.hang = true;
+                else if (value == "exit")
+                    spec.hang = false;
+                else
+                    util::fatal("--fail-inject: unknown mode '",
+                                value, "' (want exit|hang)");
+            } else {
+                util::fatal("--fail-inject: unknown key '", key, "'");
+            }
+        } catch (const std::invalid_argument &) {
+            util::fatal("--fail-inject: '", value,
+                        "' is not an integer");
+        } catch (const std::out_of_range &) {
+            util::fatal("--fail-inject: '", value, "' is out of range");
+        }
+    }
+    if (spec.shard < 0)
+        util::fatal("--fail-inject needs shard=<index>");
+    if (spec.chip < 0 || spec.times < 1)
+        util::fatal("--fail-inject wants chip >= 0 and times >= 1");
+    return spec;
+}
+
+std::string
+FailInject::describe() const
+{
+    if (!enabled())
+        return "";
+    std::ostringstream os;
+    os << "shard=" << shard << ",chip=" << chip << ",times=" << times
+       << ",mode=" << (hang ? "hang" : "exit");
+    return os.str();
+}
+
+void
+ShardResult::writeJson(util::JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("shard", shard);
+    json.key("chips").beginArray();
+    for (const core::ChipSummary &chip : chips) {
+        json.beginObject();
+        json.field("index", chip.chipIndex);
+        json.key("cores").beginArray();
+        for (const core::ChipCoreSummary &core : chip.cores) {
+            json.beginObject();
+            json.field("idle", core.idleSteps);
+            json.field("idle_freq", core.idleFreqMhz);
+            json.field("worst_freq", core.worstFreqMhz);
+            json.field("spread", core.rollbackSpread);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.key("metrics");
+    metrics.writeJson(json);
+    json.endObject();
+}
+
+ShardResult
+ShardResult::fromJson(const util::JsonValue &v)
+{
+    ShardResult result;
+    result.shard = static_cast<int>(v.at("shard").asLong());
+    if (result.shard < 0)
+        util::fatal("shard result: negative shard index");
+    for (const util::JsonValue &chip : v.at("chips").asArray()) {
+        core::ChipSummary summary;
+        summary.chipIndex =
+            static_cast<int>(chip.at("index").asLong());
+        for (const util::JsonValue &core :
+             chip.at("cores").asArray()) {
+            core::ChipCoreSummary row;
+            row.idleSteps =
+                static_cast<int>(core.at("idle").asLong());
+            row.idleFreqMhz = core.at("idle_freq").asDouble();
+            row.worstFreqMhz = core.at("worst_freq").asDouble();
+            row.rollbackSpread =
+                static_cast<int>(core.at("spread").asLong());
+            summary.cores.push_back(row);
+        }
+        result.chips.push_back(std::move(summary));
+    }
+    result.metrics = obs::MetricsSnapshot::fromJson(v.at("metrics"));
+    return result;
+}
+
+namespace {
+
+[[nodiscard]] const char *
+typeName(Message::Type type)
+{
+    switch (type) {
+      case Message::Type::Ready: return "ready";
+      case Message::Type::Assign: return "assign";
+      case Message::Type::Heartbeat: return "heartbeat";
+      case Message::Type::Result: return "result";
+      case Message::Type::Exit: return "exit";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Message::encode() const
+{
+    std::ostringstream os;
+    {
+        util::JsonWriter json(os);
+        json.beginObject();
+        json.field("type", typeName(type));
+        switch (type) {
+          case Type::Assign:
+            json.field("shard", shard);
+            json.field("begin", beginChip);
+            json.field("end", endChip);
+            json.field("attempt", attempt);
+            break;
+          case Type::Heartbeat:
+            json.field("shard", shard);
+            json.field("chip", chip);
+            break;
+          case Type::Result:
+            json.key("result");
+            result.writeJson(json);
+            break;
+          case Type::Ready:
+          case Type::Exit:
+            break;
+        }
+        json.endObject();
+    }
+    os << '\n';
+    return os.str();
+}
+
+Message
+Message::decode(const std::string &line)
+{
+    const util::JsonValue doc = util::JsonValue::parse(line);
+    const std::string &name = doc.at("type").asString();
+    Message msg;
+    if (name == "ready") {
+        msg.type = Type::Ready;
+    } else if (name == "assign") {
+        msg.type = Type::Assign;
+        msg.shard = static_cast<int>(doc.at("shard").asLong());
+        msg.beginChip = static_cast<int>(doc.at("begin").asLong());
+        msg.endChip = static_cast<int>(doc.at("end").asLong());
+        msg.attempt = static_cast<int>(doc.at("attempt").asLong());
+    } else if (name == "heartbeat") {
+        msg.type = Type::Heartbeat;
+        msg.shard = static_cast<int>(doc.at("shard").asLong());
+        msg.chip = static_cast<int>(doc.at("chip").asLong());
+    } else if (name == "result") {
+        msg.type = Type::Result;
+        msg.result = ShardResult::fromJson(doc.at("result"));
+        msg.shard = msg.result.shard;
+    } else if (name == "exit") {
+        msg.type = Type::Exit;
+    } else {
+        util::fatal("fleet protocol: unknown message type '", name,
+                    "'");
+    }
+    return msg;
+}
+
+#if defined(ATMSIM_FLEET_POSIX)
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + done, data.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineReader::fill()
+{
+    // One read() per call: on a blocking fd this never waits for
+    // more than the next chunk, and on a nonblocking fd poll() is
+    // level-triggered, so leftover bytes re-arm it immediately.
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            return true;
+        }
+        if (n == 0)
+            return false; // EOF: writer is gone.
+        if (errno == EINTR)
+            continue;
+        // EAGAIN/EWOULDBLOCK on a nonblocking fd: drained for now.
+        return true;
+    }
+}
+
+#else // !ATMSIM_FLEET_POSIX
+
+bool
+writeAll(int, const std::string &)
+{
+    util::fatal("fleet worker pipes need a POSIX platform");
+}
+
+bool
+LineReader::fill()
+{
+    util::fatal("fleet worker pipes need a POSIX platform");
+}
+
+#endif
+
+std::optional<std::string>
+LineReader::nextLine()
+{
+    const std::size_t pos = buffer_.find('\n');
+    if (pos == std::string::npos)
+        return std::nullopt;
+    std::string line = buffer_.substr(0, pos);
+    buffer_.erase(0, pos + 1);
+    return line;
+}
+
+} // namespace atmsim::fleet

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Fleet supervisor/worker wire protocol.
+ *
+ * The campaign driver (src/fleet/supervisor.h) partitions a chip
+ * population into contiguous shards and farms them out to forked
+ * worker processes over plain POSIX pipes -- no MPI, no sockets to
+ * configure, nothing a SIGKILL can leave half-open. Every message is
+ * one newline-terminated JSON object (util::JsonWriter emits no
+ * raw newlines, so line framing is exact), which keeps the protocol
+ * inspectable with `cat` and lets the supervisor parse a worker's
+ * stream incrementally with a plain buffered reader.
+ *
+ * Message flow:
+ *   worker -> supervisor: ready                (idle, wants work)
+ *   supervisor -> worker: assign shard k       (chip range + attempt)
+ *   worker -> supervisor: heartbeat            (after every chip)
+ *   worker -> supervisor: result               (chips + metric shard)
+ *   supervisor -> worker: exit                 (campaign over)
+ *
+ * A worker that crashes or hangs simply stops producing bytes; the
+ * supervisor owns all failure handling (watchdog, retry, degrade),
+ * so the protocol itself has no error messages.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/population.h"
+#include "obs/metrics.h"
+
+namespace atmsim::fleet {
+
+/** One contiguous chip range of the campaign. */
+struct ShardRange
+{
+    int index = 0;     ///< Shard index (fold order).
+    int beginChip = 0; ///< First chip of the range.
+    int endChip = 0;   ///< One past the last chip.
+
+    [[nodiscard]] int chips() const { return endChip - beginChip; }
+};
+
+/**
+ * Partition [0, chipCount) into shards of shardSize chips (the last
+ * shard may be short). Fatal on a non-positive count or size.
+ */
+[[nodiscard]] std::vector<ShardRange> planShards(int chipCount,
+                                                 int shardSize);
+
+/**
+ * Deterministic worker fault injection -- the test/CI hook behind
+ * `--fail-inject`. A matching worker either exits mid-shard
+ * (crash-path coverage) or stops heartbeating (watchdog-path
+ * coverage). `times` bounds how many attempts fail, so a retried
+ * shard can be made to succeed (times small) or exhaust its retries
+ * (times large) deterministically.
+ */
+struct FailInject
+{
+    int shard = -1;   ///< Target shard index; -1 disables injection.
+    int chip = 0;     ///< Chip offset within the shard to fail at.
+    int times = 1;    ///< Fail the first `times` attempts.
+    bool hang = false; ///< Hang (watchdog path) instead of exiting.
+
+    [[nodiscard]] bool enabled() const { return shard >= 0; }
+
+    /** Does this (shard, attempt) fail? */
+    [[nodiscard]] bool shouldFail(int shardIndex, int attempt) const;
+
+    /**
+     * Parse "shard=K,chip=C,times=N,mode=exit|hang" (chip, times and
+     * mode optional). Empty text disables injection; fatal on
+     * malformed specs.
+     */
+    [[nodiscard]] static FailInject parse(const std::string &text);
+
+    /** Canonical spec text (manifest provenance). */
+    [[nodiscard]] std::string describe() const;
+};
+
+/** Everything a worker produces for one shard. */
+struct ShardResult
+{
+    int shard = 0;
+    std::vector<core::ChipSummary> chips;
+    obs::MetricsSnapshot metrics;
+
+    void writeJson(util::JsonWriter &json) const;
+
+    /** Throws on malformed input (checkpoint loaders catch). */
+    [[nodiscard]] static ShardResult fromJson(const util::JsonValue &v);
+};
+
+/** One protocol message, either direction. */
+struct Message
+{
+    enum class Type { Ready, Assign, Heartbeat, Result, Exit };
+
+    Type type = Type::Ready;
+
+    // Assign fields.
+    int shard = -1;
+    int beginChip = 0;
+    int endChip = 0;
+    int attempt = 0;
+
+    // Heartbeat field (chip index just finished).
+    int chip = -1;
+
+    // Result payload.
+    ShardResult result;
+
+    /** One-line JSON, newline-terminated. */
+    [[nodiscard]] std::string encode() const;
+
+    /** Throws on malformed lines (supervisor treats as crash). */
+    [[nodiscard]] static Message decode(const std::string &line);
+};
+
+/**
+ * Write a full buffer to a pipe fd, retrying on EINTR/short writes.
+ * @return false when the peer is gone (EPIPE/closed).
+ */
+[[nodiscard]] bool writeAll(int fd, const std::string &data);
+
+/**
+ * Incremental newline-framed reader over a pipe fd. The supervisor
+ * drives it from poll() with nonblocking fds; the worker uses it
+ * blocking. Bytes are buffered internally, so partial lines survive
+ * across reads -- exactly what a killed writer leaves behind is
+ * simply never completed and never parsed.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Pull whatever the fd has. @return false on EOF (writer gone);
+     * true otherwise, including EAGAIN on nonblocking fds.
+     */
+    [[nodiscard]] bool fill();
+
+    /** Next complete line (without the newline), if buffered. */
+    [[nodiscard]] std::optional<std::string> nextLine();
+
+  private:
+    int fd_;
+    std::string buffer_;
+};
+
+} // namespace atmsim::fleet

@@ -1,0 +1,107 @@
+#include "fleet/worker.h"
+
+#include <csignal>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define ATMSIM_FLEET_POSIX 1
+#endif
+
+namespace atmsim::fleet {
+
+#if defined(ATMSIM_FLEET_POSIX)
+
+namespace {
+
+/** Injected hang: stop heartbeating until the watchdog kills us. */
+[[noreturn]] void
+hangForever()
+{
+    for (;;)
+        ::pause();
+}
+
+} // namespace
+
+int
+runWorker(int cmdFd, int msgFd, const WorkerConfig &config)
+{
+    // Interrupt policy belongs to the supervisor; a worker dies by
+    // default disposition so ^C tears the whole process tree down.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    // A vanished supervisor surfaces as a write error, not SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    LineReader commands(cmdFd);
+    Message ready;
+    ready.type = Message::Type::Ready;
+    if (!writeAll(msgFd, ready.encode()))
+        return 1;
+
+    for (;;) {
+        std::optional<std::string> line = commands.nextLine();
+        while (!line) {
+            if (!commands.fill())
+                return 0; // Supervisor gone: EOF doubles as exit.
+            line = commands.nextLine();
+        }
+
+        const Message msg = Message::decode(*line);
+        if (msg.type == Message::Type::Exit)
+            return 0;
+        if (msg.type != Message::Type::Assign)
+            util::fatal("fleet worker: unexpected ",
+                        static_cast<int>(msg.type),
+                        " message from supervisor");
+
+        bool pipeLost = false;
+        const auto chipDone = [&](int chip) {
+            const int offset = chip - msg.beginChip;
+            if (config.failInject.shouldFail(msg.shard, msg.attempt)
+                && offset == config.failInject.chip) {
+                if (config.failInject.hang)
+                    hangForever();
+                ::_exit(kInjectedCrashExit);
+            }
+            Message beat;
+            beat.type = Message::Type::Heartbeat;
+            beat.shard = msg.shard;
+            beat.chip = chip;
+            if (!writeAll(msgFd, beat.encode()))
+                pipeLost = true;
+        };
+
+        obs::MetricsRegistry metrics;
+        Message result;
+        result.type = Message::Type::Result;
+        result.result.shard = msg.shard;
+        result.result.chips =
+            core::studyShard(config.population, msg.beginChip,
+                             msg.endChip, &metrics, chipDone);
+        result.result.metrics = metrics.snapshot();
+        if (pipeLost || !writeAll(msgFd, result.encode()))
+            return 1;
+
+        Message again;
+        again.type = Message::Type::Ready;
+        if (!writeAll(msgFd, again.encode()))
+            return 1;
+    }
+}
+
+#else // !ATMSIM_FLEET_POSIX
+
+int
+runWorker(int, int, const WorkerConfig &)
+{
+    util::fatal("fleet workers need a POSIX platform");
+}
+
+#endif
+
+} // namespace atmsim::fleet

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fleet worker process loop.
+ *
+ * A worker is the child half of the campaign driver: it announces
+ * itself ready, characterizes whatever shard range the supervisor
+ * assigns (heartbeating after every chip), ships the result back as
+ * one JSON line, and asks for more. All failure handling lives in the
+ * supervisor -- a worker that crashes, hangs, or loses its pipes just
+ * disappears, and the supervisor's watchdog/retry machinery notices.
+ */
+
+#pragma once
+
+#include "core/population.h"
+#include "fleet/protocol.h"
+
+namespace atmsim::fleet {
+
+/** Exit code of a fail-injected crash (tests assert on it). */
+inline constexpr int kInjectedCrashExit = 42;
+
+/** Everything a forked worker inherits from the supervisor. */
+struct WorkerConfig
+{
+    core::PopulationConfig population;
+    FailInject failInject;
+};
+
+/**
+ * Run the worker loop: Ready -> (Assign -> heartbeats -> Result ->
+ * Ready)* -> Exit. Blocks on the command pipe; EOF on it doubles as
+ * an exit request (a dead supervisor must not leave orphans behind).
+ * Resets SIGINT/SIGTERM to their default dispositions -- interrupt
+ * policy is the supervisor's job.
+ *
+ * @param cmdFd Read end of the supervisor->worker pipe.
+ * @param msgFd Write end of the worker->supervisor pipe.
+ * @param config Population parameters plus fault injection.
+ * @return Process exit code (0 on a clean exit).
+ */
+[[nodiscard]] int runWorker(int cmdFd, int msgFd,
+                            const WorkerConfig &config);
+
+} // namespace atmsim::fleet

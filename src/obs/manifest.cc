@@ -90,6 +90,30 @@ RunManifest::writeJson(std::ostream &os) const
         json.field(key, val);
     json.endObject();
 
+    json.field("interrupted", interrupted);
+
+    if (fleet.present) {
+        json.key("fleet").beginObject();
+        json.field("shards_total", fleet.shardsTotal);
+        json.field("shards_completed", fleet.shardsCompleted);
+        json.field("shards_failed", fleet.shardsFailed);
+        json.field("chips_total", fleet.chipsTotal);
+        json.field("chips_done", fleet.chipsDone);
+        json.field("chips_skipped", fleet.chipsSkipped);
+        json.field("retries", fleet.retries);
+        json.field("checkpoints_written", fleet.checkpointsWritten);
+        json.field("resumed", fleet.resumed);
+        json.key("shard_retries").beginObject();
+        for (const auto &[shard, count] : fleet.shardRetries)
+            json.field(std::to_string(shard), count);
+        json.endObject();
+        json.key("failed_shards").beginArray();
+        for (const long shard : fleet.failedShards)
+            json.value(shard);
+        json.endArray();
+        json.endObject();
+    }
+
     json.key("metrics");
     metrics.writeJson(json);
     json.endObject();

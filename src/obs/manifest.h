@@ -33,6 +33,34 @@ namespace atmsim::obs {
 /** Manifest schema identifier (bump on breaking changes). */
 inline constexpr const char *kManifestSchema = "atmsim-run-manifest-v1";
 
+/**
+ * Coverage record of a fleet campaign (bench/fleet_study). The
+ * robustness contract requires the manifest to be *truthful* under
+ * degradation: when retries are exhausted the campaign still
+ * completes, and these fields record exactly which coverage was lost
+ * instead of pretending the run was whole.
+ */
+struct FleetManifest
+{
+    bool present = false;     ///< Emitted only when a campaign ran.
+
+    long shardsTotal = 0;     ///< Shards the population partitioned into.
+    long shardsCompleted = 0; ///< Shards folded into the results.
+    long shardsFailed = 0;    ///< Shards abandoned after max retries.
+    long chipsTotal = 0;      ///< Chips in the configured population.
+    long chipsDone = 0;       ///< Chips covered by completed shards.
+    long chipsSkipped = 0;    ///< Chips lost with failed shards.
+    long retries = 0;         ///< Worker re-spawns across all shards.
+    long checkpointsWritten = 0; ///< Checkpoints persisted this run.
+    bool resumed = false;     ///< Continued from a checkpoint.
+
+    /** (shard index, retry count) for every shard that retried. */
+    std::vector<std::pair<long, long>> shardRetries;
+
+    /** Indices of shards abandoned after exhausted retries. */
+    std::vector<long> failedShards;
+};
+
 /** Provenance + performance record of one run. */
 struct RunManifest
 {
@@ -78,6 +106,16 @@ struct RunManifest
 
     /** Named scalar counters (safety counters, harness totals). */
     std::vector<std::pair<std::string, double>> counters;
+
+    /**
+     * True when the run was cut short by SIGINT/SIGTERM and the
+     * manifest was flushed from the signal path -- partial totals,
+     * honestly labelled.
+     */
+    bool interrupted = false;
+
+    /** Fleet campaign coverage (present only for fleet harnesses). */
+    FleetManifest fleet;
 
     /** Metrics snapshot taken at the end of the run. */
     MetricsSnapshot metrics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/json_reader.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
 
@@ -241,30 +242,93 @@ MetricsSnapshot::writeText(std::ostream &os) const
     }
 }
 
-namespace {
-
 void
-writeHistogramJson(util::JsonWriter &json, const Histogram &h)
+Histogram::writeJson(util::JsonWriter &json) const
 {
     json.beginObject();
-    json.field("count", h.count());
-    json.field("sum", h.sum());
-    json.field("mean", h.mean());
-    json.field("min", h.minSeen());
-    json.field("max", h.maxSeen());
-    json.field("underflow", h.underflow());
-    json.field("overflow", h.overflow());
+    json.field("count", count());
+    json.field("sum", sum());
+    json.field("mean", mean());
+    json.field("min", minSeen());
+    json.field("max", maxSeen());
+    json.field("underflow", underflow());
+    json.field("overflow", overflow());
+    // The layout block is what makes the document a *checkpoint*
+    // rather than a report: fromJson() needs it to rebuild a
+    // histogram whose merge() layout check passes against the live
+    // registry's instrument.
+    json.field("layout", linear_ ? "linear" : "edges");
+    if (linear_) {
+        json.field("lo", lo_);
+        json.field("width", width_);
+    }
     json.key("buckets").beginArray();
-    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+    for (std::size_t i = 0; i < bucketCount(); ++i) {
         json.beginObject();
-        json.field("lo", h.bucketLo(i));
-        json.field("hi", h.bucketHi(i));
-        json.field("hits", h.bucketHits(i));
+        json.field("lo", bucketLo(i));
+        json.field("hi", bucketHi(i));
+        json.field("hits", bucketHits(i));
         json.endObject();
     }
     json.endArray();
     json.endObject();
 }
+
+Histogram
+Histogram::fromJson(const util::JsonValue &value)
+{
+    const util::JsonValue::Array &buckets =
+        value.at("buckets").asArray();
+    const std::string &layout = value.at("layout").asString();
+
+    Histogram h;
+    if (layout == "linear") {
+        h.linear_ = true;
+        h.lo_ = value.at("lo").asDouble();
+        h.width_ = value.at("width").asDouble();
+        if (!(h.width_ > 0.0) || buckets.empty())
+            util::fatal("histogram JSON: bad linear layout");
+    } else if (layout == "edges") {
+        h.linear_ = false;
+        if (buckets.empty())
+            util::fatal("histogram JSON: explicit layout without "
+                        "buckets");
+        for (const util::JsonValue &bucket : buckets)
+            h.edges_.push_back(bucket.at("lo").asDouble());
+        h.edges_.push_back(buckets.back().at("hi").asDouble());
+        for (std::size_t i = 1; i < h.edges_.size(); ++i) {
+            if (!(h.edges_[i] > h.edges_[i - 1]))
+                util::fatal("histogram JSON: edges not ascending");
+        }
+    } else {
+        util::fatal("histogram JSON: unknown layout '", layout, "'");
+    }
+
+    h.counts_.reserve(buckets.size());
+    long binned = 0;
+    for (const util::JsonValue &bucket : buckets) {
+        const auto hits =
+            static_cast<long>(bucket.at("hits").asLong());
+        if (hits < 0)
+            util::fatal("histogram JSON: negative bucket hits");
+        h.counts_.push_back(hits);
+        binned += hits;
+    }
+    h.underflow_ = static_cast<long>(value.at("underflow").asLong());
+    h.overflow_ = static_cast<long>(value.at("overflow").asLong());
+    h.count_ = static_cast<long>(value.at("count").asLong());
+    h.sum_ = value.at("sum").asDouble();
+    if (h.underflow_ < 0 || h.overflow_ < 0
+        || binned + h.underflow_ + h.overflow_ != h.count_)
+        util::fatal("histogram JSON: bin totals disagree with count");
+    if (h.count_ > 0) {
+        h.minSeen_ = value.at("min").asDouble();
+        h.maxSeen_ = value.at("max").asDouble();
+    }
+    return h;
+}
+
+namespace {
 
 void
 writeSnapshotJson(util::JsonWriter &json, const MetricsSnapshot &snap)
@@ -282,7 +346,7 @@ writeSnapshotJson(util::JsonWriter &json, const MetricsSnapshot &snap)
             break;
           case MetricKind::Histogram:
             json.key("value");
-            writeHistogramJson(json, entry.histogram);
+            entry.histogram.writeJson(json);
             break;
         }
         json.endObject();
@@ -303,6 +367,37 @@ void
 MetricsSnapshot::writeJson(util::JsonWriter &json) const
 {
     writeSnapshotJson(json, *this);
+}
+
+MetricsSnapshot
+MetricsSnapshot::fromJson(const util::JsonValue &value)
+{
+    MetricsSnapshot snap;
+    // JsonValue objects iterate key-sorted, which is exactly the
+    // canonical snapshot order snapshot() produces.
+    for (const auto &[name, entry] : value.asObject()) {
+        if (name.empty())
+            util::fatal("metrics JSON: empty metric name");
+        MetricSnapshotEntry out;
+        out.name = name;
+        const std::string &kind = entry.at("kind").asString();
+        if (kind == "counter") {
+            out.kind = MetricKind::Counter;
+            out.counter =
+                static_cast<long>(entry.at("value").asLong());
+        } else if (kind == "gauge") {
+            out.kind = MetricKind::Gauge;
+            out.gauge = entry.at("value").asDouble();
+        } else if (kind == "histogram") {
+            out.kind = MetricKind::Histogram;
+            out.histogram = Histogram::fromJson(entry.at("value"));
+        } else {
+            util::fatal("metrics JSON: metric '", name,
+                        "' has unknown kind '", kind, "'");
+        }
+        snap.entries.push_back(std::move(out));
+    }
+    return snap;
 }
 
 MetricsRegistry::Slot &
@@ -392,7 +487,12 @@ MetricsRegistry::mergeFrom(const MetricsRegistry &other)
 {
     // Snapshot first so the two registry locks are never held
     // together (no ordering to get wrong, self-merge stays safe).
-    const MetricsSnapshot snap = other.snapshot();
+    mergeFrom(other.snapshot());
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsSnapshot &snap)
+{
     util::MutexLock lock(mu_);
     for (const MetricSnapshotEntry &entry : snap.entries) {
         Slot &s = slot(entry.name, entry.kind);

@@ -34,6 +34,7 @@
 
 namespace atmsim::util {
 class JsonWriter;
+class JsonValue;
 }
 
 namespace atmsim::obs {
@@ -122,6 +123,24 @@ class Histogram
     /** Zero all bins and moments; the bucket layout is kept. */
     void reset();
 
+    // --- Serialization -------------------------------------------------
+
+    /**
+     * Emit the histogram as a JSON object: moments, bins, and the
+     * bucket *layout* (linear lo/width or explicit edges), so
+     * fromJson() reconstructs a histogram that merge() accepts
+     * against the live original. This is what lets checkpointed
+     * metric shards rejoin a resumed campaign bitwise-identically.
+     */
+    void writeJson(util::JsonWriter &json) const;
+
+    /**
+     * Rebuild a histogram written by writeJson(). Throws
+     * (util::FatalError / util::JsonTypeError) on structurally
+     * invalid input -- checkpoint loaders catch and degrade.
+     */
+    [[nodiscard]] static Histogram fromJson(const util::JsonValue &value);
+
   private:
     Histogram() = default;
 
@@ -172,6 +191,15 @@ struct MetricsSnapshot
 
     /** Same, spliced into an enclosing document. */
     void writeJson(util::JsonWriter &json) const;
+
+    /**
+     * Rebuild a snapshot from the JSON object written by
+     * writeJson(). The parsed object iterates key-sorted, so the
+     * restored entries carry the canonical snapshot order. Throws on
+     * structural violations (unknown kind, malformed histogram).
+     */
+    [[nodiscard]] static MetricsSnapshot
+    fromJson(const util::JsonValue &value);
 
     /** Identical content (used by the determinism tests). */
     bool operator==(const MetricsSnapshot &o) const;
@@ -230,6 +258,15 @@ class MetricsRegistry
      * same shard-and-merge route.
      */
     void mergeFrom(const MetricsRegistry &other);
+
+    /**
+     * Same fold, from a point-in-time snapshot instead of a live
+     * registry. This is the path deserialized shards take: a worker
+     * process snapshots its registry, the snapshot rides a result
+     * message or checkpoint as JSON, and the supervisor folds it back
+     * here in shard-index order.
+     */
+    void mergeFrom(const MetricsSnapshot &snap);
 
     /** Zero every metric in place (layouts are kept). */
     void reset();

@@ -1,0 +1,398 @@
+#include "util/json_reader.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace atmsim::util {
+
+namespace {
+
+/** Parse stack depth a document may nest before being rejected. */
+constexpr int kMaxDepth = 64;
+
+[[nodiscard]] std::string
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "bool";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+} // namespace
+
+/** Single-pass cursor over the document text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonParseError("JSON parse error at offset "
+                             + std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail("invalid literal");
+        pos_ += word.size();
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting deeper than " + std::to_string(kMaxDepth));
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of document");
+        switch (peek()) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return parseString();
+          case 't': {
+              literal("true");
+              JsonValue v;
+              v.kind_ = JsonValue::Kind::Bool;
+              v.bool_ = true;
+              return v;
+          }
+          case 'f': {
+              literal("false");
+              JsonValue v;
+              v.kind_ = JsonValue::Kind::Bool;
+              v.bool_ = false;
+              return v;
+          }
+          case 'n': {
+              literal("null");
+              return {};
+          }
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected object key string");
+            JsonValue key = parseString();
+            skipWhitespace();
+            expect(':');
+            // Duplicate keys: the later value wins, like every
+            // last-one-wins JSON reader.
+            v.object_.insert_or_assign(std::move(key.string_),
+                                       parseValue(depth + 1));
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                v.string_.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': v.string_.push_back('"'); break;
+              case '\\': v.string_.push_back('\\'); break;
+              case '/': v.string_.push_back('/'); break;
+              case 'b': v.string_.push_back('\b'); break;
+              case 'f': v.string_.push_back('\f'); break;
+              case 'n': v.string_.push_back('\n'); break;
+              case 'r': v.string_.push_back('\r'); break;
+              case 't': v.string_.push_back('\t'); break;
+              case 'u': appendUnicodeEscape(v.string_); break;
+              default: fail("invalid escape");
+            }
+        }
+    }
+
+    [[nodiscard]] unsigned
+    hex4()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return code;
+    }
+
+    void
+    appendUnicodeEscape(std::string &out)
+    {
+        unsigned code = hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: the low half must follow immediately.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\'
+                || text_[pos_ + 1] != 'u')
+                fail("unpaired UTF-16 surrogate");
+            pos_ += 2;
+            const unsigned low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+        }
+        // Encode the code point as UTF-8.
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool sawDigit = false;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                sawDigit = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+'
+                       || c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!sawDigit)
+            fail("invalid number");
+        const std::string_view token = text_.substr(start, pos_ - start);
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        const char *first = token.data();
+        const char *last = token.data() + token.size();
+        const auto res = std::from_chars(first, last, v.number_);
+        if (res.ec != std::errc() || res.ptr != last)
+            fail("invalid number '" + std::string(token) + "'");
+        if (integral) {
+            long long exact = 0;
+            const auto ires = std::from_chars(first, last, exact);
+            if (ires.ec == std::errc() && ires.ptr == last) {
+                v.numberIsInt_ = true;
+                v.intNumber_ = exact;
+            }
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw JsonTypeError("expected bool, got " + kindName(kind_));
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        throw JsonTypeError("expected number, got " + kindName(kind_));
+    return number_;
+}
+
+long long
+JsonValue::asLong() const
+{
+    if (kind_ != Kind::Number)
+        throw JsonTypeError("expected number, got " + kindName(kind_));
+    if (numberIsInt_)
+        return intNumber_;
+    const auto truncated = static_cast<long long>(number_);
+    // atmlint: allow(float-equality) -- exact integrality test: the
+    // cast round-trips iff the double holds an integer value.
+    if (static_cast<double>(truncated) != number_)
+        throw JsonTypeError("number " + std::to_string(number_)
+                            + " is not an integer");
+    return truncated;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw JsonTypeError("expected string, got " + kindName(kind_));
+    return string_;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        throw JsonTypeError("expected array, got " + kindName(kind_));
+    return array_;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    if (kind_ != Kind::Object)
+        throw JsonTypeError("expected object, got " + kindName(kind_));
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    const Object &obj = asObject();
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *value = find(key);
+    if (!value)
+        throw JsonTypeError("missing key '" + std::string(key) + "'");
+    return *value;
+}
+
+bool
+JsonValue::contains(std::string_view key) const
+{
+    return find(key) != nullptr;
+}
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return JsonParser(text).document();
+}
+
+} // namespace atmsim::util

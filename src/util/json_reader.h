@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * The fleet campaign layer re-reads artifacts the repo itself writes
+ * with util::JsonWriter -- checkpoints, worker result messages,
+ * serialized metric snapshots -- so it needs a parser with the same
+ * zero-dependency footprint as the writer. The parser builds an
+ * immutable JsonValue tree; objects are stored as sorted maps so
+ * iteration order (and therefore everything re-serialized from a
+ * parsed document) is deterministic.
+ *
+ * Untrusted input is the normal case (a checkpoint file may be
+ * truncated mid-write or corrupted on disk), so every malformed
+ * construct throws JsonParseError with a position diagnostic instead
+ * of invoking undefined behavior, and nesting depth is capped so a
+ * garbage file cannot overflow the parse stack. Type-mismatched
+ * access on a parsed value throws JsonTypeError.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atmsim::util {
+
+/** Malformed JSON text (syntax, truncation, depth). */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Well-formed JSON accessed as the wrong type. */
+class JsonTypeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One node of a parsed JSON document. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Parsed children of an object, sorted by key (last dup wins). */
+    using Object = std::map<std::string, JsonValue, std::less<>>;
+
+    /** Elements of an array, in document order. */
+    using Array = std::vector<JsonValue>;
+
+    /** Defaults to null. */
+    JsonValue() = default;
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+    [[nodiscard]] bool isBool() const { return kind_ == Kind::Bool; }
+    [[nodiscard]] bool isNumber() const { return kind_ == Kind::Number; }
+    [[nodiscard]] bool isString() const { return kind_ == Kind::String; }
+    [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+    [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+
+    // --- Typed access (JsonTypeError on mismatch) ----------------------
+
+    [[nodiscard]] bool asBool() const;
+
+    /** Number as double (exact round-trip of JsonWriter output). */
+    [[nodiscard]] double asDouble() const;
+
+    /**
+     * Number as integer. Exact for anything written from long /
+     * uint64 by JsonWriter; throws when the value has a fractional
+     * part or does not fit.
+     */
+    [[nodiscard]] long long asLong() const;
+
+    [[nodiscard]] const std::string &asString() const;
+    [[nodiscard]] const Array &asArray() const;
+    [[nodiscard]] const Object &asObject() const;
+
+    // --- Object conveniences -------------------------------------------
+
+    /** Member lookup; nullptr when absent (object required). */
+    [[nodiscard]] const JsonValue *find(std::string_view key) const;
+
+    /** Member lookup; JsonTypeError when absent. */
+    [[nodiscard]] const JsonValue &at(std::string_view key) const;
+
+    /** True when the object has the member. */
+    [[nodiscard]] bool contains(std::string_view key) const;
+
+    /**
+     * Parse one complete JSON document; trailing non-whitespace is an
+     * error. @throws JsonParseError on malformed input.
+     */
+    [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    bool numberIsInt_ = false;
+    long long intNumber_ = 0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+} // namespace atmsim::util

@@ -50,6 +50,21 @@ RunningStats::reset()
     *this = RunningStats();
 }
 
+RunningStats
+RunningStats::fromState(std::size_t n, double mean, double m2,
+                        double min, double max)
+{
+    RunningStats stats;
+    if (n == 0)
+        return stats;
+    stats.n_ = n;
+    stats.mean_ = mean;
+    stats.m2_ = m2;
+    stats.min_ = min;
+    stats.max_ = max;
+    return stats;
+}
+
 double
 RunningStats::variance() const
 {
@@ -69,6 +84,15 @@ IntHistogram::add(long value)
 {
     ++counts_[value];
     ++total_;
+}
+
+void
+IntHistogram::add(long value, std::size_t count)
+{
+    if (count == 0)
+        return;
+    counts_[value] += count;
+    total_ += count;
 }
 
 std::size_t

@@ -51,6 +51,22 @@ class RunningStats
     [[nodiscard]]
     double sum() const { return mean_ * static_cast<double>(n_); }
 
+    /**
+     * Raw second central moment (Welford M2). Exposed -- together
+     * with fromState() -- so checkpoints can round-trip the exact
+     * accumulator state: reconstructing M2 from variance() would
+     * re-round and break bitwise resume determinism.
+     */
+    [[nodiscard]] double m2() const { return m2_; }
+
+    /**
+     * Rebuild an accumulator from serialized state. min/max are
+     * ignored when n == 0 (the empty accumulator has none).
+     */
+    [[nodiscard]] static RunningStats fromState(std::size_t n,
+                                                double mean, double m2,
+                                                double min, double max);
+
   private:
     std::size_t n_ = 0;
     double mean_ = 0.0;
@@ -68,6 +84,9 @@ class IntHistogram
   public:
     /** Add one observation. */
     void add(long value);
+
+    /** Add one observation `count` times (checkpoint restore path). */
+    void add(long value, std::size_t count);
 
     /** @return Count of a specific value. */
     [[nodiscard]] std::size_t countOf(long value) const;

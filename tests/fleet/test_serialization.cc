@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/population.h"
+#include "fleet/protocol.h"
+#include "obs/metrics.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace atmsim::fleet {
+namespace {
+
+template <typename T>
+std::string
+toJson(const T &value)
+{
+    std::ostringstream os;
+    {
+        util::JsonWriter json(os);
+        value.writeJson(json);
+    }
+    return os.str();
+}
+
+core::PopulationStats
+sampleStats()
+{
+    core::PopulationConfig config;
+    config.chipCount = 3;
+    config.seedBase = 700;
+    return core::studyPopulation(config);
+}
+
+obs::MetricsSnapshot
+sampleSnapshot()
+{
+    obs::MetricsRegistry registry;
+    registry.counter("fleet.chips_done").inc(12);
+    registry.gauge("engine.core.voltage_v").set(0.98765);
+    obs::Histogram &linear = registry.histogram(
+        "dpll.slew.steps", obs::Histogram::linear(0.0, 16.0, 8));
+    linear.record(3.5);
+    linear.record(12.0);
+    linear.record(-1.0); // underflow
+    linear.record(99.0); // overflow
+    obs::Histogram &edges = registry.histogram(
+        "characterizer.spread",
+        obs::Histogram::explicitEdges({0.0, 1.0, 4.0, 10.0}));
+    edges.record(0.5);
+    edges.record(7.0);
+    return registry.snapshot();
+}
+
+// --- PopulationStats ---------------------------------------------------
+
+TEST(StatsSerialization, PopulationStatsRoundTripIsExact)
+{
+    const core::PopulationStats stats = sampleStats();
+    const std::string first = toJson(stats);
+    const core::PopulationStats back =
+        core::PopulationStats::fromJson(util::JsonValue::parse(first));
+    EXPECT_EQ(toJson(back), first);
+    EXPECT_EQ(back.chipCount, stats.chipCount);
+    EXPECT_EQ(back.differentials, stats.differentials);
+}
+
+TEST(StatsSerialization, RestoredStatsContinueFoldingBitwise)
+{
+    // The resume contract: a parsed accumulator folds the next chip
+    // to the same bits as the original that never stopped.
+    core::PopulationConfig config;
+    config.chipCount = 4;
+    config.seedBase = 700;
+    const std::vector<core::ChipSummary> chips =
+        core::studyShard(config, 0, 4);
+
+    core::PopulationStats live;
+    core::foldChipSummary(live, chips[0], config.robustSpread);
+    core::foldChipSummary(live, chips[1], config.robustSpread);
+
+    core::PopulationStats restored = core::PopulationStats::fromJson(
+        util::JsonValue::parse(toJson(live)));
+
+    core::foldChipSummary(live, chips[2], config.robustSpread);
+    core::foldChipSummary(live, chips[3], config.robustSpread);
+    core::foldChipSummary(restored, chips[2], config.robustSpread);
+    core::foldChipSummary(restored, chips[3], config.robustSpread);
+    EXPECT_EQ(toJson(restored), toJson(live));
+}
+
+TEST(StatsSerialization, RejectsInconsistentDifferentials)
+{
+    const std::string doc = toJson(sampleStats());
+    // Drop one differential: count no longer matches chip_count.
+    std::string broken = doc;
+    const std::size_t pos = broken.rfind(']');
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t comma = broken.rfind(',', pos);
+    ASSERT_NE(comma, std::string::npos);
+    broken = broken.substr(0, comma) + broken.substr(pos);
+    EXPECT_THROW((void)core::PopulationStats::fromJson(
+                     util::JsonValue::parse(broken)),
+                 util::FatalError);
+}
+
+// --- MetricsSnapshot ---------------------------------------------------
+
+TEST(MetricsSerialization, SnapshotRoundTripIsExact)
+{
+    const obs::MetricsSnapshot snap = sampleSnapshot();
+    std::ostringstream os;
+    {
+        util::JsonWriter json(os);
+        snap.writeJson(json);
+    }
+    const obs::MetricsSnapshot back =
+        obs::MetricsSnapshot::fromJson(util::JsonValue::parse(os.str()));
+    EXPECT_TRUE(back == snap);
+}
+
+TEST(MetricsSerialization, RestoredHistogramMergesIntoLive)
+{
+    // A deserialized histogram must be layout-compatible with the
+    // live instrument it shards -- merge() fatals otherwise.
+    const obs::MetricsSnapshot snap = sampleSnapshot();
+    obs::MetricsRegistry target;
+    target.mergeFrom(snap);
+    target.mergeFrom(snap);
+    const obs::MetricsSnapshot doubled = target.snapshot();
+    const obs::MetricSnapshotEntry *counter =
+        doubled.find("fleet.chips_done");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->counter, 24);
+    const obs::MetricSnapshotEntry *hist =
+        doubled.find("dpll.slew.steps");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->histogram.count(), 8);
+    EXPECT_EQ(hist->histogram.underflow(), 2);
+    EXPECT_EQ(hist->histogram.overflow(), 2);
+}
+
+TEST(MetricsSerialization, MergeRejectsLayoutMismatch)
+{
+    obs::MetricsRegistry a;
+    a.histogram("h", obs::Histogram::linear(0.0, 10.0, 5)).record(1.0);
+    obs::MetricsRegistry b;
+    b.histogram("h", obs::Histogram::linear(0.0, 10.0, 10)).record(1.0);
+    EXPECT_THROW(a.mergeFrom(b.snapshot()), util::FatalError);
+}
+
+TEST(MetricsSerialization, MergeRejectsKindMismatch)
+{
+    obs::MetricsRegistry a;
+    a.counter("m").inc();
+    obs::MetricsRegistry b;
+    b.gauge("m").set(1.0);
+    EXPECT_THROW(a.mergeFrom(b.snapshot()), util::FatalError);
+}
+
+TEST(MetricsSerialization, FromJsonRejectsUnknownKind)
+{
+    EXPECT_THROW((void)obs::MetricsSnapshot::fromJson(
+                     util::JsonValue::parse(
+                         R"({"m": {"kind": "sketch", "value": 1}})")),
+                 util::FatalError);
+}
+
+// --- Wire protocol -----------------------------------------------------
+
+TEST(Protocol, PlanShardsPartitionsExactly)
+{
+    const std::vector<ShardRange> shards = planShards(10, 4);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(shards[0].beginChip, 0);
+    EXPECT_EQ(shards[0].endChip, 4);
+    EXPECT_EQ(shards[2].beginChip, 8);
+    EXPECT_EQ(shards[2].endChip, 10);
+    EXPECT_EQ(shards[2].chips(), 2);
+    EXPECT_THROW((void)planShards(0, 4), util::FatalError);
+    EXPECT_THROW((void)planShards(4, 0), util::FatalError);
+}
+
+TEST(Protocol, FailInjectParsesAndMatches)
+{
+    const FailInject spec =
+        FailInject::parse("shard=2,chip=1,times=3,mode=hang");
+    EXPECT_TRUE(spec.enabled());
+    EXPECT_TRUE(spec.hang);
+    EXPECT_TRUE(spec.shouldFail(2, 0));
+    EXPECT_TRUE(spec.shouldFail(2, 2));
+    EXPECT_FALSE(spec.shouldFail(2, 3));
+    EXPECT_FALSE(spec.shouldFail(1, 0));
+    EXPECT_EQ(spec.describe(), "shard=2,chip=1,times=3,mode=hang");
+    EXPECT_FALSE(FailInject::parse("").enabled());
+    EXPECT_THROW((void)FailInject::parse("chip=1"), util::FatalError);
+    EXPECT_THROW((void)FailInject::parse("shard=x"), util::FatalError);
+    EXPECT_THROW((void)FailInject::parse("shard=1,mode=melt"),
+                 util::FatalError);
+}
+
+TEST(Protocol, MessagesRoundTripOneLine)
+{
+    Message assign;
+    assign.type = Message::Type::Assign;
+    assign.shard = 3;
+    assign.beginChip = 12;
+    assign.endChip = 16;
+    assign.attempt = 2;
+    const std::string wire = assign.encode();
+    EXPECT_EQ(wire.back(), '\n');
+    EXPECT_EQ(wire.find('\n'), wire.size() - 1) << "one line only";
+    const Message back = Message::decode(wire.substr(0, wire.size() - 1));
+    EXPECT_EQ(back.type, Message::Type::Assign);
+    EXPECT_EQ(back.shard, 3);
+    EXPECT_EQ(back.beginChip, 12);
+    EXPECT_EQ(back.endChip, 16);
+    EXPECT_EQ(back.attempt, 2);
+
+    Message result;
+    result.type = Message::Type::Result;
+    result.result.shard = 1;
+    core::ChipSummary chip;
+    chip.chipIndex = 4;
+    chip.cores.push_back({7, 4900.25, 4811.5, 2});
+    result.result.chips.push_back(chip);
+    result.result.metrics = sampleSnapshot();
+    const std::string resultWire = result.encode();
+    EXPECT_EQ(resultWire.find('\n'), resultWire.size() - 1);
+    const Message parsed =
+        Message::decode(resultWire.substr(0, resultWire.size() - 1));
+    EXPECT_EQ(parsed.type, Message::Type::Result);
+    EXPECT_EQ(parsed.shard, 1);
+    ASSERT_EQ(parsed.result.chips.size(), 1u);
+    EXPECT_EQ(parsed.result.chips[0].chipIndex, 4);
+    EXPECT_EQ(parsed.result.chips[0].cores[0].idleSteps, 7);
+    EXPECT_EQ(parsed.result.chips[0].cores[0].idleFreqMhz, 4900.25);
+    EXPECT_TRUE(parsed.result.metrics == result.result.metrics);
+
+    EXPECT_THROW((void)Message::decode("{\"type\": \"warp\"}"),
+                 util::FatalError);
+    EXPECT_THROW((void)Message::decode("not json"), std::exception);
+}
+
+} // namespace
+} // namespace atmsim::fleet

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace atmsim::util {
+namespace {
+
+TEST(JsonReader, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("2.5").asDouble(), 2.5);
+    EXPECT_EQ(JsonValue::parse("-42").asLong(), -42L);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonReader, ParsesNestedContainers)
+{
+    const JsonValue doc = JsonValue::parse(
+        R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+    ASSERT_EQ(doc.at("a").asArray().size(), 3u);
+    EXPECT_EQ(doc.at("a").asArray()[1].asLong(), 2L);
+    EXPECT_EQ(doc.at("b").at("c").asString(), "d");
+    EXPECT_TRUE(doc.at("e").isNull());
+    EXPECT_TRUE(doc.contains("a"));
+    EXPECT_FALSE(doc.contains("z"));
+    EXPECT_EQ(doc.find("z"), nullptr);
+}
+
+TEST(JsonReader, StringEscapes)
+{
+    const JsonValue doc =
+        JsonValue::parse(R"("a\"b\\c\n\tAé")");
+    EXPECT_EQ(doc.asString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonReader, SurrogatePairDecodesToUtf8)
+{
+    // U+1F600 as a surrogate pair.
+    const JsonValue doc = JsonValue::parse(R"("😀")");
+    EXPECT_EQ(doc.asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, RejectsMalformedDocuments)
+{
+    EXPECT_THROW((void)JsonValue::parse(""), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("{"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("[1, 2"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("tru"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("1 2"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("\"unterminated"),
+                 JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\": 1,}"),
+                 JsonParseError);
+}
+
+TEST(JsonReader, RejectsTypeConfusion)
+{
+    const JsonValue doc = JsonValue::parse(R"({"a": 1})");
+    EXPECT_THROW((void)doc.asArray(), JsonTypeError);
+    EXPECT_THROW((void)doc.at("a").asString(), JsonTypeError);
+    EXPECT_THROW((void)doc.at("missing"), JsonTypeError);
+    EXPECT_EQ(doc.at("a").asLong(), 1L);
+}
+
+TEST(JsonReader, AsLongDemandsIntegrality)
+{
+    EXPECT_EQ(JsonValue::parse("7").asLong(), 7L);
+    EXPECT_EQ(JsonValue::parse("-9007199254740993").asLong(),
+              -9007199254740993L);
+    EXPECT_THROW((void)JsonValue::parse("2.5").asLong(),
+                 JsonTypeError);
+}
+
+TEST(JsonReader, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_THROW((void)JsonValue::parse(deep), JsonParseError);
+}
+
+TEST(JsonReader, RoundTripsWriterDoublesExactly)
+{
+    // The checkpoint/resume contract: any double the writer emits
+    // parses back to the identical bit pattern.
+    const double values[] = {0.1,
+                             1.0 / 3.0,
+                             123456789.123456789,
+                             -2.2250738585072014e-308,
+                             1.7976931348623157e308,
+                             4503599627370497.0};
+    for (const double v : values) {
+        std::ostringstream os;
+        {
+            JsonWriter json(os);
+            json.beginArray();
+            json.value(v);
+            json.endArray();
+        }
+        const JsonValue doc = JsonValue::parse(os.str());
+        const double back = doc.asArray()[0].asDouble();
+        EXPECT_EQ(back, v) << os.str();
+    }
+}
+
+TEST(JsonReader, ObjectIterationIsKeySorted)
+{
+    const JsonValue doc =
+        JsonValue::parse(R"({"zeta": 1, "alpha": 2, "mid": 3})");
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : doc.asObject())
+        keys.push_back(key);
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "mid");
+    EXPECT_EQ(keys[2], "zeta");
+}
+
+} // namespace
+} // namespace atmsim::util

@@ -108,8 +108,9 @@ class LockDisciplineCheck(Check):
                      "ATM_GUARDED_BY",
         RULE_GLOBAL: "namespace-scope variable lacks ATM_GUARDED_BY",
     }
-    default_paths = ("src/obs", "src/exec", "src/util/logging.h",
-                     "src/util/logging.cc", "src/util/mutex.h")
+    default_paths = ("src/obs", "src/exec", "src/fleet",
+                     "src/util/logging.h", "src/util/logging.cc",
+                     "src/util/mutex.h")
 
     def run(self, source):
         # Group statements per enclosing class, plus namespace scope.

@@ -99,6 +99,51 @@ def validate_metric(name: str, entry: dict) -> None:
         )
 
 
+def validate_fleet(fleet: dict) -> None:
+    require(isinstance(fleet, dict), "fleet is not an object")
+    for key in ("shards_total", "shards_completed", "shards_failed",
+                "chips_total", "chips_done", "chips_skipped",
+                "retries", "checkpoints_written"):
+        value = check_type(fleet, key, int)
+        require(value >= 0, f"fleet.{key} is negative")
+    require(
+        "resumed" in fleet and isinstance(fleet["resumed"], bool),
+        "fleet.resumed is not a boolean",
+    )
+    require(
+        fleet["shards_completed"] + fleet["shards_failed"]
+        <= fleet["shards_total"],
+        "fleet: completed + failed shards exceed shards_total",
+    )
+    require(
+        fleet["chips_done"] + fleet["chips_skipped"]
+        <= fleet["chips_total"],
+        "fleet: done + skipped chips exceed chips_total",
+    )
+    retries = check_type(fleet, "shard_retries", dict)
+    for shard, count in retries.items():
+        require(
+            shard.isdigit(),
+            f"fleet.shard_retries key '{shard}' is not a shard index",
+        )
+        require(
+            isinstance(count, int) and not isinstance(count, bool)
+            and count >= 1,
+            f"fleet.shard_retries['{shard}'] is not a positive int",
+        )
+    failed = check_type(fleet, "failed_shards", list)
+    require(
+        all(isinstance(s, int) and not isinstance(s, bool)
+            for s in failed),
+        "fleet.failed_shards contains non-integer entries",
+    )
+    require(
+        len(failed) == fleet["shards_failed"],
+        f"fleet: failed_shards lists {len(failed)} shards but "
+        f"shards_failed says {fleet['shards_failed']}",
+    )
+
+
 def validate_manifest(manifest: dict) -> None:
     require(isinstance(manifest, dict), "manifest is not a JSON object")
     schema = check_type(manifest, "schema", str)
@@ -153,6 +198,14 @@ def validate_manifest(manifest: dict) -> None:
     metrics = check_type(manifest, "metrics", dict)
     for name, entry in metrics.items():
         validate_metric(name, entry)
+
+    if "interrupted" in manifest:
+        require(
+            isinstance(manifest["interrupted"], bool),
+            "interrupted is not a boolean",
+        )
+    if "fleet" in manifest:
+        validate_fleet(manifest["fleet"])
 
 
 def main(argv: list[str]) -> int:
