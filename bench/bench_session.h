@@ -312,7 +312,10 @@ class BenchSession
      * is not async-signal-safe in the letter of the law; for an
      * interactive ^C on a harness the trade -- an honest partial
      * manifest versus none at all -- is worth it, and the exit path
-     * never returns into the interrupted code.
+     * never returns into the interrupted code. The flush takes the
+     * best-effort route: registry and trace locks are only
+     * *try*-acquired, so a signal landing while the interrupted
+     * thread holds one skips that section instead of deadlocking.
      */
     static void
     onSignal(int sig)
@@ -322,7 +325,7 @@ class BenchSession
             activeSession() = nullptr;
             session->manifest_.interrupted = true;
             try {
-                session->writeOutputs();
+                session->writeOutputsBestEffort();
             } catch (...) {
                 // Dying anyway; nothing better to do with it.
             }
@@ -350,6 +353,7 @@ class BenchSession
         std::signal(SIGTERM, SIG_DFL);
     }
 
+    /** Normal exit path: blocking snapshots, everything written. */
     void
     writeOutputs()
     {
@@ -366,10 +370,50 @@ class BenchSession
         }
         if (!manifestEnabled_)
             return;
+        manifest_.metrics = metrics_.snapshot();
+        writeManifestFile();
+    }
+
+    /**
+     * Signal path: identical output when the locks are free, but
+     * every lock is try-acquired exactly once. A section whose lock
+     * the interrupted thread holds is skipped (empty metrics, no
+     * trace) rather than deadlocking inside the handler. Kept as a
+     * separate function -- not a flag on writeOutputs() -- so the
+     * handler's call closure provably never contains a blocking
+     * acquire.
+     */
+    void
+    writeOutputsBestEffort()
+    {
+        if (traceEnabled_) {
+            std::ofstream os(tracePath_);
+            if (!os) {
+                std::cerr << tool_ << ": cannot open " << tracePath_
+                          << "\n";
+            } else if (!trace_->tryWriteChromeTrace(os)) {
+                std::cerr << tool_ << ": trace skipped (collector "
+                          << "locked at interrupt)\n";
+            } else {
+                std::cout << "[" << tool_ << "] trace written to "
+                          << tracePath_ << "\n";
+            }
+        }
+        if (!manifestEnabled_)
+            return;
+        if (!metrics_.trySnapshot(manifest_.metrics))
+            manifest_.metrics = {};
+        writeManifestFile();
+    }
+
+    /** Shared tail of both output paths: stamp and write the
+     *  manifest JSON. Takes no locks of its own. */
+    void
+    writeManifestFile()
+    {
         manifest_.tool = tool_;
         manifest_.wallSeconds =
             (obs::monotonicWallNs() - startWallNs_) * 1e-9;
-        manifest_.metrics = metrics_.snapshot();
         std::ofstream os(manifestPath_);
         if (!os) {
             std::cerr << tool_ << ": cannot open " << manifestPath_

@@ -459,6 +459,22 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     util::MutexLock lock(mu_);
+    return snapshotLocked();
+}
+
+bool
+MetricsRegistry::trySnapshot(MetricsSnapshot &out) const
+{
+    if (!mu_.tryLock())
+        return false;
+    util::MutexLock lock(mu_, util::AdoptLock{});
+    out = snapshotLocked();
+    return true;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshotLocked() const
+{
     MetricsSnapshot snap;
     snap.entries.reserve(index_.size());
     // std::map iterates in name order, so the snapshot is sorted.

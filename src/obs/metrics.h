@@ -245,6 +245,14 @@ class MetricsRegistry
     [[nodiscard]] MetricsSnapshot snapshot() const;
 
     /**
+     * Non-blocking snapshot for signal/crash paths: try the lock
+     * once and fill `out` on success. Returns false (leaving `out`
+     * untouched) when the registry is locked by the interrupted
+     * thread -- blocking there would deadlock the signal handler.
+     */
+    [[nodiscard]] bool trySnapshot(MetricsSnapshot &out) const;
+
+    /**
      * Fold another registry into this one: counters add, gauges take
      * the incoming value (last merge wins), histograms merge
      * bin-wise (layouts must match). Metrics only the source knows
@@ -287,6 +295,9 @@ class MetricsRegistry
     };
 
     Slot &slot(std::string_view name, MetricKind kind)
+        ATM_REQUIRES(mu_);
+
+    [[nodiscard]] MetricsSnapshot snapshotLocked() const
         ATM_REQUIRES(mu_);
 
     mutable util::Mutex mu_;

@@ -103,6 +103,22 @@ void
 TraceCollector::writeChromeTrace(std::ostream &os) const
 {
     util::MutexLock lock(mu_);
+    writeChromeTraceLocked(os);
+}
+
+bool
+TraceCollector::tryWriteChromeTrace(std::ostream &os) const
+{
+    if (!mu_.tryLock())
+        return false;
+    util::MutexLock lock(mu_, util::AdoptLock{});
+    writeChromeTraceLocked(os);
+    return true;
+}
+
+void
+TraceCollector::writeChromeTraceLocked(std::ostream &os) const
+{
     util::JsonWriter json(os);
     json.beginObject();
     json.key("traceEvents").beginArray();

@@ -95,10 +95,21 @@ class TraceCollector
     /** Serialize as a chrome://tracing / Perfetto JSON document. */
     void writeChromeTrace(std::ostream &os) const;
 
+    /**
+     * Non-blocking serialization for signal/crash paths: try the
+     * lock once, write on success. Returns false without touching
+     * `os` when the collector is locked by the interrupted thread --
+     * blocking there would deadlock the signal handler.
+     */
+    [[nodiscard]] bool tryWriteChromeTrace(std::ostream &os) const;
+
     /** Drop buffered events; track registrations are kept. */
     void clear();
 
   private:
+    void writeChromeTraceLocked(std::ostream &os) const
+        ATM_REQUIRES(mu_);
+
     const double epochNs_;
     const std::size_t maxEvents_;
     mutable util::Mutex mu_;

@@ -71,6 +71,11 @@ class ConditionVariable
     std::condition_variable_any cv_;
 };
 
+/** Tag type selecting MutexLock's adopting constructor. */
+struct AdoptLock
+{
+};
+
 /** Annotated scope lock (lock_guard equivalent). */
 class ATM_SCOPED_CAPABILITY MutexLock
 {
@@ -79,6 +84,14 @@ class ATM_SCOPED_CAPABILITY MutexLock
     {
         mu_.lock();
     }
+
+    /**
+     * Adopt a mutex the caller already holds (typically after a
+     * successful tryLock()), releasing it on scope exit. Keeps
+     * try-lock paths exception-safe without a manual unlock.
+     */
+    MutexLock(Mutex &mu, AdoptLock) ATM_REQUIRES(mu) : mu_(mu) {}
+
     ~MutexLock() ATM_RELEASE() { mu_.unlock(); }
 
     MutexLock(const MutexLock &) = delete;

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Negative fixture for the interprocedural `determinism-taint`
+ * check: a wall-clock read (through a helper), an environment read,
+ * and unordered-container iteration all sit inside the transitive
+ * call closure of the fold sink `foldChipSummary`, so two identical
+ * runs can serialize different bytes. Never compiled.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace atmsim::lintfixture {
+
+struct ChipSummary
+{
+    double meanFmax = 0.0;
+    long stampNs = 0;
+};
+
+/// det-clock: wall-clock read, one call hop below the sink.
+long
+stampNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+/// det-env: the fold result depends on the caller's environment.
+const char *
+labelFromEnv()
+{
+    return std::getenv("ATM_RUN_LABEL");
+}
+
+ChipSummary
+foldChipSummary(const std::unordered_map<int, double> &perCore)
+{
+    // det-unordered: hash-seed-dependent accumulation order.
+    std::unordered_map<int, double> scratch;
+    for (const auto &entry : perCore) {
+        scratch[entry.first] = entry.second;
+    }
+    ChipSummary out;
+    for (const auto &entry : scratch) {
+        out.meanFmax += entry.second;
+    }
+    out.stampNs = stampNow();
+    if (labelFromEnv() != nullptr) {
+        out.meanFmax += 1.0;
+    }
+    return out;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Clean counterpart of det_taint_bad.cc for the interprocedural
+ * `determinism-taint` check: the fold sink's transitive call closure
+ * is a pure function of its inputs -- ordered iteration, no clocks,
+ * no environment reads, no pointer keys. Never compiled.
+ */
+
+#include <map>
+#include <vector>
+
+namespace atmsim::lintfixture {
+
+struct ChipSummary
+{
+    double meanFmax = 0.0;
+    long samples = 0;
+};
+
+double
+weightedMean(const std::vector<double> &values)
+{
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+    }
+    if (values.empty()) {
+        return 0.0;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+/// Matches the sink pattern `foldChipSummary`; its closure (this
+/// function plus weightedMean) must stay deterministic.
+ChipSummary
+foldChipSummary(const std::map<int, double> &perCore)
+{
+    ChipSummary out;
+    std::vector<double> values;
+    for (const auto &entry : perCore) {
+        values.push_back(entry.second);
+    }
+    out.meanFmax = weightedMean(values);
+    out.samples = static_cast<long>(values.size());
+    return out;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Negative fixture for the call-graph stage of `lock-discipline`:
+ * bump() holds the non-recursive mutex across a call to publish(),
+ * which re-acquires it (reentrant-lock -- guaranteed self-deadlock),
+ * and flushAll() blocks on thread-pool dispatch while holding it
+ * (lock-held-dispatch -- deadlocks as soon as a pool task wants the
+ * lock). Members are guarded so only the graph rules fire. Never
+ * compiled.
+ */
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::lintfixture {
+
+class GuardedTally
+{
+  public:
+    void bump()
+    {
+        util::MutexLock lock(mu_); // held to the end of the function
+        ++value_;
+        publish(); // re-acquires mu_ while this frame still holds it
+    }
+
+    void publish()
+    {
+        util::MutexLock lock(mu_);
+        published_ = value_;
+    }
+
+    void flushAll()
+    {
+        util::MutexLock lock(mu_);
+        exec::parallelFor(0, value_, 8); // pool join under mu_
+    }
+
+  private:
+    util::Mutex mu_;
+    int value_ ATM_GUARDED_BY(mu_) = 0;
+    int published_ ATM_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Clean counterpart of lockgraph_bad.cc for the call-graph stage of
+ * `lock-discipline`: the scope lock's extent ends with its enclosing
+ * block, so the sibling call that re-acquires the same mutex happens
+ * after release -- no reentrant acquire, no dispatch under a lock.
+ * Every member is guarded for the per-file stage. Never compiled.
+ */
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace atmsim::lintfixture {
+
+class GuardedTally
+{
+  public:
+    void bump()
+    {
+        {
+            util::MutexLock lock(mu_); // extent: this block only
+            ++value_;
+        }
+        publish(); // mu_ already released: safe to re-acquire
+    }
+
+    void publish()
+    {
+        util::MutexLock lock(mu_);
+        published_ = value_;
+    }
+
+  private:
+    util::Mutex mu_;
+    int value_ ATM_GUARDED_BY(mu_) = 0;
+    int published_ ATM_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Negative fixture for the interprocedural `signal-safety` check:
+ * the registered handler reaches (one call hop down) a function that
+ * grows a vector and writes to std::cerr. If the signal lands while
+ * the interrupted thread holds the malloc arena lock or the iostream
+ * internal lock, the process deadlocks. Never compiled.
+ */
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace atmsim::lintfixture {
+
+std::vector<std::string> g_shutdownLog;
+
+void
+noteShutdown()
+{
+    g_shutdownLog.push_back("interrupted"); // handler-alloc
+    std::cerr << "shutting down\n";         // handler-stream
+}
+
+void
+onSignal(int)
+{
+    noteShutdown();
+}
+
+void
+installHandler()
+{
+    std::signal(SIGTERM, &onSignal);
+}
+
+} // namespace atmsim::lintfixture

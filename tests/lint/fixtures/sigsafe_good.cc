@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Clean counterpart of sigsafe_bad.cc for the interprocedural
+ * `signal-safety` check: the registered handler's transitive call
+ * closure is limited to async-signal-safe work -- a sig_atomic_t
+ * flag store and _Exit. Never compiled.
+ */
+
+#include <csignal>
+#include <cstdlib>
+
+namespace atmsim::lintfixture {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+    std::_Exit(130);
+}
+
+void
+installHandler()
+{
+    std::signal(SIGINT, &onSignal);
+}
+
+} // namespace atmsim::lintfixture

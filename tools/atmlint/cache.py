@@ -7,9 +7,13 @@ tree), so results are cached per ``(file, check)``:
   path; if they differ, the content hash is compared, so a
   ``touch``-only change is still a hit;
 * every check carries a *fingerprint* -- the hash of its module
-  source plus the shared tokenizer/scanner/engine sources -- so
+  source plus the shared tokenizer/scanner/index/engine sources --
+  and the fingerprint is stored **with each cached result**, so
   editing a check (or the framework) invalidates exactly the results
-  that could change;
+  that could change.  Storing the stamp per entry (rather than only
+  in a run-level header) means a ``--check X`` run can neither trust
+  results a since-edited check produced nor evict the still-valid
+  results of checks it did not run;
 * findings are cached *pre-baseline* but post-suppression: inline
   ``atmlint: allow`` markers live in the file content (so the hash
   already invalidates them), while baselines can change without the
@@ -26,7 +30,7 @@ import os
 import pathlib
 import tempfile
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def file_sha256(path):
@@ -66,12 +70,14 @@ class IncrementalCache:
             return
         if doc.get("version") != CACHE_VERSION:
             return
-        old_fps = doc.get("check_fps", {})
         for rel, entry in doc.get("files", {}).items():
-            checks = {name: findings
-                      for name, findings in entry.get("checks",
-                                                      {}).items()
-                      if old_fps.get(name) == self.check_fps.get(name)}
+            checks = {}
+            for name, row in entry.get("checks", {}).items():
+                # Entries are {"fp": stamp, "findings": [...]}; drop
+                # anything structurally off rather than guessing.
+                if isinstance(row, dict) and "fp" in row \
+                        and "findings" in row:
+                    checks[name] = row
             entry["checks"] = checks
             self.files[rel] = entry
 
@@ -82,20 +88,27 @@ class IncrementalCache:
     def lookup(self, abspath, rel, check_name):
         """Cached raw findings for (file, check), or None."""
         entry = self.files.get(rel)
-        if entry is None or check_name not in entry["checks"]:
+        row = entry["checks"].get(check_name) if entry else None
+        if row is None:
+            self.misses += 1
+            return None
+        # The check's version stamp is part of the key: a result
+        # produced by an older/edited check source never hits.
+        if row.get("fp") != self.check_fps.get(check_name):
+            del entry["checks"][check_name]
             self.misses += 1
             return None
         size, mtime = self._identity(abspath)
         if entry.get("size") == size and entry.get("mtime_ns") == mtime:
             self.hits += 1
-            return entry["checks"][check_name]
+            return row["findings"]
         # Stat changed: fall back to the content hash (touch-only).
         sha = file_sha256(abspath)
         if entry.get("sha256") == sha:
             entry["size"] = size
             entry["mtime_ns"] = mtime
             self.hits += 1
-            return entry["checks"][check_name]
+            return row["findings"]
         # Content changed: every cached check result is stale.
         entry["checks"] = {}
         entry["size"] = size
@@ -111,7 +124,10 @@ class IncrementalCache:
             entry = {"size": size, "mtime_ns": mtime,
                      "sha256": file_sha256(abspath), "checks": {}}
             self.files[rel] = entry
-        entry["checks"][check_name] = findings
+        entry["checks"][check_name] = {
+            "fp": self.check_fps.get(check_name),
+            "findings": findings,
+        }
 
     def prune(self, live_rels):
         """Drop entries for files that no longer exist in the scan."""

@@ -1,0 +1,201 @@
+"""determinism-taint: nondeterminism must not reach fold/serialization.
+
+The repo's two hardest contracts -- bitwise jobs-invariance of every
+parallel fold (docs/PARALLELISM.md) and exact crash/resume of fleet
+campaigns (docs/FLEET.md) -- both reduce to one property: nothing
+nondeterministic may flow into the functions that fold per-chip
+results or serialize campaign state.  This check makes that property
+interprocedural: *taint sources* are flagged when they appear in the
+transitive call closure of a *fold/serialization sink*.
+
+Sources (each has its own SARIF rule):
+
+====================  =============================================
+``det-clock``         ``std::chrono::*_clock::now()``, ``std::time``
+``det-env``           ``getenv`` / ``secure_getenv``
+``det-rng``           ``std::random_device``, C ``rand``
+``det-thread-id``     ``std::this_thread::get_id()``
+``det-ptr-key``       pointer-to-integer casts (``uintptr_t`` /
+                      ``intptr_t``) -- pointer values vary run to run
+``det-unordered``     range-for over a name declared with an
+                      unordered container type in the same file
+====================  =============================================
+
+Sinks (qualified-name / path patterns over the repo index):
+
+* ``core::foldChipSummary`` -- the one population fold;
+* ``obs::MetricsRegistry::mergeFrom`` -- cross-shard metric joins;
+* every method of ``obs::RunManifest`` -- run provenance must be a
+  pure function of the run;
+* ``fleet::saveCheckpoint`` and every ``fleet::Checkpoint*`` method;
+* anything defined under ``src/fleet/protocol`` -- the wire format.
+
+Direction of the analysis: a sink's closure is everything the sink
+*calls*; a source inside that closure means the serialized bytes can
+depend on it.  Tainted values computed by a caller and passed *into*
+a sink are out of scope (documented limitation -- that path is
+covered by the runtime determinism suites).  The walk stops at the
+logging subsystem (``src/util/logging*``): diagnostics go to stderr,
+not into serialized output, so the timestamp on a log line is not a
+finding.
+
+Findings are reported at the source call site and deduplicated per
+(function, rule); the message names one offending sink and call
+chain.  Known-benign flows carry a justification in
+``baselines/determinism-taint.txt``.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import funcscan  # noqa: E402
+from registry import Check, Finding, register  # noqa: E402
+
+RULE_CLOCK = "det-clock"
+RULE_ENV = "det-env"
+RULE_RNG = "det-rng"
+RULE_THREAD_ID = "det-thread-id"
+RULE_PTR_KEY = "det-ptr-key"
+RULE_UNORDERED = "det-unordered"
+
+_CLOCKS = {"steady_clock", "system_clock", "high_resolution_clock",
+           "file_clock", "utc_clock", "tai_clock", "gps_clock"}
+
+#: Functions whose closure must stay deterministic, by qname pattern.
+#: (last-component, required-scope-component-or-None)
+_SINK_NAMES = (
+    ("foldChipSummary", None),
+    ("mergeFrom", "MetricsRegistry"),
+    ("saveCheckpoint", None),
+)
+_SINK_SCOPES = ("RunManifest", "Checkpoint")
+_SINK_PATH_PREFIXES = ("src/fleet/protocol",)
+
+#: Subsystem boundaries the taint walk does not cross.  The logging
+#: sink writes to *stderr*, never into fold results or serialized
+#: state, so the wall-clock timestamp on a diagnostic line is not a
+#: determinism hazard.  A sink that reads a clock directly (or via
+#: any non-logging helper) is still flagged.
+_STOP_PATHS = ("src/util/logging",)
+
+
+def _call_source_rule(call):
+    """Taint rule a call site triggers, or None."""
+    quals = call.quals
+    if call.name == "now" and quals and quals[-1] in _CLOCKS:
+        return RULE_CLOCK
+    if call.name == "now" and quals and quals[-1].endswith("_clock"):
+        return RULE_CLOCK
+    if call.name == "time" and (not quals or quals == ("std",)):
+        return RULE_CLOCK
+    if call.name in ("getenv", "secure_getenv"):
+        return RULE_ENV
+    if call.name == "rand" and (not quals or quals == ("std",)):
+        return RULE_RNG
+    if call.name == "random_device":
+        return RULE_RNG
+    if call.name == "get_id" and "this_thread" in quals:
+        return RULE_THREAD_ID
+    return None
+
+
+def _fact_source_rule(fact_kind):
+    if fact_kind == funcscan.FACT_PTR_CAST:
+        return RULE_PTR_KEY
+    return None
+
+
+def is_sink(node, index):
+    """True when a FuncNode is a fold/serialization sink."""
+    parts = node.qname.split("::")
+    for name, scope in _SINK_NAMES:
+        if node.name == name and (scope is None or scope in parts):
+            return True
+    for scope in _SINK_SCOPES:
+        if scope in parts[:-1]:
+            return True
+    for prefix in _SINK_PATH_PREFIXES:
+        if node.relpath.startswith(prefix):
+            return True
+    return False
+
+
+@register
+class DeterminismTaintCheck(Check):
+    name = "determinism-taint"
+    description = ("nondeterministic inputs (clocks, env, rng, "
+                   "thread ids, pointer keys, unordered iteration) "
+                   "must not reach fold/serialization sinks")
+    rules = {
+        RULE_CLOCK: "wall-clock read reaches a deterministic "
+                    "fold/serialization sink",
+        RULE_ENV: "environment read reaches a deterministic "
+                  "fold/serialization sink",
+        RULE_RNG: "unseeded randomness reaches a deterministic "
+                  "fold/serialization sink",
+        RULE_THREAD_ID: "thread identity reaches a deterministic "
+                        "fold/serialization sink",
+        RULE_PTR_KEY: "pointer-to-integer cast reaches a "
+                      "deterministic fold/serialization sink",
+        RULE_UNORDERED: "unordered-container iteration reaches a "
+                        "deterministic fold/serialization sink",
+    }
+    graph = True
+    per_file = False
+    index_paths = ("src", "bench")
+
+    def run_graph(self, index):
+        sinks = [node for node in index.nodes.values()
+                 if is_sink(node, index)]
+        emitted = {}  # (qname, rule) -> sink it was blamed on
+        for sink in sorted(sinks, key=lambda n: n.qname):
+            for qname in index.reachable(sink.qname,
+                                         stop_paths=_STOP_PATHS):
+                node = index.nodes[qname]
+                for hit in self._node_sources(node, index):
+                    rule, line, relpath, detail = hit
+                    dedup = (qname, rule)
+                    if dedup in emitted:
+                        continue
+                    emitted[dedup] = sink.qname
+                    yield self._finding(index, node, sink, rule,
+                                        line, relpath, detail)
+
+    def _node_sources(self, node, index):
+        """(rule, line, relpath, detail) tuples for one function."""
+        for call in node.calls:
+            rule = _call_source_rule(call)
+            if rule is not None:
+                rel = node.call_files.get(call, node.relpath)
+                yield rule, call.line, rel, call.written + "()"
+        unordered_cache = {}
+        for kind, detail, line, _, rel in node.located_facts:
+            rule = _fact_source_rule(kind)
+            if rule is not None:
+                yield rule, line, rel, kind
+            elif kind == funcscan.FACT_RANGE_FOR:
+                names = unordered_cache.get(rel)
+                if names is None:
+                    names = index.unordered_names(rel)
+                    unordered_cache[rel] = names
+                if detail in names:
+                    yield (RULE_UNORDERED, line, rel,
+                           f"range-for over unordered '{detail}'")
+
+    def _finding(self, index, node, sink, rule, line, relpath,
+                 detail):
+        chain = index.call_path(sink.qname, node.qname)
+        via = " -> ".join(q.split("::")[-1] for q in chain)
+        related = tuple(
+            (index.nodes[q].relpath, index.nodes[q].line, q)
+            for q in chain if q in index.nodes)
+        return Finding(
+            check=self.name, rule=rule, path=relpath, line=line,
+            symbol=node.qname,
+            message=(f"{detail} in '{node.qname}' is reachable from "
+                     f"serialization sink '{sink.qname}' "
+                     f"(via {via}); fold/serialization output must "
+                     "be deterministic"),
+            related=related)

@@ -20,6 +20,26 @@ is this repo's default contract and is documented per class
 (DESIGN.md, "Thread safety").  Members initialized with parentheses
 are not modelled (none exist in the scoped files); deliberate
 exceptions take ``atmlint: allow(lock-discipline)`` with a reason.
+
+Since atmlint v2 the check is also *call-graph aware* (two more
+rules, computed over the repo index):
+
+* ``reentrant-lock`` -- a function that acquires a ``util::Mutex``
+  and transitively calls another function of the same class (or
+  file) that acquires the same-named mutex.  util::Mutex is
+  non-recursive: this is a guaranteed self-deadlock.
+* ``lock-held-dispatch`` -- a function that acquires a mutex and
+  then (transitively) dispatches onto the thread pool
+  (``parallelFor`` / ``parallelMap`` / ``TaskGroup::wait``).
+  Blocking on pool completion while holding a lock deadlocks as
+  soon as any pool task wants that lock.
+
+Both rules reason per acquire over the lock's textual *extent*: the
+enclosing block of a scope lock, the ``.lock()``..``.unlock()`` pair
+of an explicit lock, else the end of the function.  Only first-hop
+calls inside that extent seed the closure; calls written inside
+lambda bodies are deferred work and are skipped on the first hop.
+The approximations are documented in docs/STATIC_ANALYSIS.md.
 """
 
 import sys
@@ -27,12 +47,19 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
+import funcscan  # noqa: E402
 from cpptokens import IDENT  # noqa: E402
 from declscan import CLASS, NAMESPACE, iter_statements  # noqa: E402
-from registry import Check, register  # noqa: E402
+from registry import Check, Finding, register  # noqa: E402
 
 RULE_MEMBER = "unguarded-member"
 RULE_GLOBAL = "unguarded-global"
+RULE_REENTRANT = "reentrant-lock"
+RULE_DISPATCH = "lock-held-dispatch"
+
+#: Blocking dispatch entry points of src/exec (callee last component).
+_DISPATCH_NAMES = {"parallelFor", "parallelMap"}
+_DISPATCH_MEMBERS = {("TaskGroup", "wait")}
 
 _GUARD_MACROS = {"ATM_GUARDED_BY", "ATM_PT_GUARDED_BY"}
 # Condition variables are synchronization primitives like the mutex
@@ -107,10 +134,16 @@ class LockDisciplineCheck(Check):
         RULE_MEMBER: "member of a mutex-owning class lacks "
                      "ATM_GUARDED_BY",
         RULE_GLOBAL: "namespace-scope variable lacks ATM_GUARDED_BY",
+        RULE_REENTRANT: "lock-holding function transitively "
+                        "re-acquires the same non-recursive mutex",
+        RULE_DISPATCH: "lock-holding function transitively blocks "
+                       "on thread-pool dispatch",
     }
     default_paths = ("src/obs", "src/exec", "src/fleet",
                      "src/util/logging.h", "src/util/logging.cc",
                      "src/util/mutex.h")
+    graph = True
+    index_paths = ("src", "bench")
 
     def run(self, source):
         # Group statements per enclosing class, plus namespace scope.
@@ -176,3 +209,133 @@ class LockDisciplineCheck(Check):
                 self, RULE_GLOBAL, stmt.line, name,
                 f"namespace-scope variable '{name}' shares a file "
                 "with a mutex but is not ATM_GUARDED_BY-annotated")
+
+    # --- call-graph stage ----------------------------------------------
+
+    def run_graph(self, index):
+        emitted = set()
+        for qname in sorted(index.nodes):
+            node = index.nodes[qname]
+            acquires = [(detail, line, end_line, rel)
+                        for kind, detail, line, end_line, rel
+                        in node.located_facts
+                        if kind == funcscan.FACT_LOCK]
+            # Each acquire is analyzed over its own extent: the calls
+            # textually inside [line, end_line] run under this lock
+            # (scope-lock block / lock()..unlock() pair); deeper hops
+            # are taken wholesale.  Lambda-body calls are deferred
+            # work, not synchronous calls, and are skipped.
+            for acquire in acquires:
+                detail0, line0, end0, rel0 = acquire
+                key = _mutex_key(detail0)
+                frontier = []
+                for call in node.calls:
+                    if call.in_lambda or not \
+                            line0 <= call.line <= end0:
+                        continue
+                    if _is_dispatch(call):
+                        yield from self._emit_dispatch(
+                            emitted, index, node, node, call,
+                            acquire)
+                    for target in index.resolve(call, qname):
+                        if target != qname:
+                            frontier.append(target)
+                visited = set(frontier)
+                queue = list(frontier)
+                while queue:
+                    current = queue.pop()
+                    for callee in index.callees(current):
+                        if callee not in visited:
+                            visited.add(callee)
+                            queue.append(callee)
+                for target in sorted(visited):
+                    tnode = index.nodes[target]
+                    yield from self._reentrant(emitted, index, node,
+                                               tnode, key, acquire)
+                    for call in tnode.calls:
+                        if _is_dispatch(call):
+                            yield from self._emit_dispatch(
+                                emitted, index, node, tnode, call,
+                                acquire)
+
+    def _reentrant(self, emitted, index, node, tnode, key, acquire):
+        detail0, line0, _, rel0 = acquire
+        for kind, detail, line, _, rel in tnode.located_facts:
+            if kind != funcscan.FACT_LOCK:
+                continue
+            if _mutex_key(detail) != key:
+                continue
+            if not _same_object_scope(node, tnode):
+                continue
+            dedup = (RULE_REENTRANT, node.qname, tnode.qname, key)
+            if dedup in emitted:
+                continue
+            emitted.add(dedup)
+            chain = index.call_path(node.qname, tnode.qname)
+            via = " -> ".join(q.split("::")[-1] for q in chain)
+            yield Finding(
+                check=self.name, rule=RULE_REENTRANT, path=rel0,
+                line=line0,
+                symbol=f"{node.qname}->{tnode.qname}",
+                message=(f"'{node.qname}' holds '{detail0}' and "
+                         f"transitively re-acquires it in "
+                         f"'{tnode.qname}' (via {via}); util::Mutex "
+                         "is non-recursive, this self-deadlocks"),
+                related=((tnode.relpath, line, tnode.qname),))
+
+    def _emit_dispatch(self, emitted, index, node, tnode, call,
+                       acquire):
+        detail0, line0, _, rel0 = acquire
+        dedup = (RULE_DISPATCH, node.qname, tnode.qname, call.name,
+                 _mutex_key(detail0))
+        if dedup in emitted:
+            return
+        emitted.add(dedup)
+        chain = index.call_path(node.qname, tnode.qname)
+        via = " -> ".join(q.split("::")[-1] for q in chain)
+        rel = tnode.call_files.get(call, tnode.relpath)
+        yield Finding(
+            check=self.name, rule=RULE_DISPATCH, path=rel0,
+            line=line0,
+            symbol=f"{node.qname}->{call.name}",
+            message=(f"'{node.qname}' holds '{detail0}' across "
+                     f"a thread-pool dispatch "
+                     f"('{call.written}' in '{tnode.qname}', "
+                     f"via {via}); pool tasks contending for "
+                     "the lock deadlock the dispatch"),
+            related=((rel, call.line, tnode.qname),))
+
+
+def _is_dispatch(call):
+    """True when a call blocks on thread-pool completion.
+
+    Free functions match by name.  The member entry point
+    ``TaskGroup::wait()`` takes no arguments, which distinguishes it
+    from ``ConditionVariable::wait(mu)`` -- the correct under-lock
+    pattern -- without needing to type the receiver.
+    """
+    if call.name in _DISPATCH_NAMES and not call.via_member:
+        return True
+    return call.via_member and call.argc == 0 and \
+        call.name in {m for _, m in _DISPATCH_MEMBERS}
+
+
+def _mutex_key(expr):
+    """Normalize a mutex expression to its trailing identifier."""
+    text = expr.replace("this->", "").replace("*", "")
+    for sep in (".", "->", "::"):
+        if sep in text:
+            text = text.split(sep)[-1]
+    return text.strip("()& ")
+
+
+def _same_object_scope(a, b):
+    """Heuristic: could two functions touch the same mutex object?
+
+    Same enclosing class (methods of one class) or both defined in
+    the same file (file-scope mutex) -- anything else is assumed a
+    different object.
+    """
+    if a.scope and b.scope and a.scope[-1] == b.scope[-1]:
+        return True
+    return a.relpath == b.relpath

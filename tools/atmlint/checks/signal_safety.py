@@ -1,0 +1,181 @@
+"""signal-safety: signal handlers may only do async-signal-safe work.
+
+A signal handler interrupts the program at an arbitrary instruction.
+If the interrupted thread holds the malloc arena lock, a logging
+mutex, or an iostream internal lock, a handler that allocates, logs,
+or locks deadlocks the process -- the classic latent bug that only
+fires under load.  POSIX therefore limits handlers to the
+async-signal-safe function list (``man 7 signal-safety``).
+
+This check finds every handler registered through ``std::signal`` /
+``sigaction`` in the indexed tree, computes its transitive call
+closure over the repo call graph, and flags:
+
+* ``handler-alloc``   -- ``new`` expressions, ``malloc``-family
+  calls, and growing-container methods (``push_back``, ``insert``,
+  ``resize``, ...);
+* ``handler-lock``    -- mutex acquisition (``util::MutexLock``,
+  ``lock_guard``, ``.lock()``) anywhere in the closure;
+* ``handler-stream``  -- iostream/stdio use: ``std::cout``/``cerr``,
+  ``ofstream``/``ostringstream`` construction, ``printf`` family;
+* ``handler-throw``   -- ``throw`` expressions (unwinding out of a
+  handler is undefined);
+* ``handler-unsafe-call`` -- any call that resolves to no in-repo
+  definition and is not on the async-signal-safe whitelist below.
+
+The whitelist is the POSIX list plus trivially-pure helpers the
+tokenizer cannot see through (``std::move``, ``size`` ...); it is
+documented in docs/STATIC_ANALYSIS.md and deliberately short --
+extending it takes a review, extending the *baseline* takes a
+justification comment per entry.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import funcscan  # noqa: E402
+from registry import Check, Finding, register  # noqa: E402
+
+RULE_ALLOC = "handler-alloc"
+RULE_LOCK = "handler-lock"
+RULE_STREAM = "handler-stream"
+RULE_THROW = "handler-throw"
+RULE_UNSAFE = "handler-unsafe-call"
+
+#: POSIX async-signal-safe functions this tree could plausibly call
+#: (man 7 signal-safety), plus C/C++ helpers that compile to pure
+#: value manipulation and cannot deadlock.
+SAFE_CALLS = frozenset({
+    # POSIX async-signal-safe
+    "_exit", "_Exit", "abort", "raise", "kill", "signal",
+    "sigaction", "sigemptyset", "sigfillset", "sigaddset",
+    "sigdelset", "sigismember", "sigprocmask", "write", "read",
+    "open", "close", "dup", "dup2", "fsync", "fdatasync", "unlink",
+    "rename", "time", "clock_gettime", "getpid", "getppid", "alarm",
+    "pause", "sleep", "waitpid", "sem_post", "quick_exit",
+    # pure value helpers the scanner sees as calls
+    "move", "forward", "swap", "min", "max", "abs", "get", "data",
+    "size", "empty", "begin", "end", "c_str", "value", "count",
+    "memcpy", "memset", "memcmp", "strlen", "load", "store",
+    "exchange", "compare_exchange_strong", "compare_exchange_weak",
+    # non-allocating constructions/conversions, pure math, and raw
+    # clock reads (steady_clock::now is clock_gettime underneath)
+    "string_view", "to_chars", "from_chars", "now", "to_time_t",
+    "isfinite", "isnan", "isinf", "try_lock", "tryLock", "unlock",
+})
+
+_ALLOC_CALLS = frozenset({
+    "malloc", "calloc", "realloc", "free", "strdup",
+    "make_unique", "make_shared", "push_back", "emplace_back",
+    "emplace", "insert", "resize", "reserve", "append", "assign",
+    "to_string", "operator new",
+})
+
+_STDIO_CALLS = frozenset({
+    "printf", "fprintf", "sprintf", "snprintf", "puts", "fputs",
+    "putc", "putchar", "fopen", "fclose", "fwrite", "fread",
+    "fflush", "endl", "flush", "getline", "scanf", "fscanf",
+    "perror", "syslog",
+})
+
+_STREAM_CTORS = frozenset({
+    "ofstream", "ifstream", "fstream", "ostringstream",
+    "istringstream", "stringstream",
+})
+
+_EXIT_UNSAFE = frozenset({"exit", "atexit", "at_quick_exit"})
+
+
+@register
+class SignalSafetyCheck(Check):
+    name = "signal-safety"
+    description = ("the transitive call closure of a registered "
+                   "signal handler may only use async-signal-safe "
+                   "functions")
+    rules = {
+        RULE_ALLOC: "signal-handler closure allocates (malloc lock "
+                    "deadlock)",
+        RULE_LOCK: "signal-handler closure acquires a mutex "
+                   "(self-deadlock when interrupted holding it)",
+        RULE_STREAM: "signal-handler closure uses stdio/iostreams "
+                     "(internal locks + allocation)",
+        RULE_THROW: "signal-handler closure throws (unwinding out "
+                    "of a handler is undefined)",
+        RULE_UNSAFE: "signal-handler closure calls a function not "
+                     "on the async-signal-safe whitelist",
+    }
+    graph = True
+    per_file = False
+    index_paths = ("src", "bench")
+
+    def run_graph(self, index):
+        handlers = {}
+        for written, rel, line in index.registrations():
+            for qname in index.resolve_written(written):
+                handlers.setdefault(qname, (written, rel, line))
+        emitted = set()
+        for handler in sorted(handlers):
+            for qname in index.reachable(handler):
+                node = index.nodes[qname]
+                for rule, line, rel, detail in self._violations(
+                        node, index):
+                    dedup = (qname, rule, detail)
+                    if dedup in emitted:
+                        continue
+                    emitted.add(dedup)
+                    yield self._finding(index, handler, node, rule,
+                                        line, rel, detail)
+
+    def _violations(self, node, index):
+        for kind, detail, line, _, rel in node.located_facts:
+            if kind == funcscan.FACT_NEW:
+                yield RULE_ALLOC, line, rel, "new-expression"
+            elif kind == funcscan.FACT_THROW:
+                yield RULE_THROW, line, rel, "throw"
+            elif kind == funcscan.FACT_LOCK:
+                yield RULE_LOCK, line, rel, f"lock of '{detail}'"
+            elif kind == funcscan.FACT_STREAM:
+                yield RULE_STREAM, line, rel, f"std::{detail}"
+        for call in node.calls:
+            if index.resolve(call, node.qname):
+                continue  # in-repo: covered by the closure walk
+            rel = node.call_files.get(call, node.relpath)
+            if call.is_ctor:
+                if call.name in _STREAM_CTORS:
+                    yield (RULE_STREAM, call.line, rel,
+                           f"{call.name} construction")
+                continue
+            if call.name in _ALLOC_CALLS:
+                yield RULE_ALLOC, call.line, rel, call.written + "()"
+            elif call.name in _STDIO_CALLS:
+                yield RULE_STREAM, call.line, rel, call.written + "()"
+            elif call.name in _EXIT_UNSAFE:
+                yield RULE_UNSAFE, call.line, rel, call.written + "()"
+            elif call.name == "lock":
+                # try_lock/tryLock/unlock are non-blocking and cannot
+                # deadlock a handler; only a blocking acquire can.
+                yield RULE_LOCK, call.line, rel, call.written + "()"
+            elif call.name not in SAFE_CALLS and not call.via_member:
+                # Unknown free/static call with no in-repo body: not
+                # provably safe.  Unknown *member* calls are left to
+                # the explicit blacklists above -- accessors dominate
+                # and flagging them all would bury the real findings.
+                yield RULE_UNSAFE, call.line, rel, call.written + "()"
+
+    def _finding(self, index, handler, node, rule, line, rel,
+                 detail):
+        chain = index.call_path(handler, node.qname)
+        via = " -> ".join(q.split("::")[-1] for q in chain)
+        related = tuple(
+            (index.nodes[q].relpath, index.nodes[q].line, q)
+            for q in chain if q in index.nodes)
+        return Finding(
+            check=self.name, rule=rule, path=rel, line=line,
+            symbol=f"{node.qname}:{detail}",
+            message=(f"{detail} in '{node.qname}' runs inside the "
+                     f"signal handler '{handler}' (via {via}); "
+                     "handlers are limited to async-signal-safe "
+                     "calls"),
+            related=related)

@@ -46,6 +46,13 @@ def _parse_args(argv):
     parser.add_argument("--print-keys", action="store_true",
                         help="print stable finding keys (incl. "
                              "baselined) and exit 0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="per-file checks run only on files "
+                             "changed vs HEAD (staged + unstaged); "
+                             "graph checks reuse the cached index")
+    parser.add_argument("--budget-seconds", type=float, metavar="S",
+                        help="fail (exit 1) when the run takes "
+                             "longer than S seconds")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the incremental cache")
     parser.add_argument("--cache-file", metavar="PATH",
@@ -133,6 +140,26 @@ def _run_cppcheck(root):
     return proc.returncode
 
 
+def _changed_files(root):
+    """Repo-relative C++ paths changed vs HEAD (staged + unstaged).
+
+    Returns None (= lint everything) when git is unavailable, so
+    --changed-only degrades to a full run rather than a silent skip.
+    """
+    exts = (".h", ".hpp", ".cc", ".cpp")
+    changed = set()
+    for extra in ([], ["--cached"]):
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=ACMR",
+             *extra, "HEAD"],
+            cwd=root, capture_output=True, text=True)
+        if proc.returncode != 0:
+            return None
+        changed.update(line.strip() for line in
+                       proc.stdout.splitlines() if line.strip())
+    return {rel for rel in changed if rel.endswith(exts)}
+
+
 def main(argv=None):
     args = _parse_args(argv)
     all_checks = load_checks()
@@ -153,6 +180,17 @@ def main(argv=None):
                       if args.cache_file
                       else root / ".atmlint-cache.json")
 
+    changed_only = None
+    if args.changed_only:
+        if args.paths:
+            print("atmlint: --changed-only and explicit paths are "
+                  "mutually exclusive", file=sys.stderr)
+            return 2
+        changed_only = _changed_files(root)
+        if changed_only is not None and not changed_only:
+            print("atmlint: clean (no changed C++ files)")
+            return 0
+
     try:
         eng = Engine(root, checks,
                      baseline_dir=args.baseline_dir,
@@ -161,7 +199,8 @@ def main(argv=None):
         report = eng.run(explicit_paths=args.paths or None,
                          scope_override=bool(args.paths
                                              and args.check),
-                         update_baseline=args.update_baseline)
+                         update_baseline=args.update_baseline,
+                         changed_only=changed_only)
     except FileNotFoundError as err:
         print(f"atmlint: {err}", file=sys.stderr)
         return 2
@@ -204,9 +243,17 @@ def main(argv=None):
 
     if args.stats:
         print(f"atmlint: {report.files} files, "
+              f"{report.index_functions} indexed functions, "
               f"{report.cache_hits} cache hits, "
               f"{report.cache_misses} misses, "
               f"{report.elapsed_s:.2f}s")
+
+    if args.budget_seconds is not None and \
+            report.elapsed_s > args.budget_seconds:
+        print(f"atmlint: run took {report.elapsed_s:.2f}s, over the "
+              f"--budget-seconds {args.budget_seconds:.2f}s gate",
+              file=sys.stderr)
+        failures += 1
 
     if args.clang_tidy:
         failures += 1 if _run_clang_tidy(root, args.build_dir) else 0

@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass, field
 
 import cpptokens
+import funcscan
+import indexer
 from cache import IncrementalCache, sources_fingerprint
 from registry import SourceFile, Finding, check_source_files
 
@@ -25,8 +27,11 @@ from registry import SourceFile, Finding, check_source_files
 #: build trees).  Explicit paths on the command line bypass this.
 DEFAULT_EXCLUDES = ("tests/lint/fixtures", "build")
 
-_CORE_SOURCES = ("cpptokens.py", "declscan.py", "engine.py",
-                 "registry.py")
+_CORE_SOURCES = ("cpptokens.py", "declscan.py", "funcscan.py",
+                 "indexer.py", "cache.py", "engine.py", "registry.py")
+
+#: Pseudo-check name the per-file index records are cached under.
+INDEX_CACHE_KEY = "__index__"
 
 
 def core_fingerprint():
@@ -35,13 +40,24 @@ def core_fingerprint():
 
 
 def check_fingerprints(checks):
+    """Version stamp per check: framework sources + the check's own.
+
+    The stamp is stored with every cached result (see cache.py), so
+    an edit to a check module, a shared helper, or the index layer
+    re-keys exactly the entries whose findings could change.
+    """
     core = core_fingerprint()
     by_module = {p.stem: p for p in check_source_files()}
-    fps = {}
+    fps = {INDEX_CACHE_KEY:
+           f"{core}:{sources_fingerprint(indexer.index_sources())}"}
     for check in checks:
         module = type(check).__module__.replace("atmlint_check_", "")
         path = by_module.get(module)
-        src_fp = sources_fingerprint([path]) if path else "?"
+        # A check whose source cannot be located gets a unique stamp
+        # so its results are never cached as if two unknown versions
+        # were the same version.
+        src_fp = (sources_fingerprint([path]) if path
+                  else f"?{time.time_ns()}")
         fps[check.name] = f"{core}:{src_fp}"
     return fps
 
@@ -103,6 +119,9 @@ class RunReport:
     cache_misses: int = 0
     elapsed_s: float = 0.0
     files: int = 0
+    #: Function definitions in the repo-wide index (0 when no graph
+    #: check ran).
+    index_functions: int = 0
 
     @property
     def new_findings(self):
@@ -146,8 +165,15 @@ class Engine:
         self.cache = IncrementalCache(
             cache_path, check_fingerprints(self.checks))
 
-    def _plan(self, explicit_paths, scope_override):
-        """{check -> [abspath]} plus the union file list."""
+    def _plan(self, explicit_paths, scope_override, changed_only):
+        """{check -> [abspath]} plus the union file list.
+
+        ``changed_only`` (a set of repo-relative paths, or None)
+        narrows the *per-file* stage to those files; graph checks
+        always index their full scope -- the cached index makes that
+        cheap, and an interprocedural finding caused by a changed
+        file frequently lands in an unchanged one.
+        """
         plan = {}
         union = {}
         for check in self.checks:
@@ -162,15 +188,57 @@ class Engine:
                                       check.extensions)
                 files = [f for f in files if not _excluded(
                     f.relative_to(self.root).as_posix())]
+            if changed_only is not None:
+                files = [f for f in files
+                         if f.relative_to(self.root).as_posix()
+                         in changed_only]
+            if not check.per_file:
+                files = []
             plan[check.name] = files
             for f in files:
                 union[f] = None
         return plan, list(union)
 
+    def _index_files(self, explicit_paths):
+        """Files the repo-wide index covers."""
+        exts = {ext for c in self.checks if c.graph
+                for ext in c.extensions}
+        if explicit_paths:
+            return _expand_paths(self.root, explicit_paths,
+                                 tuple(sorted(exts)))
+        scopes = {}
+        for check in self.checks:
+            if check.graph:
+                for scope in check.index_paths:
+                    scopes[scope] = None
+        files = _expand_paths(self.root, list(scopes),
+                              tuple(sorted(exts)))
+        return [f for f in files if not _excluded(
+            f.relative_to(self.root).as_posix())]
+
+    def build_index(self, explicit_paths=None):
+        """Build (or load from cache) the repo-wide call-graph index."""
+        index = indexer.RepoIndex()
+        for path in self._index_files(explicit_paths):
+            rel = path.relative_to(self.root).as_posix()
+            cached = self.cache.lookup(path, rel, INDEX_CACHE_KEY)
+            if cached is not None:
+                scan = funcscan.FileScan.from_json(rel, cached)
+            else:
+                text = path.read_text(errors="replace")
+                scan = funcscan.scan_file(rel,
+                                          cpptokens.tokenize(text))
+                self.cache.store(path, rel, INDEX_CACHE_KEY,
+                                 scan.to_json())
+            index.add_file(scan)
+        index.finalize()
+        return index
+
     def run(self, explicit_paths=None, scope_override=False,
-            update_baseline=False):
+            update_baseline=False, changed_only=None):
         start = time.monotonic()
-        plan, union = self._plan(explicit_paths, scope_override)
+        plan, union = self._plan(explicit_paths, scope_override,
+                                 changed_only)
         report = RunReport(files=len(union))
         tokenized = {}
 
@@ -182,12 +250,12 @@ class Engine:
                     path, rel, text, cpptokens.tokenize(text))
             return tokenized[path]
 
-        updated_baselines = []
+        # --- stage 1: per-file checks (cached) -------------------------
+        raw_by_check = {}
+        reports_by_check = {}
         for check in self.checks:
             crep = CheckReport(check=check)
-            baseline = (load_baseline(self.baseline_dir, check.name)
-                        if self.use_baseline else BaselineState())
-            seen_keys = set()
+            reports_by_check[check.name] = crep
             raw_all = []
             for path in plan[check.name]:
                 rel = path.relative_to(self.root).as_posix()
@@ -213,15 +281,41 @@ class Engine:
                          for f in raw])
                 crep.files_scanned += 1
                 raw_all.extend(raw)
-            kept = raw_all
+            raw_by_check[check.name] = raw_all
+
+        # --- stage 2: interprocedural checks over the index ------------
+        graph_checks = [c for c in self.checks if c.graph]
+        if graph_checks:
+            index = self.build_index(explicit_paths)
+            report.index_functions = len(index.nodes)
+            for check in graph_checks:
+                crep = reports_by_check[check.name]
+                for f in check.run_graph(index):
+                    if index.suppressed(f.path, check.name, f.line):
+                        crep.suppressed += 1
+                        continue
+                    raw_by_check[check.name].append(f)
+
+        # --- stage 3: baselines ----------------------------------------
+        updated_baselines = []
+        for check in self.checks:
+            crep = reports_by_check[check.name]
+            baseline = (load_baseline(self.baseline_dir, check.name)
+                        if self.use_baseline else BaselineState())
+            seen_keys = set()
+            kept = raw_by_check[check.name]
             for f in kept:
                 seen_keys.add(f.key)
                 if f.key in baseline.entries:
                     crep.baselined.append(f)
                 else:
                     crep.new.append(f)
-            crep.stale = sorted(k for k in baseline.entries
-                                if k not in seen_keys)
+            # A per-file stage narrowed to changed files cannot see
+            # every baselined key, so staleness is only meaningful on
+            # full runs.
+            if changed_only is None:
+                crep.stale = sorted(k for k in baseline.entries
+                                    if k not in seen_keys)
             if update_baseline:
                 path, count = write_baseline(
                     self.baseline_dir, check.name, kept)

@@ -1,0 +1,686 @@
+"""Per-TU function-definition and call-site extractor for atmlint.
+
+The bridge between the token stream (:mod:`cpptokens`) and the
+repo-wide call graph (:mod:`indexer`): one pass over a translation
+unit produces a :class:`FileScan` -- every function/method
+*definition* with its qualified name, the calls its body makes, and a
+small set of body *facts* the interprocedural checks consume
+(lock acquisitions, range-for targets, ``new``/``throw`` expressions,
+pointer-to-integer casts, registered signal handlers).
+
+This is deliberately not a C++ parser.  Qualified names come from
+tracking ``namespace``/``class`` brace scopes (same approach as
+:mod:`declscan`) plus any explicit ``Cls::`` qualifiers on the
+definition itself; overload sets share one name and are merged by the
+indexer.  Constructs the scanner cannot model (decltype return types,
+macros expanding to definitions, function-try-blocks) degrade
+gracefully: the body is skipped, never mis-attributed -- the checks
+over-approximate elsewhere, so a skipped definition can only lose
+findings inside that one body, not invent them.
+"""
+
+from dataclasses import dataclass, field
+
+from cpptokens import IDENT, PUNCT
+from declscan import (CLASS, FUNCTION, NAMESPACE, OTHER,
+                      skip_template_header)
+
+#: Fact kinds recorded on a FuncDef.  Every fact is a
+#: ``(kind, detail, line, end_line)`` tuple; only lock acquisitions
+#: have a meaningful extent (``end_line`` = line where the lock is
+#: provably released: the closing brace of a scope-lock's block, the
+#: paired ``.unlock()`` of an explicit ``.lock()``, else the end of
+#: the function).  All other facts use ``end_line == line``.
+FACT_LOCK = "lock-acquire"        # detail: mutex expression text
+FACT_NEW = "new-expr"             # detail: ""
+FACT_THROW = "throw-expr"         # detail: ""
+FACT_PTR_CAST = "ptr-int-cast"    # detail: cast target type
+FACT_RANGE_FOR = "range-for"      # detail: trailing ident of range
+FACT_STREAM = "stream-use"        # detail: cout/cerr/clog
+
+_CONTROL = {"if", "for", "while", "switch", "return", "sizeof",
+            "catch", "do", "else", "case", "alignof", "decltype",
+            "noexcept", "static_assert", "defined", "assert",
+            "co_await", "co_return", "co_yield", "throw", "new",
+            "delete", "typeid", "alignas"}
+
+_TYPE_KEYWORDS = {"void", "bool", "char", "int", "long", "short",
+                  "float", "double", "auto", "unsigned", "signed",
+                  "const", "constexpr", "static", "inline", "virtual",
+                  "explicit", "friend", "extern", "mutable",
+                  "operator", "using", "typedef", "template",
+                  "typename", "class", "struct", "enum", "union",
+                  "namespace", "public", "private", "protected"}
+
+#: Scope-lock class names whose construction acquires a mutex.
+_LOCK_CTORS = {"MutexLock", "lock_guard", "scoped_lock",
+               "unique_lock", "shared_lock"}
+
+#: Integer types a pointer cast to which marks a determinism hazard.
+_PTR_INT_TARGETS = {"uintptr_t", "intptr_t"}
+
+_STREAM_GLOBALS = {"cout", "cerr", "clog", "wcout", "wcerr"}
+
+_SIGNAL_FUNCS = {"signal", "sigaction"}
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str           # trailing identifier, e.g. "now"
+    quals: tuple        # explicit "::" qualifiers, e.g. ("std","chrono","steady_clock")
+    via_member: bool    # reached through "." or "->"
+    receiver: str       # receiver identifier when via_member ("" otherwise)
+    is_ctor: bool       # "Type name(args)" style construction
+    line: int
+    argc: int = 0       # top-level argument count at the call site
+    in_lambda: bool = False  # textually inside a lambda body (deferred)
+
+    @property
+    def written(self):
+        """The call as written, for messages."""
+        prefix = "::".join(self.quals)
+        dot = f"{self.receiver}." if self.via_member and self.receiver \
+            else ""
+        return (f"{prefix}::{self.name}" if prefix
+                else f"{dot}{self.name}")
+
+    def to_json(self):
+        return [self.name, list(self.quals), int(self.via_member),
+                self.receiver, int(self.is_ctor), self.line,
+                self.argc, int(self.in_lambda)]
+
+    @staticmethod
+    def from_json(row):
+        return CallSite(row[0], tuple(row[1]), bool(row[2]), row[3],
+                        bool(row[4]), row[5], row[6], bool(row[7]))
+
+
+@dataclass
+class FuncDef:
+    """One function/method definition with its body-derived facts."""
+
+    qname: str          # fully qualified, "::"-joined
+    name: str           # unqualified
+    relpath: str
+    line: int
+    end_line: int
+    calls: list = field(default_factory=list)    # [CallSite]
+    facts: list = field(default_factory=list)    # [(kind, detail, line, end_line)]
+
+    def to_json(self):
+        return [self.qname, self.name, self.line, self.end_line,
+                [c.to_json() for c in self.calls],
+                [list(f) for f in self.facts]]
+
+    @staticmethod
+    def from_json(relpath, row):
+        return FuncDef(row[0], row[1], relpath, row[2], row[3],
+                       [CallSite.from_json(c) for c in row[4]],
+                       [tuple(f) for f in row[5]])
+
+
+@dataclass
+class FileScan:
+    """Everything the indexer keeps about one translation unit."""
+
+    relpath: str
+    funcs: list = field(default_factory=list)       # [FuncDef]
+    #: Names declared with an unordered container type anywhere in the
+    #: file (members, globals, locals) -- joined against range-for
+    #: targets by the determinism check.
+    unordered_names: list = field(default_factory=list)
+    #: Signal-handler registrations: (handler-as-written, line).
+    registrations: list = field(default_factory=list)
+    #: line -> [check names] from `atmlint: allow(...)` markers.
+    suppressed: dict = field(default_factory=dict)
+    #: Declared variable/member types: name -> trailing type ident
+    #: (``obs::MetricsRegistry metrics_`` -> ``MetricsRegistry``; for
+    #: wrapper templates the innermost ident, so ``optional<
+    #: TraceCollector> trace_`` -> ``TraceCollector``).  Used by the
+    #: indexer to narrow member-call resolution.
+    var_types: dict = field(default_factory=dict)
+
+    def to_json(self):
+        return {"funcs": [f.to_json() for f in self.funcs],
+                "unordered": self.unordered_names,
+                "registrations": [list(r) for r in self.registrations],
+                "suppressed": {str(k): sorted(v)
+                               for k, v in self.suppressed.items()},
+                "var_types": self.var_types}
+
+    @staticmethod
+    def from_json(relpath, doc):
+        scan = FileScan(relpath)
+        scan.funcs = [FuncDef.from_json(relpath, row)
+                      for row in doc.get("funcs", [])]
+        scan.unordered_names = list(doc.get("unordered", []))
+        scan.registrations = [tuple(r)
+                              for r in doc.get("registrations", [])]
+        scan.suppressed = {int(k): set(v) for k, v in
+                           doc.get("suppressed", {}).items()}
+        scan.var_types = dict(doc.get("var_types", {}))
+        return scan
+
+
+def _classify_header(texts):
+    """Mirror of declscan._classify_brace for the definition walker."""
+    if "namespace" in texts:
+        return NAMESPACE
+    for kw in ("class", "struct", "union"):
+        if kw in texts and "(" not in texts and "=" not in texts:
+            return CLASS
+    if "enum" in texts:
+        return OTHER
+    if texts and texts[-1] in (")", "const", "noexcept", "override",
+                               "final") or "->" in texts:
+        return FUNCTION
+    return OTHER
+
+
+def _namespace_names(texts):
+    """Identifiers of a ``namespace a::b {`` header ([] if anonymous)."""
+    names = []
+    idx = texts.index("namespace")
+    for t in texts[idx + 1:]:
+        if t == "{":
+            break
+        if t != "::":
+            names.append(t)
+    return names
+
+
+def _class_name(header):
+    for kw in ("class", "struct", "union"):
+        if kw in [t.text for t in header]:
+            texts = [t.text for t in header]
+            idx = texts.index(kw)
+            name = ""
+            for t in header[idx + 1:]:
+                if t.kind == IDENT and t.text not in ("final",
+                                                      "alignas"):
+                    name = t.text
+                elif t.text in (":", "{"):
+                    break
+            return name
+    return ""
+
+
+def _function_name(header):
+    """(explicit_quals, name) from a definition header, or None.
+
+    Finds the first identifier directly followed by ``(`` (the
+    parameter list -- return types in this tree never contain
+    parentheses), then walks back over ``Cls::`` qualifiers.
+    ``operator`` names, destructors, and constructors all reduce to
+    an identifier here.
+    """
+    texts = [t.text for t in header]
+    i = skip_template_header(texts)
+    n = len(texts)
+    j = i
+    while j + 1 < n:
+        t = header[j]
+        if (t.kind == IDENT and texts[j + 1] == "("
+                and t.text not in _CONTROL
+                and t.text not in _TYPE_KEYWORDS):
+            name = t.text
+            k = j
+            if k > 0 and texts[k - 1] == "~":
+                name = "~" + name
+                k -= 1
+            elif k > 0 and texts[k - 1] == "operator":
+                name = "operator" + name
+                k -= 1
+            quals = []
+            while k >= 2 and texts[k - 1] == "::" and \
+                    header[k - 2].kind == IDENT:
+                quals.insert(0, texts[k - 2])
+                k -= 2
+            return tuple(quals), name
+        if t.kind == IDENT and t.text == "operator" and j + 1 < n:
+            # operator<<, operator==, operator() ...
+            op = texts[j + 1]
+            end = j + 2
+            if op == "(" and end < n and texts[end] == ")":
+                op, end = "()", end + 1
+            if end < n and texts[end] == "(":
+                k = j
+                quals = []
+                while k >= 2 and texts[k - 1] == "::" and \
+                        header[k - 2].kind == IDENT:
+                    quals.insert(0, texts[k - 2])
+                    k -= 2
+                return tuple(quals), "operator" + op
+        j += 1
+    return None
+
+
+def _match_paren(tokens, open_idx):
+    """Index of the ``)`` matching ``(`` at open_idx (or len)."""
+    depth = 0
+    i = open_idx
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text == "(":
+            depth += 1
+        elif tokens[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n
+
+
+def _arg_text(tokens, open_idx, argno=0):
+    """Flat text of one top-level argument of a call."""
+    close = _match_paren(tokens, open_idx)
+    depth = 0
+    current = []
+    args = []
+    for t in tokens[open_idx + 1:close]:
+        if t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.text in (")", ">", "]", "}"):
+            depth -= 1
+        if t.text == "," and depth == 0:
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(t.text)
+    args.append("".join(current))
+    return args[argno] if argno < len(args) else ""
+
+
+def _trailing_ident(texts):
+    """Last identifier-ish component of an expression text list."""
+    for t in reversed(texts):
+        if t and (t[0].isalpha() or t[0] == "_"):
+            return t
+    return ""
+
+
+_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"}
+
+#: Statement-leading tokens that can never start a variable decl.
+_DECL_SKIP = {"using", "typedef", "return", "class", "struct",
+              "union", "enum", "friend", "template", "namespace",
+              "extern", "goto", "case", "default", "delete",
+              "operator", "throw", "if", "for", "while", "switch",
+              "do", "else", "break", "continue", "new",
+              "static_assert", "public", "private", "protected"}
+
+
+def _record_decl_type(tokens, out):
+    """Record ``Type name;`` declarations into the name->type map.
+
+    Only the parenthesis-free form is modeled (members and globals;
+    the needed receivers are class members) -- statements containing
+    ``(`` before the initializer are method declarations or
+    annotated members and are skipped.  For wrapper templates
+    (``optional<T>``, ``unique_ptr<T>``) the innermost identifier is
+    taken, since member access forwards through them.
+    """
+    texts = [t.text for t in tokens]
+    if "=" in texts:
+        tokens = tokens[:texts.index("=")]
+        texts = texts[:len(tokens)]
+    if len(tokens) < 2 or "(" in texts or texts[0] in _DECL_SKIP:
+        return
+    last = tokens[-1]
+    if last.kind != IDENT or last.text in _TYPE_KEYWORDS or \
+            last.text in _CONTROL:
+        return
+    j = len(tokens) - 2
+    while j >= 0 and texts[j] in ("&", "*", "const"):
+        j -= 1
+    if j < 0:
+        return
+    if texts[j] == ">":
+        depth = 0
+        k = j
+        while k >= 0:
+            if texts[k] == ">":
+                depth += 1
+            elif texts[k] == "<":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        inner = [tok.text for tok in tokens[k + 1:j]
+                 if tok.kind == IDENT
+                 and tok.text not in _TYPE_KEYWORDS]
+        if inner:
+            out[last.text] = inner[-1]
+        return
+    if tokens[j].kind == IDENT and texts[j] not in _TYPE_KEYWORDS \
+            and texts[j] not in _CONTROL:
+        out[last.text] = texts[j]
+
+
+def _scan_unordered_decls(tokens, out):
+    """Record ``unordered_xxx<...> name`` declarations into ``out``."""
+    texts = [t.text for t in tokens]
+    i = 0
+    n = len(texts)
+    while i < n:
+        if texts[i] in _UNORDERED and i + 1 < n and \
+                texts[i + 1] == "<":
+            from declscan import match_angle
+            j = match_angle(texts, i + 1)
+            if j < n and tokens[j].kind == IDENT:
+                out.append(texts[j])
+            i = j
+        i += 1
+
+
+def _arg_count(tokens, open_idx):
+    """Top-level argument count of a call's parenthesized list."""
+    close = _match_paren(tokens, open_idx)
+    if close <= open_idx + 1:
+        return 0
+    depth = 0
+    count = 1
+    for t in tokens[open_idx + 1:close]:
+        if t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.text in (")", ">", "]", "}"):
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            count += 1
+    return count
+
+
+def _lambda_mask(tokens):
+    """Boolean per token: textually inside a lambda body.
+
+    A lambda introducer is a ``[`` that is *not* a subscript (no
+    identifier / ``]`` / ``)`` immediately before it), whose matching
+    ``]`` is followed by an optional parameter list and specifiers and
+    then ``{``.  Calls under the mask run when the lambda is invoked,
+    not where it is written -- the lock-discipline rules must not
+    treat them as synchronous.
+    """
+    n = len(tokens)
+    mask = [False] * n
+    texts = [t.text for t in tokens]
+    i = 0
+    while i < n:
+        if texts[i] == "[" and tokens[i].kind == PUNCT:
+            prev = tokens[i - 1] if i > 0 else None
+            if prev is not None and (prev.kind == IDENT
+                                     or prev.text in ("]", ")")):
+                i += 1  # subscript, not an introducer
+                continue
+            depth = 0
+            j = i
+            while j < n:
+                if texts[j] == "[":
+                    depth += 1
+                elif texts[j] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            j += 1
+            if j < n and texts[j] == "(":
+                j = _match_paren(tokens, j) + 1
+            while j < n and texts[j] in ("mutable", "noexcept",
+                                         "constexpr"):
+                j += 1
+            if j < n and texts[j] == "{":
+                close = _match_brace(tokens, j)
+                for k in range(j + 1, close):
+                    mask[k] = True
+            i += 1
+            continue
+        i += 1
+    return mask
+
+
+def _scan_body(func, tokens, registrations):
+    """Populate func.calls / func.facts from a body token slice."""
+    texts = [t.text for t in tokens]
+    n = len(tokens)
+    in_lambda = _lambda_mask(tokens)
+    last_line = tokens[-1].line if tokens else func.line
+    depth = 0               # brace depth inside the body slice
+    open_scope_locks = []   # [(fact index, depth at declaration)]
+    open_explicit = {}      # receiver -> fact index of .lock()
+
+    def finish_fact(idx, end_line):
+        kind, detail, line, _ = func.facts[idx]
+        func.facts[idx] = (kind, detail, line, end_line)
+
+    i = 0
+    while i < n:
+        t = tokens[i]
+
+        if t.kind == PUNCT and t.text == "{":
+            depth += 1
+            i += 1
+            continue
+        if t.kind == PUNCT and t.text == "}":
+            # Scope locks declared in the block this brace closes are
+            # released here.
+            still_open = []
+            for idx, lock_depth in open_scope_locks:
+                if lock_depth >= depth:
+                    finish_fact(idx, t.line)
+                else:
+                    still_open.append((idx, lock_depth))
+            open_scope_locks = still_open
+            depth -= 1
+            i += 1
+            continue
+
+        if t.kind == IDENT and t.text == "new":
+            func.facts.append((FACT_NEW, "", t.line, t.line))
+            i += 1
+            continue
+        if t.kind == IDENT and t.text == "throw":
+            func.facts.append((FACT_THROW, "", t.line, t.line))
+            i += 1
+            continue
+        if t.kind == IDENT and t.text in ("reinterpret_cast",
+                                          "static_cast") and \
+                i + 1 < n and texts[i + 1] == "<":
+            from declscan import match_angle
+            j = match_angle(texts, i + 1)
+            inner = set(texts[i + 2:j - 1])
+            if inner & _PTR_INT_TARGETS:
+                func.facts.append(
+                    (FACT_PTR_CAST,
+                     next(iter(inner & _PTR_INT_TARGETS)), t.line,
+                     t.line))
+            i = j
+            continue
+        if t.kind == IDENT and t.text in _STREAM_GLOBALS:
+            # std::cout / cerr use (the stream op itself is punct).
+            func.facts.append((FACT_STREAM, t.text, t.line, t.line))
+            i += 1
+            continue
+
+        # Range-for: for ( decl : expr )
+        if t.kind == IDENT and t.text == "for" and i + 1 < n and \
+                texts[i + 1] == "(":
+            close = _match_paren(tokens, i + 1)
+            fdepth = 0
+            for k in range(i + 2, close):
+                if texts[k] in ("(", "<", "[", "{"):
+                    fdepth += 1
+                elif texts[k] in (")", ">", "]", "}"):
+                    fdepth -= 1
+                elif texts[k] == ":" and fdepth == 0 and \
+                        texts[k - 1] != ":" and \
+                        (k + 1 >= n or texts[k + 1] != ":"):
+                    target = _trailing_ident(texts[k + 1:close])
+                    if target:
+                        func.facts.append(
+                            (FACT_RANGE_FOR, target, t.line, t.line))
+                    break
+            i += 2
+            continue
+
+        if t.kind == IDENT and i + 1 < n and texts[i + 1] == "(" and \
+                t.text not in _CONTROL:
+            prev = tokens[i - 1] if i > 0 else None
+            prev_txt = prev.text if prev else ""
+            # `Type name(args)`: construction of Type, not a call of
+            # name.  Recognized by an identifier or closing `>`
+            # immediately before the name.
+            if (prev and (prev.kind == IDENT
+                          and prev_txt not in _CONTROL
+                          and prev_txt not in ("return", "in")
+                          or prev_txt == ">")):
+                type_name = prev_txt
+                if prev_txt == ">":
+                    # walk back through the template args to the type.
+                    tdepth = 0
+                    for k in range(i - 1, -1, -1):
+                        if texts[k] == ">":
+                            tdepth += 1
+                        elif texts[k] == "<":
+                            tdepth -= 1
+                            if tdepth == 0:
+                                type_name = texts[k - 1] if k else ""
+                                break
+                if type_name in _LOCK_CTORS:
+                    # `MutexLock l(mu, AdoptLock{})` / std::adopt_lock
+                    # wraps an already-held mutex: neither an acquire
+                    # fact nor a call edge into the acquiring ctor.
+                    if "dopt" not in _arg_text(tokens, i + 1,
+                                               argno=1):
+                        func.facts.append(
+                            (FACT_LOCK, _arg_text(tokens, i + 1),
+                             t.line, last_line))
+                        open_scope_locks.append(
+                            (len(func.facts) - 1, depth))
+                elif type_name and type_name not in _TYPE_KEYWORDS:
+                    func.calls.append(CallSite(
+                        type_name, (), False, "", True, t.line,
+                        _arg_count(tokens, i + 1), in_lambda[i]))
+                i += 2
+                continue
+            # Walk back over `ident ::` qualifiers and member access.
+            quals = []
+            k = i
+            while k >= 2 and texts[k - 1] == "::" and \
+                    tokens[k - 2].kind == IDENT:
+                quals.insert(0, texts[k - 2])
+                k -= 2
+            via_member = k >= 1 and texts[k - 1] in (".", "->")
+            receiver = ""
+            if via_member and k >= 2 and tokens[k - 2].kind == IDENT:
+                receiver = texts[k - 2]
+            call = CallSite(t.text, tuple(quals), via_member,
+                            receiver, False, t.line,
+                            _arg_count(tokens, i + 1), in_lambda[i])
+            func.calls.append(call)
+            if call.name == "lock" and via_member and receiver:
+                func.facts.append(
+                    (FACT_LOCK, receiver, t.line, last_line))
+                open_explicit[receiver] = len(func.facts) - 1
+            elif call.name == "unlock" and via_member and \
+                    receiver in open_explicit:
+                finish_fact(open_explicit.pop(receiver), t.line)
+            if call.name in _SIGNAL_FUNCS:
+                handler = _arg_text(tokens, i + 1, argno=1)
+                if handler and handler not in ("SIG_DFL", "SIG_IGN"):
+                    registrations.append((handler.lstrip("&"),
+                                          t.line))
+            i += 1
+            continue
+
+        i += 1
+
+
+def scan_file(relpath, tokenized):
+    """Scan one tokenized file into a FileScan."""
+    scan = FileScan(relpath)
+    scan.suppressed = {line: set(marks) for line, marks in
+                       tokenized.suppressed.items()}
+    tokens = tokenized.tokens
+
+    stack = []  # (kind, ns_names or class_name)
+    current = []
+    i = 0
+    n = len(tokens)
+
+    def context():
+        parts = []
+        modeled = True
+        for kind, payload in stack:
+            if kind == NAMESPACE:
+                parts.extend(payload)
+            elif kind == CLASS:
+                parts.append(payload)
+            else:
+                modeled = False
+        return parts, modeled
+
+    while i < n:
+        t = tokens[i]
+        if t.text == "{" and t.kind == PUNCT:
+            texts = [tok.text for tok in current]
+            kind = _classify_header(texts)
+            parts, modeled = context()
+            if kind == FUNCTION and modeled and current:
+                info = _function_name(current)
+                close = _match_brace(tokens, i)
+                if info is not None:
+                    quals, name = info
+                    qname = "::".join([*parts, *quals, name])
+                    func = FuncDef(qname, name, relpath,
+                                   current[0].line,
+                                   tokens[close].line
+                                   if close < n else t.line)
+                    body = tokens[i + 1:close]
+                    _scan_body(func, body, scan.registrations)
+                    _scan_unordered_decls(body, scan.unordered_names)
+                    scan.funcs.append(func)
+                # Modeled or not, skip the body wholesale.
+                i = close + 1
+                current = []
+                continue
+            if kind == NAMESPACE:
+                stack.append((NAMESPACE, _namespace_names(texts)))
+            elif kind == CLASS:
+                stack.append((CLASS, _class_name(current)))
+            else:
+                stack.append((kind, ""))
+            current = []
+        elif t.text == "}" and t.kind == PUNCT:
+            if stack:
+                stack.pop()
+            current = []
+        elif t.text == ";" and t.kind == PUNCT:
+            _scan_unordered_decls(current, scan.unordered_names)
+            _record_decl_type(current, scan.var_types)
+            current = []
+        else:
+            current.append(t)
+        i += 1
+
+    # De-dup while preserving order (members + locals can repeat).
+    seen = set()
+    scan.unordered_names = [x for x in scan.unordered_names
+                            if not (x in seen or seen.add(x))]
+    return scan
+
+
+def _match_brace(tokens, open_idx):
+    depth = 0
+    i = open_idx
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text == "{" and tokens[i].kind == PUNCT:
+            depth += 1
+        elif tokens[i].text == "}" and tokens[i].kind == PUNCT:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1 if n else 0

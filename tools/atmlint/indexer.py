@@ -1,0 +1,317 @@
+"""Repo-wide symbol table and call graph for atmlint.
+
+Joins the per-TU :class:`funcscan.FileScan` records into one
+:class:`RepoIndex`: every function definition keyed by qualified
+name, an over-approximated call graph between them, and cycle-safe
+transitive closures.  The interprocedural checks (determinism-taint,
+signal-safety, call-graph-aware lock discipline) are written against
+this interface only; they never touch tokens.
+
+Name resolution is suffix-based: a call written ``foo`` inside
+``ns::Cls::bar`` matches any definition whose qualified name ends in
+``foo``, ranked so that candidates sharing the longest scope prefix
+with the caller win.  Overload sets merge into a single node (their
+calls and facts union), which keeps the graph sound for lint
+purposes: we may add edges a precise resolver would drop, never drop
+edges it would keep.  Calls that match no definition are *external*
+and surface through :meth:`RepoIndex.unresolved_calls` -- the
+signal-safety whitelist is applied there.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from funcscan import FileScan  # noqa: F401  (re-export for callers)
+
+#: Member-call names so common in the standard library (containers,
+#: strings, streams, synchronization) that resolving an unqualified
+#: ``recv.name(...)`` to an in-repo method of the same name is almost
+#: always wrong (``index_.size()`` is std::map::size, not the caller
+#: class's ``size()``).  Calls through ``this->`` / no receiver and
+#: explicitly qualified calls are unaffected.
+GENERIC_MEMBERS = frozenset({
+    "begin", "end", "rbegin", "rend", "find", "size", "empty",
+    "clear", "count", "contains", "insert", "erase", "emplace",
+    "push_back", "emplace_back", "pop_back", "push", "pop", "top",
+    "front", "back", "at", "get", "reset", "release", "value",
+    "data", "c_str", "str", "first", "second", "length", "substr",
+    "append", "assign", "reserve", "resize", "swap", "fill",
+    "merge", "extract", "wait", "notify_one", "notify_all", "lock",
+    "unlock", "try_lock", "load", "store", "exchange", "open",
+    "close", "good", "fail", "eof", "write", "read", "flush", "put",
+    "tie",
+})
+
+
+@dataclass
+class FuncNode:
+    """Merged definition node (all overloads of one qualified name)."""
+
+    qname: str
+    name: str
+    relpath: str        # file of the first definition seen
+    line: int
+    calls: list = field(default_factory=list)   # [CallSite]
+    facts: list = field(default_factory=list)   # [(kind, detail, line, end_line)]
+    #: (kind, detail, line, end_line, relpath) with the defining file
+    #: attached, so facts from an overload in another TU report
+    #: correctly.
+    located_facts: list = field(default_factory=list)
+    #: call -> relpath of the TU the call appears in.
+    call_files: dict = field(default_factory=dict)
+
+    @property
+    def scope(self):
+        """Enclosing scope components, e.g. ns::Cls for ns::Cls::f."""
+        return tuple(self.qname.split("::")[:-1])
+
+
+class RepoIndex:
+    """Symbol table + call graph over a set of FileScans."""
+
+    def __init__(self):
+        self.files = {}          # relpath -> FileScan
+        self.nodes = {}          # qname -> FuncNode
+        self._by_name = {}       # unqualified name -> [qname]
+        self._callee_cache = {}  # qname -> tuple(qname)
+        #: receiver name -> set of declared type idents, repo-wide.
+        self._receiver_types = {}
+        #: every scope component of an indexed qname (class/ns names).
+        self._scope_parts = set()
+        self._finalized = False
+
+    # --- construction ---------------------------------------------------
+
+    def add_file(self, scan):
+        self.files[scan.relpath] = scan
+        self._finalized = False
+
+    def finalize(self):
+        """(Re)build the symbol table after add_file calls."""
+        self.nodes = {}
+        self._by_name = {}
+        self._callee_cache = {}
+        self._receiver_types = {}
+        self._scope_parts = set()
+        for rel in sorted(self.files):
+            scan = self.files[rel]
+            for name, type_ in scan.var_types.items():
+                self._receiver_types.setdefault(name,
+                                                set()).add(type_)
+            for func in scan.funcs:
+                node = self.nodes.get(func.qname)
+                if node is None:
+                    node = FuncNode(func.qname, func.name, rel,
+                                    func.line)
+                    self.nodes[func.qname] = node
+                    self._by_name.setdefault(func.name,
+                                             []).append(func.qname)
+                node.calls.extend(func.calls)
+                node.facts.extend(func.facts)
+                node.located_facts.extend(
+                    (kind, detail, line, end_line, rel)
+                    for kind, detail, line, end_line in func.facts)
+                for call in func.calls:
+                    node.call_files.setdefault(call, rel)
+        for qname in self.nodes:
+            self._scope_parts.update(qname.split("::")[:-1])
+        self._finalized = True
+
+    def _require_finalized(self):
+        if not self._finalized:
+            self.finalize()
+
+    # --- queries --------------------------------------------------------
+
+    def node(self, qname):
+        self._require_finalized()
+        return self.nodes.get(qname)
+
+    def suppressed(self, relpath, check_name, line):
+        scan = self.files.get(relpath)
+        if scan is None:
+            return False
+        marks = scan.suppressed.get(line)
+        if not marks:
+            return False
+        return "*" in marks or check_name in marks
+
+    def resolve(self, call, caller_qname=""):
+        """Qualified names a call site may target (over-approximate).
+
+        Suffix match on ``quals + name``; when several definitions
+        match, candidates sharing the longest scope prefix with the
+        caller are preferred (so ``helper()`` inside ``ns::Cls``
+        binds to ``ns::Cls::helper`` over ``other::helper`` when both
+        exist) and the rest are dropped only if a preferred candidate
+        exists.
+
+        Member calls on an explicit receiver whose name is a
+        :data:`GENERIC_MEMBERS` entry (``v.size()``, ``m.find()``,
+        ``cv.wait()``) resolve to nothing: the receiver is almost
+        always a standard container/stream/primitive the index cannot
+        type, and a suffix match would invent edges into unrelated
+        in-repo methods.
+        """
+        self._require_finalized()
+        if call.via_member and not call.quals and \
+                call.receiver != "this" and \
+                call.name in GENERIC_MEMBERS:
+            return []
+        written = (*call.quals, call.name)
+        candidates = []
+        for qname in self._by_name.get(call.name, ()):
+            parts = tuple(qname.split("::"))
+            if parts[-len(written):] == written:
+                candidates.append(qname)
+        if not candidates:
+            return []
+        # Receiver typing: when `recv.name(...)`'s receiver has one
+        # repo-wide declared type and that type is an indexed class,
+        # only methods of that class can be the target (an empty
+        # result means the call is external, e.g. a std:: method).
+        if call.via_member and call.receiver and not call.quals:
+            types = self._receiver_types.get(call.receiver)
+            if types is not None and len(types) == 1:
+                (rtype,) = types
+                if rtype in self._scope_parts:
+                    return [q for q in candidates
+                            if q.split("::")[-2:-1] == [rtype]]
+        if len(candidates) == 1 or not caller_qname:
+            return candidates
+        caller_scope = caller_qname.split("::")[:-1]
+
+        def affinity(qname):
+            parts = qname.split("::")[:-1]
+            common = 0
+            for a, b in zip(caller_scope, parts):
+                if a != b:
+                    break
+                common += 1
+            return common
+
+        best = max(affinity(q) for q in candidates)
+        if best > 0:
+            return [q for q in candidates if affinity(q) == best]
+        return candidates
+
+    def callees(self, qname):
+        """Resolved direct callees of one node (cached)."""
+        self._require_finalized()
+        cached = self._callee_cache.get(qname)
+        if cached is not None:
+            return cached
+        node = self.nodes.get(qname)
+        out = []
+        seen = set()
+        if node is not None:
+            for call in node.calls:
+                for target in self.resolve(call, qname):
+                    if target != qname and target not in seen:
+                        seen.add(target)
+                        out.append(target)
+        result = tuple(out)
+        self._callee_cache[qname] = result
+        return result
+
+    def reachable(self, qname, include_self=True, stop_paths=()):
+        """Transitive callee closure (BFS, cycle-safe).
+
+        ``stop_paths`` prunes the walk at subsystem boundaries: a
+        callee defined under one of the given relpath prefixes is
+        neither visited nor expanded (used by determinism-taint to
+        stop at the stderr diagnostics channel).
+        """
+        self._require_finalized()
+        visited = {qname}
+        order = [qname] if include_self else []
+        queue = deque([qname])
+        while queue:
+            current = queue.popleft()
+            for callee in self.callees(current):
+                if callee in visited:
+                    continue
+                if stop_paths and self.nodes[callee].relpath \
+                        .startswith(tuple(stop_paths)):
+                    continue
+                visited.add(callee)
+                order.append(callee)
+                queue.append(callee)
+        return order
+
+    def call_path(self, src_qname, dst_qname):
+        """One shortest call chain src -> ... -> dst (for messages)."""
+        self._require_finalized()
+        if src_qname == dst_qname:
+            return [src_qname]
+        parent = {src_qname: None}
+        queue = deque([src_qname])
+        while queue:
+            current = queue.popleft()
+            for callee in self.callees(current):
+                if callee in parent:
+                    continue
+                parent[callee] = current
+                if callee == dst_qname:
+                    path = [callee]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                queue.append(callee)
+        return []
+
+    def unresolved_calls(self, qname):
+        """(CallSite, relpath) pairs matching no in-repo definition."""
+        self._require_finalized()
+        node = self.nodes.get(qname)
+        if node is None:
+            return []
+        out = []
+        for call in node.calls:
+            if not self.resolve(call, qname):
+                out.append((call, node.call_files.get(call,
+                                                     node.relpath)))
+        return out
+
+    def unordered_names(self, relpath):
+        scan = self.files.get(relpath)
+        return set(scan.unordered_names) if scan else set()
+
+    def registrations(self):
+        """All signal-handler registrations: (written, relpath, line)."""
+        out = []
+        for rel in sorted(self.files):
+            for written, line in self.files[rel].registrations:
+                out.append((written, rel, line))
+        return out
+
+    def resolve_written(self, written):
+        """Resolve a handler name as written (e.g. 'Cls::onSignal')."""
+        self._require_finalized()
+        parts = tuple(p for p in written.replace("&", "")
+                      .split("::") if p)
+        if not parts:
+            return []
+        matches = []
+        for qname in self._by_name.get(parts[-1], ()):
+            qparts = tuple(qname.split("::"))
+            if qparts[-len(parts):] == parts:
+                matches.append(qname)
+        return matches
+
+
+def build_index(scans):
+    """RepoIndex from an iterable of FileScan (convenience for tests)."""
+    index = RepoIndex()
+    for scan in scans:
+        index.add_file(scan)
+    index.finalize()
+    return index
+
+
+def index_sources():
+    """Module files whose content fingerprints the index layer."""
+    import pathlib
+    here = pathlib.Path(__file__).resolve().parent
+    return [here / "cpptokens.py", here / "declscan.py",
+            here / "funcscan.py", here / "indexer.py"]

@@ -41,6 +41,9 @@ class Finding:
     line: int
     symbol: str
     message: str
+    #: Optional call-chain evidence for interprocedural findings:
+    #: ((path, line, label), ...) rendered as SARIF relatedLocations.
+    related: tuple = ()
 
     @property
     def key(self):
@@ -63,16 +66,36 @@ class SourceFile:
 
 
 class Check:
-    """Base class for atmlint checks."""
+    """Base class for atmlint checks.
+
+    Two kinds of check share this interface.  *Per-file* checks
+    implement :meth:`run` and see one translation unit at a time.
+    *Graph* checks set ``graph = True`` and implement
+    :meth:`run_graph` against the repo-wide :class:`indexer.RepoIndex`
+    built from ``index_paths``; they fire once per run, after every
+    scanned file is in the index.  A check may be both (lock
+    discipline keeps its per-file annotation rules and adds
+    interprocedural ones).
+    """
 
     name = ""
     description = ""
     rules = {}
     default_paths = ("src",)
     extensions = DEFAULT_EXTENSIONS
+    #: True when the check implements run_graph().
+    graph = False
+    #: False when the check has no per-file stage (pure graph check).
+    per_file = True
+    #: Directories the repo-wide index covers for this check.
+    index_paths = ("src", "bench")
 
     def run(self, source):  # pragma: no cover - interface
         """Yield findings for one SourceFile."""
+        raise NotImplementedError
+
+    def run_graph(self, index):  # pragma: no cover - interface
+        """Yield findings from the repo-wide index (graph checks)."""
         raise NotImplementedError
 
     def wants(self, relpath):

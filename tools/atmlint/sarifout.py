@@ -13,7 +13,11 @@ Emits a single-run SARIF log that GitHub code scanning ingests via
   code-scanning alert identity survives line drift;
 * baselined findings are still present but carry a ``suppressions``
   entry (kind ``external``), which GitHub hides by default -- the
-  SARIF log is the complete ground truth, not just the failures.
+  SARIF log is the complete ground truth, not just the failures;
+* interprocedural findings (atmlint v2's call-graph checks) carry
+  their call-chain evidence as ``relatedLocations``, one entry per
+  hop, so code scanning renders the path from sink/handler to the
+  flagged site.
 """
 
 import json
@@ -23,7 +27,7 @@ SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
 TOOL_NAME = "atmlint"
-TOOL_VERSION = "1.0.0"
+TOOL_VERSION = "2.0.0"
 TOOL_URI = "https://github.com/atmsim/atmsim/tree/main/tools/atmlint"
 
 FINGERPRINT_KEY = "atmlintKey/v1"
@@ -65,6 +69,17 @@ def build_sarif(checks, new_findings, baselined_findings, root):
             }],
             "partialFingerprints": {FINGERPRINT_KEY: finding.key},
         }
+        if finding.related:
+            res["relatedLocations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": rel_path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, rel_line)},
+                },
+                "message": {"text": label},
+            } for rel_path, rel_line, label in finding.related]
         if suppressed:
             res["suppressions"] = [{
                 "kind": "external",

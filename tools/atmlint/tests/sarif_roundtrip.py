@@ -67,16 +67,24 @@ def validate(doc, expect_results):
         expect(res.get("message", {}).get("text"),
                "result.message.text")
         for loc in res.get("locations", []):
-            phys = loc.get("physicalLocation", {})
-            art = phys.get("artifactLocation", {})
-            expect(art.get("uri") and not art["uri"].startswith("/"),
-                   "artifact uri must be relative")
-            expect(art.get("uriBaseId") == "SRCROOT",
-                   "artifact uriBaseId")
-            expect(phys.get("region", {}).get("startLine", 0) >= 1,
-                   "region.startLine must be >= 1")
+            _validate_location(loc)
+        for rel in res.get("relatedLocations", []):
+            _validate_location(rel)
+            expect(rel.get("message", {}).get("text"),
+                   "relatedLocation.message.text (call-chain label)")
         expect(res.get("partialFingerprints"),
                "results must carry partialFingerprints")
+
+
+def _validate_location(loc):
+    phys = loc.get("physicalLocation", {})
+    art = phys.get("artifactLocation", {})
+    expect(art.get("uri") and not art["uri"].startswith("/"),
+           "artifact uri must be relative")
+    expect(art.get("uriBaseId") == "SRCROOT",
+           "artifact uriBaseId")
+    expect(phys.get("region", {}).get("startLine", 0) >= 1,
+           "region.startLine must be >= 1")
 
 
 def run_atmlint(out, args):
@@ -94,13 +102,21 @@ def main():
         out = pathlib.Path(tmp) / "fixture.sarif"
         doc = run_atmlint(out, [
             "--no-baseline", "--check",
-            "units,unseeded-rng,missing-nodiscard,lock-discipline",
+            "units,unseeded-rng,missing-nodiscard,lock-discipline,"
+            "determinism-taint,signal-safety",
             "tests/lint/fixtures/units_bad.h",
             "tests/lint/fixtures/nodiscard_bad.h",
             "tests/lint/fixtures/lock_bad.h",
+            "tests/lint/fixtures/lockgraph_bad.cc",
+            "tests/lint/fixtures/det_taint_bad.cc",
+            "tests/lint/fixtures/sigsafe_bad.cc",
         ])
         validate(doc, expect_results=True)
         n_fixture = len(doc["runs"][0]["results"])
+        expect(any(res.get("relatedLocations")
+                   for res in doc["runs"][0]["results"]),
+               "interprocedural findings must carry call-chain "
+               "relatedLocations")
 
         out = pathlib.Path(tmp) / "repo.sarif"
         doc = run_atmlint(out, [])

@@ -1,0 +1,146 @@
+"""Regression tests for the stale-cache bug fixed in atmlint v2:
+editing a check's source must invalidate exactly that check's cached
+results -- even on a later ``--check X`` run that never executes the
+other checks -- and an edit to the index layer must re-key the cached
+per-file index records."""
+
+import pathlib
+import shutil
+import sys
+import tempfile
+import unittest
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent))
+
+import engine  # noqa: E402
+import registry  # noqa: E402
+from engine import Engine, check_fingerprints  # noqa: E402
+from registry import Check  # noqa: E402
+
+
+class EditableCheck(Check):
+    """Per-file check whose 'source module' lives in a temp dir."""
+
+    name = "editable"
+    description = "check used by the cache regression tests"
+    rules = {"editable-rule": "always fires once per file"}
+    default_paths = ("src",)
+
+    def run(self, source):
+        yield source.finding(self, "editable-rule", 1, "x",
+                             "fixture finding")
+
+
+# check_fingerprints locates a check's source by module name inside
+# registry.CHECKS_DIR; point the fake module there.
+EditableCheck.__module__ = "atmlint_check_editable"
+
+
+class CheckEditInvalidatesTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        tmpdir = pathlib.Path(self.tmp.name)
+        self.root = tmpdir / "repo"
+        (self.root / "src").mkdir(parents=True)
+        (self.root / "src" / "a.cc").write_text("int x;\n")
+        self.cache_path = tmpdir / "cache.json"
+        self.checks_dir = tmpdir / "checks"
+        self.checks_dir.mkdir()
+        self.check_src = self.checks_dir / "editable.py"
+        self.check_src.write_text("# editable check, version 1\n")
+        self._saved_dir = registry.CHECKS_DIR
+        registry.CHECKS_DIR = self.checks_dir
+
+    def tearDown(self):
+        registry.CHECKS_DIR = self._saved_dir
+        self.tmp.cleanup()
+
+    def run_engine(self):
+        eng = Engine(self.root, [EditableCheck()],
+                     cache_path=self.cache_path)
+        report = eng.run()
+        return eng, report
+
+    def test_unedited_check_hits_on_second_run(self):
+        self.run_engine()
+        eng, report = self.run_engine()
+        self.assertEqual(eng.cache.hits, 1)
+        self.assertEqual(eng.cache.misses, 0)
+        self.assertEqual(len(report.new_findings), 1)
+
+    def test_edited_check_is_reanalyzed(self):
+        self.run_engine()
+        self.check_src.write_text("# editable check, version 2\n")
+        eng, report = self.run_engine()
+        self.assertEqual(eng.cache.hits, 0)
+        self.assertEqual(eng.cache.misses, 1)
+        # The re-analysis still produces the finding (no silent drop
+        # -- the original bug surfaced as stale results, the fix must
+        # not surface as missing ones).
+        self.assertEqual(len(report.new_findings), 1)
+
+    def test_fingerprint_tracks_check_source_content(self):
+        chk = EditableCheck()
+        before = check_fingerprints([chk])
+        self.check_src.write_text("# editable check, version 2\n")
+        after = check_fingerprints([chk])
+        self.assertNotEqual(before[chk.name], after[chk.name])
+        # The index pseudo-check is keyed by the index layer's own
+        # sources, not by any one check's.
+        self.assertEqual(before[engine.INDEX_CACHE_KEY],
+                         after[engine.INDEX_CACHE_KEY])
+
+    def test_unlocatable_check_source_never_caches(self):
+        self.check_src.unlink()
+        self.run_engine()
+        eng, _ = self.run_engine()
+        # Two unknown versions are never assumed to be the same
+        # version: every run is a miss.
+        self.assertEqual(eng.cache.hits, 0)
+        self.assertEqual(eng.cache.misses, 1)
+
+
+class IndexEditInvalidatesTest(unittest.TestCase):
+    """An index-layer edit re-keys the cached FileScan records."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        tmpdir = pathlib.Path(self.tmp.name)
+        self.root = tmpdir / "repo"
+        (self.root / "src").mkdir(parents=True)
+        (self.root / "src" / "a.cc").write_text("void f() {}\n")
+        self.cache_path = tmpdir / "cache.json"
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def build(self, index_fp):
+        class GraphOnly(Check):
+            name = "graph-only"
+            description = "pure graph check for the index cache test"
+            rules = {"r": "r"}
+            graph = True
+            per_file = False
+            index_paths = ("src",)
+
+            def run_graph(self, index):
+                return ()
+
+        eng = Engine(self.root, [GraphOnly()],
+                     cache_path=self.cache_path)
+        eng.cache.check_fps[engine.INDEX_CACHE_KEY] = index_fp
+        eng.run()
+        return eng
+
+    def test_index_fingerprint_change_rebuilds_index_entries(self):
+        self.build("indexer-v1")
+        warm = self.build("indexer-v1")
+        self.assertEqual((warm.cache.hits, warm.cache.misses), (1, 0))
+        edited = self.build("indexer-v2")
+        self.assertEqual((edited.cache.hits, edited.cache.misses),
+                         (0, 1))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,279 @@
+"""Unit tests for the cross-TU index layer (funcscan + indexer):
+qualified-name resolution, overload merging, graceful template
+degradation, cycle-safe closures, lock extents, lambda masking, and
+declared-receiver typing."""
+
+import pathlib
+import sys
+import unittest
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent))
+
+import cpptokens  # noqa: E402
+import funcscan  # noqa: E402
+from indexer import build_index  # noqa: E402
+
+
+def scan(rel, text):
+    return funcscan.scan_file(rel, cpptokens.tokenize(text))
+
+
+def index(*files):
+    return build_index(scan(rel, text) for rel, text in files)
+
+
+def node_calls(idx, qname):
+    return {c.name for c in idx.nodes[qname].calls}
+
+
+class FuncScanTest(unittest.TestCase):
+    def test_scope_lock_extent_ends_with_block(self):
+        sc = scan("a.cc", """
+            namespace n { struct C {
+              void f() {
+                {
+                  util::MutexLock lock(mu_);
+                  inner();
+                }
+                outer();
+              }
+              util::Mutex mu_;
+            }; }
+        """)
+        func = sc.funcs[0]
+        locks = [f for f in func.facts
+                 if f[0] == funcscan.FACT_LOCK]
+        self.assertEqual(len(locks), 1)
+        _, _, line, end_line = locks[0]
+        inner = next(c for c in func.calls if c.name == "inner")
+        outer = next(c for c in func.calls if c.name == "outer")
+        self.assertTrue(line <= inner.line <= end_line)
+        self.assertFalse(line <= outer.line <= end_line)
+
+    def test_explicit_lock_extent_ends_at_unlock(self):
+        sc = scan("a.cc", """
+            void g() {
+              mu.lock();
+              held();
+              mu.unlock();
+              free_();
+            }
+        """)
+        func = sc.funcs[0]
+        locks = [f for f in func.facts
+                 if f[0] == funcscan.FACT_LOCK]
+        self.assertEqual(len(locks), 1)
+        _, _, line, end_line = locks[0]
+        held = next(c for c in func.calls if c.name == "held")
+        after = next(c for c in func.calls if c.name == "free_")
+        self.assertTrue(line <= held.line <= end_line)
+        self.assertFalse(line <= after.line <= end_line)
+
+    def test_unpaired_explicit_lock_extends_to_function_end(self):
+        sc = scan("a.cc", """
+            void g() {
+              mu.lock();
+              tail();
+            }
+        """)
+        func = sc.funcs[0]
+        _, _, line, end_line = next(
+            f for f in func.facts if f[0] == funcscan.FACT_LOCK)
+        tail = next(c for c in func.calls if c.name == "tail")
+        self.assertTrue(line <= tail.line <= end_line)
+
+    def test_adopt_lock_is_neither_acquire_nor_call(self):
+        sc = scan("a.cc", """
+            void h() {
+              util::MutexLock lock(mu_, util::AdoptLock{});
+            }
+        """)
+        func = sc.funcs[0]
+        self.assertEqual([f for f in func.facts
+                          if f[0] == funcscan.FACT_LOCK], [])
+        self.assertNotIn("MutexLock",
+                         {c.name for c in func.calls})
+
+    def test_lambda_body_calls_are_masked(self):
+        sc = scan("a.cc", """
+            void f() {
+              run([&] { deferred(); });
+              direct();
+            }
+        """)
+        func = sc.funcs[0]
+        by_name = {c.name: c for c in func.calls}
+        self.assertTrue(by_name["deferred"].in_lambda)
+        self.assertFalse(by_name["direct"].in_lambda)
+        self.assertFalse(by_name["run"].in_lambda)
+
+    def test_subscript_is_not_a_lambda_introducer(self):
+        sc = scan("a.cc", """
+            void f() {
+              table[i] = get();
+              after();
+            }
+        """)
+        func = sc.funcs[0]
+        for call in func.calls:
+            self.assertFalse(call.in_lambda, call.name)
+
+    def test_argument_counts(self):
+        sc = scan("a.cc", """
+            void f() {
+              zero();
+              g.wait();
+              cv.wait(mu);
+              two(a, b);
+            }
+        """)
+        func = sc.funcs[0]
+        argc = {(c.receiver, c.name): c.argc for c in func.calls}
+        self.assertEqual(argc[("", "zero")], 0)
+        self.assertEqual(argc[("g", "wait")], 0)
+        self.assertEqual(argc[("cv", "wait")], 1)
+        self.assertEqual(argc[("", "two")], 2)
+
+    def test_member_decl_types_recorded(self):
+        sc = scan("a.h", """
+            namespace n { class Holder {
+              obs::RunManifest manifest_;
+              std::optional<obs::TraceCollector> trace_;
+            }; }
+        """)
+        self.assertEqual(sc.var_types.get("manifest_"),
+                         "RunManifest")
+        self.assertEqual(sc.var_types.get("trace_"),
+                         "TraceCollector")
+
+    def test_filescan_json_round_trip(self):
+        sc = scan("a.cc", """
+            namespace n { struct C {
+              void f() { g(); mu.lock(); mu.unlock(); }
+            }; }
+            std::signal(SIGINT, &onStop);
+        """)
+        again = funcscan.FileScan.from_json("a.cc", sc.to_json())
+        self.assertEqual(again.to_json(), sc.to_json())
+        self.assertEqual(again.funcs[0].calls, sc.funcs[0].calls)
+        self.assertEqual(again.funcs[0].facts, sc.funcs[0].facts)
+        self.assertEqual(again.var_types, sc.var_types)
+
+
+class IndexerTest(unittest.TestCase):
+    def test_caller_scope_affinity_wins(self):
+        idx = index(("a.cc", """
+            namespace a { void helper() {}
+                          void caller() { helper(); } }
+            namespace b { void helper() {} }
+        """))
+        call = next(c for c in idx.nodes["a::caller"].calls
+                    if c.name == "helper")
+        self.assertEqual(idx.resolve(call, "a::caller"),
+                         ["a::helper"])
+
+    def test_generic_member_on_receiver_resolves_to_nothing(self):
+        idx = index(("a.cc", """
+            struct C { int size() { return 0; } };
+            void f() { v.size(); }
+        """))
+        call = next(c for c in idx.nodes["f"].calls
+                    if c.name == "size")
+        self.assertEqual(idx.resolve(call, "f"), [])
+
+    def test_generic_member_through_this_still_resolves(self):
+        idx = index(("a.cc", """
+            struct C {
+              int size() { return 0; }
+              int twice() { return this->size() * 2; }
+            };
+        """))
+        call = next(c for c in idx.nodes["C::twice"].calls
+                    if c.name == "size")
+        self.assertEqual(idx.resolve(call, "C::twice"), ["C::size"])
+
+    def test_receiver_typing_narrows_member_resolution(self):
+        idx = index(("a.cc", """
+            namespace obs { struct Widget { void writeJson() {} };
+                            struct Gadget { void writeJson() {} }; }
+            namespace b { struct Holder {
+              obs::Widget w_;
+              void f() { w_.writeJson(); }
+            }; }
+        """))
+        call = next(c for c in idx.nodes["b::Holder::f"].calls
+                    if c.name == "writeJson")
+        self.assertEqual(idx.resolve(call, "b::Holder::f"),
+                         ["obs::Widget::writeJson"])
+
+    def test_overloads_merge_into_one_node(self):
+        idx = index(("a.cc", """
+            namespace n { void f(int x) { one(); }
+                          void f(double x) { two(); } }
+        """))
+        self.assertIn("n::f", idx.nodes)
+        self.assertEqual({"one", "two"},
+                         node_calls(idx, "n::f") & {"one", "two"})
+
+    def test_templates_degrade_gracefully(self):
+        idx = index(("a.cc", """
+            template <typename T>
+            T clampTo(T v) { return helper(v); }
+            void helper(int) {}
+            void user() { clampTo<int>(3); }
+        """))
+        self.assertIn("user", idx.nodes)
+        # The walk must terminate and never raise, whatever the
+        # resolver makes of the template call.
+        self.assertIn("user", idx.reachable("user"))
+
+    def test_reachable_is_cycle_safe(self):
+        idx = index(("a.cc", """
+            namespace n { void ping();
+                          void pong() { ping(); }
+                          void ping() { pong(); } }
+        """))
+        order = idx.reachable("n::ping")
+        self.assertEqual(sorted(order), ["n::ping", "n::pong"])
+
+    def test_reachable_stops_at_stop_paths(self):
+        idx = index(
+            ("src/a.cc", "void top() { logIt(); deeper(); }\n"
+                         "void deeper() {}\n"),
+            ("src/util/logging.cc", "void logIt() { hidden(); }\n"
+                                    "void hidden() {}\n"))
+        full = idx.reachable("top")
+        self.assertIn("logIt", full)
+        pruned = idx.reachable(
+            "top", stop_paths=("src/util/logging",))
+        self.assertNotIn("logIt", pruned)
+        self.assertNotIn("hidden", pruned)
+        self.assertIn("deeper", pruned)
+
+    def test_call_path_is_shortest_chain(self):
+        idx = index(("a.cc", """
+            void a() { b(); }
+            void b() { c(); }
+            void c() {}
+        """))
+        self.assertEqual(idx.call_path("a", "c"), ["a", "b", "c"])
+        self.assertEqual(idx.call_path("c", "a"), [])
+
+    def test_registrations_resolve_as_written(self):
+        idx = index(("a.cc", """
+            namespace n { struct S {
+              static void onSignal(int) {}
+            };
+            void install() { std::signal(SIGINT, &S::onSignal); } }
+        """))
+        regs = idx.registrations()
+        self.assertEqual(len(regs), 1)
+        written, rel, _ = regs[0]
+        self.assertEqual(rel, "a.cc")
+        self.assertEqual(idx.resolve_written(written),
+                         ["n::S::onSignal"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -90,6 +90,30 @@ class SarifDocumentTest(unittest.TestCase):
         self.assertEqual(res["level"], "error")
         self.assertNotIn("suppressions", res)
 
+    def test_related_locations_render_call_chain(self):
+        f = Finding(check="fake-check", rule="fake-rule",
+                    path="src/a.cc", line=3, symbol="x",
+                    message="'x' is wrong",
+                    related=(("src/b.cc", 11, "ns::sink"),
+                             ("src/c.cc", 0, "ns::hop")))
+        doc = self.build([f])
+        rel = doc["runs"][0]["results"][0]["relatedLocations"]
+        self.assertEqual(len(rel), 2)
+        first = rel[0]["physicalLocation"]
+        self.assertEqual(first["artifactLocation"]["uri"], "src/b.cc")
+        self.assertEqual(first["artifactLocation"]["uriBaseId"],
+                         "SRCROOT")
+        self.assertEqual(first["region"]["startLine"], 11)
+        self.assertEqual(rel[0]["message"]["text"], "ns::sink")
+        # Unknown lines clamp to 1 like primary locations do.
+        self.assertEqual(rel[1]["physicalLocation"]["region"]
+                         ["startLine"], 1)
+
+    def test_no_related_locations_key_when_chain_is_empty(self):
+        doc = self.build([finding()])
+        self.assertNotIn("relatedLocations",
+                         doc["runs"][0]["results"][0])
+
     def test_line_zero_clamps_to_one(self):
         doc = self.build([finding(line=0)])
         region = (doc["runs"][0]["results"][0]["locations"][0]
