@@ -15,6 +15,14 @@
  *   --no-manifest       skip the manifest entirely
  *   --trace [<path>]    also write a Chrome/Perfetto trace
  *                       (default BENCH_<tool>.trace.json)
+ *   --flight-recorder [<n>]
+ *                       attach a per-core flight recorder (black-box
+ *                       event ring, n events per core, default 256);
+ *                       the ring is dumped to BENCH_<tool>.flight.json
+ *                       when a violation latched a dump request or
+ *                       the harness was interrupted
+ *   --flight-dump       always dump the flight ring at exit
+ *                       (implies --flight-recorder)
  *   --jobs <n>          worker threads for parallel sweeps
  *                       (default: hardware concurrency; n >= 1;
  *                       outputs are identical at every n)
@@ -69,7 +77,9 @@ class BenchSession
     {
         manifestPath_ = "BENCH_" + tool_ + ".json";
         tracePath_ = "BENCH_" + tool_ + ".trace.json";
+        flightPath_ = "BENCH_" + tool_ + ".flight.json";
         parseArgs(argc, argv);
+        manifest_.jobsRequested = jobs_; // 0 = flag absent.
         if (jobs_ == 0)
             jobs_ = exec::hardwareConcurrency();
         exec::setDefaultJobs(jobs_); // fatal on jobs < 1
@@ -77,6 +87,8 @@ class BenchSession
         util::setLogContext(tool_);
         if (traceEnabled_)
             trace_.emplace();
+        if (flightEnabled_)
+            flight_.emplace(kFlightCores, flightCapacity_);
         installSignalHandlers();
     }
 
@@ -114,11 +126,17 @@ class BenchSession
         return traceEnabled_ ? &*trace_ : nullptr;
     }
 
+    /** Null unless --flight-recorder / --flight-dump was given. */
+    obs::FlightRecorder *flight()
+    {
+        return flightEnabled_ ? &*flight_ : nullptr;
+    }
+
     /** Bundle to hand to engines, characterizers, and monitors. */
     obs::Observability
     observability()
     {
-        return {&metrics_, trace()};
+        return {&metrics_, trace(), flight()};
     }
 
     /** Attach this session's sinks to an engine. */
@@ -177,6 +195,18 @@ class BenchSession
     setFleet(const obs::FleetManifest &fleet)
     {
         manifest_.fleet = fleet;
+    }
+
+    /**
+     * Hand over the span batches a fleet campaign streamed from its
+     * workers. When --trace is on, the trace written at exit becomes
+     * the merged campaign trace: supervisor events plus one pid/tid
+     * lane per worker process.
+     */
+    void
+    setWorkerSpans(std::vector<obs::ProcessSpans> spans)
+    {
+        workerSpans_ = std::move(spans);
     }
 
     /**
@@ -241,6 +271,16 @@ class BenchSession
             } else if (arg.rfind("--trace=", 0) == 0) {
                 traceEnabled_ = true;
                 tracePath_ = arg.substr(8);
+            } else if (arg == "--flight-recorder") {
+                flightEnabled_ = true;
+                if (has_next)
+                    flightCapacity_ = parseFlightCapacity(argv[++i]);
+            } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+                flightEnabled_ = true;
+                flightCapacity_ = parseFlightCapacity(arg.substr(18));
+            } else if (arg == "--flight-dump") {
+                flightEnabled_ = true;
+                flightDumpForced_ = true;
             } else if (arg == "--jobs" && i + 1 < argc) {
                 jobs_ = parseJobs(argv[++i]);
             } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -267,6 +307,22 @@ class BenchSession
             util::fatal("--jobs wants an integer >= 1, got '" + text
                         + "'");
         return jobs;
+    }
+
+    static int
+    parseFlightCapacity(const std::string &text)
+    {
+        std::size_t used = 0;
+        int capacity = 0;
+        try {
+            capacity = std::stoi(text, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != text.size() || capacity < 1)
+            util::fatal("--flight-recorder wants a per-core capacity"
+                        " >= 1, got '" + text + "'");
+        return capacity;
     }
 
     void
@@ -363,13 +419,43 @@ class BenchSession
                 std::cerr << tool_ << ": cannot open " << tracePath_
                           << "\n";
             } else {
-                trace_->writeChromeTrace(os);
+                if (workerSpans_.empty())
+                    trace_->writeChromeTrace(os);
+                else
+                    trace_->writeChromeTrace(os, workerSpans_);
                 std::cout << "[" << tool_ << "] trace written to "
                           << tracePath_ << "\n";
             }
         }
+        if (flightEnabled_
+            && (flightDumpForced_ || flight_->dumpRequested()
+                || manifest_.interrupted)) {
+            std::ofstream os(flightPath_);
+            if (!os) {
+                std::cerr << tool_ << ": cannot open " << flightPath_
+                          << "\n";
+            } else {
+                flight_->writeJson(os);
+                std::cout << "[" << tool_ << "] flight ring dumped"
+                          << " to " << flightPath_ << "\n";
+            }
+        }
         if (!manifestEnabled_)
             return;
+        // Loss accounting belongs in the metric snapshot the manifest
+        // (and any fleet fold upstream) reports -- only on this
+        // blocking path; the signal path must not touch the registry
+        // lock.
+        if (traceEnabled_) {
+            metrics_.counter("obs.trace.dropped_events")
+                .inc(static_cast<long>(trace_->droppedEvents()));
+        }
+        if (flightEnabled_) {
+            metrics_.counter("obs.flight.wrapped_events")
+                .inc(flight_->wrappedEvents());
+            metrics_.counter("obs.flight.dropped_events")
+                .inc(flight_->droppedEvents());
+        }
         manifest_.metrics = metrics_.snapshot();
         writeManifestFile();
     }
@@ -391,12 +477,29 @@ class BenchSession
             if (!os) {
                 std::cerr << tool_ << ": cannot open " << tracePath_
                           << "\n";
-            } else if (!trace_->tryWriteChromeTrace(os)) {
+            } else if (workerSpans_.empty()
+                           ? !trace_->tryWriteChromeTrace(os)
+                           : !trace_->tryWriteChromeTrace(
+                                 os, workerSpans_)) {
                 std::cerr << tool_ << ": trace skipped (collector "
                           << "locked at interrupt)\n";
             } else {
                 std::cout << "[" << tool_ << "] trace written to "
                           << tracePath_ << "\n";
+            }
+        }
+        // The flight ring is the one backend built for this path:
+        // writeJson() takes no lock and reads only atomics, so the
+        // black box survives exactly the crashes it exists for.
+        if (flightEnabled_) {
+            std::ofstream os(flightPath_);
+            if (!os) {
+                std::cerr << tool_ << ": cannot open " << flightPath_
+                          << "\n";
+            } else {
+                flight_->writeJson(os);
+                std::cout << "[" << tool_ << "] flight ring dumped"
+                          << " to " << flightPath_ << "\n";
             }
         }
         if (!manifestEnabled_)
@@ -425,17 +528,31 @@ class BenchSession
                   << manifestPath_ << "\n";
     }
 
+    /**
+     * Flight ring width. Sized for the largest chip the harnesses
+     * simulate (well past the 12-core POWER9 of the paper); events
+     * for cores beyond it are counted as dropped, never written out
+     * of bounds.
+     */
+    static constexpr int kFlightCores = 64;
+
     std::string tool_;
     double startWallNs_;
     bool manifestEnabled_ = true;
     bool traceEnabled_ = false;
+    bool flightEnabled_ = false;
+    bool flightDumpForced_ = false;
+    int flightCapacity_ = 256;
     int jobs_ = 0; ///< 0 until resolved in the constructor.
     std::string manifestPath_;
     std::string tracePath_;
+    std::string flightPath_;
     std::vector<std::string> args_;
     std::vector<char *> argvPtrs_;
     obs::MetricsRegistry metrics_;
     std::optional<obs::TraceCollector> trace_;
+    std::optional<obs::FlightRecorder> flight_;
+    std::vector<obs::ProcessSpans> workerSpans_;
     obs::RunManifest manifest_;
 };
 

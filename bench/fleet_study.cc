@@ -194,6 +194,17 @@ main(int raw_argc, char **raw_argv)
         static_cast<double>(result.coverage.chipsSkipped));
     session.setCounter("fleet.retries",
                        static_cast<double>(result.coverage.retries));
+    long spanEvents = 0;
+    long spansDropped = 0;
+    for (const obs::WorkerManifest &w : result.coverage.workers) {
+        spanEvents += w.spanEvents;
+        spansDropped += w.spansDropped;
+    }
+    session.setCounter("fleet.span_events",
+                       static_cast<double>(spanEvents));
+    session.setCounter("fleet.spans_dropped",
+                       static_cast<double>(spansDropped));
+    session.setWorkerSpans(result.spanBatches);
 
     const obs::FleetManifest &cov = result.coverage;
     std::cout << "shards: " << cov.shardsCompleted << "/"

@@ -89,6 +89,27 @@ BM_EngineStep(benchmark::State &state)
 BENCHMARK(BM_EngineStep)->Unit(benchmark::kMicrosecond);
 
 void
+BM_EngineStepFlightRecorder(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    const auto &gcc = workload::findWorkload("gcc");
+    chip.assignWorkload(0, &gcc);
+    // Same run as BM_EngineStep with a flight recorder attached (and
+    // nothing else, so the wall-clock profiler stays off): the pair
+    // bounds the black-box overhead the docs quote.
+    obs::FlightRecorder flight(chip.coreCount());
+    for (auto _ : state) {
+        sim::SimEngine engine(&chip);
+        engine.setObservability({nullptr, nullptr, &flight});
+        benchmark::DoNotOptimize(engine.run(0.1).durationNs);
+    }
+    state.SetItemsProcessed(state.iterations() * 500); // steps per run
+    chip.clearAssignments();
+}
+BENCHMARK(BM_EngineStepFlightRecorder)->Unit(benchmark::kMicrosecond);
+
+void
 BM_SteadyStateSolve(benchmark::State &state)
 {
     chip::Chip &chip = referenceChip();

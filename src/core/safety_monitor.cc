@@ -86,7 +86,8 @@ SafetyMonitor::setObservability(const obs::Observability &sinks)
 }
 
 void
-SafetyMonitor::note(const char *transition, int core, double now_ns)
+SafetyMonitor::note(const char *transition, obs::FlightEventKind kind,
+                    int core, double now_ns)
 {
     if (obs_.metrics) {
         obs_.metrics
@@ -95,6 +96,8 @@ SafetyMonitor::note(const char *transition, int core, double now_ns)
     }
     if (obs_.trace)
         obs_.trace->instant(transition, traceTrack_, now_ns, core);
+    if (obs_.flight)
+        obs_.flight->record(core, kind, now_ns);
 }
 
 void
@@ -125,7 +128,7 @@ SafetyMonitor::quarantine(int core, double now_ns)
     cs.deadlineNs = now_ns + cs.backoffUs * 1e3;
     cs.insensitiveSamples = 0;
     ++counters_.quarantines;
-    note("quarantine", core, now_ns);
+    note("quarantine", obs::FlightEventKind::Quarantine, core, now_ns);
 }
 
 void
@@ -144,7 +147,7 @@ SafetyMonitor::escalate(int core, double now_ns)
     cs.deadlineNs = now_ns + cs.backoffUs * 1e3;
     cs.insensitiveSamples = 0;
     ++counters_.fallbacks;
-    note("fallback", core, now_ns);
+    note("fallback", obs::FlightEventKind::Fallback, core, now_ns);
 }
 
 void
@@ -228,7 +231,8 @@ SafetyMonitor::onSample(util::Nanoseconds now,
                     cs.degradedSinceNs = -1.0;
                 }
                 ++counters_.recoveries;
-                note("recovery", core, now_ns);
+                note("recovery", obs::FlightEventKind::Recovery,
+                     core, now_ns);
             }
         }
 
@@ -289,7 +293,8 @@ SafetyMonitor::onSample(util::Nanoseconds now,
 
         if (anomaly) {
             ++counters_.anomalies;
-            note("anomaly", core, now_ns);
+            note("anomaly", obs::FlightEventKind::Anomaly, core,
+                 now_ns);
             cs.insensitiveSamples = 0;
             demote(core, now_ns);
         }

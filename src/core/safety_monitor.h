@@ -147,8 +147,10 @@ class SafetyMonitor : public sim::EngineObserver
     void restartAtm(int core, int reduction);
     void markDegraded(CoreState &cs, double now_ns);
 
-    /** Count a state transition and trace it as an instant event. */
-    void note(const char *transition, int core, double now_ns);
+    /** Count a state transition, trace it as an instant event, and
+     *  log it to the flight recorder under the given event kind. */
+    void note(const char *transition, obs::FlightEventKind kind,
+              int core, double now_ns);
 
     chip::Chip *chip_;
     SafetyMonitorConfig config_;

@@ -78,6 +78,19 @@ saveCheckpoint(const std::string &dir, const CheckpointData &data)
             result.writeJson(json);
         json.endArray();
 
+        json.key("abandoned_partials").beginArray();
+        for (const AbandonedPartial &partial : data.abandonedPartials) {
+            json.beginObject();
+            json.field("shard", partial.shard);
+            json.field("worker", partial.worker);
+            json.field("pid", partial.pid);
+            json.field("chips_observed", partial.chipsObserved);
+            json.key("metrics");
+            partial.metrics.writeJson(json);
+            json.endObject();
+        }
+        json.endArray();
+
         json.endObject();
         os << '\n';
         os.flush();
@@ -151,6 +164,22 @@ parseCheckpoint(const util::JsonValue &doc)
             util::fatal("checkpoint: pending shard ", result.shard,
                         " inside the decided prefix");
         data.pending.push_back(std::move(result));
+    }
+
+    for (const util::JsonValue &value :
+         doc.at("abandoned_partials").asArray()) {
+        AbandonedPartial partial;
+        partial.shard = static_cast<long>(value.at("shard").asLong());
+        if (partial.shard < 0)
+            util::fatal("checkpoint: negative abandoned shard");
+        partial.worker =
+            static_cast<long>(value.at("worker").asLong());
+        partial.pid = static_cast<long>(value.at("pid").asLong());
+        partial.chipsObserved =
+            static_cast<long>(value.at("chips_observed").asLong());
+        partial.metrics =
+            obs::MetricsSnapshot::fromJson(value.at("metrics"));
+        data.abandonedPartials.push_back(std::move(partial));
     }
     return data;
 }

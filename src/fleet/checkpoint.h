@@ -35,7 +35,7 @@ namespace atmsim::fleet {
 
 /** Checkpoint schema identifier (bump on breaking changes). */
 inline constexpr const char *kCheckpointSchema =
-    "atmsim-fleet-ckpt-v1";
+    "atmsim-fleet-ckpt-v2";
 
 /** File name inside the checkpoint directory. */
 inline constexpr const char *kCheckpointFile = "fleet.ckpt.json";
@@ -58,6 +58,25 @@ struct CampaignFingerprint
                && seedBase == o.seedBase
                && robustSpread == o.robustSpread;
     }
+};
+
+/**
+ * The last streamed observation of a shard that was abandoned after
+ * exhausted retries. The shard's chips are lost to the campaign
+ * fold, but the worker streamed partial snapshots while it ran; this
+ * record preserves the final one so the manifest's
+ * `workers[].partial` section can report what was actually observed.
+ * Never folded into campaign metrics (that would break the bitwise
+ * serial-equivalence contract), but carried across checkpoints so a
+ * resumed degraded campaign stays honest.
+ */
+struct AbandonedPartial
+{
+    long shard = -1;
+    long worker = -1;       ///< Worker slot that last ran the shard.
+    long pid = 0;           ///< Pid of that worker (0 = unknown).
+    long chipsObserved = 0; ///< Chips finished before abandonment.
+    obs::MetricsSnapshot metrics;
 };
 
 /** The supervisor fold state a checkpoint freezes. */
@@ -85,6 +104,9 @@ struct CheckpointData
 
     /** Completed results buffered behind an undecided shard. */
     std::vector<ShardResult> pending;
+
+    /** In-flight obs state of abandoned shards, ascending by shard. */
+    std::vector<AbandonedPartial> abandonedPartials;
 };
 
 /** Outcome of a checkpoint load attempt. */

@@ -156,6 +156,54 @@ ShardResult::fromJson(const util::JsonValue &v)
     return result;
 }
 
+void
+ObsPayload::writeJson(util::JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("shard", shard);
+    json.field("seq", seq);
+    json.field("chips", chips);
+    json.field("spans_dropped", spansDropped);
+    json.key("spans").beginArray();
+    for (const obs::RemoteSpan &span : spans) {
+        json.beginObject();
+        json.field("name", span.name);
+        json.field("ts", span.tsUs);
+        json.field("dur", span.durUs);
+        json.field("t_ns", span.simNs);
+        json.field("value", span.arg);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("metrics");
+    metrics.writeJson(json);
+    json.endObject();
+}
+
+ObsPayload
+ObsPayload::fromJson(const util::JsonValue &v)
+{
+    ObsPayload payload;
+    payload.shard = static_cast<int>(v.at("shard").asLong());
+    if (payload.shard < 0)
+        util::fatal("obs payload: negative shard index");
+    payload.seq = static_cast<long>(v.at("seq").asLong());
+    payload.chips = static_cast<long>(v.at("chips").asLong());
+    payload.spansDropped =
+        static_cast<long>(v.at("spans_dropped").asLong());
+    for (const util::JsonValue &span : v.at("spans").asArray()) {
+        obs::RemoteSpan out;
+        out.name = span.at("name").asString();
+        out.tsUs = span.at("ts").asDouble();
+        out.durUs = span.at("dur").asDouble();
+        out.simNs = span.at("t_ns").asDouble();
+        out.arg = static_cast<long>(span.at("value").asLong());
+        payload.spans.push_back(std::move(out));
+    }
+    payload.metrics = obs::MetricsSnapshot::fromJson(v.at("metrics"));
+    return payload;
+}
+
 namespace {
 
 [[nodiscard]] const char *
@@ -165,6 +213,7 @@ typeName(Message::Type type)
       case Message::Type::Ready: return "ready";
       case Message::Type::Assign: return "assign";
       case Message::Type::Heartbeat: return "heartbeat";
+      case Message::Type::Obs: return "obs";
       case Message::Type::Result: return "result";
       case Message::Type::Exit: return "exit";
     }
@@ -191,6 +240,10 @@ Message::encode() const
           case Type::Heartbeat:
             json.field("shard", shard);
             json.field("chip", chip);
+            break;
+          case Type::Obs:
+            json.key("obs");
+            obs.writeJson(json);
             break;
           case Type::Result:
             json.key("result");
@@ -224,6 +277,10 @@ Message::decode(const std::string &line)
         msg.type = Type::Heartbeat;
         msg.shard = static_cast<int>(doc.at("shard").asLong());
         msg.chip = static_cast<int>(doc.at("chip").asLong());
+    } else if (name == "obs") {
+        msg.type = Type::Obs;
+        msg.obs = ObsPayload::fromJson(doc.at("obs"));
+        msg.shard = msg.obs.shard;
     } else if (name == "result") {
         msg.type = Type::Result;
         msg.result = ShardResult::fromJson(doc.at("result"));

@@ -15,6 +15,7 @@
  *   worker -> supervisor: ready                (idle, wants work)
  *   supervisor -> worker: assign shard k       (chip range + attempt)
  *   worker -> supervisor: heartbeat            (after every chip)
+ *   worker -> supervisor: obs                  (partial metrics + spans)
  *   worker -> supervisor: result               (chips + metric shard)
  *   supervisor -> worker: exit                 (campaign over)
  *
@@ -31,6 +32,7 @@
 
 #include "core/population.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atmsim::fleet {
 
@@ -95,10 +97,38 @@ struct ShardResult
     [[nodiscard]] static ShardResult fromJson(const util::JsonValue &v);
 };
 
+/**
+ * Periodic observability push from a worker: the running partial
+ * metrics snapshot of the shard in progress plus a bounded batch of
+ * phase spans recorded since the previous push. Purely advisory --
+ * the supervisor folds only final Result snapshots into campaign
+ * metrics, so losing or reordering obs messages can never change
+ * campaign outputs; their job is live visibility and the honest
+ * `workers[].partial` record when a shard is abandoned.
+ *
+ * Determinism-taint note: spans carry wall-clock values, but they are
+ * *stamped in the worker* (src/fleet/worker.cc) and only transported
+ * here; this file stays free of clock reads.
+ */
+struct ObsPayload
+{
+    int shard = -1;
+    long seq = 0;   ///< Message sequence within the shard attempt.
+    long chips = 0; ///< Chips finished so far in this shard.
+    obs::MetricsSnapshot metrics;       ///< Running partial snapshot.
+    std::vector<obs::RemoteSpan> spans; ///< Spans since the last push.
+    long spansDropped = 0; ///< Spans lost to the worker-side cap.
+
+    void writeJson(util::JsonWriter &json) const;
+
+    /** Throws on malformed input (supervisor treats as crash). */
+    [[nodiscard]] static ObsPayload fromJson(const util::JsonValue &v);
+};
+
 /** One protocol message, either direction. */
 struct Message
 {
-    enum class Type { Ready, Assign, Heartbeat, Result, Exit };
+    enum class Type { Ready, Assign, Heartbeat, Obs, Result, Exit };
 
     Type type = Type::Ready;
 
@@ -110,6 +140,9 @@ struct Message
 
     // Heartbeat field (chip index just finished).
     int chip = -1;
+
+    // Obs payload.
+    ObsPayload obs;
 
     // Result payload.
     ShardResult result;

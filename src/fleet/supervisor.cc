@@ -67,6 +67,15 @@ struct Fold
     long decidedSinceCheckpoint = 0;
     bool resumed = false;
 
+    /** Streamed spans of completed shards (forked mode only). */
+    std::map<long, obs::ProcessSpans> shardSpans;
+
+    /** Per-worker-slot observability (sized by the forked driver). */
+    std::vector<obs::WorkerManifest> workerSlots;
+
+    /** Last streamed observations of abandoned shards. */
+    std::vector<AbandonedPartial> abandonedPartials;
+
     explicit Fold(const FleetConfig &cfg)
         : config(cfg),
           shards(planShards(cfg.population.chipCount, cfg.shardSize))
@@ -154,6 +163,13 @@ struct Fold
         data.metrics = registry.snapshot();
         for (const auto &[shard, result] : pending)
             data.pending.push_back(result);
+        data.abandonedPartials = abandonedPartials;
+        std::sort(data.abandonedPartials.begin(),
+                  data.abandonedPartials.end(),
+                  [](const AbandonedPartial &a,
+                     const AbandonedPartial &b) {
+                      return a.shard < b.shard;
+                  });
         return data;
     }
 
@@ -199,6 +215,7 @@ struct Fold
         for (long i = 0; i < decided; ++i)
             chipsDone += shards[static_cast<std::size_t>(i)].chips();
         chipsDone -= chipsSkipped;
+        abandonedPartials = std::move(data.abandonedPartials);
         resumed = true;
     }
 
@@ -247,11 +264,24 @@ struct WorkerProc
     int msgFd = -1; ///< Read end (nonblocking), worker -> supervisor.
     std::unique_ptr<LineReader> reader;
     long shard = -1; ///< Assigned shard; -1 when idle.
+    int slot = -1;   ///< Index in the pool (stable across respawns).
     bool ready = false;
     Clock::time_point lastSeen;
 
     [[nodiscard]] bool alive() const { return pid >= 0; }
     [[nodiscard]] bool busy() const { return alive() && shard >= 0; }
+};
+
+/** In-flight obs stream of one assigned shard (forked driver). */
+struct LiveObs
+{
+    int slot = -1;  ///< Worker slot currently streaming the shard.
+    long pid = 0;   ///< Pid of that worker.
+    long chips = 0; ///< Chips finished so far (last push).
+    long messages = 0;
+    long spansDropped = 0;
+    std::vector<obs::RemoteSpan> spans;
+    obs::MetricsSnapshot metrics; ///< Last partial snapshot.
 };
 
 void
@@ -271,6 +301,12 @@ class ForkedDriver
         : config_(config), fold_(fold)
     {
         workers_.resize(static_cast<std::size_t>(config.workers));
+        fold.workerSlots.resize(
+            static_cast<std::size_t>(config.workers));
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            workers_[i].slot = static_cast<int>(i);
+            fold.workerSlots[i].worker = static_cast<long>(i);
+        }
         for (const ShardRange &shard : fold.shards) {
             if (fold.needsRun(shard.index))
                 runQueue_.push_back(shard.index);
@@ -385,14 +421,32 @@ class ForkedDriver
     recordFailure(long shard, const char *why)
     {
         const long attempt = attempts_[shard]++;
+        const auto live = liveObs_.find(shard);
         if (attempts_[shard] > config_.maxRetries) {
             util::warn("fleet: shard ", shard, " ", why, " on attempt ",
                        attempt, "; retries exhausted (",
                        config_.maxRetries,
                        "), abandoning its chips");
             fold_.abandoned.insert(shard);
+            // The shard's results are lost, but its last streamed
+            // partial snapshot is not: keep it for the manifest's
+            // workers[].partial record (and the checkpoint).
+            if (live != liveObs_.end()) {
+                AbandonedPartial partial;
+                partial.shard = shard;
+                partial.worker = live->second.slot;
+                partial.pid = live->second.pid;
+                partial.chipsObserved = live->second.chips;
+                partial.metrics = std::move(live->second.metrics);
+                fold_.abandonedPartials.push_back(std::move(partial));
+                liveObs_.erase(live);
+            }
             return;
         }
+        // A fresh attempt streams from scratch; stale partial state
+        // from the failed attempt must not leak into it.
+        if (live != liveObs_.end())
+            liveObs_.erase(live);
         const double backoff =
             std::min(config_.backoffSeconds
                          * std::pow(2.0, static_cast<double>(attempt)),
@@ -581,11 +635,33 @@ class ForkedDriver
                 break;
               case Message::Type::Heartbeat:
                 break;
+              case Message::Type::Obs:
+                // Advisory stream; a push for a shard this worker no
+                // longer owns (late flush across a reassignment) is
+                // simply ignored -- obs can never change campaign
+                // outputs.
+                if (msg.obs.shard == w.shard && w.slot >= 0) {
+                    LiveObs &live = liveObs_[w.shard];
+                    live.slot = w.slot;
+                    live.pid = static_cast<long>(w.pid);
+                    live.chips = msg.obs.chips;
+                    live.messages += 1;
+                    live.spansDropped = msg.obs.spansDropped;
+                    for (obs::RemoteSpan &span : msg.obs.spans)
+                        live.spans.push_back(std::move(span));
+                    live.metrics = std::move(msg.obs.metrics);
+                    obs::WorkerManifest &slot = fold_.workerSlots[
+                        static_cast<std::size_t>(w.slot)];
+                    slot.pid = static_cast<long>(w.pid);
+                    slot.obsMessages += 1;
+                }
+                break;
               case Message::Type::Result:
                 if (msg.result.shard != w.shard) {
                     failWorker(w, "answered for the wrong shard");
                     return;
                 }
+                finishObs(w);
                 fold_.complete(std::move(msg.result));
                 attempts_.erase(w.shard);
                 notBefore_.erase(w.shard);
@@ -607,6 +683,36 @@ class ForkedDriver
             if (shard >= 0)
                 recordFailure(shard, "crashed");
         }
+    }
+
+    /** A shard completed: move its streamed obs into the fold. */
+    void
+    finishObs(WorkerProc &w)
+    {
+        if (w.slot >= 0) {
+            obs::WorkerManifest &slot =
+                fold_.workerSlots[static_cast<std::size_t>(w.slot)];
+            slot.pid = static_cast<long>(w.pid);
+            slot.shardsCompleted += 1;
+        }
+        const auto it = liveObs_.find(w.shard);
+        if (it == liveObs_.end())
+            return;
+        if (w.slot >= 0) {
+            obs::WorkerManifest &slot =
+                fold_.workerSlots[static_cast<std::size_t>(w.slot)];
+            slot.chipsObserved += it->second.chips;
+            slot.spanEvents +=
+                static_cast<long>(it->second.spans.size());
+            slot.spansDropped += it->second.spansDropped;
+        }
+        obs::ProcessSpans spans;
+        spans.pid = it->second.pid;
+        spans.shard = static_cast<int>(w.shard);
+        spans.dropped = it->second.spansDropped;
+        spans.spans = std::move(it->second.spans);
+        fold_.shardSpans.emplace(w.shard, std::move(spans));
+        liveObs_.erase(it);
     }
 
     void
@@ -650,6 +756,7 @@ class ForkedDriver
     std::deque<long> runQueue_; ///< Undecided shards, ascending.
     std::map<long, long> attempts_; ///< Failures so far per shard.
     std::map<long, Clock::time_point> notBefore_; ///< Backoff gates.
+    std::map<long, LiveObs> liveObs_; ///< In-flight obs per shard.
 };
 
 #endif // ATMSIM_FLEET_POSIX
@@ -742,6 +849,45 @@ runFleetCampaign(const FleetConfig &config)
     for (const auto &[shard, count] : fold.retriesByShard)
         cov.shardRetries.emplace_back(shard, count);
     cov.failedShards = fold.failedShards;
+    cov.workersConfigured = config.workers;
+
+    // Merged-trace span batches, ascending by shard (map order).
+    for (auto &[shard, spans] : fold.shardSpans)
+        out.spanBatches.push_back(std::move(spans));
+
+    // workers[]: per-slot observability plus the partial records of
+    // abandoned shards, keyed by slot index. A resumed campaign may
+    // carry partials owned by slots of the previous process (or of a
+    // larger pool); synthetic entries keep those visible instead of
+    // dropping them.
+    std::map<long, obs::WorkerManifest> slots;
+    for (const obs::WorkerManifest &slot : fold.workerSlots)
+        slots.emplace(slot.worker, slot);
+    std::sort(fold.abandonedPartials.begin(),
+              fold.abandonedPartials.end(),
+              [](const AbandonedPartial &a, const AbandonedPartial &b) {
+                  return a.shard < b.shard;
+              });
+    std::map<long, obs::MetricsRegistry> partialRegs;
+    for (const AbandonedPartial &p : fold.abandonedPartials) {
+        obs::WorkerManifest &wm = slots[p.worker];
+        wm.worker = p.worker;
+        if (wm.pid == 0)
+            wm.pid = p.pid;
+        wm.partial.present = true;
+        wm.partial.shards.push_back(p.shard);
+        wm.partial.chipsObserved += p.chipsObserved;
+        // Partials fold per worker in shard order (the sort above),
+        // through the same histogram-layout machinery as campaign
+        // metrics -- but into a registry of their own, never the
+        // campaign fold.
+        partialRegs[p.worker].mergeFrom(p.metrics);
+    }
+    for (auto &[worker, wm] : slots) {
+        if (wm.partial.present)
+            wm.partial.metrics = partialRegs[worker].snapshot();
+        cov.workers.push_back(std::move(wm));
+    }
     return out;
 }
 

@@ -104,6 +104,17 @@ struct FleetResult
     /** Truthful coverage record (feeds the run manifest). */
     obs::FleetManifest coverage;
 
+    /**
+     * Streamed worker spans of completed shards, ascending by shard,
+     * spans in arrival (sequence) order -- ready for the merged
+     * Chrome trace's pid/tid lanes. Empty for in-process campaigns;
+     * a resumed campaign carries only the spans of shards completed
+     * after the resume (span batches are not checkpointed). The
+     * name/arg sequence is deterministic; wall-clock fields vary run
+     * to run like every other trace timestamp.
+     */
+    std::vector<obs::ProcessSpans> spanBatches;
+
     /** Stopped early by FleetConfig::haltAfterShards. */
     bool halted = false;
 };

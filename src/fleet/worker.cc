@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -60,6 +61,21 @@ runWorker(int cmdFd, int msgFd, const WorkerConfig &config)
                         " message from supervisor");
 
         bool pipeLost = false;
+        obs::MetricsRegistry metrics;
+
+        // Per-chip observability stream riding next to the
+        // heartbeats: a running partial metrics snapshot plus one
+        // wall-timed "fleet.chip" span. Spans are capped per shard
+        // attempt and the overflow is counted, never silent. The
+        // clock is read *here* -- the protocol layer stays free of
+        // wall-clock sources (determinism-taint contract).
+        constexpr long kMaxSpansPerShard = 1024;
+        long obsSeq = 0;
+        long chipsDone = 0;
+        long spansSent = 0;
+        long spansDropped = 0;
+        double chipStartNs = obs::monotonicWallNs();
+
         const auto chipDone = [&](int chip) {
             const int offset = chip - msg.beginChip;
             if (config.failInject.shouldFail(msg.shard, msg.attempt)
@@ -74,9 +90,31 @@ runWorker(int cmdFd, int msgFd, const WorkerConfig &config)
             beat.chip = chip;
             if (!writeAll(msgFd, beat.encode()))
                 pipeLost = true;
+
+            Message push;
+            push.type = Message::Type::Obs;
+            push.obs.shard = msg.shard;
+            push.obs.seq = obsSeq++;
+            push.obs.chips = ++chipsDone;
+            const double nowNs = obs::monotonicWallNs();
+            if (spansSent < kMaxSpansPerShard) {
+                obs::RemoteSpan span;
+                span.name = "fleet.chip";
+                span.tsUs = chipStartNs * 1e-3;
+                span.durUs = (nowNs - chipStartNs) * 1e-3;
+                span.arg = chip;
+                push.obs.spans.push_back(std::move(span));
+                ++spansSent;
+            } else {
+                ++spansDropped;
+            }
+            chipStartNs = nowNs;
+            push.obs.spansDropped = spansDropped;
+            push.obs.metrics = metrics.snapshot();
+            if (!writeAll(msgFd, push.encode()))
+                pipeLost = true;
         };
 
-        obs::MetricsRegistry metrics;
         Message result;
         result.type = Message::Type::Result;
         result.result.shard = msg.shard;

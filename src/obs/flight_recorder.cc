@@ -1,0 +1,175 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace atmsim::obs {
+
+namespace {
+
+// Indexed by FlightEventKind; order must match the enum.
+constexpr const char *kKindNames[kFlightEventKinds] = {
+    "margin",     "fmax",     "droop_enter", "droop_exit",
+    "violation",  "quarantine", "fallback",  "recovery",
+    "anomaly",    "fault_inject", "fault_revert",
+};
+
+} // namespace
+
+const char *
+flightEventKindName(FlightEventKind kind)
+{
+    // No panic here: this runs on the crash-dump signal path, where a
+    // corrupted slot must degrade to a sentinel, not a reentrant abort.
+    const auto i = static_cast<int>(kind);
+    if (i < 0 || i >= kFlightEventKinds)
+        return "unknown";
+    return kKindNames[i];
+}
+
+bool
+flightEventKindFromName(std::string_view name, FlightEventKind &out)
+{
+    for (int i = 0; i < kFlightEventKinds; ++i) {
+        if (name == kKindNames[i]) {
+            out = static_cast<FlightEventKind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+FlightRecorder::FlightRecorder(int cores, int perCoreCapacity)
+    : cores_(cores), capacity_(perCoreCapacity)
+{
+    if (cores_ <= 0)
+        util::fatal("FlightRecorder: cores must be positive, got ", cores_);
+    if (capacity_ <= 0)
+        util::fatal("FlightRecorder: capacity must be positive, got ",
+                    capacity_);
+    events_.resize(static_cast<std::size_t>(cores_) *
+                   static_cast<std::size_t>(capacity_));
+    next_ = std::vector<std::atomic<long>>(
+        static_cast<std::size_t>(cores_));
+}
+
+long
+FlightRecorder::totalEvents() const
+{
+    long total = 0;
+    for (const auto &n : next_)
+        total += n.load(std::memory_order_relaxed);
+    return total;
+}
+
+long
+FlightRecorder::wrappedEvents() const
+{
+    long wrapped = 0;
+    for (const auto &n : next_) {
+        const long seen = n.load(std::memory_order_relaxed);
+        wrapped += std::max(0L, seen - capacity_);
+    }
+    return wrapped;
+}
+
+void
+FlightRecorder::writeJson(std::ostream &os) const
+{
+    // Signal-safe by construction: atomic loads, preallocated slots,
+    // and the JsonWriter machinery already accepted on the bench
+    // handler path. No locks, no per-event allocation.
+    util::JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", kDumpSchema);
+    json.field("cores", static_cast<long>(cores_));
+    json.field("capacity", static_cast<long>(capacity_));
+    json.field("total_events", totalEvents());
+    json.field("wrapped_events", wrappedEvents());
+    json.field("dropped_events", droppedEvents());
+    json.key("cores_events");
+    json.beginArray();
+    for (int c = 0; c < cores_; ++c) {
+        const long seen =
+            next_[static_cast<std::size_t>(c)].load(
+                std::memory_order_relaxed);
+        if (seen == 0)
+            continue;
+        const long kept = std::min(seen, static_cast<long>(capacity_));
+        // Oldest retained event: sequence (seen - kept), which lives
+        // at slot (seen - kept) % capacity.
+        const long first = seen - kept;
+        json.beginObject();
+        json.field("core", static_cast<long>(c));
+        json.field("recorded", seen);
+        json.key("events");
+        json.beginArray();
+        for (long i = 0; i < kept; ++i) {
+            const long slot = (first + i) % capacity_;
+            const FlightEvent &ev =
+                events_[static_cast<std::size_t>(c) *
+                            static_cast<std::size_t>(capacity_) +
+                        static_cast<std::size_t>(slot)];
+            json.beginObject();
+            json.field("kind", flightEventKindName(ev.kind));
+            json.field("t_ns", ev.tNs);
+            json.field("value", static_cast<double>(ev.value));
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+void
+FlightRecorder::clear()
+{
+    for (auto &n : next_)
+        n.store(0, std::memory_order_relaxed);
+    for (auto &ev : events_)
+        ev = FlightEvent{};
+    dropped_.store(0, std::memory_order_relaxed);
+    dumpRequested_.store(false, std::memory_order_relaxed);
+}
+
+FlightRecorder::Dump
+FlightRecorder::Dump::fromJson(const util::JsonValue &value)
+{
+    if (const auto *schema = value.find("schema");
+        schema == nullptr || schema->asString() != kDumpSchema)
+        util::fatal("flight dump: missing or unknown schema");
+    Dump dump;
+    dump.cores = static_cast<int>(value.at("cores").asLong());
+    dump.capacity = static_cast<int>(value.at("capacity").asLong());
+    dump.totalEvents = static_cast<long>(value.at("total_events").asLong());
+    dump.wrappedEvents =
+        static_cast<long>(value.at("wrapped_events").asLong());
+    dump.droppedEvents =
+        static_cast<long>(value.at("dropped_events").asLong());
+    for (const auto &coreValue : value.at("cores_events").asArray()) {
+        DumpCore core;
+        core.core = static_cast<int>(coreValue.at("core").asLong());
+        core.recorded =
+            static_cast<long>(coreValue.at("recorded").asLong());
+        for (const auto &evValue : coreValue.at("events").asArray()) {
+            DumpEvent ev;
+            const std::string &kind = evValue.at("kind").asString();
+            if (!flightEventKindFromName(kind, ev.kind))
+                util::fatal("flight dump: unknown event kind '", kind,
+                            "'");
+            ev.tNs = evValue.at("t_ns").asDouble();
+            ev.value = evValue.at("value").asDouble();
+            core.events.push_back(ev);
+        }
+        dump.perCore.push_back(std::move(core));
+    }
+    return dump;
+}
+
+} // namespace atmsim::obs

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Per-core flight recorder: a fixed-size ring buffer of engine events
+ * (margin samples, fmax updates, droop edges, safety-monitor
+ * transitions, fault injections) recorded at O(1) cost and dumped as
+ * JSON after the fact.
+ *
+ * This is the post-mortem half of the observability story. Metrics
+ * aggregate, traces sample coarse phases, but when a droop race ends
+ * in a timing violation (paper Sec. III-B) the question is always
+ * "what were the last few hundred events on that core": the recorder
+ * keeps exactly that, per core, in preallocated storage, and writes
+ * the dump on violation, on crash (the bench signal path), or on
+ * request (`--flight-dump`).
+ *
+ * Recording is lock-free and allocation-free: each core owns a slice
+ * of one flat preallocated array plus an atomic monotonic sequence
+ * counter; a record() is one fetch_add and one slot store. Distinct
+ * cores may record concurrently; a single core follows the same
+ * single-writer contract as obs::Counter. Events that target an
+ * out-of-range core are counted in droppedEvents() instead of being
+ * silently discarded, and ring wrap-around is accounted in
+ * wrappedEvents() (the no-silent-caps rule).
+ *
+ * Determinism: events carry simulation time only -- no wall clock --
+ * so same-seed runs produce byte-identical dumps.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace atmsim::util {
+class JsonValue;
+}
+
+namespace atmsim::obs {
+
+/** What happened; one byte wide so events stay 16 bytes. */
+enum class FlightEventKind : std::uint8_t {
+    Margin,      ///< Worst CPM count sampled at stats cadence.
+    Fmax,        ///< Effective core frequency (GHz) at stats cadence.
+    DroopEnter,  ///< Core voltage fell below the droop threshold.
+    DroopExit,   ///< Core voltage recovered above the threshold.
+    Violation,   ///< Timing margin violated (value = deficit ps).
+    Quarantine,  ///< Safety monitor quarantined the core.
+    Fallback,    ///< Safety monitor entered fallback mode.
+    Recovery,    ///< Safety monitor recovered the core.
+    Anomaly,     ///< Safety monitor flagged a sensor anomaly.
+    FaultInject, ///< Campaign fault activated (value = fault index).
+    FaultRevert, ///< Campaign fault expired (value = fault index).
+};
+
+/** Number of distinct event kinds. */
+inline constexpr int kFlightEventKinds = 11;
+
+/**
+ * Printable (and parseable) kind name, e.g. "droop_enter". Returns
+ * "unknown" for an out-of-range value: this runs on the crash-dump
+ * signal path, so it degrades instead of aborting.
+ */
+[[nodiscard]] const char *flightEventKindName(FlightEventKind kind);
+
+/**
+ * Parse a kind name written by flightEventKindName(). Returns false
+ * (leaving `out` untouched) for unknown names.
+ */
+[[nodiscard]] bool flightEventKindFromName(std::string_view name,
+                                           FlightEventKind &out);
+
+/** One recorded event. Sim-time only; 16 bytes. */
+struct FlightEvent
+{
+    double tNs = 0.0; ///< Simulation time of the event.
+    float value = 0.0F;
+    std::int16_t core = 0;
+    FlightEventKind kind = FlightEventKind::Margin;
+};
+
+/**
+ * Fixed-size per-core event ring.
+ *
+ * Capacity is fixed at construction (cores x perCoreCapacity slots,
+ * preallocated); record() never allocates, never locks, and never
+ * fails -- old events are overwritten oldest-first and the overwrite
+ * count is kept. writeJson() is safe to call from the bench signal
+ * path: it reads atomics and preallocated slots only.
+ */
+class FlightRecorder
+{
+  public:
+    /** Schema tag stamped into every dump. */
+    static constexpr const char *kDumpSchema = "atmsim-flight-v1";
+
+    FlightRecorder(int cores, int perCoreCapacity = 256);
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /**
+     * Record one event on `core` at simulation time `t_ns`. O(1),
+     * lock-free, allocation-free. Out-of-range cores increment
+     * droppedEvents() instead.
+     */
+    void
+    record(int core, FlightEventKind kind, double t_ns,
+           double value = 0.0) noexcept
+    {
+        if (core < 0 || core >= cores_) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        const long seq = next_[static_cast<std::size_t>(core)].fetch_add(
+            1, std::memory_order_relaxed);
+        FlightEvent &slot =
+            events_[static_cast<std::size_t>(core) *
+                        static_cast<std::size_t>(capacity_) +
+                    static_cast<std::size_t>(seq % capacity_)];
+        slot.tNs = t_ns;
+        slot.value = static_cast<float>(value);
+        slot.core = static_cast<std::int16_t>(core);
+        slot.kind = kind;
+    }
+
+    /** Ask the owner to dump at the next output point. */
+    void
+    requestDump() noexcept
+    {
+        dumpRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once requestDump() fired (sticky until clear()). */
+    [[nodiscard]] bool
+    dumpRequested() const noexcept
+    {
+        return dumpRequested_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] int cores() const { return cores_; }
+    [[nodiscard]] int perCoreCapacity() const { return capacity_; }
+
+    /** Events ever recorded (excluding dropped ones). */
+    [[nodiscard]] long totalEvents() const;
+
+    /** Events overwritten by ring wrap-around. */
+    [[nodiscard]] long wrappedEvents() const;
+
+    /** Events rejected for an out-of-range core index. */
+    [[nodiscard]] long
+    droppedEvents() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Write the dump as one JSON document: header counters plus, per
+     * core, the retained events oldest-first. Signal-safe by the
+     * bench handler's documented trade: no locks, no allocation
+     * beyond the shared JsonWriter machinery already accepted on
+     * that path.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Forget everything (events, counters, dump request). */
+    void clear();
+
+    // --- Parsed dump (tests / tooling) ---------------------------------
+
+    /** One event as read back from a dump. */
+    struct DumpEvent
+    {
+        double tNs = 0.0;
+        double value = 0.0;
+        FlightEventKind kind = FlightEventKind::Margin;
+    };
+
+    /** One core's retained window, oldest-first. */
+    struct DumpCore
+    {
+        int core = 0;
+        long recorded = 0; ///< Events ever recorded on this core.
+        std::vector<DumpEvent> events;
+    };
+
+    /** A whole dump as read back from JSON. */
+    struct Dump
+    {
+        int cores = 0;
+        int capacity = 0;
+        long totalEvents = 0;
+        long wrappedEvents = 0;
+        long droppedEvents = 0;
+        std::vector<DumpCore> perCore;
+
+        /**
+         * Parse a document written by writeJson(). Throws
+         * (util::JsonTypeError / util::FatalError) on structural
+         * violations.
+         */
+        [[nodiscard]] static Dump fromJson(const util::JsonValue &value);
+    };
+
+  private:
+    int cores_;
+    int capacity_;
+    std::vector<FlightEvent> events_;
+    std::vector<std::atomic<long>> next_;
+    std::atomic<long> dropped_{0};
+    std::atomic<bool> dumpRequested_{false};
+};
+
+} // namespace atmsim::obs

@@ -64,6 +64,20 @@ RunManifest::writeJson(std::ostream &os) const
 #else
     json.field("assertions", true);
 #endif
+    // Configure-time git stamp (src/obs/CMakeLists.txt); absent in
+    // builds without git metadata.
+#if defined(ATMSIM_GIT_COMMIT)
+    json.field("git_commit", ATMSIM_GIT_COMMIT);
+    json.field("git_dirty", ATMSIM_GIT_DIRTY != 0);
+#else
+    json.key("git_commit").nullValue();
+    json.key("git_dirty").nullValue();
+#endif
+    if (jobsRequested > 0)
+        json.field("jobs_requested", jobsRequested);
+    else
+        json.key("jobs_requested").nullValue();
+    json.field("jobs_resolved", jobs);
     json.endObject();
 
     json.field("wall_seconds", wallSeconds);
@@ -110,6 +124,33 @@ RunManifest::writeJson(std::ostream &os) const
         json.key("failed_shards").beginArray();
         for (const long shard : fleet.failedShards)
             json.value(shard);
+        json.endArray();
+        json.field("workers_configured", fleet.workersConfigured);
+        json.key("workers").beginArray();
+        for (const WorkerManifest &w : fleet.workers) {
+            json.beginObject();
+            json.field("worker", w.worker);
+            json.field("pid", w.pid);
+            json.field("shards_completed", w.shardsCompleted);
+            json.field("chips_observed", w.chipsObserved);
+            json.field("obs_messages", w.obsMessages);
+            json.field("span_events", w.spanEvents);
+            json.field("spans_dropped", w.spansDropped);
+            if (w.partial.present) {
+                json.key("partial").beginObject();
+                json.key("shards").beginArray();
+                for (const long shard : w.partial.shards)
+                    json.value(shard);
+                json.endArray();
+                json.field("chips_observed", w.partial.chipsObserved);
+                json.key("metrics");
+                w.partial.metrics.writeJson(json);
+                json.endObject();
+            } else {
+                json.key("partial").nullValue();
+            }
+            json.endObject();
+        }
         json.endArray();
         json.endObject();
     }

@@ -31,7 +31,38 @@
 namespace atmsim::obs {
 
 /** Manifest schema identifier (bump on breaking changes). */
-inline constexpr const char *kManifestSchema = "atmsim-run-manifest-v1";
+inline constexpr const char *kManifestSchema = "atmsim-run-manifest-v2";
+
+/**
+ * Last-streamed observations of shards a worker slot abandoned. When
+ * retries are exhausted (or a worker is SIGKILLed and never retried)
+ * the shard's results are lost to the campaign fold -- but the
+ * worker streamed periodic partial snapshots while it ran, and this
+ * block preserves the last one per shard so degraded campaigns
+ * report what was actually observed instead of silently dropping it.
+ * Kept separate from the campaign metrics: folding partials into the
+ * main registry would break the bitwise serial-equivalence contract.
+ */
+struct WorkerPartialManifest
+{
+    bool present = false;
+    std::vector<long> shards; ///< Abandoned shards, ascending.
+    long chipsObserved = 0;   ///< Chips observed before abandonment.
+    MetricsSnapshot metrics;  ///< Folded last partial snapshots.
+};
+
+/** Observability record of one fleet worker slot. */
+struct WorkerManifest
+{
+    long worker = 0;          ///< Worker slot index.
+    long pid = 0;             ///< Last pid in the slot (0 = unknown).
+    long shardsCompleted = 0; ///< Shards this slot folded.
+    long chipsObserved = 0;   ///< Chips streamed via obs messages.
+    long obsMessages = 0;     ///< Obs messages received.
+    long spanEvents = 0;      ///< Spans merged into the fleet trace.
+    long spansDropped = 0;    ///< Spans dropped at the worker's cap.
+    WorkerPartialManifest partial;
+};
 
 /**
  * Coverage record of a fleet campaign (bench/fleet_study). The
@@ -59,6 +90,12 @@ struct FleetManifest
 
     /** Indices of shards abandoned after exhausted retries. */
     std::vector<long> failedShards;
+
+    /** Worker processes requested (--workers; 0 = in-process). */
+    long workersConfigured = 0;
+
+    /** Per-worker-slot observability, ordered by slot index. */
+    std::vector<WorkerManifest> workers;
 };
 
 /** Provenance + performance record of one run. */
@@ -78,6 +115,14 @@ struct RunManifest
      * outputs are jobs-invariant, wall-clock fields are not.
      */
     int jobs = 1;
+
+    /**
+     * The --jobs value as given on the command line, before the
+     * harness resolved a default; 0 when the flag was absent (the
+     * manifest then reports null) so a reader can tell "asked for 2"
+     * from "defaulted to 2 on a 2-way machine".
+     */
+    int jobsRequested = 0;
 
     /** Command-line arguments (without argv[0]). */
     std::vector<std::string> args;

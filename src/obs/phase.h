@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -101,9 +102,26 @@ struct Observability
 {
     MetricsRegistry *metrics = nullptr;
     TraceCollector *trace = nullptr;
+    FlightRecorder *flight = nullptr;
 
-    [[nodiscard]]
-    bool any() const { return metrics != nullptr || trace != nullptr; }
+    [[nodiscard]] bool
+    any() const
+    {
+        return metrics != nullptr || trace != nullptr || flight != nullptr;
+    }
+
+    /**
+     * True when a backend that charges wall-clock reads is attached.
+     * The flight recorder records sim time only, so attaching it
+     * alone must not enable the phase profiler's clock reads (that
+     * is what keeps the recorder-on engine step inside its overhead
+     * budget).
+     */
+    [[nodiscard]] bool
+    wantsWallClock() const
+    {
+        return metrics != nullptr || trace != nullptr;
+    }
 };
 
 } // namespace atmsim::obs

@@ -103,7 +103,15 @@ void
 TraceCollector::writeChromeTrace(std::ostream &os) const
 {
     util::MutexLock lock(mu_);
-    writeChromeTraceLocked(os);
+    writeChromeTraceLocked(os, nullptr);
+}
+
+void
+TraceCollector::writeChromeTrace(
+    std::ostream &os, const std::vector<ProcessSpans> &workers) const
+{
+    util::MutexLock lock(mu_);
+    writeChromeTraceLocked(os, &workers);
 }
 
 bool
@@ -112,12 +120,24 @@ TraceCollector::tryWriteChromeTrace(std::ostream &os) const
     if (!mu_.tryLock())
         return false;
     util::MutexLock lock(mu_, util::AdoptLock{});
-    writeChromeTraceLocked(os);
+    writeChromeTraceLocked(os, nullptr);
+    return true;
+}
+
+bool
+TraceCollector::tryWriteChromeTrace(
+    std::ostream &os, const std::vector<ProcessSpans> &workers) const
+{
+    if (!mu_.tryLock())
+        return false;
+    util::MutexLock lock(mu_, util::AdoptLock{});
+    writeChromeTraceLocked(os, &workers);
     return true;
 }
 
 void
-TraceCollector::writeChromeTraceLocked(std::ostream &os) const
+TraceCollector::writeChromeTraceLocked(
+    std::ostream &os, const std::vector<ProcessSpans> *workers) const
 {
     util::JsonWriter json(os);
     json.beginObject();
@@ -166,11 +186,51 @@ TraceCollector::writeChromeTraceLocked(std::ostream &os) const
         }
         json.endObject();
     }
+
+    // Worker pid lanes of a merged fleet trace. Timestamps arrive as
+    // absolute monotonic microseconds and are re-based onto this
+    // collector's epoch; names stay static / preallocated so this
+    // remains usable from the try-lock signal path.
+    long workerDropped = 0;
+    if (workers != nullptr) {
+        for (const ProcessSpans &w : *workers) {
+            workerDropped += w.dropped;
+            json.beginObject();
+            json.field("ph", "M");
+            json.field("pid", w.pid);
+            json.field("tid", w.shard);
+            json.field("name", "process_name");
+            json.key("args").beginObject();
+            json.field("name", "atmsim worker");
+            json.endObject();
+            json.endObject();
+            for (const RemoteSpan &span : w.spans) {
+                json.beginObject();
+                json.field("name", span.name);
+                json.field("ph", "X");
+                json.field("pid", w.pid);
+                json.field("tid", w.shard);
+                json.field("ts", span.tsUs - epochNs_ * 1e-3);
+                json.field("dur", span.durUs);
+                if (span.simNs >= 0.0 || span.arg >= 0) {
+                    json.key("args").beginObject();
+                    if (span.simNs >= 0.0)
+                        json.field("t_ns", span.simNs);
+                    if (span.arg >= 0)
+                        json.field("value", span.arg);
+                    json.endObject();
+                }
+                json.endObject();
+            }
+        }
+    }
     json.endArray();
     json.field("displayTimeUnit", "ms");
     if (dropped_ > 0)
         json.field("droppedEvents",
                    static_cast<long>(dropped_));
+    if (workerDropped > 0)
+        json.field("workerDroppedSpans", workerDropped);
     json.endObject();
 }
 

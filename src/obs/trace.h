@@ -54,6 +54,33 @@ struct TraceEvent
 };
 
 /**
+ * One span received from another process (a fleet worker). Unlike
+ * TraceEvent, the name is owned: it crossed a pipe, so there is no
+ * static storage to point at. Timestamps are *absolute* monotonic
+ * wall microseconds (monotonicWallNs() * 1e-3 in the recording
+ * process); the collector aligns them to its own epoch at write
+ * time, which is valid because steady_clock is machine-wide and
+ * forked workers share it with the supervisor.
+ */
+struct RemoteSpan
+{
+    std::string name;
+    double tsUs = 0.0;   ///< Absolute monotonic wall microseconds.
+    double durUs = 0.0;
+    double simNs = -1.0; ///< Simulation time arg (< 0: omitted).
+    long arg = -1;       ///< Generic integer arg (< 0: omitted).
+};
+
+/** The spans of one worker process, rendered as their own pid lane. */
+struct ProcessSpans
+{
+    long pid = 0;  ///< Real worker pid (the trace pid lane).
+    int shard = 0; ///< Shard index (the tid lane within the pid).
+    long dropped = 0; ///< Spans the worker dropped at its cap.
+    std::vector<RemoteSpan> spans;
+};
+
+/**
  * Buffers trace events and writes chrome://tracing JSON.
  *
  * Thread safety: every member that mutates or reads the buffer is
@@ -96,6 +123,16 @@ class TraceCollector
     void writeChromeTrace(std::ostream &os) const;
 
     /**
+     * Same, merged with per-process worker spans: each ProcessSpans
+     * becomes a real pid lane (tid = shard index), timestamps
+     * aligned to this collector's epoch. Workers must be ordered by
+     * the caller (the supervisor sorts by shard), which keeps the
+     * merged document's event sequence deterministic.
+     */
+    void writeChromeTrace(std::ostream &os,
+                          const std::vector<ProcessSpans> &workers) const;
+
+    /**
      * Non-blocking serialization for signal/crash paths: try the
      * lock once, write on success. Returns false without touching
      * `os` when the collector is locked by the interrupted thread --
@@ -103,12 +140,18 @@ class TraceCollector
      */
     [[nodiscard]] bool tryWriteChromeTrace(std::ostream &os) const;
 
+    /** Non-blocking merged serialization (see above). */
+    [[nodiscard]] bool
+    tryWriteChromeTrace(std::ostream &os,
+                        const std::vector<ProcessSpans> &workers) const;
+
     /** Drop buffered events; track registrations are kept. */
     void clear();
 
   private:
-    void writeChromeTraceLocked(std::ostream &os) const
-        ATM_REQUIRES(mu_);
+    void writeChromeTraceLocked(std::ostream &os,
+                                const std::vector<ProcessSpans> *workers)
+        const ATM_REQUIRES(mu_);
 
     const double epochNs_;
     const std::size_t maxEvents_;

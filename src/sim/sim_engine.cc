@@ -39,6 +39,14 @@ const char *const kPhaseNames[kPhaseCount] = {
     "engine.violation_check", "engine.stats_sample",
 };
 
+/**
+ * A core counts as drooping while its rail sits this far below its
+ * DC operating point. The paper's Sec. III-B droop races live in the
+ * tens-of-mV band; 30 mV marks the excursions big enough to matter
+ * without flooding the flight recorder with supply ripple.
+ */
+constexpr double kFlightDroopThresholdV = 0.03;
+
 /** Metric instruments the engine updates, resolved once per run. */
 struct EngineMetrics
 {
@@ -182,12 +190,16 @@ SimEngine::run(double duration_us)
     util::Rng rng(config_.seed);
     const double run_start_wall_ns = obs::monotonicWallNs();
 
-    // --- Observability wiring (all optional).
+    // --- Observability wiring (all optional). The profiler charges
+    // two clock reads per phase, so it keys off the backends that
+    // consume wall time -- a flight-recorder-only attachment stays on
+    // the sim-time-only fast path.
     obs::PhaseProfiler profiler(
         std::vector<const char *>(kPhaseNames,
                                   kPhaseNames + kPhaseCount),
-        obs_.any());
+        obs_.wantsWallClock());
     EngineMetrics met(obs_.metrics);
+    obs::FlightRecorder *const flight = obs_.flight;
     PhaseSpanFlusher spans(obs_.trace, profiler);
     int trk_violations = 0;
     int trk_faults = 0;
@@ -292,6 +304,7 @@ SimEngine::run(double duration_us)
     std::vector<Amps> instant_current(static_cast<std::size_t>(n),
                                       Amps{0.0});
     std::vector<char> in_violation(static_cast<std::size_t>(n), 0);
+    std::vector<char> in_droop(static_cast<std::size_t>(n), 0);
     std::vector<CoreSample> frame(static_cast<std::size_t>(n));
     util::Rng fail_rng = rng.fork(0xfa11);
 
@@ -332,6 +345,11 @@ SimEngine::run(double duration_us)
                                         now_ns,
                                         static_cast<long>(f));
                 }
+                if (flight && campaign_->spec(f).core >= 0) {
+                    flight->record(campaign_->spec(f).core,
+                                   obs::FlightEventKind::FaultInject,
+                                   now_ns, static_cast<double>(f));
+                }
             }
             fault_edges.clear();
             campaign_->collectExpirations(now_ns, fault_edges);
@@ -343,6 +361,11 @@ SimEngine::run(double duration_us)
                     obs_.trace->instant("fault.revert", trk_faults,
                                         now_ns,
                                         static_cast<long>(f));
+                }
+                if (flight && campaign_->spec(f).core >= 0) {
+                    flight->record(campaign_->spec(f).core,
+                                   obs::FlightEventKind::FaultRevert,
+                                   now_ns, static_cast<double>(f));
                 }
             }
             profiler.end(kPhaseFaults, t0);
@@ -407,6 +430,30 @@ SimEngine::run(double duration_us)
         chip.pdn().step(dt_step, instant_current, uncore_current);
         profiler.end(kPhasePdn, t0);
 
+        // Flight-recorder droop edges: one event per excursion below
+        // the DC operating point, one on recovery. Edge-triggered so
+        // a sustained droop costs two ring slots, not one per step.
+        if (flight) {
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                const double v = chip.pdn().coreV(c).value();
+                const double limit = steady.coreVoltageV[ci].value()
+                                     - kFlightDroopThresholdV;
+                if (v < limit) {
+                    if (!in_droop[ci]) {
+                        in_droop[ci] = 1;
+                        flight->record(
+                            c, obs::FlightEventKind::DroopEnter,
+                            now_ns, v);
+                    }
+                } else if (in_droop[ci]) {
+                    in_droop[ci] = 0;
+                    flight->record(c, obs::FlightEventKind::DroopExit,
+                                   now_ns, v);
+                }
+            }
+        }
+
         // Per-core ATM control loops (cores are independent within a
         // step, so the control advance and the timing race can run as
         // separate passes and be profiled as distinct phases).
@@ -470,6 +517,14 @@ SimEngine::run(double duration_us)
                     obs_.trace->instant("violation", trk_violations,
                                         now_ns, c);
                 }
+                if (flight) {
+                    flight->record(c, obs::FlightEventKind::Violation,
+                                   now_ns, ev.deficitPs);
+                    // A timing violation is exactly what the black
+                    // box exists for: latch the dump request so the
+                    // session flushes the ring even on a clean exit.
+                    flight->requestDump();
+                }
                 if (result.violations.size() < kMaxStoredViolations)
                     result.violations.push_back(ev);
                 else
@@ -508,13 +563,24 @@ SimEngine::run(double duration_us)
                                    ? v.value()
                                    : std::min(cs.minVoltageV,
                                               v.value());
-                    if (met.voltage) {
-                        met.voltage->record(v.value());
-                        met.freq->record(f.value());
+                    if (met.voltage || flight) {
                         const int worst =
                             chip.core(c).lastWorstCount();
-                        if (worst >= 0)
-                            met.cpmWorst->record(worst);
+                        if (met.voltage) {
+                            met.voltage->record(v.value());
+                            met.freq->record(f.value());
+                            if (worst >= 0)
+                                met.cpmWorst->record(worst);
+                        }
+                        if (flight) {
+                            flight->record(
+                                c, obs::FlightEventKind::Fmax,
+                                now_ns, f.value());
+                            if (worst >= 0)
+                                flight->record(
+                                    c, obs::FlightEventKind::Margin,
+                                    now_ns, worst);
+                        }
                     }
                 }
                 chip_power += core_power[ci].value();

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/population.h"
+#include "fleet/protocol.h"
+#include "fleet/supervisor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace atmsim::fleet {
+namespace {
+
+FleetConfig
+smallCampaign()
+{
+    FleetConfig config;
+    config.population.chipCount = 8;
+    config.population.seedBase = 900;
+    config.shardSize = 3;
+    config.backoffSeconds = 0.01;
+    return config;
+}
+
+std::string
+metricsDoc(const obs::MetricsSnapshot &metrics)
+{
+    std::ostringstream os;
+    {
+        util::JsonWriter json(os);
+        metrics.writeJson(json);
+    }
+    return os.str();
+}
+
+obs::MetricsSnapshot
+sampleSnapshot()
+{
+    obs::MetricsRegistry registry;
+    registry.counter("engine.steps").inc(42);
+    registry.counter("engine.violations").inc(2);
+    return registry.snapshot();
+}
+
+TEST(ObsStream, ObsMessageRoundTripsOneLine)
+{
+    Message push;
+    push.type = Message::Type::Obs;
+    push.obs.shard = 5;
+    push.obs.seq = 3;
+    push.obs.chips = 2;
+    push.obs.spansDropped = 1;
+    push.obs.metrics = sampleSnapshot();
+    obs::RemoteSpan span;
+    span.name = "fleet.chip";
+    span.tsUs = 1234.5;
+    span.durUs = 17.25;
+    span.arg = 11;
+    push.obs.spans.push_back(span);
+
+    const std::string wire = push.encode();
+    EXPECT_EQ(wire.find('\n'), wire.size() - 1) << "one line only";
+    const Message back =
+        Message::decode(wire.substr(0, wire.size() - 1));
+    EXPECT_EQ(back.type, Message::Type::Obs);
+    EXPECT_EQ(back.shard, 5);
+    EXPECT_EQ(back.obs.shard, 5);
+    EXPECT_EQ(back.obs.seq, 3);
+    EXPECT_EQ(back.obs.chips, 2);
+    EXPECT_EQ(back.obs.spansDropped, 1);
+    EXPECT_TRUE(back.obs.metrics == push.obs.metrics);
+    ASSERT_EQ(back.obs.spans.size(), 1u);
+    EXPECT_EQ(back.obs.spans[0].name, "fleet.chip");
+    EXPECT_DOUBLE_EQ(back.obs.spans[0].tsUs, 1234.5);
+    EXPECT_DOUBLE_EQ(back.obs.spans[0].durUs, 17.25);
+    EXPECT_EQ(back.obs.spans[0].arg, 11);
+}
+
+TEST(ObsStream, AggregatedSnapshotIsWorkerCountInvariant)
+{
+    // The tentpole contract extended to the obs stream: turning on
+    // worker streaming must leave the aggregated snapshot exactly the
+    // in-process bytes at every worker count.
+    const FleetResult serial = runFleetCampaign(smallCampaign());
+    const std::string reference = metricsDoc(serial.metrics);
+    EXPECT_TRUE(serial.spanBatches.empty())
+        << "in-process campaigns have no worker spans";
+    for (const int workers : {1, 2, 4}) {
+        FleetConfig config = smallCampaign();
+        config.workers = workers;
+        const FleetResult result = runFleetCampaign(config);
+        EXPECT_EQ(metricsDoc(result.metrics), reference)
+            << workers << " workers";
+    }
+}
+
+TEST(ObsStream, WorkerRecordsAccountEveryChipAndSpan)
+{
+    FleetConfig config = smallCampaign();
+    config.workers = 2;
+    const FleetResult result = runFleetCampaign(config);
+    const obs::FleetManifest &cov = result.coverage;
+    EXPECT_EQ(cov.workersConfigured, 2);
+    ASSERT_EQ(cov.workers.size(), 2u);
+
+    long shards = 0;
+    long chips = 0;
+    long spans = 0;
+    long dropped = 0;
+    for (const obs::WorkerManifest &w : cov.workers) {
+        EXPECT_GE(w.worker, 0);
+        EXPECT_GT(w.pid, 0);
+        EXPECT_GE(w.obsMessages, w.chipsObserved)
+            << "one push per finished chip, at minimum";
+        EXPECT_FALSE(w.partial.present);
+        shards += w.shardsCompleted;
+        chips += w.chipsObserved;
+        spans += w.spanEvents;
+        dropped += w.spansDropped;
+    }
+    EXPECT_EQ(shards, cov.shardsCompleted);
+    EXPECT_EQ(chips, cov.chipsDone);
+    EXPECT_EQ(spans + dropped, cov.chipsDone)
+        << "every chip becomes a span or a counted drop";
+}
+
+TEST(ObsStream, SpanBatchesAscendByShardWithStableContent)
+{
+    FleetConfig config = smallCampaign();
+    config.workers = 3;
+    const FleetResult result = runFleetCampaign(config);
+    ASSERT_EQ(result.spanBatches.size(),
+              static_cast<std::size_t>(
+                  result.coverage.shardsCompleted));
+    long previous = -1;
+    std::size_t spanTotal = 0;
+    for (const obs::ProcessSpans &batch : result.spanBatches) {
+        EXPECT_GT(batch.shard, previous) << "ascending shard order";
+        previous = batch.shard;
+        EXPECT_GT(batch.pid, 0);
+        long chip = -1;
+        for (const obs::RemoteSpan &span : batch.spans) {
+            EXPECT_EQ(span.name, "fleet.chip");
+            EXPECT_GT(span.arg, chip)
+                << "chips stream in population order";
+            chip = span.arg;
+            EXPECT_GE(span.durUs, 0.0);
+        }
+        spanTotal += batch.spans.size();
+    }
+    EXPECT_EQ(spanTotal,
+              static_cast<std::size_t>(result.coverage.chipsDone));
+}
+
+TEST(ObsStream, MergedTraceCarriesOneLanePerWorkerProcess)
+{
+    FleetConfig config = smallCampaign();
+    config.workers = 2;
+    const FleetResult result = runFleetCampaign(config);
+
+    obs::TraceCollector collector;
+    collector.instant("supervisor.done", collector.track("fleet"),
+                      1.0, 0);
+    std::ostringstream os;
+    collector.writeChromeTrace(os, result.spanBatches);
+    const util::JsonValue doc = util::JsonValue::parse(os.str());
+
+    std::set<long> lanePids;
+    std::size_t workerSpans = 0;
+    for (const util::JsonValue &event :
+         doc.at("traceEvents").asArray()) {
+        const std::string &phase = event.at("ph").asString();
+        if (phase == "M") {
+            if (event.at("name").asString() == "process_name")
+                lanePids.insert(event.at("pid").asLong());
+        } else if (phase == "X") {
+            EXPECT_EQ(event.at("name").asString(), "fleet.chip");
+            ++workerSpans;
+        }
+    }
+    std::set<long> expectedPids;
+    for (const obs::ProcessSpans &batch : result.spanBatches)
+        expectedPids.insert(batch.pid);
+    // The supervisor's own metadata lane plus one lane per worker pid.
+    EXPECT_EQ(lanePids.size(), expectedPids.size() + 1);
+    for (const long pid : expectedPids)
+        EXPECT_TRUE(lanePids.count(pid)) << "missing lane " << pid;
+    EXPECT_EQ(workerSpans,
+              static_cast<std::size_t>(result.coverage.chipsDone));
+}
+
+TEST(ObsStream, AbandonedShardKeepsItsLastPartialSnapshot)
+{
+    FleetConfig config = smallCampaign();
+    config.workers = 2;
+    config.maxRetries = 1;
+    // Crash on the shard's second chip, every attempt: one chip's
+    // partial snapshot has always streamed when the worker dies.
+    config.failInject =
+        FailInject::parse("shard=1,chip=1,times=9,mode=exit");
+    const FleetResult result = runFleetCampaign(config);
+    ASSERT_EQ(result.coverage.shardsFailed, 1);
+
+    int partials = 0;
+    for (const obs::WorkerManifest &w : result.coverage.workers) {
+        if (!w.partial.present)
+            continue;
+        ++partials;
+        ASSERT_EQ(w.partial.shards.size(), 1u);
+        EXPECT_EQ(w.partial.shards[0], 1);
+        EXPECT_EQ(w.partial.chipsObserved, 1)
+            << "one chip finished before the fatal one";
+        EXPECT_FALSE(w.partial.metrics == obs::MetricsSnapshot{})
+            << "the streamed snapshot survives the abandonment";
+    }
+    EXPECT_EQ(partials, 1);
+
+    // The partial is advisory: campaign metrics still equal the
+    // degraded fold of the surviving shards only.
+    FleetConfig degraded = smallCampaign();
+    degraded.workers = 2;
+    degraded.maxRetries = 1;
+    degraded.failInject =
+        FailInject::parse("shard=1,chip=0,times=9,mode=exit");
+    const FleetResult sibling = runFleetCampaign(degraded);
+    EXPECT_EQ(metricsDoc(result.metrics),
+              metricsDoc(sibling.metrics));
+}
+
+} // namespace
+} // namespace atmsim::fleet

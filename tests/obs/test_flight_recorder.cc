@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "util/json_reader.h"
+#include "util/logging.h"
+
+namespace atmsim::obs {
+namespace {
+
+/** Dump the ring and read it straight back through util/json_reader. */
+FlightRecorder::Dump
+roundTrip(const FlightRecorder &flight)
+{
+    std::ostringstream os;
+    flight.writeJson(os);
+    return FlightRecorder::Dump::fromJson(
+        util::JsonValue::parse(os.str()));
+}
+
+TEST(FlightRecorder, RecordsPerCoreOldestFirst)
+{
+    FlightRecorder flight(3, 8);
+    flight.record(0, FlightEventKind::Fmax, 10.0, 4000.0);
+    flight.record(2, FlightEventKind::DroopEnter, 11.0, 1.21);
+    flight.record(0, FlightEventKind::Margin, 12.0, 5.0);
+    flight.record(2, FlightEventKind::DroopExit, 13.0, 1.25);
+
+    EXPECT_EQ(flight.totalEvents(), 4);
+    EXPECT_EQ(flight.wrappedEvents(), 0);
+    EXPECT_EQ(flight.droppedEvents(), 0);
+
+    const FlightRecorder::Dump dump = roundTrip(flight);
+    EXPECT_EQ(dump.cores, 3);
+    EXPECT_EQ(dump.capacity, 8);
+    EXPECT_EQ(dump.totalEvents, 4);
+    // Core 1 recorded nothing and is omitted from the dump.
+    ASSERT_EQ(dump.perCore.size(), 2u);
+
+    const FlightRecorder::DumpCore &core0 = dump.perCore[0];
+    EXPECT_EQ(core0.core, 0);
+    EXPECT_EQ(core0.recorded, 2);
+    ASSERT_EQ(core0.events.size(), 2u);
+    EXPECT_EQ(core0.events[0].kind, FlightEventKind::Fmax);
+    EXPECT_DOUBLE_EQ(core0.events[0].tNs, 10.0);
+    EXPECT_DOUBLE_EQ(core0.events[0].value, 4000.0);
+    EXPECT_EQ(core0.events[1].kind, FlightEventKind::Margin);
+
+    const FlightRecorder::DumpCore &core2 = dump.perCore[1];
+    EXPECT_EQ(core2.core, 2);
+    ASSERT_EQ(core2.events.size(), 2u);
+    EXPECT_EQ(core2.events[0].kind, FlightEventKind::DroopEnter);
+    EXPECT_EQ(core2.events[1].kind, FlightEventKind::DroopExit);
+}
+
+TEST(FlightRecorder, WrapKeepsNewestAndAccountsOverwrites)
+{
+    FlightRecorder flight(1, 4);
+    for (int i = 0; i < 10; ++i) {
+        flight.record(0, FlightEventKind::Margin,
+                      static_cast<double>(i), i);
+    }
+    EXPECT_EQ(flight.totalEvents(), 10);
+    EXPECT_EQ(flight.wrappedEvents(), 6);
+
+    const FlightRecorder::Dump dump = roundTrip(flight);
+    EXPECT_EQ(dump.wrappedEvents, 6);
+    ASSERT_EQ(dump.perCore.size(), 1u);
+    EXPECT_EQ(dump.perCore[0].recorded, 10);
+    // The retained window is the newest `capacity` events,
+    // oldest-first: 6, 7, 8, 9.
+    ASSERT_EQ(dump.perCore[0].events.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(
+            dump.perCore[0].events[static_cast<std::size_t>(i)].tNs,
+            static_cast<double>(6 + i));
+    }
+}
+
+TEST(FlightRecorder, OutOfRangeCoreIsCountedNotWritten)
+{
+    FlightRecorder flight(2, 4);
+    flight.record(-1, FlightEventKind::Violation, 1.0);
+    flight.record(2, FlightEventKind::Violation, 2.0);
+    flight.record(1, FlightEventKind::Violation, 3.0);
+    EXPECT_EQ(flight.droppedEvents(), 2);
+    EXPECT_EQ(flight.totalEvents(), 1);
+    const FlightRecorder::Dump dump = roundTrip(flight);
+    EXPECT_EQ(dump.droppedEvents, 2);
+    EXPECT_EQ(dump.totalEvents, 1);
+}
+
+TEST(FlightRecorder, SameEventSequenceDumpsByteIdentical)
+{
+    // The determinism contract: sim-time-only payloads mean two
+    // recorders fed the same sequence serialize identically.
+    const auto run = [] {
+        FlightRecorder flight(4, 16);
+        for (int i = 0; i < 40; ++i) {
+            flight.record(i % 4,
+                          i % 2 == 0 ? FlightEventKind::Fmax
+                                     : FlightEventKind::Margin,
+                          0.2 * i, 3.7 * i);
+        }
+        std::ostringstream os;
+        flight.writeJson(os);
+        return os.str();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(FlightRecorder, DumpRequestIsStickyUntilClear)
+{
+    FlightRecorder flight(1, 4);
+    EXPECT_FALSE(flight.dumpRequested());
+    flight.requestDump();
+    EXPECT_TRUE(flight.dumpRequested());
+    EXPECT_TRUE(flight.dumpRequested());
+    flight.record(0, FlightEventKind::Fmax, 1.0, 1.0);
+    flight.clear();
+    EXPECT_FALSE(flight.dumpRequested());
+    EXPECT_EQ(flight.totalEvents(), 0);
+    EXPECT_EQ(flight.droppedEvents(), 0);
+}
+
+TEST(FlightRecorder, KindNamesRoundTrip)
+{
+    for (int i = 0; i < kFlightEventKinds; ++i) {
+        const auto kind = static_cast<FlightEventKind>(i);
+        FlightEventKind parsed = FlightEventKind::Margin;
+        ASSERT_TRUE(flightEventKindFromName(flightEventKindName(kind),
+                                            parsed))
+            << flightEventKindName(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    FlightEventKind unused = FlightEventKind::Margin;
+    EXPECT_FALSE(flightEventKindFromName("warp_core_breach", unused));
+}
+
+TEST(FlightRecorder, RejectsNonsenseGeometry)
+{
+    EXPECT_THROW(FlightRecorder(0, 4), util::FatalError);
+    EXPECT_THROW(FlightRecorder(4, 0), util::FatalError);
+}
+
+TEST(FlightRecorder, DumpParserRejectsWrongSchema)
+{
+    EXPECT_THROW(
+        (void)FlightRecorder::Dump::fromJson(util::JsonValue::parse(
+            R"({"schema":"atmsim-flight-v9","cores":1,"capacity":1,)"
+            R"("total_events":0,"wrapped_events":0,)"
+            R"("dropped_events":0,"cores_events":[]})")),
+        util::FatalError);
+}
+
+} // namespace
+} // namespace atmsim::obs

@@ -59,6 +59,80 @@ TEST(RunManifest, JsonCarriesSchemaAndProvenance)
     EXPECT_NE(out.find("\"metrics\":{"), std::string::npos);
 }
 
+TEST(RunManifest, BuildBlockRecordsJobResolution)
+{
+    RunManifest m;
+    m.tool = "tool";
+    m.jobs = 8;
+    {
+        std::ostringstream os;
+        m.writeJson(os);
+        // No --jobs flag: the request is null, the resolution is not.
+        EXPECT_NE(os.str().find("\"jobs_requested\":null"),
+                  std::string::npos);
+        EXPECT_NE(os.str().find("\"jobs_resolved\":8"),
+                  std::string::npos);
+    }
+    m.jobsRequested = 8;
+    {
+        std::ostringstream os;
+        m.writeJson(os);
+        EXPECT_NE(os.str().find("\"jobs_requested\":8"),
+                  std::string::npos);
+    }
+    // The configure-time git stamp is present either way: a real
+    // sha/dirty pair, or an explicit null pair.
+    std::ostringstream os;
+    m.writeJson(os);
+    EXPECT_NE(os.str().find("\"git_commit\":"), std::string::npos);
+    EXPECT_NE(os.str().find("\"git_dirty\":"), std::string::npos);
+}
+
+TEST(RunManifest, FleetWorkersBlockSerializesPartials)
+{
+    RunManifest m;
+    m.tool = "tool";
+    FleetManifest fleet;
+    fleet.present = true;
+    fleet.shardsTotal = 3;
+    fleet.shardsCompleted = 2;
+    fleet.shardsFailed = 1;
+    fleet.failedShards = {1};
+    fleet.workersConfigured = 2;
+
+    WorkerManifest clean;
+    clean.worker = 0;
+    clean.pid = 101;
+    clean.shardsCompleted = 2;
+    clean.chipsObserved = 6;
+    clean.obsMessages = 6;
+    clean.spanEvents = 6;
+    fleet.workers.push_back(clean);
+
+    WorkerManifest lossy;
+    lossy.worker = 1;
+    lossy.pid = 102;
+    lossy.partial.present = true;
+    lossy.partial.shards = {1};
+    lossy.partial.chipsObserved = 1;
+    MetricsRegistry reg;
+    reg.counter("engine.steps").inc(7);
+    lossy.partial.metrics = reg.snapshot();
+    fleet.workers.push_back(lossy);
+
+    m.fleet = fleet;
+    std::ostringstream os;
+    m.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"workers_configured\":2"), std::string::npos);
+    EXPECT_NE(out.find("\"partial\":null"), std::string::npos);
+    EXPECT_NE(out.find("\"partial\":{\"shards\":[1]"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"engine.steps\":{\"kind\":\"counter\","
+                       "\"value\":7}"),
+              std::string::npos);
+}
+
 TEST(RunManifest, EmptyChipAndCampaignSerializeAsNull)
 {
     RunManifest m;

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Validate an atmsim run-provenance manifest.
 
-Structural validation of the `atmsim-run-manifest-v1` schema written
+Structural validation of the `atmsim-run-manifest-v2` schema written
 by obs::RunManifest::writeJson (documented in docs/OBSERVABILITY.md):
 required keys, value types, and internal consistency (phase entries,
-metric snapshot entries, counter values). Pure stdlib so it runs in
-CI without extra packages.
+metric snapshot entries, counter values, build provenance, fleet
+worker records). Pure stdlib so it runs in CI without extra packages.
 
 Usage: validate_manifest.py <manifest.json> [...]
 Exit status is nonzero when any manifest fails validation.
@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA = "atmsim-run-manifest-v1"
+SCHEMA = "atmsim-run-manifest-v2"
 
 NUMBER = (int, float)
 
@@ -99,6 +99,64 @@ def validate_metric(name: str, entry: dict) -> None:
         )
 
 
+def validate_build(build: dict) -> None:
+    require(isinstance(build, dict), "build is not an object")
+    commit = check_type(build, "git_commit", str, allow_none=True)
+    require("git_dirty" in build, "missing required key 'git_dirty'")
+    dirty = build["git_dirty"]
+    require(
+        dirty is None or isinstance(dirty, bool),
+        "build.git_dirty is neither a boolean nor null",
+    )
+    require(
+        (commit is None) == (dirty is None),
+        "build: git_commit and git_dirty must be set (or null) "
+        "together",
+    )
+    if commit is not None:
+        require(
+            len(commit) == 40
+            and all(c in "0123456789abcdef" for c in commit),
+            "build.git_commit is not a 40-digit hex sha",
+        )
+    requested = check_type(build, "jobs_requested", int, allow_none=True)
+    require(
+        requested is None or requested >= 1,
+        "build.jobs_requested must be >= 1 when present",
+    )
+    resolved = check_type(build, "jobs_resolved", int)
+    require(resolved >= 1, "build.jobs_resolved must be >= 1")
+    require(
+        requested is None or requested == resolved,
+        "build: an explicit --jobs request must equal jobs_resolved",
+    )
+
+
+def validate_worker(worker: dict, where: str) -> None:
+    require(isinstance(worker, dict), f"{where}: not an object")
+    for key in ("worker", "pid", "shards_completed", "chips_observed",
+                "obs_messages", "span_events", "spans_dropped"):
+        value = check_type(worker, key, int)
+        require(value >= 0, f"{where}.{key} is negative")
+    require("partial" in worker, f"{where}: missing 'partial'")
+    partial = worker["partial"]
+    if partial is None:
+        return
+    require(isinstance(partial, dict), f"{where}.partial: not an object")
+    shards = check_type(partial, "shards", list)
+    require(
+        all(isinstance(s, int) and not isinstance(s, bool) and s >= 0
+            for s in shards),
+        f"{where}.partial.shards contains invalid shard indices",
+    )
+    require(len(shards) >= 1, f"{where}.partial lists no shards")
+    chips = check_type(partial, "chips_observed", int)
+    require(chips >= 0, f"{where}.partial.chips_observed is negative")
+    metrics = check_type(partial, "metrics", dict)
+    for name, entry in metrics.items():
+        validate_metric(f"{where}.partial:{name}", entry)
+
+
 def validate_fleet(fleet: dict) -> None:
     require(isinstance(fleet, dict), "fleet is not an object")
     for key in ("shards_total", "shards_completed", "shards_failed",
@@ -142,6 +200,29 @@ def validate_fleet(fleet: dict) -> None:
         f"fleet: failed_shards lists {len(failed)} shards but "
         f"shards_failed says {fleet['shards_failed']}",
     )
+    configured = check_type(fleet, "workers_configured", int)
+    require(configured >= 0, "fleet.workers_configured is negative")
+    workers = check_type(fleet, "workers", list)
+    seen = set()
+    partial_shards = []
+    for i, worker in enumerate(workers):
+        validate_worker(worker, f"fleet.workers[{i}]")
+        slot = worker["worker"]
+        require(
+            slot not in seen,
+            f"fleet.workers lists slot {slot} twice",
+        )
+        seen.add(slot)
+        if worker["partial"] is not None:
+            partial_shards.extend(worker["partial"]["shards"])
+    require(
+        len(partial_shards) == len(set(partial_shards)),
+        "fleet: a shard appears in more than one workers[].partial",
+    )
+    require(
+        all(s in failed for s in partial_shards),
+        "fleet: workers[].partial covers a shard not in failed_shards",
+    )
 
 
 def validate_manifest(manifest: dict) -> None:
@@ -171,7 +252,7 @@ def validate_manifest(manifest: dict) -> None:
         all(isinstance(v, str) for v in config.values()),
         "config contains non-string values",
     )
-    check_type(manifest, "build", dict)
+    validate_build(check_type(manifest, "build", dict))
     wall = check_type(manifest, "wall_seconds", NUMBER)
     require(wall >= 0, "negative wall_seconds")
 
