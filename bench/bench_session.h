@@ -373,6 +373,7 @@ class BenchSession
      * *try*-acquired, so a signal landing while the interrupted
      * thread holds one skips that section instead of deadlocking.
      */
+    // atmlint: contract(signal_handler)
     static void
     onSignal(int sig)
     {

@@ -110,6 +110,28 @@ BM_EngineStepFlightRecorder(benchmark::State &state)
 BENCHMARK(BM_EngineStepFlightRecorder)->Unit(benchmark::kMicrosecond);
 
 void
+BM_EngineStepMetrics(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    const auto &gcc = workload::findWorkload("gcc");
+    chip.assignWorkload(0, &gcc);
+    // Metrics-registry-attached run: pins the cost of the counter
+    // paths the hot-path contract polices (safety-monitor and
+    // governor handles are pre-resolved in setObservability, so the
+    // step loop sees plain increments, never a name lookup).
+    obs::MetricsRegistry metrics;
+    for (auto _ : state) {
+        sim::SimEngine engine(&chip);
+        engine.setObservability({&metrics, nullptr, nullptr});
+        benchmark::DoNotOptimize(engine.run(0.1).durationNs);
+    }
+    state.SetItemsProcessed(state.iterations() * 500); // steps per run
+    chip.clearAssignments();
+}
+BENCHMARK(BM_EngineStepMetrics)->Unit(benchmark::kMicrosecond);
+
+void
 BM_SteadyStateSolve(benchmark::State &state)
 {
     chip::Chip &chip = referenceChip();

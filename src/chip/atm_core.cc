@@ -59,6 +59,7 @@ AtmCore::resetClock(Volts v, Celsius t)
     lastWorstCount_ = -1;
 }
 
+// atmlint: contract(engine_step)
 void
 AtmCore::stepControl(Nanoseconds now, Volts v, Celsius t)
 {
@@ -79,6 +80,7 @@ AtmCore::stepControl(Nanoseconds now, Volts v, Celsius t)
     dpll_.observe(now, margin);
 }
 
+// atmlint: contract(engine_step)
 bool
 AtmCore::timingMet(Volts v, Celsius t, Picoseconds extra_path,
                    Picoseconds noise) const

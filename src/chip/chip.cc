@@ -132,6 +132,8 @@ Chip::pathExposurePs(const variation::CoreSiliconParams &core,
     }
 }
 
+// Iterative DC settle, run once before the engine's step loop.
+// atmlint: contract(cold)
 ChipSteadyState
 Chip::solveSteadyState() const
 {

@@ -85,17 +85,25 @@ Governor::setObservability(const obs::Observability &sinks)
     obs_ = sinks;
     if (obs_.trace)
         traceTrack_ = obs_.trace->track("governor");
+    appliesCounter_ = nullptr;
+    for (int p = 0; p < kGovernorPolicyCount; ++p)
+        policyCounters_[p] = nullptr;
+    if (obs_.metrics) {
+        appliesCounter_ = &obs_.metrics->counter("governor.applies");
+        for (int p = 0; p < kGovernorPolicyCount; ++p) {
+            policyCounters_[p] = &obs_.metrics->counter(
+                std::string("governor.apply.")
+                + governorPolicyName(static_cast<GovernorPolicy>(p)));
+        }
+    }
 }
 
 void
 Governor::apply(GovernorPolicy policy, const workload::WorkloadTraits *app)
 {
-    if (obs_.metrics) {
-        obs_.metrics->counter("governor.applies").inc();
-        obs_.metrics
-            ->counter(std::string("governor.apply.")
-                      + governorPolicyName(policy))
-            .inc();
+    if (appliesCounter_) {
+        appliesCounter_->inc();
+        policyCounters_[static_cast<int>(policy)]->inc();
     }
     if (obs_.trace) {
         obs_.trace->instant(governorPolicyName(policy), traceTrack_,

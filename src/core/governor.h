@@ -34,6 +34,9 @@ enum class GovernorPolicy {
     Conservative,
 };
 
+/** Number of deployment policies (for per-policy tables). */
+inline constexpr int kGovernorPolicyCount = 5;
+
 /** Printable policy name. */
 [[nodiscard]] const char *governorPolicyName(GovernorPolicy policy);
 
@@ -85,6 +88,11 @@ class Governor
     int rollback_;
     obs::Observability obs_;
     int traceTrack_ = -1;
+
+    // Counters resolved once in setObservability so apply() never
+    // forms a metric name (registry lookups allocate and lock).
+    obs::Counter *appliesCounter_ = nullptr;
+    obs::Counter *policyCounters_[kGovernorPolicyCount] = {};
 };
 
 } // namespace atmsim::core

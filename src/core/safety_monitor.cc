@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <string>
 
 #include "circuit/constants.h"
 #include "util/logging.h"
@@ -83,17 +82,28 @@ SafetyMonitor::setObservability(const obs::Observability &sinks)
     obs_ = sinks;
     traceTrack_ =
         obs_.trace ? obs_.trace->track("safety_monitor") : -1;
+    quarantineCounter_ = nullptr;
+    fallbackCounter_ = nullptr;
+    recoveryCounter_ = nullptr;
+    anomalyCounter_ = nullptr;
+    if (obs_.metrics) {
+        quarantineCounter_ =
+            &obs_.metrics->counter("safety_monitor.quarantine");
+        fallbackCounter_ =
+            &obs_.metrics->counter("safety_monitor.fallback");
+        recoveryCounter_ =
+            &obs_.metrics->counter("safety_monitor.recovery");
+        anomalyCounter_ =
+            &obs_.metrics->counter("safety_monitor.anomaly");
+    }
 }
 
 void
-SafetyMonitor::note(const char *transition, obs::FlightEventKind kind,
-                    int core, double now_ns)
+SafetyMonitor::note(obs::Counter *counter, const char *transition,
+                    obs::FlightEventKind kind, int core, double now_ns)
 {
-    if (obs_.metrics) {
-        obs_.metrics
-            ->counter(std::string("safety_monitor.") + transition)
-            .inc();
-    }
+    if (counter)
+        counter->inc();
     if (obs_.trace)
         obs_.trace->instant(transition, traceTrack_, now_ns, core);
     if (obs_.flight)
@@ -128,7 +138,8 @@ SafetyMonitor::quarantine(int core, double now_ns)
     cs.deadlineNs = now_ns + cs.backoffUs * 1e3;
     cs.insensitiveSamples = 0;
     ++counters_.quarantines;
-    note("quarantine", obs::FlightEventKind::Quarantine, core, now_ns);
+    note(quarantineCounter_, "quarantine",
+         obs::FlightEventKind::Quarantine, core, now_ns);
 }
 
 void
@@ -147,7 +158,8 @@ SafetyMonitor::escalate(int core, double now_ns)
     cs.deadlineNs = now_ns + cs.backoffUs * 1e3;
     cs.insensitiveSamples = 0;
     ++counters_.fallbacks;
-    note("fallback", obs::FlightEventKind::Fallback, core, now_ns);
+    note(fallbackCounter_, "fallback", obs::FlightEventKind::Fallback,
+         core, now_ns);
 }
 
 void
@@ -178,6 +190,8 @@ SafetyMonitor::demote(int core, double now_ns)
     }
 }
 
+// The violation callback runs inside the engine's timing-race pass.
+// atmlint: contract(engine_step)
 bool
 SafetyMonitor::onViolation(const sim::ViolationEvent &event)
 {
@@ -185,6 +199,8 @@ SafetyMonitor::onViolation(const sim::ViolationEvent &event)
     return true;
 }
 
+// Runs every stats cadence inside the step loop.
+// atmlint: contract(engine_step)
 void
 SafetyMonitor::onSample(util::Nanoseconds now,
                         const std::vector<sim::CoreSample> &cores)
@@ -231,8 +247,8 @@ SafetyMonitor::onSample(util::Nanoseconds now,
                     cs.degradedSinceNs = -1.0;
                 }
                 ++counters_.recoveries;
-                note("recovery", obs::FlightEventKind::Recovery,
-                     core, now_ns);
+                note(recoveryCounter_, "recovery",
+                     obs::FlightEventKind::Recovery, core, now_ns);
             }
         }
 
@@ -293,8 +309,8 @@ SafetyMonitor::onSample(util::Nanoseconds now,
 
         if (anomaly) {
             ++counters_.anomalies;
-            note("anomaly", obs::FlightEventKind::Anomaly, core,
-                 now_ns);
+            note(anomalyCounter_, "anomaly",
+                 obs::FlightEventKind::Anomaly, core, now_ns);
             cs.insensitiveSamples = 0;
             demote(core, now_ns);
         }

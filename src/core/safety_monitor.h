@@ -147,10 +147,11 @@ class SafetyMonitor : public sim::EngineObserver
     void restartAtm(int core, int reduction);
     void markDegraded(CoreState &cs, double now_ns);
 
-    /** Count a state transition, trace it as an instant event, and
-     *  log it to the flight recorder under the given event kind. */
-    void note(const char *transition, obs::FlightEventKind kind,
-              int core, double now_ns);
+    /** Count a state transition on its pre-resolved counter, trace
+     *  it as an instant event, and log it to the flight recorder
+     *  under the given event kind. */
+    void note(obs::Counter *counter, const char *transition,
+              obs::FlightEventKind kind, int core, double now_ns);
 
     chip::Chip *chip_;
     SafetyMonitorConfig config_;
@@ -159,6 +160,15 @@ class SafetyMonitor : public sim::EngineObserver
 
     obs::Observability obs_;
     int traceTrack_ = -1;
+
+    // Transition counters resolved once in setObservability: note()
+    // runs inside the engine's step loop, where a registry lookup
+    // (name formation, map probe under the registry mutex) is off
+    // contract.
+    obs::Counter *quarantineCounter_ = nullptr;
+    obs::Counter *fallbackCounter_ = nullptr;
+    obs::Counter *recoveryCounter_ = nullptr;
+    obs::Counter *anomalyCounter_ = nullptr;
 };
 
 } // namespace atmsim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "circuit/constants.h"
+#include "util/hotpath_annotations.h"
 #include "util/logging.h"
 
 namespace atmsim::cpm {
@@ -102,6 +103,7 @@ Cpm::outputCount(Picoseconds period, Volts v, Celsius t) const
     return outputCount(period, model_->factor(v, t));
 }
 
+ATM_HOT_PATH(engine_step)
 int
 Cpm::outputCount(Picoseconds period, double delay_factor) const
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "circuit/constants.h"
+#include "util/hotpath_annotations.h"
 #include "util/logging.h"
 
 namespace atmsim::cpm {
@@ -38,6 +39,7 @@ CpmBank::setReduction(CpmSteps steps)
     reduction_ = steps;
 }
 
+ATM_HOT_PATH(engine_step)
 int
 CpmBank::worstCount(Picoseconds period, Volts v, Celsius t) const
 {

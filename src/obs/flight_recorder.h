@@ -106,6 +106,7 @@ class FlightRecorder
      * lock-free, allocation-free. Out-of-range cores increment
      * droppedEvents() instead.
      */
+    // atmlint: contract(flight_record)
     void
     record(int core, FlightEventKind kind, double t_ns,
            double value = 0.0) noexcept

@@ -79,7 +79,9 @@ class PhaseProfiler
         return wallNs_[phase] - prev_ns;
     }
 
-    /** All phases, in registration order. */
+    /** All phases, in registration order. Teardown-only: runs after
+     *  the step loop has finished. */
+    // atmlint: contract(cold)
     [[nodiscard]] std::vector<PhaseStat>
     snapshot() const
     {

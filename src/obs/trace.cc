@@ -27,6 +27,9 @@ TraceCollector::TraceCollector(std::size_t max_events)
     trackIndex_.emplace("main", 0);
 }
 
+// Track registration happens at attach/setup time; steady-state
+// emitters cache the returned id.
+// atmlint: contract(cold)
 int
 TraceCollector::track(const std::string &name)
 {

@@ -68,6 +68,9 @@ struct EngineMetrics
     obs::Histogram *deficit = nullptr;
     obs::Histogram *cpmWorst = nullptr;
 
+    // Instrument resolution runs once per run(), before the step
+    // loop starts; its lookups and allocations are off the hot path.
+    // atmlint: contract(cold)
     explicit EngineMetrics(obs::MetricsRegistry *reg)
     {
         if (!reg)
@@ -111,6 +114,8 @@ struct EngineMetrics
 class PhaseSpanFlusher
 {
   public:
+    // Track resolution happens once, outside the step loop.
+    // atmlint: contract(cold)
     PhaseSpanFlusher(obs::TraceCollector *trace,
                      const obs::PhaseProfiler &profiler)
         : trace_(trace), profiler_(profiler)
@@ -182,6 +187,12 @@ SimEngine::eventCurrentFor(const variation::CoreSiliconParams &core,
     return droop_v * swing / gain_v_per_a;
 }
 
+// The step loop sits under the engine_step hot-path contract: at a
+// 0.2 ns dt a millisecond of sim time is five million iterations, so
+// nothing reachable from here may allocate, lock, stream, or read a
+// wall clock (per-run setup that must do those things is carved out
+// with contract(cold) markers on the helpers above).
+// atmlint: contract(engine_step)
 RunResult
 SimEngine::run(double duration_us)
 {

@@ -31,6 +31,9 @@ TelemetryRecorder::record(util::Nanoseconds now, int core,
     series_[ci].push_back({now, freq, v});
 }
 
+// Pre-loop callback: reserves the series once per run so the
+// per-sample record() appends stay allocation-free.
+// atmlint: contract(cold)
 void
 TelemetryRecorder::onRunStart(std::size_t expected_samples)
 {

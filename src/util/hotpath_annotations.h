@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hot-path contract annotations, consumed by atmlint's `hot-path`
+ * check (tools/atmlint/checks/hot_path.py).
+ *
+ * A *contract profile* names a set of operations forbidden in the
+ * transitive call closure of an annotated root function:
+ *
+ *   - `engine_step`: the per-step simulation loop (SimEngine::run's
+ *     inner loop and everything it calls each step).  The fault
+ *     campaign manifest pins `engine.atm_loop` at ~73% of wall time;
+ *     a stray allocation, blocking lock, wall-clock read, or virtual
+ *     dispatch here silently erases any SoA-refactor win.  Forbids
+ *     heap allocation, blocking locks, I/O, wall-clock/unseeded RNG
+ *     reads, and virtual dispatch.  Throwing (`util::fatal`,
+ *     `throw`, `.at()`) is *allowed*: precondition guards abort on
+ *     programmer error and cost nothing untaken.
+ *   - `signal_handler`: the async-signal path (BenchSession's
+ *     SIGINT/SIGTERM handler).  signal-safety already polices
+ *     allocation/stdio there with a documented best-effort-flush
+ *     baseline; this profile enforces the half that was "genuinely
+ *     fixed" in that trade -- no blocking lock acquisition (try-lock
+ *     is fine) -- plus no RNG.
+ *   - `flight_record`: FlightRecorder::record and friends -- the
+ *     strictest tier.  Documented as O(1), lock-free and
+ *     allocation-free; the contract adds no-throw, no-I/O, no
+ *     clock/RNG, no virtual dispatch.
+ *   - `cold`: the inverse marker.  A function called from a hot root
+ *     but provably once-per-run (metric handle resolution in a
+ *     run()-scope constructor, span flushers) is a closure *stop*:
+ *     the walk does not descend into it.  Use sparingly and only
+ *     with a justification comment.
+ *
+ * Two spellings attach a profile to a definition:
+ *
+ *   ATM_HOT_PATH(engine_step)
+ *   void MyClass::step() { ... }
+ *
+ * or, when a macro on the definition reads poorly (constructors,
+ * out-of-class template definitions):
+ *
+ *   // atmlint: contract(engine_step)
+ *   void MyClass::step() { ... }
+ *
+ * Both expand to nothing in C++ -- the contract lives entirely in
+ * the linter, so annotating costs zero codegen and zero runtime.
+ * See docs/STATIC_ANALYSIS.md for the full profile table.
+ */
+
+#pragma once
+
+/** Attach a hot-path contract profile to the following definition. */
+#define ATM_HOT_PATH(profile)

@@ -148,6 +148,9 @@ buildCatalog()
 
 } // namespace
 
+// The catalog is built once (static local); later calls only
+// return the reference.
+// atmlint: contract(cold)
 const std::vector<WorkloadTraits> &
 allWorkloads()
 {

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Negative fixture for the interprocedural `hot-path` check: the
+ * annotated engine_step root reaches an allocating callee two call
+ * hops down (root -> refreshState -> growHistory), exactly the case
+ * nothing in the type system catches. Never compiled.
+ */
+
+#include <vector>
+
+#include "util/hotpath_annotations.h"
+
+namespace atmsim::lintfixture {
+
+struct StepState
+{
+    std::vector<double> history;
+};
+
+void
+growHistory(StepState &state, double v)
+{
+    state.history.push_back(v); // hot-alloc, two hops below the root
+}
+
+void
+refreshState(StepState &state, double v)
+{
+    growHistory(state, v * 0.5);
+}
+
+// atmlint: contract(engine_step)
+double
+stepOnce(StepState &state, double v)
+{
+    refreshState(state, v);
+    return v * 2.0;
+}
+
+} // namespace atmsim::lintfixture

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Clean counterpart of hotpath_bad.cc for the interprocedural
+ * `hot-path` check: an annotated engine_step root whose transitive
+ * closure is pure arithmetic, a contract(cold) helper that allocates
+ * legally (closure stop), and a signal_handler root whose lock use
+ * is the accepted try-acquire + adopt pattern. Never compiled.
+ */
+
+#include "util/hotpath_annotations.h"
+#include "util/mutex.h"
+
+namespace atmsim::lintfixture {
+
+double
+scaleMargin(double margin, double factor)
+{
+    return margin * factor;
+}
+
+double
+deriveFactor(double v, double t)
+{
+    // Second hop below the root: still pure arithmetic.
+    return scaleMargin(v, 1.0 + t * 0.001);
+}
+
+// Per-run handle resolution: allocation here is legal because the
+// walk stops at contract(cold) markers.
+// atmlint: contract(cold)
+int *
+resolveHandles(int n)
+{
+    return new int[static_cast<unsigned>(n)];
+}
+
+// Root annotated via the macro spelling.
+ATM_HOT_PATH(engine_step)
+double
+stepOnce(double v, double t)
+{
+    resolveHandles(4);
+    return deriveFactor(v, t);
+}
+
+struct Flusher
+{
+    util::Mutex mu_;
+    double last_ = 0.0;
+
+    // atmlint: contract(signal_handler)
+    void
+    onSignal(int sig)
+    {
+        // try_lock + AdoptLock never blocks: accepted by the lock
+        // rule (the adopt wrapper is not an acquisition).
+        if (mu_.try_lock()) {
+            util::MutexLock lock(mu_, util::AdoptLock{});
+            last_ = static_cast<double>(sig);
+        }
+    }
+};
+
+} // namespace atmsim::lintfixture

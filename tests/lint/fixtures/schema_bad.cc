@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Negative fixture for the cross-language `schema-contract` check:
+ * the writer emits a key no reader consumes ("gamma", silently
+ * unvalidated) and the reader consumes a key no writer emits
+ * ("delta", a dead check that passes forever). Never compiled.
+ */
+
+#include "util/json.h"
+#include "util/json_writer.h"
+
+namespace atmsim::lintfixture {
+
+struct FixtureBlob
+{
+    double alpha = 0.0;
+    double gamma = 0.0;
+    long delta = 0;
+
+    void
+    writeJson(util::JsonWriter &json) const
+    {
+        json.field("alpha", alpha);
+        json.field("gamma", gamma); // schema-key-unread
+    }
+
+    static FixtureBlob
+    fromJson(const util::JsonValue &doc)
+    {
+        FixtureBlob out;
+        out.alpha = doc.at("alpha").asDouble();
+        out.delta = doc.at("delta").asLong(); // schema-key-unwritten
+        return out;
+    }
+};
+
+} // namespace atmsim::lintfixture

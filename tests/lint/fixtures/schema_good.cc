@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Clean counterpart of schema_bad.cc for the cross-language
+ * `schema-contract` check: every key the writer emits is consumed by
+ * the reader and vice versa, so the schema is drift-free. Never
+ * compiled.
+ */
+
+#include "util/json.h"
+#include "util/json_writer.h"
+
+namespace atmsim::lintfixture {
+
+struct FixtureBlob
+{
+    double alpha = 0.0;
+    long beta = 0;
+
+    void
+    writeJson(util::JsonWriter &json) const
+    {
+        json.field("alpha", alpha);
+        json.field("beta", beta);
+    }
+
+    static FixtureBlob
+    fromJson(const util::JsonValue &doc)
+    {
+        FixtureBlob out;
+        out.alpha = doc.at("alpha").asDouble();
+        out.beta = doc.at("beta").asLong();
+        return out;
+    }
+};
+
+} // namespace atmsim::lintfixture

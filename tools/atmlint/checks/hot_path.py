@@ -1,0 +1,284 @@
+"""hot-path: contract enforcement over annotated call closures.
+
+ROADMAP item 1 wants a 10x engine-step speedup; the fault-campaign
+manifest pins ``engine.atm_loop`` at ~73% of wall time.  A single
+stray allocation, blocking lock, or wall-clock read on that path
+silently erases any refactor win -- and nothing in the type system
+stops one from creeping in two calls below the loop.  This check
+makes the hot-path discipline *machine-checked*: root functions are
+annotated with a contract profile (``ATM_HOT_PATH(profile)`` or
+``// atmlint: contract(profile)``, see
+``src/util/hotpath_annotations.h``), the check walks each root's
+transitive call closure over the repo index, and every operation the
+profile forbids is reported with the full call chain from the root as
+SARIF ``relatedLocations``.
+
+Profiles (rule set per profile; see docs/STATIC_ANALYSIS.md):
+
+==================  ==================================================
+``engine_step``     no allocation, blocking lock, I/O, wall-clock,
+                    unseeded RNG, or virtual dispatch.  Throwing is
+                    allowed: ``util::fatal`` precondition guards
+                    abort on programmer error and cost nothing
+                    untaken.
+``signal_handler``  no blocking lock, no RNG.  The allocation/stdio
+                    half of the async-signal story stays with
+                    signal-safety and its documented best-effort
+                    baseline; this profile freezes the half that was
+                    genuinely fixed there (try-acquire only).
+``flight_record``   strictest: everything above plus no throwing.
+                    FlightRecorder::record documents itself as O(1),
+                    lock-free, allocation-free; the contract keeps
+                    the documentation honest.
+==================  ==================================================
+
+The inverse marker ``contract(cold)`` stops the walk: a callee that
+runs once per run (metric-handle resolution in a run()-scope
+constructor) is not part of the per-step cost even though it is in
+the per-step call graph.  ``engine_step`` and ``signal_handler``
+closures also stop at the logging subsystem -- throttled stderr
+diagnostics are an accepted cost; ``flight_record`` stops nowhere.
+
+Findings are deduplicated per (function, rule): one baseline entry
+blesses one kind of hazard in one function, however many call sites
+express it.  Accepted hazards carry justifications in
+``baselines/hot-path.txt``.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import funcscan  # noqa: E402
+from indexer import GENERIC_MEMBERS  # noqa: E402
+from registry import Check, Finding, register  # noqa: E402
+
+RULE_ALLOC = "hot-alloc"
+RULE_LOCK = "hot-lock"
+RULE_IO = "hot-io"
+RULE_THROW = "hot-throw"
+RULE_CLOCK = "hot-clock"
+RULE_RNG = "hot-rng"
+RULE_VIRTUAL = "hot-virtual"
+
+#: Contract profile -> rules enforced over the root's closure.
+PROFILES = {
+    "engine_step": frozenset({RULE_ALLOC, RULE_LOCK, RULE_IO,
+                              RULE_CLOCK, RULE_RNG, RULE_VIRTUAL}),
+    "signal_handler": frozenset({RULE_LOCK, RULE_RNG}),
+    "flight_record": frozenset({RULE_ALLOC, RULE_LOCK, RULE_IO,
+                                RULE_THROW, RULE_CLOCK, RULE_RNG,
+                                RULE_VIRTUAL}),
+}
+
+#: The closure-stop profile (not a root marker).
+COLD_PROFILE = "cold"
+
+#: Subsystem boundaries the walk does not cross, per profile.
+#: Logging is throttled stderr diagnostics -- an accepted hot-loop
+#: cost (and the home of util::fatal's abort formatting, which the
+#: engine_step profile deliberately allows).
+PROFILE_STOP_PATHS = {
+    "engine_step": ("src/util/logging",),
+    "signal_handler": ("src/util/logging",),
+    "flight_record": (),
+}
+
+#: Free / quasi-free function names that allocate.
+_ALLOC_CALLS = {"malloc", "calloc", "realloc", "strdup",
+                "make_unique", "make_shared", "to_string"}
+
+#: Member growth operations on standard containers/strings.
+_ALLOC_MEMBERS = {"push_back", "emplace_back", "emplace", "insert",
+                  "resize", "reserve", "append", "assign",
+                  "push_front", "emplace_front"}
+
+#: Allocating type names, caught both as `Type name(args)`
+#: constructions and as `std::Type(args)` temporaries.
+_ALLOC_TYPES = {"string", "vector", "deque", "list", "map", "set",
+                "multimap", "multiset", "unordered_map",
+                "unordered_set", "unordered_multimap",
+                "unordered_multiset", "function", "ostringstream",
+                "istringstream", "stringstream", "regex"}
+
+#: C stdio that performs I/O (formatting-to-buffer excluded).
+_STDIO_CALLS = {"printf", "fprintf", "vfprintf", "puts", "fputs",
+                "fputc", "putchar", "fwrite", "fread", "fopen",
+                "fclose", "fflush", "write", "read", "open", "close"}
+
+#: File-stream constructions.
+_STREAM_TYPES = {"ofstream", "ifstream", "fstream"}
+
+#: Throwing standard calls (beyond `throw` and `.at()`).
+_THROWING_CALLS = {"stoi", "stol", "stoll", "stoul", "stoull",
+                   "stof", "stod", "stold"}
+
+_CLOCKS = {"steady_clock", "system_clock", "high_resolution_clock",
+           "file_clock", "utc_clock", "tai_clock", "gps_clock"}
+
+_CLOCK_CALLS = {"time", "clock_gettime", "gettimeofday"}
+
+#: Unseeded / device randomness.  The repo's seeded util::Rng is
+#: deliberately fine: same-seed runs replay identically.
+_RNG_CALLS = {"rand", "srand", "rand_r", "drand48", "random_device"}
+
+
+def _call_rule(call):
+    """Forbidden-op rule a call site expresses, or None."""
+    name = call.name
+    quals = call.quals
+    if name in _ALLOC_CALLS and not call.via_member:
+        return RULE_ALLOC
+    if call.via_member and name in _ALLOC_MEMBERS:
+        return RULE_ALLOC
+    if name in _ALLOC_TYPES and not call.via_member:
+        return RULE_ALLOC
+    if name in _STREAM_TYPES:
+        return RULE_IO
+    if name in _STDIO_CALLS and not call.via_member:
+        return RULE_IO
+    if name in _THROWING_CALLS:
+        return RULE_THROW
+    if call.via_member and name == "at":
+        return RULE_THROW
+    if name == "now" and quals and (quals[-1] in _CLOCKS
+                                    or quals[-1].endswith("_clock")):
+        return RULE_CLOCK
+    if name in _CLOCK_CALLS and (not quals or quals == ("std",)):
+        return RULE_CLOCK
+    if name in _RNG_CALLS and (not quals or quals == ("std",)):
+        return RULE_RNG
+    if name == "fatal" and (not quals or quals[-1] == "util"):
+        return RULE_THROW
+    return None
+
+
+def _fact_rule(kind):
+    if kind == funcscan.FACT_NEW:
+        return RULE_ALLOC
+    if kind == funcscan.FACT_LOCK:
+        return RULE_LOCK
+    if kind == funcscan.FACT_STREAM:
+        return RULE_IO
+    if kind == funcscan.FACT_THROW:
+        return RULE_THROW
+    return None
+
+
+def _virtual_receiver(call, index):
+    """Class name making this member call virtual dispatch, or None.
+
+    Two tiers: a receiver with one repo-wide declared type decides by
+    that type (``final`` devirtualizes); an untyped receiver falls
+    back to the resolved target set -- if any candidate method
+    belongs to a dynamic class the dispatch is treated as virtual
+    (this is what catches ``for (EngineObserver *o : observers_)
+    o->onViolation(ev)``, where the loop variable never reaches the
+    declared-type map).
+    """
+    if not call.via_member or call.quals or not call.receiver or \
+            call.receiver == "this" or call.name in GENERIC_MEMBERS:
+        return None
+    rtype = index.receiver_type(call.receiver)
+    if rtype is not None:
+        return rtype if index.is_dynamic_class(rtype) else None
+    for target in index.resolve(call):
+        parts = target.split("::")
+        if len(parts) >= 2 and index.is_dynamic_class(parts[-2]):
+            return parts[-2]
+    return None
+
+
+@register
+class HotPathCheck(Check):
+    name = "hot-path"
+    description = ("functions annotated with a hot-path contract "
+                   "profile must keep their transitive call closure "
+                   "free of the profile's forbidden operations "
+                   "(allocation, blocking locks, I/O, throwing, "
+                   "clocks, RNG, virtual dispatch)")
+    rules = {
+        RULE_ALLOC: "heap allocation inside a hot-path contract "
+                    "closure",
+        RULE_LOCK: "blocking lock acquisition inside a hot-path "
+                   "contract closure",
+        RULE_IO: "I/O inside a hot-path contract closure",
+        RULE_THROW: "throwing operation inside a hot-path contract "
+                    "closure",
+        RULE_CLOCK: "wall-clock read inside a hot-path contract "
+                    "closure",
+        RULE_RNG: "unseeded randomness inside a hot-path contract "
+                  "closure",
+        RULE_VIRTUAL: "virtual dispatch through a non-final receiver "
+                      "inside a hot-path contract closure",
+    }
+    graph = True
+    per_file = False
+    index_paths = ("src", "bench")
+
+    def run_graph(self, index):
+        cold = frozenset(index.contract_roots(COLD_PROFILE))
+        emitted = set()  # (qname, rule)
+        for profile, rules in sorted(PROFILES.items()):
+            stop_paths = PROFILE_STOP_PATHS.get(profile, ())
+            for root in sorted(index.contract_roots(profile)):
+                for qname in index.reachable(root,
+                                             stop_paths=stop_paths,
+                                             stop_nodes=cold):
+                    node = index.nodes[qname]
+                    for hit in self._node_hazards(node, index):
+                        rule, line, relpath, detail = hit
+                        if rule not in rules:
+                            continue
+                        dedup = (qname, rule)
+                        if dedup in emitted:
+                            continue
+                        emitted.add(dedup)
+                        yield self._finding(index, node, root,
+                                            profile, rule, line,
+                                            relpath, detail, cold)
+
+    def _node_hazards(self, node, index):
+        """(rule, line, relpath, detail) tuples for one function."""
+        for call in node.calls:
+            if call.in_lambda:
+                # Deferred execution: charged to whoever invokes the
+                # lambda, not to the function that wrote it down.
+                continue
+            rule = _call_rule(call)
+            if rule is not None:
+                rel = node.call_files.get(call, node.relpath)
+                yield rule, call.line, rel, call.written + "()"
+                continue
+            vclass = _virtual_receiver(call, index)
+            if vclass is not None:
+                rel = node.call_files.get(call, node.relpath)
+                yield (RULE_VIRTUAL, call.line, rel,
+                       f"{call.written}() via non-final "
+                       f"'{vclass}'")
+        for kind, detail, line, _, rel in node.located_facts:
+            rule = _fact_rule(kind)
+            if rule is not None:
+                label = {funcscan.FACT_NEW: "new-expression",
+                         funcscan.FACT_THROW: "throw-expression",
+                         funcscan.FACT_STREAM: f"std::{detail}",
+                         funcscan.FACT_LOCK:
+                             f"lock on '{detail}'"}.get(kind, kind)
+                yield rule, line, rel, label
+
+    def _finding(self, index, node, root, profile, rule, line,
+                 relpath, detail, cold):
+        chain = index.call_path(root, node.qname, stop_nodes=cold)
+        via = " -> ".join(q.split("::")[-1] for q in chain)
+        related = tuple(
+            (index.nodes[q].relpath, index.nodes[q].line, q)
+            for q in chain if q in index.nodes)
+        return Finding(
+            check=self.name, rule=rule, path=relpath, line=line,
+            symbol=node.qname,
+            message=(f"{detail} in '{node.qname}' violates the "
+                     f"'{profile}' contract of "
+                     f"'{root}' (via {via}): "
+                     f"{self.rules[rule]}"),
+            related=related)

@@ -94,7 +94,8 @@ class MissingNodiscardCheck(Check):
     rules = {
         RULE: "value-returning function lacks [[nodiscard]]",
     }
-    default_paths = ("src/core", "src/sim", "src/obs", "src/util")
+    default_paths = ("src/core", "src/sim", "src/obs", "src/util",
+                     "src/fleet", "src/exec")
     extensions = (".h", ".hpp")
 
     def run(self, source):

@@ -1,0 +1,283 @@
+"""schema-contract: JSON keys must have both an emitter and a reader.
+
+The manifest-v2 drift class: a C++ writer gains a key no validator
+ever checks (silently unvalidated provenance), or a validator/report
+grows a key no writer emits (dead check, or a typo that "passes"
+forever).  PR 8's golden-summary smoke catches some of this at CI
+runtime; this check catches it at lint time, from the source alone.
+
+Per schema *group*, two key sets are compared:
+
+* **emitted** -- every string-literal first argument of
+  ``util::JsonWriter::field``/``::key`` in the transitive closure of
+  the group's writer root(s) (a new :mod:`funcscan` fact), restricted
+  to the group's serialization files so suffix over-approximation in
+  the call graph cannot leak another group's keys in;
+* **consumed** -- string-literal ``JsonValue::at``/``::find`` keys in
+  the closure of the group's C++ reader root(s), unioned with keys
+  the group's python tools access (extracted from the ``ast``:
+  ``obj["k"]`` subscripts, ``.get("k")``, ``check_type(obj, "k",
+  ...)``, ``"k" in obj`` membership, and ``for k in ("a", "b"):``
+  loops whose body indexes with the loop variable).
+
+``emitted - consumed`` -> ``schema-key-unread`` at the emission site;
+``consumed - emitted`` -> ``schema-key-unwritten`` at the consumption
+site.  A writer that also emits *computed* keys (the per-config map
+in the manifest, metric entry names) has an open key set, so the
+consumed-but-unwritten direction is undecidable for that group and
+is skipped -- the check never guesses.
+
+Groups cover the four committed schemas: the run manifest
+(``atmsim-run-manifest-v2``), the fleet checkpoint, the flight
+recorder dump (``atmsim-flight-v1``), and the fleet wire protocol.
+"""
+
+import ast
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import funcscan  # noqa: E402
+from registry import Check, Finding, register  # noqa: E402
+
+RULE_UNREAD = "schema-key-unread"
+RULE_UNWRITTEN = "schema-key-unwritten"
+
+#: Marker detail recorded when a group's writer/reader closure also
+#: manipulates keys dynamically (non-literal argument).
+DYNAMIC = "*"
+
+
+class Group:
+    """One schema: writer roots, reader roots, companion python."""
+
+    def __init__(self, name, writers, readers=(), python=(),
+                 files=()):
+        self.name = name
+        #: (unqualified-name, required-scope-component-or-None)
+        self.writers = writers
+        self.readers = readers
+        #: Repo-relative python files that consume the schema.
+        self.python = python
+        #: Relpath prefixes of the serialization sources; facts from
+        #: nodes defined elsewhere are ignored (keeps suffix-matched
+        #: writeJson overloads of *other* schemas out of this group).
+        self.files = files
+
+
+GROUPS = (
+    Group("manifest",
+          writers=(("writeJson", "RunManifest"),),
+          python=("tools/bench/validate_manifest.py",
+                  "tools/obs/atmsim_report.py"),
+          files=("src/obs/manifest", "src/obs/metrics")),
+    Group("checkpoint",
+          writers=(("saveCheckpoint", None),),
+          # loadCheckpoint verifies the schema tag before handing the
+          # document to parseCheckpoint; both are readers.
+          readers=(("parseCheckpoint", None),
+                   ("loadCheckpoint", None)),
+          files=("src/fleet/checkpoint", "src/obs/metrics",
+                 "src/core/population")),
+    Group("flight",
+          writers=(("writeJson", "FlightRecorder"),),
+          readers=(("fromJson", "Dump"),),
+          files=("src/obs/flight_recorder",)),
+    Group("protocol",
+          writers=(("encode", "Message"),),
+          readers=(("decode", "Message"),),
+          files=("src/fleet/protocol", "src/obs/metrics")),
+    # Self-test group: only tests/lint/fixtures/schema_*.cc defines a
+    # FixtureBlob, so this never matches a repo run (the ctest fixture
+    # pair indexes exactly one fixture file).
+    Group("fixture",
+          writers=(("writeJson", "FixtureBlob"),),
+          readers=(("fromJson", "FixtureBlob"),),
+          files=("tests/lint/fixtures/schema",)),
+)
+
+
+def _match_roots(index, patterns):
+    roots = []
+    for node in index.nodes.values():
+        parts = node.qname.split("::")
+        for name, scope in patterns:
+            if node.name == name and (scope is None
+                                      or scope in parts):
+                roots.append(node.qname)
+                break
+    return sorted(roots)
+
+
+def _closure_keys(index, roots, fact_kind, files):
+    """{key: (qname, relpath, line)} plus a dynamic-use flag."""
+    keys = {}
+    dynamic = False
+    for root in roots:
+        for qname in index.reachable(root):
+            node = index.nodes[qname]
+            if files and not node.relpath.startswith(tuple(files)):
+                continue
+            for kind, detail, line, _, rel in node.located_facts:
+                if kind != fact_kind:
+                    continue
+                if detail == DYNAMIC:
+                    dynamic = True
+                elif detail not in keys:
+                    keys[detail] = (qname, rel, line)
+    return keys, dynamic
+
+
+def _loopvar_indexes(body_node, loopvar):
+    """True when a loop body indexes / checks with the loop var."""
+    for sub in ast.walk(body_node):
+        if isinstance(sub, ast.Subscript) and \
+                isinstance(sub.slice, ast.Name) and \
+                sub.slice.id == loopvar:
+            return True
+        if isinstance(sub, ast.Call):
+            args = sub.args
+            fn = sub.func
+            if isinstance(fn, ast.Name) and len(args) >= 2 and \
+                    isinstance(args[1], ast.Name) and \
+                    args[1].id == loopvar:
+                return True
+            if isinstance(fn, ast.Attribute) and fn.attr == "get" \
+                    and args and isinstance(args[0], ast.Name) and \
+                    args[0].id == loopvar:
+                return True
+    return False
+
+
+def _python_keys(text):
+    """{key: line} accessed by one python reader module."""
+    keys = {}
+
+    def note(key, line):
+        if isinstance(key, str):
+            keys.setdefault(key, line)
+
+    tree = ast.parse(text)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript):
+            s = node.slice
+            if isinstance(s, ast.Constant):
+                note(s.value, node.lineno)
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr == "get" \
+                    and node.args and \
+                    isinstance(node.args[0], ast.Constant):
+                note(node.args[0].value, node.lineno)
+            elif isinstance(fn, ast.Name) and \
+                    fn.id == "check_type" and len(node.args) >= 2 \
+                    and isinstance(node.args[1], ast.Constant):
+                note(node.args[1].value, node.lineno)
+        elif isinstance(node, ast.Compare):
+            if isinstance(node.left, ast.Constant) and \
+                    len(node.ops) == 1 and \
+                    isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                note(node.left.value, node.lineno)
+        elif isinstance(node, ast.For) and \
+                isinstance(node.target, ast.Name) and \
+                isinstance(node.iter, (ast.Tuple, ast.List)):
+            elts = node.iter.elts
+            if elts and all(isinstance(e, ast.Constant) and
+                            isinstance(e.value, str)
+                            for e in elts):
+                wrapper = ast.Module(body=node.body,
+                                     type_ignores=[])
+                if _loopvar_indexes(wrapper, node.target.id):
+                    for e in elts:
+                        note(e.value, e.lineno)
+    return keys
+
+
+@register
+class SchemaContractCheck(Check):
+    name = "schema-contract"
+    description = ("JSON schema keys must be symmetric: every key a "
+                   "C++ writer emits must be consumed by a reader or "
+                   "validator, and every key a reader checks must "
+                   "actually be emitted")
+    rules = {
+        RULE_UNREAD: "JSON key is emitted by a writer but consumed "
+                     "by no reader or validator of that schema",
+        RULE_UNWRITTEN: "JSON key is consumed by a reader/validator "
+                        "but emitted by no writer of that schema",
+    }
+    graph = True
+    per_file = False
+    index_paths = ("src", "bench")
+
+    def run_graph(self, index):
+        root = index.root
+        python_cache = {}
+        for group in GROUPS:
+            writers = _match_roots(index, group.writers)
+            readers = _match_roots(index, group.readers)
+            if not writers:
+                continue
+            emitted, dyn_write = _closure_keys(
+                index, writers, funcscan.FACT_JSON_WRITE_KEY,
+                group.files)
+            consumed, _ = _closure_keys(
+                index, readers, funcscan.FACT_JSON_READ_KEY,
+                group.files)
+            py_consumed = {}
+            for rel in group.python:
+                if rel in python_cache:
+                    found = python_cache[rel]
+                else:
+                    path = (pathlib.Path(root) / rel
+                            if root else pathlib.Path(rel))
+                    try:
+                        found = _python_keys(
+                            path.read_text(errors="replace"))
+                    except (OSError, SyntaxError):
+                        found = {}
+                    python_cache[rel] = found
+                for key, line in found.items():
+                    py_consumed.setdefault(key, (rel, line))
+            for key in sorted(emitted):
+                if key in consumed or key in py_consumed:
+                    continue
+                qname, rel, line = emitted[key]
+                yield Finding(
+                    check=self.name, rule=RULE_UNREAD, path=rel,
+                    line=line,
+                    symbol=f"{group.name}:{key}",
+                    message=(f"'{group.name}' schema key "
+                             f"'{key}' is emitted by "
+                             f"'{qname}' but no reader or "
+                             "validator of that schema consumes "
+                             "it"))
+            if dyn_write:
+                # A writer with computed keys has an open key set:
+                # the consumed-but-unwritten direction is
+                # undecidable for this group, so stay silent rather
+                # than guess.
+                continue
+            for key in sorted(consumed):
+                if key in emitted:
+                    continue
+                qname, rel, line = consumed[key]
+                yield Finding(
+                    check=self.name, rule=RULE_UNWRITTEN, path=rel,
+                    line=line,
+                    symbol=f"{group.name}:{key}",
+                    message=(f"'{group.name}' schema key '{key}' is "
+                             f"consumed by '{qname}' but no writer "
+                             "of that schema emits it"))
+            for key in sorted(py_consumed):
+                if key in emitted:
+                    continue
+                rel, line = py_consumed[key]
+                yield Finding(
+                    check=self.name, rule=RULE_UNWRITTEN, path=rel,
+                    line=line,
+                    symbol=f"{group.name}:{key}",
+                    message=(f"'{group.name}' schema key '{key}' is "
+                             f"consumed by '{rel}' but no writer of "
+                             "that schema emits it"))

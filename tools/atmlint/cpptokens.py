@@ -52,6 +52,13 @@ _STRING_PREFIXES = {"u8", "u", "U", "L"}
 _ALLOW_RE = re.compile(
     r"atmlint:\s*allow(?:\(([^)]*)\))?|units-lint:\s*allow")
 
+#: Hot-path contract markers: ``atmlint: contract(engine_step)``
+#: attaches a named contract profile to the function definition on
+#: (or following) the marker's line.  Resolution mirrors allow
+#: markers: a trailing comment marks its own line, an own-line
+#: comment marks the next code line.
+_CONTRACT_RE = re.compile(r"atmlint:\s*contract\(\s*([A-Za-z0-9_]+)\s*\)")
+
 ALL_CHECKS = "*"
 
 
@@ -69,6 +76,8 @@ class TokenizedFile:
     tokens: list = field(default_factory=list)
     #: line number -> set of suppressed check names ('*' = all).
     suppressed: dict = field(default_factory=dict)
+    #: line number -> contract profile name from contract() markers.
+    contracts: dict = field(default_factory=dict)
     nlines: int = 0
 
     def is_suppressed(self, check_name, line):
@@ -105,6 +114,11 @@ def _parse_allow(comment):
             if n.strip()}
 
 
+def _parse_contract(comment):
+    match = _CONTRACT_RE.search(comment)
+    return match.group(1) if match else None
+
+
 def tokenize(text):
     """Tokenize ``text`` into a TokenizedFile."""
     out = TokenizedFile()
@@ -115,6 +129,8 @@ def tokenize(text):
     token_lines = set()
     #: Own-line markers waiting for the next code line: (line, marks).
     pending_marks = []
+    #: Own-line contract markers: (line, profile).
+    pending_contracts = []
 
     def emit(kind, tok_text, tok_line):
         nonlocal line_has_token
@@ -159,6 +175,12 @@ def tokenize(text):
                                               set()).update(marks)
                 else:
                     pending_marks.append((line, marks))
+            profile = _parse_contract(text[i:end])
+            if profile:
+                if line_has_token:
+                    out.contracts[line] = profile
+                else:
+                    pending_contracts.append((line, profile))
             i = end
             continue
 
@@ -170,16 +192,23 @@ def tokenize(text):
             comment = text[i:end + 2]
             close_line = line + comment.count("\n")
             marks = _parse_allow(comment)
+            nl = text.find("\n", end + 2)
+            rest = text[end + 2:nl if nl >= 0 else n]
+            owns_line = not line_has_token and rest.strip() == ""
             if marks:
                 # A comment that owns its line blesses the next code
                 # line; a trailing comment blesses only its own.
-                nl = text.find("\n", end + 2)
-                rest = text[end + 2:nl if nl >= 0 else n]
-                if not line_has_token and rest.strip() == "":
+                if owns_line:
                     pending_marks.append((close_line, marks))
                 else:
                     out.suppressed.setdefault(line,
                                               set()).update(marks)
+            profile = _parse_contract(comment)
+            if profile:
+                if owns_line:
+                    pending_contracts.append((close_line, profile))
+                else:
+                    out.contracts[line] = profile
             line = close_line
             i = end + 2
             continue
@@ -288,6 +317,13 @@ def tokenize(text):
                 target = candidate
                 break
         out.suppressed.setdefault(target, set()).update(marks)
+    for marker_line, profile in pending_contracts:
+        target = marker_line
+        for candidate in range(marker_line + 1, line + 2):
+            if candidate in token_lines:
+                target = candidate
+                break
+        out.contracts[target] = profile
 
     out.nlines = line
     return out

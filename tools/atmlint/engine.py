@@ -219,6 +219,7 @@ class Engine:
     def build_index(self, explicit_paths=None):
         """Build (or load from cache) the repo-wide call-graph index."""
         index = indexer.RepoIndex()
+        index.root = self.root
         for path in self._index_files(explicit_paths):
             rel = path.relative_to(self.root).as_posix()
             cached = self.cache.lookup(path, rel, INDEX_CACHE_KEY)

@@ -37,6 +37,20 @@ FACT_THROW = "throw-expr"         # detail: ""
 FACT_PTR_CAST = "ptr-int-cast"    # detail: cast target type
 FACT_RANGE_FOR = "range-for"      # detail: trailing ident of range
 FACT_STREAM = "stream-use"        # detail: cout/cerr/clog
+FACT_JSON_WRITE_KEY = "json-write-key"  # detail: the literal key
+FACT_JSON_READ_KEY = "json-read-key"    # detail: the literal key
+
+#: Member-call names that emit a JSON object key when their first
+#: argument is a string literal (util::JsonWriter::field / ::key).
+_JSON_WRITE_CALLS = {"field", "key"}
+#: Member-call names that consume a JSON object key when their first
+#: argument is a string literal (util::JsonValue::at / ::find).
+_JSON_READ_CALLS = {"at", "find"}
+
+#: The hot-path annotation macro from src/util/hotpath_annotations.h.
+#: Expands to nothing in C++; here it attaches a contract profile to
+#: the function definition it precedes.
+_HOT_PATH_MACRO = "ATM_HOT_PATH"
 
 _CONTROL = {"if", "for", "while", "switch", "return", "sizeof",
             "catch", "do", "else", "case", "alignof", "decltype",
@@ -141,6 +155,21 @@ class FileScan:
     #: TraceCollector> trace_`` -> ``TraceCollector``).  Used by the
     #: indexer to narrow member-call resolution.
     var_types: dict = field(default_factory=dict)
+    #: Function-local ``Type name(args)`` declarations: (name, type)
+    #: pairs.  Kept as a list (not folded into var_types) so the same
+    #: local name declared with different types in different
+    #: functions stays ambiguous instead of last-write-wins.
+    local_types: list = field(default_factory=list)
+    #: Hot-path contract attachments: (profile, line).  Lines come
+    #: from `atmlint: contract(...)` comment markers (resolved by the
+    #: tokenizer) and ATM_HOT_PATH(profile) macro uses; the indexer
+    #: joins them to the function definition containing the line.
+    contracts: list = field(default_factory=list)
+    #: Class names declaring at least one virtual/override member --
+    #: dispatch through a receiver of such a type is dynamic.
+    virtual_classes: list = field(default_factory=list)
+    #: Class names declared `final` (devirtualizable dispatch).
+    final_classes: list = field(default_factory=list)
 
     def to_json(self):
         return {"funcs": [f.to_json() for f in self.funcs],
@@ -148,7 +177,11 @@ class FileScan:
                 "registrations": [list(r) for r in self.registrations],
                 "suppressed": {str(k): sorted(v)
                                for k, v in self.suppressed.items()},
-                "var_types": self.var_types}
+                "var_types": self.var_types,
+                "local_types": [list(p) for p in self.local_types],
+                "contracts": [list(c) for c in self.contracts],
+                "virtual_classes": self.virtual_classes,
+                "final_classes": self.final_classes}
 
     @staticmethod
     def from_json(relpath, doc):
@@ -161,6 +194,11 @@ class FileScan:
         scan.suppressed = {int(k): set(v) for k, v in
                            doc.get("suppressed", {}).items()}
         scan.var_types = dict(doc.get("var_types", {}))
+        scan.local_types = [tuple(p)
+                            for p in doc.get("local_types", [])]
+        scan.contracts = [tuple(c) for c in doc.get("contracts", [])]
+        scan.virtual_classes = list(doc.get("virtual_classes", []))
+        scan.final_classes = list(doc.get("final_classes", []))
         return scan
 
 
@@ -440,7 +478,7 @@ def _lambda_mask(tokens):
     return mask
 
 
-def _scan_body(func, tokens, registrations):
+def _scan_body(func, tokens, registrations, local_types=None):
     """Populate func.calls / func.facts from a body token slice."""
     texts = [t.text for t in tokens]
     n = len(tokens)
@@ -562,6 +600,12 @@ def _scan_body(func, tokens, registrations):
                     func.calls.append(CallSite(
                         type_name, (), False, "", True, t.line,
                         _arg_count(tokens, i + 1), in_lambda[i]))
+                    # `Type name(args)` also *declares* `name`: feed
+                    # the receiver-type map so member calls through
+                    # the local resolve to Type's methods instead of
+                    # every same-named method in the repo.
+                    if local_types is not None:
+                        local_types.append((t.text, type_name))
                 i += 2
                 continue
             # Walk back over `ident ::` qualifiers and member access.
@@ -591,6 +635,27 @@ def _scan_body(func, tokens, registrations):
                 if handler and handler not in ("SIG_DFL", "SIG_IGN"):
                     registrations.append((handler.lstrip("&"),
                                           t.line))
+            # JSON key emission/consumption.  Literal first arguments
+            # become key facts; a write call with a computed key
+            # (the manifest's per-config map, metric entry names) is
+            # recorded as the dynamic marker "*" so schema-contract
+            # knows the writer's key set is open.  Computed *read*
+            # arguments (``at(i)`` array indexing, ``find(ch)``) are
+            # not key accesses at all and record nothing.
+            if via_member and (call.name in _JSON_WRITE_CALLS
+                               or call.name in _JSON_READ_CALLS):
+                arg0 = _arg_text(tokens, i + 1, argno=0)
+                literal = len(arg0) >= 2 and arg0[0] == '"' \
+                    and arg0[-1] == '"'
+                if call.name in _JSON_WRITE_CALLS:
+                    func.facts.append(
+                        (FACT_JSON_WRITE_KEY,
+                         arg0[1:-1] if literal else "*", t.line,
+                         t.line))
+                elif literal:
+                    func.facts.append(
+                        (FACT_JSON_READ_KEY, arg0[1:-1], t.line,
+                         t.line))
             i += 1
             continue
 
@@ -602,6 +667,11 @@ def scan_file(relpath, tokenized):
     scan = FileScan(relpath)
     scan.suppressed = {line: set(marks) for line, marks in
                        tokenized.suppressed.items()}
+    scan.contracts = sorted(
+        ((profile, line)
+         for line, profile in
+         getattr(tokenized, "contracts", {}).items()),
+        key=lambda c: c[1])
     tokens = tokenized.tokens
 
     stack = []  # (kind, ns_names or class_name)
@@ -621,13 +691,35 @@ def scan_file(relpath, tokenized):
                 modeled = False
         return parts, modeled
 
+    def innermost_class():
+        return stack[-1][1] if stack and stack[-1][0] == CLASS else ""
+
+    def note_virtual(texts):
+        name = innermost_class()
+        if name and ("virtual" in texts or "override" in texts):
+            scan.virtual_classes.append(name)
+
     while i < n:
         t = tokens[i]
+        # ATM_HOT_PATH(profile): the annotation macro expands to
+        # nothing in C++; record the contract against the next code
+        # line (the definition header) and drop the tokens so the
+        # macro name is never mistaken for the function name.
+        if t.kind == IDENT and t.text == _HOT_PATH_MACRO and \
+                i + 3 < n and tokens[i + 1].text == "(" and \
+                tokens[i + 2].kind == IDENT and \
+                tokens[i + 3].text == ")":
+            scan.contracts.append((tokens[i + 2].text,
+                                   tokens[i + 4].line
+                                   if i + 4 < n else t.line))
+            i += 4
+            continue
         if t.text == "{" and t.kind == PUNCT:
             texts = [tok.text for tok in current]
             kind = _classify_header(texts)
             parts, modeled = context()
             if kind == FUNCTION and modeled and current:
+                note_virtual(texts)
                 info = _function_name(current)
                 close = _match_brace(tokens, i)
                 if info is not None:
@@ -638,7 +730,8 @@ def scan_file(relpath, tokenized):
                                    tokens[close].line
                                    if close < n else t.line)
                     body = tokens[i + 1:close]
-                    _scan_body(func, body, scan.registrations)
+                    _scan_body(func, body, scan.registrations,
+                               scan.local_types)
                     _scan_unordered_decls(body, scan.unordered_names)
                     scan.funcs.append(func)
                 # Modeled or not, skip the body wholesale.
@@ -648,7 +741,10 @@ def scan_file(relpath, tokenized):
             if kind == NAMESPACE:
                 stack.append((NAMESPACE, _namespace_names(texts)))
             elif kind == CLASS:
-                stack.append((CLASS, _class_name(current)))
+                cls = _class_name(current)
+                if cls and "final" in texts:
+                    scan.final_classes.append(cls)
+                stack.append((CLASS, cls))
             else:
                 stack.append((kind, ""))
             current = []
@@ -659,6 +755,7 @@ def scan_file(relpath, tokenized):
         elif t.text == ";" and t.kind == PUNCT:
             _scan_unordered_decls(current, scan.unordered_names)
             _record_decl_type(current, scan.var_types)
+            note_virtual([tok.text for tok in current])
             current = []
         else:
             current.append(t)
@@ -668,6 +765,11 @@ def scan_file(relpath, tokenized):
     seen = set()
     scan.unordered_names = [x for x in scan.unordered_names
                             if not (x in seen or seen.add(x))]
+    for attr in ("virtual_classes", "final_classes"):
+        seen = set()
+        setattr(scan, attr,
+                [x for x in getattr(scan, attr)
+                 if not (x in seen or seen.add(x))])
     return scan
 
 

@@ -59,6 +59,10 @@ class FuncNode:
     located_facts: list = field(default_factory=list)
     #: call -> relpath of the TU the call appears in.
     call_files: dict = field(default_factory=dict)
+    #: Hot-path contract profiles attached to this definition
+    #: (``engine_step``, ``signal_handler``, ``flight_record``,
+    #: ``cold``, ...).
+    contracts: set = field(default_factory=set)
 
     @property
     def scope(self):
@@ -78,6 +82,15 @@ class RepoIndex:
         self._receiver_types = {}
         #: every scope component of an indexed qname (class/ns names).
         self._scope_parts = set()
+        #: profile -> [qname] from contract markers / ATM_HOT_PATH.
+        self._contract_roots = {}
+        #: class names with virtual/override members, repo-wide.
+        self.virtual_classes = set()
+        #: class names declared `final`, repo-wide.
+        self.final_classes = set()
+        #: repo root path (set by the engine; lets graph checks read
+        #: non-indexed companion files such as python validators).
+        self.root = None
         self._finalized = False
 
     # --- construction ---------------------------------------------------
@@ -93,9 +106,17 @@ class RepoIndex:
         self._callee_cache = {}
         self._receiver_types = {}
         self._scope_parts = set()
+        self._contract_roots = {}
+        self.virtual_classes = set()
+        self.final_classes = set()
         for rel in sorted(self.files):
             scan = self.files[rel]
+            self.virtual_classes.update(scan.virtual_classes)
+            self.final_classes.update(scan.final_classes)
             for name, type_ in scan.var_types.items():
+                self._receiver_types.setdefault(name,
+                                                set()).add(type_)
+            for name, type_ in scan.local_types:
                 self._receiver_types.setdefault(name,
                                                 set()).add(type_)
             for func in scan.funcs:
@@ -113,6 +134,22 @@ class RepoIndex:
                     for kind, detail, line, end_line in func.facts)
                 for call in func.calls:
                     node.call_files.setdefault(call, rel)
+            # Attach contract profiles to the definition containing
+            # the marker line (innermost definition wins, so a marker
+            # on a nested header does not leak to the enclosing one).
+            for profile, line in scan.contracts:
+                best = None
+                for func in scan.funcs:
+                    if func.line <= line <= func.end_line:
+                        if best is None or func.line >= best.line:
+                            best = func
+                if best is None:
+                    continue
+                node = self.nodes[best.qname]
+                if profile not in node.contracts:
+                    node.contracts.add(profile)
+                    self._contract_roots.setdefault(
+                        profile, []).append(best.qname)
         for qname in self.nodes:
             self._scope_parts.update(qname.split("::")[:-1])
         self._finalized = True
@@ -126,6 +163,35 @@ class RepoIndex:
     def node(self, qname):
         self._require_finalized()
         return self.nodes.get(qname)
+
+    def contract_roots(self, profile=None):
+        """Qnames annotated with one profile, or {profile: [qname]}."""
+        self._require_finalized()
+        if profile is not None:
+            return list(self._contract_roots.get(profile, ()))
+        return {p: list(qs)
+                for p, qs in sorted(self._contract_roots.items())}
+
+    def receiver_type(self, name):
+        """The one repo-wide declared type of a receiver, or None."""
+        self._require_finalized()
+        types = self._receiver_types.get(name)
+        if types is not None and len(types) == 1:
+            (rtype,) = types
+            return rtype
+        return None
+
+    def is_dynamic_class(self, name):
+        """True when dispatch through a `name` receiver is virtual.
+
+        A class is dynamic when it (or an override in a derived
+        class) declares a virtual member and the class itself is not
+        ``final`` -- `final` devirtualizes every call through a
+        receiver of exactly that type.
+        """
+        self._require_finalized()
+        return name in self.virtual_classes and \
+            name not in self.final_classes
 
     def suppressed(self, relpath, check_name, line):
         scan = self.files.get(relpath)
@@ -170,6 +236,12 @@ class RepoIndex:
         # repo-wide declared type and that type is an indexed class,
         # only methods of that class can be the target (an empty
         # result means the call is external, e.g. a std:: method).
+        # A receiver with *several* declared types keeps every
+        # candidate in one of them: that over-approximates (sound for
+        # lint) and, crucially, beats the caller-affinity fallback,
+        # which would otherwise bind `metrics.writeJson()` inside
+        # `ObsPayload::writeJson` to the caller itself and drop the
+        # edge as self-recursion.
         if call.via_member and call.receiver and not call.quals:
             types = self._receiver_types.get(call.receiver)
             if types is not None and len(types) == 1:
@@ -177,6 +249,12 @@ class RepoIndex:
                 if rtype in self._scope_parts:
                     return [q for q in candidates
                             if q.split("::")[-2:-1] == [rtype]]
+            elif types is not None:
+                typed = [q for q in candidates
+                         if q.split("::")[-2:-1]
+                         and q.split("::")[-2] in types]
+                if typed:
+                    return typed
         if len(candidates) == 1 or not caller_qname:
             return candidates
         caller_scope = caller_qname.split("::")[:-1]
@@ -214,13 +292,16 @@ class RepoIndex:
         self._callee_cache[qname] = result
         return result
 
-    def reachable(self, qname, include_self=True, stop_paths=()):
+    def reachable(self, qname, include_self=True, stop_paths=(),
+                  stop_nodes=()):
         """Transitive callee closure (BFS, cycle-safe).
 
         ``stop_paths`` prunes the walk at subsystem boundaries: a
         callee defined under one of the given relpath prefixes is
         neither visited nor expanded (used by determinism-taint to
-        stop at the stderr diagnostics channel).
+        stop at the stderr diagnostics channel).  ``stop_nodes``
+        prunes individual qnames the same way (used by hot-path to
+        stop at functions contracted ``cold``).
         """
         self._require_finalized()
         visited = {qname}
@@ -231,6 +312,8 @@ class RepoIndex:
             for callee in self.callees(current):
                 if callee in visited:
                     continue
+                if callee in stop_nodes:
+                    continue
                 if stop_paths and self.nodes[callee].relpath \
                         .startswith(tuple(stop_paths)):
                     continue
@@ -239,7 +322,7 @@ class RepoIndex:
                 queue.append(callee)
         return order
 
-    def call_path(self, src_qname, dst_qname):
+    def call_path(self, src_qname, dst_qname, stop_nodes=()):
         """One shortest call chain src -> ... -> dst (for messages)."""
         self._require_finalized()
         if src_qname == dst_qname:
@@ -249,7 +332,8 @@ class RepoIndex:
         while queue:
             current = queue.popleft()
             for callee in self.callees(current):
-                if callee in parent:
+                if callee in parent or (callee in stop_nodes
+                                        and callee != dst_qname):
                     continue
                 parent[callee] = current
                 if callee == dst_qname:

@@ -24,6 +24,7 @@ Each check declares:
 
 import importlib.util
 import pathlib
+import sys
 from dataclasses import dataclass
 
 CHECKS_DIR = pathlib.Path(__file__).resolve().parent / "checks"
@@ -130,6 +131,11 @@ def load_checks():
             spec = importlib.util.spec_from_file_location(
                 f"atmlint_check_{path.stem}", path)
             module = importlib.util.module_from_spec(spec)
+            # Standard importlib protocol: publish before exec so the
+            # module is addressable (tests reach check-module
+            # constants via sys.modules) and dataclasses defined in
+            # checks can resolve their own module.
+            sys.modules[spec.name] = module
             spec.loader.exec_module(module)
     return dict(_REGISTRY)
 

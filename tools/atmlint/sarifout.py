@@ -27,7 +27,7 @@ SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
 TOOL_NAME = "atmlint"
-TOOL_VERSION = "2.0.0"
+TOOL_VERSION = "3.0.0"
 TOOL_URI = "https://github.com/atmsim/atmsim/tree/main/tools/atmlint"
 
 FINGERPRINT_KEY = "atmlintKey/v1"

@@ -1,0 +1,226 @@
+"""Unit tests for the hot-path contract check: contract attachment
+(comment and macro spellings), profile rule tables, closure stops
+(contract(cold) nodes and per-profile stop paths), virtual-dispatch
+detection, adopt-lock acceptance, and call-chain evidence."""
+
+import pathlib
+import sys
+import unittest
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent))
+
+import cpptokens  # noqa: E402
+import funcscan  # noqa: E402
+from indexer import build_index  # noqa: E402
+from registry import load_checks  # noqa: E402
+
+# Load through the registry (not a direct module import) so the
+# shared check registry stays complete for the other test modules.
+_CHECK = load_checks()["hot-path"]
+hot_path = sys.modules["atmlint_check_hot_path"]
+
+
+def scan(rel, text):
+    return funcscan.scan_file(rel, cpptokens.tokenize(text))
+
+
+def index(*files):
+    return build_index(scan(rel, text) for rel, text in files)
+
+
+def run(idx):
+    return list(_CHECK.run_graph(idx))
+
+
+class ProfileTableTest(unittest.TestCase):
+    def test_engine_step_allows_throw(self):
+        rules = hot_path.PROFILES["engine_step"]
+        self.assertNotIn(hot_path.RULE_THROW, rules)
+        for rule in (hot_path.RULE_ALLOC, hot_path.RULE_LOCK,
+                     hot_path.RULE_IO, hot_path.RULE_CLOCK,
+                     hot_path.RULE_RNG, hot_path.RULE_VIRTUAL):
+            self.assertIn(rule, rules)
+
+    def test_signal_handler_freezes_lock_and_rng_only(self):
+        self.assertEqual(hot_path.PROFILES["signal_handler"],
+                         frozenset({hot_path.RULE_LOCK,
+                                    hot_path.RULE_RNG}))
+
+    def test_flight_record_forbids_everything(self):
+        self.assertEqual(len(hot_path.PROFILES["flight_record"]), 7)
+
+    def test_flight_record_has_no_stop_paths(self):
+        self.assertEqual(
+            hot_path.PROFILE_STOP_PATHS["flight_record"], ())
+
+
+class ContractAttachmentTest(unittest.TestCase):
+    def test_comment_and_macro_spellings_both_attach(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            // atmlint: contract(engine_step)
+            void viaComment() { work(); }
+            ATM_HOT_PATH(engine_step)
+            void viaMacro() { work(); }
+            void work() {}
+            }
+        """))
+        roots = set(idx.contract_roots("engine_step"))
+        self.assertEqual(roots, {"n::viaComment", "n::viaMacro"})
+
+    def test_macro_never_becomes_the_function_name(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            ATM_HOT_PATH(flight_record)
+            void record() {}
+            }
+        """))
+        self.assertIn("n::record", idx.nodes)
+        self.assertNotIn("n::ATM_HOT_PATH", idx.nodes)
+
+
+class ClosureStopTest(unittest.TestCase):
+    def test_alloc_two_hops_down_is_reported_with_chain(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            // atmlint: contract(engine_step)
+            void root() { mid(); }
+            void mid() { leaf(); }
+            void leaf() { v.push_back(1); }
+            }
+        """))
+        findings = run(idx)
+        self.assertEqual(len(findings), 1)
+        f = findings[0]
+        self.assertEqual(f.rule, hot_path.RULE_ALLOC)
+        self.assertEqual(f.symbol, "n::leaf")
+        chain = [q for _, _, q in f.related]
+        self.assertEqual(chain, ["n::root", "n::mid", "n::leaf"])
+
+    def test_cold_marker_stops_the_walk(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            // atmlint: contract(engine_step)
+            void root() { setup(); }
+            // atmlint: contract(cold)
+            void setup() { return new int[4]; }
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+    def test_stop_path_excuses_logging_for_engine_step_only(self):
+        files = (
+            ("src/a.cc", """
+                namespace n {
+                // atmlint: contract(engine_step)
+                void root() { util::warnOnce(); }
+                }
+            """),
+            ("src/util/logging.cc", """
+                namespace util {
+                void warnOnce() { buf.append("x"); }
+                }
+            """),
+        )
+        self.assertEqual(run(index(*files)), [])
+        hot = (
+            ("src/a.cc", """
+                namespace n {
+                // atmlint: contract(flight_record)
+                void root() { util::warnOnce(); }
+                }
+            """),
+            files[1],
+        )
+        findings = run(index(*hot))
+        self.assertEqual([f.rule for f in findings],
+                         [hot_path.RULE_ALLOC])
+
+
+class HazardDetectionTest(unittest.TestCase):
+    def test_virtual_dispatch_through_nonfinal_receiver(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            struct Obs { virtual void onStep() {} };
+            // atmlint: contract(engine_step)
+            void root(Obs *obs) { obs->onStep(); }
+            Obs obs;
+            }
+        """))
+        findings = run(idx)
+        self.assertIn(hot_path.RULE_VIRTUAL,
+                      {f.rule for f in findings})
+
+    def test_final_class_devirtualizes(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            struct Obs final { virtual void onStep() {} };
+            // atmlint: contract(engine_step)
+            void root(Obs *obs) { obs->onStep(); }
+            Obs obs;
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+    def test_try_lock_adopt_pattern_is_accepted(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            struct S {
+              // atmlint: contract(signal_handler)
+              void onSignal() {
+                if (mu_.try_lock()) {
+                  util::MutexLock lock(mu_, util::AdoptLock{});
+                  flush();
+                }
+              }
+              void flush() {}
+              util::Mutex mu_;
+            };
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+    def test_blocking_scope_lock_is_flagged(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            struct S {
+              // atmlint: contract(signal_handler)
+              void onSignal() { util::MutexLock lock(mu_); }
+              util::Mutex mu_;
+            };
+            }
+        """))
+        findings = run(idx)
+        self.assertEqual([f.rule for f in findings],
+                         [hot_path.RULE_LOCK])
+
+    def test_dedup_is_per_function_and_rule(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            // atmlint: contract(engine_step)
+            void root() {
+              v.push_back(1);
+              v.push_back(2);
+              w.reserve(3);
+            }
+            }
+        """))
+        findings = run(idx)
+        self.assertEqual(len(findings), 1)
+
+    def test_lambda_bodies_are_deferred_execution(self):
+        idx = index(("src/a.cc", """
+            namespace n {
+            // atmlint: contract(engine_step)
+            void root() {
+              auto cb = [&] { v.push_back(1); };
+              use(cb);
+            }
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

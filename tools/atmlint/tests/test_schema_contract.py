@@ -1,0 +1,216 @@
+"""Unit tests for the cross-language schema-contract check: C++
+JSON key-fact extraction (literal and dynamic writer keys, computed
+read arguments), python key extraction on validate_manifest-style
+snippets, and the group-level drift rules including the open-key-set
+suppression for dynamic writers."""
+
+import pathlib
+import sys
+import textwrap
+import unittest
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent))
+
+import cpptokens  # noqa: E402
+import funcscan  # noqa: E402
+from indexer import build_index  # noqa: E402
+from registry import load_checks  # noqa: E402
+
+# Load through the registry (not a direct module import) so the
+# shared check registry stays complete for the other test modules.
+_CHECK = load_checks()["schema-contract"]
+schema_contract = sys.modules["atmlint_check_schema_contract"]
+
+
+def scan(rel, text):
+    return funcscan.scan_file(rel, cpptokens.tokenize(text))
+
+
+def index(*files):
+    return build_index(scan(rel, text) for rel, text in files)
+
+
+def run(idx):
+    return list(_CHECK.run_graph(idx))
+
+
+FIXTURE_REL = "tests/lint/fixtures/schema_t.cc"
+
+
+def fixture(body):
+    """Wrap writer/reader bodies in the self-test FixtureBlob group."""
+    return (FIXTURE_REL, textwrap.dedent("""
+        namespace atmsim::lintfixture {
+        struct FixtureBlob {
+        %s
+        };
+        }
+    """) % textwrap.dedent(body))
+
+
+class KeyFactTest(unittest.TestCase):
+    def facts(self, body, kind):
+        s = scan("src/obs/manifest.cc", textwrap.dedent("""
+            namespace atmsim::obs {
+            void RunManifest::writeJson(util::JsonWriter &json) const {
+            %s
+            }
+            }
+        """) % textwrap.dedent(body))
+        (func,) = s.funcs
+        return [(d, k) for k, d, *_ in func.facts if k == kind]
+
+    def test_literal_field_and_key_calls_record_write_facts(self):
+        facts = self.facts("""
+            json.field("schema", kSchema);
+            json.key("runs");
+        """, funcscan.FACT_JSON_WRITE_KEY)
+        self.assertEqual([d for d, _ in facts], ["schema", "runs"])
+
+    def test_computed_write_key_records_dynamic_marker(self):
+        facts = self.facts("""
+            json.field(entry.name, entry.value);
+        """, funcscan.FACT_JSON_WRITE_KEY)
+        self.assertEqual([d for d, _ in facts],
+                         [schema_contract.DYNAMIC])
+
+    def test_literal_at_records_read_fact(self):
+        facts = self.facts("""
+            const auto &runs = doc.at("runs");
+        """, funcscan.FACT_JSON_READ_KEY)
+        self.assertEqual([d for d, _ in facts], ["runs"])
+
+    def test_computed_read_argument_records_nothing(self):
+        facts = self.facts("""
+            const auto &row = doc.at(i);
+            auto it = doc.find(ch);
+        """, funcscan.FACT_JSON_READ_KEY)
+        self.assertEqual(facts, [])
+
+
+class PythonKeyTest(unittest.TestCase):
+    def keys(self, snippet):
+        return set(schema_contract._python_keys(
+            textwrap.dedent(snippet)))
+
+    def test_validate_manifest_style_accessors(self):
+        self.assertEqual(self.keys("""
+            def validate(doc):
+                check_type(doc, "schema", str)
+                runs = doc["runs"]
+                host = doc.get("host")
+                if "git_sha" in doc:
+                    pass
+                return runs, host
+        """), {"schema", "runs", "host", "git_sha"})
+
+    def test_loop_over_string_tuple_with_loopvar_indexing(self):
+        self.assertEqual(self.keys("""
+            def validate(run):
+                for key in ("mean_margin", "worst_margin"):
+                    check_type(run, key, NUMBER)
+        """), {"mean_margin", "worst_margin"})
+
+    def test_loop_without_loopvar_indexing_records_nothing(self):
+        self.assertEqual(self.keys("""
+            def names():
+                out = []
+                for key in ("alpha", "beta"):
+                    out.append(key.upper())
+                return out
+        """), set())
+
+    def test_non_string_subscripts_are_ignored(self):
+        self.assertEqual(self.keys("""
+            def first(rows):
+                return rows[0]
+        """), set())
+
+
+class DriftRuleTest(unittest.TestCase):
+    def test_symmetric_schema_is_clean(self):
+        idx = index(fixture("""
+            void writeJson(util::JsonWriter &json) const {
+                json.field("alpha", alpha);
+            }
+            static FixtureBlob fromJson(const util::JsonValue &doc) {
+                FixtureBlob out;
+                out.alpha = doc.at("alpha").asDouble();
+                return out;
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+    def test_one_sided_keys_flag_both_directions(self):
+        idx = index(fixture("""
+            void writeJson(util::JsonWriter &json) const {
+                json.field("alpha", alpha);
+                json.field("gamma", gamma);
+            }
+            static FixtureBlob fromJson(const util::JsonValue &doc) {
+                FixtureBlob out;
+                out.alpha = doc.at("alpha").asDouble();
+                out.delta = doc.at("delta").asLong();
+                return out;
+            }
+        """))
+        findings = {(f.rule, f.symbol) for f in run(idx)}
+        self.assertEqual(findings, {
+            (schema_contract.RULE_UNREAD, "fixture:gamma"),
+            (schema_contract.RULE_UNWRITTEN, "fixture:delta"),
+        })
+
+    def test_dynamic_writer_suppresses_unwritten_direction(self):
+        idx = index(fixture("""
+            void writeJson(util::JsonWriter &json) const {
+                json.field("alpha", alpha);
+                for (const auto &e : extras)
+                    json.field(e.name, e.value);
+            }
+            static FixtureBlob fromJson(const util::JsonValue &doc) {
+                FixtureBlob out;
+                out.alpha = doc.at("alpha").asDouble();
+                out.delta = doc.at("delta").asLong();
+                return out;
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+    def test_facts_outside_group_files_are_ignored(self):
+        # The writer's closure reaches a helper in another subsystem
+        # that emits its own schema's keys; the file restriction keeps
+        # them out of this group's key set.
+        idx = index(
+            fixture("""
+                void writeJson(util::JsonWriter &json) const {
+                    json.field("alpha", alpha);
+                    appendForeign(json);
+                }
+                static FixtureBlob fromJson(
+                        const util::JsonValue &doc) {
+                    FixtureBlob out;
+                    out.alpha = doc.at("alpha").asDouble();
+                    return out;
+                }
+            """),
+            ("src/other/foreign.cc", """
+                namespace atmsim::lintfixture {
+                void appendForeign(util::JsonWriter &json) {
+                    json.field("foreign_key", 1);
+                }
+                }
+            """))
+        self.assertEqual(run(idx), [])
+
+    def test_group_with_no_matching_writer_is_skipped(self):
+        idx = index(("src/other/unrelated.cc", """
+            namespace atmsim {
+            void helper() {}
+            }
+        """))
+        self.assertEqual(run(idx), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -80,6 +80,16 @@ def validate_metric(name: str, entry: dict) -> None:
         for key in ("count", "sum", "mean", "min", "max", "underflow",
                     "overflow"):
             check_type(value, key, NUMBER)
+        layout = check_type(value, "layout", str)
+        require(
+            layout in ("linear", "edges"),
+            f"histogram '{name}' has unknown layout '{layout}'",
+        )
+        if layout == "linear":
+            check_type(value, "lo", NUMBER)
+            width = check_type(value, "width", NUMBER)
+            require(width > 0, f"histogram '{name}': width must be "
+                               "positive for a linear layout")
         buckets = check_type(value, "buckets", list)
         binned = 0
         for i, bucket in enumerate(buckets):
@@ -101,6 +111,16 @@ def validate_metric(name: str, entry: dict) -> None:
 
 def validate_build(build: dict) -> None:
     require(isinstance(build, dict), "build is not an object")
+    compiler = check_type(build, "compiler", str, allow_none=True)
+    require(
+        compiler is None or compiler != "",
+        "build.compiler is an empty string",
+    )
+    require("assertions" in build, "missing required key 'assertions'")
+    require(
+        isinstance(build["assertions"], bool),
+        "build.assertions is not a boolean",
+    )
     commit = check_type(build, "git_commit", str, allow_none=True)
     require("git_dirty" in build, "missing required key 'git_dirty'")
     dirty = build["git_dirty"]

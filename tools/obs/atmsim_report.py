@@ -13,6 +13,11 @@ tools/bench/validate_manifest.py). Four views:
   diff    <old> <new>     run-over-run regression diff: throughput,
                           phase shares, counters
 
+Every command also takes `--json`: same information as a single
+machine-readable JSON object on stdout (sorted keys, 2-space
+indent), so scripts and the CI golden diff consume a stable schema
+instead of parsing the human table.
+
 Output is deterministic for a given manifest (no clocks, no locale),
 so CI can diff a view of a committed manifest against a golden copy.
 
@@ -84,6 +89,66 @@ def table(rows: list[list[str]], header: list[str]) -> str:
     return "\n".join(out)
 
 
+def emit_json(data: dict) -> None:
+    json.dump(data, sys.stdout, indent=2, sort_keys=True)
+    print()
+
+
+def manifest_losses(manifest: dict) -> dict:
+    metrics = manifest.get("metrics", {})
+    return {
+        name: entry.get("value")
+        for name, entry in sorted(metrics.items())
+        if entry.get("kind") == "counter" and entry.get("value")
+        and (name.endswith(".dropped_events")
+             or name.endswith(".wrapped_events")
+             or name.endswith("spans_dropped"))
+    }
+
+
+def summary_data(manifest: dict) -> dict:
+    build = manifest.get("build", {})
+    engine = manifest.get("engine", {})
+    data = {
+        "tool": manifest.get("tool"),
+        "chip": manifest.get("chip"),
+        "seed": manifest.get("seed"),
+        "git_commit": build.get("git_commit"),
+        "git_dirty": bool(build.get("git_dirty")),
+        "jobs_requested": build.get("jobs_requested"),
+        "jobs_resolved": build.get("jobs_resolved",
+                                   manifest.get("jobs")),
+        "args": manifest.get("args", []),
+        "fault_campaign": manifest.get("fault_campaign"),
+        "interrupted": bool(manifest.get("interrupted")),
+        "engine": {
+            "runs": engine.get("runs", 0),
+            "steps": engine.get("steps", 0),
+            "steps_per_sec": engine.get("steps_per_sec", 0.0),
+        },
+        "wall_seconds": manifest.get("wall_seconds", 0.0),
+        "harness_counters": len(manifest.get("counters", {})),
+        "metric_entries": len(manifest.get("metrics", {})),
+        "losses": manifest_losses(manifest),
+        "fleet": None,
+    }
+    fleet = manifest.get("fleet")
+    if fleet is not None:
+        data["fleet"] = {
+            "shards_completed": fleet["shards_completed"],
+            "shards_total": fleet["shards_total"],
+            "shards_failed": fleet.get("shards_failed", 0),
+            "chips_done": fleet["chips_done"],
+            "chips_total": fleet["chips_total"],
+            "retries": fleet["retries"],
+            "resumed": bool(fleet.get("resumed")),
+            "partial_snapshots": sum(
+                1 for w in fleet.get("workers", [])
+                if w.get("partial") is not None),
+        }
+    return data
+
+
 def cmd_summary(manifest: dict) -> None:
     build = manifest.get("build", {})
     engine = manifest.get("engine", {})
@@ -133,14 +198,7 @@ def cmd_summary(manifest: dict) -> None:
 
     counters = manifest.get("counters", {})
     metrics = manifest.get("metrics", {})
-    losses = {
-        name: entry.get("value")
-        for name, entry in sorted(metrics.items())
-        if entry.get("kind") == "counter" and entry.get("value")
-        and (name.endswith(".dropped_events")
-             or name.endswith(".wrapped_events")
-             or name.endswith("spans_dropped"))
-    }
+    losses = manifest_losses(manifest)
     print(f"counters:    {len(counters)} harness, "
           f"{len(metrics)} metric entries")
     if losses:
@@ -149,6 +207,23 @@ def cmd_summary(manifest: dict) -> None:
         print(f"losses:      {pairs}")
     else:
         print("losses:      none recorded")
+
+
+def phases_data(manifest: dict) -> dict:
+    phases = manifest.get("engine", {}).get("phases", [])
+    total = sum(p["wall_ns"] for p in phases)
+    rows = []
+    for phase in sorted(phases, key=lambda p: -p["wall_ns"]):
+        rows.append({
+            "name": phase["name"],
+            "wall_ns": phase["wall_ns"],
+            "share_pct": (100.0 * phase["wall_ns"] / total
+                          if total else 0.0),
+            "calls": phase["calls"],
+            "ns_per_call": (phase["wall_ns"] / phase["calls"]
+                            if phase["calls"] else 0.0),
+        })
+    return {"phases": rows, "total_wall_ns": total}
 
 
 def cmd_phases(manifest: dict) -> None:
@@ -172,6 +247,38 @@ def cmd_phases(manifest: dict) -> None:
     print(table(rows, ["phase", "wall (ms)", "%", "calls",
                        "ns/call"]))
     print(f"total: {fmt_ms(total)} ms across {len(phases)} phases")
+
+
+def workers_data(manifest: dict) -> dict:
+    fleet = manifest.get("fleet")
+    workers = (fleet or {}).get("workers", [])
+    rows = []
+    for w in sorted(workers, key=lambda w: w["worker"]):
+        partial = w.get("partial")
+        rows.append({
+            "worker": w["worker"],
+            "pid": w["pid"],
+            "shards_completed": w["shards_completed"],
+            "chips_observed": w["chips_observed"],
+            "obs_messages": w["obs_messages"],
+            "span_events": w["span_events"],
+            "spans_dropped": w["spans_dropped"],
+            "partial": {
+                "shards": partial["shards"],
+                "chips_observed": partial["chips_observed"],
+            } if partial else None,
+        })
+    skew = None
+    if workers:
+        chips = [w["chips_observed"] for w in workers]
+        busiest, laziest = max(chips), min(chips)
+        skew = {
+            "busiest_chips": busiest,
+            "laziest_chips": laziest,
+            # null when a worker saw nothing: x/0 has no JSON spelling
+            "ratio": busiest / laziest if laziest else None,
+        }
+    return {"workers": rows, "skew": skew}
 
 
 def cmd_workers(manifest: dict) -> None:
@@ -222,6 +329,57 @@ def diff_line(name: str, old: float, new: float,
     return (f"  {name}: {fmt_num(old)} -> {fmt_num(new)}  {delta}")
 
 
+def diff_entry(old: float, new: float,
+               higher_is_better: bool) -> dict:
+    entry = {"old": old, "new": new, "change_pct": None,
+             "verdict": "no baseline"}
+    if old:
+        change = 100.0 * (new - old) / old
+        entry["change_pct"] = change
+        if abs(change) < 0.05:
+            entry["verdict"] = "same"
+        elif (change > 0) == higher_is_better:
+            entry["verdict"] = "better"
+        else:
+            entry["verdict"] = "worse"
+    return entry
+
+
+def diff_data(old: dict, new: dict) -> dict:
+    old_phases = {p["name"]: p for p in
+                  old.get("engine", {}).get("phases", [])}
+    new_phases = {p["name"]: p for p in
+                  new.get("engine", {}).get("phases", [])}
+    old_counters = old.get("counters", {})
+    new_counters = new.get("counters", {})
+    return {
+        "old_tool": old.get("tool"),
+        "old_commit": old.get("build", {}).get("git_commit"),
+        "new_tool": new.get("tool"),
+        "new_commit": new.get("build", {}).get("git_commit"),
+        "throughput": {
+            "engine.steps_per_sec": diff_entry(
+                old.get("engine", {}).get("steps_per_sec", 0.0),
+                new.get("engine", {}).get("steps_per_sec", 0.0),
+                higher_is_better=True),
+        },
+        "phase_wall_ms": {
+            name: diff_entry(
+                old_phases.get(name, {}).get("wall_ns", 0.0) * 1e-6,
+                new_phases.get(name, {}).get("wall_ns", 0.0) * 1e-6,
+                higher_is_better=False)
+            for name in sorted(set(old_phases) | set(new_phases))
+        },
+        "counters": {
+            name: {"old": old_counters.get(name, 0),
+                   "new": new_counters.get(name, 0),
+                   "changed": (old_counters.get(name, 0)
+                               != new_counters.get(name, 0))}
+            for name in sorted(set(old_counters) | set(new_counters))
+        },
+    }
+
+
 def cmd_diff(old: dict, new: dict) -> None:
     print(f"old: {old.get('tool')} @ "
           f"{(old.get('build', {}).get('git_commit') or '?')[:12]}")
@@ -261,26 +419,36 @@ def cmd_diff(old: dict, new: dict) -> None:
 
 
 def main(argv: list[str]) -> int:
+    as_json = "--json" in argv
+    argv = [a for a in argv if a != "--json"]
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2
     command = argv[1]
     if command in ("summary", "phases", "workers"):
         if len(argv) != 3:
-            print(f"usage: atmsim_report.py {command} <manifest.json>",
-                  file=sys.stderr)
+            print(f"usage: atmsim_report.py {command} [--json] "
+                  "<manifest.json>", file=sys.stderr)
             return 2
         manifest = load(argv[2])
-        {"summary": cmd_summary,
-         "phases": cmd_phases,
-         "workers": cmd_workers}[command](manifest)
+        if as_json:
+            emit_json({"summary": summary_data,
+                       "phases": phases_data,
+                       "workers": workers_data}[command](manifest))
+        else:
+            {"summary": cmd_summary,
+             "phases": cmd_phases,
+             "workers": cmd_workers}[command](manifest)
         return 0
     if command == "diff":
         if len(argv) != 4:
-            print("usage: atmsim_report.py diff <old.json> <new.json>",
-                  file=sys.stderr)
+            print("usage: atmsim_report.py diff [--json] "
+                  "<old.json> <new.json>", file=sys.stderr)
             return 2
-        cmd_diff(load(argv[2]), load(argv[3]))
+        if as_json:
+            emit_json(diff_data(load(argv[2]), load(argv[3])))
+        else:
+            cmd_diff(load(argv[2]), load(argv[3]))
         return 0
     print(f"atmsim_report: unknown command '{command}'",
           file=sys.stderr)
