@@ -26,6 +26,10 @@
  *   --jobs <n>          worker threads for parallel sweeps
  *                       (default: hardware concurrency; n >= 1;
  *                       outputs are identical at every n)
+ *   --engine-mode <m>   engine step-loop implementation: soa
+ *                       (default), legacy (identity reference), or
+ *                       sampled (steady-state fast-forward;
+ *                       approximate -- see EXPERIMENTS.md)
  *
  * The filtered argument list is exposed via argc()/argv() so
  * harnesses that reject unknown arguments keep doing so.
@@ -180,6 +184,8 @@ class BenchSession
         setConfig("sim.run_noise_ps", fmt(config.runNoisePs));
         setConfig("sim.stop_on_violation",
                   config.stopOnViolation ? "true" : "false");
+        setConfig("sim.engine_mode", sim::engineModeName(config.mode));
+        manifest_.engineMode = sim::engineModeName(config.mode);
         setSeed(config.seed);
     }
 
@@ -227,6 +233,7 @@ class BenchSession
         manifest_.engineSteps += result.steps;
         manifest_.engineWallSeconds += result.wallSeconds;
         manifest_.engineSimNs += result.durationNs;
+        manifest_.engineFastForwardedSteps += result.fastForwardedSteps;
         for (const auto &stat : result.phaseStats)
             mergePhase(stat);
         for (const auto &[name, value] : result.safety.named())
@@ -235,6 +242,16 @@ class BenchSession
 
     /** Resolved --jobs value (also installed as the process default). */
     int jobs() const { return jobs_; }
+
+    /** Engine step-loop implementation from --engine-mode (default
+     *  Soa). Harnesses copy this into their SimConfig. */
+    sim::EngineMode engineMode() const { return engineMode_; }
+
+    /** Apply the session's --engine-mode selection to a config. */
+    void applyEngineMode(sim::SimConfig &config) const
+    {
+        config.mode = engineMode_;
+    }
 
     bool manifestEnabled() const { return manifestEnabled_; }
     const std::string &manifestPath() const { return manifestPath_; }
@@ -285,6 +302,10 @@ class BenchSession
                 jobs_ = parseJobs(argv[++i]);
             } else if (arg.rfind("--jobs=", 0) == 0) {
                 jobs_ = parseJobs(arg.substr(7));
+            } else if (arg == "--engine-mode" && i + 1 < argc) {
+                engineMode_ = parseEngineMode(argv[++i]);
+            } else if (arg.rfind("--engine-mode=", 0) == 0) {
+                engineMode_ = parseEngineMode(arg.substr(14));
             } else {
                 args_.push_back(arg);
                 argvPtrs_.push_back(argv[i]);
@@ -307,6 +328,16 @@ class BenchSession
             util::fatal("--jobs wants an integer >= 1, got '" + text
                         + "'");
         return jobs;
+    }
+
+    static sim::EngineMode
+    parseEngineMode(const std::string &text)
+    {
+        sim::EngineMode mode = sim::EngineMode::Soa;
+        if (!sim::engineModeFromName(text, mode))
+            util::fatal("--engine-mode wants legacy, soa, or sampled,"
+                        " got '" + text + "'");
+        return mode;
     }
 
     static int
@@ -545,6 +576,7 @@ class BenchSession
     bool flightDumpForced_ = false;
     int flightCapacity_ = 256;
     int jobs_ = 0; ///< 0 until resolved in the constructor.
+    sim::EngineMode engineMode_ = sim::EngineMode::Soa;
     std::string manifestPath_;
     std::string tracePath_;
     std::string flightPath_;

@@ -8,7 +8,14 @@
  * trades margin for exposure when hardware misbehaves; the monitor
  * buys the margin back per-core, without touching healthy cores.
  *
- * Usage: fault_campaign [--csv <path>]
+ * Usage: fault_campaign [--csv <path>] [--serial-check]
+ *                       [--engine-mode legacy|soa|sampled]
+ *
+ * --serial-check re-runs the sweep serially through the legacy
+ * (object-per-core) engine and fails unless every cell's result is
+ * bitwise-identical to the parallel run -- one command exercises both
+ * the jobs-invariance contract and the SoA-vs-legacy identity
+ * contract at once.
  */
 
 #include <cstddef>
@@ -52,6 +59,36 @@ fmt2(double value)
 {
     std::ostringstream os;
     os << std::fixed << std::setprecision(2) << value;
+    return os.str();
+}
+
+/**
+ * Full-precision digest of one run result: every accumulator and
+ * counter as hexfloat, so two digests compare equal exactly when the
+ * results are bitwise-identical.
+ */
+std::string
+resultDigest(const sim::RunResult &result)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << result.durationNs << '|' << result.steps << '|'
+       << result.stoppedEarly << '|' << result.maxCoreTempC << '|'
+       << result.minGridV << '|' << result.chipPowerW.count() << ' '
+       << result.chipPowerW.mean() << ' ' << result.chipPowerW.m2();
+    for (const sim::CoreRunStats &cs : result.coreStats) {
+        os << '|' << cs.freqMhz.count() << ' ' << cs.freqMhz.mean()
+           << ' ' << cs.freqMhz.m2() << ' ' << cs.voltageV.mean()
+           << ' ' << cs.minVoltageV << ' ' << cs.emergencies << ' '
+           << cs.violations;
+    }
+    for (const sim::ViolationEvent &ev : result.violations) {
+        os << '|' << ev.timeNs << ' ' << ev.core << ' '
+           << ev.deficitPs << ' ' << static_cast<int>(ev.kind) << ' '
+           << ev.detected;
+    }
+    for (const auto &[name, value] : result.safety.named())
+        os << '|' << name << '=' << value;
     return os.str();
 }
 
@@ -111,6 +148,12 @@ main(int raw_argc, char **raw_argv)
     const core::LimitTable limits = bench::characterize(*chip, session);
     const auto &x264 = workload::findWorkload("x264");
 
+    bool serial_check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--serial-check")
+            serial_check = true;
+    }
+
     const std::string csv_path = bench::csvPathFromArgs(argc, argv);
     std::unique_ptr<util::CsvWriter> csv;
     if (!csv_path.empty()) {
@@ -131,45 +174,49 @@ main(int raw_argc, char **raw_argv)
     config.stopOnViolation = false;
     config.runNoisePs = 1.1;
     config.seed = 17;
+    session.applyEngineMode(config);
     session.setConfig(config);
 
     const std::size_t n_deploy = deployments.size();
     const std::size_t n_cells = points.size() * n_deploy;
+    const auto run_cell = [&](std::size_t i,
+                              const sim::SimConfig &cell_config,
+                              obs::MetricsRegistry *shard) {
+        const SweepPoint &point = points[i / n_deploy];
+        const Deployment &deployment = deployments[i % n_deploy];
+        const obs::Observability sinks{shard, nullptr};
+
+        chip::Chip cell_chip(chip->silicon(), chip->config());
+        core::Governor governor(&cell_chip, limits);
+        governor.setObservability(sinks);
+        governor.apply(deployment.policy);
+        cell_chip.assignWorkload(2, &x264);
+        fault::FaultCampaign campaign = campaignFor(point);
+
+        core::SafetyMonitorConfig monitor_config;
+        monitor_config.backoffBaseUs = 1.0;
+        monitor_config.maxBackoffUs = 4.0;
+        monitor_config.stageIntervalUs = 0.2;
+        core::SafetyMonitor monitor(
+            &cell_chip,
+            governor.reductions(deployment.policy),
+            monitor_config);
+        monitor.setObservability(sinks);
+
+        sim::SimEngine engine(&cell_chip, cell_config);
+        engine.setCampaign(&campaign);
+        if (deployment.monitored)
+            engine.setObserver(&monitor);
+        engine.setObservability(sinks);
+        return engine.run(12.0);
+    };
     std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(n_cells);
     const std::vector<sim::RunResult> results =
         exec::parallelMap<sim::RunResult>(
             n_cells,
             [&](std::size_t i) {
-                const SweepPoint &point = points[i / n_deploy];
-                const Deployment &deployment =
-                    deployments[i % n_deploy];
                 shards[i] = std::make_unique<obs::MetricsRegistry>();
-                const obs::Observability sinks{shards[i].get(),
-                                               nullptr};
-
-                chip::Chip cell_chip(chip->silicon(), chip->config());
-                core::Governor governor(&cell_chip, limits);
-                governor.setObservability(sinks);
-                governor.apply(deployment.policy);
-                cell_chip.assignWorkload(2, &x264);
-                fault::FaultCampaign campaign = campaignFor(point);
-
-                core::SafetyMonitorConfig monitor_config;
-                monitor_config.backoffBaseUs = 1.0;
-                monitor_config.maxBackoffUs = 4.0;
-                monitor_config.stageIntervalUs = 0.2;
-                core::SafetyMonitor monitor(
-                    &cell_chip,
-                    governor.reductions(deployment.policy),
-                    monitor_config);
-                monitor.setObservability(sinks);
-
-                sim::SimEngine engine(&cell_chip, config);
-                engine.setCampaign(&campaign);
-                if (deployment.monitored)
-                    engine.setObserver(&monitor);
-                engine.setObservability(sinks);
-                return engine.run(12.0);
+                return run_cell(i, config, shards[i].get());
             },
             session.jobs());
     for (const auto &shard : shards)
@@ -223,5 +270,41 @@ main(int raw_argc, char **raw_argv)
     if (supervised_silent == 0)
         std::cout << "the monitor detected every violation episode it "
                      "supervised.\n";
+
+    if (serial_check) {
+        // Re-run every cell serially through the legacy engine and
+        // demand bitwise identity: catches both a jobs-dependence and
+        // any SoA/legacy divergence in one pass.
+        sim::SimConfig reference = config;
+        reference.mode = sim::EngineMode::Legacy;
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < n_cells; ++i) {
+            obs::MetricsRegistry scratch;
+            const sim::RunResult ref = run_cell(i, reference, &scratch);
+            if (resultDigest(ref) != resultDigest(results[i])) {
+                std::cerr << "serial check: cell " << i << " ("
+                          << faultKindName(points[i / n_deploy].kind)
+                          << " x "
+                          << deployments[i % n_deploy].name
+                          << ") differs from the legacy engine\n";
+                ++mismatches;
+            }
+        }
+        if (mismatches > 0) {
+            std::cerr << "serial check FAILED: " << mismatches
+                      << " cell(s) diverge from the serial legacy "
+                         "run\n";
+            return 1;
+        }
+        std::cout << "serial check passed: all " << n_cells
+                  << " cells bitwise-identical to the serial legacy "
+                     "engine\n";
+        // Record the verdict in the manifest so a committed
+        // BENCH_fault_campaign.json is evidence of SoA/legacy
+        // identity, not just a console line.
+        session.setCounter("campaign.serial_check_cells",
+                           static_cast<double>(n_cells));
+        session.setCounter("campaign.serial_check_mismatches", 0.0);
+    }
     return supervised_silent == 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
  * differential at their limits.
  *
  * Usage: fig11_stress_test [--seed <n>] [--faults <campaign>]
+ *                          [--engine-mode legacy|soa|sampled]
  *
  * With --faults, the deployed (limit) configuration of chip 0 is
  * replayed through the detailed engine under the given fault campaign
@@ -58,6 +59,7 @@ replayCampaign(const std::string &campaign_text, std::uint64_t seed,
     config.stopOnViolation = false;
     config.runNoisePs = 1.1;
     config.seed = seed;
+    session.applyEngineMode(config);
     session.setChip(chip->name());
     session.setFaultCampaign(campaign_text);
     session.setConfig(config);

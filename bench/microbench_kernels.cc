@@ -89,6 +89,83 @@ BM_EngineStep(benchmark::State &state)
 BENCHMARK(BM_EngineStep)->Unit(benchmark::kMicrosecond);
 
 void
+BM_EngineStepLegacy(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    const auto &gcc = workload::findWorkload("gcc");
+    chip.assignWorkload(0, &gcc);
+    // The pre-SoA object-per-core loop; the BM_EngineStep /
+    // BM_EngineStepLegacy pair measures the SoA kernel win on
+    // bitwise-identical work.
+    sim::SimConfig config;
+    config.mode = sim::EngineMode::Legacy;
+    for (auto _ : state) {
+        sim::SimEngine engine(&chip, config);
+        benchmark::DoNotOptimize(engine.run(0.1).durationNs);
+    }
+    state.SetItemsProcessed(state.iterations() * 500); // steps per run
+    chip.clearAssignments();
+}
+BENCHMARK(BM_EngineStepLegacy)->Unit(benchmark::kMicrosecond);
+
+void
+BM_EngineStepSoA(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    const auto &gcc = workload::findWorkload("gcc");
+    chip.assignWorkload(0, &gcc);
+    // Explicitly-SoA run (BM_EngineStep inherits the default mode, so
+    // this one stays meaningful if the default ever moves).
+    sim::SimConfig config;
+    config.mode = sim::EngineMode::Soa;
+    for (auto _ : state) {
+        sim::SimEngine engine(&chip, config);
+        benchmark::DoNotOptimize(engine.run(0.1).durationNs);
+    }
+    state.SetItemsProcessed(state.iterations() * 500); // steps per run
+    chip.clearAssignments();
+}
+BENCHMARK(BM_EngineStepSoA)->Unit(benchmark::kMicrosecond);
+
+void
+BM_EngineStepSampled(benchmark::State &state)
+{
+    chip::Chip &chip = referenceChip();
+    chip.clearAssignments();
+    // Idle chip, long window: the steady-state detector arms and the
+    // run fast-forwards most steps. Items = steps *advanced*, so the
+    // per-step rate here shows the sampled-mode throughput win.
+    sim::SimConfig config;
+    config.mode = sim::EngineMode::Sampled;
+    long steps = 0;
+    for (auto _ : state) {
+        sim::SimEngine engine(&chip, config);
+        const sim::RunResult result = engine.run(2.0);
+        steps += result.steps;
+        benchmark::DoNotOptimize(result.durationNs);
+    }
+    state.SetItemsProcessed(steps);
+    chip.clearAssignments();
+}
+BENCHMARK(BM_EngineStepSampled)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SteadyStateDetector(benchmark::State &state)
+{
+    // The detector's per-step cost (one branch + one increment); it
+    // rides the sampled-mode hot loop, so it must stay trivial.
+    sim::SteadyStateDetector detect{sim::SteadyStateConfig{}};
+    std::uint64_t tick = 0;
+    for (auto _ : state) {
+        detect.note((++tick & 1023u) != 0u);
+        benchmark::DoNotOptimize(detect.armed());
+    }
+}
+BENCHMARK(BM_SteadyStateDetector);
+
+void
 BM_EngineStepFlightRecorder(benchmark::State &state)
 {
     chip::Chip &chip = referenceChip();

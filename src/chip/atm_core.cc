@@ -69,8 +69,8 @@ AtmCore::stepControl(Nanoseconds now, Volts v, Celsius t)
         vSlow_ = v;
         vSlowValid_ = true;
     } else {
-        constexpr double alpha = 0.0015; // ~150 ns at 0.2 ns steps
-        vSlow_ += (v - vSlow_) * alpha;
+        // ~150 ns time constant at 0.2 ns steps.
+        vSlow_ += (v - vSlow_) * kVSlowTrackingAlpha;
     }
 
     if (mode_ != CoreMode::AtmOverclock)
@@ -107,6 +107,24 @@ AtmCore::timingDeficitPs(Volts v, Celsius t, Picoseconds extra_path,
             * (silicon_->speedFactor * model_->factor(v_eff, t))
         + noise;
     return real - periodPs();
+}
+
+ControlState
+AtmCore::exportControlState() const
+{
+    ControlState state;
+    state.vSlowV = vSlow_.value();
+    state.vSlowValid = vSlowValid_;
+    state.lastWorstCount = lastWorstCount_;
+    return state;
+}
+
+void
+AtmCore::importControlState(const ControlState &state)
+{
+    vSlow_ = Volts{state.vSlowV};
+    vSlowValid_ = state.vSlowValid;
+    lastWorstCount_ = state.lastWorstCount;
 }
 
 Picoseconds

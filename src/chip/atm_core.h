@@ -32,6 +32,26 @@ enum class CoreMode {
 /** Printable mode name. */
 const char *coreModeName(CoreMode mode);
 
+/**
+ * EWMA coefficient of the slow-tracked local voltage reference the
+ * timing model measures droop excursions against. Shared between
+ * AtmCore::stepControl and the engine's SoA control kernel, which
+ * must replicate the tracking arithmetic bit for bit.
+ */
+inline constexpr double kVSlowTrackingAlpha = 0.0015;
+
+/**
+ * Snapshot of a core's control-loop tracking state (the part of
+ * AtmCore the engine's SoA mirror owns between sync points; the DPLL
+ * state travels separately via dpll::DpllState).
+ */
+struct ControlState
+{
+    double vSlowV = 0.0;
+    bool vSlowValid = false;
+    int lastWorstCount = -1;
+};
+
 /** A core instance: silicon + CPM bank + DPLL. */
 class AtmCore
 {
@@ -126,6 +146,13 @@ class AtmCore
      * the bank.
      */
     int lastWorstCount() const { return lastWorstCount_; }
+
+    /** Export the control tracking state (SoA mirror handshake). */
+    [[nodiscard]] ControlState exportControlState() const;
+
+    /** Restore a state from exportControlState() (lossless round
+     *  trip). */
+    void importControlState(const ControlState &state);
 
     // --- Analytic interface --------------------------------------------
 

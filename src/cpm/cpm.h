@@ -112,6 +112,17 @@ class Cpm
     /** True while any fault is injected. */
     bool faulted() const { return stuckActive_ || skippedSegments_ > 0; }
 
+    // --- SoA export ----------------------------------------------------
+
+    /** Cached zero-factor monitored delay (see nominalPs_). */
+    double nominalPs() const { return nominalPs_; }
+
+    /** True while the output is pinned by injectStuckOutput(). */
+    bool stuckActive() const { return stuckActive_; }
+
+    /** The pinned count while stuckActive() (undefined otherwise). */
+    int stuckOutputCount() const { return stuckCount_; }
+
   private:
     /** Recompute the cached zero-factor monitored delay. */
     void refreshNominal();

@@ -94,6 +94,16 @@ CpmBank::clearFaults()
         s.clearFaults();
 }
 
+void
+CpmBank::exportSoa(double *nominal_speed, int *stuck_counts) const
+{
+    for (std::size_t s = 0; s < sites_.size(); ++s) {
+        nominal_speed[s] = sites_[s].nominalPs() * core_->speedFactor;
+        stuck_counts[s] =
+            sites_[s].stuckActive() ? sites_[s].stuckOutputCount() : -1;
+    }
+}
+
 bool
 CpmBank::anyFaulted() const
 {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cpm/cpm.h"
+#include "util/hotpath_annotations.h"
 
 namespace atmsim::cpm {
 
@@ -62,11 +63,69 @@ class CpmBank
 
     const variation::CoreSiliconParams &core() const { return *core_; }
 
+    // --- SoA export ----------------------------------------------------
+
+    /**
+     * Flatten the bank for the engine's SoA kernels: per site, the
+     * speed-scaled nominal delay (`Cpm::nominalPs() * speedFactor`,
+     * the product the per-object path forms inside
+     * Cpm::monitoredDelayPs) and the pinned output count (-1 while
+     * the site is healthy, the stuck count while faulted). Both
+     * output arrays receive siteCount() entries. Must be re-exported
+     * after setReduction, fault injection, or an aging jump.
+     */
+    void exportSoa(double *nominal_speed, int *stuck_counts) const;
+
   private:
     const variation::CoreSiliconParams *core_;
     const circuit::DelayModel *model_;
     std::vector<Cpm> sites_;
     CpmSteps reduction_{0};
 };
+
+/**
+ * Array-form CpmBank::worstCount() over the flattened site state from
+ * exportSoa(). Replicates the per-object arithmetic operation for
+ * operation (the SoA engine path is gated on bitwise identity):
+ * per site, monitored = nominalSpeed * factor; slack = period -
+ * monitored; count = floor(slack / (chainStep * factor * speed)),
+ * saturated at the chain length, pinned while the site is stuck.
+ *
+ * @param nominal_speed   Per-site `nominalPs * speedFactor` array.
+ * @param stuck_counts    Per-site pinned count, -1 while healthy.
+ * @param site_count      Sites per core (>= 1).
+ * @param periodPs        Clock period (raw ps).
+ * @param delayFactor     DelayModel::factor(v, t) for this core.
+ * @param effectiveStepPs Chain step delay scaled by
+ *                        `delayFactor * speedFactor` -- constant
+ *                        across the sites of a core, hoisted out.
+ * @param chain_length    Quantizer saturation count.
+ */
+ATM_HOT_PATH(engine_step)
+[[nodiscard]] inline int
+worstCountSoa(const double *nominal_speed, const int *stuck_counts,
+              int site_count, double periodPs, double delayFactor,
+              double effectiveStepPs, int chain_length) noexcept
+{
+    int worst = 0;
+    for (int s = 0; s < site_count; ++s) {
+        int count;
+        if (stuck_counts[s] >= 0) {
+            count = stuck_counts[s];
+        } else {
+            const double slack = periodPs - nominal_speed[s] * delayFactor;
+            if (slack <= 0.0) {
+                count = 0;
+            } else {
+                count = static_cast<int>(slack / effectiveStepPs);
+                if (chain_length < count)
+                    count = chain_length;
+            }
+        }
+        if (s == 0 || count < worst)
+            worst = count;
+    }
+    return worst;
+}
 
 } // namespace atmsim::cpm

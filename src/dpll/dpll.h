@@ -10,6 +10,12 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hotpath_annotations.h"
 #include "util/quantity.h"
 
 namespace atmsim::dpll {
@@ -49,6 +55,25 @@ struct DpllParams
     /** Clock period bounds. */
     Picoseconds minPeriod{166.0}; ///< ~6.0 GHz
     Picoseconds maxPeriod{500.0}; ///< ~2.0 GHz
+};
+
+/**
+ * Snapshot of one loop's mutable state, for the engine's SoA mirror
+ * (DpllBankSoa). Raw doubles: the engine keeps these in contiguous
+ * per-core arrays and round-trips them through export/import around
+ * fault edges and observer callbacks.
+ */
+struct DpllState
+{
+    double periodPs = 250.0;
+    double lastUpdateNs = -1e18;
+    double lastEmergencyNs = -1e18;
+    long emergencies = 0;
+    long slewDowns = 0;
+    long slewUps = 0;
+    int heldMargin = 0;
+    bool heldValid = false;
+    bool dropout = false;
 };
 
 /** Slew-limited adaptive clock generator. */
@@ -101,6 +126,14 @@ class Dpll
 
     const DpllParams &params() const { return params_; }
 
+    /** Export the mutable loop state (SoA mirror handshake). */
+    [[nodiscard]] DpllState exportState() const;
+
+    /** Restore a state previously produced by exportState(). The
+     *  period is taken verbatim (no re-clamp): a round trip must be
+     *  lossless. */
+    void importState(const DpllState &state);
+
   private:
     void clampPeriod();
 
@@ -114,6 +147,106 @@ class Dpll
     bool dropout_ = false;
     int heldMargin_ = 0;
     bool heldValid_ = false;
+};
+
+/**
+ * Structure-of-arrays mirror of a bank of per-core DPLLs, for the
+ * engine's SoA step path (DESIGN.md, engine architecture). All cores
+ * of a chip share one DpllParams (chip::ChipConfig::dpllParams), so
+ * the parameters live here once and the per-loop state is contiguous
+ * arrays. observe() replicates Dpll::observe() operation for
+ * operation -- the SoA engine mode is gated on bitwise identity with
+ * the per-object path.
+ *
+ * `adjustments` counts every period modification (slew or emergency
+ * stretch); the steady-state detector reads it to decide whether the
+ * clocks have settled without comparing floating-point periods.
+ */
+struct DpllBankSoa
+{
+    std::vector<double> periodPs;
+    std::vector<double> lastUpdateNs;
+    std::vector<double> lastEmergencyNs;
+    std::vector<long> emergencies;
+    std::vector<long> slewDowns;
+    std::vector<long> slewUps;
+    std::vector<int> heldMargin;
+    std::vector<std::uint8_t> heldValid;
+    std::vector<std::uint8_t> dropout;
+    long adjustments = 0;
+
+    // Params flattened to raw doubles once at build time.
+    double updateIntervalNs = 2.0;
+    double emergencyHoldoffNs = 1.0;
+    double slewDownPerCount = 0.004;
+    double slewUpPerCount = 0.0008;
+    double emergencyStretchFrac = 0.01;
+    double minPeriodPs = 166.0;
+    double maxPeriodPs = 500.0;
+    int targetCounts = 4;
+    int emergencyCounts = 1;
+    int slewUpCapCounts = 4;
+
+    /** Size the arrays and flatten the shared params. */
+    // atmlint: contract(cold)
+    void resize(std::size_t cores, const DpllParams &params);
+
+    /** Import one loop's state (object -> arrays). */
+    void load(std::size_t core, const Dpll &loop);
+
+    /** Export one loop's state (arrays -> object). */
+    void store(std::size_t core, Dpll &loop) const;
+
+    /**
+     * Array-form Dpll::observe(): identical control flow and
+     * arithmetic, indexed into the SoA arrays.
+     */
+    ATM_HOT_PATH(engine_step)
+    void observe(std::size_t core, double nowNs, int marginCounts) noexcept
+    {
+        if (dropout[core]) {
+            if (!heldValid[core])
+                return;
+            marginCounts = heldMargin[core];
+        } else {
+            heldMargin[core] = marginCounts;
+            heldValid[core] = 1;
+        }
+        if (marginCounts <= emergencyCounts) {
+            if (nowNs - lastEmergencyNs[core] >= emergencyHoldoffNs) {
+                periodPs[core] *= 1.0 + emergencyStretchFrac;
+                lastEmergencyNs[core] = nowNs;
+                ++emergencies[core];
+                clampPeriod(core);
+                ++adjustments;
+            }
+            lastUpdateNs[core] = nowNs;
+            return;
+        }
+        if (nowNs - lastUpdateNs[core] < updateIntervalNs)
+            return;
+        lastUpdateNs[core] = nowNs;
+
+        const int error = marginCounts - targetCounts;
+        if (error < 0) {
+            periodPs[core] *= 1.0 + slewDownPerCount * (-error);
+            ++slewDowns[core];
+            ++adjustments;
+        } else if (error > 0) {
+            const int step = std::min(error, slewUpCapCounts);
+            periodPs[core] *= 1.0 - slewUpPerCount * step;
+            ++slewUps[core];
+            ++adjustments;
+        }
+        clampPeriod(core);
+    }
+
+    ATM_HOT_PATH(engine_step)
+    void clampPeriod(std::size_t core) noexcept
+    {
+        periodPs[core] =
+            std::clamp(periodPs[core], minPeriodPs, maxPeriodPs);
+    }
 };
 
 } // namespace atmsim::dpll

@@ -1,5 +1,7 @@
 #include "fault/fault_campaign.h"
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.h"
@@ -93,6 +95,19 @@ FaultCampaign::anyActive() const
             return true;
     }
     return false;
+}
+
+double
+FaultCampaign::nextEdgeNs() const
+{
+    double next = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+        if (phases_[i] == Phase::Pending)
+            next = std::min(next, faults_[i].startNs());
+        else if (phases_[i] == Phase::Active)
+            next = std::min(next, faults_[i].endNs());
+    }
+    return next;
 }
 
 bool

@@ -66,6 +66,16 @@ class FaultCampaign
     /** True when every fault has been activated and expired. */
     bool allDone() const;
 
+    /**
+     * Earliest upcoming schedule edge (ns): the soonest pending
+     * activation or active-fault expiration. +infinity once every
+     * fault is done. The engine skips the fault phase entirely on
+     * steps before this time -- the campaign scan (and its
+     * profiling span) used to run every 0.2 ns step of a campaign
+     * even when nothing could possibly fire.
+     */
+    [[nodiscard]] double nextEdgeNs() const;
+
   private:
     enum class Phase { Pending, Active, Done };
 

@@ -15,6 +15,7 @@ constexpr const char *kKindNames[kFlightEventKinds] = {
     "margin",     "fmax",     "droop_enter", "droop_exit",
     "violation",  "quarantine", "fallback",  "recovery",
     "anomaly",    "fault_inject", "fault_revert",
+    "fast_forward_enter", "fast_forward_exit",
 };
 
 } // namespace

@@ -53,10 +53,14 @@ enum class FlightEventKind : std::uint8_t {
     Anomaly,     ///< Safety monitor flagged a sensor anomaly.
     FaultInject, ///< Campaign fault activated (value = fault index).
     FaultRevert, ///< Campaign fault expired (value = fault index).
+    FastForwardEnter, ///< Sampled mode began fast-forwarding
+                      ///  (value = start step).
+    FastForwardExit,  ///< Sampled mode resumed cycle stepping
+                      ///  (value = steps fast-forwarded).
 };
 
 /** Number of distinct event kinds. */
-inline constexpr int kFlightEventKinds = 11;
+inline constexpr int kFlightEventKinds = 13;
 
 /**
  * Printable (and parseable) kind name, e.g. "droop_enter". Returns

@@ -12,6 +12,16 @@ RunManifest::stepsPerSec() const
     return static_cast<double>(engineSteps) / engineWallSeconds;
 }
 
+double
+RunManifest::fastForwardSpeedup() const
+{
+    if (engineFastForwardedSteps <= 0
+        || engineFastForwardedSteps >= engineSteps)
+        return 1.0;
+    return static_cast<double>(engineSteps)
+         / static_cast<double>(engineSteps - engineFastForwardedSteps);
+}
+
 void
 RunManifest::setCounter(const std::string &name, double value)
 {
@@ -88,6 +98,9 @@ RunManifest::writeJson(std::ostream &os) const
     json.field("wall_seconds", engineWallSeconds);
     json.field("sim_ns", engineSimNs);
     json.field("steps_per_sec", stepsPerSec());
+    json.field("mode", engineMode);
+    json.field("fast_forwarded_steps", engineFastForwardedSteps);
+    json.field("speedup", fastForwardSpeedup());
     json.key("phases").beginArray();
     for (const PhaseStat &phase : phases) {
         json.beginObject();

@@ -143,8 +143,22 @@ struct RunManifest
     double engineWallSeconds = 0.0; ///< Wall time inside run().
     double engineSimNs = 0.0; ///< Total simulated time (ns).
 
+    /** Engine execution mode ("legacy", "soa", "sampled"). */
+    std::string engineMode = "soa";
+
+    /** Steps covered by sampled-mode fast-forward (subset of
+     *  engineSteps; 0 outside sampled mode). */
+    long engineFastForwardedSteps = 0;
+
     /** Engine throughput; the CI regression gate reads this. */
     [[nodiscard]] double stepsPerSec() const;
+
+    /**
+     * Cycle-stepping work avoided by fast-forward:
+     * steps / (steps - fast_forwarded_steps). 1.0 outside sampled
+     * mode (or when the detector never armed).
+     */
+    [[nodiscard]] double fastForwardSpeedup() const;
 
     /** Per-phase wall-clock breakdown (engine phases). */
     std::vector<PhaseStat> phases;

@@ -135,6 +135,13 @@ struct RunResult
     /** Engine steps actually advanced. */
     long steps = 0;
 
+    /**
+     * Steps covered by sampled-mode fast-forward (a subset of steps:
+     * they were skipped over with closed-form updates instead of
+     * being cycle-stepped). 0 in Legacy/Soa modes.
+     */
+    long fastForwardedSteps = 0;
+
     /** Wall-clock time spent inside run() (seconds; always filled). */
     double wallSeconds = 0.0;
 

@@ -43,9 +43,19 @@ const char *const kPhaseNames[kPhaseCount] = {
  * A core counts as drooping while its rail sits this far below its
  * DC operating point. The paper's Sec. III-B droop races live in the
  * tens-of-mV band; 30 mV marks the excursions big enough to matter
- * without flooding the flight recorder with supply ripple.
+ * without flooding the flight recorder with supply ripple. The
+ * sampled-mode quiet gate reuses the same threshold: a rail that
+ * would not even register as a droop excursion is steady enough to
+ * fast-forward over.
  */
 constexpr double kFlightDroopThresholdV = 0.03;
+
+/**
+ * Times at or beyond this are treated as "never" when converting to a
+ * step index (fault campaigns and activity generators report
+ * +infinity / 1e30 sentinels when nothing is scheduled).
+ */
+constexpr double kUnboundedTimeNs = 1e17;
 
 /** Metric instruments the engine updates, resolved once per run. */
 struct EngineMetrics
@@ -151,7 +161,66 @@ class PhaseSpanFlusher
     double lastWallNs_[kPhaseCount] = {};
 };
 
+// Profiler construction allocates its name table; carved out of the
+// contracted run bodies (guaranteed copy elision hands the instance
+// straight to the caller's local).
+// atmlint: contract(cold)
+obs::PhaseProfiler
+makeEngineProfiler(bool wants_wall_clock)
+{
+    return obs::PhaseProfiler(
+        std::vector<const char *>(kPhaseNames, kPhaseNames + kPhaseCount),
+        wants_wall_clock);
+}
+
+/**
+ * First step index whose simulation time is at or past `timeNs`.
+ * Sentinel times (+inf, the generators' 1e30 "nothing scheduled")
+ * map to a huge-but-overflow-safe index instead of tripping the
+ * undefined double->long cast.
+ */
+ATM_HOT_PATH(engine_step)
+[[nodiscard]] long
+stepAtOrAfter(double timeNs, double dtNs) noexcept
+{
+    if (!(timeNs < kUnboundedTimeNs))
+        return std::numeric_limits<long>::max() / 2;
+    return static_cast<long>(std::ceil(timeNs / dtNs));
+}
+
 } // namespace
+
+const char *
+engineModeName(EngineMode mode)
+{
+    switch (mode) {
+      case EngineMode::Legacy:
+        return "legacy";
+      case EngineMode::Soa:
+        return "soa";
+      case EngineMode::Sampled:
+        return "sampled";
+    }
+    return "unknown";
+}
+
+bool
+engineModeFromName(std::string_view name, EngineMode &out)
+{
+    if (name == "legacy") {
+        out = EngineMode::Legacy;
+        return true;
+    }
+    if (name == "soa") {
+        out = EngineMode::Soa;
+        return true;
+    }
+    if (name == "sampled") {
+        out = EngineMode::Sampled;
+        return true;
+    }
+    return false;
+}
 
 SimEngine::SimEngine(chip::Chip *target, const SimConfig &config)
     : chip_(target), config_(config)
@@ -187,49 +256,80 @@ SimEngine::eventCurrentFor(const variation::CoreSiliconParams &core,
     return droop_v * swing / gain_v_per_a;
 }
 
-// The step loop sits under the engine_step hot-path contract: at a
-// 0.2 ns dt a millisecond of sim time is five million iterations, so
-// nothing reachable from here may allocate, lock, stream, or read a
-// wall clock (per-run setup that must do those things is carved out
-// with contract(cold) markers on the helpers above).
-// atmlint: contract(engine_step)
-RunResult
-SimEngine::run(double duration_us)
+/**
+ * Per-run scratch shared by the step-loop variants: everything the
+ * pre-refactor run() kept as locals, sized once in prepareRun() so
+ * the hot loops never allocate.
+ */
+struct SimEngine::RunScratch
+{
+    std::vector<workload::ActivityGenerator> activity;
+    std::vector<Picoseconds> exposurePs;
+    std::vector<double> activityW;
+    chip::ChipSteadyState steady;
+    std::vector<Watts> corePower;
+    std::vector<Amps> coreCurrent;
+    std::vector<Amps> instantCurrent;
+    Amps uncoreCurrent{0.0};
+    std::vector<char> inViolation;
+    std::vector<char> inDroop;
+    std::vector<CoreSample> frame;
+    std::vector<std::size_t> faultEdges;
+    util::Rng failRng{0};
+    Seconds dtStep{0.0};
+    Seconds dtSlow{0.0};
+    Picoseconds runNoise{0.0};
+    long totalSteps = 0;
+
+    /** Next fault activation or expiration; +inf when the campaign is
+     *  exhausted (or absent). The step loop skips the campaign scan
+     *  entirely until simulation time reaches this. */
+    double nextFaultEdgeNs = std::numeric_limits<double>::infinity();
+
+    // Indexed violation store (the capacity is a true bound, so the
+    // hot path writes by index instead of push_back).
+    std::size_t violationCap = 0;
+    std::size_t violationCount = 0;
+
+    // Sampled-mode steady-state trackers.
+    long prevDpllAdjustments = 0;
+    double prevPkgC = 0.0;
+    bool thermalQuiet = true;
+};
+
+/** Loop-invariant references threaded through the sampled-mode
+ *  fast-forward (all owned by runSoa's frame). */
+struct SimEngine::SoaCtx
+{
+    chip::Chip &chip;
+    EngineSoaState &soa;
+    RunScratch &scratch;
+    RunResult &result;
+    EngineMetrics &met;
+    obs::PhaseProfiler &profiler;
+    PhaseSpanFlusher &spans;
+    obs::FlightRecorder *flight;
+    util::WarnThrottle &gridWarn;
+};
+
+// Per-run setup: activity generators, DC settle, clock resets,
+// campaign arming, result sizing, observer onRunStart. Runs once
+// before the step loop; its allocations are off the hot path.
+// atmlint: contract(cold)
+void
+SimEngine::prepareRun(RunScratch &scratch, RunResult &result,
+                      double duration_us)
 {
     chip::Chip &chip = *chip_;
     const int n = chip.coreCount();
     util::Rng rng(config_.seed);
-    const double run_start_wall_ns = obs::monotonicWallNs();
-
-    // --- Observability wiring (all optional). The profiler charges
-    // two clock reads per phase, so it keys off the backends that
-    // consume wall time -- a flight-recorder-only attachment stays on
-    // the sim-time-only fast path.
-    obs::PhaseProfiler profiler(
-        std::vector<const char *>(kPhaseNames,
-                                  kPhaseNames + kPhaseCount),
-        obs_.wantsWallClock());
-    EngineMetrics met(obs_.metrics);
-    obs::FlightRecorder *const flight = obs_.flight;
-    PhaseSpanFlusher spans(obs_.trace, profiler);
-    int trk_violations = 0;
-    int trk_faults = 0;
-    if (obs_.trace) {
-        trk_violations = obs_.trace->track("engine.violations");
-        trk_faults = obs_.trace->track("engine.fault_edges");
-    }
-    if (met.runs)
-        met.runs->inc();
-    util::WarnThrottle grid_warn("engine.grid");
-
-    double t0 = profiler.begin();
 
     // --- Per-core setup from the current assignments.
-    std::vector<workload::ActivityGenerator> activity;
-    std::vector<Picoseconds> exposure_ps(static_cast<std::size_t>(n),
-                                         Picoseconds{0.0});
-    std::vector<double> activity_w(static_cast<std::size_t>(n), 0.0);
-    activity.reserve(static_cast<std::size_t>(n));
+    scratch.exposurePs.assign(static_cast<std::size_t>(n),
+                              Picoseconds{0.0});
+    scratch.activityW.assign(static_cast<std::size_t>(n), 0.0);
+    scratch.activity.clear();
+    scratch.activity.reserve(static_cast<std::size_t>(n));
     int synchronized_cores = 0;
     for (int c = 0; c < n; ++c) {
         const chip::CoreAssignment &slot = chip.assignment(c);
@@ -245,109 +345,191 @@ SimEngine::run(double duration_us)
             slot.idle() ? workload::idleWorkload() : *slot.traits;
         const variation::CoreSiliconParams &silicon =
             chip.core(c).silicon();
-        exposure_ps[ci] = chip::Chip::pathExposurePs(silicon, traits);
-        activity_w[ci] = slot.idle()
-                       ? 0.0
-                       : traits.coreActivityW(slot.threads);
+        scratch.exposurePs[ci] = chip::Chip::pathExposurePs(silicon,
+                                                            traits);
+        scratch.activityW[ci] = slot.idle()
+                              ? 0.0
+                              : traits.coreActivityW(slot.threads);
         const int sync =
             traits.stress == workload::StressClass::Virus
                 ? synchronized_cores
                 : 1;
-        activity.emplace_back(&traits,
-                              eventCurrentFor(silicon, traits, sync),
-                              rng.fork(static_cast<std::uint64_t>(c) + 7));
+        scratch.activity.emplace_back(
+            &traits, eventCurrentFor(silicon, traits, sync),
+            rng.fork(static_cast<std::uint64_t>(c) + 7));
     }
 
     // --- Settle the DC operating point and start the clocks there.
-    const chip::ChipSteadyState steady = chip.solveSteadyState();
-    std::vector<Watts> core_power = steady.corePowerW;
-    std::vector<Amps> core_current(static_cast<std::size_t>(n),
-                                   Amps{0.0});
-    Amps uncore_current{0.0};
+    scratch.steady = chip.solveSteadyState();
+    scratch.corePower = scratch.steady.corePowerW;
+    scratch.coreCurrent.assign(static_cast<std::size_t>(n), Amps{0.0});
     {
         std::vector<Amps> dc(static_cast<std::size_t>(n), Amps{0.0});
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            dc[ci] = power::PowerModel::currentA(core_power[ci],
-                                                 steady.gridVoltageV);
+            dc[ci] = power::PowerModel::currentA(
+                scratch.corePower[ci], scratch.steady.gridVoltageV);
         }
-        uncore_current = power::PowerModel::currentA(
-            chip.powerModel().uncoreW(steady.gridVoltageV),
-            steady.gridVoltageV);
-        chip.pdn().settle(dc, uncore_current);
-        chip.thermal().settle(core_power,
+        scratch.uncoreCurrent = power::PowerModel::currentA(
+            chip.powerModel().uncoreW(scratch.steady.gridVoltageV),
+            scratch.steady.gridVoltageV);
+        chip.pdn().settle(dc, scratch.uncoreCurrent);
+        chip.thermal().settle(scratch.corePower,
                               chip.powerModel().uncoreW(
-                                  steady.gridVoltageV));
-        core_current = dc;
+                                  scratch.steady.gridVoltageV));
+        scratch.coreCurrent = dc;
     }
     for (int c = 0; c < n; ++c) {
         const auto ci = static_cast<std::size_t>(c);
-        chip.core(c).resetClock(steady.coreVoltageV[ci],
-                                steady.coreTempC[ci]);
+        chip.core(c).resetClock(scratch.steady.coreVoltageV[ci],
+                                scratch.steady.coreTempC[ci]);
     }
-    profiler.end(kPhaseSettle, t0);
 
-    // --- Fault campaign arming.
-    fault::FaultInjector injector(chip_);
+    // --- Fault campaign arming. Scratch for edge collection is sized
+    // once so the step loop never grows it (a campaign can fire at
+    // most every spec at one edge).
     if (campaign_) {
         campaign_->validate(n);
         campaign_->reset();
+        scratch.faultEdges.reserve(campaign_->size());
+        scratch.nextFaultEdgeNs = campaign_->nextEdgeNs();
     }
-    // Scratch for fault edge collection; sized once so the step loop
-    // never grows it (a campaign can fire at most every spec at one
-    // edge).
-    std::vector<std::size_t> fault_edges;
-    if (campaign_)
-        fault_edges.reserve(campaign_->size());
 
-    // --- Main loop.
-    RunResult result;
+    // --- Result sizing and loop constants.
     result.coreStats.resize(static_cast<std::size_t>(n));
     const double duration_ns = duration_us * 1e3;
-    const long total_steps =
+    scratch.totalSteps =
         static_cast<long>(std::ceil(duration_ns / config_.dtNs));
     const double dt_s = config_.dtNs * 1e-9;
     // Hoisted per-step constants: these were rebuilt every iteration
     // (and run_noise twice per core) inside the 0.2 ns loop.
-    const Seconds dt_step{dt_s};
-    const Seconds dt_slow{dt_s * config_.slowCadence};
-    const Picoseconds run_noise{config_.runNoisePs};
-    std::vector<Amps> instant_current(static_cast<std::size_t>(n),
-                                      Amps{0.0});
-    std::vector<char> in_violation(static_cast<std::size_t>(n), 0);
-    std::vector<char> in_droop(static_cast<std::size_t>(n), 0);
-    std::vector<CoreSample> frame(static_cast<std::size_t>(n));
-    util::Rng fail_rng = rng.fork(0xfa11);
+    scratch.dtStep = Seconds{dt_s};
+    scratch.dtSlow = Seconds{dt_s * config_.slowCadence};
+    scratch.runNoise = Picoseconds{config_.runNoisePs};
+    scratch.instantCurrent.assign(static_cast<std::size_t>(n),
+                                  Amps{0.0});
+    scratch.inViolation.assign(static_cast<std::size_t>(n), 0);
+    scratch.inDroop.assign(static_cast<std::size_t>(n), 0);
+    scratch.frame.resize(static_cast<std::size_t>(n));
+    scratch.failRng = rng.fork(0xfa11);
 
-    // Violation episodes are rare; still, growing the store inside
-    // the loop is avoidable. A stop-on-violation run holds at most
-    // one episode per core; a ride-through run is capped anyway.
-    result.violations.reserve(
-        config_.stopOnViolation
-            ? static_cast<std::size_t>(n)
-            : std::min(kMaxStoredViolations,
-                       static_cast<std::size_t>(total_steps)));
+    // Violation episodes are rare, but growing the store inside the
+    // loop is avoidable: a stop-on-violation run holds at most one
+    // episode per core (the step that fires them is the last), and a
+    // ride-through run stores at most the cap. Pre-sizing to the true
+    // bound lets the loop write by index.
+    scratch.violationCap = config_.stopOnViolation
+                               ? static_cast<std::size_t>(n)
+                               : kMaxStoredViolations;
+    scratch.violationCount = 0;
+    result.violations.resize(scratch.violationCap);
 
     // Tell per-sample recorders how much to expect (stats samples at
     // step 0, statsCadence, 2*statsCadence, ...).
     const std::size_t expected_samples =
-        total_steps <= 0
+        scratch.totalSteps <= 0
             ? 0
             : static_cast<std::size_t>(
-                  (total_steps - 1) / config_.statsCadence + 1);
+                  (scratch.totalSteps - 1) / config_.statsCadence + 1);
     for (EngineObserver *o : observers_)
         o->onRunStart(expected_samples);
+}
+
+// The observer fan-outs are the only virtual dispatch reachable from
+// the step loop; isolating them gives the hot-path baseline a stable
+// symbol to pin (and the optimizer a single outlined cold-ish call).
+// atmlint: contract(engine_step)
+void
+SimEngine::dispatchViolation(ViolationEvent &event)
+{
+    for (EngineObserver *o : observers_) {
+        if (o->onViolation(event))
+            event.detected = true;
+    }
+}
+
+// atmlint: contract(engine_step)
+void
+SimEngine::dispatchSample(util::Nanoseconds now,
+                          const std::vector<CoreSample> &frame)
+{
+    for (EngineObserver *o : observers_)
+        o->onSample(now, frame);
+}
+
+// Observer finish fan-out + violation-store trim; runs once after
+// the step loop.
+// atmlint: contract(cold)
+void
+SimEngine::finishRun(RunScratch &scratch, RunResult &result)
+{
+    result.violations.resize(
+        std::min(scratch.violationCount, scratch.violationCap));
+    for (EngineObserver *o : observers_)
+        o->finish(Nanoseconds{result.durationNs}, result.safety);
+}
+
+RunResult
+SimEngine::run(double duration_us)
+{
+    if (config_.mode == EngineMode::Legacy)
+        return runLegacy(duration_us);
+    return runSoa(duration_us);
+}
+
+// The step loop sits under the engine_step hot-path contract: at a
+// 0.2 ns dt a millisecond of sim time is five million iterations, so
+// nothing reachable from here may allocate, lock, stream, or read a
+// wall clock (per-run setup that must do those things is carved out
+// with contract(cold) markers on the helpers above).
+// atmlint: contract(engine_step)
+RunResult
+SimEngine::runLegacy(double duration_us)
+{
+    chip::Chip &chip = *chip_;
+    const int n = chip.coreCount();
+    const double run_start_wall_ns = obs::monotonicWallNs();
+
+    // --- Observability wiring (all optional). The profiler charges
+    // two clock reads per phase, so it keys off the backends that
+    // consume wall time -- a flight-recorder-only attachment stays on
+    // the sim-time-only fast path.
+    obs::PhaseProfiler profiler =
+        makeEngineProfiler(obs_.wantsWallClock());
+    EngineMetrics met(obs_.metrics);
+    obs::FlightRecorder *const flight = obs_.flight;
+    PhaseSpanFlusher spans(obs_.trace, profiler);
+    int trk_violations = 0;
+    int trk_faults = 0;
+    if (obs_.trace) {
+        trk_violations = obs_.trace->track("engine.violations");
+        trk_faults = obs_.trace->track("engine.fault_edges");
+    }
+    if (met.runs)
+        met.runs->inc();
+    util::WarnThrottle grid_warn("engine.grid");
+
+    RunScratch scratch;
+    RunResult result;
+    double t0 = profiler.begin();
+    prepareRun(scratch, result, duration_us);
+    profiler.end(kPhaseSettle, t0);
+
+    fault::FaultInjector injector(chip_);
 
     long step = 0;
-    for (; step < total_steps; ++step) {
+    for (; step < scratch.totalSteps; ++step) {
         const double now_ns = static_cast<double>(step) * config_.dtNs;
 
-        // Fire and expire armed faults.
-        if (campaign_ && !campaign_->allDone()) {
+        // Fire and expire armed faults. The scan is skipped entirely
+        // until simulation time reaches the next known edge -- a
+        // campaign's effects happen only at edges, so the gate is
+        // behavior-preserving.
+        if (campaign_ && now_ns >= scratch.nextFaultEdgeNs) {
             t0 = profiler.begin();
-            fault_edges.clear();
-            campaign_->collectActivations(now_ns, fault_edges);
-            for (std::size_t f : fault_edges) {
+            scratch.faultEdges.clear();
+            campaign_->collectActivations(now_ns, scratch.faultEdges);
+            for (std::size_t f : scratch.faultEdges) {
                 injector.apply(campaign_->spec(f));
                 if (met.faultsActivated)
                     met.faultsActivated->inc();
@@ -362,9 +544,9 @@ SimEngine::run(double duration_us)
                                    now_ns, static_cast<double>(f));
                 }
             }
-            fault_edges.clear();
-            campaign_->collectExpirations(now_ns, fault_edges);
-            for (std::size_t f : fault_edges) {
+            scratch.faultEdges.clear();
+            campaign_->collectExpirations(now_ns, scratch.faultEdges);
+            for (std::size_t f : scratch.faultEdges) {
                 injector.revert(campaign_->spec(f));
                 if (met.faultsReverted)
                     met.faultsReverted->inc();
@@ -379,6 +561,7 @@ SimEngine::run(double duration_us)
                                    now_ns, static_cast<double>(f));
                 }
             }
+            scratch.nextFaultEdgeNs = campaign_->nextEdgeNs();
             profiler.end(kPhaseFaults, t0);
         }
 
@@ -408,18 +591,19 @@ SimEngine::run(double duration_us)
                                     : slot.traits->phaseActivityScale(
                                           now_ns * 1e-3);
                     p = chip.powerModel().coreTotalW(
-                        Watts{activity_w[ci] * phase_scale},
+                        Watts{scratch.activityW[ci] * phase_scale},
                         chip.core(c).frequencyMhz(),
                         std::max(chip.pdn().coreV(c), Volts{0.6}),
                         chip.thermal().coreTempC(c));
                 }
-                core_power[ci] = p;
-                core_current[ci] =
+                scratch.corePower[ci] = p;
+                scratch.coreCurrent[ci] =
                     power::PowerModel::currentA(p, grid_floor);
             }
-            uncore_current = power::PowerModel::currentA(
+            scratch.uncoreCurrent = power::PowerModel::currentA(
                 uncore_w, grid_floor);
-            chip.thermal().step(dt_slow, core_power, uncore_w);
+            chip.thermal().step(scratch.dtSlow, scratch.corePower,
+                                uncore_w);
             profiler.end(kPhaseThermal, t0);
             spans.flush(now_ns);
         }
@@ -432,13 +616,15 @@ SimEngine::run(double duration_us)
             const double transient =
                 chip.core(c).mode() == chip::CoreMode::Gated
                     ? 0.0
-                    : activity[ci].transientCurrentA(now_ns);
-            instant_current[ci] = core_current[ci] + Amps{transient};
+                    : scratch.activity[ci].transientCurrentA(now_ns);
+            scratch.instantCurrent[ci] =
+                scratch.coreCurrent[ci] + Amps{transient};
             if (injector.stormActive())
-                instant_current[ci] +=
+                scratch.instantCurrent[ci] +=
                     Amps{injector.stormCurrentA(c, now_ns)};
         }
-        chip.pdn().step(dt_step, instant_current, uncore_current);
+        chip.pdn().step(scratch.dtStep, scratch.instantCurrent,
+                        scratch.uncoreCurrent);
         profiler.end(kPhasePdn, t0);
 
         // Flight-recorder droop edges: one event per excursion below
@@ -448,17 +634,18 @@ SimEngine::run(double duration_us)
             for (int c = 0; c < n; ++c) {
                 const auto ci = static_cast<std::size_t>(c);
                 const double v = chip.pdn().coreV(c).value();
-                const double limit = steady.coreVoltageV[ci].value()
-                                     - kFlightDroopThresholdV;
+                const double limit =
+                    scratch.steady.coreVoltageV[ci].value()
+                    - kFlightDroopThresholdV;
                 if (v < limit) {
-                    if (!in_droop[ci]) {
-                        in_droop[ci] = 1;
+                    if (!scratch.inDroop[ci]) {
+                        scratch.inDroop[ci] = 1;
                         flight->record(
                             c, obs::FlightEventKind::DroopEnter,
                             now_ns, v);
                     }
-                } else if (in_droop[ci]) {
-                    in_droop[ci] = 0;
+                } else if (scratch.inDroop[ci]) {
+                    scratch.inDroop[ci] = 0;
                     flight->record(c, obs::FlightEventKind::DroopExit,
                                    now_ns, v);
                 }
@@ -480,71 +667,76 @@ SimEngine::run(double duration_us)
         // contiguous violating steps are one event, and the episode
         // ends when the core meets timing again, so a run past its
         // first violation keeps accumulating per-core counts without
-        // storing one event per 0.2 ns step.
+        // storing one event per 0.2 ns step. The deficit is evaluated
+        // once and reused for the event record (it used to be raced
+        // twice: once for the met/missed verdict and once for the
+        // event's deficit field).
         t0 = profiler.begin();
         bool violated = false;
         for (int c = 0; c < n; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            const Volts v = chip.pdn().coreV(c);
-            const Celsius t_c = chip.thermal().coreTempC(c);
-            if (!chip.core(c).timingMet(v, t_c, exposure_ps[ci],
-                                        run_noise))
-            {
-                if (in_violation[ci])
-                    continue;
-                in_violation[ci] = 1;
-                ViolationEvent ev;
-                ev.timeNs = now_ns;
-                ev.core = c;
-                ev.deficitPs =
-                    chip.core(c)
-                        .timingDeficitPs(v, t_c, exposure_ps[ci],
-                                         run_noise)
-                        .value();
-                const double u = fail_rng.uniform();
-                ev.kind = u < 0.3 ? FailureKind::SystemCrash
-                        : u < 0.8 ? FailureKind::AbnormalExit
-                                  : FailureKind::SilentDataCorruption;
-                for (EngineObserver *o : observers_) {
-                    if (o->onViolation(ev))
-                        ev.detected = true;
-                }
-                if (ev.detected) {
-                    ++result.safety.detectedViolations;
-                } else if (ev.kind
-                           == FailureKind::SilentDataCorruption) {
-                    ++result.safety.silentFailures;
-                }
-                if (met.violations) {
-                    met.violations->inc();
-                    if (ev.detected)
-                        met.detected->inc();
-                    else if (ev.kind
-                             == FailureKind::SilentDataCorruption)
-                        met.silent->inc();
-                    met.deficit->record(ev.deficitPs);
-                }
-                if (obs_.trace) {
-                    obs_.trace->instant("violation", trk_violations,
-                                        now_ns, c);
-                }
-                if (flight) {
-                    flight->record(c, obs::FlightEventKind::Violation,
-                                   now_ns, ev.deficitPs);
-                    // A timing violation is exactly what the black
-                    // box exists for: latch the dump request so the
-                    // session flushes the ring even on a clean exit.
-                    flight->requestDump();
-                }
-                if (result.violations.size() < kMaxStoredViolations)
-                    result.violations.push_back(ev);
-                else
-                    ++result.safety.droppedViolationEvents;
-                ++result.coreStats[ci].violations;
-                violated = true;
-            } else {
-                in_violation[ci] = 0;
+            double deficit = 0.0;
+            if (chip.core(c).mode() != chip::CoreMode::Gated) {
+                const Volts v = chip.pdn().coreV(c);
+                const Celsius t_c = chip.thermal().coreTempC(c);
+                deficit = chip.core(c)
+                              .timingDeficitPs(v, t_c,
+                                               scratch.exposurePs[ci],
+                                               scratch.runNoise)
+                              .value();
             }
+            if (deficit <= 0.0) {
+                // Gated cores always meet timing; an episode in
+                // progress ends here either way.
+                scratch.inViolation[ci] = 0;
+                continue;
+            }
+            if (scratch.inViolation[ci])
+                continue;
+            scratch.inViolation[ci] = 1;
+            ViolationEvent ev;
+            ev.timeNs = now_ns;
+            ev.core = c;
+            ev.deficitPs = deficit;
+            const double u = scratch.failRng.uniform();
+            ev.kind = u < 0.3 ? FailureKind::SystemCrash
+                    : u < 0.8 ? FailureKind::AbnormalExit
+                              : FailureKind::SilentDataCorruption;
+            dispatchViolation(ev);
+            if (ev.detected) {
+                ++result.safety.detectedViolations;
+            } else if (ev.kind
+                       == FailureKind::SilentDataCorruption) {
+                ++result.safety.silentFailures;
+            }
+            if (met.violations) {
+                met.violations->inc();
+                if (ev.detected)
+                    met.detected->inc();
+                else if (ev.kind
+                         == FailureKind::SilentDataCorruption)
+                    met.silent->inc();
+                met.deficit->record(ev.deficitPs);
+            }
+            if (obs_.trace) {
+                obs_.trace->instant("violation", trk_violations,
+                                    now_ns, c);
+            }
+            if (flight) {
+                flight->record(c, obs::FlightEventKind::Violation,
+                               now_ns, ev.deficitPs);
+                // A timing violation is exactly what the black
+                // box exists for: latch the dump request so the
+                // session flushes the ring even on a clean exit.
+                flight->requestDump();
+            }
+            if (scratch.violationCount < scratch.violationCap)
+                result.violations[scratch.violationCount] = ev;
+            else
+                ++result.safety.droppedViolationEvents;
+            ++scratch.violationCount;
+            ++result.coreStats[ci].violations;
+            violated = true;
         }
         profiler.end(kPhaseViolation, t0);
         if (violated && config_.stopOnViolation) {
@@ -565,7 +757,7 @@ SimEngine::run(double duration_us)
                 const util::Mhz f = chip.core(c).frequencyMhz();
                 const bool gated =
                     chip.core(c).mode() == chip::CoreMode::Gated;
-                frame[ci] = {f, v, gated};
+                scratch.frame[ci] = {f, v, gated};
                 auto &cs = result.coreStats[ci];
                 if (!gated) {
                     cs.freqMhz.add(f.value());
@@ -594,7 +786,7 @@ SimEngine::run(double duration_us)
                         }
                     }
                 }
-                chip_power += core_power[ci].value();
+                chip_power += scratch.corePower[ci].value();
             }
             result.chipPowerW.add(chip_power);
             result.maxCoreTempC =
@@ -602,8 +794,7 @@ SimEngine::run(double duration_us)
                          chip.thermal().maxCoreTempC().value());
             if (met.samples)
                 met.samples->inc();
-            for (EngineObserver *o : observers_)
-                o->onSample(Nanoseconds{now_ns}, frame);
+            dispatchSample(Nanoseconds{now_ns}, scratch.frame);
             profiler.end(kPhaseStats, t0);
         }
     }
@@ -615,16 +806,16 @@ SimEngine::run(double duration_us)
     }
     result.minGridV = chip.pdn().minGridV().value();
     result.durationNs = static_cast<double>(step) * config_.dtNs;
-    for (EngineObserver *o : observers_)
-        o->finish(Nanoseconds{result.durationNs}, result.safety);
+    finishRun(scratch, result);
 
     // Leave no fault state behind: anything still active at the end of
     // the run window is reverted so the chip can be reused.
     if (campaign_) {
-        fault_edges.clear();
+        scratch.faultEdges.clear();
         campaign_->collectExpirations(
-            std::numeric_limits<double>::infinity(), fault_edges);
-        for (std::size_t f : fault_edges)
+            std::numeric_limits<double>::infinity(),
+            scratch.faultEdges);
+        for (std::size_t f : scratch.faultEdges)
             injector.revert(campaign_->spec(f));
     }
 
@@ -646,6 +837,618 @@ SimEngine::run(double duration_us)
         }
     }
     return result;
+}
+
+// The SoA step loop: the same physics as runLegacy(), iteration for
+// iteration and operation for operation (the mode is gated on bitwise
+// identity), but the four per-core inner loops index the contiguous
+// arrays of EngineSoaState instead of chasing object-per-core
+// pointers, and AtmCore::stepControl / the violation race run as
+// branch-light kernels. Sampled mode rides the same loop and
+// fast-forwards through detected steady state.
+// atmlint: contract(engine_step)
+RunResult
+SimEngine::runSoa(double duration_us)
+{
+    chip::Chip &chip = *chip_;
+    const int n = chip.coreCount();
+    const double run_start_wall_ns = obs::monotonicWallNs();
+
+    obs::PhaseProfiler profiler =
+        makeEngineProfiler(obs_.wantsWallClock());
+    EngineMetrics met(obs_.metrics);
+    obs::FlightRecorder *const flight = obs_.flight;
+    PhaseSpanFlusher spans(obs_.trace, profiler);
+    int trk_violations = 0;
+    int trk_faults = 0;
+    if (obs_.trace) {
+        trk_violations = obs_.trace->track("engine.violations");
+        trk_faults = obs_.trace->track("engine.fault_edges");
+    }
+    if (met.runs)
+        met.runs->inc();
+    util::WarnThrottle grid_warn("engine.grid");
+
+    RunScratch scratch;
+    RunResult result;
+    double t0 = profiler.begin();
+    prepareRun(scratch, result, duration_us);
+    profiler.end(kPhaseSettle, t0);
+
+    fault::FaultInjector injector(chip_);
+
+    EngineSoaState soa;
+    soa.build(chip, scratch.exposurePs, scratch.steady.coreVoltageV,
+              config_.runNoisePs);
+
+    const bool sampled = config_.mode == EngineMode::Sampled;
+    SteadyStateDetector detect(config_.steady);
+    const bool have_observers = !observers_.empty();
+    scratch.prevPkgC = chip.thermal().packageTempC().value();
+
+    SoaCtx ctx{chip,     soa,   scratch, result, met,
+               profiler, spans, flight,  grid_warn};
+
+    long step = 0;
+    for (; step < scratch.totalSteps; ++step) {
+        const double now_ns = static_cast<double>(step) * config_.dtNs;
+
+        // True when anything this step reconfigured the chip outside
+        // the arrays (fault edge, observer action): kills the quiet
+        // streak in sampled mode.
+        bool config_edge = false;
+
+        // Fire and expire armed faults (scan gated on the next known
+        // edge, as in runLegacy). The injector works on the chip
+        // objects, so dynamic state is stored back first and the full
+        // state reloaded after.
+        if (campaign_ && now_ns >= scratch.nextFaultEdgeNs) {
+            t0 = profiler.begin();
+            soa.storeDynamic(chip);
+            scratch.faultEdges.clear();
+            campaign_->collectActivations(now_ns, scratch.faultEdges);
+            for (std::size_t f : scratch.faultEdges) {
+                injector.apply(campaign_->spec(f));
+                if (met.faultsActivated)
+                    met.faultsActivated->inc();
+                if (obs_.trace) {
+                    obs_.trace->instant("fault.activate", trk_faults,
+                                        now_ns,
+                                        static_cast<long>(f));
+                }
+                if (flight && campaign_->spec(f).core >= 0) {
+                    flight->record(campaign_->spec(f).core,
+                                   obs::FlightEventKind::FaultInject,
+                                   now_ns, static_cast<double>(f));
+                }
+            }
+            scratch.faultEdges.clear();
+            campaign_->collectExpirations(now_ns, scratch.faultEdges);
+            for (std::size_t f : scratch.faultEdges) {
+                injector.revert(campaign_->spec(f));
+                if (met.faultsReverted)
+                    met.faultsReverted->inc();
+                if (obs_.trace) {
+                    obs_.trace->instant("fault.revert", trk_faults,
+                                        now_ns,
+                                        static_cast<long>(f));
+                }
+                if (flight && campaign_->spec(f).core >= 0) {
+                    flight->record(campaign_->spec(f).core,
+                                   obs::FlightEventKind::FaultRevert,
+                                   now_ns, static_cast<double>(f));
+                }
+            }
+            scratch.nextFaultEdgeNs = campaign_->nextEdgeNs();
+            soa.loadConfig(chip);
+            soa.loadDynamic(chip);
+            soa.refreshTemps(chip);
+            config_edge = true;
+            profiler.end(kPhaseFaults, t0);
+        }
+
+        // Slow cadence: refresh DC power draw and temperatures.
+        if (step % config_.slowCadence == 0) {
+            t0 = profiler.begin();
+            const Volts grid_v = chip.pdn().gridV();
+            const Watts uncore_w = chip.powerModel().uncoreW(grid_v);
+            const Volts grid_floor = std::max(grid_v, Volts{0.6});
+            if (grid_v < Volts{0.6}) {
+                if (met.gridClamped)
+                    met.gridClamped->inc();
+                grid_warn.warn("grid voltage ", grid_v.value(),
+                               " V clamped to 0.6 V at t=", now_ns,
+                               " ns");
+            }
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                Watts p;
+                if (soa.gated(ci)) {
+                    p = Watts{0.25};
+                } else {
+                    const chip::CoreAssignment &slot =
+                        chip.assignment(c);
+                    const double phase_scale =
+                        slot.idle() ? 1.0
+                                    : slot.traits->phaseActivityScale(
+                                          now_ns * 1e-3);
+                    p = chip.powerModel().coreTotalW(
+                        Watts{scratch.activityW[ci] * phase_scale},
+                        util::frequencyOf(
+                            Picoseconds{soa.periodPs(ci)}),
+                        std::max(Volts{soa.coreV(ci)}, Volts{0.6}),
+                        Celsius{soa.tempC(ci)});
+                }
+                scratch.corePower[ci] = p;
+                scratch.coreCurrent[ci] =
+                    power::PowerModel::currentA(p, grid_floor);
+            }
+            scratch.uncoreCurrent = power::PowerModel::currentA(
+                uncore_w, grid_floor);
+            chip.thermal().step(scratch.dtSlow, scratch.corePower,
+                                uncore_w);
+            soa.refreshTemps(chip);
+            if (sampled) {
+                const double pkg =
+                    chip.thermal().packageTempC().value();
+                scratch.thermalQuiet =
+                    std::fabs(pkg - scratch.prevPkgC)
+                    <= config_.steady.thermalFlatC;
+                scratch.prevPkgC = pkg;
+            }
+            profiler.end(kPhaseThermal, t0);
+            spans.flush(now_ns);
+        }
+
+        // Electrical step. The summed |transient| doubles as the
+        // sampled-mode quiet signal: any nonzero di/dt injection this
+        // step means the rails are in motion.
+        t0 = profiler.begin();
+        double transient_total = 0.0;
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const double transient =
+                soa.gated(ci)
+                    ? 0.0
+                    : scratch.activity[ci].transientCurrentA(now_ns);
+            transient_total += std::fabs(transient);
+            scratch.instantCurrent[ci] =
+                scratch.coreCurrent[ci] + Amps{transient};
+            if (injector.stormActive())
+                scratch.instantCurrent[ci] +=
+                    Amps{injector.stormCurrentA(c, now_ns)};
+        }
+        chip.pdn().step(scratch.dtStep, scratch.instantCurrent,
+                        scratch.uncoreCurrent);
+        soa.refreshCoreV(chip, scratch.instantCurrent);
+        profiler.end(kPhasePdn, t0);
+
+        // Flight-recorder droop edges (same semantics as runLegacy,
+        // fed from the voltage array).
+        if (flight) {
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                const double v = soa.coreV(ci);
+                const double limit =
+                    scratch.steady.coreVoltageV[ci].value()
+                    - kFlightDroopThresholdV;
+                if (v < limit) {
+                    if (!scratch.inDroop[ci]) {
+                        scratch.inDroop[ci] = 1;
+                        flight->record(
+                            c, obs::FlightEventKind::DroopEnter,
+                            now_ns, v);
+                    }
+                } else if (scratch.inDroop[ci]) {
+                    scratch.inDroop[ci] = 0;
+                    flight->record(c, obs::FlightEventKind::DroopExit,
+                                   now_ns, v);
+                }
+            }
+        }
+
+        // Per-core ATM control loops, as one kernel over the arrays.
+        t0 = profiler.begin();
+        soa.controlStepAll(now_ns);
+        profiler.end(kPhaseAtm, t0);
+
+        // The timing race, against the array state. Observer fan-out
+        // is bracketed by a store/reload handshake so a monitor that
+        // reconfigures the chip (quarantine, clock reset) is picked
+        // up before the next core's check -- exactly the view the
+        // object path has.
+        t0 = profiler.begin();
+        bool violated = false;
+        for (int c = 0; c < n; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            double deficit = 0.0;
+            if (!soa.gated(ci))
+                deficit = soa.timingDeficitPs(ci);
+            if (deficit <= 0.0) {
+                scratch.inViolation[ci] = 0;
+                continue;
+            }
+            if (scratch.inViolation[ci])
+                continue;
+            scratch.inViolation[ci] = 1;
+            ViolationEvent ev;
+            ev.timeNs = now_ns;
+            ev.core = c;
+            ev.deficitPs = deficit;
+            const double u = scratch.failRng.uniform();
+            ev.kind = u < 0.3 ? FailureKind::SystemCrash
+                    : u < 0.8 ? FailureKind::AbnormalExit
+                              : FailureKind::SilentDataCorruption;
+            if (have_observers) {
+                soa.storeDynamic(chip);
+                dispatchViolation(ev);
+                if (soa.syncAfterDispatch(chip))
+                    config_edge = true;
+            }
+            if (ev.detected) {
+                ++result.safety.detectedViolations;
+            } else if (ev.kind
+                       == FailureKind::SilentDataCorruption) {
+                ++result.safety.silentFailures;
+            }
+            if (met.violations) {
+                met.violations->inc();
+                if (ev.detected)
+                    met.detected->inc();
+                else if (ev.kind
+                         == FailureKind::SilentDataCorruption)
+                    met.silent->inc();
+                met.deficit->record(ev.deficitPs);
+            }
+            if (obs_.trace) {
+                obs_.trace->instant("violation", trk_violations,
+                                    now_ns, c);
+            }
+            if (flight) {
+                flight->record(c, obs::FlightEventKind::Violation,
+                               now_ns, ev.deficitPs);
+                flight->requestDump();
+            }
+            if (scratch.violationCount < scratch.violationCap)
+                result.violations[scratch.violationCount] = ev;
+            else
+                ++result.safety.droppedViolationEvents;
+            ++scratch.violationCount;
+            ++result.coreStats[ci].violations;
+            violated = true;
+        }
+        profiler.end(kPhaseViolation, t0);
+        if (violated && config_.stopOnViolation) {
+            result.stoppedEarly = true;
+            ++step;
+            break;
+        }
+
+        // Statistics cadence.
+        if (step % config_.statsCadence == 0) {
+            t0 = profiler.begin();
+            double chip_power =
+                chip.powerModel().uncoreW(chip.pdn().gridV()).value();
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                const Volts v{soa.coreV(ci)};
+                const util::Mhz f =
+                    util::frequencyOf(Picoseconds{soa.periodPs(ci)});
+                const bool gated = soa.gated(ci);
+                scratch.frame[ci] = {f, v, gated};
+                auto &cs = result.coreStats[ci];
+                if (!gated) {
+                    cs.freqMhz.add(f.value());
+                    cs.voltageV.add(v.value());
+                    cs.minVoltageV = cs.voltageV.count() == 1
+                                   ? v.value()
+                                   : std::min(cs.minVoltageV,
+                                              v.value());
+                    if (met.voltage || flight) {
+                        const int worst = soa.lastWorstCount(ci);
+                        if (met.voltage) {
+                            met.voltage->record(v.value());
+                            met.freq->record(f.value());
+                            if (worst >= 0)
+                                met.cpmWorst->record(worst);
+                        }
+                        if (flight) {
+                            flight->record(
+                                c, obs::FlightEventKind::Fmax,
+                                now_ns, f.value());
+                            if (worst >= 0)
+                                flight->record(
+                                    c, obs::FlightEventKind::Margin,
+                                    now_ns, worst);
+                        }
+                    }
+                }
+                chip_power += scratch.corePower[ci].value();
+            }
+            result.chipPowerW.add(chip_power);
+            result.maxCoreTempC =
+                std::max(result.maxCoreTempC,
+                         chip.thermal().maxCoreTempC().value());
+            if (met.samples)
+                met.samples->inc();
+            if (have_observers) {
+                soa.storeDynamic(chip);
+                dispatchSample(Nanoseconds{now_ns}, scratch.frame);
+                if (soa.syncAfterDispatch(chip))
+                    config_edge = true;
+            }
+            profiler.end(kPhaseStats, t0);
+        }
+
+        // Sampled mode: feed the steady-state detector and, once
+        // armed, fast-forward to just before the next scheduled event
+        // (fault edge, di/dt pulse, end of run).
+        if (sampled) {
+            const bool quiet =
+                !violated && !config_edge
+                && soa.dpllAdjustments() == scratch.prevDpllAdjustments
+                && transient_total <= 0.0
+                && !injector.stormActive()
+                && scratch.thermalQuiet
+                && soa.railsQuiet(kFlightDroopThresholdV);
+            scratch.prevDpllAdjustments = soa.dpllAdjustments();
+            detect.note(quiet);
+            if (detect.armed()) {
+                const long from = step + 1;
+                const long guard = config_.steady.guardSteps;
+                long wake = scratch.totalSteps;
+                if (campaign_) {
+                    wake = std::min(
+                        wake, stepAtOrAfter(scratch.nextFaultEdgeNs,
+                                            config_.dtNs)
+                                  - guard);
+                }
+                for (int c = 0; c < n; ++c) {
+                    const auto ci = static_cast<std::size_t>(c);
+                    if (soa.gated(ci)
+                        || scratch.activity[ci].eventCurrentA()
+                               <= 0.0) {
+                        continue;
+                    }
+                    wake = std::min(
+                        wake,
+                        stepAtOrAfter(
+                            scratch.activity[ci].nextEventNs(),
+                            config_.dtNs)
+                            - guard);
+                }
+                if (wake - from
+                    >= static_cast<long>(config_.steady.minChunkSteps))
+                {
+                    if (flight) {
+                        flight->record(
+                            0, obs::FlightEventKind::FastForwardEnter,
+                            now_ns, static_cast<double>(from));
+                    }
+                    const long resumed =
+                        fastForwardSoa(ctx, from, wake);
+                    result.fastForwardedSteps += resumed - from;
+                    if (flight) {
+                        flight->record(
+                            0, obs::FlightEventKind::FastForwardExit,
+                            static_cast<double>(resumed)
+                                * config_.dtNs,
+                            static_cast<double>(resumed - from));
+                    }
+                    detect.reset();
+                    step = resumed - 1;
+                }
+            }
+        }
+    }
+
+    soa.storeDynamic(chip);
+    for (int c = 0; c < n; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        result.coreStats[ci].emergencies = chip.core(c).emergencyCount();
+        result.safety.emergencies += result.coreStats[ci].emergencies;
+    }
+    result.minGridV = chip.pdn().minGridV().value();
+    result.durationNs = static_cast<double>(step) * config_.dtNs;
+    finishRun(scratch, result);
+
+    if (campaign_) {
+        scratch.faultEdges.clear();
+        campaign_->collectExpirations(
+            std::numeric_limits<double>::infinity(),
+            scratch.faultEdges);
+        for (std::size_t f : scratch.faultEdges)
+            injector.revert(campaign_->spec(f));
+    }
+
+    result.steps = step;
+    result.wallSeconds =
+        (obs::monotonicWallNs() - run_start_wall_ns) * 1e-9;
+    if (profiler.enabled())
+        result.phaseStats = profiler.snapshot();
+    spans.flush(result.durationNs);
+    if (met.steps) {
+        met.steps->inc(step);
+        met.emergencies->inc(result.safety.emergencies);
+        if (result.stoppedEarly)
+            met.stoppedEarly->inc();
+        for (int c = 0; c < n; ++c) {
+            met.slewUps->inc(chip.core(c).dpll().slewUpCount());
+            met.slewDowns->inc(chip.core(c).dpll().slewDownCount());
+        }
+    }
+    return result;
+}
+
+// Sampled-mode fast-forward: with the PDN frozen at its settled
+// state, only the cadence points do any work -- thermal/power and the
+// control loops at the slow cadence, the statistics fold at the stats
+// cadence -- so the steps between cadence points are skipped in O(1).
+// Exits (returning the step where cycle stepping resumes) on any sign
+// the steady state broke: a DPLL adjustment, a positive timing
+// deficit, a thermal drift past the flatness gate, or an observer
+// reconfiguration.
+// atmlint: contract(engine_step)
+long
+SimEngine::fastForwardSoa(SoaCtx &ctx, long from_step, long to_step)
+{
+    chip::Chip &chip = ctx.chip;
+    EngineSoaState &soa = ctx.soa;
+    RunScratch &scratch = ctx.scratch;
+    RunResult &result = ctx.result;
+    EngineMetrics &met = ctx.met;
+    obs::FlightRecorder *const flight = ctx.flight;
+    const int n = static_cast<int>(soa.coreCount());
+    const long slow = config_.slowCadence;
+    const long stats = config_.statsCadence;
+    const bool have_observers = !observers_.empty();
+
+    long s = from_step;
+    while (s < to_step) {
+        // Jump to the next cadence point; nothing happens between
+        // them while the electrical state is frozen.
+        const long next_slow = ((s + slow - 1) / slow) * slow;
+        const long next_stats = ((s + stats - 1) / stats) * stats;
+        const long target = std::min(next_slow, next_stats);
+        if (target >= to_step)
+            return to_step;
+        s = target;
+        const double now_ns = static_cast<double>(s) * config_.dtNs;
+        bool wake = false;
+
+        if (s % slow == 0) {
+            double t0 = ctx.profiler.begin();
+            const Volts grid_v = chip.pdn().gridV();
+            const Watts uncore_w = chip.powerModel().uncoreW(grid_v);
+            const Volts grid_floor = std::max(grid_v, Volts{0.6});
+            if (grid_v < Volts{0.6}) {
+                if (met.gridClamped)
+                    met.gridClamped->inc();
+                ctx.gridWarn.warn("grid voltage ", grid_v.value(),
+                                  " V clamped to 0.6 V at t=", now_ns,
+                                  " ns");
+            }
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                Watts p;
+                if (soa.gated(ci)) {
+                    p = Watts{0.25};
+                } else {
+                    const chip::CoreAssignment &slot =
+                        chip.assignment(c);
+                    const double phase_scale =
+                        slot.idle() ? 1.0
+                                    : slot.traits->phaseActivityScale(
+                                          now_ns * 1e-3);
+                    p = chip.powerModel().coreTotalW(
+                        Watts{scratch.activityW[ci] * phase_scale},
+                        util::frequencyOf(
+                            Picoseconds{soa.periodPs(ci)}),
+                        std::max(Volts{soa.coreV(ci)}, Volts{0.6}),
+                        Celsius{soa.tempC(ci)});
+                }
+                scratch.corePower[ci] = p;
+                scratch.coreCurrent[ci] =
+                    power::PowerModel::currentA(p, grid_floor);
+            }
+            scratch.uncoreCurrent = power::PowerModel::currentA(
+                uncore_w, grid_floor);
+            chip.thermal().step(scratch.dtSlow, scratch.corePower,
+                                uncore_w);
+            soa.refreshTemps(chip);
+            const double pkg = chip.thermal().packageTempC().value();
+            scratch.thermalQuiet =
+                std::fabs(pkg - scratch.prevPkgC)
+                <= config_.steady.thermalFlatC;
+            scratch.prevPkgC = pkg;
+            if (!scratch.thermalQuiet)
+                wake = true;
+
+            // Control advance + violation probe at the slow cadence:
+            // any control action or developing deficit hands back to
+            // cycle stepping immediately.
+            const long before_adjustments = soa.dpllAdjustments();
+            soa.controlStepAll(now_ns);
+            scratch.prevDpllAdjustments = soa.dpllAdjustments();
+            if (soa.dpllAdjustments() != before_adjustments)
+                wake = true;
+            for (int c = 0; c < n && !wake; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                if (!soa.gated(ci) && soa.timingDeficitPs(ci) > 0.0)
+                    wake = true;
+            }
+            ctx.profiler.end(kPhaseThermal, t0);
+            ctx.spans.flush(now_ns);
+        }
+
+        if (s % stats == 0) {
+            double t0 = ctx.profiler.begin();
+            double chip_power =
+                chip.powerModel().uncoreW(chip.pdn().gridV()).value();
+            for (int c = 0; c < n; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                const Volts v{soa.coreV(ci)};
+                const util::Mhz f =
+                    util::frequencyOf(Picoseconds{soa.periodPs(ci)});
+                const bool gated = soa.gated(ci);
+                scratch.frame[ci] = {f, v, gated};
+                auto &cs = result.coreStats[ci];
+                if (!gated) {
+                    cs.freqMhz.add(f.value());
+                    cs.voltageV.add(v.value());
+                    cs.minVoltageV = cs.voltageV.count() == 1
+                                   ? v.value()
+                                   : std::min(cs.minVoltageV,
+                                              v.value());
+                    if (met.voltage || flight) {
+                        const int worst = soa.lastWorstCount(ci);
+                        if (met.voltage) {
+                            met.voltage->record(v.value());
+                            met.freq->record(f.value());
+                            if (worst >= 0)
+                                met.cpmWorst->record(worst);
+                        }
+                        if (flight) {
+                            flight->record(
+                                c, obs::FlightEventKind::Fmax,
+                                now_ns, f.value());
+                            if (worst >= 0)
+                                flight->record(
+                                    c, obs::FlightEventKind::Margin,
+                                    now_ns, worst);
+                        }
+                    }
+                }
+                chip_power += scratch.corePower[ci].value();
+            }
+            result.chipPowerW.add(chip_power);
+            result.maxCoreTempC =
+                std::max(result.maxCoreTempC,
+                         chip.thermal().maxCoreTempC().value());
+            if (met.samples)
+                met.samples->inc();
+            // Observer dispatch is decimated to the slow-cadence
+            // points while fast-forwarding: the frame is frozen, so
+            // the skipped dispatches would hand observers identical
+            // samples, and any observer deadline lands within one
+            // slow cadence (~10 ns) of its exact step. The stats
+            // folds above still run at full cadence, so sample
+            // counts and table means are unaffected. EXPERIMENTS.md
+            // documents this as part of the sampled-mode envelope.
+            if (have_observers && s % slow == 0) {
+                soa.storeDynamic(chip);
+                dispatchSample(Nanoseconds{now_ns}, scratch.frame);
+                if (soa.syncAfterDispatch(chip))
+                    wake = true;
+            }
+            ctx.profiler.end(kPhaseStats, t0);
+        }
+
+        ++s;
+        if (wake)
+            return s;
+    }
+    return s;
 }
 
 } // namespace atmsim::sim

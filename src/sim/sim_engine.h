@@ -10,6 +10,15 @@
  * counterpart of the closed-form analytic model; the two agree on
  * characterization limits to within one CPM step.
  *
+ * The step loop exists in three modes (SimConfig::mode; DESIGN.md,
+ * engine architecture): Legacy walks the per-core objects exactly as
+ * the original engine did; Soa runs the same arithmetic as
+ * structure-of-arrays kernels over sim/soa_state.h (bitwise-identical
+ * results, measurably faster); Sampled adds a steady-state detector
+ * that fast-forwards through quiet stretches and re-enters cycle
+ * stepping around di/dt events, fault edges, and governor actions
+ * (approximate -- see EXPERIMENTS.md for the validity envelope).
+ *
  * Observability: attach an obs::Observability bundle to record
  * engine metrics (violation counters, sampled voltage/frequency
  * histograms) and per-phase Chrome-trace spans. When nothing is
@@ -20,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "chip/chip.h"
@@ -27,10 +37,27 @@
 #include "obs/phase.h"
 #include "sim/observer.h"
 #include "sim/run_result.h"
+#include "sim/soa_state.h"
+#include "sim/steady_state.h"
 #include "util/rng.h"
 #include "workload/activity.h"
 
 namespace atmsim::sim {
+
+/** Step-loop implementation (see file header). */
+enum class EngineMode {
+    Legacy,  ///< Original object-per-core stepping (identity reference).
+    Soa,     ///< SoA kernels; bitwise-identical to Legacy.
+    Sampled, ///< SoA + steady-state fast-forward (approximate).
+};
+
+/** Printable mode name ("legacy", "soa", "sampled"). */
+[[nodiscard]] const char *engineModeName(EngineMode mode);
+
+/** Parse a mode name written by engineModeName(). Returns false
+ *  (leaving `out` untouched) for unknown names. */
+[[nodiscard]] bool engineModeFromName(std::string_view name,
+                                      EngineMode &out);
 
 /** Engine configuration. */
 struct SimConfig
@@ -53,6 +80,12 @@ struct SimConfig
 
     /** Random seed (event timing, failure kinds). */
     std::uint64_t seed = 1;
+
+    /** Step-loop implementation. */
+    EngineMode mode = EngineMode::Soa;
+
+    /** Steady-state detector tuning (Sampled mode only). */
+    SteadyStateConfig steady;
 };
 
 /** Time-stepped simulator for one chip and its assignments. */
@@ -128,6 +161,40 @@ class SimEngine
     [[nodiscard]] const SimConfig &config() const { return config_; }
 
   private:
+    /** Per-run scratch state shared by the step-loop variants;
+     *  defined in sim_engine.cc. */
+    struct RunScratch;
+
+    /** Loop-invariant references threaded through the SoA step path;
+     *  defined in sim_engine.cc. */
+    struct SoaCtx;
+
+    /** The pre-PR object-per-core step loop (identity reference). */
+    RunResult runLegacy(double duration_us);
+
+    /** The SoA-kernel step loop; handles Sampled mode internally. */
+    RunResult runSoa(double duration_us);
+
+    /** Per-run setup: activity generators, DC settle, clock resets,
+     *  campaign arming, result sizing, observer onRunStart. */
+    void prepareRun(RunScratch &scratch, RunResult &result,
+                    double duration_us);
+
+    /** Observer violation fan-out (sets event.detected). */
+    void dispatchViolation(ViolationEvent &event);
+
+    /** Observer sample fan-out. */
+    void dispatchSample(util::Nanoseconds now,
+                        const std::vector<CoreSample> &frame);
+
+    /** Observer finish fan-out + violation-store trim. */
+    void finishRun(RunScratch &scratch, RunResult &result);
+
+    /** Sampled-mode fast-forward from from_step toward to_step;
+     *  returns the first step not covered (where cycle stepping
+     *  resumes). */
+    long fastForwardSoa(SoaCtx &ctx, long from_step, long to_step);
+
     /**
      * Pulse amplitude that yields a workload's droop at a core.
      *

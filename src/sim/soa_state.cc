@@ -1,0 +1,197 @@
+#include "sim/soa_state.h"
+
+#include <cstring>
+
+#include "chip/chip.h"
+#include "circuit/constants.h"
+#include "util/logging.h"
+
+namespace atmsim::sim {
+
+namespace {
+
+/** Byte-compare two equally sized vectors (pre-sized in build()). */
+template <typename T>
+bool
+sameBytes(const std::vector<T> &a, const std::vector<T> &b)
+{
+    return std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+} // namespace
+
+// atmlint: contract(cold)
+void
+EngineSoaState::build(chip::Chip &chip,
+                      const std::vector<util::Picoseconds> &exposure,
+                      const std::vector<util::Volts> &steady_v,
+                      double noisePs)
+{
+    const auto n = static_cast<std::size_t>(chip.coreCount());
+    if (exposure.size() != n || steady_v.size() != n)
+        util::panic("SoA build: per-core input size mismatch");
+
+    const cpm::CpmBank &bank = chip.core(0).cpmBank();
+    siteCount_ = bank.siteCount();
+    chainStepPs_ = bank.site(0).chain().stepPs().value();
+    chainLength_ = bank.site(0).chain().length();
+    model_ = &chip.delayModel();
+    noisePs_ = noisePs;
+    gatedPeriodPs_ = util::periodOf(circuit::kPStateMinMhz).value();
+
+    mode_.assign(n, 0);
+    fixedPeriodPs_.assign(n, 0.0);
+    speedFactor_.assign(n, 1.0);
+    didtVuln_.assign(n, 0.0);
+    siteNominal_.assign(n * siteCount_, 0.0);
+    siteStuck_.assign(n * siteCount_, -1);
+    vSlow_.assign(n, 0.0);
+    vSlowValid_.assign(n, 0);
+    lastWorst_.assign(n, -1);
+    coreV_.assign(n, 0.0);
+    tempC_.assign(n, 0.0);
+    steadyV_.assign(n, 0.0);
+    basePathPs_.assign(n, 0.0);
+    dpll_.resize(n, chip.core(0).dpll().params());
+
+    shadowMode_.assign(n, 0);
+    shadowFixedPeriodPs_.assign(n, 0.0);
+    shadowSpeedFactor_.assign(n, 0.0);
+    shadowSiteNominal_.assign(n * siteCount_, 0.0);
+    shadowSiteStuck_.assign(n * siteCount_, -1);
+    shadowDpllPeriodPs_.assign(n, 0.0);
+    shadowDpllLastUpdateNs_.assign(n, 0.0);
+    shadowDpllLastEmergencyNs_.assign(n, 0.0);
+    shadowDpllHeldMargin_.assign(n, 0);
+    shadowDpllHeldValid_.assign(n, 0);
+    shadowDpllDropout_.assign(n, 0);
+    shadowVSlow_.assign(n, 0.0);
+    shadowVSlowValid_.assign(n, 0);
+    shadowLastWorst_.assign(n, 0);
+
+    for (std::size_t c = 0; c < n; ++c) {
+        const chip::AtmCore &core = chip.core(static_cast<int>(c));
+        basePathPs_[c] = (util::Picoseconds{core.silicon().realPathIdlePs}
+                          + exposure[c])
+                             .value();
+        steadyV_[c] = steady_v[c].value();
+        coreV_[c] = chip.pdn().coreV(static_cast<int>(c)).value();
+    }
+
+    loadConfig(chip);
+    loadDynamic(chip);
+    refreshTemps(chip);
+}
+
+void
+EngineSoaState::loadConfig(chip::Chip &chip)
+{
+    const std::size_t n = mode_.size();
+    for (std::size_t c = 0; c < n; ++c) {
+        const chip::AtmCore &core = chip.core(static_cast<int>(c));
+        mode_[c] = static_cast<std::uint8_t>(core.mode());
+        fixedPeriodPs_[c] =
+            util::periodOf(core.fixedFrequencyMhz()).value();
+        speedFactor_[c] = core.silicon().speedFactor;
+        didtVuln_[c] = core.silicon().didtVulnerability;
+        core.cpmBank().exportSoa(siteNominal_.data() + c * siteCount_,
+                                 siteStuck_.data() + c * siteCount_);
+    }
+}
+
+void
+EngineSoaState::loadDynamic(chip::Chip &chip)
+{
+    const std::size_t n = mode_.size();
+    for (std::size_t c = 0; c < n; ++c) {
+        const chip::AtmCore &core = chip.core(static_cast<int>(c));
+        dpll_.load(c, core.dpll());
+        const chip::ControlState state = core.exportControlState();
+        vSlow_[c] = state.vSlowV;
+        vSlowValid_[c] = state.vSlowValid ? 1 : 0;
+        lastWorst_[c] = state.lastWorstCount;
+    }
+}
+
+void
+EngineSoaState::storeDynamic(chip::Chip &chip) const
+{
+    const std::size_t n = mode_.size();
+    for (std::size_t c = 0; c < n; ++c) {
+        chip::AtmCore &core = chip.core(static_cast<int>(c));
+        dpll_.store(c, core.dpll());
+        chip::ControlState state;
+        state.vSlowV = vSlow_[c];
+        state.vSlowValid = vSlowValid_[c] != 0;
+        state.lastWorstCount = lastWorst_[c];
+        core.importControlState(state);
+    }
+}
+
+void
+EngineSoaState::refreshTemps(chip::Chip &chip)
+{
+    const std::size_t n = mode_.size();
+    for (std::size_t c = 0; c < n; ++c)
+        tempC_[c] = chip.thermal().coreTempC(static_cast<int>(c)).value();
+}
+
+ATM_HOT_PATH(engine_step)
+void
+EngineSoaState::refreshCoreV(const chip::Chip &chip,
+                             const std::vector<util::Amps> &branch_currents)
+{
+    // Replicates PdnNetwork::coreV: vDie - R_branch * I_branch, with
+    // the currents that the engine just passed to PdnNetwork::step
+    // (== lastCoreCurrents_ inside the network).
+    const double vDie = chip.pdn().gridV().value();
+    const double branchRes = chip.pdn().params().coreLocalResOhm;
+    const std::size_t n = coreV_.size();
+    for (std::size_t c = 0; c < n; ++c)
+        coreV_[c] = vDie - branchRes * branch_currents[c].value();
+}
+
+bool
+EngineSoaState::syncAfterDispatch(chip::Chip &chip)
+{
+    shadowMode_ = mode_;
+    shadowFixedPeriodPs_ = fixedPeriodPs_;
+    shadowSpeedFactor_ = speedFactor_;
+    shadowSiteNominal_ = siteNominal_;
+    shadowSiteStuck_ = siteStuck_;
+    shadowDpllPeriodPs_ = dpll_.periodPs;
+    shadowDpllLastUpdateNs_ = dpll_.lastUpdateNs;
+    shadowDpllLastEmergencyNs_ = dpll_.lastEmergencyNs;
+    shadowDpllHeldMargin_ = dpll_.heldMargin;
+    shadowDpllHeldValid_ = dpll_.heldValid;
+    shadowDpllDropout_ = dpll_.dropout;
+    shadowVSlow_ = vSlow_;
+    shadowVSlowValid_ = vSlowValid_;
+    shadowLastWorst_ = lastWorst_;
+
+    loadConfig(chip);
+    loadDynamic(chip);
+    return differsFromShadow();
+}
+
+bool
+EngineSoaState::differsFromShadow() const
+{
+    return !(sameBytes(mode_, shadowMode_)
+             && sameBytes(fixedPeriodPs_, shadowFixedPeriodPs_)
+             && sameBytes(speedFactor_, shadowSpeedFactor_)
+             && sameBytes(siteNominal_, shadowSiteNominal_)
+             && sameBytes(siteStuck_, shadowSiteStuck_)
+             && sameBytes(dpll_.periodPs, shadowDpllPeriodPs_)
+             && sameBytes(dpll_.lastUpdateNs, shadowDpllLastUpdateNs_)
+             && sameBytes(dpll_.lastEmergencyNs,
+                          shadowDpllLastEmergencyNs_)
+             && sameBytes(dpll_.heldMargin, shadowDpllHeldMargin_)
+             && sameBytes(dpll_.heldValid, shadowDpllHeldValid_)
+             && sameBytes(dpll_.dropout, shadowDpllDropout_)
+             && sameBytes(vSlow_, shadowVSlow_)
+             && sameBytes(vSlowValid_, shadowVSlowValid_)
+             && sameBytes(lastWorst_, shadowLastWorst_));
+}
+
+} // namespace atmsim::sim

@@ -1,0 +1,24 @@
+#include "sim/steady_state.h"
+
+#include "util/logging.h"
+
+namespace atmsim::sim {
+
+SteadyStateDetector::SteadyStateDetector(const SteadyStateConfig &config)
+    : config_(config)
+{
+    if (config_.windowSteps <= 0)
+        util::fatal("steady-state window must be positive, got ",
+                    config_.windowSteps);
+    if (config_.guardSteps < 0)
+        util::fatal("steady-state guard must be non-negative, got ",
+                    config_.guardSteps);
+    if (config_.minChunkSteps <= 0)
+        util::fatal("steady-state min chunk must be positive, got ",
+                    config_.minChunkSteps);
+    if (config_.thermalFlatC <= 0.0)
+        util::fatal("steady-state thermal gate must be positive, got ",
+                    config_.thermalFlatC);
+}
+
+} // namespace atmsim::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Steady-state detection for the engine's sampled mode (ROADMAP item
+ * 1, after Pac-Sim -- see PAPERS.md). The detector watches the step
+ * loop for a configurable window of consecutive "quiet" steps -- no
+ * droop excursion beyond the flight-recorder threshold, no DPLL
+ * period adjustment, flat package-thermal derivative, no transient
+ * load current, and no imminent fault edge -- and arms once the
+ * window fills. The engine then fast-forwards simulation time with
+ * closed-form thermal/stats updates, dropping back to cycle-level
+ * stepping a guard distance before the next scheduled event (di/dt
+ * pulse, fault activation/expiration, end of run) and whenever a
+ * control action or observer reconfiguration fires.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "util/hotpath_annotations.h"
+
+namespace atmsim::sim {
+
+/** Sampled-mode tuning (SimConfig::steady). */
+struct SteadyStateConfig
+{
+    /**
+     * Consecutive quiet steps before the detector arms. At the 0.2 ns
+     * default step this is ~100 ns -- long enough to cover a full
+     * DPLL update interval plus the slow-voltage tracking tail.
+     */
+    int windowSteps = 512;
+
+    /**
+     * Steps of cycle-accurate settling re-entered *before* a known
+     * upcoming event (fault edge, scheduled di/dt pulse, end of run),
+     * so the electrical state an event lands on is fully converged.
+     */
+    int guardSteps = 256;
+
+    /**
+     * Smallest stretch worth fast-forwarding. Jumps shorter than this
+     * stay cycle-accurate: the bookkeeping of a mode switch would
+     * cost more than it saves.
+     */
+    int minChunkSteps = 512;
+
+    /**
+     * Thermal-derivative gate: the largest package-temperature change
+     * (degrees C) across one slow-cadence thermal step that still
+     * counts as "flat". 1 mC per 10 ns is ~100 C/ms, far above any
+     * real steady-state drift and far below a workload phase edge.
+     */
+    double thermalFlatC = 1e-3;
+};
+
+/**
+ * Consecutive-quiet-step counter with an arming threshold. Kept
+ * trivially simple on purpose: it runs once per engine step, inside
+ * the engine_step hot-path contract.
+ */
+class SteadyStateDetector
+{
+  public:
+    /** Validates the config (fatal on nonsense bounds). */
+    explicit SteadyStateDetector(const SteadyStateConfig &config);
+
+    /** Feed one step's quiet verdict. */
+    ATM_HOT_PATH(engine_step)
+    void note(bool quiet) noexcept
+    {
+        quietStreak_ = quiet ? quietStreak_ + 1 : 0;
+    }
+
+    /** True once a full quiet window has accumulated. */
+    ATM_HOT_PATH(engine_step)
+    [[nodiscard]] bool armed() const noexcept
+    {
+        return quietStreak_ >= static_cast<long>(config_.windowSteps);
+    }
+
+    /** Re-arm from scratch (after any event or mode exit). */
+    ATM_HOT_PATH(engine_step)
+    void reset() noexcept { quietStreak_ = 0; }
+
+    /** Current run of consecutive quiet steps. */
+    [[nodiscard]] long quietStreak() const noexcept { return quietStreak_; }
+
+    [[nodiscard]] const SteadyStateConfig &config() const { return config_; }
+
+  private:
+    SteadyStateConfig config_;
+    long quietStreak_ = 0;
+};
+
+} // namespace atmsim::sim

@@ -41,6 +41,15 @@ class ActivityGenerator
     double eventCurrentA() const { return eventCurrentA_; }
 
     /**
+     * Time of the next scheduled pulse start (ns); effectively
+     * infinite (1e30) when the workload emits no events. The engine's
+     * sampled mode reads this to bound how far it may fast-forward
+     * without missing a di/dt event. Synchronized (virus) generators
+     * pulse continuously, so the bound does not apply to them.
+     */
+    double nextEventNs() const { return nextEventNs_; }
+
+    /**
      * Amplitude ramp-in time (ns): events reach full depth only after
      * the workload has been running this long, letting the control
      * loop adapt to the workload's average current first (real

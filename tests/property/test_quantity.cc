@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <compare>
+#include <cstring>
 #include <limits>
 #include <type_traits>
 
@@ -54,6 +55,56 @@ static_assert(!std::is_convertible_v<int, util::CpmSteps>);
 static_assert(
     std::is_constructible_v<util::Picoseconds, double>);
 static_assert(std::is_constructible_v<util::CpmSteps, int>);
+
+// Layout guarantees the SoA engine state (sim/soa_state.h) relies
+// on: a Quantity is standard-layout with no padding, so unwrapping
+// one into a raw-double array and re-wrapping is value-preserving,
+// and arrays of either representation are byte-comparable.
+static_assert(std::is_standard_layout_v<util::Picoseconds>);
+static_assert(std::is_standard_layout_v<util::Volts>);
+static_assert(std::is_standard_layout_v<util::Celsius>);
+static_assert(alignof(util::Picoseconds) == alignof(double));
+static_assert(alignof(util::Volts) == alignof(double));
+static_assert(std::is_trivially_destructible_v<util::Volts>);
+
+TEST(QuantityProperty, UnwrapRewrapIsBitwiseExact)
+{
+    // The SoA kernels keep double arrays and rebuild Quantities at
+    // the API boundary; that round trip must never perturb a bit,
+    // including signed zeros, denormals, and infinities.
+    util::Rng rng(0x50a);
+    for (int i = 0; i < 1000; ++i) {
+        const double raw = (rng.uniform() - 0.5) * 1e6;
+        EXPECT_EQ(util::Volts{raw}.value(), raw);
+    }
+    for (double edge : {0.0, -0.0,
+                        std::numeric_limits<double>::denorm_min(),
+                        std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::max()}) {
+        const double wrapped = util::Picoseconds{edge}.value();
+        EXPECT_EQ(std::memcmp(&wrapped, &edge, sizeof edge), 0);
+    }
+}
+
+TEST(QuantityProperty, ArithmeticMatchesRawDoubleBitwise)
+{
+    // Quantity operators must lower to the identical double ops, in
+    // the same order -- the SoA/legacy bitwise-identity contract
+    // depends on it.
+    util::Rng rng(0x50b);
+    for (int i = 0; i < 1000; ++i) {
+        const double a = rng.uniform() * 250.0;
+        const double b = rng.uniform() * 250.0;
+        const double f = rng.uniform() * 2.0;
+        EXPECT_EQ((util::Picoseconds{a} + util::Picoseconds{b}).value(),
+                  a + b);
+        EXPECT_EQ((util::Picoseconds{a} - util::Picoseconds{b}).value(),
+                  a - b);
+        EXPECT_EQ((util::Picoseconds{a} * f).value(), a * f);
+        EXPECT_EQ(util::Picoseconds{a} <= util::Picoseconds{b},
+                  a <= b);
+    }
+}
 
 // --- Runtime properties ------------------------------------------
 

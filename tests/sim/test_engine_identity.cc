@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The SoA/legacy identity contract: EngineMode::Soa must reproduce
+ * EngineMode::Legacy bit for bit -- same violations, same statistics
+ * accumulators, same safety counters -- across seeds, fault
+ * campaigns, mixed core modes, and attached observers. Sampled mode
+ * is held to a looser contract (it is approximate by design): the
+ * fast-forward must actually engage on quiet runs and the headline
+ * tables must land within 1%.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "chip/chip.h"
+#include "core/safety_monitor.h"
+#include "fault/fault_campaign.h"
+#include "sim/sim_engine.h"
+#include "sim/steady_state.h"
+#include "variation/reference_chips.h"
+#include "workload/catalog.h"
+
+namespace atmsim::sim {
+namespace {
+
+/** Hexfloat digest of everything a run produced; equal digests mean
+ *  bitwise-equal results. */
+std::string
+digest(const RunResult &result)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << result.durationNs << '|' << result.steps << '|'
+       << result.stoppedEarly << '|' << result.maxCoreTempC << '|'
+       << result.minGridV << '|' << result.chipPowerW.count() << ' '
+       << result.chipPowerW.mean() << ' ' << result.chipPowerW.m2();
+    for (const CoreRunStats &cs : result.coreStats) {
+        os << '|' << cs.freqMhz.count() << ' ' << cs.freqMhz.mean()
+           << ' ' << cs.freqMhz.m2() << ' ' << cs.voltageV.mean()
+           << ' ' << cs.voltageV.m2() << ' ' << cs.minVoltageV << ' '
+           << cs.emergencies << ' ' << cs.violations;
+    }
+    for (const ViolationEvent &ev : result.violations) {
+        os << '|' << ev.timeNs << ' ' << ev.core << ' ' << ev.deficitPs
+           << ' ' << static_cast<int>(ev.kind) << ' ' << ev.detected;
+    }
+    for (const auto &[name, value] : result.safety.named())
+        os << '|' << name << '=' << value;
+    return os.str();
+}
+
+struct Scenario
+{
+    const char *name;
+    std::uint64_t seed;
+    const char *campaign;   ///< nullptr = no faults.
+    bool mixedModes;        ///< Fixed-frequency core 1, gated core 3.
+    bool monitored;         ///< Attach a SafetyMonitor.
+    bool stopOnViolation;
+    int reduction;          ///< CPM reduction on every ATM core.
+    double runNoisePs;
+};
+
+/** One engine run of a scenario under the given mode, on a fresh
+ *  chip, so the two modes never share mutable state. */
+RunResult
+runScenario(const Scenario &sc, EngineMode mode, double duration_us)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    const auto &x264 = workload::findWorkload("x264");
+    chip.assignWorkload(2, &x264);
+    for (int c = 0; c < chip.coreCount(); ++c)
+        chip.core(c).setCpmReduction(util::CpmSteps{sc.reduction});
+    if (sc.mixedModes) {
+        chip.core(1).setMode(chip::CoreMode::FixedFrequency);
+        chip.core(3).setMode(chip::CoreMode::Gated);
+    }
+
+    SimConfig config;
+    config.mode = mode;
+    config.seed = sc.seed;
+    config.runNoisePs = sc.runNoisePs;
+    config.stopOnViolation = sc.stopOnViolation;
+    SimEngine engine(&chip, config);
+
+    fault::FaultCampaign campaign;
+    if (sc.campaign != nullptr) {
+        campaign = fault::FaultCampaign::parse(sc.campaign);
+        engine.setCampaign(&campaign);
+    }
+    std::vector<int> targets(
+        static_cast<std::size_t>(chip.coreCount()), sc.reduction);
+    core::SafetyMonitor monitor(&chip, targets);
+    if (sc.monitored)
+        engine.setObserver(&monitor);
+    return engine.run(duration_us);
+}
+
+const Scenario kScenarios[] = {
+    {"idle", 1, nullptr, false, false, true, 0, 0.0},
+    {"noise-seed7", 7, nullptr, false, false, true, 0, 1.1},
+    {"mixed-modes", 3, nullptr, true, false, true, 2, 0.5},
+    {"cpm-stuck", 7,
+     "cpm-stuck:core=2,site=0,start=1,dur=4,mag=24",
+     false, false, false, 6, 1.1},
+    {"cpm-stuck-monitored", 7,
+     "cpm-stuck:core=2,site=0,start=1,dur=4,mag=24",
+     false, true, false, 6, 1.1},
+    {"droop-storm-mixed", 17,
+     "droop-storm:core=2,start=1,dur=3,mag=2.5",
+     true, true, false, 6, 1.1},
+    {"vrm-step-stop", 17,
+     "vrm-step:start=2,dur=4,mag=40",
+     false, false, true, 4, 1.1},
+    {"two-faults", 11,
+     "thermal:core=2,start=1,dur=5,mag=25;"
+     "aging-jump:core=0,start=3,dur=6,mag=0.05",
+     false, true, false, 5, 1.1},
+};
+
+TEST(EngineIdentity, SoaMatchesLegacyBitwise)
+{
+    for (const Scenario &sc : kScenarios) {
+        const RunResult legacy =
+            runScenario(sc, EngineMode::Legacy, 8.0);
+        const RunResult soa = runScenario(sc, EngineMode::Soa, 8.0);
+        EXPECT_EQ(digest(legacy), digest(soa)) << sc.name;
+    }
+}
+
+TEST(EngineIdentity, SoaIsDeterministicAcrossRepeats)
+{
+    const Scenario &sc = kScenarios[4]; // monitored fault replay
+    const std::string first =
+        digest(runScenario(sc, EngineMode::Soa, 8.0));
+    const std::string second =
+        digest(runScenario(sc, EngineMode::Soa, 8.0));
+    EXPECT_EQ(first, second);
+}
+
+TEST(EngineIdentity, SampledFastForwardsQuietRuns)
+{
+    chip::Chip chip(variation::makeReferenceChip(0));
+    SimConfig config;
+    config.mode = EngineMode::Sampled;
+    SimEngine engine(&chip, config);
+    const RunResult result = engine.run(4.0);
+    EXPECT_FALSE(result.failed());
+    EXPECT_GT(result.fastForwardedSteps, result.steps / 2)
+        << "detector never armed on an idle run";
+    EXPECT_LE(result.fastForwardedSteps, result.steps);
+}
+
+TEST(EngineIdentity, SampledStaysWithinOnePercent)
+{
+    const auto run = [](EngineMode mode) {
+        chip::Chip chip(variation::makeReferenceChip(0));
+        const auto &gcc = workload::findWorkload("gcc");
+        chip.assignWorkload(0, &gcc);
+        SimConfig config;
+        config.mode = mode;
+        SimEngine engine(&chip, config);
+        return engine.run(6.0);
+    };
+    const RunResult exact = run(EngineMode::Legacy);
+    const RunResult fast = run(EngineMode::Sampled);
+    EXPECT_EQ(exact.steps, fast.steps);
+    ASSERT_EQ(exact.coreStats.size(), fast.coreStats.size());
+    for (std::size_t c = 0; c < exact.coreStats.size(); ++c) {
+        EXPECT_EQ(exact.coreStats[c].freqMhz.count(),
+                  fast.coreStats[c].freqMhz.count());
+        EXPECT_NEAR(fast.coreStats[c].freqMhz.mean(),
+                    exact.coreStats[c].freqMhz.mean(),
+                    exact.coreStats[c].freqMhz.mean() * 0.01)
+            << "core " << c;
+        EXPECT_NEAR(fast.coreStats[c].voltageV.mean(),
+                    exact.coreStats[c].voltageV.mean(),
+                    exact.coreStats[c].voltageV.mean() * 0.01)
+            << "core " << c;
+    }
+    EXPECT_NEAR(fast.chipPowerW.mean(), exact.chipPowerW.mean(),
+                exact.chipPowerW.mean() * 0.01);
+}
+
+TEST(EngineIdentity, SampledNeverFastForwardsPastFaultEdges)
+{
+    // A campaign strike must be hit by cycle stepping, not jumped
+    // over: the faulted core still violates, starting at the same
+    // strike. Episode *counts* may differ by a step or two of
+    // re-quantization (control actions land on the slow cadence
+    // while fast-forwarding), so they are held to 90%, not equality.
+    const Scenario &sc = kScenarios[3]; // cpm-stuck, unmonitored
+    const RunResult exact =
+        runScenario(sc, EngineMode::Legacy, 8.0);
+    const RunResult fast =
+        runScenario(sc, EngineMode::Sampled, 8.0);
+    long exact_eps = 0, fast_eps = 0;
+    for (const CoreRunStats &cs : exact.coreStats)
+        exact_eps += cs.violations;
+    for (const CoreRunStats &cs : fast.coreStats)
+        fast_eps += cs.violations;
+    ASSERT_GT(exact_eps, 0);
+    ASSERT_GT(fast_eps, 0);
+    EXPECT_NEAR(static_cast<double>(fast_eps),
+                static_cast<double>(exact_eps),
+                std::max(2.0, static_cast<double>(exact_eps) * 0.1));
+    // Both runs must see the strike land at the same first episode.
+    ASSERT_FALSE(exact.violations.empty());
+    ASSERT_FALSE(fast.violations.empty());
+    EXPECT_EQ(exact.violations.front().core,
+              fast.violations.front().core);
+    EXPECT_NEAR(exact.violations.front().timeNs,
+                fast.violations.front().timeNs, 50.0);
+}
+
+TEST(EngineIdentity, ModeNamesRoundTrip)
+{
+    for (EngineMode mode : {EngineMode::Legacy, EngineMode::Soa,
+                            EngineMode::Sampled}) {
+        EngineMode parsed = EngineMode::Legacy;
+        EXPECT_TRUE(engineModeFromName(engineModeName(mode), parsed));
+        EXPECT_EQ(parsed, mode);
+    }
+    EngineMode out = EngineMode::Soa;
+    EXPECT_FALSE(engineModeFromName("warp", out));
+    EXPECT_EQ(out, EngineMode::Soa);
+}
+
+TEST(SteadyStateDetectorTest, ArmsAfterWindowAndResets)
+{
+    SteadyStateConfig config;
+    config.windowSteps = 4;
+    SteadyStateDetector detect(config);
+    EXPECT_FALSE(detect.armed());
+    for (int i = 0; i < 3; ++i)
+        detect.note(true);
+    EXPECT_FALSE(detect.armed());
+    detect.note(true);
+    EXPECT_TRUE(detect.armed());
+    detect.note(false); // any disturbance restarts the window
+    EXPECT_FALSE(detect.armed());
+    EXPECT_EQ(detect.quietStreak(), 0L);
+    detect.reset();
+    EXPECT_FALSE(detect.armed());
+}
+
+} // namespace
+} // namespace atmsim::sim

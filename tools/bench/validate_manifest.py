@@ -283,6 +283,23 @@ def validate_manifest(manifest: dict) -> None:
     check_type(engine, "wall_seconds", NUMBER)
     check_type(engine, "sim_ns", NUMBER)
     check_type(engine, "steps_per_sec", NUMBER)
+    mode = check_type(engine, "mode", str)
+    require(
+        mode in ("legacy", "soa", "sampled"),
+        f"unknown engine mode '{mode}'",
+    )
+    fast_forwarded = check_type(engine, "fast_forwarded_steps", int)
+    require(fast_forwarded >= 0, "negative fast_forwarded_steps")
+    require(
+        fast_forwarded <= steps,
+        "fast_forwarded_steps exceeds engine steps",
+    )
+    require(
+        mode == "sampled" or fast_forwarded == 0,
+        f"fast_forwarded_steps nonzero in '{mode}' mode",
+    )
+    speedup = check_type(engine, "speedup", NUMBER)
+    require(speedup >= 1.0, "fast-forward speedup below 1.0")
     phases = check_type(engine, "phases", list)
     for i, phase in enumerate(phases):
         validate_phase(phase, f"engine.phases[{i}]")
